@@ -1,0 +1,132 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/ext_fs.h"
+#include "baselines/nova_fs.h"
+#include "baselines/nvmmio_fs.h"
+#include "common/logging.h"
+#include "mgsp/mgsp_fs.h"
+
+namespace mgsp::bench {
+
+namespace {
+
+MgspConfig
+mgspConfigFor(u64 arena_bytes)
+{
+    MgspConfig cfg;
+    cfg.arenaSize = arena_bytes;
+    cfg.poolFraction = 0.55;
+    return cfg;
+}
+
+}  // namespace
+
+Engine
+makeEngine(const std::string &name, u64 arena_bytes)
+{
+    Engine engine;
+    engine.name = name;
+    engine.device = std::make_shared<PmemDevice>(arena_bytes);
+
+    auto make_ext = [&](Ext4Mode mode, bool dax) {
+        Ext4Options opts;
+        opts.mode = mode;
+        opts.dax = dax;
+        engine.fs = std::make_unique<ExtFs>(engine.device, opts);
+    };
+
+    if (name == "ext4-wb") {
+        make_ext(Ext4Mode::Writeback, false);
+    } else if (name == "ext4-ordered") {
+        make_ext(Ext4Mode::Ordered, false);
+    } else if (name == "ext4-journal") {
+        make_ext(Ext4Mode::Journal, false);
+    } else if (name == "ext4-dax") {
+        make_ext(Ext4Mode::Ordered, true);
+    } else if (name == "libnvmmio") {
+        engine.fs = std::make_unique<NvmmioFs>(engine.device,
+                                               NvmmioOptions{});
+    } else if (name == "nova") {
+        engine.fs =
+            std::make_unique<NovaFs>(engine.device, NovaOptions{});
+    } else if (name.rfind("mgsp", 0) == 0) {
+        MgspConfig cfg = mgspConfigFor(arena_bytes);
+        if (name == "mgsp-no-shadow") {
+            cfg.enableShadowLog = false;
+        } else if (name == "mgsp-no-multigran") {
+            cfg.enableMultiGranularity = false;
+        } else if (name == "mgsp-no-fine") {
+            cfg.enableFineGrained = false;
+        } else if (name == "mgsp-filelock") {
+            cfg.lockMode = LockMode::FileLock;
+        } else if (name == "mgsp-no-opt") {
+            cfg.enableGreedyLocking = false;
+            cfg.enableMinSearchTree = false;
+            cfg.enablePartialMetaFlush = false;
+        } else if (name != "mgsp") {
+            MGSP_FATAL("unknown mgsp variant: %s", name.c_str());
+        }
+        auto fs = MgspFs::format(engine.device, cfg);
+        if (!fs.isOk())
+            MGSP_FATAL("mgsp format failed: %s",
+                       fs.status().toString().c_str());
+        engine.fs = std::move(*fs);
+    } else {
+        MGSP_FATAL("unknown engine: %s", name.c_str());
+    }
+    return engine;
+}
+
+std::vector<std::string>
+standardEngines()
+{
+    return {"ext4-dax", "libnvmmio", "nova", "mgsp"};
+}
+
+std::vector<std::string>
+breakdownEngines()
+{
+    return {"mgsp-no-shadow", "mgsp-no-multigran", "mgsp-no-fine",
+            "mgsp-filelock", "mgsp-no-opt", "mgsp"};
+}
+
+void
+printHeader(const std::string &figure, const std::string &what)
+{
+    std::printf("\n================================================="
+                "=============================\n");
+    std::printf("%s — %s\n", figure.c_str(), what.c_str());
+    std::printf("==================================================="
+                "===========================\n");
+}
+
+void
+printRow(const std::string &label,
+         const std::vector<std::pair<std::string, double>> &cells,
+         const std::string &unit)
+{
+    std::printf("%-22s", label.c_str());
+    for (const auto &[name, value] : cells)
+        std::printf("  %s=%-10.2f", name.c_str(), value);
+    std::printf("[%s]\n", unit.c_str());
+    std::fflush(stdout);
+}
+
+BenchScale
+defaultScale()
+{
+    BenchScale scale;
+    const char *fast = std::getenv("MGSP_BENCH_FAST");
+    if (fast != nullptr && fast[0] == '1') {
+        scale.arenaBytes = 192 * MiB;
+        scale.fileSize = 32 * MiB;
+        scale.runtimeMillis = 60;
+        scale.rampMillis = 10;
+    }
+    return scale;
+}
+
+}  // namespace mgsp::bench

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation: it builds each storage engine over a fresh emulated PM
+ * device, runs the paper's workload, and prints the same rows/series
+ * the paper reports. Absolute numbers differ from the paper's Optane
+ * testbed (see EXPERIMENTS.md); the *shapes* are what is compared.
+ *
+ * Engine names: ext4-wb | ext4-ordered | ext4-journal | ext4-dax |
+ * libnvmmio | nova | mgsp, plus mgsp ablation variants
+ * (mgsp-no-shadow, mgsp-no-multigran, mgsp-no-fine, mgsp-filelock,
+ * mgsp-no-opt) used by the Fig. 13 breakdown.
+ */
+#ifndef MGSP_BENCH_BENCH_COMMON_H
+#define MGSP_BENCH_BENCH_COMMON_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmem/pmem_device.h"
+#include "vfs/vfs.h"
+
+namespace mgsp::bench {
+
+/** A constructed engine plus the device it lives on. */
+struct Engine
+{
+    std::string name;
+    std::shared_ptr<PmemDevice> device;
+    std::unique_ptr<FileSystem> fs;
+};
+
+/** Builds engine @p name over a fresh @p arena_bytes device. */
+Engine makeEngine(const std::string &name, u64 arena_bytes);
+
+/** Engine sets used by the figures. */
+std::vector<std::string> standardEngines();   ///< dax/nvmmio/nova/mgsp
+std::vector<std::string> breakdownEngines();  ///< mgsp ablations
+
+/** Prints a banner naming the experiment. */
+void printHeader(const std::string &figure, const std::string &what);
+
+/** Prints one row of "label: value unit" aligned columns. */
+void printRow(const std::string &label,
+              const std::vector<std::pair<std::string, double>> &cells,
+              const std::string &unit);
+
+/** Scaled-down run parameters shared by the FIO figures. */
+struct BenchScale
+{
+    u64 arenaBytes = 768 * MiB;
+    u64 fileSize = 128 * MiB;
+    u64 runtimeMillis = 300;
+    u64 rampMillis = 40;
+};
+
+/** Reads MGSP_BENCH_FAST=1 to shrink runtimes (CI smoke mode). */
+BenchScale defaultScale();
+
+}  // namespace mgsp::bench
+
+#endif  // MGSP_BENCH_BENCH_COMMON_H

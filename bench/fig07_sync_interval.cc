@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Fig. 7: 4K sequential write throughput vs fsync
+ * interval (fsync every 1 / 10 / 100 writes / never). Shows
+ * Libnvmmio's collapse once syncs appear and MGSP's indifference to
+ * sync frequency (every operation is already synchronous + atomic).
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "workloads/fio.h"
+
+using namespace mgsp;
+using namespace mgsp::bench;
+
+int
+main()
+{
+    const BenchScale scale = defaultScale();
+    printHeader("Figure 7",
+                "4K sequential write throughput vs fsync interval");
+    const u32 intervals[] = {1, 10, 100, 0};  // 0 = never
+    std::printf("%-14s", "engine");
+    for (u32 interval : intervals)
+        std::printf("  %-14s",
+                    interval == 0
+                        ? "no-sync"
+                        : ("fsync-" + std::to_string(interval)).c_str());
+    std::printf("[MiB/s]\n");
+
+    for (const std::string &name : standardEngines()) {
+        std::printf("%-14s", name.c_str());
+        for (u32 interval : intervals) {
+            Engine engine = makeEngine(name, scale.arenaBytes);
+            FioConfig cfg;
+            cfg.op = FioOp::Write;
+            cfg.fileSize = scale.fileSize;
+            cfg.blockSize = 4 * KiB;
+            cfg.fsyncInterval = interval;
+            cfg.runtimeMillis = scale.runtimeMillis;
+            cfg.rampMillis = scale.rampMillis;
+            StatusOr<FioResult> result = runFio(engine.fs.get(), cfg);
+            std::printf("  %-14.1f",
+                        result.isOk() ? result->throughputMiBps() : -1.0);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nExpected shape: libnvmmio drops sharply as soon as "
+                "syncs appear (double\nwrite per sync); ext4-dax dips "
+                "mildly; MGSP is flat across all intervals.\n");
+    return 0;
+}

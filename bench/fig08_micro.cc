@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces Fig. 8 (a-d): sequential/random write/read throughput
+ * across access granularities (512 B - 1 MiB), one sync per
+ * operation, single thread — the paper's core microbenchmark.
+ */
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "workloads/fio.h"
+
+using namespace mgsp;
+using namespace mgsp::bench;
+
+namespace {
+
+void
+runPanel(const char *panel, const char *title, FioOp op, bool random,
+         const BenchScale &scale)
+{
+    printHeader(std::string("Figure 8") + panel, title);
+    const u64 sizes[] = {512,      1 * KiB,   2 * KiB,   4 * KiB,
+                         16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB};
+    std::printf("%-10s", "size");
+    for (const std::string &name : standardEngines())
+        std::printf("  %-12s", name.c_str());
+    std::printf("[MiB/s]\n");
+
+    for (u64 size : sizes) {
+        if (size < 1 * KiB)
+            std::printf("%-10s", (std::to_string(size) + "B").c_str());
+        else
+            std::printf("%-10s",
+                        (std::to_string(size / KiB) + "K").c_str());
+        for (const std::string &name : standardEngines()) {
+            Engine engine = makeEngine(name, scale.arenaBytes);
+            FioConfig cfg;
+            cfg.op = op;
+            cfg.random = random;
+            cfg.fileSize = scale.fileSize;
+            cfg.blockSize = size;
+            cfg.fsyncInterval = 1;
+            cfg.runtimeMillis = scale.runtimeMillis;
+            cfg.rampMillis = scale.rampMillis;
+            StatusOr<FioResult> result = runFio(engine.fs.get(), cfg);
+            std::printf("  %-12.1f",
+                        result.isOk() ? result->throughputMiBps() : -1.0);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    const BenchScale scale = defaultScale();
+    runPanel("a", "sequential write throughput vs granularity",
+             FioOp::Write, false, scale);
+    runPanel("b", "random write throughput vs granularity", FioOp::Write,
+             true, scale);
+    runPanel("c", "sequential read throughput vs granularity",
+             FioOp::Read, false, scale);
+    runPanel("d", "random read throughput vs granularity", FioOp::Read,
+             true, scale);
+    std::printf(
+        "\nExpected shapes (paper): writes — MGSP leads everywhere; "
+        "below 4K the gap\nwidens (fine-grained logging beats NOVA's "
+        "full-page CoW and libnvmmio's\nlog+checkpoint); at >=4K NOVA "
+        "is closest. reads — MGSP ~ libnvmmio,\nboth ahead of "
+        "ext4-dax/nova syscall paths on fine reads.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Fig. 12: TPC-C on SQLite (minidb) in WAL and OFF
+ * journal modes across the storage engines.
+ */
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "workloads/tpcc.h"
+
+using namespace mgsp;
+using namespace mgsp::bench;
+
+int
+main()
+{
+    const BenchScale scale = defaultScale();
+    const u64 txns = scale.runtimeMillis >= 300 ? 1500 : 400;
+
+    for (auto journal :
+         {minidb::JournalMode::Wal, minidb::JournalMode::Off}) {
+        const bool wal = journal == minidb::JournalMode::Wal;
+        printHeader("Figure 12",
+                    std::string("minidb TPC-C, journal mode ") +
+                        (wal ? "WAL" : "OFF"));
+        std::printf("%-12s  %-12s  %-12s\n", "engine", "txn/s", "tpmC");
+        for (const std::string &name : standardEngines()) {
+            Engine engine = makeEngine(name, scale.arenaBytes);
+            TpccConfig cfg;
+            cfg.journal = journal;
+            cfg.transactions = txns;
+            cfg.fileCapacity = scale.arenaBytes / 8;
+            StatusOr<TpccResult> result = runTpcc(engine.fs.get(), cfg);
+            if (result.isOk()) {
+                std::printf("%-12s  %-12.0f  %-12.0f\n", name.c_str(),
+                            result->totalTps(), result->tpmC());
+            } else {
+                std::printf("%-12s  FAILED: %s\n", name.c_str(),
+                            result.status().toString().c_str());
+            }
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\nExpected shape (paper): all engines are close in "
+                "WAL mode; in OFF mode\nMGSP leads ext4-dax by ~36%%, "
+                "libnvmmio by ~41%% and NOVA by ~15%%, because\nthe "
+                "database's own durability work has moved into the "
+                "file system and MGSP\ndoes it with the fewest extra "
+                "writes and fences.\n");
+    return 0;
+}

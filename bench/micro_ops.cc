@@ -1,0 +1,178 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of MGSP's internal operations:
+ * per-op costs of the write path at several granularities and lock
+ * modes, read path, metadata-log claim/commit, and tree traversal.
+ * Complements the figure harnesses with statistically robust
+ * per-operation latencies.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "mgsp/metadata_log.h"
+#include "mgsp/mgsp_fs.h"
+
+namespace mgsp {
+namespace {
+
+struct BenchFs
+{
+    std::shared_ptr<PmemDevice> device;
+    std::unique_ptr<MgspFs> fs;
+    std::unique_ptr<File> file;
+
+    explicit BenchFs(MgspConfig cfg, u64 capacity = 64 * MiB)
+    {
+        device = std::make_shared<PmemDevice>(cfg.arenaSize);
+        auto made = MgspFs::format(device, cfg);
+        if (!made.isOk())
+            std::abort();
+        fs = std::move(*made);
+        auto f = fs->createFile("bench.dat", capacity);
+        if (!f.isOk())
+            std::abort();
+        file = std::move(*f);
+        std::vector<u8> fill(capacity, 0x22);
+        if (!file->pwrite(0, ConstSlice(fill.data(), fill.size()))
+                 .isOk())
+            std::abort();
+    }
+};
+
+MgspConfig
+benchConfig()
+{
+    MgspConfig cfg;
+    cfg.arenaSize = 256 * MiB;
+    return cfg;
+}
+
+void
+BM_WriteRandom(benchmark::State &state)
+{
+    setDelayInjectionEnabled(false);  // isolate software cost
+    const u64 block = static_cast<u64>(state.range(0));
+    BenchFs bench(benchConfig());
+    Rng rng(1);
+    std::vector<u8> data(block, 0xAB);
+    const u64 blocks = 64 * MiB / block;
+    for (auto _ : state) {
+        const u64 off = rng.nextBelow(blocks) * block;
+        Status s =
+            bench.file->pwrite(off, ConstSlice(data.data(), block));
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(block));
+}
+BENCHMARK(BM_WriteRandom)->Arg(512)->Arg(4096)->Arg(65536);
+
+void
+BM_WriteRandomFileLock(benchmark::State &state)
+{
+    setDelayInjectionEnabled(false);
+    MgspConfig cfg = benchConfig();
+    cfg.lockMode = LockMode::FileLock;
+    BenchFs bench(cfg);
+    Rng rng(1);
+    std::vector<u8> data(4096, 0xAB);
+    for (auto _ : state) {
+        const u64 off = rng.nextBelow(16384) * 4096;
+        Status s =
+            bench.file->pwrite(off, ConstSlice(data.data(), 4096));
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_WriteRandomFileLock);
+
+void
+BM_ReadRandom(benchmark::State &state)
+{
+    setDelayInjectionEnabled(false);
+    const u64 block = static_cast<u64>(state.range(0));
+    BenchFs bench(benchConfig());
+    Rng rng(2);
+    // Dirty half the blocks so reads traverse live shadow logs.
+    std::vector<u8> data(block, 0xCD);
+    const u64 blocks = 64 * MiB / block;
+    for (u64 i = 0; i < blocks / 2; ++i) {
+        (void)bench.file->pwrite(rng.nextBelow(blocks) * block,
+                                 ConstSlice(data.data(), block));
+    }
+    std::vector<u8> out(block);
+    for (auto _ : state) {
+        const u64 off = rng.nextBelow(blocks) * block;
+        auto n = bench.file->pread(off, MutSlice(out.data(), block));
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(block));
+}
+BENCHMARK(BM_ReadRandom)->Arg(512)->Arg(4096)->Arg(65536);
+
+void
+BM_MetadataLogClaimCommit(benchmark::State &state)
+{
+    setDelayInjectionEnabled(false);
+    MgspConfig cfg;
+    cfg.arenaSize = 16 * MiB;
+    ArenaLayout layout = ArenaLayout::compute(cfg);
+    PmemDevice device(cfg.arenaSize);
+    MetadataLog log(&device, layout, cfg.metaLogEntries, true);
+    StagedMetadata staged;
+    staged.length = 4096;
+    staged.addSlot(1, 0b11);
+    for (auto _ : state) {
+        const u32 entry = log.claim();
+        log.commit(entry, staged);
+        log.markOutdated(entry);
+        log.release(entry);
+    }
+}
+BENCHMARK(BM_MetadataLogClaimCommit)->ThreadRange(1, 8);
+
+void
+BM_WriteConcurrent(benchmark::State &state)
+{
+    setDelayInjectionEnabled(false);
+    static BenchFs *shared = nullptr;
+    static std::unique_ptr<File> *handles = nullptr;
+    if (state.thread_index() == 0) {
+        shared = new BenchFs(benchConfig());
+        handles = new std::unique_ptr<File>[state.threads()];
+        handles[0] = std::move(shared->file);
+        for (int t = 1; t < state.threads(); ++t) {
+            auto h = shared->fs->open("bench.dat", OpenOptions{});
+            if (!h.isOk())
+                std::abort();
+            handles[t] = std::move(*h);
+        }
+    }
+    Rng rng(17 + state.thread_index());
+    std::vector<u8> data(4096, 0x77);
+    File *file = nullptr;
+    for (auto _ : state) {
+        if (file == nullptr)
+            file = handles[state.thread_index()].get();
+        const u64 off = rng.nextBelow(16384) * 4096;
+        Status s = file->pwrite(off, ConstSlice(data.data(), 4096));
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+    // The run loop has an implied end barrier, so thread 0 can tear
+    // down the shared state (closing the handles writes logs back).
+    if (state.thread_index() == 0) {
+        delete[] handles;
+        handles = nullptr;
+        delete shared;
+        shared = nullptr;
+    }
+}
+BENCHMARK(BM_WriteConcurrent)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+}  // namespace mgsp
+
+BENCHMARK_MAIN();

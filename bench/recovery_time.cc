@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduces the recovery measurement of §III-D: crash a random-write
+ * workload at a random point and measure the time to recover the
+ * file from the logs. The paper reports 186 ms to restore a 1 GiB
+ * file with 48K log entries (189 MB written back), bounded under 1 s.
+ *
+ * Here: a tracked device runs random writes, a crash image is
+ * captured mid-flight, and we time (a) mount-time metadata recovery
+ * (log replay + pool/table rebuild) and (b) writing all logs back to
+ * the file — the two phases the paper's number combines.
+ */
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/spin_lock.h"
+#include "common/random.h"
+#include "mgsp/mgsp_fs.h"
+#include "workloads/fio.h"
+
+using namespace mgsp;
+
+namespace {
+
+void
+runOnce(u64 file_size, int ops, u64 seed)
+{
+    MgspConfig cfg;
+    cfg.arenaSize = file_size * 4;
+    cfg.poolFraction = 0.45;
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    if (!fs.isOk()) {
+        std::printf("format failed: %s\n",
+                    fs.status().toString().c_str());
+        return;
+    }
+    auto file = (*fs)->createFile("crashme.dat", file_size);
+    if (!file.isOk()) {
+        std::printf("create failed: %s\n",
+                    file.status().toString().c_str());
+        return;
+    }
+
+    Rng rng(seed);
+    std::vector<u8> block(4 * KiB);
+    rng.fillBytes(block.data(), block.size());
+    // Fill, then dirty a large random set of blocks so many shadow
+    // logs are live at the crash point.
+    for (u64 off = 0; off < file_size; off += 1 * MiB) {
+        std::vector<u8> chunk(1 * MiB, 0x11);
+        (void)(*file)->pwrite(off, ConstSlice(chunk.data(),
+                                              chunk.size()));
+    }
+    // Crash while the writer is mid-flight, so live metadata-log
+    // entries exist for recovery to replay.
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        Rng wr(seed * 31);
+        for (int i = 0; i < ops && !stop.load(); ++i) {
+            const u64 off = wr.nextBelow(file_size / block.size()) *
+                            block.size();
+            (void)(*file)->pwrite(off, ConstSlice(block.data(),
+                                                  block.size()));
+        }
+    });
+    // Let most of the workload land, then capture.
+    while (device->stats().fences.load() < static_cast<u64>(ops))
+        cpuRelax();
+    Rng crash_rng(seed ^ 0xC4A5);
+    CrashImage image = device->captureCrashImage(crash_rng, 0.5);
+    stop.store(true);
+    writer.join();
+    auto revived = std::make_shared<PmemDevice>(image,
+                                                PmemDevice::Mode::Flat);
+
+    Stopwatch mount_timer;
+    auto recovered = MgspFs::mount(revived, cfg);
+    const double mount_ms = mount_timer.elapsedNanos() * 1e-6;
+    if (!recovered.isOk()) {
+        std::printf("mount failed: %s\n",
+                    recovered.status().toString().c_str());
+        return;
+    }
+    const RecoveryReport &report = (*recovered)->recoveryReport();
+
+    Stopwatch writeback_timer;
+    {
+        auto reopened = (*recovered)->open("crashme.dat", OpenOptions{});
+        if (!reopened.isOk()) {
+            std::printf("open failed\n");
+            return;
+        }
+        // Closing the handle writes every live log back to the file.
+    }
+    const double writeback_ms = writeback_timer.elapsedNanos() * 1e-6;
+
+    std::printf("%-8s  ops=%-7d  entries-replayed=%-3u  "
+                "records=%-7u  mount=%-8.2fms  writeback=%-8.2fms  "
+                "total=%.2fms\n",
+                (std::to_string(file_size / MiB) + "MiB").c_str(), ops,
+                report.liveEntriesReplayed, report.recordsScanned,
+                mount_ms, writeback_ms, mount_ms + writeback_ms);
+    std::fflush(stdout);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("\n=== Recovery time (paper §III-D: 1 GiB file "
+                "recovers in 186 ms, <1 s worst case) ===\n");
+    setDelayInjectionEnabled(true);
+    runOnce(32 * MiB, 2000, 1);
+    runOnce(64 * MiB, 4000, 2);
+    runOnce(128 * MiB, 8000, 3);
+    runOnce(128 * MiB, 16000, 4);
+    std::printf("\nExpected shape: recovery time scales with the number "
+                "of live logs (bounded\nby file size), staying well "
+                "under a second at these scales.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A durable key-value store in ~100 lines, built directly on MGSP's
+ * failure-atomic file API — no write-ahead log of its own.
+ *
+ * Records live in fixed slots; each put() is a single pwrite of the
+ * slot. Because MGSP makes every write atomic and synchronous, the
+ * store needs no journal, no double write and no fsync: exactly the
+ * application pattern the paper's SQLite journal-OFF experiments
+ * argue for.
+ */
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/hash.h"
+#include "mgsp/mgsp_fs.h"
+
+using namespace mgsp;
+
+namespace {
+
+/** Fixed-slot hash table over one MGSP file. */
+class KvStore
+{
+  public:
+    static constexpr u64 kSlots = 4096;
+    static constexpr u64 kKeyMax = 64;
+    static constexpr u64 kValueMax = 160;
+
+    explicit KvStore(std::unique_ptr<File> file)
+        : file_(std::move(file))
+    {
+    }
+
+    bool
+    put(const std::string &key, const std::string &value)
+    {
+        if (key.empty() || key.size() > kKeyMax ||
+            value.size() > kValueMax)
+            return false;
+        Slot slot{};
+        slot.used = 1;
+        slot.keyLen = static_cast<u16>(key.size());
+        slot.valueLen = static_cast<u16>(value.size());
+        std::memcpy(slot.key, key.data(), key.size());
+        std::memcpy(slot.value, value.data(), value.size());
+        // One atomic write; a crash leaves either the old record or
+        // the new one, never a mixture.
+        for (u64 probe = 0; probe < kSlots; ++probe) {
+            const u64 idx = slotFor(key, probe);
+            Slot current;
+            if (!load(idx, &current))
+                return false;
+            if (!current.used || keyEquals(current, key))
+                return file_->pwrite(idx * sizeof(Slot),
+                                     ConstSlice(&slot, sizeof(slot)))
+                    .isOk();
+        }
+        return false;  // table full
+    }
+
+    std::optional<std::string>
+    get(const std::string &key)
+    {
+        for (u64 probe = 0; probe < kSlots; ++probe) {
+            const u64 idx = slotFor(key, probe);
+            Slot slot;
+            if (!load(idx, &slot) || !slot.used)
+                return std::nullopt;
+            if (keyEquals(slot, key))
+                return std::string(slot.value, slot.valueLen);
+        }
+        return std::nullopt;
+    }
+
+  private:
+    struct Slot
+    {
+        u8 used;
+        u8 pad;
+        u16 keyLen;
+        u16 valueLen;
+        u16 pad2;
+        char key[kKeyMax];
+        char value[kValueMax];
+    };
+
+    static u64
+    slotFor(const std::string &key, u64 probe)
+    {
+        return (hashBytes(key.data(), key.size()) + probe) % kSlots;
+    }
+
+    static bool
+    keyEquals(const Slot &slot, const std::string &key)
+    {
+        return slot.keyLen == key.size() &&
+               std::memcmp(slot.key, key.data(), key.size()) == 0;
+    }
+
+    bool
+    load(u64 idx, Slot *out)
+    {
+        auto n = file_->pread(idx * sizeof(Slot),
+                              MutSlice(out, sizeof(Slot)));
+        if (!n.isOk())
+            return false;
+        if (*n < sizeof(Slot))
+            std::memset(reinterpret_cast<u8 *>(out) + *n, 0,
+                        sizeof(Slot) - *n);
+        return true;
+    }
+
+    std::unique_ptr<File> file_;
+};
+
+}  // namespace
+
+int
+main()
+{
+    MgspConfig config;
+    config.arenaSize = 64 * MiB;
+    auto device = std::make_shared<PmemDevice>(config.arenaSize);
+    auto fs = MgspFs::format(device, config);
+    if (!fs.isOk())
+        return 1;
+    auto file = (*fs)->createFile("kv.dat", 8 * MiB);
+    if (!file.isOk())
+        return 1;
+    device->stats().reset();  // don't count format/create in the demo
+
+    KvStore kv(std::move(*file));
+    kv.put("alice", "likes shadow paging");
+    kv.put("bob", "prefers redo logs");
+    kv.put("carol", "uses fine-grained locks");
+    kv.put("bob", "was converted to shadow logs");  // atomic update
+
+    for (const char *key : {"alice", "bob", "carol", "dave"}) {
+        auto value = kv.get(key);
+        std::printf("%-6s -> %s\n", key,
+                    value ? value->c_str() : "(not found)");
+    }
+
+    // Stats: how many device bytes did those puts cost?
+    std::printf("\ndevice bytes written: %llu (logical %llu) — no "
+                "journal, no double write\n",
+                static_cast<unsigned long long>(
+                    device->stats().bytesWritten.load()),
+                static_cast<unsigned long long>(
+                    (*fs)->logicalBytesWritten()));
+    return 0;
+}

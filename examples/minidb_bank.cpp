@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Bank transfers on minidb over MGSP with journal_mode=OFF — the
+ * paper's Fig. 11b/12 configuration: the database trusts the file
+ * system for crash consistency and skips its own journal.
+ *
+ * Runs a batch of transfers, audits the conservation invariant
+ * (total balance constant), then compares the commit cost against
+ * WAL mode on the same engine.
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "common/random.h"
+#include "minidb/db.h"
+#include "mgsp/mgsp_fs.h"
+
+using namespace mgsp;
+using minidb::Database;
+using minidb::DbOptions;
+using minidb::JournalMode;
+
+namespace {
+
+constexpr i64 kAccounts = 500;
+constexpr i64 kInitialBalance = 1000;
+
+i64
+balanceOf(Database *db, i64 account)
+{
+    auto raw = db->get("accounts", account);
+    if (!raw.isOk() || raw->size() != 8)
+        return -1;
+    i64 balance;
+    std::memcpy(&balance, raw->data(), 8);
+    return balance;
+}
+
+bool
+setBalance(Database *db, i64 account, i64 balance)
+{
+    return db->update("accounts", account, ConstSlice(&balance, 8))
+        .isOk();
+}
+
+/** Returns transactions per second, or -1 on failure. */
+double
+runTransfers(FileSystem *fs, JournalMode journal, const char *db_name)
+{
+    DbOptions options;
+    options.journal = journal;
+    options.fileCapacity = 16 * MiB;
+    auto db = Database::open(fs, db_name, options);
+    if (!db.isOk()) {
+        std::printf("open failed: %s\n", db.status().toString().c_str());
+        return -1;
+    }
+    if (!(*db)->createTable("accounts").isOk())
+        return -1;
+    if (!(*db)->begin().isOk())
+        return -1;
+    for (i64 a = 0; a < kAccounts; ++a) {
+        i64 balance = kInitialBalance;
+        if (!(*db)->insert("accounts", a, ConstSlice(&balance, 8)).isOk())
+            return -1;
+    }
+    if (!(*db)->commit().isOk())
+        return -1;
+
+    Rng rng(7);
+    constexpr int kTransfers = 3000;
+    Stopwatch timer;
+    for (int t = 0; t < kTransfers; ++t) {
+        const i64 from = static_cast<i64>(rng.nextBelow(kAccounts));
+        const i64 to = static_cast<i64>(rng.nextBelow(kAccounts));
+        const i64 amount = static_cast<i64>(rng.nextInRange(1, 50));
+        if (from == to)
+            continue;
+        // One multi-row transaction: both updates commit atomically.
+        if (!(*db)->begin().isOk())
+            return -1;
+        setBalance(db->get(), from, balanceOf(db->get(), from) - amount);
+        setBalance(db->get(), to, balanceOf(db->get(), to) + amount);
+        if (!(*db)->commit().isOk())
+            return -1;
+    }
+    const double seconds = timer.elapsedSeconds();
+
+    // Audit: money is conserved.
+    i64 total = 0;
+    for (i64 a = 0; a < kAccounts; ++a)
+        total += balanceOf(db->get(), a);
+    const i64 expected = kAccounts * kInitialBalance;
+    std::printf("  audit: total=%lld expected=%lld  %s\n",
+                static_cast<long long>(total),
+                static_cast<long long>(expected),
+                total == expected ? "CONSERVED" : "VIOLATED");
+    return kTransfers / seconds;
+}
+
+}  // namespace
+
+int
+main()
+{
+    MgspConfig config;
+    config.arenaSize = 128 * MiB;
+    auto device = std::make_shared<PmemDevice>(config.arenaSize);
+    auto fs = MgspFs::format(device, config);
+    if (!fs.isOk())
+        return 1;
+
+    std::printf("journal_mode=OFF on MGSP (FS-level atomicity):\n");
+    const double off_tps =
+        runTransfers(fs->get(), JournalMode::Off, "bank_off.db");
+    std::printf("  %.0f transfers/s\n\n", off_tps);
+
+    std::printf("journal_mode=WAL on MGSP (database journals too):\n");
+    const double wal_tps =
+        runTransfers(fs->get(), JournalMode::Wal, "bank_wal.db");
+    std::printf("  %.0f transfers/s\n\n", wal_tps);
+
+    if (off_tps > 0 && wal_tps > 0) {
+        std::printf("OFF/WAL speedup on MGSP: %.2fx — the database's "
+                    "own journal became\nredundant work because every "
+                    "page write below is already atomic.\n",
+                    off_tps / wal_tps);
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: create an MGSP file system on an emulated PM device,
+ * perform failure-atomic writes, read them back, simulate a crash,
+ * and recover.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "mgsp/mgsp_fs.h"
+
+using namespace mgsp;
+
+int
+main()
+{
+    // 1. An emulated persistent-memory device. Tracked mode models
+    //    x86 persistence exactly: a store survives a crash only after
+    //    flush+fence (or lucky cache eviction).
+    MgspConfig config;
+    config.arenaSize = 64 * MiB;
+    auto device = std::make_shared<PmemDevice>(config.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+
+    // 2. Format and mount MGSP.
+    auto fs = MgspFs::format(device, config);
+    if (!fs.isOk()) {
+        std::printf("format failed: %s\n",
+                    fs.status().toString().c_str());
+        return 1;
+    }
+
+    // 3. Every pwrite is synchronously durable AND atomic: no fsync
+    //    needed, and a crash can never expose a half-applied write.
+    auto file = (*fs)->createFile("notes.txt", 1 * MiB);
+    if (!file.isOk()) {
+        std::printf("create failed: %s\n",
+                    file.status().toString().c_str());
+        return 1;
+    }
+    const std::string v1 = "balance=1000 checksum=OK";
+    const std::string v2 = "balance=0042 checksum=OK";
+    (void)(*file)->pwrite(0, ConstSlice(v1));
+    (void)(*file)->pwrite(0, ConstSlice(v2));  // atomic overwrite
+
+    std::string out(v2.size(), '\0');
+    auto n = (*file)->pread(0, MutSlice(out.data(), out.size()));
+    std::printf("read back (%llu bytes): %s\n",
+                static_cast<unsigned long long>(*n), out.c_str());
+
+    // 4. Crash! Everything not yet durable is dropped (eviction
+    //    probability 0 = the adversarial case).
+    Rng rng(2026);
+    CrashImage image = device->captureCrashImage(rng, /*evict=*/0.0);
+    std::printf("crash image captured (%zu bytes of media)\n",
+                image.media.size());
+
+    // 5. Recover on a fresh device built from the crash image.
+    auto revived =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Flat);
+    auto recovered = MgspFs::mount(revived, config);
+    if (!recovered.isOk()) {
+        std::printf("mount failed: %s\n",
+                    recovered.status().toString().c_str());
+        return 1;
+    }
+    const RecoveryReport &report = (*recovered)->recoveryReport();
+    std::printf("recovered: %u metadata-log entries replayed, "
+                "%u node records scanned, %.2f ms\n",
+                report.liveEntriesReplayed, report.recordsScanned,
+                report.nanos * 1e-6);
+
+    auto file2 = (*recovered)->open("notes.txt", OpenOptions{});
+    std::string out2(v2.size(), '\0');
+    (void)(*file2)->pread(0, MutSlice(out2.data(), out2.size()));
+    std::printf("after crash+recovery: %s\n", out2.c_str());
+    std::printf("%s\n", out2 == v2 ? "OK: the atomic write survived"
+                                   : "BUG: data lost");
+    return out2 == v2 ? 0 : 1;
+}

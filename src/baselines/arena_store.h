@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared extent management for the baseline storage engines.
+ *
+ * The baselines reproduce the *cost structure* of their real systems
+ * (media writes, flushes, fences, syscalls, journal/log/CoW traffic,
+ * locking) for the benchmark comparisons; their naming metadata is
+ * kept in DRAM, since none of the paper's experiments crash-test the
+ * baselines.
+ */
+#ifndef MGSP_BASELINES_ARENA_STORE_H
+#define MGSP_BASELINES_ARENA_STORE_H
+
+#include <mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "pmem/pmem_device.h"
+
+namespace mgsp {
+
+/** Bump allocator for file extents and log areas in a PM arena. */
+class ArenaStore
+{
+  public:
+    explicit ArenaStore(PmemDevice *device, u64 base = 0)
+        : device_(device), cursor_(base)
+    {
+    }
+
+    PmemDevice *device() { return device_; }
+
+    /** Allocates @p size bytes (4 KiB aligned). */
+    StatusOr<u64>
+    alloc(u64 size)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        const u64 aligned = (cursor_ + 4095) & ~u64{4095};
+        if (aligned + size > device_->size())
+            return Status::outOfSpace("arena exhausted");
+        cursor_ = aligned + size;
+        return aligned;
+    }
+
+  private:
+    PmemDevice *device_;
+    std::mutex mutex_;
+    u64 cursor_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_BASELINES_ARENA_STORE_H

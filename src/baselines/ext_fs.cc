@@ -1,0 +1,316 @@
+#include "baselines/ext_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/align.h"
+#include "common/logging.h"
+
+namespace mgsp {
+
+namespace {
+constexpr u64 kPage = 4 * KiB;
+}  // namespace
+
+/** Handle over one ExtFs inode. */
+class ExtFile : public File
+{
+  public:
+    ExtFile(ExtFs *fs, std::shared_ptr<ExtFs::Inode> inode)
+        : fs_(fs), inode_(std::move(inode))
+    {
+    }
+
+    StatusOr<u64>
+    pread(u64 offset, MutSlice dst) override
+    {
+        fs_->device_->latency().chargeSyscall();
+        SharedGuard guard(inode_->lock);
+        const u64 size = inode_->fileSize.load(std::memory_order_acquire);
+        if (offset >= size || dst.empty())
+            return u64{0};
+        const u64 n = std::min<u64>(dst.size(), size - offset);
+        if (fs_->options_.dax) {
+            fs_->device_->read(inode_->extentOff + offset, dst.data(), n);
+            fs_->device_->latency().chargeRead(n);
+        } else {
+            readThroughCache(offset, MutSlice(dst.data(), n));
+        }
+        return n;
+    }
+
+    Status
+    pwrite(u64 offset, ConstSlice src) override
+    {
+        fs_->device_->latency().chargeSyscall();
+        ExclusiveGuard guard(inode_->lock);
+        if (offset + src.size() > inode_->capacity)
+            return Status::outOfSpace("write beyond extent");
+        const u64 size = inode_->fileSize.load(std::memory_order_acquire);
+        if (fs_->options_.dax) {
+            // Direct store to media + flush; Ext4-DAX syncs data in
+            // the write path but journals only metadata.
+            fs_->device_->write(inode_->extentOff + offset, src.data(),
+                                src.size());
+            fs_->device_->flush(inode_->extentOff + offset, src.size());
+            fs_->device_->fence();
+        } else {
+            writeToCache(offset, src);
+        }
+        if (offset + src.size() > size) {
+            inode_->fileSize.store(offset + src.size(),
+                                   std::memory_order_release);
+            if (fs_->options_.dax) {
+                // i_size update journaled synchronously under DAX.
+                fs_->journalCommit(0);
+            } else {
+                inode_->metaDirty.store(true, std::memory_order_release);
+            }
+        }
+        fs_->logicalBytes_.fetch_add(src.size(),
+                                     std::memory_order_relaxed);
+        return Status::ok();
+    }
+
+    Status
+    sync() override
+    {
+        fs_->device_->latency().chargeSyscall();
+        ExclusiveGuard guard(inode_->lock);
+        if (fs_->options_.dax) {
+            // Data already durable; commit pending metadata if any.
+            if (inode_->metaDirty.exchange(false))
+                fs_->journalCommit(0);
+            return Status::ok();
+        }
+        // Flush dirty page-cache pages to media.
+        std::lock_guard<std::mutex> cache_guard(inode_->cacheMutex);
+        u64 flushed = 0;
+        for (u64 page = 0; page < inode_->dirty.size(); ++page) {
+            if (!inode_->dirty[page])
+                continue;
+            const u64 off = inode_->extentOff + page * kPage;
+            fs_->device_->write(off, inode_->pageCache[page].data(),
+                                kPage);
+            fs_->device_->flush(off, kPage);
+            inode_->dirty[page] = false;
+            flushed += kPage;
+        }
+        if (flushed > 0)
+            fs_->device_->fence();
+        // Journal commit: metadata always; in data-journal mode the
+        // data passes through the journal as well (the double write).
+        const bool meta = inode_->metaDirty.exchange(false);
+        if (flushed > 0 || meta) {
+            const u64 journaled_data =
+                fs_->options_.mode == Ext4Mode::Journal ? flushed : 0;
+            fs_->journalCommit(journaled_data);
+        }
+        return Status::ok();
+    }
+
+    u64
+    size() const override
+    {
+        return inode_->fileSize.load(std::memory_order_acquire);
+    }
+
+    Status
+    truncate(u64 new_size) override
+    {
+        fs_->device_->latency().chargeSyscall();
+        ExclusiveGuard guard(inode_->lock);
+        if (new_size > inode_->capacity)
+            return Status::outOfSpace("truncate beyond extent");
+        const u64 old = inode_->fileSize.load(std::memory_order_acquire);
+        if (new_size < old) {
+            if (fs_->options_.dax) {
+                fs_->device_->fill(inode_->extentOff + new_size, 0,
+                                   old - new_size);
+            } else {
+                std::lock_guard<std::mutex> cache_guard(
+                    inode_->cacheMutex);
+                for (u64 page = new_size / kPage;
+                     page < inode_->pageCache.size(); ++page) {
+                    std::fill(inode_->pageCache[page].begin(),
+                              inode_->pageCache[page].end(), 0);
+                }
+                fs_->device_->fill(inode_->extentOff + new_size, 0,
+                                   old - new_size);
+            }
+        }
+        inode_->fileSize.store(new_size, std::memory_order_release);
+        fs_->journalCommit(0);
+        return Status::ok();
+    }
+
+  private:
+    void
+    ensureCachePages(u64 end_page)
+    {
+        if (inode_->pageCache.size() < end_page) {
+            inode_->pageCache.resize(end_page);
+            inode_->dirty.resize(end_page, false);
+        }
+        for (u64 p = 0; p < end_page; ++p) {
+            if (inode_->pageCache[p].empty()) {
+                inode_->pageCache[p].assign(kPage, 0);
+                // Fault the page in from media.
+                fs_->device_->read(inode_->extentOff + p * kPage,
+                                   inode_->pageCache[p].data(), kPage);
+            }
+        }
+    }
+
+    void
+    writeToCache(u64 offset, ConstSlice src)
+    {
+        std::lock_guard<std::mutex> cache_guard(inode_->cacheMutex);
+        const u64 first = offset / kPage;
+        const u64 last = (offset + src.size() - 1) / kPage;
+        ensureCachePages(last + 1);
+        u64 copied = 0;
+        for (u64 p = first; p <= last; ++p) {
+            const u64 page_start = p * kPage;
+            const u64 lo = std::max(offset, page_start);
+            const u64 hi = std::min(offset + src.size(),
+                                    page_start + kPage);
+            std::memcpy(inode_->pageCache[p].data() + (lo - page_start),
+                        src.data() + copied, hi - lo);
+            copied += hi - lo;
+            inode_->dirty[p] = true;
+        }
+    }
+
+    void
+    readThroughCache(u64 offset, MutSlice dst)
+    {
+        std::lock_guard<std::mutex> cache_guard(inode_->cacheMutex);
+        const u64 first = offset / kPage;
+        const u64 last = (offset + dst.size() - 1) / kPage;
+        ensureCachePages(last + 1);
+        u64 copied = 0;
+        for (u64 p = first; p <= last; ++p) {
+            const u64 page_start = p * kPage;
+            const u64 lo = std::max(offset, page_start);
+            const u64 hi = std::min(offset + dst.size(),
+                                    page_start + kPage);
+            std::memcpy(dst.data() + copied,
+                        inode_->pageCache[p].data() + (lo - page_start),
+                        hi - lo);
+            copied += hi - lo;
+        }
+    }
+
+    ExtFs *fs_;
+    std::shared_ptr<ExtFs::Inode> inode_;
+};
+
+ExtFs::ExtFs(std::shared_ptr<PmemDevice> device, const Ext4Options &options)
+    : device_(std::move(device)), options_(options), store_(device_.get())
+{
+    if (options_.dax && options_.mode == Ext4Mode::Journal)
+        MGSP_FATAL("Ext4-DAX does not support data-journal mode");
+    StatusOr<u64> journal = store_.alloc(kJournalBytes);
+    MGSP_CHECK(journal.isOk());
+    journalOff_ = *journal;
+}
+
+const char *
+ExtFs::name() const
+{
+    if (options_.dax)
+        return "ext4-dax";
+    switch (options_.mode) {
+      case Ext4Mode::Writeback: return "ext4-wb";
+      case Ext4Mode::Ordered: return "ext4-ordered";
+      case Ext4Mode::Journal: return "ext4-journal";
+    }
+    return "ext4";
+}
+
+void
+ExtFs::journalCommit(u64 data_bytes)
+{
+    // A jbd2 transaction: descriptor block, then (optionally) the
+    // journaled data payload, then the commit block — persisted with
+    // the commit strictly ordered after the payload. Payloads larger
+    // than half the journal would wrap in reality; clamp them (the
+    // cost charged below already scaled with the full size via the
+    // caller's page flushes).
+    data_bytes = std::min(data_bytes, kJournalBytes / 2 - 2 * kPage);
+    const u64 record = alignUp(kPage + data_bytes + kPage, kPage);
+    u64 pos = journalPos_.fetch_add(record) % (kJournalBytes / 2);
+    pos = alignDown(pos, kPage);
+    const u64 base = journalOff_ + pos;
+    device_->fill(base, 0xD5, kPage);  // descriptor block
+    device_->flush(base, kPage);
+    if (data_bytes > 0) {
+        device_->fill(base + kPage, 0xDA, data_bytes);
+        device_->flush(base + kPage, data_bytes);
+    }
+    device_->fence();
+    device_->fill(base + kPage + data_bytes, 0xC0, kPage);  // commit
+    device_->flush(base + kPage + data_bytes, kPage);
+    device_->fence();
+}
+
+StatusOr<std::unique_ptr<File>>
+ExtFs::open(const std::string &path, const OpenOptions &options)
+{
+    device_->latency().chargeSyscall();
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    auto it = inodes_.find(path);
+    if (it == inodes_.end()) {
+        if (!options.create)
+            return Status::notFound("no such file: " + path);
+        StatusOr<u64> extent = store_.alloc(options_.defaultFileCapacity);
+        if (!extent.isOk())
+            return extent.status();
+        auto inode = std::make_shared<Inode>();
+        inode->extentOff = *extent;
+        inode->capacity = options_.defaultFileCapacity;
+        it = inodes_.emplace(path, std::move(inode)).first;
+    }
+    auto handle = std::make_unique<ExtFile>(this, it->second);
+    if (options.truncate)
+        MGSP_RETURN_IF_ERROR(handle->truncate(0));
+    return std::unique_ptr<File>(std::move(handle));
+}
+
+StatusOr<std::unique_ptr<File>>
+ExtFs::createFile(const std::string &path, u64 capacity)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (inodes_.count(path))
+        return Status::alreadyExists("file exists: " + path);
+    StatusOr<u64> extent = store_.alloc(capacity);
+    if (!extent.isOk())
+        return extent.status();
+    auto inode = std::make_shared<Inode>();
+    inode->extentOff = *extent;
+    inode->capacity = capacity;
+    auto [it, ok] = inodes_.emplace(path, std::move(inode));
+    (void)ok;
+    return std::unique_ptr<File>(
+        std::make_unique<ExtFile>(this, it->second));
+}
+
+Status
+ExtFs::remove(const std::string &path)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (inodes_.erase(path) == 0)
+        return Status::notFound("no such file: " + path);
+    journalCommit(0);
+    return Status::ok();
+}
+
+bool
+ExtFs::exists(const std::string &path) const
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    return inodes_.count(path) != 0;
+}
+
+}  // namespace mgsp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Model of the Ext4 family of baselines (paper Figs. 1, 7-13).
+ *
+ * Four variants, selected by Ext4Options:
+ *  - mode=Writeback / Ordered (non-DAX): writes land in the DRAM page
+ *    cache and return; only fsync() pushes dirty pages to media and
+ *    commits the metadata journal. Fast when never synced, pays the
+ *    full data transfer plus journal commit per fsync.
+ *  - mode=Journal (non-DAX): like Ordered but fsync() additionally
+ *    writes every dirty data page through the journal first — the
+ *    classic data-journaling double write.
+ *  - dax=true (Ext4-DAX): no page cache; data goes straight to media
+ *    (charged synchronously); only metadata (size changes) is
+ *    journaled; journal mode is unsupported, matching the paper.
+ *
+ * Every operation pays one kernel crossing (LatencyModel::chargeSyscall)
+ * and takes the inode's rw-lock — the file-level locking whose poor
+ * multi-thread scaling Fig. 10 shows.
+ */
+#ifndef MGSP_BASELINES_EXT_FS_H
+#define MGSP_BASELINES_EXT_FS_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baselines/arena_store.h"
+#include "common/spin_lock.h"
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+/** Ext4 journal mode (journal applies to non-DAX only). */
+enum class Ext4Mode { Writeback, Ordered, Journal };
+
+/** Configuration of one mounted Ext4 model instance. */
+struct Ext4Options
+{
+    Ext4Mode mode = Ext4Mode::Ordered;
+    bool dax = true;
+    /** Default capacity for open(create). */
+    u64 defaultFileCapacity = 64 * MiB;
+};
+
+/** The Ext4/Ext4-DAX model. */
+class ExtFs : public FileSystem
+{
+  public:
+    ExtFs(std::shared_ptr<PmemDevice> device, const Ext4Options &options);
+
+    const char *name() const override;
+    ConsistencyLevel
+    consistency() const override
+    {
+        return ConsistencyLevel::MetadataOnly;
+    }
+
+    StatusOr<std::unique_ptr<File>>
+    open(const std::string &path, const OpenOptions &options) override;
+    StatusOr<std::unique_ptr<File>> createFile(const std::string &path,
+                                               u64 capacity);
+    Status remove(const std::string &path) override;
+    bool exists(const std::string &path) const override;
+
+    u64
+    logicalBytesWritten() const override
+    {
+        return logicalBytes_.load(std::memory_order_relaxed);
+    }
+
+    PmemDevice *device() { return device_.get(); }
+
+  private:
+    friend class ExtFile;
+
+    struct Inode
+    {
+        u64 extentOff = 0;
+        u64 capacity = 0;
+        std::atomic<u64> fileSize{0};
+        RwSpinLock lock;  ///< the per-file kernel inode lock
+        /// Non-DAX: the page cache (4 KiB pages) and its dirty set.
+        std::vector<std::vector<u8>> pageCache;
+        std::vector<bool> dirty;
+        std::atomic<bool> metaDirty{false};
+        std::mutex cacheMutex;
+    };
+
+    /** Charges one journal transaction commit for @p data_bytes. */
+    void journalCommit(u64 data_bytes);
+
+    std::shared_ptr<PmemDevice> device_;
+    Ext4Options options_;
+    ArenaStore store_;
+    u64 journalOff_ = 0;            ///< circular journal area
+    std::atomic<u64> journalPos_{0};
+    static constexpr u64 kJournalBytes = 8 * MiB;
+
+    mutable std::mutex tableMutex_;
+    std::map<std::string, std::shared_ptr<Inode>> inodes_;
+    std::atomic<u64> logicalBytes_{0};
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_BASELINES_EXT_FS_H

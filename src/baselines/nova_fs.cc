@@ -1,0 +1,270 @@
+#include "baselines/nova_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/align.h"
+#include "common/logging.h"
+
+namespace mgsp {
+
+namespace {
+constexpr u64 kPage = 4 * KiB;
+}  // namespace
+
+/** Handle over one NovaFs inode. */
+class NovaFile : public File
+{
+  public:
+    NovaFile(NovaFs *fs, std::shared_ptr<NovaFs::Inode> inode)
+        : fs_(fs), inode_(std::move(inode))
+    {
+    }
+
+    StatusOr<u64>
+    pread(u64 offset, MutSlice dst) override
+    {
+        fs_->device_->latency().chargeSyscall();
+        SharedGuard guard(inode_->lock);
+        const u64 size = inode_->fileSize.load(std::memory_order_acquire);
+        if (offset >= size || dst.empty())
+            return u64{0};
+        const u64 n = std::min<u64>(dst.size(), size - offset);
+        u64 copied = 0;
+        while (copied < n) {
+            const u64 pos = offset + copied;
+            const u64 page = pos / kPage;
+            const u64 in_page = pos % kPage;
+            const u64 chunk = std::min(n - copied, kPage - in_page);
+            const u64 page_off = inode_->pages[page];
+            if (page_off == 0) {
+                std::memset(dst.data() + copied, 0, chunk);
+            } else {
+                fs_->device_->read(page_off + in_page, dst.data() + copied,
+                                   chunk);
+            }
+            copied += chunk;
+        }
+        fs_->device_->latency().chargeRead(n);
+        return n;
+    }
+
+    Status
+    pwrite(u64 offset, ConstSlice src) override
+    {
+        fs_->device_->latency().chargeSyscall();
+        ExclusiveGuard guard(inode_->lock);
+        if (offset + src.size() > inode_->capacity)
+            return Status::outOfSpace("write beyond extent");
+
+        // Copy-on-write: every touched page gets a fresh page.
+        const u64 first = offset / kPage;
+        const u64 last = (offset + src.size() - 1) / kPage;
+        u64 copied = 0;
+        for (u64 page = first; page <= last; ++page) {
+            StatusOr<u64> fresh = fs_->allocPage();
+            if (!fresh.isOk())
+                return fresh.status();
+            const u64 page_start = page * kPage;
+            const u64 lo = std::max(offset, page_start);
+            const u64 hi = std::min(offset + src.size(),
+                                    page_start + kPage);
+            const u64 old_page = inode_->pages[page];
+            // Complete the page from the old copy (or zeros) — the
+            // full-page write amplification of CoW for small writes.
+            if (lo > page_start) {
+                if (old_page != 0) {
+                    fs_->device_->write(*fresh,
+                                        fs_->device_->rawRead(old_page),
+                                        lo - page_start);
+                } else {
+                    fs_->device_->fill(*fresh, 0, lo - page_start);
+                }
+            }
+            fs_->device_->write(*fresh + (lo - page_start),
+                                src.data() + copied, hi - lo);
+            if (hi < page_start + kPage) {
+                if (old_page != 0) {
+                    fs_->device_->write(
+                        *fresh + (hi - page_start),
+                        fs_->device_->rawRead(old_page +
+                                              (hi - page_start)),
+                        page_start + kPage - hi);
+                } else {
+                    fs_->device_->fill(*fresh + (hi - page_start), 0,
+                                       page_start + kPage - hi);
+                }
+            }
+            fs_->device_->flush(*fresh, kPage);
+            copied += hi - lo;
+            if (old_page != 0)
+                fs_->recyclePage(old_page);
+            inode_->pages[page] = *fresh;
+        }
+        fs_->device_->fence();  // data durable before the log commit
+        fs_->appendLogEntry(inode_.get());
+
+        const u64 size = inode_->fileSize.load(std::memory_order_acquire);
+        if (offset + src.size() > size)
+            inode_->fileSize.store(offset + src.size(),
+                                   std::memory_order_release);
+        fs_->logicalBytes_.fetch_add(src.size(),
+                                     std::memory_order_relaxed);
+        return Status::ok();
+    }
+
+    /** NOVA's write path is synchronous; fsync only crosses. */
+    Status
+    sync() override
+    {
+        fs_->device_->latency().chargeSyscall();
+        return Status::ok();
+    }
+
+    u64
+    size() const override
+    {
+        return inode_->fileSize.load(std::memory_order_acquire);
+    }
+
+    Status
+    truncate(u64 new_size) override
+    {
+        fs_->device_->latency().chargeSyscall();
+        ExclusiveGuard guard(inode_->lock);
+        if (new_size > inode_->capacity)
+            return Status::outOfSpace("truncate beyond extent");
+        const u64 old = inode_->fileSize.load(std::memory_order_acquire);
+        if (new_size < old) {
+            // Drop whole pages past the new size; zero the partial
+            // tail page copy-on-write style.
+            for (u64 page = ceilDiv(new_size, kPage);
+                 page < inode_->pages.size(); ++page)
+                inode_->pages[page] = 0;
+            const u64 in_page = new_size % kPage;
+            const u64 page = new_size / kPage;
+            if (in_page != 0 && inode_->pages[page] != 0) {
+                StatusOr<u64> fresh = fs_->allocPage();
+                if (!fresh.isOk())
+                    return fresh.status();
+                fs_->device_->write(
+                    *fresh, fs_->device_->rawRead(inode_->pages[page]),
+                    in_page);
+                fs_->device_->fill(*fresh + in_page, 0, kPage - in_page);
+                fs_->device_->flush(*fresh, kPage);
+                fs_->device_->fence();
+                inode_->pages[page] = *fresh;
+            }
+        }
+        inode_->fileSize.store(new_size, std::memory_order_release);
+        fs_->appendLogEntry(inode_.get());
+        return Status::ok();
+    }
+
+  private:
+    NovaFs *fs_;
+    std::shared_ptr<NovaFs::Inode> inode_;
+};
+
+NovaFs::NovaFs(std::shared_ptr<PmemDevice> device,
+               const NovaOptions &options)
+    : device_(std::move(device)), options_(options), store_(device_.get())
+{
+}
+
+StatusOr<u64>
+NovaFs::allocPage()
+{
+    {
+        std::lock_guard<SpinLock> guard(freePagesLock_);
+        if (!freePages_.empty()) {
+            const u64 page = freePages_.back();
+            freePages_.pop_back();
+            return page;
+        }
+    }
+    return store_.alloc(kPage);
+}
+
+void
+NovaFs::recyclePage(u64 page_off)
+{
+    std::lock_guard<SpinLock> guard(freePagesLock_);
+    freePages_.push_back(page_off);
+}
+
+void
+NovaFs::appendLogEntry(Inode *inode)
+{
+    // 64-byte log entry, then the 8-byte atomic tail commit.
+    const u64 entry = inode->logOff + (inode->logPos % kInodeLogBytes);
+    device_->fill(alignDown(entry, kCacheLineSize), 0xE7, kCacheLineSize);
+    device_->flush(alignDown(entry, kCacheLineSize), kCacheLineSize);
+    inode->logPos += kCacheLineSize;
+    device_->store64(inode->logOff, inode->logPos);  // tail pointer
+    device_->flush(inode->logOff, 8);
+    device_->fence();
+}
+
+StatusOr<std::unique_ptr<File>>
+NovaFs::open(const std::string &path, const OpenOptions &options)
+{
+    device_->latency().chargeSyscall();
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    auto it = inodes_.find(path);
+    if (it == inodes_.end()) {
+        if (!options.create)
+            return Status::notFound("no such file: " + path);
+        StatusOr<u64> log = store_.alloc(kInodeLogBytes);
+        if (!log.isOk())
+            return log.status();
+        auto inode = std::make_shared<Inode>();
+        inode->capacity = options_.defaultFileCapacity;
+        inode->pages.assign(inode->capacity / kPage + 1, 0);
+        inode->logOff = *log;
+        inode->logPos = kCacheLineSize;  // slot 0 holds the tail word
+        it = inodes_.emplace(path, std::move(inode)).first;
+    }
+    auto handle = std::make_unique<NovaFile>(this, it->second);
+    if (options.truncate)
+        MGSP_RETURN_IF_ERROR(handle->truncate(0));
+    return std::unique_ptr<File>(std::move(handle));
+}
+
+StatusOr<std::unique_ptr<File>>
+NovaFs::createFile(const std::string &path, u64 capacity)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (inodes_.count(path))
+        return Status::alreadyExists("file exists: " + path);
+    StatusOr<u64> log = store_.alloc(kInodeLogBytes);
+    if (!log.isOk())
+        return log.status();
+    auto inode = std::make_shared<Inode>();
+    inode->capacity = capacity;
+    inode->pages.assign(capacity / kPage + 1, 0);
+    inode->logOff = *log;
+    inode->logPos = kCacheLineSize;
+    auto [it, ok] = inodes_.emplace(path, std::move(inode));
+    (void)ok;
+    return std::unique_ptr<File>(
+        std::make_unique<NovaFile>(this, it->second));
+}
+
+Status
+NovaFs::remove(const std::string &path)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (inodes_.erase(path) == 0)
+        return Status::notFound("no such file: " + path);
+    return Status::ok();
+}
+
+bool
+NovaFs::exists(const std::string &path) const
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    return inodes_.count(path) != 0;
+}
+
+}  // namespace mgsp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Model of NOVA (Xu & Swanson, FAST'16) — the kernel log-structured
+ * NVM file system baseline.
+ *
+ * Write path: copy-on-write at 4 KiB page granularity. Every write
+ * allocates fresh data pages; a partially covered page is completed
+ * by copying the old page's untouched bytes (full-page write
+ * amplification for sub-4K writes — the effect Fig. 8's fine-grained
+ * columns show). A 64-byte log entry is appended to the per-inode
+ * log and the log tail is committed with an 8-byte atomic update,
+ * giving per-operation data atomicity.
+ *
+ * Costs: one kernel crossing per operation; per-inode write lock
+ * (NOVA serialises writers per inode); media writes for data pages +
+ * log entries + two persistence fences per write.
+ */
+#ifndef MGSP_BASELINES_NOVA_FS_H
+#define MGSP_BASELINES_NOVA_FS_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baselines/arena_store.h"
+#include "common/spin_lock.h"
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+/** Configuration of the NOVA model. */
+struct NovaOptions
+{
+    u64 defaultFileCapacity = 64 * MiB;
+};
+
+/** The NOVA model. */
+class NovaFs : public FileSystem
+{
+  public:
+    NovaFs(std::shared_ptr<PmemDevice> device, const NovaOptions &options);
+
+    const char *name() const override { return "nova"; }
+    ConsistencyLevel
+    consistency() const override
+    {
+        return ConsistencyLevel::OperationAtomic;
+    }
+
+    StatusOr<std::unique_ptr<File>>
+    open(const std::string &path, const OpenOptions &options) override;
+    StatusOr<std::unique_ptr<File>> createFile(const std::string &path,
+                                               u64 capacity);
+    Status remove(const std::string &path) override;
+    bool exists(const std::string &path) const override;
+
+    u64
+    logicalBytesWritten() const override
+    {
+        return logicalBytes_.load(std::memory_order_relaxed);
+    }
+
+    PmemDevice *device() { return device_.get(); }
+
+  private:
+    friend class NovaFile;
+
+    struct Inode
+    {
+        u64 capacity = 0;
+        std::atomic<u64> fileSize{0};
+        /// Page table: arena offset of each 4 KiB page (0 = hole).
+        std::vector<u64> pages;
+        RwSpinLock lock;  ///< per-inode lock (writers serialised)
+        u64 logOff = 0;   ///< per-inode log area
+        u64 logPos = 0;
+    };
+
+    /** Appends a log entry + commits the tail (two fences). */
+    void appendLogEntry(Inode *inode);
+
+    /** Allocates a data page, recycling superseded CoW pages. */
+    StatusOr<u64> allocPage();
+    /** Returns a superseded page to the free list. */
+    void recyclePage(u64 page_off);
+
+    std::shared_ptr<PmemDevice> device_;
+    NovaOptions options_;
+    ArenaStore store_;
+
+    mutable std::mutex tableMutex_;
+    std::map<std::string, std::shared_ptr<Inode>> inodes_;
+    std::atomic<u64> logicalBytes_{0};
+
+    SpinLock freePagesLock_;
+    std::vector<u64> freePages_;
+
+    static constexpr u64 kInodeLogBytes = 1 * MiB;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_BASELINES_NOVA_FS_H

@@ -1,0 +1,383 @@
+#include "baselines/nvmmio_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/align.h"
+#include "common/logging.h"
+
+namespace mgsp {
+
+namespace {
+constexpr u64 kBlock = 4 * KiB;
+constexpr u64 kLogUnit = 64;  ///< differential-log validity granule
+/// Queue length at which sync() drains synchronously (the real
+/// system's bounded epoch buffers exert the same backpressure).
+constexpr u64 kCheckpointBackpressure = 2048;
+}  // namespace
+
+/** Handle over one NvmmioFs inode. */
+class NvmmioFile : public File
+{
+  public:
+    NvmmioFile(NvmmioFs *fs, std::shared_ptr<NvmmioFs::Inode> inode)
+        : fs_(fs), inode_(std::move(inode))
+    {
+    }
+
+    StatusOr<u64>
+    pread(u64 offset, MutSlice dst) override
+    {
+        const u64 size = inode_->fileSize.load(std::memory_order_acquire);
+        if (offset >= size || dst.empty())
+            return u64{0};
+        const u64 n = std::min<u64>(dst.size(), size - offset);
+        u64 copied = 0;
+        while (copied < n) {
+            const u64 pos = offset + copied;
+            const u64 block = pos / kBlock;
+            const u64 in_block = pos % kBlock;
+            const u64 chunk = std::min(n - copied, kBlock - in_block);
+            readBlock(block, in_block, dst.data() + copied, chunk);
+            copied += chunk;
+        }
+        fs_->device_->latency().chargeRead(n);
+        return n;
+    }
+
+    Status
+    pwrite(u64 offset, ConstSlice src) override
+    {
+        if (offset + src.size() > inode_->capacity)
+            return Status::outOfSpace("write beyond extent");
+        u64 written = 0;
+        while (written < src.size()) {
+            const u64 pos = offset + written;
+            const u64 block = pos / kBlock;
+            const u64 in_block = pos % kBlock;
+            const u64 chunk =
+                std::min(src.size() - written, kBlock - in_block);
+            MGSP_RETURN_IF_ERROR(
+                writeBlock(block, in_block, src.data() + written, chunk));
+            written += chunk;
+        }
+        u64 size = inode_->fileSize.load(std::memory_order_acquire);
+        while (offset + src.size() > size &&
+               !inode_->fileSize.compare_exchange_weak(
+                   size, offset + src.size(), std::memory_order_acq_rel))
+            ;
+        fs_->logicalBytes_.fetch_add(src.size(),
+                                     std::memory_order_relaxed);
+        return Status::ok();
+    }
+
+    Status
+    sync() override
+    {
+        // Epoch change: the logs are already durable, so sync only
+        // flips the epoch and hands the pending logs to the
+        // checkpointer (the double write happens there).
+        fs_->device_->latency().chargeSyscall();  // underlying msync
+        fs_->epochSync(inode_.get());
+        return Status::ok();
+    }
+
+    u64
+    size() const override
+    {
+        return inode_->fileSize.load(std::memory_order_acquire);
+    }
+
+    Status
+    truncate(u64 new_size) override
+    {
+        if (new_size > inode_->capacity)
+            return Status::outOfSpace("truncate beyond extent");
+        fs_->checkpointAll(inode_.get());
+        const u64 old = inode_->fileSize.load(std::memory_order_acquire);
+        if (new_size < old)
+            fs_->device_->fill(inode_->extentOff + new_size, 0,
+                               old - new_size);
+        inode_->fileSize.store(new_size, std::memory_order_release);
+        return Status::ok();
+    }
+
+  private:
+    void
+    readBlock(u64 block, u64 in_block, u8 *out, u64 len)
+    {
+        NvmmioFs::BlockLog *log =
+            fs_->blockLog(inode_.get(), block, /*create=*/false);
+        const u64 file_off = inode_->extentOff + block * kBlock + in_block;
+        if (log == nullptr) {
+            fs_->device_->read(file_off, out, len);
+            return;
+        }
+        SharedGuard guard(log->lock);
+        fs_->device_->read(file_off, out, len);
+        if (log->dirtyHi > log->dirtyLo) {
+            // Merge newest log bytes over the file bytes.
+            for (u64 u = in_block / kLogUnit;
+                 u <= (in_block + len - 1) / kLogUnit; ++u) {
+                if (!log->valid[u])
+                    continue;
+                const u64 lo = std::max(in_block, u * kLogUnit);
+                const u64 hi = std::min(in_block + len,
+                                        (u + 1) * kLogUnit);
+                fs_->device_->read(log->logOff + lo, out + (lo - in_block),
+                                   hi - lo);
+            }
+        }
+    }
+
+    Status
+    writeBlock(u64 block, u64 in_block, const u8 *data, u64 len)
+    {
+        NvmmioFs::BlockLog *log =
+            fs_->blockLog(inode_.get(), block, /*create=*/true);
+        if (log == nullptr)
+            return Status::outOfSpace("log area exhausted");
+        ExclusiveGuard guard(log->lock);
+        // Differential logging: persist only the written bytes plus
+        // the per-entry metadata (modelled as one cache line).
+        const bool was_clean = log->dirtyHi == log->dirtyLo;
+        // Edge units covered only partially and not yet logged must
+        // be completed from the file so the unit's log bytes are
+        // whole (the real system tracks exact byte ranges instead).
+        const u64 first_unit = in_block / kLogUnit;
+        const u64 last_unit = (in_block + len - 1) / kLogUnit;
+        const u64 file_base = inode_->extentOff + block * kBlock;
+        if (in_block % kLogUnit != 0 && !log->valid[first_unit]) {
+            const u64 lo = first_unit * kLogUnit;
+            fs_->device_->write(log->logOff + lo,
+                                fs_->device_->rawRead(file_base + lo),
+                                in_block - lo);
+        }
+        if ((in_block + len) % kLogUnit != 0 && !log->valid[last_unit]) {
+            const u64 hi = std::min((last_unit + 1) * kLogUnit, kBlock);
+            fs_->device_->write(
+                log->logOff + in_block + len,
+                fs_->device_->rawRead(file_base + in_block + len),
+                hi - (in_block + len));
+        }
+        fs_->device_->write(log->logOff + in_block, data, len);
+        fs_->device_->flush(log->logOff + in_block, len);
+        for (u64 u = first_unit; u <= last_unit; ++u)
+            log->valid[u] = true;
+        log->dirtyLo = was_clean ? in_block
+                                 : std::min(log->dirtyLo, in_block);
+        log->dirtyHi = std::max(log->dirtyHi, in_block + len);
+        // Log-entry metadata update (epoch, lengths) + fence.
+        fs_->device_->flush(log->logOff, kCacheLineSize);
+        fs_->device_->fence();
+        if (was_clean) {
+            inode_->pendingBlocks.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<SpinLock> dirty_guard(
+                inode_->dirtyListLock);
+            inode_->dirtyList.push_back(block);
+        }
+        return Status::ok();
+    }
+
+    NvmmioFs *fs_;
+    std::shared_ptr<NvmmioFs::Inode> inode_;
+};
+
+NvmmioFs::NvmmioFs(std::shared_ptr<PmemDevice> device,
+                   const NvmmioOptions &options)
+    : device_(std::move(device)), options_(options), store_(device_.get())
+{
+    if (options_.backgroundCheckpoint)
+        background_ = std::thread([this] { backgroundLoop(); });
+}
+
+NvmmioFs::~NvmmioFs()
+{
+    stopBackground_.store(true);
+    if (background_.joinable())
+        background_.join();
+    for (auto &[name, inode] : inodes_)
+        checkpointAll(inode.get());
+}
+
+NvmmioFs::BlockLog *
+NvmmioFs::blockLog(Inode *inode, u64 block_idx, bool create)
+{
+    if (block_idx >= inode->blocks.size())
+        return nullptr;
+    BlockLog *log = inode->blocks[block_idx].get();
+    if (log != nullptr || !create)
+        return log;
+    std::lock_guard<SpinLock> guard(inode->blockInit);
+    log = inode->blocks[block_idx].get();
+    if (log != nullptr)
+        return log;
+    StatusOr<u64> block = store_.alloc(kBlock);
+    if (!block.isOk())
+        return nullptr;
+    auto fresh = std::make_unique<BlockLog>();
+    fresh->logOff = *block;
+    fresh->valid.assign(kBlock / kLogUnit, false);
+    inode->blocks[block_idx] = std::move(fresh);
+    return inode->blocks[block_idx].get();
+}
+
+void
+NvmmioFs::checkpointBlockLocked(Inode *inode, u64 block_idx, BlockLog *log)
+{
+    if (log->dirtyHi <= log->dirtyLo)
+        return;
+    // The double write: copy every valid logged unit back into the
+    // file (runs of adjacent valid units copy as one transfer).
+    const u64 units = kBlock / kLogUnit;
+    for (u64 u = 0; u < units;) {
+        if (!log->valid[u]) {
+            ++u;
+            continue;
+        }
+        u64 end = u;
+        while (end + 1 < units && log->valid[end + 1])
+            ++end;
+        const u64 lo = u * kLogUnit;
+        const u64 len = (end - u + 1) * kLogUnit;
+        device_->write(inode->extentOff + block_idx * kBlock + lo,
+                       device_->rawRead(log->logOff + lo), len);
+        device_->flush(inode->extentOff + block_idx * kBlock + lo, len);
+        u = end + 1;
+    }
+    device_->fence();
+    log->dirtyLo = log->dirtyHi = 0;
+    std::fill(log->valid.begin(), log->valid.end(), false);
+    inode->pendingBlocks.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+NvmmioFs::drainBlocks(Inode *inode, const std::vector<u64> &blocks)
+{
+    for (u64 b : blocks) {
+        BlockLog *log = inode->blocks[b].get();
+        if (log == nullptr)
+            continue;
+        ExclusiveGuard guard(log->lock);
+        checkpointBlockLocked(inode, b, log);
+    }
+}
+
+void
+NvmmioFs::epochSync(Inode *inode)
+{
+    std::vector<u64> drain_now;
+    {
+        std::lock_guard<SpinLock> guard(inode->dirtyListLock);
+        inode->checkpointQueue.insert(inode->checkpointQueue.end(),
+                                      inode->dirtyList.begin(),
+                                      inode->dirtyList.end());
+        inode->dirtyList.clear();
+        const bool backpressure =
+            inode->checkpointQueue.size() > kCheckpointBackpressure;
+        if (!options_.backgroundCheckpoint || backpressure)
+            drain_now.swap(inode->checkpointQueue);
+    }
+    if (!drain_now.empty())
+        drainBlocks(inode, drain_now);
+}
+
+void
+NvmmioFs::checkpointAll(Inode *inode)
+{
+    std::vector<u64> pending;
+    {
+        std::lock_guard<SpinLock> guard(inode->dirtyListLock);
+        pending.swap(inode->checkpointQueue);
+        pending.insert(pending.end(), inode->dirtyList.begin(),
+                       inode->dirtyList.end());
+        inode->dirtyList.clear();
+    }
+    drainBlocks(inode, pending);
+}
+
+void
+NvmmioFs::backgroundLoop()
+{
+    while (!stopBackground_.load(std::memory_order_relaxed)) {
+        {
+            std::lock_guard<std::mutex> guard(tableMutex_);
+            for (auto &[name, inode] : inodes_) {
+                if (inode->pendingBlocks.load(std::memory_order_relaxed) ==
+                    0)
+                    continue;
+                std::vector<u64> pending;
+                {
+                    std::lock_guard<SpinLock> queue_guard(
+                        inode->dirtyListLock);
+                    pending.swap(inode->checkpointQueue);
+                }
+                // Foreground/background contention happens here: the
+                // drain takes the same per-block locks writers need.
+                drainBlocks(inode.get(), pending);
+            }
+        }
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.checkpointIntervalMicros));
+    }
+}
+
+StatusOr<std::unique_ptr<File>>
+NvmmioFs::open(const std::string &path, const OpenOptions &options)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    auto it = inodes_.find(path);
+    if (it == inodes_.end()) {
+        if (!options.create)
+            return Status::notFound("no such file: " + path);
+        StatusOr<u64> extent = store_.alloc(options_.defaultFileCapacity);
+        if (!extent.isOk())
+            return extent.status();
+        auto inode = std::make_shared<Inode>();
+        inode->extentOff = *extent;
+        inode->capacity = options_.defaultFileCapacity;
+        inode->blocks.resize(inode->capacity / kBlock);
+        it = inodes_.emplace(path, std::move(inode)).first;
+    }
+    auto handle = std::make_unique<NvmmioFile>(this, it->second);
+    if (options.truncate)
+        MGSP_RETURN_IF_ERROR(handle->truncate(0));
+    return std::unique_ptr<File>(std::move(handle));
+}
+
+StatusOr<std::unique_ptr<File>>
+NvmmioFs::createFile(const std::string &path, u64 capacity)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (inodes_.count(path))
+        return Status::alreadyExists("file exists: " + path);
+    StatusOr<u64> extent = store_.alloc(capacity);
+    if (!extent.isOk())
+        return extent.status();
+    auto inode = std::make_shared<Inode>();
+    inode->extentOff = *extent;
+    inode->capacity = capacity;
+    inode->blocks.resize(capacity / kBlock);
+    auto [it, ok] = inodes_.emplace(path, std::move(inode));
+    (void)ok;
+    return std::unique_ptr<File>(
+        std::make_unique<NvmmioFile>(this, it->second));
+}
+
+Status
+NvmmioFs::remove(const std::string &path)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (inodes_.erase(path) == 0)
+        return Status::notFound("no such file: " + path);
+    return Status::ok();
+}
+
+bool
+NvmmioFs::exists(const std::string &path) const
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    return inodes_.count(path) != 0;
+}
+
+}  // namespace mgsp

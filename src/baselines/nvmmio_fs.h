@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Model of Libnvmmio (Choi et al., USENIX ATC'20) — the paper's main
+ * baseline.
+ *
+ * Libnvmmio is a user-space failure-atomic MMIO library built on
+ * per-block hybrid undo/redo logging:
+ *  - a write appends the new bytes to a per-4KiB-block log entry
+ *    (differential logging: only the written bytes are logged) and
+ *    persists log data + log metadata — atomicity *up to the last
+ *    sync*, not per operation;
+ *  - reads must consult the per-block log index and, when a block has
+ *    pending log data, merge log bytes over file bytes;
+ *  - fsync() is an epoch change that checkpoints every pending log
+ *    entry back into the file — the double write the paper targets;
+ *  - an optional background checkpoint thread drains logs off the
+ *    critical path, contending with foreground threads on the
+ *    per-block locks (the "front/back conflict" of Figs. 9 and 10).
+ *
+ * User-space: no syscall charge on read/write; fsync pays one kernel
+ * crossing for the underlying msync.
+ */
+#ifndef MGSP_BASELINES_NVMMIO_FS_H
+#define MGSP_BASELINES_NVMMIO_FS_H
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "baselines/arena_store.h"
+#include "common/spin_lock.h"
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+/** Configuration of the Libnvmmio model. */
+struct NvmmioOptions
+{
+    u64 defaultFileCapacity = 64 * MiB;
+    /** Run the background checkpoint thread (as the real system). */
+    bool backgroundCheckpoint = true;
+    /** Background drain period. */
+    u64 checkpointIntervalMicros = 500;
+};
+
+/** The Libnvmmio model. */
+class NvmmioFs : public FileSystem
+{
+  public:
+    NvmmioFs(std::shared_ptr<PmemDevice> device,
+             const NvmmioOptions &options);
+    ~NvmmioFs() override;
+
+    const char *name() const override { return "libnvmmio"; }
+    ConsistencyLevel
+    consistency() const override
+    {
+        return ConsistencyLevel::SyncAtomic;
+    }
+
+    StatusOr<std::unique_ptr<File>>
+    open(const std::string &path, const OpenOptions &options) override;
+    StatusOr<std::unique_ptr<File>> createFile(const std::string &path,
+                                               u64 capacity);
+    Status remove(const std::string &path) override;
+    bool exists(const std::string &path) const override;
+
+    u64
+    logicalBytesWritten() const override
+    {
+        return logicalBytes_.load(std::memory_order_relaxed);
+    }
+
+    PmemDevice *device() { return device_.get(); }
+
+  private:
+    friend class NvmmioFile;
+
+    /** Per-4KiB-block log state. */
+    struct BlockLog
+    {
+        RwSpinLock lock;          ///< per-block (fine-grained) lock
+        u64 logOff = 0;           ///< arena offset of the log block
+        u64 dirtyLo = 0;          ///< dirty byte range within block
+        u64 dirtyHi = 0;          ///< (0,0) = clean
+        std::vector<bool> valid;  ///< per-64B: log holds newest bytes
+    };
+
+    struct Inode
+    {
+        u64 extentOff = 0;
+        u64 capacity = 0;
+        std::atomic<u64> fileSize{0};
+        std::vector<std::unique_ptr<BlockLog>> blocks;
+        SpinLock blockInit;
+        std::atomic<u64> pendingBlocks{0};
+        /// Blocks dirtied in the current epoch. sync() flips the
+        /// epoch by moving this list onto the checkpoint queue; the
+        /// background thread (or sync itself, without one) drains the
+        /// queue by copying logs home — the double write.
+        SpinLock dirtyListLock;
+        std::vector<u64> dirtyList;
+        std::vector<u64> checkpointQueue;
+    };
+
+    BlockLog *blockLog(Inode *inode, u64 block_idx, bool create);
+    /** Drains one block's log into the file; caller holds the lock. */
+    void checkpointBlockLocked(Inode *inode, u64 block_idx, BlockLog *log);
+    /** Copies every block in @p blocks home (taking block locks). */
+    void drainBlocks(Inode *inode, const std::vector<u64> &blocks);
+    /**
+     * Epoch flip: queues the current dirty list for checkpointing;
+     * drains synchronously when no background thread exists or the
+     * queue exceeds the backpressure limit.
+     */
+    void epochSync(Inode *inode);
+    /** Synchronously drains everything (close/truncate paths). */
+    void checkpointAll(Inode *inode);
+    void backgroundLoop();
+
+    std::shared_ptr<PmemDevice> device_;
+    NvmmioOptions options_;
+    ArenaStore store_;
+
+    mutable std::mutex tableMutex_;
+    std::map<std::string, std::shared_ptr<Inode>> inodes_;
+    std::atomic<u64> logicalBytes_{0};
+
+    std::thread background_;
+    std::atomic<bool> stopBackground_{false};
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_BASELINES_NVMMIO_FS_H

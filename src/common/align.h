@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Alignment arithmetic used throughout the log and block managers.
+ *
+ * All helpers require the alignment to be a power of two; this is
+ * asserted in debug builds.
+ */
+#ifndef MGSP_COMMON_ALIGN_H
+#define MGSP_COMMON_ALIGN_H
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/** @return true iff @p x is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Round @p x down to a multiple of power-of-two @p align. */
+constexpr u64
+alignDown(u64 x, u64 align)
+{
+    assert(isPowerOfTwo(align));
+    return x & ~(align - 1);
+}
+
+/** Round @p x up to a multiple of power-of-two @p align. */
+constexpr u64
+alignUp(u64 x, u64 align)
+{
+    assert(isPowerOfTwo(align));
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** @return true iff @p x is a multiple of power-of-two @p align. */
+constexpr bool
+isAligned(u64 x, u64 align)
+{
+    assert(isPowerOfTwo(align));
+    return (x & (align - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2Exact(u64 x)
+{
+    assert(isPowerOfTwo(x));
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Ceiling division. */
+constexpr u64
+ceilDiv(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p x up to the next power of two (x <= 2^63). */
+constexpr u64
+nextPowerOfTwo(u64 x)
+{
+    if (x <= 1)
+        return 1;
+    u64 p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_ALIGN_H

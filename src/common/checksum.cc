@@ -1,0 +1,48 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace mgsp {
+namespace {
+
+/** Builds the 256-entry table for a reflected CRC with @p poly. */
+template <typename T>
+constexpr std::array<T, 256>
+makeCrcTable(T poly)
+{
+    std::array<T, 256> table{};
+    for (unsigned i = 0; i < 256; ++i) {
+        T crc = static_cast<T>(i);
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto kCrc32cTable = makeCrcTable<u32>(0x82F63B78u);
+constexpr auto kCrc64Table = makeCrcTable<u64>(0xC96C5795D7870F42ull);
+
+}  // namespace
+
+u32
+crc32c(const void *data, std::size_t size, u32 seed)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u32 crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ kCrc32cTable[(crc ^ p[i]) & 0xFF];
+    return ~crc;
+}
+
+u64
+crc64(const void *data, std::size_t size, u64 seed)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u64 crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ kCrc64Table[(crc ^ p[i]) & 0xFF];
+    return ~crc;
+}
+
+}  // namespace mgsp

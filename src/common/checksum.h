@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Checksums used to validate persistent metadata.
+ *
+ * CRC32C (Castagnoli) guards the MGSP metadata-log entries; CRC64
+ * (ECMA-182) guards larger structures such as WAL frames in minidb.
+ * Both are table-driven software implementations so the library has
+ * no ISA dependencies.
+ */
+#ifndef MGSP_COMMON_CHECKSUM_H
+#define MGSP_COMMON_CHECKSUM_H
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/**
+ * CRC32C of @p data, seeded with @p seed (pass 0 for a fresh CRC;
+ * pass a previous result to chain ranges).
+ */
+u32 crc32c(const void *data, std::size_t size, u32 seed = 0);
+
+/** CRC64/ECMA of @p data, chainable through @p seed like crc32c(). */
+u64 crc64(const void *data, std::size_t size, u64 seed = 0);
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_CHECKSUM_H

@@ -1,0 +1,50 @@
+#include "common/clock.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <ctime>
+
+#include "common/spin_lock.h"
+
+namespace mgsp {
+namespace {
+
+std::atomic<bool> gDelayEnabled{[] {
+    const char *env = std::getenv("MGSP_NO_DELAY");
+    return !(env != nullptr && env[0] == '1');
+}()};
+
+}  // namespace
+
+u64
+monotonicNanos()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<u64>(ts.tv_sec) * 1000000000ull +
+           static_cast<u64>(ts.tv_nsec);
+}
+
+void
+spinDelay(u64 nanos)
+{
+    if (nanos == 0 || !gDelayEnabled.load(std::memory_order_relaxed))
+        return;
+    const u64 deadline = monotonicNanos() + nanos;
+    while (monotonicNanos() < deadline)
+        cpuRelax();
+}
+
+void
+setDelayInjectionEnabled(bool enabled)
+{
+    gDelayEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+delayInjectionEnabled()
+{
+    return gDelayEnabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace mgsp

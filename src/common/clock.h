@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Monotonic timing and calibrated busy-wait delay injection.
+ *
+ * The latency models in pmem/ and the baselines inject nanosecond-scale
+ * costs (syscall crossings, media writes, fences) as busy-waits so that
+ * multi-threaded contention behaves like it would on real hardware.
+ */
+#ifndef MGSP_COMMON_CLOCK_H
+#define MGSP_COMMON_CLOCK_H
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/** Monotonic nanoseconds since an arbitrary epoch. */
+u64 monotonicNanos();
+
+/**
+ * Busy-waits for approximately @p nanos nanoseconds.
+ *
+ * Spins on the monotonic clock; accurate to roughly the clock read
+ * cost (tens of nanoseconds). A no-op when delay injection is globally
+ * disabled (see setDelayInjectionEnabled()).
+ */
+void spinDelay(u64 nanos);
+
+/**
+ * Globally enables/disables spinDelay(). Tests disable it; benchmarks
+ * leave it on (unless env MGSP_NO_DELAY=1).
+ */
+void setDelayInjectionEnabled(bool enabled);
+
+/** @return whether spinDelay() currently injects real delay. */
+bool delayInjectionEnabled();
+
+/** A simple stopwatch for benchmark loops. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+    void reset() { start_ = monotonicNanos(); }
+    u64 elapsedNanos() const { return monotonicNanos() - start_; }
+    double elapsedSeconds() const { return elapsedNanos() * 1e-9; }
+
+  private:
+    u64 start_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_CLOCK_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fast non-cryptographic hashing.
+ *
+ * Used to pick metadata-log slots from thread ids and to hash keys in
+ * the database substrate. The mixer is the SplitMix64 finaliser, which
+ * passes avalanche tests and is branch-free.
+ */
+#ifndef MGSP_COMMON_HASH_H
+#define MGSP_COMMON_HASH_H
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/** Mix a 64-bit value to a well-distributed 64-bit hash. */
+constexpr u64
+mixHash64(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two hashes (order-dependent). */
+constexpr u64
+hashCombine(u64 a, u64 b)
+{
+    return mixHash64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+/** Hash an arbitrary byte range (FNV-1a core + final mix). */
+inline u64
+hashBytes(const void *data, std::size_t size)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    u64 h = 0xCBF29CE484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= 0x100000001B3ull;
+    }
+    return mixHash64(h);
+}
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_HASH_H

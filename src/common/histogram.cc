@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace mgsp {
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+unsigned
+Histogram::bucketFor(u64 value)
+{
+    if (value < kSubBuckets)
+        return static_cast<unsigned>(value);
+    const unsigned msb = 63 - std::countl_zero(value);
+    const unsigned sub = static_cast<unsigned>(
+        (value >> (msb - 4)) & (kSubBuckets - 1));
+    unsigned idx = (msb - 3) * kSubBuckets + sub;
+    return std::min(idx, kBucketCount - 1);
+}
+
+u64
+Histogram::bucketUpperBound(unsigned index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const unsigned msb = index / kSubBuckets + 3;
+    const unsigned sub = index % kSubBuckets;
+    return (static_cast<u64>(kSubBuckets + sub + 1) << (msb - 4)) - 1;
+}
+
+void
+Histogram::record(u64 value)
+{
+    buckets_[bucketFor(value)]++;
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (unsigned i = 0; i < kBucketCount; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+u64
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const u64 target = static_cast<u64>(q * static_cast<double>(count_ - 1));
+    u64 seen = 0;
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.0fns p50=%lluns p99=%lluns max=%lluns",
+                  static_cast<unsigned long long>(count_), mean(),
+                  static_cast<unsigned long long>(percentile(0.50)),
+                  static_cast<unsigned long long>(percentile(0.99)),
+                  static_cast<unsigned long long>(max_));
+    return buf;
+}
+
+}  // namespace mgsp

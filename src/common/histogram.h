@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Latency histograms and throughput accounting for the bench harness.
+ */
+#ifndef MGSP_COMMON_HISTOGRAM_H
+#define MGSP_COMMON_HISTOGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/**
+ * A log-scaled histogram of nanosecond values.
+ *
+ * Buckets are powers of two subdivided 16 ways, giving <= 6.25 %
+ * relative quantile error across [1 ns, ~18 s]. Not thread-safe;
+ * merge per-thread instances with merge().
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Records one sample. */
+    void record(u64 value);
+
+    /** Adds all samples of @p other into this histogram. */
+    void merge(const Histogram &other);
+
+    u64 count() const { return count_; }
+    u64 min() const { return count_ ? min_ : 0; }
+    u64 max() const { return max_; }
+    double mean() const;
+
+    /** Value at quantile @p q in [0, 1]. */
+    u64 percentile(double q) const;
+
+    /** One-line summary, e.g. for bench output. */
+    std::string summary() const;
+
+  private:
+    static constexpr unsigned kSubBuckets = 16;
+    static constexpr unsigned kBucketCount = 64 * kSubBuckets;
+
+    static unsigned bucketFor(u64 value);
+    static u64 bucketUpperBound(unsigned index);
+
+    std::vector<u64> buckets_;
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 min_ = ~0ull;
+    u64 max_ = 0;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_HISTOGRAM_H

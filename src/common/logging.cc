@@ -1,0 +1,78 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgsp {
+namespace {
+
+std::atomic<LogLevel> gLevel{LogLevel::Warn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+void
+vlog(const char *tag, const char *file, int line, const char *fmt,
+     va_list args)
+{
+    std::fprintf(stderr, "[%s %s:%d] ", tag, file, line);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog(levelName(level), file, line, fmt, args);
+    va_end(args);
+}
+
+void
+fatalError(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog("FATAL", file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panicError(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog("PANIC", file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+}  // namespace mgsp

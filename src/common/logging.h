@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Diagnostic logging and invariant checks.
+ *
+ * Modelled after gem5's fatal()/panic() distinction: fatal() is a user
+ * error (bad configuration) and exits cleanly; panic() is a library
+ * bug and aborts.
+ */
+#ifndef MGSP_COMMON_LOGGING_H
+#define MGSP_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace mgsp {
+
+enum class LogLevel { Debug = 0, Info, Warn, Error };
+
+/** Sets the minimum level that will be printed (default: Warn). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** printf-style log emission; filtered by the global level. */
+void logMessage(LogLevel level, const char *file, int line, const char *fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+/** User-facing unrecoverable error: prints and exits(1). */
+[[noreturn]] void fatalError(const char *file, int line, const char *fmt,
+                             ...) __attribute__((format(printf, 3, 4)));
+
+/** Library bug: prints and aborts (core dump friendly). */
+[[noreturn]] void panicError(const char *file, int line, const char *fmt,
+                             ...) __attribute__((format(printf, 3, 4)));
+
+#define MGSP_LOG(level, ...)                                                 \
+    ::mgsp::logMessage((level), __FILE__, __LINE__, __VA_ARGS__)
+#define MGSP_DEBUG(...) MGSP_LOG(::mgsp::LogLevel::Debug, __VA_ARGS__)
+#define MGSP_INFO(...) MGSP_LOG(::mgsp::LogLevel::Info, __VA_ARGS__)
+#define MGSP_WARN(...) MGSP_LOG(::mgsp::LogLevel::Warn, __VA_ARGS__)
+#define MGSP_ERROR(...) MGSP_LOG(::mgsp::LogLevel::Error, __VA_ARGS__)
+
+#define MGSP_FATAL(...) ::mgsp::fatalError(__FILE__, __LINE__, __VA_ARGS__)
+#define MGSP_PANIC(...) ::mgsp::panicError(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Invariant check that stays on in release builds. */
+#define MGSP_CHECK(cond)                                                     \
+    do {                                                                     \
+        if (__builtin_expect(!(cond), 0))                                    \
+            MGSP_PANIC("check failed: %s", #cond);                           \
+    } while (0)
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_LOGGING_H

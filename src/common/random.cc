@@ -1,0 +1,137 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace mgsp {
+namespace {
+
+constexpr u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+double
+zeta(u64 n, double theta)
+{
+    double sum = 0.0;
+    for (u64 i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+}  // namespace
+
+Rng::Rng(u64 seed)
+{
+    s0_ = mixHash64(seed);
+    s1_ = mixHash64(s0_ ^ 0xDEADBEEFCAFEBABEull);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1;
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s0_ + s1_, 17) + s0_;
+    const u64 t = s1_ ^ s0_;
+    s0_ = rotl(s0_, 49) ^ t ^ (t << 21);
+    s1_ = rotl(t, 28);
+    return result;
+}
+
+u64
+Rng::nextBelow(u64 bound)
+{
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection method.
+    u64 x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    u64 low = static_cast<u64>(m);
+    if (low < bound) {
+        u64 threshold = (0 - bound) % bound;
+        while (low < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<u64>(m);
+        }
+    }
+    return static_cast<u64>(m >> 64);
+}
+
+u64
+Rng::nextInRange(u64 lo, u64 hi)
+{
+    assert(lo <= hi);
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+void
+Rng::fillBytes(void *buf, std::size_t size)
+{
+    u8 *p = static_cast<u8 *>(buf);
+    while (size >= 8) {
+        u64 v = next();
+        std::memcpy(p, &v, 8);
+        p += 8;
+        size -= 8;
+    }
+    if (size > 0) {
+        u64 v = next();
+        std::memcpy(p, &v, size);
+    }
+}
+
+std::vector<u8>
+Rng::nextBytes(std::size_t len)
+{
+    std::vector<u8> out(len);
+    fillBytes(out.data(), len);
+    return out;
+}
+
+u64
+Rng::nextZipf(u64 n, double theta)
+{
+    assert(n > 0);
+    if (theta <= 0.0)
+        return nextBelow(n);
+    if (zipfN_ != n || zipfTheta_ != theta) {
+        zipfN_ = n;
+        zipfTheta_ = theta;
+        zipfZetaN_ = zeta(n, theta);
+        zipfAlpha_ = 1.0 / (1.0 - theta);
+        double zeta2 = zeta(2, theta);
+        zipfEta_ = (1.0 - std::pow(2.0 / static_cast<double>(n),
+                                   1.0 - theta)) /
+                   (1.0 - zeta2 / zipfZetaN_);
+    }
+    double u = nextDouble();
+    double uz = u * zipfZetaN_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    u64 v = static_cast<u64>(
+        static_cast<double>(n) *
+        std::pow(zipfEta_ * u - zipfEta_ + 1.0, zipfAlpha_));
+    return v >= n ? n - 1 : v;
+}
+
+}  // namespace mgsp

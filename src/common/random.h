@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation for workloads and tests.
+ *
+ * Xoroshiro128++ — fast, high-quality, and seedable so every workload
+ * and crash-injection test is reproducible from a single seed.
+ */
+#ifndef MGSP_COMMON_RANDOM_H
+#define MGSP_COMMON_RANDOM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/** Xoroshiro128++ PRNG. Not thread-safe; use one per thread. */
+class Rng
+{
+  public:
+    /** Seeds the state via SplitMix64 so any seed (even 0) is valid. */
+    explicit Rng(u64 seed = 0x853C49E6748FEA9Bull);
+
+    /** Next 64 uniformly random bits. */
+    u64 next();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    u64 nextBelow(u64 bound);
+
+    /** Uniform integer in [lo, hi]. */
+    u64 nextInRange(u64 lo, u64 hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+    /** Fills @p buf with random bytes. */
+    void fillBytes(void *buf, std::size_t size);
+
+    /** Random ASCII string of length @p len (a-z0-9). */
+    std::vector<u8> nextBytes(std::size_t len);
+
+    /**
+     * Zipfian value in [0, n) with skew @p theta (0 = uniform-ish,
+     * 0.99 = classic YCSB skew). Uses the Gray et al. rejection-free
+     * method with cached constants for a fixed n.
+     */
+    u64 nextZipf(u64 n, double theta);
+
+  private:
+    u64 s0_;
+    u64 s1_;
+
+    // Cached Zipf constants (recomputed when n or theta changes).
+    u64 zipfN_ = 0;
+    double zipfTheta_ = -1.0;
+    double zipfZetaN_ = 0.0;
+    double zipfAlpha_ = 0.0;
+    double zipfEta_ = 0.0;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_RANDOM_H

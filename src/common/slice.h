@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Non-owning byte ranges for I/O APIs.
+ */
+#ifndef MGSP_COMMON_SLICE_H
+#define MGSP_COMMON_SLICE_H
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/** A read-only view of a byte range. */
+class ConstSlice
+{
+  public:
+    ConstSlice() : data_(nullptr), size_(0) {}
+    ConstSlice(const void *data, std::size_t size)
+        : data_(static_cast<const u8 *>(data)), size_(size)
+    {
+    }
+    ConstSlice(std::string_view s) : ConstSlice(s.data(), s.size()) {}
+
+    const u8 *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    u8
+    operator[](std::size_t i) const
+    {
+        assert(i < size_);
+        return data_[i];
+    }
+
+    /** Sub-range [off, off+len). */
+    ConstSlice
+    sub(std::size_t off, std::size_t len) const
+    {
+        assert(off + len <= size_);
+        return ConstSlice(data_ + off, len);
+    }
+
+    std::string
+    toString() const
+    {
+        return std::string(reinterpret_cast<const char *>(data_), size_);
+    }
+
+    bool
+    operator==(const ConstSlice &o) const
+    {
+        return size_ == o.size_ &&
+               (size_ == 0 || std::memcmp(data_, o.data_, size_) == 0);
+    }
+
+  private:
+    const u8 *data_;
+    std::size_t size_;
+};
+
+/** A mutable view of a byte range. */
+class MutSlice
+{
+  public:
+    MutSlice() : data_(nullptr), size_(0) {}
+    MutSlice(void *data, std::size_t size)
+        : data_(static_cast<u8 *>(data)), size_(size)
+    {
+    }
+
+    u8 *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    MutSlice
+    sub(std::size_t off, std::size_t len) const
+    {
+        assert(off + len <= size_);
+        return MutSlice(data_ + off, len);
+    }
+
+    operator ConstSlice() const { return ConstSlice(data_, size_); }
+
+  private:
+    u8 *data_;
+    std::size_t size_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_SLICE_H

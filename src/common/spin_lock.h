@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Minimal spin locks used on hot paths where a futex round-trip would
+ * dominate the cost being measured.
+ */
+#ifndef MGSP_COMMON_SPIN_LOCK_H
+#define MGSP_COMMON_SPIN_LOCK_H
+
+#include <atomic>
+#include <thread>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/** Architecture-friendly pause in spin loops. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/**
+ * Bounded spin-then-yield backoff. Spinning briefly wins when the
+ * holder is running on another core; yielding after that keeps
+ * oversubscribed (or single-core) hosts from burning the holder's
+ * timeslice — without it lock-contention results would measure the
+ * scheduler, not the locks.
+ */
+class SpinBackoff
+{
+  public:
+    void
+    pause()
+    {
+        if (++spins_ < kSpinLimit) {
+            cpuRelax();
+        } else {
+            spins_ = 0;
+            std::this_thread::yield();
+        }
+    }
+
+  private:
+    static constexpr u32 kSpinLimit = 64;
+    u32 spins_ = 0;
+};
+
+/** A test-and-test-and-set spin lock. Satisfies BasicLockable. */
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock &) = delete;
+    SpinLock &operator=(const SpinLock &) = delete;
+
+    void
+    lock()
+    {
+        SpinBackoff backoff;
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire))
+                return;
+            while (flag_.load(std::memory_order_relaxed))
+                backoff.pause();
+        }
+    }
+
+    bool
+    tryLock()
+    {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void lock_shared() = delete;
+
+    void
+    unlock()
+    {
+        flag_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/**
+ * A writer-preferring reader-writer spin lock.
+ *
+ * State encoding: bit 0 = writer held; bit 1 = writer waiting;
+ * bits 2.. = reader count. Writers set the waiting bit to starve out
+ * new readers, which keeps write latency bounded under read-heavy load
+ * (the situation in Fig. 9's mixed workloads).
+ */
+class RwSpinLock
+{
+  public:
+    RwSpinLock() = default;
+    RwSpinLock(const RwSpinLock &) = delete;
+    RwSpinLock &operator=(const RwSpinLock &) = delete;
+
+    void
+    lockShared()
+    {
+        SpinBackoff backoff;
+        for (;;) {
+            u32 s = state_.load(std::memory_order_relaxed);
+            if ((s & (kWriter | kWriterWaiting)) == 0) {
+                if (state_.compare_exchange_weak(
+                        s, s + kReaderUnit, std::memory_order_acquire,
+                        std::memory_order_relaxed))
+                    return;
+            } else {
+                backoff.pause();
+            }
+        }
+    }
+
+    bool
+    tryLockShared()
+    {
+        u32 s = state_.load(std::memory_order_relaxed);
+        while ((s & (kWriter | kWriterWaiting)) == 0) {
+            if (state_.compare_exchange_weak(s, s + kReaderUnit,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    unlockShared()
+    {
+        state_.fetch_sub(kReaderUnit, std::memory_order_release);
+    }
+
+    void
+    lock()
+    {
+        // Announce intent so new readers back off.
+        state_.fetch_or(kWriterWaiting, std::memory_order_relaxed);
+        SpinBackoff backoff;
+        for (;;) {
+            u32 s = state_.load(std::memory_order_relaxed);
+            if ((s & kWriter) == 0 && (s >> kReaderShift) == 0) {
+                u32 desired = (s & ~kWriterWaiting) | kWriter;
+                if (state_.compare_exchange_weak(s, desired,
+                                                 std::memory_order_acquire,
+                                                 std::memory_order_relaxed))
+                    return;
+            } else {
+                backoff.pause();
+            }
+        }
+    }
+
+    bool
+    tryLock()
+    {
+        u32 expected = state_.load(std::memory_order_relaxed);
+        if ((expected & kWriter) != 0 || (expected >> kReaderShift) != 0)
+            return false;
+        u32 desired = (expected & ~kWriterWaiting) | kWriter;
+        return state_.compare_exchange_strong(expected, desired,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed);
+    }
+
+    void
+    unlock()
+    {
+        state_.fetch_and(~kWriter, std::memory_order_release);
+    }
+
+  private:
+    static constexpr u32 kWriter = 1u;
+    static constexpr u32 kWriterWaiting = 2u;
+    static constexpr u32 kReaderShift = 2;
+    static constexpr u32 kReaderUnit = 1u << kReaderShift;
+
+    std::atomic<u32> state_{0};
+};
+
+/** RAII guard for RwSpinLock shared mode. */
+class SharedGuard
+{
+  public:
+    explicit SharedGuard(RwSpinLock &lock) : lock_(lock)
+    {
+        lock_.lockShared();
+    }
+    ~SharedGuard() { lock_.unlockShared(); }
+    SharedGuard(const SharedGuard &) = delete;
+    SharedGuard &operator=(const SharedGuard &) = delete;
+
+  private:
+    RwSpinLock &lock_;
+};
+
+/** RAII guard for RwSpinLock exclusive mode. */
+class ExclusiveGuard
+{
+  public:
+    explicit ExclusiveGuard(RwSpinLock &lock) : lock_(lock) { lock_.lock(); }
+    ~ExclusiveGuard() { lock_.unlock(); }
+    ExclusiveGuard(const ExclusiveGuard &) = delete;
+    ExclusiveGuard &operator=(const ExclusiveGuard &) = delete;
+
+  private:
+    RwSpinLock &lock_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_SPIN_LOCK_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Lightweight error handling used across the library.
+ *
+ * Hot paths (per-I/O code) use Status return codes rather than
+ * exceptions, following the convention of the storage engines this
+ * library models. StatusOr<T> carries a value or an error.
+ */
+#ifndef MGSP_COMMON_STATUS_H
+#define MGSP_COMMON_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mgsp {
+
+/** Error categories surfaced by the public API. */
+enum class StatusCode {
+    Ok = 0,
+    InvalidArgument,
+    NotFound,
+    AlreadyExists,
+    OutOfSpace,
+    Corruption,
+    Busy,
+    IoError,
+    Unsupported,
+    Internal,
+};
+
+/** @return a stable human-readable name for @p code. */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "Ok";
+      case StatusCode::InvalidArgument: return "InvalidArgument";
+      case StatusCode::NotFound: return "NotFound";
+      case StatusCode::AlreadyExists: return "AlreadyExists";
+      case StatusCode::OutOfSpace: return "OutOfSpace";
+      case StatusCode::Corruption: return "Corruption";
+      case StatusCode::Busy: return "Busy";
+      case StatusCode::IoError: return "IoError";
+      case StatusCode::Unsupported: return "Unsupported";
+      case StatusCode::Internal: return "Internal";
+    }
+    return "Unknown";
+}
+
+/**
+ * Result of an operation: a code plus an optional message.
+ *
+ * The Ok status carries no allocation; error statuses may carry a
+ * message describing the failure.
+ */
+class Status
+{
+  public:
+    /** Constructs an Ok status. */
+    Status() : code_(StatusCode::Ok) {}
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return Status(); }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::InvalidArgument, std::move(msg));
+    }
+    static Status
+    notFound(std::string msg)
+    {
+        return Status(StatusCode::NotFound, std::move(msg));
+    }
+    static Status
+    alreadyExists(std::string msg)
+    {
+        return Status(StatusCode::AlreadyExists, std::move(msg));
+    }
+    static Status
+    outOfSpace(std::string msg)
+    {
+        return Status(StatusCode::OutOfSpace, std::move(msg));
+    }
+    static Status
+    corruption(std::string msg)
+    {
+        return Status(StatusCode::Corruption, std::move(msg));
+    }
+    static Status
+    busy(std::string msg)
+    {
+        return Status(StatusCode::Busy, std::move(msg));
+    }
+    static Status
+    ioError(std::string msg)
+    {
+        return Status(StatusCode::IoError, std::move(msg));
+    }
+    static Status
+    unsupported(std::string msg)
+    {
+        return Status(StatusCode::Unsupported, std::move(msg));
+    }
+    static Status
+    internal(std::string msg)
+    {
+        return Status(StatusCode::Internal, std::move(msg));
+    }
+
+    bool isOk() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Formats "Code: message" for diagnostics. */
+    std::string
+    toString() const
+    {
+        std::string s = statusCodeName(code_);
+        if (!message_.empty()) {
+            s += ": ";
+            s += message_;
+        }
+        return s;
+    }
+
+    bool operator==(const Status &o) const { return code_ == o.code_; }
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/**
+ * Either a value of type T or an error Status.
+ *
+ * Access to value() on an error is a programming bug and asserts.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    StatusOr(Status status) : data_(std::move(status))
+    {
+        assert(!std::get<Status>(data_).isOk() &&
+               "StatusOr must not hold an Ok status without a value");
+    }
+    StatusOr(T value) : data_(std::move(value)) {}
+
+    bool isOk() const { return std::holds_alternative<T>(data_); }
+
+    const Status &
+    status() const
+    {
+        static const Status ok_status;
+        if (isOk())
+            return ok_status;
+        return std::get<Status>(data_);
+    }
+
+    T &
+    value()
+    {
+        assert(isOk());
+        return std::get<T>(data_);
+    }
+    const T &
+    value() const
+    {
+        assert(isOk());
+        return std::get<T>(data_);
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    std::variant<Status, T> data_;
+};
+
+/** Propagate a non-Ok status to the caller. */
+#define MGSP_RETURN_IF_ERROR(expr)                                          \
+    do {                                                                     \
+        ::mgsp::Status mgsp_status_tmp = (expr);                             \
+        if (!mgsp_status_tmp.isOk())                                         \
+            return mgsp_status_tmp;                                          \
+    } while (0)
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_STATUS_H

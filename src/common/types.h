@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental type aliases and small utilities shared by every module.
+ */
+#ifndef MGSP_COMMON_TYPES_H
+#define MGSP_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgsp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Size of one CPU cache line; the unit of persistence on NVM. */
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/** Common power-of-two size constants. */
+inline constexpr u64 KiB = 1024;
+inline constexpr u64 MiB = 1024 * KiB;
+inline constexpr u64 GiB = 1024 * MiB;
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_TYPES_H

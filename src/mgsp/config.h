@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tunables of the MGSP engine, including the ablation knobs that the
+ * Fig. 13 breakdown benchmark flips.
+ *
+ * Paper defaults: radix-tree degree 64 with log granularities
+ * 64 B / 4 KiB / 256 KiB / 16 MiB / 1 GiB and 128-byte metadata-log
+ * entries. We default to degree 16 with 8 leaf valid bits (512 B fine
+ * granularity) so one bitmap word fits the 8-byte slot format at any
+ * supported configuration; degree and sub-bits are configurable and
+ * tests exercise several geometries (see tests/mgsp/).
+ */
+#ifndef MGSP_MGSP_CONFIG_H
+#define MGSP_MGSP_CONFIG_H
+
+#include "common/align.h"
+#include "common/types.h"
+#include "pmem/latency_model.h"
+
+namespace mgsp {
+
+/** Isolation strategy; FileLock is the Fig. 13 coarse baseline. */
+enum class LockMode {
+    FileLock,  ///< one reader-writer lock per inode
+    Mgl,       ///< multi-granularity IR/IW/R/W intention locking
+};
+
+/** Engine configuration. Fixed at file-system creation. */
+struct MgspConfig
+{
+    /** Total emulated NVM arena size. */
+    u64 arenaSize = 512 * MiB;
+
+    /** Granularity of leaf shadow-log blocks. */
+    u64 leafBlockSize = 4 * KiB;
+
+    /** Radix-tree fan-out (power of two, 2..64). */
+    u32 degree = 16;
+
+    /**
+     * Valid bits per leaf node (power of two, 1..16). The finest
+     * update granularity is leafBlockSize / leafSubBits.
+     */
+    u32 leafSubBits = 8;
+
+    /** Metadata-log entries (concurrent failure-atomic operations). */
+    u32 metaLogEntries = 32;
+
+    /** Maximum number of files. */
+    u32 maxInodes = 64;
+
+    /** Maximum radix-tree node records across all files. */
+    u32 maxNodeRecords = 1 << 18;
+
+    /** Largest interior-node log granularity (coarser nodes descend). */
+    u64 maxCoarseLogSize = 4 * MiB;
+
+    /** Extent size used by open(create) when no capacity is given. */
+    u64 defaultFileCapacity = 64 * MiB;
+
+    /** Fraction of the arena reserved for shadow-log blocks. */
+    double poolFraction = 0.45;
+
+    LockMode lockMode = LockMode::Mgl;
+
+    // ---- ablation knobs (Fig. 13) -------------------------------
+    /** Greedy root-locking for single-reference files. */
+    bool enableGreedyLocking = true;
+    /** Minimum-search-tree descent cache. */
+    bool enableMinSearchTree = true;
+    /** Sub-block (leafSubBits) fine-grained logging. */
+    bool enableFineGrained = true;
+    /** Coarse (interior-node) logs; off = leaf-only logging. */
+    bool enableMultiGranularity = true;
+    /**
+     * Shadow logging (role-switching logs). Off = classic redo
+     * logging with an immediate per-operation checkpoint, i.e. the
+     * double-write behaviour MGSP eliminates.
+     */
+    bool enableShadowLog = true;
+    /** Flush only 64 B of a metadata-log entry when <=3 slots used. */
+    bool enablePartialMetaFlush = true;
+
+    LatencyModel latency{};
+
+    /** Finest shadow-log granularity in bytes. */
+    u64
+    fineGrainSize() const
+    {
+        return enableFineGrained ? leafBlockSize / leafSubBits
+                                 : leafBlockSize;
+    }
+
+    /** @return true iff the geometry is internally consistent. */
+    bool
+    valid() const
+    {
+        return isPowerOfTwo(leafBlockSize) && isPowerOfTwo(degree) &&
+               degree >= 2 && degree <= 64 && isPowerOfTwo(leafSubBits) &&
+               leafSubBits >= 1 && leafSubBits <= 16 &&
+               leafBlockSize >= leafSubBits * 8 && metaLogEntries >= 1 &&
+               maxInodes >= 1 && maxNodeRecords >= maxInodes;
+    }
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_CONFIG_H

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Persistent arena layout of the MGSP engine.
+ *
+ * In the paper, MGSP's logs and metadata live in memory-mapped files
+ * of the underlying DAX file system. Here the engine owns one PmemDevice
+ * arena laid out as:
+ *
+ *   [superblock][inode table][metadata log][node table][log pool][file area]
+ *
+ * Every structure that must survive a crash lives in the arena; all
+ * DRAM state (the volatile radix trees, lock words, allocator bitmaps)
+ * is reconstructible from it.
+ */
+#ifndef MGSP_MGSP_LAYOUT_H
+#define MGSP_MGSP_LAYOUT_H
+
+#include "common/types.h"
+#include "mgsp/config.h"
+
+namespace mgsp {
+
+/** On-media superblock, at arena offset 0. */
+struct Superblock
+{
+    static constexpr u64 kMagic = 0x4D47535032303233ull;  // "MGSP2023"
+
+    u64 magic;
+    u64 arenaSize;
+    u64 leafBlockSize;
+    u32 degree;
+    u32 leafSubBits;
+    u32 metaLogEntries;
+    u32 maxInodes;
+    u32 maxNodeRecords;
+    u32 reserved0;
+    u64 inodeTableOff;
+    u64 metaLogOff;
+    u64 nodeTableOff;
+    u64 poolOff;
+    u64 poolBytes;
+    u64 fileAreaOff;
+    u64 fileAreaBytes;
+    u64 fileAreaBump;  ///< persistent bump pointer for extent allocation
+};
+
+/** On-media inode record (128 bytes). */
+struct InodeRecord
+{
+    static constexpr u64 kInUse = 1;
+    static constexpr u32 kMaxNameLen = 79;
+
+    u64 flags;       ///< bit 0: in use
+    u64 extentOff;   ///< arena offset of the file's data extent
+    u64 capacity;    ///< extent size = maximum file size
+    u64 fileSize;    ///< current logical size (atomically updated)
+    u64 rootRecIdx;  ///< node record index of the tree root
+    u64 reserved;
+    char name[80];   ///< NUL-terminated file name
+};
+static_assert(sizeof(InodeRecord) == 128);
+
+/** On-media radix-tree node record (32 bytes). */
+struct NodeRecord
+{
+    /// info field layout: bit 0 = in use; bits 8..15 = level;
+    /// bits 16..31 = inode index.
+    static constexpr u64 kInUse = 1;
+
+    u64 info;
+    u64 index;   ///< node index within its level
+    u64 logOff;  ///< arena offset of the shadow-log block (0 = none)
+    u64 bitmap;  ///< valid/existing bits (see shadow_tree.h)
+
+    static u64
+    packInfo(u32 level, u32 inode)
+    {
+        return kInUse | (static_cast<u64>(level & 0xFF) << 8) |
+               (static_cast<u64>(inode & 0xFFFF) << 16);
+    }
+    static bool inUse(u64 info_word) { return (info_word & kInUse) != 0; }
+    static u32
+    level(u64 info_word)
+    {
+        return static_cast<u32>((info_word >> 8) & 0xFF);
+    }
+    static u32
+    inode(u64 info_word)
+    {
+        return static_cast<u32>((info_word >> 16) & 0xFFFF);
+    }
+};
+static_assert(sizeof(NodeRecord) == 32);
+
+/**
+ * On-media metadata-log entry (128 bytes, cache-line pair).
+ *
+ * An entry is *live* (describes a possibly-incomplete operation) when
+ * length != 0 and the checksum over the first 8 + 8*usedSlots + header
+ * bytes matches. Committed operations are redone from the slots:
+ * slot.newBits is stored into the node record's bitmap word.
+ */
+struct MetaLogEntry
+{
+    static constexpr u32 kMaxSlots = 10;
+
+    u64 owner;        ///< 0 = free; claimed with CAS (thread tag)
+    u32 length;       ///< I/O length; 0 = outdated entry
+    u32 inode;        ///< inode index of the target file
+    u64 offset;       ///< I/O offset
+    u64 newFileSize;  ///< file size after the operation
+    u32 checksum;     ///< CRC32C over bytes [8, 40 + 8*usedSlots)
+    u16 usedSlots;
+    u16 flags;
+
+    struct Slot
+    {
+        u32 recIdx;   ///< node record index
+        u32 newBits;  ///< new bitmap word (low 32 bits)
+    };
+    Slot slots[kMaxSlots];
+    u64 pad;
+};
+static_assert(sizeof(MetaLogEntry) == 128);
+static_assert(offsetof(MetaLogEntry, slots) == 40);
+
+/** Computed arena layout; derived deterministically from a config. */
+struct ArenaLayout
+{
+    u64 superblockOff = 0;
+    u64 inodeTableOff = 0;
+    u64 metaLogOff = 0;
+    u64 nodeTableOff = 0;
+    u64 poolOff = 0;
+    u64 poolBytes = 0;
+    u64 fileAreaOff = 0;
+    u64 fileAreaBytes = 0;
+
+    /** Lays out the arena regions for @p config. */
+    static ArenaLayout
+    compute(const MgspConfig &config)
+    {
+        ArenaLayout l;
+        u64 cursor = alignUp(sizeof(Superblock), kCacheLineSize);
+        l.inodeTableOff = cursor;
+        cursor += static_cast<u64>(config.maxInodes) * sizeof(InodeRecord);
+        l.metaLogOff = alignUp(cursor, 128);
+        cursor = l.metaLogOff +
+                 static_cast<u64>(config.metaLogEntries) *
+                     sizeof(MetaLogEntry);
+        l.nodeTableOff = alignUp(cursor, kCacheLineSize);
+        cursor = l.nodeTableOff +
+                 static_cast<u64>(config.maxNodeRecords) *
+                     sizeof(NodeRecord);
+        l.poolOff = alignUp(cursor, config.leafBlockSize);
+        l.poolBytes = static_cast<u64>(
+            static_cast<double>(config.arenaSize) * config.poolFraction);
+        l.fileAreaOff = alignUp(l.poolOff + l.poolBytes,
+                                config.leafBlockSize);
+        l.fileAreaBytes = config.arenaSize > l.fileAreaOff
+                              ? config.arenaSize - l.fileAreaOff
+                              : 0;
+        return l;
+    }
+
+    u64 inodeOff(u32 idx) const { return inodeTableOff + idx * 128ull; }
+    u64 metaEntryOff(u32 idx) const { return metaLogOff + idx * 128ull; }
+    u64 nodeRecOff(u32 idx) const { return nodeTableOff + idx * 32ull; }
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_LAYOUT_H

@@ -1,0 +1,128 @@
+#include "mgsp/metadata_log.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/spin_lock.h"
+
+namespace mgsp {
+namespace {
+
+/** Distinct nonzero tag per thread for entry ownership. */
+u64
+threadTag()
+{
+    static std::atomic<u64> counter{1};
+    thread_local u64 tag = counter.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
+
+}  // namespace
+
+MetadataLog::MetadataLog(PmemDevice *device, const ArenaLayout &layout,
+                         u32 entries, bool partial_flush)
+    : device_(device), layout_(layout), entries_(entries),
+      partialFlush_(partial_flush)
+{
+}
+
+u32
+MetadataLog::claim()
+{
+    const u64 tag = threadTag();
+    const u32 start = static_cast<u32>(mixHash64(tag) % entries_);
+    for (;;) {
+        for (u32 probe = 0; probe < entries_; ++probe) {
+            const u32 idx = (start + probe) % entries_;
+            u64 expected = 0;
+            if (device_->cas64(entryOff(idx), expected, tag))
+                return idx;
+        }
+        cpuRelax();
+    }
+}
+
+u32
+MetadataLog::computeChecksum(const MetaLogEntry &entry)
+{
+    // Covers [8, 40 + 8*usedSlots) with the checksum field zeroed.
+    MetaLogEntry copy = entry;
+    copy.checksum = 0;
+    const auto *bytes = reinterpret_cast<const u8 *>(&copy);
+    const std::size_t end = 40 + 8ull * entry.usedSlots;
+    return crc32c(bytes + 8, end - 8);
+}
+
+void
+MetadataLog::commit(u32 idx, const StagedMetadata &staged)
+{
+    MGSP_CHECK(staged.usedSlots <= MetaLogEntry::kMaxSlots);
+    MGSP_CHECK(staged.length != 0 &&
+               "a zero length would mark the entry outdated");
+    MetaLogEntry entry;
+    std::memset(&entry, 0, sizeof(entry));
+    entry.length = staged.length;
+    entry.inode = staged.inode;
+    entry.offset = staged.offset;
+    entry.newFileSize = staged.newFileSize;
+    entry.usedSlots = static_cast<u16>(staged.usedSlots);
+    entry.flags = staged.flags;
+    std::memcpy(entry.slots, staged.slots,
+                sizeof(MetaLogEntry::Slot) * staged.usedSlots);
+    entry.checksum = computeChecksum(entry);
+
+    const u64 off = entryOff(idx);
+    const auto *bytes = reinterpret_cast<const u8 *>(&entry);
+    // The owner word at +0 stays as claimed; publish the rest.
+    const u64 body = 40 + 8ull * staged.usedSlots;
+    device_->write(off + 8, bytes + 8, body - 8);
+    const u64 flush_len =
+        (partialFlush_ && staged.usedSlots <= 3) ? 64 : sizeof(entry);
+    device_->persist(off, flush_len);
+}
+
+void
+MetadataLog::markOutdated(u32 idx)
+{
+    // length and inode share the u64 at +8; zeroing both is fine
+    // (the entry is dead either way).
+    device_->store64(entryOff(idx) + 8, 0);
+    device_->flush(entryOff(idx) + 8, 8);
+}
+
+void
+MetadataLog::release(u32 idx)
+{
+    device_->store64(entryOff(idx), 0);
+}
+
+std::vector<MetadataLog::LiveEntry>
+MetadataLog::scanLive() const
+{
+    std::vector<LiveEntry> live;
+    for (u32 idx = 0; idx < entries_; ++idx) {
+        MetaLogEntry entry;
+        device_->read(entryOff(idx), &entry, sizeof(entry));
+        if (entry.length != 0 && entry.usedSlots <= MetaLogEntry::kMaxSlots &&
+            entry.checksum == computeChecksum(entry)) {
+            live.push_back(LiveEntry{idx, entry});
+        }
+    }
+    return live;
+}
+
+void
+MetadataLog::resetAll()
+{
+    for (u32 idx = 0; idx < entries_; ++idx) {
+        device_->store64(entryOff(idx), 0);
+        device_->store64(entryOff(idx) + 8, 0);
+        device_->flush(entryOff(idx), 16);
+    }
+    device_->fence();
+}
+
+}  // namespace mgsp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The lock-free metadata log (paper §III-C1).
+ *
+ * A fixed array of 128-byte entries in the arena. A thread claims the
+ * entry at hash(thread-id), linear-probing on collision, with a CAS
+ * on the entry's owner word — no global lock. The entry is staged in
+ * DRAM while the shadow-log data is written; commit() publishes it
+ * with a checksum and one flush+fence, which is the operation's
+ * atomic commit point. Entries with <=3 bitmap slots flush only the
+ * first cache line (the paper's partial-flush optimisation).
+ *
+ * Recovery scans for live entries (length != 0, checksum valid) and
+ * redoes their bitmap-slot stores; entries that fail the checksum
+ * were torn mid-publish, i.e. the operation never committed, and are
+ * discarded.
+ */
+#ifndef MGSP_MGSP_METADATA_LOG_H
+#define MGSP_MGSP_METADATA_LOG_H
+
+#include <vector>
+
+#include "common/status.h"
+#include "mgsp/layout.h"
+#include "pmem/pmem_device.h"
+
+namespace mgsp {
+
+/** DRAM staging buffer for one operation's metadata. */
+struct StagedMetadata
+{
+    u32 inode = 0;
+    u32 length = 0;
+    u64 offset = 0;
+    u64 newFileSize = 0;
+    u16 flags = 0;
+    u32 usedSlots = 0;
+    MetaLogEntry::Slot slots[MetaLogEntry::kMaxSlots];
+
+    /** Appends a bitmap-slot change; caller must respect kMaxSlots. */
+    void
+    addSlot(u32 rec_idx, u32 new_bits)
+    {
+        assert(usedSlots < MetaLogEntry::kMaxSlots);
+        slots[usedSlots].recIdx = rec_idx;
+        slots[usedSlots].newBits = new_bits;
+        ++usedSlots;
+    }
+};
+
+/** Manager of the persistent entry array. */
+class MetadataLog
+{
+  public:
+    MetadataLog(PmemDevice *device, const ArenaLayout &layout, u32 entries,
+                bool partial_flush);
+
+    u32 entryCount() const { return entries_; }
+
+    /**
+     * Claims a free entry for the calling thread (spins while all
+     * entries are busy, as the paper specifies for >32 threads).
+     * @return the entry index.
+     */
+    u32 claim();
+
+    /**
+     * Publishes @p staged into entry @p idx: writes the fields,
+     * computes the checksum and persists (flush + fence). On return
+     * the operation is committed.
+     */
+    void commit(u32 idx, const StagedMetadata &staged);
+
+    /**
+     * Marks entry @p idx outdated (length = 0) and flushes. The
+     * caller is responsible for fencing before dependent operations.
+     */
+    void markOutdated(u32 idx);
+
+    /** Returns entry @p idx to the free pool. */
+    void release(u32 idx);
+
+    /** A committed-but-unfinished operation found during recovery. */
+    struct LiveEntry
+    {
+        u32 index;
+        MetaLogEntry entry;
+    };
+
+    /**
+     * Recovery step 1: returns every live entry (valid checksum,
+     * length != 0) without modifying the log, so a crash during
+     * recovery replays them again.
+     */
+    std::vector<LiveEntry> scanLive() const;
+
+    /**
+     * Recovery step 2 (after the live entries' slots are redone and
+     * fenced): clears every owner and length word and fences.
+     */
+    void resetAll();
+
+  private:
+    u64 entryOff(u32 idx) const { return layout_.metaEntryOff(idx); }
+
+    /** Checksum over the committed prefix of @p entry. */
+    static u32 computeChecksum(const MetaLogEntry &entry);
+
+    PmemDevice *device_;
+    ArenaLayout layout_;
+    u32 entries_;
+    bool partialFlush_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_METADATA_LOG_H

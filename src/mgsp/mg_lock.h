@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Multiple-granularity locking (MGL) for radix-tree nodes.
+ *
+ * Implements the Gray et al. intention-lock protocol the paper adopts
+ * (Table I): a writer holds IW on every ancestor of the nodes it
+ * W-locks; a reader holds IR on ancestors of its R-locked nodes.
+ * Compatibility:
+ *
+ *        IR   IW   R    W
+ *   IR   ok   ok   ok   --
+ *   IW   ok   ok   --   --
+ *   R    ok   --   ok   --
+ *   W    --   --   --   --
+ *
+ * The lock word packs four fields into one atomic u64, so every
+ * acquisition is a single CAS on an uncontended node. Acquisition
+ * order (top-down, siblings by ascending offset) is enforced by the
+ * traversal code, which makes the protocol deadlock-free.
+ */
+#ifndef MGSP_MGSP_MG_LOCK_H
+#define MGSP_MGSP_MG_LOCK_H
+
+#include <atomic>
+
+#include "common/spin_lock.h"
+#include "common/types.h"
+
+namespace mgsp {
+
+/** Lock modes of the MGL protocol. */
+enum class MglMode : u8 { IR, IW, R, W };
+
+/** Per-node MGL lock word. */
+class MglLock
+{
+  public:
+    MglLock() = default;
+    MglLock(const MglLock &) = delete;
+    MglLock &operator=(const MglLock &) = delete;
+
+    /** Blocks until @p mode is acquired. */
+    void
+    acquire(MglMode mode)
+    {
+        SpinBackoff backoff;
+        for (;;) {
+            u64 s = state_.load(std::memory_order_relaxed);
+            if (compatible(s, mode)) {
+                if (state_.compare_exchange_weak(
+                        s, s + increment(mode), std::memory_order_acquire,
+                        std::memory_order_relaxed))
+                    return;
+            } else {
+                backoff.pause();
+            }
+        }
+    }
+
+    /** Single non-blocking attempt. */
+    bool
+    tryAcquire(MglMode mode)
+    {
+        u64 s = state_.load(std::memory_order_relaxed);
+        return compatible(s, mode) &&
+               state_.compare_exchange_strong(s, s + increment(mode),
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed);
+    }
+
+    /** Releases a previously acquired @p mode. */
+    void
+    release(MglMode mode)
+    {
+        state_.fetch_sub(increment(mode), std::memory_order_release);
+    }
+
+    /** @return true iff no lock of any mode is held (testing). */
+    bool
+    idle() const
+    {
+        return state_.load(std::memory_order_relaxed) == 0;
+    }
+
+  private:
+    // Field layout: readers 0..15, IW 16..31, IR 32..47, writers 48..63.
+    static constexpr u64 kReader = 1ull << 0;
+    static constexpr u64 kIw = 1ull << 16;
+    static constexpr u64 kIr = 1ull << 32;
+    static constexpr u64 kWriter = 1ull << 48;
+    static constexpr u64 kFieldMask = 0xFFFF;
+
+    static u64
+    increment(MglMode mode)
+    {
+        switch (mode) {
+          case MglMode::IR: return kIr;
+          case MglMode::IW: return kIw;
+          case MglMode::R: return kReader;
+          case MglMode::W: return kWriter;
+        }
+        return 0;
+    }
+
+    static bool
+    compatible(u64 s, MglMode mode)
+    {
+        const u64 readers = s & kFieldMask;
+        const u64 iw = (s >> 16) & kFieldMask;
+        const u64 ir = (s >> 32) & kFieldMask;
+        const u64 writers = (s >> 48) & kFieldMask;
+        switch (mode) {
+          case MglMode::IR:
+            return writers == 0;
+          case MglMode::IW:
+            return writers == 0 && readers == 0;
+          case MglMode::R:
+            return writers == 0 && iw == 0;
+          case MglMode::W:
+            return writers == 0 && readers == 0 && iw == 0 && ir == 0;
+        }
+        return false;
+    }
+
+    std::atomic<u64> state_{0};
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_MG_LOCK_H

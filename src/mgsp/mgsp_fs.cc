@@ -1,0 +1,901 @@
+#include "mgsp/mgsp_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/align.h"
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace mgsp {
+
+/** File handle bound to an OpenInode. */
+class MgspFile : public File
+{
+  public:
+    MgspFile(MgspFs *fs, MgspFs::OpenInode *inode) : fs_(fs), inode_(inode)
+    {
+    }
+
+    ~MgspFile() override { fs_->releaseHandle(inode_); }
+
+    StatusOr<u64>
+    pread(u64 offset, MutSlice dst) override
+    {
+        return fs_->doRead(inode_, offset, dst);
+    }
+
+    Status
+    pwrite(u64 offset, ConstSlice src) override
+    {
+        return fs_->doWrite(inode_, offset, src);
+    }
+
+    /** Every MGSP operation is already synchronous and atomic. */
+    Status sync() override { return Status::ok(); }
+
+    u64
+    size() const override
+    {
+        return inode_->fileSize.load(std::memory_order_acquire);
+    }
+
+    Status
+    truncate(u64 new_size) override
+    {
+        return fs_->doTruncate(inode_, new_size);
+    }
+
+    MgspFs::OpenInode *inode() { return inode_; }
+    MgspFs *owner() { return fs_; }
+
+  private:
+    MgspFs *fs_;
+    MgspFs::OpenInode *inode_;
+};
+
+MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
+    : device_(std::move(device)), config_(config)
+{
+}
+
+MgspFs::~MgspFs()
+{
+    Status s = writeBackAllFiles();
+    if (!s.isOk())
+        MGSP_WARN("writeback on unmount failed: %s", s.toString().c_str());
+}
+
+std::vector<PoolClassConfig>
+MgspFs::poolClasses() const
+{
+    // One class per interior-log granularity, from the leaf size up
+    // to the coarse-log cap. The leaf class gets half the pool; the
+    // coarser classes share the rest evenly.
+    std::vector<u64> sizes;
+    for (u64 s = config_.leafBlockSize; s <= config_.maxCoarseLogSize;
+         s *= config_.degree)
+        sizes.push_back(s);
+    // Each class region can lose up to one cell of alignment padding;
+    // reserve that headroom so the pool never overflows its region.
+    u64 padding = 0;
+    for (u64 s : sizes)
+        padding += s;
+    MGSP_CHECK(layout_.poolBytes > padding);
+    const u64 pool = layout_.poolBytes - padding;
+    std::vector<PoolClassConfig> classes;
+    if (sizes.size() == 1) {
+        classes.push_back({sizes[0], pool});
+        return classes;
+    }
+    // Equal split: the worst case for any class is one log block per
+    // node of the file at that granularity, i.e. ~file-size bytes per
+    // class regardless of granularity.
+    const u64 share = pool / sizes.size();
+    for (u64 size : sizes)
+        classes.push_back({size, share});
+    return classes;
+}
+
+Status
+MgspFs::initLayout(bool fresh)
+{
+    layout_ = ArenaLayout::compute(config_);
+    if (layout_.fileAreaOff >= device_->size())
+        return Status::invalidArgument("arena too small for layout");
+    nodeTable_ = std::make_unique<NodeTable>(device_.get(), layout_,
+                                             config_.maxNodeRecords);
+    pool_ = std::make_unique<PmemPool>(layout_.poolOff, poolClasses());
+    if (pool_->end() > layout_.fileAreaOff)
+        return Status::internal("pool overflows its region");
+    metaLog_ = std::make_unique<MetadataLog>(
+        device_.get(), layout_, config_.metaLogEntries,
+        config_.enablePartialMetaFlush);
+
+    if (fresh) {
+        // Zero the metadata regions and publish the superblock.
+        device_->fill(0, 0, layout_.poolOff);
+        Superblock sb{};
+        sb.magic = Superblock::kMagic;
+        sb.arenaSize = device_->size();
+        sb.leafBlockSize = config_.leafBlockSize;
+        sb.degree = config_.degree;
+        sb.leafSubBits = config_.leafSubBits;
+        sb.metaLogEntries = config_.metaLogEntries;
+        sb.maxInodes = config_.maxInodes;
+        sb.maxNodeRecords = config_.maxNodeRecords;
+        sb.inodeTableOff = layout_.inodeTableOff;
+        sb.metaLogOff = layout_.metaLogOff;
+        sb.nodeTableOff = layout_.nodeTableOff;
+        sb.poolOff = layout_.poolOff;
+        sb.poolBytes = layout_.poolBytes;
+        sb.fileAreaOff = layout_.fileAreaOff;
+        sb.fileAreaBytes = layout_.fileAreaBytes;
+        sb.fileAreaBump = layout_.fileAreaOff;
+        device_->write(0, &sb, sizeof(sb));
+        device_->persist(0, sizeof(sb));
+    }
+    return Status::ok();
+}
+
+StatusOr<std::unique_ptr<MgspFs>>
+MgspFs::format(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
+{
+    if (!config.valid())
+        return Status::invalidArgument("invalid MGSP configuration");
+    if (config.arenaSize != device->size())
+        return Status::invalidArgument("config.arenaSize != device size");
+    std::unique_ptr<MgspFs> fs(new MgspFs(std::move(device), config));
+    MGSP_RETURN_IF_ERROR(fs->initLayout(/*fresh=*/true));
+    return fs;
+}
+
+StatusOr<std::unique_ptr<MgspFs>>
+MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
+{
+    Superblock sb;
+    device->read(0, &sb, sizeof(sb));
+    if (sb.magic != Superblock::kMagic)
+        return Status::corruption("bad superblock magic");
+    if (sb.leafBlockSize != config.leafBlockSize ||
+        sb.degree != config.degree ||
+        sb.leafSubBits != config.leafSubBits ||
+        sb.metaLogEntries != config.metaLogEntries ||
+        sb.maxInodes != config.maxInodes ||
+        sb.maxNodeRecords != config.maxNodeRecords ||
+        sb.arenaSize != device->size()) {
+        return Status::invalidArgument(
+            "config geometry does not match the on-media superblock");
+    }
+    std::unique_ptr<MgspFs> fs(new MgspFs(std::move(device), config));
+    MGSP_RETURN_IF_ERROR(fs->initLayout(/*fresh=*/false));
+    MGSP_RETURN_IF_ERROR(fs->runRecovery());
+    return fs;
+}
+
+Status
+MgspFs::runRecovery()
+{
+    Stopwatch timer;
+
+    // 1. Redo committed-but-unfinished operations from the metadata
+    //    log (idempotent: slots store absolute bitmap words).
+    std::vector<MetadataLog::LiveEntry> live = metaLog_->scanLive();
+    for (const MetadataLog::LiveEntry &op : live) {
+        for (u32 i = 0; i < op.entry.usedSlots; ++i) {
+            const MetaLogEntry::Slot &slot = op.entry.slots[i];
+            if (slot.recIdx >= config_.maxNodeRecords)
+                return Status::corruption("metadata slot out of range");
+            nodeTable_->storeBitmap(slot.recIdx, slot.newBits);
+        }
+        const u64 size_off = layout_.inodeOff(op.entry.inode) +
+                             offsetof(InodeRecord, fileSize);
+        if (device_->load64(size_off) < op.entry.newFileSize) {
+            device_->store64(size_off, op.entry.newFileSize);
+            device_->flush(size_off, 8);
+        }
+    }
+    device_->fence();
+    metaLog_->resetAll();
+    recovery_.liveEntriesReplayed = static_cast<u32>(live.size());
+
+    // 2. Rebuild pool occupancy and per-inode record lists from the
+    //    node table. Coverage depends on the owning file's geometry.
+    std::vector<InodeRecord> inodes(config_.maxInodes);
+    for (u32 i = 0; i < config_.maxInodes; ++i)
+        device_->read(layout_.inodeOff(i), &inodes[i],
+                      sizeof(InodeRecord));
+    std::vector<TreeGeometry> geos(config_.maxInodes);
+    for (u32 i = 0; i < config_.maxInodes; ++i) {
+        if (inodes[i].flags & InodeRecord::kInUse) {
+            geos[i] = TreeGeometry::forCapacity(inodes[i].capacity,
+                                                config_.leafBlockSize,
+                                                config_.degree);
+            ++recovery_.filesFound;
+        }
+    }
+
+    pool_->resetAllocationState();
+    Status scan_status = Status::ok();
+    nodeTable_->rebuild([&](u32 idx, const NodeRecord &rec) {
+        ++recovery_.recordsScanned;
+        const u32 inode = NodeRecord::inode(rec.info);
+        if (inode >= config_.maxInodes ||
+            !(inodes[inode].flags & InodeRecord::kInUse)) {
+            return;  // orphaned record (leaked by a crash); ignore
+        }
+        pendingRecords_[inode].emplace_back(idx, rec);
+        if (rec.logOff != 0) {
+            const u64 cov =
+                geos[inode].coverage(NodeRecord::level(rec.info));
+            Status s = pool_->markAllocated(rec.logOff, cov);
+            if (!s.isOk() && scan_status.isOk())
+                scan_status = s;
+        }
+    });
+    MGSP_RETURN_IF_ERROR(scan_status);
+
+    recovery_.nanos = timer.elapsedNanos();
+    return Status::ok();
+}
+
+u32
+MgspFs::findInode(const std::string &path) const
+{
+    if (path.size() > InodeRecord::kMaxNameLen)
+        return kNoRecord;
+    for (u32 i = 0; i < config_.maxInodes; ++i) {
+        InodeRecord rec;
+        device_->read(layout_.inodeOff(i), &rec, sizeof(rec));
+        if ((rec.flags & InodeRecord::kInUse) && path == rec.name)
+            return i;
+    }
+    return kNoRecord;
+}
+
+StatusOr<MgspFs::OpenInode *>
+MgspFs::materializeInode(u32 idx)
+{
+    InodeRecord rec;
+    device_->read(layout_.inodeOff(idx), &rec, sizeof(rec));
+    auto inode = std::make_unique<OpenInode>();
+    inode->inodeIdx = idx;
+    inode->extentOff = rec.extentOff;
+    inode->capacity = rec.capacity;
+    inode->fileSize.store(rec.fileSize, std::memory_order_relaxed);
+    // Conservative: assume claims may reach the aligned EOF.
+    inode->claimFrontier.store(
+        alignUp(rec.fileSize, config_.fineGrainSize()),
+        std::memory_order_relaxed);
+    inode->path = rec.name;
+    inode->tree = std::make_unique<ShadowTree>(
+        device_.get(), pool_.get(), nodeTable_.get(), &config_, idx,
+        rec.extentOff, rec.capacity, static_cast<u32>(rec.rootRecIdx));
+    auto pending = pendingRecords_.find(idx);
+    if (pending != pendingRecords_.end()) {
+        for (const auto &[rec_idx, node_rec] : pending->second) {
+            if (rec_idx != rec.rootRecIdx)
+                inode->tree->attachRecord(rec_idx, node_rec);
+        }
+        pendingRecords_.erase(pending);
+    }
+    OpenInode *raw = inode.get();
+    openInodes_[inode->path] = std::move(inode);
+    return raw;
+}
+
+StatusOr<std::unique_ptr<File>>
+MgspFs::makeHandle(OpenInode *inode)
+{
+    inode->refCount.fetch_add(1, std::memory_order_acq_rel);
+    return std::unique_ptr<File>(std::make_unique<MgspFile>(this, inode));
+}
+
+void
+MgspFs::releaseHandle(OpenInode *inode)
+{
+    if (inode->refCount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last handle: write all logs back (paper's close path).
+        Status s = inode->tree->writeBackAll();
+        if (!s.isOk())
+            MGSP_WARN("writeback of %s failed: %s", inode->path.c_str(),
+                      s.toString().c_str());
+    }
+}
+
+StatusOr<std::unique_ptr<File>>
+MgspFs::open(const std::string &path, const OpenOptions &options)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    auto it = openInodes_.find(path);
+    OpenInode *inode = nullptr;
+    if (it != openInodes_.end()) {
+        inode = it->second.get();
+    } else {
+        const u32 idx = findInode(path);
+        if (idx == kNoRecord) {
+            if (!options.create)
+                return Status::notFound("no such file: " + path);
+            // Fall through to creation below.
+        } else {
+            StatusOr<OpenInode *> mat = materializeInode(idx);
+            if (!mat.isOk())
+                return mat.status();
+            inode = *mat;
+        }
+    }
+    if (inode == nullptr) {
+        StatusOr<std::unique_ptr<File>> created =
+            createFileLocked(path, config_.defaultFileCapacity);
+        return created;
+    }
+    StatusOr<std::unique_ptr<File>> handle = makeHandle(inode);
+    if (handle.isOk() && options.truncate)
+        MGSP_RETURN_IF_ERROR(doTruncate(inode, 0));
+    return handle;
+}
+
+StatusOr<std::unique_ptr<File>>
+MgspFs::createFile(const std::string &path, u64 capacity)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    return createFileLocked(path, capacity);
+}
+
+StatusOr<std::unique_ptr<File>>
+MgspFs::createFileLocked(const std::string &path, u64 capacity)
+{
+    if (path.empty() || path.size() > InodeRecord::kMaxNameLen)
+        return Status::invalidArgument("bad file name");
+    if (openInodes_.count(path) != 0 || findInode(path) != kNoRecord)
+        return Status::alreadyExists("file exists: " + path);
+    capacity = alignUp(std::max<u64>(capacity, config_.leafBlockSize),
+                       config_.leafBlockSize);
+
+    // Find a free inode slot.
+    u32 idx = kNoRecord;
+    for (u32 i = 0; i < config_.maxInodes; ++i) {
+        InodeRecord rec;
+        device_->read(layout_.inodeOff(i), &rec, sizeof(rec));
+        if (!(rec.flags & InodeRecord::kInUse)) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == kNoRecord)
+        return Status::outOfSpace("inode table full");
+
+    // Allocate the extent: reuse a freed one or bump the area.
+    u64 extent_off = 0;
+    for (auto it = freeExtents_.begin(); it != freeExtents_.end(); ++it) {
+        if (it->second >= capacity) {
+            extent_off = it->first;
+            freeExtents_.erase(it);
+            device_->fill(extent_off, 0, capacity);  // fresh file reads 0
+            break;
+        }
+    }
+    if (extent_off == 0) {
+        const u64 bump_off = offsetof(Superblock, fileAreaBump);
+        const u64 bump = device_->load64(bump_off);
+        if (bump + capacity > device_->size())
+            return Status::outOfSpace("file area exhausted");
+        extent_off = bump;
+        device_->store64(bump_off, bump + capacity);
+        device_->flush(bump_off, 8);
+    }
+
+    // Root node record (always valid: the extent is the root's log).
+    StatusOr<u32> root_rec = nodeTable_->allocRecord(
+        /*level=*/0, idx, /*index=*/0, /*log_off=*/0, kBitValid);
+    if (!root_rec.isOk())
+        return root_rec.status();
+
+    // Publish the inode last: its in-use flag is the creation commit.
+    InodeRecord rec{};
+    rec.extentOff = extent_off;
+    rec.capacity = capacity;
+    rec.fileSize = 0;
+    rec.rootRecIdx = *root_rec;
+    std::memset(rec.name, 0, sizeof(rec.name));
+    std::memcpy(rec.name, path.data(), path.size());
+    rec.flags = InodeRecord::kInUse;
+    device_->write(layout_.inodeOff(idx), &rec, sizeof(rec));
+    device_->persist(layout_.inodeOff(idx), sizeof(rec));
+
+    StatusOr<OpenInode *> mat = materializeInode(idx);
+    if (!mat.isOk())
+        return mat.status();
+    return makeHandle(*mat);
+}
+
+Status
+MgspFs::remove(const std::string &path)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    auto it = openInodes_.find(path);
+    if (it != openInodes_.end()) {
+        if (it->second->refCount.load(std::memory_order_acquire) != 0)
+            return Status::busy("file still open: " + path);
+        freeExtents_.emplace_back(it->second->extentOff,
+                                  it->second->capacity);
+        const u32 idx = it->second->inodeIdx;
+        InodeRecord rec;
+        device_->read(layout_.inodeOff(idx), &rec, sizeof(rec));
+        nodeTable_->freeRecord(static_cast<u32>(rec.rootRecIdx));
+        device_->store64(layout_.inodeOff(idx), 0);  // clear flags
+        device_->persist(layout_.inodeOff(idx), 8);
+        openInodes_.erase(it);
+        return Status::ok();
+    }
+    const u32 idx = findInode(path);
+    if (idx == kNoRecord)
+        return Status::notFound("no such file: " + path);
+    InodeRecord rec;
+    device_->read(layout_.inodeOff(idx), &rec, sizeof(rec));
+    freeExtents_.emplace_back(rec.extentOff, rec.capacity);
+    nodeTable_->freeRecord(static_cast<u32>(rec.rootRecIdx));
+    device_->store64(layout_.inodeOff(idx), 0);
+    device_->persist(layout_.inodeOff(idx), 8);
+    pendingRecords_.erase(idx);
+    return Status::ok();
+}
+
+bool
+MgspFs::exists(const std::string &path) const
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (openInodes_.count(path) != 0)
+        return true;
+    return findInode(path) != kNoRecord;
+}
+
+Status
+MgspFs::writeBackAllFiles()
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    for (auto &[path, inode] : openInodes_) {
+        if (inode->refCount.load(std::memory_order_acquire) == 0)
+            continue;
+        MGSP_RETURN_IF_ERROR(inode->tree->writeBackAll());
+    }
+    return Status::ok();
+}
+
+TreeStats *
+MgspFs::treeStatsFor(const std::string &path)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    auto it = openInodes_.find(path);
+    return it == openInodes_.end() ? nullptr : &it->second->tree->stats();
+}
+
+void
+MgspFs::persistFileSize(OpenInode *inode, u64 new_size, bool allow_shrink)
+{
+    const u64 off = layout_.inodeOff(inode->inodeIdx) +
+                    offsetof(InodeRecord, fileSize);
+    if (allow_shrink) {  // truncate path: exclusive by contract
+        inode->fileSize.store(new_size, std::memory_order_release);
+        device_->store64(off, new_size);
+        device_->flush(off, 8);
+        return;
+    }
+    // Monotonic: concurrent extenders in disjoint subtrees may commit
+    // out of order; the size must never regress.
+    u64 current = inode->fileSize.load(std::memory_order_relaxed);
+    while (current < new_size &&
+           !inode->fileSize.compare_exchange_weak(
+               current, new_size, std::memory_order_acq_rel))
+        ;
+    if (current >= new_size)
+        return;
+    device_->store64(off, new_size);
+    device_->flush(off, 8);
+}
+
+Status
+MgspFs::doWrite(OpenInode *inode, u64 offset, ConstSlice src)
+{
+    if (src.empty())
+        return Status::ok();
+    if (offset + src.size() > inode->capacity)
+        return Status::outOfSpace("write beyond file capacity");
+
+    // A write that skips past EOF creates a hole; materialise it as
+    // zeros first so the gap never exposes stale extent bytes
+    // (cheaper than tracking unwritten extents, and rare).
+    const u64 size_now = inode->fileSize.load(std::memory_order_acquire);
+    if (offset > size_now) {
+        static constexpr u64 kZeroChunk = 1 * MiB;
+        std::vector<u8> zeros(std::min(offset - size_now, kZeroChunk), 0);
+        u64 gap = size_now;
+        while (gap < offset) {
+            const u64 n = std::min<u64>(offset - gap, kZeroChunk);
+            MGSP_RETURN_IF_ERROR(
+                doAtomicChunkOrSplit(inode, gap, ConstSlice(zeros.data(),
+                                                            n)));
+            gap += n;
+        }
+    }
+
+    MGSP_RETURN_IF_ERROR(doAtomicChunkOrSplit(inode, offset, src));
+    logicalBytes_.fetch_add(src.size(), std::memory_order_relaxed);
+    return Status::ok();
+}
+
+Status
+MgspFs::doAtomicChunkOrSplit(OpenInode *inode, u64 offset, ConstSlice src)
+{
+    // Operations needing more bitmap slots than one metadata entry
+    // holds are split into independently atomic chunks (cf. the
+    // paper's 2 GB single-write bound).
+    u64 pos = offset;
+    const u8 *p = src.data();
+    u64 remaining = src.size();
+    while (remaining > 0) {
+        u64 chunk = remaining;
+        while (inode->tree->planSlotCount(pos, chunk) >
+               MetaLogEntry::kMaxSlots)
+            chunk = std::max<u64>(chunk / 2, 1);
+        MGSP_RETURN_IF_ERROR(
+            doAtomicChunk(inode, pos, ConstSlice(p, chunk)));
+        pos += chunk;
+        p += chunk;
+        remaining -= chunk;
+    }
+    return Status::ok();
+}
+
+Status
+MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
+{
+    // Extending writes (entirely beyond EOF) go straight into the
+    // home extent: the atomic commit is the file-size bump, so no
+    // shadow log is needed — the paper's root-log case of Fig. 4 (1)
+    // generalised to appends. The claim frontier guarantees no
+    // shadow-log claim covers the target range.
+    if (offset >= inode->fileSize.load(std::memory_order_acquire) &&
+        offset >= inode->claimFrontier.load(std::memory_order_acquire)) {
+        Status s = tryAppendFastPath(inode, offset, src);
+        if (s.code() != StatusCode::Busy)  // Busy: raced, take slow path
+            return s;
+    }
+
+    // Shadow logging off => classic redo logging with a per-op
+    // checkpoint; that requires exclusive access for the write-back.
+    const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
+                                !config_.enableShadowLog;
+    const bool greedy =
+        !file_lock_mode && config_.enableGreedyLocking &&
+        inode->refCount.load(std::memory_order_acquire) == 1;
+
+    // Claim the entry before any lock: a thread spinning for a free
+    // entry must never hold a lock an entry owner is waiting on.
+    const u32 entry = metaLog_->claim();
+
+    std::vector<HeldLock> locks;
+    TreeNode *greedy_node = nullptr;
+    if (file_lock_mode) {
+        inode->fileLock.lock();
+    } else if (greedy) {
+        greedy_node = inode->tree->coveringNode(offset, src.size());
+        greedy_node->lock.acquire(MglMode::W);
+    }
+    auto unlock_all = [&] {
+        if (file_lock_mode)
+            inode->fileLock.unlock();
+        else if (greedy_node != nullptr)
+            greedy_node->lock.release(MglMode::W);
+        ShadowTree::releaseLocks(&locks);
+    };
+
+    StagedMetadata staged;
+    staged.inode = inode->inodeIdx;
+    staged.length = static_cast<u32>(src.size());
+    staged.offset = offset;
+    const u64 old_size = inode->fileSize.load(std::memory_order_acquire);
+    const u64 new_size = std::max(old_size, offset + src.size());
+    staged.newFileSize = new_size;
+
+    Status s = inode->tree->performWrite(offset, src, &staged, &locks,
+                                         file_lock_mode || greedy);
+    if (!s.isOk()) {
+        metaLog_->release(entry);
+        unlock_all();
+        return s;
+    }
+
+    device_->fence();               // data + records + existing durable
+    metaLog_->commit(entry, staged);  // flush + fence: COMMIT point
+
+    inode->tree->applyStaged(staged);
+    const bool size_changed = new_size != old_size;
+    if (size_changed)
+        persistFileSize(inode, new_size);
+    // Single-word applies are inherently atomic, so the apply flush
+    // and the entry-outdated flush may share one fence; multi-word
+    // applies need the apply durable first.
+    if (staged.usedSlots + (size_changed ? 1 : 0) > 1)
+        device_->fence();
+    metaLog_->markOutdated(entry);
+    device_->fence();  // entry dead before conflicting ops may start
+    metaLog_->release(entry);
+
+    unlock_all();
+
+    // Slow-path claims may now extend to the next fine-grain
+    // boundary past the write; advance the frontier monotonically.
+    const u64 claim_end =
+        alignUp(offset + src.size(), config_.fineGrainSize());
+    u64 frontier = inode->claimFrontier.load(std::memory_order_relaxed);
+    while (frontier < claim_end &&
+           !inode->claimFrontier.compare_exchange_weak(
+               frontier, claim_end, std::memory_order_acq_rel))
+        ;
+
+    if (!config_.enableShadowLog) {
+        // Ablation: checkpoint immediately — the classic double write.
+        inode->fileLock.lock();
+        Status wb = inode->tree->writeBackRange(offset, src.size());
+        inode->fileLock.unlock();
+        MGSP_RETURN_IF_ERROR(wb);
+    }
+    return Status::ok();
+}
+
+Status
+MgspFs::tryAppendFastPath(OpenInode *inode, u64 offset, ConstSlice src)
+{
+    const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
+                                !config_.enableShadowLog;
+    const u32 entry = metaLog_->claim();
+    TreeNode *covering = nullptr;
+    std::vector<TreeNode *> ancestors;
+    if (file_lock_mode) {
+        inode->fileLock.lock();
+    } else {
+        // Full MGL discipline: IW down the path, W on the covering
+        // node, so concurrent shadow-log writers stay excluded.
+        covering = inode->tree->coveringNode(offset, src.size());
+        for (TreeNode *n = covering->parent; n != nullptr; n = n->parent)
+            ancestors.push_back(n);
+        for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it)
+            (*it)->lock.acquire(MglMode::IW);
+        covering->lock.acquire(MglMode::W);
+    }
+    auto unlock_all = [&] {
+        if (file_lock_mode) {
+            inode->fileLock.unlock();
+        } else {
+            covering->lock.release(MglMode::W);
+            for (TreeNode *n : ancestors)
+                n->lock.release(MglMode::IW);
+        }
+    };
+    const u64 old_size = inode->fileSize.load(std::memory_order_acquire);
+    if (offset < old_size ||
+        offset < inode->claimFrontier.load(std::memory_order_acquire)) {
+        // Raced with another writer extending the file: retry via the
+        // shadow-log path.
+        metaLog_->release(entry);
+        unlock_all();
+        return Status::busy("append raced");
+    }
+    // No shadow-log claim can cover bytes at or beyond the claim
+    // frontier (slow-path writes advance it; truncate write-backs
+    // clear shrunk ranges), so the home extent is authoritative for
+    // the target range.
+    device_->write(inode->extentOff + offset, src.data(), src.size());
+    device_->flush(inode->extentOff + offset, src.size());
+    device_->fence();  // data durable before the commit record
+
+    StagedMetadata staged;
+    staged.inode = inode->inodeIdx;
+    staged.length = static_cast<u32>(src.size());
+    staged.offset = offset;
+    staged.newFileSize = offset + src.size();
+    metaLog_->commit(entry, staged);  // COMMIT: the size becomes real
+
+    persistFileSize(inode, staged.newFileSize);
+    metaLog_->markOutdated(entry);
+    device_->fence();
+    metaLog_->release(entry);
+    unlock_all();
+    return Status::ok();
+}
+
+StatusOr<u64>
+MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
+{
+    const u64 size = inode->fileSize.load(std::memory_order_acquire);
+    if (offset >= size || dst.empty())
+        return u64{0};
+    const u64 n = std::min<u64>(dst.size(), size - offset);
+
+    const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
+                                !config_.enableShadowLog;
+    const bool greedy =
+        !file_lock_mode && config_.enableGreedyLocking &&
+        inode->refCount.load(std::memory_order_acquire) == 1;
+
+    std::vector<HeldLock> locks;
+    TreeNode *greedy_node = nullptr;
+    if (file_lock_mode) {
+        inode->fileLock.lockShared();
+    } else if (greedy) {
+        greedy_node = inode->tree->coveringNode(offset, n);
+        greedy_node->lock.acquire(MglMode::R);
+    }
+
+    Status s = inode->tree->performRead(offset, MutSlice(dst.data(), n),
+                                        &locks, file_lock_mode || greedy);
+    device_->latency().chargeRead(n);
+
+    if (file_lock_mode)
+        inode->fileLock.unlockShared();
+    else if (greedy_node != nullptr)
+        greedy_node->lock.release(MglMode::R);
+    ShadowTree::releaseLocks(&locks);
+
+    if (!s.isOk())
+        return s;
+    return n;
+}
+
+Status
+MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
+{
+    auto *handle = dynamic_cast<MgspFile *>(file);
+    if (handle == nullptr || handle->owner() != this)
+        return Status::invalidArgument("file is not an MGSP handle");
+    if (batch.empty())
+        return Status::ok();
+    OpenInode *inode = handle->inode();
+
+    // Sort by offset: establishes the deadlock-free MGL lock order
+    // and makes the overlap check trivial.
+    std::vector<BatchWrite> sorted(batch);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const BatchWrite &a, const BatchWrite &b) {
+                  return a.offset < b.offset;
+              });
+    u32 total_slots = 0;
+    u64 prev_end = 0;
+    u64 batch_end = 0;
+    for (const BatchWrite &w : sorted) {
+        if (w.data.empty())
+            return Status::invalidArgument("empty batch write");
+        if (w.offset < prev_end)
+            return Status::invalidArgument("batch writes overlap");
+        if (w.offset + w.data.size() > inode->capacity)
+            return Status::outOfSpace("batch write beyond capacity");
+        prev_end = w.offset + w.data.size();
+        batch_end = std::max(batch_end, prev_end);
+        total_slots += inode->tree->planSlotCount(w.offset,
+                                                  w.data.size());
+        if (total_slots > MetaLogEntry::kMaxSlots)
+            return Status::invalidArgument(
+                "batch needs more bitmap slots than one metadata-log "
+                "entry holds");
+    }
+
+    // Materialise any hole below the first write (content-neutral,
+    // so it may commit separately before the atomic batch).
+    const u64 size_now = inode->fileSize.load(std::memory_order_acquire);
+    if (sorted.front().offset > size_now) {
+        std::vector<u8> zeros(sorted.front().offset - size_now, 0);
+        MGSP_RETURN_IF_ERROR(doWrite(
+            inode, size_now, ConstSlice(zeros.data(), zeros.size())));
+    }
+
+    const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
+                                !config_.enableShadowLog;
+    const u32 entry = metaLog_->claim();
+    std::vector<HeldLock> locks;
+    const bool greedy =
+        !file_lock_mode && config_.enableGreedyLocking &&
+        inode->refCount.load(std::memory_order_acquire) == 1;
+    TreeNode *greedy_node = nullptr;
+    if (file_lock_mode) {
+        inode->fileLock.lock();
+    } else if (greedy) {
+        const u64 span_start = sorted.front().offset;
+        greedy_node =
+            inode->tree->coveringNode(span_start, batch_end - span_start);
+        greedy_node->lock.acquire(MglMode::W);
+    }
+    auto unlock_all = [&] {
+        if (file_lock_mode)
+            inode->fileLock.unlock();
+        else if (greedy_node != nullptr)
+            greedy_node->lock.release(MglMode::W);
+        ShadowTree::releaseLocks(&locks);
+    };
+
+    StagedMetadata staged;
+    staged.inode = inode->inodeIdx;
+    staged.length = static_cast<u32>(batch_end - sorted.front().offset);
+    staged.offset = sorted.front().offset;
+    const u64 old_size = inode->fileSize.load(std::memory_order_acquire);
+    const u64 new_size = std::max(old_size, batch_end);
+    staged.newFileSize = new_size;
+
+    for (const BatchWrite &w : sorted) {
+        Status s = inode->tree->performWrite(w.offset, w.data, &staged,
+                                             &locks,
+                                             file_lock_mode || greedy);
+        if (!s.isOk()) {
+            metaLog_->release(entry);
+            unlock_all();
+            return s;
+        }
+    }
+
+    device_->fence();                 // all batch data durable
+    metaLog_->commit(entry, staged);  // ONE commit for the whole batch
+
+    inode->tree->applyStaged(staged);
+    const bool size_changed = new_size != old_size;
+    if (size_changed)
+        persistFileSize(inode, new_size);
+    if (staged.usedSlots + (size_changed ? 1 : 0) > 1)
+        device_->fence();
+    metaLog_->markOutdated(entry);
+    device_->fence();
+    metaLog_->release(entry);
+    unlock_all();
+
+    // Frontier: slow-path claims may reach past each write's end.
+    const u64 claim_end = alignUp(batch_end, config_.fineGrainSize());
+    u64 frontier = inode->claimFrontier.load(std::memory_order_relaxed);
+    while (frontier < claim_end &&
+           !inode->claimFrontier.compare_exchange_weak(
+               frontier, claim_end, std::memory_order_acq_rel))
+        ;
+    for (const BatchWrite &w : sorted)
+        logicalBytes_.fetch_add(w.data.size(), std::memory_order_relaxed);
+
+    if (!config_.enableShadowLog) {
+        inode->fileLock.lock();
+        Status wb = inode->tree->writeBackRange(
+            sorted.front().offset, batch_end - sorted.front().offset);
+        inode->fileLock.unlock();
+        MGSP_RETURN_IF_ERROR(wb);
+    }
+    return Status::ok();
+}
+
+Status
+MgspFs::doTruncate(OpenInode *inode, u64 new_size)
+{
+    if (new_size > inode->capacity)
+        return Status::outOfSpace("truncate beyond capacity");
+    ExclusiveGuard guard(inode->fileLock);
+    const u64 old_size = inode->fileSize.load(std::memory_order_acquire);
+    if (new_size < old_size) {
+        // Clear the dropped range's shadow-log claims. The stale home
+        // bytes beyond the new EOF are never readable: reads clamp to
+        // the file size and every later extension (write-gap zeroing
+        // or truncate-grow below) rewrites the range first — the
+        // moral equivalent of ext4's unwritten extents.
+        MGSP_RETURN_IF_ERROR(
+            inode->tree->writeBackRange(new_size, old_size - new_size));
+        device_->fill(inode->extentOff + new_size, 0,
+                      std::min<u64>(old_size - new_size, 64 * KiB));
+        inode->claimFrontier.store(
+            alignUp(new_size, config_.fineGrainSize()),
+            std::memory_order_release);
+    } else if (new_size > old_size) {
+        // Growing truncate: the exposed range must read as zeros.
+        device_->fill(inode->extentOff + old_size, 0,
+                      new_size - old_size);
+        device_->flush(inode->extentOff + old_size, new_size - old_size);
+        device_->fence();
+    }
+    persistFileSize(inode, new_size, /*allow_shrink=*/true);
+    device_->fence();
+    return Status::ok();
+}
+
+}  // namespace mgsp

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The MGSP user-space file system: the public API of this library.
+ *
+ * Implements the vfs::FileSystem interface with operation-level
+ * failure atomicity: every pwrite() is an atomic, synchronously
+ * durable update (so sync() is a no-op), exactly the guarantee the
+ * paper's MGSP provides via its O_ATOMIC interception layer.
+ *
+ * Write flow (paper §III-D):
+ *  1. claim a metadata-log entry (hash of thread id, lock-free);
+ *  2. lock the range — file lock / greedy covering lock / MGL;
+ *  3. traverse the shadow tree, write data into the shadow logs and
+ *     stage the bitmap flips; fence (data durable);
+ *  4. publish the checksummed metadata entry (flush+fence) — commit;
+ *  5. apply the bitmap words + file size, mark the entry outdated,
+ *     fence, release locks.
+ *
+ * Mount-time recovery replays live metadata-log entries, rebuilds the
+ * pool occupancy and volatile trees from the node table, and resumes.
+ */
+#ifndef MGSP_MGSP_MGSP_FS_H
+#define MGSP_MGSP_MGSP_FS_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mgsp/config.h"
+#include "mgsp/layout.h"
+#include "mgsp/metadata_log.h"
+#include "mgsp/node_table.h"
+#include "mgsp/shadow_tree.h"
+#include "pmem/pmem_device.h"
+#include "pmem/pmem_pool.h"
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+/** What mount-time recovery found and did. */
+struct RecoveryReport
+{
+    u32 liveEntriesReplayed = 0;
+    u32 recordsScanned = 0;
+    u32 filesFound = 0;
+    u64 bytesWrittenBack = 0;
+    u64 nanos = 0;
+};
+
+/** One write of an atomic batch (see MgspFs::writeBatch). */
+struct BatchWrite
+{
+    u64 offset;
+    ConstSlice data;
+};
+
+/** The MGSP engine; see file comment. */
+class MgspFs : public FileSystem
+{
+  public:
+    /** Formats @p device and returns a fresh file system. */
+    static StatusOr<std::unique_ptr<MgspFs>>
+    format(std::shared_ptr<PmemDevice> device, const MgspConfig &config);
+
+    /**
+     * Mounts an existing arena, running crash recovery. The
+     * geometry fields of @p config must match the superblock.
+     */
+    static StatusOr<std::unique_ptr<MgspFs>>
+    mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config);
+
+    ~MgspFs() override;
+
+    const char *name() const override { return "mgsp"; }
+    ConsistencyLevel
+    consistency() const override
+    {
+        return ConsistencyLevel::OperationAtomic;
+    }
+
+    StatusOr<std::unique_ptr<File>>
+    open(const std::string &path, const OpenOptions &options) override;
+
+    /** Creates @p path with a fixed extent of @p capacity bytes. */
+    StatusOr<std::unique_ptr<File>> createFile(const std::string &path,
+                                               u64 capacity);
+
+    Status remove(const std::string &path) override;
+    bool exists(const std::string &path) const override;
+
+    u64
+    logicalBytesWritten() const override
+    {
+        return logicalBytes_.load(std::memory_order_relaxed);
+    }
+
+    PmemDevice *device() { return device_.get(); }
+    const MgspConfig &config() const { return config_; }
+    const RecoveryReport &recoveryReport() const { return recovery_; }
+
+    /**
+     * Writes every open file's logs back to its home extent (the
+     * close path of the paper, callable explicitly before capturing
+     * a planned-shutdown image).
+     */
+    Status writeBackAllFiles();
+
+    /** Aggregate tree statistics across open files (benchmarks). */
+    TreeStats *treeStatsFor(const std::string &path);
+
+    /**
+     * Transaction-level atomicity (the paper's stated future work,
+     * §IV-D): applies every write in @p batch to @p file as ONE
+     * failure-atomic unit — after a crash either all of them are
+     * visible or none. All writes share a single metadata-log entry,
+     * so the combined bitmap-slot demand must fit kMaxSlots (about
+     * ten block-granularity updates); InvalidArgument otherwise.
+     * Writes must not overlap one another.
+     *
+     * A database can commit a small multi-page transaction through
+     * this without any journal of its own.
+     */
+    Status writeBatch(File *file, const std::vector<BatchWrite> &batch);
+
+  private:
+    friend class MgspFile;
+
+    /** DRAM state of one file (shared by all its handles). */
+    struct OpenInode
+    {
+        u32 inodeIdx = 0;
+        u64 extentOff = 0;
+        u64 capacity = 0;
+        std::atomic<u64> fileSize{0};
+        std::unique_ptr<ShadowTree> tree;
+        RwSpinLock fileLock;  ///< FileLock mode isolation + truncate
+        std::atomic<u32> refCount{0};
+        std::string path;
+        /// Upper bound on any shadow-log claim's end offset. Appends
+        /// at or beyond it skip the shadow log entirely (in-place +
+        /// size-bump commit), at any byte alignment.
+        std::atomic<u64> claimFrontier{0};
+    };
+
+    MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config);
+
+    Status initLayout(bool fresh);
+    Status runRecovery();
+    std::vector<PoolClassConfig> poolClasses() const;
+
+    StatusOr<OpenInode *> materializeInode(u32 idx);
+    StatusOr<std::unique_ptr<File>> makeHandle(OpenInode *inode);
+    StatusOr<std::unique_ptr<File>>
+    createFileLocked(const std::string &path, u64 capacity);
+    void releaseHandle(OpenInode *inode);
+
+    /** Scans the persistent inode table for @p path; kNoRecord if absent. */
+    u32 findInode(const std::string &path) const;
+
+    // --- operation implementations (called by MgspFile) ----------
+    Status doWrite(OpenInode *inode, u64 offset, ConstSlice src);
+    /** Splits @p src into <=10-slot atomic chunks and commits each. */
+    Status doAtomicChunkOrSplit(OpenInode *inode, u64 offset,
+                                ConstSlice src);
+    Status doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src);
+    /**
+     * Commits a write lying entirely beyond EOF by storing it in
+     * place and bumping the file size (no shadow log). Returns Busy
+     * when a racing writer extended the file first.
+     */
+    Status tryAppendFastPath(OpenInode *inode, u64 offset,
+                             ConstSlice src);
+    StatusOr<u64> doRead(OpenInode *inode, u64 offset, MutSlice dst);
+    Status doTruncate(OpenInode *inode, u64 new_size);
+
+    /** Durably updates the file size (monotonic unless shrinking). */
+    void persistFileSize(OpenInode *inode, u64 new_size,
+                         bool allow_shrink = false);
+
+    std::shared_ptr<PmemDevice> device_;
+    MgspConfig config_;
+    ArenaLayout layout_;
+    std::unique_ptr<NodeTable> nodeTable_;
+    std::unique_ptr<PmemPool> pool_;
+    std::unique_ptr<MetadataLog> metaLog_;
+
+    mutable std::mutex tableMutex_;
+    std::map<std::string, std::unique_ptr<OpenInode>> openInodes_;
+    std::vector<std::pair<u64, u64>> freeExtents_;  ///< (off, cap) reuse
+    /// Node records found at mount, grouped by inode, attached on open.
+    std::map<u32, std::vector<std::pair<u32, NodeRecord>>> pendingRecords_;
+
+    std::atomic<u64> logicalBytes_{0};
+    RecoveryReport recovery_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_MGSP_FS_H

@@ -1,0 +1,64 @@
+#include "mgsp/node_table.h"
+
+#include "common/logging.h"
+
+namespace mgsp {
+
+NodeTable::NodeTable(PmemDevice *device, const ArenaLayout &layout,
+                     u32 capacity)
+    : device_(device), layout_(layout), capacity_(capacity)
+{
+    freeList_.reserve(capacity);
+    for (u32 i = capacity; i-- > 0;)
+        freeList_.push_back(i);
+}
+
+StatusOr<u32>
+NodeTable::allocRecord(u32 level, u32 inode, u64 index, u64 log_off,
+                       u64 bitmap)
+{
+    u32 idx;
+    {
+        std::lock_guard<SpinLock> guard(freeLock_);
+        if (freeList_.empty())
+            return Status::outOfSpace("node table exhausted");
+        idx = freeList_.back();
+        freeList_.pop_back();
+    }
+    NodeRecord rec;
+    rec.info = NodeRecord::packInfo(level, inode);
+    rec.index = index;
+    rec.logOff = log_off;
+    rec.bitmap = bitmap;
+    device_->write(recOff(idx), &rec, sizeof(rec));
+    device_->flush(recOff(idx), sizeof(rec));
+    return idx;
+}
+
+void
+NodeTable::freeRecord(u32 idx)
+{
+    MGSP_CHECK(idx < capacity_);
+    device_->store64(recOff(idx) + offsetof(NodeRecord, info), 0);
+    device_->flush(recOff(idx) + offsetof(NodeRecord, info), 8);
+    std::lock_guard<SpinLock> guard(freeLock_);
+    freeList_.push_back(idx);
+}
+
+NodeRecord
+NodeTable::readRecord(u32 idx) const
+{
+    MGSP_CHECK(idx < capacity_);
+    NodeRecord rec;
+    device_->read(recOff(idx), &rec, sizeof(rec));
+    return rec;
+}
+
+void
+NodeTable::setLogOff(u32 idx, u64 log_off)
+{
+    device_->store64(recOff(idx) + offsetof(NodeRecord, logOff), log_off);
+    device_->flush(recOff(idx) + offsetof(NodeRecord, logOff), 8);
+}
+
+}  // namespace mgsp

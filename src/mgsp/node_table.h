@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Persistent radix-tree node records.
+ *
+ * Every materialised tree node has a 32-byte NodeRecord in the arena
+ * holding its (level, index), shadow-log block offset and the bitmap
+ * word that is the engine's atomic commit target. The volatile trees
+ * and the log-pool occupancy are rebuilt from this table at mount.
+ */
+#ifndef MGSP_MGSP_NODE_TABLE_H
+#define MGSP_MGSP_NODE_TABLE_H
+
+#include <mutex>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "common/status.h"
+#include "mgsp/layout.h"
+#include "pmem/pmem_device.h"
+
+namespace mgsp {
+
+/** Sentinel for "no node record". */
+inline constexpr u32 kNoRecord = ~0u;
+
+/** Allocator + accessor for the persistent node-record array. */
+class NodeTable
+{
+  public:
+    NodeTable(PmemDevice *device, const ArenaLayout &layout, u32 capacity);
+
+    u32 capacity() const { return capacity_; }
+
+    /**
+     * Allocates a record, writes its fields and persists it
+     * (flush, no fence — callers order a fence before the record is
+     * referenced by a metadata-log entry).
+     *
+     * @return the record index, or OutOfSpace.
+     */
+    StatusOr<u32> allocRecord(u32 level, u32 inode, u64 index, u64 log_off,
+                              u64 bitmap);
+
+    /** Clears the in-use flag (flushed, unfenced) and recycles @p idx. */
+    void freeRecord(u32 idx);
+
+    /** Device offset of record @p idx. */
+    u64
+    recOff(u32 idx) const
+    {
+        return layout_.nodeRecOff(idx);
+    }
+
+    /** Device offset of the bitmap word of record @p idx. */
+    u64
+    bitmapOff(u32 idx) const
+    {
+        return recOff(idx) + offsetof(NodeRecord, bitmap);
+    }
+
+    /** Reads the full record @p idx. */
+    NodeRecord readRecord(u32 idx) const;
+
+    /** Atomically loads the bitmap word of @p idx. */
+    u64
+    loadBitmap(u32 idx) const
+    {
+        return device_->load64(bitmapOff(idx));
+    }
+
+    /** Atomically stores (and flushes) the bitmap word of @p idx. */
+    void
+    storeBitmap(u32 idx, u64 word)
+    {
+        device_->store64(bitmapOff(idx), word);
+        device_->flush(bitmapOff(idx), 8);
+    }
+
+    /** Atomically ORs bits into the bitmap word (flushed, unfenced). */
+    void
+    orBitmap(u32 idx, u64 bits)
+    {
+        device_->fetchOr64(bitmapOff(idx), bits);
+        device_->flush(bitmapOff(idx), 8);
+    }
+
+    /** Updates the log-block pointer of @p idx (flushed, unfenced). */
+    void setLogOff(u32 idx, u64 log_off);
+
+    /**
+     * Rebuilds the free list from the persistent in-use flags and
+     * invokes @p visitor for every live record (mount-time scan).
+     */
+    template <typename Visitor>
+    void
+    rebuild(Visitor &&visitor)
+    {
+        std::lock_guard<SpinLock> guard(freeLock_);
+        freeList_.clear();
+        // Descending, so the back of the list (popped first) holds
+        // the lowest free index.
+        for (u32 i = capacity_; i-- > 0;) {
+            NodeRecord rec = readRecord(i);
+            if (NodeRecord::inUse(rec.info))
+                visitor(i, rec);
+            else
+                freeList_.push_back(i);
+        }
+    }
+
+  private:
+    PmemDevice *device_;
+    ArenaLayout layout_;
+    u32 capacity_;
+
+    SpinLock freeLock_;
+    std::vector<u32> freeList_;  ///< record indices; popped from back
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_NODE_TABLE_H

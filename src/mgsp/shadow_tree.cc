@@ -1,0 +1,728 @@
+#include "mgsp/shadow_tree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "common/align.h"
+#include "common/logging.h"
+
+namespace mgsp {
+
+TreeGeometry
+TreeGeometry::forCapacity(u64 capacity, u64 leaf_size, u32 degree)
+{
+    TreeGeometry geo;
+    geo.leafSize = leaf_size;
+    geo.degree = degree;
+    geo.height = 1;
+    u64 cov = leaf_size * degree;
+    while (cov < capacity) {
+        cov *= degree;
+        ++geo.height;
+    }
+    geo.rootCoverage = cov;
+    return geo;
+}
+
+ShadowTree::ShadowTree(PmemDevice *device, PmemPool *pool, NodeTable *table,
+                       const MgspConfig *config, u32 inode_idx,
+                       u64 extent_off, u64 capacity, u32 root_rec)
+    : device_(device), pool_(pool), table_(table), config_(config),
+      geo_(TreeGeometry::forCapacity(capacity, config->leafBlockSize,
+                                     config->degree)),
+      inodeIdx_(inode_idx), extentOff_(extent_off), capacity_(capacity)
+{
+    root_ = std::make_unique<TreeNode>(0, 0, 0, geo_.rootCoverage, nullptr,
+                                       /*leaf=*/geo_.height == 0);
+    root_->recIdx.store(root_rec, std::memory_order_relaxed);
+    minSearch_.store(root_.get(), std::memory_order_relaxed);
+}
+
+ShadowTree::~ShadowTree() = default;
+
+u64
+ShadowTree::bitmapOf(const TreeNode *n) const
+{
+    const u32 rec = n->recIdx.load(std::memory_order_acquire);
+    if (rec == kNoRecord)
+        return n->parent == nullptr ? kBitValid : 0;
+    return table_->loadBitmap(rec);
+}
+
+u64
+ShadowTree::regionOff(const TreeNode *holder, u64 off) const
+{
+    if (holder->parent == nullptr)
+        return extentOff_ + off;
+    const u64 log = holder->logOff.load(std::memory_order_acquire);
+    MGSP_CHECK(log != 0);
+    return log + (off - holder->startOff);
+}
+
+TreeNode *
+ShadowTree::childAt(const TreeNode *parent, u32 slot) const
+{
+    MGSP_CHECK(parent->children != nullptr && slot < geo_.degree);
+    return parent->children[slot].load(std::memory_order_acquire);
+}
+
+TreeNode *
+ShadowTree::getOrCreateChild(TreeNode *parent, u32 slot)
+{
+    TreeNode *child = childAt(parent, slot);
+    if (child != nullptr)
+        return child;
+    const u64 child_cov = parent->coverage / geo_.degree;
+    const u64 child_start = parent->startOff + slot * child_cov;
+    const u32 child_level = parent->level + 1;
+    auto fresh = std::make_unique<TreeNode>(
+        child_level, parent->index * geo_.degree + slot, child_start,
+        child_cov, parent, /*leaf=*/child_level == geo_.height);
+    TreeNode *expected = nullptr;
+    if (parent->children[slot].compare_exchange_strong(
+            expected, fresh.get(), std::memory_order_acq_rel)) {
+        return fresh.release();
+    }
+    return expected;  // another thread installed it first
+}
+
+Status
+ShadowTree::ensureRecord(TreeNode *n)
+{
+    if (n->recIdx.load(std::memory_order_acquire) != kNoRecord)
+        return Status::ok();
+    std::lock_guard<SpinLock> guard(n->transition);
+    if (n->recIdx.load(std::memory_order_acquire) != kNoRecord)
+        return Status::ok();
+    StatusOr<u32> rec = table_->allocRecord(n->level, inodeIdx_, n->index,
+                                            /*log_off=*/0, /*bitmap=*/0);
+    if (!rec.isOk())
+        return rec.status();
+    n->recIdx.store(*rec, std::memory_order_release);
+    return Status::ok();
+}
+
+Status
+ShadowTree::ensureLog(TreeNode *n)
+{
+    if (n->logOff.load(std::memory_order_acquire) != 0)
+        return Status::ok();
+    MGSP_RETURN_IF_ERROR(ensureRecord(n));
+    std::lock_guard<SpinLock> guard(n->transition);
+    if (n->logOff.load(std::memory_order_acquire) != 0)
+        return Status::ok();
+    StatusOr<u64> block = pool_->alloc(n->coverage);
+    if (!block.isOk())
+        return block.status();
+    table_->setLogOff(n->recIdx.load(std::memory_order_acquire), *block);
+    n->logOff.store(*block, std::memory_order_release);
+    return Status::ok();
+}
+
+Status
+ShadowTree::ensureExisting(TreeNode *n)
+{
+    const u32 rec_probe = n->recIdx.load(std::memory_order_acquire);
+    if (rec_probe != kNoRecord &&
+        (table_->loadBitmap(rec_probe) & kBitExisting))
+        return Status::ok();
+    MGSP_RETURN_IF_ERROR(ensureRecord(n));
+    std::lock_guard<SpinLock> guard(n->transition);
+    const u32 rec = n->recIdx.load(std::memory_order_acquire);
+    if (table_->loadBitmap(rec) & kBitExisting)
+        return Status::ok();
+    // Lazy-cleaning invariant: before making descendants reachable,
+    // durably zero any stale child bitmaps left by an earlier coarse
+    // write at this node.
+    bool zeroed = false;
+    if (n->children) {
+        for (u32 i = 0; i < geo_.degree; ++i) {
+            TreeNode *child = childAt(n, i);
+            if (child == nullptr)
+                continue;
+            const u32 child_rec =
+                child->recIdx.load(std::memory_order_acquire);
+            if (child_rec != kNoRecord &&
+                table_->loadBitmap(child_rec) != 0) {
+                table_->storeBitmap(child_rec, 0);
+                zeroed = true;
+            }
+        }
+    }
+    if (zeroed)
+        device_->fence();  // zeroes durable before existing flips
+    table_->orBitmap(rec, kBitExisting);  // flushed; fenced pre-commit
+    return Status::ok();
+}
+
+void
+ShadowTree::lockNode(TreeNode *n, MglMode mode,
+                     std::vector<HeldLock> *locks, bool lockless)
+{
+    if (lockless)
+        return;
+    n->lock.acquire(mode);
+    locks->push_back(HeldLock{n, mode});
+}
+
+void
+ShadowTree::releaseLocks(std::vector<HeldLock> *locks)
+{
+    for (const HeldLock &held : *locks)
+        held.node->lock.release(held.mode);
+    locks->clear();
+}
+
+u32
+ShadowTree::countRange(u32 level, u64 node_start, u64 off, u64 len) const
+{
+    if (level == geo_.height)
+        return 1;
+    const u64 cov = geo_.coverage(level);
+    if (off == node_start && len == cov && level > 0 &&
+        config_->enableMultiGranularity &&
+        cov <= config_->maxCoarseLogSize)
+        return 1;
+    const u64 child_cov = cov / geo_.degree;
+    const u64 first = (off - node_start) / child_cov;
+    const u64 last = (off + len - 1 - node_start) / child_cov;
+    u32 total = 0;
+    for (u64 i = first; i <= last; ++i) {
+        const u64 child_start = node_start + i * child_cov;
+        const u64 sub_off = std::max(off, child_start);
+        const u64 sub_end = std::min(off + len, child_start + child_cov);
+        total += countRange(level + 1, child_start, sub_off,
+                            sub_end - sub_off);
+    }
+    return total;
+}
+
+u32
+ShadowTree::planSlotCount(u64 off, u64 len) const
+{
+    MGSP_CHECK(len > 0 && off + len <= geo_.rootCoverage);
+    return countRange(0, 0, off, len);
+}
+
+TreeNode *
+ShadowTree::nearestValid(TreeNode *n)
+{
+    for (TreeNode *cur = n; cur != nullptr; cur = cur->parent) {
+        if (cur->parent == nullptr || (bitmapOf(cur) & kBitValid))
+            return cur;
+    }
+    return root_.get();
+}
+
+TreeNode *
+ShadowTree::coveringNode(u64 off, u64 len)
+{
+    MGSP_CHECK(len > 0 && off + len <= geo_.rootCoverage);
+    TreeNode *n = root_.get();
+    // Minimum-search-tree fast path: start from the cached subtree
+    // (or its ancestors) instead of the root.
+    if (config_->enableMinSearchTree) {
+        TreeNode *cached = minSearch_.load(std::memory_order_acquire);
+        TreeNode *anchor = cached;
+        while (anchor != nullptr &&
+               !(anchor->startOff <= off &&
+                 off + len <= anchor->startOff + anchor->coverage))
+            anchor = anchor->parent;
+        if (anchor != nullptr) {
+            n = anchor;
+            if (anchor == cached)
+                stats_.minTreeHits.fetch_add(1, std::memory_order_relaxed);
+            else
+                stats_.minTreeMisses.fetch_add(1,
+                                               std::memory_order_relaxed);
+        }
+    }
+    while (n->level < geo_.height) {
+        const u64 child_cov = n->coverage / geo_.degree;
+        const u64 first = (off - n->startOff) / child_cov;
+        const u64 last = (off + len - 1 - n->startOff) / child_cov;
+        if (first != last)
+            break;
+        n = getOrCreateChild(n, static_cast<u32>(first));
+    }
+    if (config_->enableMinSearchTree)
+        minSearch_.store(n, std::memory_order_release);
+    return n;
+}
+
+Status
+ShadowTree::performWrite(u64 off, ConstSlice data, StagedMetadata *staged,
+                         std::vector<HeldLock> *locks, bool lockless)
+{
+    MGSP_CHECK(data.size() > 0 && off + data.size() <= capacity_);
+    return writeRange(root_.get(), off, data.size(), data.data(),
+                      root_.get(), staged, locks, lockless);
+}
+
+Status
+ShadowTree::writeRange(TreeNode *n, u64 off, u64 len, const u8 *data,
+                       TreeNode *last_valid, StagedMetadata *staged,
+                       std::vector<HeldLock> *locks, bool lockless)
+{
+    if (isLeaf(n)) {
+        lockNode(n, MglMode::W, locks, lockless);
+        return leafWrite(n, off, len, data, last_valid, staged);
+    }
+
+    const bool full_cover = (off == n->startOff && len == n->coverage);
+    if (full_cover && coarseStopAllowed(n)) {
+        lockNode(n, MglMode::W, locks, lockless);
+        MGSP_RETURN_IF_ERROR(ensureRecord(n));
+        const u64 word = bitmapOf(n);
+        u64 new_word;
+        if ((word & kBitValid) && config_->enableShadowLog) {
+            // Valid log: the new data goes to the nearest valid
+            // ancestor's region; this node's copy becomes the undo.
+            device_->write(regionOff(last_valid, off), data, len);
+            device_->flush(regionOff(last_valid, off), len);
+            new_word = 0;
+        } else {
+            MGSP_RETURN_IF_ERROR(ensureLog(n));
+            device_->write(regionOff(n, off), data, len);
+            device_->flush(regionOff(n, off), len);
+            new_word = kBitValid;
+        }
+        stats_.coarseLogWrites.fetch_add(1, std::memory_order_relaxed);
+        staged->addSlot(n->recIdx.load(std::memory_order_acquire),
+                        static_cast<u32>(new_word));
+        return Status::ok();
+    }
+
+    // Descend: this node is partially covered (or too coarse to log).
+    lockNode(n, MglMode::IW, locks, lockless);
+    MGSP_RETURN_IF_ERROR(ensureExisting(n));
+    if (n->parent == nullptr || (bitmapOf(n) & kBitValid))
+        last_valid = n;
+    const u64 child_cov = n->coverage / geo_.degree;
+    const u64 first = (off - n->startOff) / child_cov;
+    const u64 last = (off + len - 1 - n->startOff) / child_cov;
+    for (u64 i = first; i <= last; ++i) {
+        const u64 child_start = n->startOff + i * child_cov;
+        const u64 sub_off = std::max(off, child_start);
+        const u64 sub_end = std::min(off + len, child_start + child_cov);
+        TreeNode *child = getOrCreateChild(n, static_cast<u32>(i));
+        MGSP_RETURN_IF_ERROR(writeRange(child, sub_off, sub_end - sub_off,
+                                        data + (sub_off - off), last_valid,
+                                        staged, locks, lockless));
+    }
+    return Status::ok();
+}
+
+Status
+ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
+                      TreeNode *last_valid, StagedMetadata *staged)
+{
+    const u32 sub_bits = config_->enableFineGrained ? config_->leafSubBits
+                                                    : 1;
+    const u64 unit = geo_.leafSize / sub_bits;
+    MGSP_RETURN_IF_ERROR(ensureRecord(leaf));
+    const u32 rec = leaf->recIdx.load(std::memory_order_acquire);
+    const u64 word = table_->loadBitmap(rec);
+
+    // Expand to sub-unit alignment (leaf-relative byte range).
+    const u64 rel_off = off - leaf->startOff;
+    const u64 a = alignDown(rel_off, unit);
+    const u64 b = std::min(alignUp(rel_off + len, unit), geo_.leafSize);
+    const u64 span = b - a;
+
+    // Compose the full aligned span: user bytes plus read-modify-write
+    // edges fetched from wherever the latest copy lives.
+    std::vector<u8> buf(span);
+    auto latestSrc = [&](u64 rel) -> u64 {
+        const u64 bit = 1ull << (rel / unit);
+        if (word & bit)
+            return regionOff(leaf, leaf->startOff) + rel;
+        return regionOff(last_valid, leaf->startOff + rel);
+    };
+    if (rel_off > a) {
+        const u64 head = rel_off - a;
+        device_->read(latestSrc(a), buf.data(), head);
+        device_->latency().chargeRead(head);
+    }
+    std::memcpy(buf.data() + (rel_off - a), data, len);
+    if (b > rel_off + len) {
+        const u64 tail_rel = rel_off + len;
+        const u64 tail = b - tail_rel;
+        device_->read(latestSrc(alignDown(tail_rel, unit)) +
+                          (tail_rel - alignDown(tail_rel, unit)),
+                      buf.data() + (tail_rel - a), tail);
+        device_->latency().chargeRead(tail);
+    }
+
+    // Write runs of sub-units sharing the same valid-bit value.
+    u64 new_word = word;
+    bool need_own_log = false;
+    const u64 first_unit = a / unit;
+    const u64 last_unit = (b - 1) / unit;
+    for (u64 u = first_unit; u <= last_unit; ++u) {
+        if (!(word & (1ull << u)))
+            need_own_log = true;
+    }
+    if (need_own_log || !config_->enableShadowLog)
+        MGSP_RETURN_IF_ERROR(ensureLog(leaf));
+
+    u64 u = first_unit;
+    while (u <= last_unit) {
+        const bool was_valid =
+            (word & (1ull << u)) && config_->enableShadowLog;
+        u64 run_end = u;
+        while (run_end + 1 <= last_unit &&
+               (((word & (1ull << (run_end + 1))) != 0) &&
+                config_->enableShadowLog) == was_valid)
+            ++run_end;
+        const u64 run_rel = u * unit;
+        const u64 run_len = (run_end - u + 1) * unit;
+        u64 dst;
+        if (was_valid) {
+            // Latest is in the leaf log: new data goes to the nearest
+            // valid ancestor; the leaf copy becomes the undo.
+            dst = regionOff(last_valid, leaf->startOff + run_rel);
+            for (u64 v = u; v <= run_end; ++v)
+                new_word &= ~(1ull << v);
+        } else {
+            dst = regionOff(leaf, leaf->startOff) + run_rel;
+            for (u64 v = u; v <= run_end; ++v)
+                new_word |= (1ull << v);
+        }
+        device_->write(dst, buf.data() + (run_rel - a), run_len);
+        device_->flush(dst, run_len);
+        stats_.fineSubWrites.fetch_add(run_end - u + 1,
+                                       std::memory_order_relaxed);
+        u = run_end + 1;
+    }
+    stats_.leafLogWrites.fetch_add(1, std::memory_order_relaxed);
+    staged->addSlot(rec, static_cast<u32>(new_word));
+    return Status::ok();
+}
+
+void
+ShadowTree::applyStaged(const StagedMetadata &staged)
+{
+    for (u32 i = 0; i < staged.usedSlots; ++i)
+        table_->storeBitmap(staged.slots[i].recIdx,
+                            staged.slots[i].newBits);
+}
+
+Status
+ShadowTree::performRead(u64 off, MutSlice out, std::vector<HeldLock> *locks,
+                        bool lockless)
+{
+    MGSP_CHECK(out.size() > 0 && off + out.size() <= capacity_);
+    return readRange(root_.get(), off, out.size(), out.data(), root_.get(),
+                     locks, lockless);
+}
+
+Status
+ShadowTree::readRange(TreeNode *n, u64 off, u64 len, u8 *out,
+                      TreeNode *last_valid, std::vector<HeldLock> *locks,
+                      bool lockless)
+{
+    if (isLeaf(n)) {
+        lockNode(n, MglMode::R, locks, lockless);
+        leafRead(n, off, len, out, last_valid);
+        return Status::ok();
+    }
+
+    for (;;) {
+        u64 word = bitmapOf(n);
+        if (n->parent == nullptr)
+            word |= kBitValid;
+        if (!(word & kBitExisting)) {
+            lockNode(n, MglMode::R, locks, lockless);
+            word = bitmapOf(n);
+            if (n->parent == nullptr)
+                word |= kBitValid;
+            if (!lockless && (word & kBitExisting)) {
+                // A writer populated descendants between our bitmap
+                // probe and the lock; retry with an intention lock.
+                locks->back().node->lock.release(MglMode::R);
+                locks->pop_back();
+                continue;
+            }
+            const TreeNode *src = (word & kBitValid) ? n : last_valid;
+            device_->read(regionOff(src, off), out, len);
+            return Status::ok();
+        }
+        lockNode(n, MglMode::IR, locks, lockless);
+        if (!lockless) {
+            word = bitmapOf(n);
+            if (n->parent == nullptr)
+                word |= kBitValid;
+            if (!(word & kBitExisting)) {
+                // A coarse write superseded the descendants; retry.
+                locks->back().node->lock.release(MglMode::IR);
+                locks->pop_back();
+                continue;
+            }
+        }
+        if (word & kBitValid)
+            last_valid = n;
+        const u64 child_cov = n->coverage / geo_.degree;
+        const u64 first = (off - n->startOff) / child_cov;
+        const u64 last = (off + len - 1 - n->startOff) / child_cov;
+        for (u64 i = first; i <= last; ++i) {
+            const u64 child_start = n->startOff + i * child_cov;
+            const u64 sub_off = std::max(off, child_start);
+            const u64 sub_end =
+                std::min(off + len, child_start + child_cov);
+            TreeNode *child = getOrCreateChild(n, static_cast<u32>(i));
+            MGSP_RETURN_IF_ERROR(
+                readRange(child, sub_off, sub_end - sub_off,
+                          out + (sub_off - off), last_valid, locks,
+                          lockless));
+        }
+        return Status::ok();
+    }
+}
+
+void
+ShadowTree::leafRead(TreeNode *leaf, u64 off, u64 len, u8 *out,
+                     TreeNode *last_valid) const
+{
+    const u32 sub_bits = config_->enableFineGrained ? config_->leafSubBits
+                                                    : 1;
+    const u64 unit = geo_.leafSize / sub_bits;
+    const u64 word = bitmapOf(leaf);
+    u64 cursor = off;
+    while (cursor < off + len) {
+        const u64 rel = cursor - leaf->startOff;
+        const u64 unit_idx = rel / unit;
+        const u64 unit_end = leaf->startOff + (unit_idx + 1) * unit;
+        const bool valid = (word & (1ull << unit_idx)) != 0;
+        // Extend across adjacent units with the same validity.
+        u64 seg_end = std::min(unit_end, off + len);
+        u64 probe = unit_idx + 1;
+        while (seg_end < off + len && probe < sub_bits &&
+               ((word & (1ull << probe)) != 0) == valid) {
+            seg_end = std::min(leaf->startOff + (probe + 1) * unit,
+                               off + len);
+            ++probe;
+        }
+        const TreeNode *src = valid ? leaf : last_valid;
+        device_->read(regionOff(src, cursor), out + (cursor - off),
+                      seg_end - cursor);
+        cursor = seg_end;
+    }
+}
+
+Status
+ShadowTree::writeBackRange(u64 off, u64 len)
+{
+    if (len == 0)
+        return Status::ok();
+    const u64 unit = geo_.leafSize / (config_->enableFineGrained
+                                          ? config_->leafSubBits
+                                          : 1);
+    const u64 a = alignDown(off, unit);
+    const u64 b = std::min(alignUp(off + len, unit), capacity_);
+    MGSP_RETURN_IF_ERROR(
+        writeBackNode(root_.get(), a, b - a, root_.get()));
+    device_->fence();
+
+    // Clear the bitmap claims of fully-covered nodes; the home extent
+    // now holds the latest bytes, so every intermediate crash state
+    // remains consistent.
+    struct Clear
+    {
+        ShadowTree *tree;
+        u64 a, b;
+        void
+        visit(TreeNode *n)
+        {
+            if (n->startOff >= b || n->startOff + n->coverage <= a)
+                return;
+            const bool covered = a <= n->startOff &&
+                                 n->startOff + n->coverage <= b;
+            const u32 rec = n->recIdx.load(std::memory_order_acquire);
+            if (covered && n->parent != nullptr && rec != kNoRecord) {
+                if (tree->table_->loadBitmap(rec) != 0)
+                    tree->table_->storeBitmap(rec, 0);
+            } else if (tree->isLeaf(n) && rec != kNoRecord) {
+                // Partially covered leaf: clear the covered sub-bits.
+                const u64 us = tree->geo_.leafSize /
+                               (tree->config_->enableFineGrained
+                                    ? tree->config_->leafSubBits
+                                    : 1);
+                u64 word = tree->table_->loadBitmap(rec);
+                const u64 lo = std::max(a, n->startOff);
+                const u64 hi = std::min(b, n->startOff + n->coverage);
+                u64 cleared = word;
+                for (u64 p = lo; p < hi; p += us)
+                    cleared &= ~(1ull << ((p - n->startOff) / us));
+                if (cleared != word)
+                    tree->table_->storeBitmap(rec, cleared);
+            }
+            if (n->children) {
+                for (u32 i = 0; i < tree->geo_.degree; ++i) {
+                    TreeNode *child = tree->childAt(n, i);
+                    if (child)
+                        visit(child);
+                }
+            }
+        }
+    } clear{this, a, b};
+    clear.visit(root_.get());
+    device_->fence();
+    return Status::ok();
+}
+
+Status
+ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
+                          TreeNode *last_valid)
+{
+    if (isLeaf(n)) {
+        const u32 rec = n->recIdx.load(std::memory_order_acquire);
+        if (rec == kNoRecord) {
+            if (last_valid->parent != nullptr) {
+                device_->write(extentOff_ + off,
+                               device_->rawRead(regionOff(last_valid, off)),
+                               len);
+                device_->flush(extentOff_ + off, len);
+            }
+            return Status::ok();
+        }
+        const u32 sub_bits = config_->enableFineGrained
+                                 ? config_->leafSubBits
+                                 : 1;
+        const u64 unit = geo_.leafSize / sub_bits;
+        const u64 word = table_->loadBitmap(rec);
+        for (u64 cursor = off; cursor < off + len;) {
+            const u64 unit_idx = (cursor - n->startOff) / unit;
+            const u64 seg_end = std::min(
+                n->startOff + (unit_idx + 1) * unit, off + len);
+            const bool valid = (word & (1ull << unit_idx)) != 0;
+            const TreeNode *src = valid ? n : last_valid;
+            if (src->parent != nullptr) {
+                device_->write(extentOff_ + cursor,
+                               device_->rawRead(regionOff(src, cursor)),
+                               seg_end - cursor);
+                device_->flush(extentOff_ + cursor, seg_end - cursor);
+            }
+            cursor = seg_end;
+        }
+        return Status::ok();
+    }
+
+    u64 word = bitmapOf(n);
+    if (n->parent == nullptr)
+        word |= kBitValid;
+    if (!(word & kBitExisting)) {
+        const TreeNode *src = (word & kBitValid) ? n : last_valid;
+        if (src->parent != nullptr) {
+            device_->write(extentOff_ + off,
+                           device_->rawRead(regionOff(src, off)), len);
+            device_->flush(extentOff_ + off, len);
+        }
+        return Status::ok();
+    }
+    if (word & kBitValid)
+        last_valid = n;
+    const u64 child_cov = n->coverage / geo_.degree;
+    const u64 first = (off - n->startOff) / child_cov;
+    const u64 last = (off + len - 1 - n->startOff) / child_cov;
+    for (u64 i = first; i <= last; ++i) {
+        const u64 child_start = n->startOff + i * child_cov;
+        const u64 sub_off = std::max(off, child_start);
+        const u64 sub_end = std::min(off + len, child_start + child_cov);
+        TreeNode *child = childAt(n, static_cast<u32>(i));
+        if (child != nullptr) {
+            MGSP_RETURN_IF_ERROR(writeBackNode(
+                child, sub_off, sub_end - sub_off, last_valid));
+        } else if (last_valid->parent != nullptr) {
+            device_->write(extentOff_ + sub_off,
+                           device_->rawRead(regionOff(last_valid, sub_off)),
+                           sub_end - sub_off);
+            device_->flush(extentOff_ + sub_off, sub_end - sub_off);
+        }
+    }
+    return Status::ok();
+}
+
+void
+ShadowTree::clearSubtreeMetadata(TreeNode *n, bool is_root)
+{
+    if (n->children) {
+        for (u32 i = 0; i < geo_.degree; ++i) {
+            TreeNode *child = childAt(n, i);
+            if (child)
+                clearSubtreeMetadata(child, false);
+        }
+    }
+    const u32 rec = n->recIdx.load(std::memory_order_acquire);
+    if (rec == kNoRecord)
+        return;
+    if (is_root) {
+        table_->storeBitmap(rec, kBitValid);
+    } else {
+        table_->storeBitmap(rec, 0);
+        table_->freeRecord(rec);
+        n->recIdx.store(kNoRecord, std::memory_order_release);
+    }
+}
+
+Status
+ShadowTree::writeBackAll()
+{
+    MGSP_RETURN_IF_ERROR(
+        writeBackNode(root_.get(), 0, capacity_, root_.get()));
+    device_->fence();
+    clearSubtreeMetadata(root_.get(), true);
+    device_->fence();
+
+    // Free log blocks and drop the volatile subtrees (exclusive
+    // access is guaranteed by the close path).
+    struct FreeLogs
+    {
+        ShadowTree *tree;
+        void
+        visit(TreeNode *n)
+        {
+            if (n->children) {
+                for (u32 i = 0; i < tree->geo_.degree; ++i) {
+                    TreeNode *child = tree->childAt(n, i);
+                    if (child) {
+                        visit(child);
+                        delete child;
+                        n->children[i].store(nullptr,
+                                             std::memory_order_release);
+                    }
+                }
+            }
+            const u64 log = n->logOff.load(std::memory_order_acquire);
+            if (log != 0 && n->parent != nullptr) {
+                tree->pool_->free(log, n->coverage);
+                n->logOff.store(0, std::memory_order_release);
+            }
+        }
+    } freer{this};
+    freer.visit(root_.get());
+    minSearch_.store(root_.get(), std::memory_order_release);
+    return Status::ok();
+}
+
+void
+ShadowTree::attachRecord(u32 rec_idx, const NodeRecord &rec)
+{
+    const u32 level = NodeRecord::level(rec.info);
+    MGSP_CHECK(level <= geo_.height);
+    TreeNode *n = root_.get();
+    for (u32 l = 0; l < level; ++l) {
+        u64 divisor = 1;
+        for (u32 k = 0; k < level - l - 1; ++k)
+            divisor *= geo_.degree;
+        const u32 slot = static_cast<u32>((rec.index / divisor) %
+                                          geo_.degree);
+        n = getOrCreateChild(n, slot);
+    }
+    MGSP_CHECK(n->index == rec.index);
+    n->recIdx.store(rec_idx, std::memory_order_release);
+    n->logOff.store(rec.logOff, std::memory_order_release);
+}
+
+}  // namespace mgsp

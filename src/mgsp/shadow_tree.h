@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The Multi-granularity Shadow Log (MSL, paper §III-B).
+ *
+ * A per-file radix tree whose levels manage shadow logs of decreasing
+ * granularity. The root's "log" is the file's home extent itself; a
+ * node's log block is allocated lazily from the pool. Per-node bitmap
+ * words locate the latest copy of every byte:
+ *
+ *  - non-leaf: bit 0 (valid) = this node's log holds the latest data
+ *    for the part of its range not superseded by descendants;
+ *    bit 1 (existing) = some descendant holds valid data.
+ *  - leaf: leafSubBits valid bits, one per fine-grained sub-unit.
+ *
+ * Shadow logging (paper Fig. 3): a write landing on a node whose log
+ * is *invalid* writes into the node's own log and sets the valid bit
+ * (redo style); a write landing on a *valid* log writes the new data
+ * into the nearest valid ancestor's log region and clears the bit
+ * (the old copy in the node's log acts as the undo copy). Either way
+ * one write costs one data-block write — no double write.
+ *
+ * The atomic commit point of an operation is the publication of its
+ * metadata-log entry; this class only *stages* bitmap changes
+ * (StagedMetadata slots) and applies them after commit.
+ *
+ * Lazy cleaning (paper §III-B2): a coarse write clears the written
+ * node's existing bit and leaves descendants' stale bitmaps in place;
+ * a later writer that flips a node's existing bit 0->1 first durably
+ * zeroes that node's immediate children's bitmaps. The invariant: a
+ * node's bitmap is meaningful only if every ancestor's existing bit
+ * on its path is set.
+ */
+#ifndef MGSP_MGSP_SHADOW_TREE_H
+#define MGSP_MGSP_SHADOW_TREE_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "mgsp/config.h"
+#include "mgsp/metadata_log.h"
+#include "mgsp/mg_lock.h"
+#include "mgsp/node_table.h"
+#include "pmem/pmem_pool.h"
+
+namespace mgsp {
+
+/** Non-leaf bitmap bits. */
+inline constexpr u64 kBitValid = 1;
+inline constexpr u64 kBitExisting = 2;
+
+/** Static shape of a file's radix tree. */
+struct TreeGeometry
+{
+    u64 leafSize = 0;
+    u32 degree = 0;
+    u32 height = 0;  ///< leaves live at level == height; root at 0
+    u64 rootCoverage = 0;
+
+    /** Smallest tree whose root covers @p capacity bytes. */
+    static TreeGeometry forCapacity(u64 capacity, u64 leaf_size,
+                                    u32 degree);
+
+    /** Bytes covered by one node at @p level. */
+    u64
+    coverage(u32 level) const
+    {
+        u64 c = leafSize;
+        for (u32 l = height; l > level; --l)
+            c *= degree;
+        return c;
+    }
+};
+
+/** One volatile radix-tree node. Persistent state is in NodeTable. */
+struct TreeNode
+{
+    TreeNode(u32 level_in, u64 index_in, u64 start, u64 cov,
+             TreeNode *parent_in, bool leaf)
+        : level(level_in), index(index_in), startOff(start),
+          coverage(cov), parent(parent_in)
+    {
+        if (!leaf)
+            children = std::make_unique<std::atomic<TreeNode *>[]>(64);
+    }
+
+    ~TreeNode()
+    {
+        if (children) {
+            for (u32 i = 0; i < 64; ++i)
+                delete children[i].load(std::memory_order_relaxed);
+        }
+    }
+
+    const u32 level;
+    const u64 index;
+    const u64 startOff;
+    const u64 coverage;
+    TreeNode *const parent;
+
+    std::atomic<u32> recIdx{kNoRecord};
+    std::atomic<u64> logOff{0};
+    std::unique_ptr<std::atomic<TreeNode *>[]> children;
+
+    MglLock lock;
+    SpinLock transition;  ///< guards creation + existing 0->1 cleanup
+};
+
+/** A lock acquired during an operation, for ordered release. */
+struct HeldLock
+{
+    TreeNode *node;
+    MglMode mode;
+};
+
+/** Counters for the ablation/breakdown analysis. */
+struct TreeStats
+{
+    std::atomic<u64> coarseLogWrites{0};  ///< interior-node stops
+    std::atomic<u64> leafLogWrites{0};
+    std::atomic<u64> fineSubWrites{0};    ///< sub-block granular units
+    std::atomic<u64> minTreeHits{0};
+    std::atomic<u64> minTreeMisses{0};
+};
+
+/**
+ * Per-file shadow-log tree. Thread-safe under the MGL protocol: all
+ * public operations acquire node locks unless @p lockless is passed
+ * (greedy mode, where the caller holds a covering W/R lock).
+ */
+class ShadowTree
+{
+  public:
+    /**
+     * @param device      the NVM arena.
+     * @param pool        shadow-log block allocator.
+     * @param table       persistent node records.
+     * @param config      engine config (not owned; outlives the tree).
+     * @param inode_idx   owning file's inode index.
+     * @param extent_off  arena offset of the file's home extent.
+     * @param capacity    extent size in bytes.
+     * @param root_rec    node record index of the root.
+     */
+    ShadowTree(PmemDevice *device, PmemPool *pool, NodeTable *table,
+               const MgspConfig *config, u32 inode_idx, u64 extent_off,
+               u64 capacity, u32 root_rec);
+    ~ShadowTree();
+
+    ShadowTree(const ShadowTree &) = delete;
+    ShadowTree &operator=(const ShadowTree &) = delete;
+
+    const TreeGeometry &geometry() const { return geo_; }
+    TreeNode *root() { return root_.get(); }
+    TreeStats &stats() { return stats_; }
+
+    /**
+     * Number of bitmap slots a write [off, off+len) will stage.
+     * Pure geometry; no side effects. Callers split writes whose
+     * count exceeds MetaLogEntry::kMaxSlots.
+     */
+    u32 planSlotCount(u64 off, u64 len) const;
+
+    /**
+     * Phase 1 of a write: acquires MGL locks, writes the data into
+     * the shadow logs (flushed, not fenced) and stages the bitmap
+     * changes. The caller then fences, commits the metadata entry,
+     * calls applyStaged(), and finally releases @p locks.
+     *
+     * @param lockless  skip node locking (caller holds a covering
+     *                  lock — greedy or file-lock mode).
+     */
+    Status performWrite(u64 off, ConstSlice data, StagedMetadata *staged,
+                        std::vector<HeldLock> *locks, bool lockless);
+
+    /** Applies committed bitmap words (store + flush; no fence). */
+    void applyStaged(const StagedMetadata &staged);
+
+    /**
+     * Reads the latest bytes of [off, off+out.size()). Acquires IR/R
+     * locks into @p locks unless @p lockless.
+     */
+    Status performRead(u64 off, MutSlice out,
+                       std::vector<HeldLock> *locks, bool lockless);
+
+    /** Releases locks in acquisition order and clears the vector. */
+    static void releaseLocks(std::vector<HeldLock> *locks);
+
+    /**
+     * Copies the latest data of [off, off+len) back to the home
+     * extent and clears the covered bitmap ranges. Crash consistent
+     * without a metadata entry (every intermediate state is valid).
+     * Caller must hold covering exclusivity (close path or file lock).
+     */
+    Status writeBackRange(u64 off, u64 len);
+
+    /**
+     * Close path: writes everything back, clears all bitmaps, frees
+     * all log blocks and node records except the root.
+     */
+    Status writeBackAll();
+
+    /**
+     * Mount path: re-attaches a persistent record to the volatile
+     * tree (creating ancestors as needed).
+     */
+    void attachRecord(u32 rec_idx, const NodeRecord &rec);
+
+    /**
+     * The smallest node that fully covers [off, off+len) — used by
+     * greedy locking; also the minimum-search-tree start point.
+     */
+    TreeNode *coveringNode(u64 off, u64 len);
+
+  private:
+    bool isLeaf(const TreeNode *n) const { return n->level == geo_.height; }
+
+    /** Current bitmap word (0 when no record). */
+    u64 bitmapOf(const TreeNode *n) const;
+
+    /** Arena offset of @p holder's log bytes for file offset @p off. */
+    u64 regionOff(const TreeNode *holder, u64 off) const;
+
+    TreeNode *getOrCreateChild(TreeNode *parent, u32 slot);
+    TreeNode *childAt(const TreeNode *parent, u32 slot) const;
+
+    /** Materialises the node's persistent record. */
+    Status ensureRecord(TreeNode *n);
+    /** Materialises the node's shadow-log block. */
+    Status ensureLog(TreeNode *n);
+
+    /**
+     * Guarantees n's existing bit is set, durably zeroing stale
+     * immediate children first (lazy-cleaning invariant).
+     */
+    Status ensureExisting(TreeNode *n);
+
+    void lockNode(TreeNode *n, MglMode mode, std::vector<HeldLock> *locks,
+                  bool lockless);
+
+    Status writeRange(TreeNode *n, u64 off, u64 len, const u8 *data,
+                      TreeNode *last_valid, StagedMetadata *staged,
+                      std::vector<HeldLock> *locks, bool lockless);
+    Status leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
+                     TreeNode *last_valid, StagedMetadata *staged);
+    Status readRange(TreeNode *n, u64 off, u64 len, u8 *out,
+                     TreeNode *last_valid, std::vector<HeldLock> *locks,
+                     bool lockless);
+    void leafRead(TreeNode *leaf, u64 off, u64 len, u8 *out,
+                  TreeNode *last_valid) const;
+
+    Status writeBackNode(TreeNode *n, u64 off, u64 len,
+                         TreeNode *last_valid);
+    void clearSubtreeMetadata(TreeNode *n, bool is_root);
+
+    u32 countRange(u32 level, u64 node_start, u64 off, u64 len) const;
+
+    /** Nearest ancestor of @p n (inclusive) with a valid log. */
+    TreeNode *nearestValid(TreeNode *n);
+
+    /** True if node granularity may hold a coarse log. */
+    bool
+    coarseStopAllowed(const TreeNode *n) const
+    {
+        return config_->enableMultiGranularity && n->parent != nullptr &&
+               n->coverage <= config_->maxCoarseLogSize;
+    }
+
+    PmemDevice *device_;
+    PmemPool *pool_;
+    NodeTable *table_;
+    const MgspConfig *config_;
+    TreeGeometry geo_;
+    u32 inodeIdx_;
+    u64 extentOff_;
+    u64 capacity_;
+
+    std::unique_ptr<TreeNode> root_;
+    std::atomic<TreeNode *> minSearch_;  ///< minimum-search-tree cache
+    TreeStats stats_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_SHADOW_TREE_H

@@ -1,0 +1,476 @@
+#include "minidb/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mgsp::minidb {
+namespace {
+
+constexpr u8 kLeaf = 1;
+constexpr u8 kInterior = 2;
+constexpr u64 kHeaderSize = 16;
+
+/** Shared page header (16 bytes at offset 0). */
+struct PageHeader
+{
+    u8 type;
+    u8 pad0;
+    u16 count;
+    u16 heapStart;  ///< leaf only: lowest offset used by cell payloads
+    u16 pad1;
+    u32 rightMost;  ///< interior: rightmost child; leaf: right sibling
+    u32 pad2;
+};
+static_assert(sizeof(PageHeader) == kHeaderSize);
+
+/** Leaf slot (12 bytes, packed: slots sit at unaligned offsets). */
+struct __attribute__((packed)) LeafSlot
+{
+    i64 key;
+    u16 offset;
+    u16 len;
+};
+static_assert(sizeof(LeafSlot) == 12);
+
+/** Interior cell (12 bytes, packed manually to avoid padding). */
+constexpr u64 kInteriorCell = 12;
+
+PageHeader *
+header(Page *page)
+{
+    return reinterpret_cast<PageHeader *>(page->data.data());
+}
+
+const PageHeader *
+header(const Page *page)
+{
+    return reinterpret_cast<const PageHeader *>(page->data.data());
+}
+
+LeafSlot *
+leafSlots(Page *page)
+{
+    return reinterpret_cast<LeafSlot *>(page->data.data() + kHeaderSize);
+}
+
+const LeafSlot *
+leafSlots(const Page *page)
+{
+    return reinterpret_cast<const LeafSlot *>(page->data.data() +
+                                              kHeaderSize);
+}
+
+i64
+interiorKey(const Page *page, u16 idx)
+{
+    i64 key;
+    std::memcpy(&key,
+                page->data.data() + kHeaderSize + idx * kInteriorCell, 8);
+    return key;
+}
+
+u32
+interiorChild(const Page *page, u16 idx)
+{
+    u32 child;
+    std::memcpy(&child,
+                page->data.data() + kHeaderSize + idx * kInteriorCell + 8,
+                4);
+    return child;
+}
+
+void
+setInteriorCell(Page *page, u16 idx, i64 key, u32 child)
+{
+    std::memcpy(page->data.data() + kHeaderSize + idx * kInteriorCell,
+                &key, 8);
+    std::memcpy(page->data.data() + kHeaderSize + idx * kInteriorCell + 8,
+                &child, 4);
+}
+
+/** Binary search: first slot with key >= @p key. */
+u16
+leafLowerBound(const Page *page, i64 key)
+{
+    const LeafSlot *slots = leafSlots(page);
+    u16 lo = 0, hi = header(page)->count;
+    while (lo < hi) {
+        const u16 mid = (lo + hi) / 2;
+        if (slots[mid].key < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/** Child index an interior page routes @p key to. */
+u16
+interiorChildIndex(const Page *page, i64 key)
+{
+    u16 lo = 0, hi = header(page)->count;
+    while (lo < hi) {
+        const u16 mid = (lo + hi) / 2;
+        if (interiorKey(page, mid) <= key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;  // == count means rightMost
+}
+
+u32
+routedChild(const Page *page, u16 idx)
+{
+    return idx == header(page)->count ? header(page)->rightMost
+                                      : interiorChild(page, idx);
+}
+
+u64
+leafFreeSpace(const Page *page)
+{
+    const PageHeader *h = header(page);
+    const u64 slots_end = kHeaderSize + u64(h->count) * sizeof(LeafSlot);
+    return h->heapStart > slots_end ? h->heapStart - slots_end : 0;
+}
+
+void
+initLeaf(Page *page)
+{
+    page->data.fill(0);
+    PageHeader *h = header(page);
+    h->type = kLeaf;
+    h->count = 0;
+    h->heapStart = static_cast<u16>(kPageSize);
+    h->rightMost = kNoPage;
+}
+
+/**
+ * Rewrites a leaf's payloads compactly at the page tail, dropping
+ * dead fragments left by deletes and in-place growth.
+ */
+void
+compactLeaf(Page *page)
+{
+    PageHeader *h = header(page);
+    std::array<u8, kPageSize> scratch;
+    u16 heap = static_cast<u16>(kPageSize);
+    LeafSlot *slots = leafSlots(page);
+    for (u16 i = 0; i < h->count; ++i) {
+        heap = static_cast<u16>(heap - slots[i].len);
+        std::memcpy(scratch.data() + heap,
+                    page->data.data() + slots[i].offset, slots[i].len);
+        slots[i].offset = heap;
+    }
+    std::memcpy(page->data.data() + heap, scratch.data() + heap,
+                kPageSize - heap);
+    h->heapStart = heap;
+}
+
+/** Inserts a cell at slot @p idx; caller guarantees space. */
+void
+leafInsertAt(Page *page, u16 idx, i64 key, ConstSlice value)
+{
+    PageHeader *h = header(page);
+    LeafSlot *slots = leafSlots(page);
+    std::memmove(slots + idx + 1, slots + idx,
+                 sizeof(LeafSlot) * (h->count - idx));
+    h->heapStart = static_cast<u16>(h->heapStart - value.size());
+    std::memcpy(page->data.data() + h->heapStart, value.data(),
+                value.size());
+    slots[idx].key = key;
+    slots[idx].offset = h->heapStart;
+    slots[idx].len = static_cast<u16>(value.size());
+    ++h->count;
+}
+
+void
+leafRemoveAt(Page *page, u16 idx)
+{
+    PageHeader *h = header(page);
+    LeafSlot *slots = leafSlots(page);
+    std::memmove(slots + idx, slots + idx + 1,
+                 sizeof(LeafSlot) * (h->count - idx - 1));
+    --h->count;
+    // The payload fragment stays until the next compaction.
+}
+
+}  // namespace
+
+StatusOr<PageNo>
+BTree::create(Pager *pager)
+{
+    StatusOr<PageNo> page_no = pager->allocPage();
+    if (!page_no.isOk())
+        return page_no;
+    StatusOr<Page *> page = pager->getPageWritable(*page_no);
+    if (!page.isOk())
+        return page.status();
+    initLeaf(*page);
+    return *page_no;
+}
+
+StatusOr<PageNo>
+BTree::findLeaf(i64 key)
+{
+    PageNo current = root_;
+    for (;;) {
+        StatusOr<Page *> page = pager_->getPage(current);
+        if (!page.isOk())
+            return page.status();
+        if (header(*page)->type == kLeaf)
+            return current;
+        current = routedChild(*page, interiorChildIndex(*page, key));
+        if (current == kNoPage)
+            return Status::corruption("btree: null child link");
+    }
+}
+
+StatusOr<std::vector<u8>>
+BTree::get(i64 key)
+{
+    StatusOr<PageNo> leaf_no = findLeaf(key);
+    if (!leaf_no.isOk())
+        return leaf_no.status();
+    StatusOr<Page *> leaf = pager_->getPage(*leaf_no);
+    if (!leaf.isOk())
+        return leaf.status();
+    const u16 idx = leafLowerBound(*leaf, key);
+    const LeafSlot *slots = leafSlots(*leaf);
+    if (idx >= header(*leaf)->count || slots[idx].key != key)
+        return Status::notFound("key not in btree");
+    const u8 *payload = (*leaf)->data.data() + slots[idx].offset;
+    return std::vector<u8>(payload, payload + slots[idx].len);
+}
+
+bool
+BTree::contains(i64 key)
+{
+    StatusOr<std::vector<u8>> v = get(key);
+    return v.isOk();
+}
+
+Status
+BTree::put(i64 key, ConstSlice value)
+{
+    if (value.size() > kMaxValueSize)
+        return Status::invalidArgument("value exceeds kMaxValueSize");
+    std::optional<SplitResult> split;
+    MGSP_RETURN_IF_ERROR(putRec(root_, key, value, &split));
+    if (split.has_value()) {
+        // Grow a new root above the old one.
+        StatusOr<PageNo> new_root_no = pager_->allocPage();
+        if (!new_root_no.isOk())
+            return new_root_no.status();
+        StatusOr<Page *> new_root = pager_->getPageWritable(*new_root_no);
+        if (!new_root.isOk())
+            return new_root.status();
+        (*new_root)->data.fill(0);
+        PageHeader *h = header(*new_root);
+        h->type = kInterior;
+        h->count = 1;
+        h->rightMost = split->right;
+        setInteriorCell(*new_root, 0, split->separator, root_);
+        root_ = *new_root_no;
+    }
+    return Status::ok();
+}
+
+Status
+BTree::putRec(PageNo page_no, i64 key, ConstSlice value,
+              std::optional<SplitResult> *split)
+{
+    StatusOr<Page *> page_or = pager_->getPageWritable(page_no);
+    if (!page_or.isOk())
+        return page_or.status();
+    Page *page = *page_or;
+
+    if (header(page)->type == kInterior) {
+        const u16 route = interiorChildIndex(page, key);
+        const PageNo child = routedChild(page, route);
+        std::optional<SplitResult> child_split;
+        MGSP_RETURN_IF_ERROR(putRec(child, key, value, &child_split));
+        if (!child_split.has_value())
+            return Status::ok();
+        // Insert the separator + new right child after `route`.
+        PageHeader *h = header(page);
+        const u64 max_cells = (kPageSize - kHeaderSize) / kInteriorCell;
+        // Shift cells right of the route point.
+        for (u16 i = h->count; i > route; --i)
+            setInteriorCell(page, i, interiorKey(page, i - 1),
+                            interiorChild(page, i - 1));
+        if (route == h->count) {
+            setInteriorCell(page, route, child_split->separator,
+                            h->rightMost);
+            h->rightMost = child_split->right;
+        } else {
+            setInteriorCell(page, route, child_split->separator, child);
+            // The displaced cell (now at route+1) keeps its key but
+            // must point to the new right sibling.
+            setInteriorCell(page, route + 1, interiorKey(page, route + 1),
+                            child_split->right);
+        }
+        ++h->count;
+        if (h->count < max_cells)
+            return Status::ok();
+
+        // Split this interior page: median key moves up.
+        StatusOr<PageNo> right_no = pager_->allocPage();
+        if (!right_no.isOk())
+            return right_no.status();
+        StatusOr<Page *> right_or = pager_->getPageWritable(*right_no);
+        if (!right_or.isOk())
+            return right_or.status();
+        // allocPage may relocate the cache entry; re-fetch left.
+        page_or = pager_->getPageWritable(page_no);
+        if (!page_or.isOk())
+            return page_or.status();
+        page = *page_or;
+        h = header(page);
+        Page *right = *right_or;
+        right->data.fill(0);
+        PageHeader *rh = header(right);
+        rh->type = kInterior;
+        const u16 mid = h->count / 2;
+        const i64 up_key = interiorKey(page, mid);
+        rh->count = static_cast<u16>(h->count - mid - 1);
+        for (u16 i = 0; i < rh->count; ++i)
+            setInteriorCell(right, i, interiorKey(page, mid + 1 + i),
+                            interiorChild(page, mid + 1 + i));
+        rh->rightMost = h->rightMost;
+        h->rightMost = interiorChild(page, mid);
+        h->count = mid;
+        *split = SplitResult{up_key, *right_no};
+        return Status::ok();
+    }
+
+    // Leaf.
+    u16 idx = leafLowerBound(page, key);
+    PageHeader *h = header(page);
+    LeafSlot *slots = leafSlots(page);
+    if (idx < h->count && slots[idx].key == key) {
+        // Replace. In place if it fits the old cell, else re-add.
+        if (value.size() <= slots[idx].len) {
+            std::memcpy(page->data.data() + slots[idx].offset,
+                        value.data(), value.size());
+            slots[idx].len = static_cast<u16>(value.size());
+            return Status::ok();
+        }
+        leafRemoveAt(page, idx);
+        // fall through to insertion
+    }
+    const u64 needed = sizeof(LeafSlot) + value.size();
+    if (leafFreeSpace(page) < needed) {
+        compactLeaf(page);
+    }
+    if (leafFreeSpace(page) >= needed) {
+        leafInsertAt(page, idx, key, value);
+        return Status::ok();
+    }
+
+    // Split the leaf.
+    StatusOr<PageNo> right_no = pager_->allocPage();
+    if (!right_no.isOk())
+        return right_no.status();
+    StatusOr<Page *> right_or = pager_->getPageWritable(*right_no);
+    if (!right_or.isOk())
+        return right_or.status();
+    page_or = pager_->getPageWritable(page_no);
+    if (!page_or.isOk())
+        return page_or.status();
+    page = *page_or;
+    h = header(page);
+    slots = leafSlots(page);
+    Page *right = *right_or;
+    initLeaf(right);
+    PageHeader *rh = header(right);
+    // Byte-balanced split point: both halves keep room for one more
+    // maximum-size cell (see kMaxValueSize).
+    u64 total_payload = 0;
+    for (u16 i = 0; i < h->count; ++i)
+        total_payload += slots[i].len;
+    u16 mid = 1;
+    u64 cum = slots[0].len;
+    while (mid < h->count - 1 && cum < total_payload / 2)
+        cum += slots[mid++].len;
+    for (u16 i = mid; i < h->count; ++i) {
+        leafInsertAt(right, static_cast<u16>(i - mid), slots[i].key,
+                     ConstSlice(page->data.data() + slots[i].offset,
+                                slots[i].len));
+    }
+    rh->rightMost = h->rightMost;
+    h->rightMost = *right_no;
+    h->count = mid;
+    compactLeaf(page);
+    const i64 sep = leafSlots(right)[0].key;
+    // Insert into the proper half.
+    Page *target = key < sep ? page : right;
+    idx = leafLowerBound(target, key);
+    if (leafFreeSpace(target) < needed)
+        compactLeaf(target);
+    MGSP_CHECK(leafFreeSpace(target) >= needed);
+    leafInsertAt(target, idx, key, value);
+    *split = SplitResult{sep, *right_no};
+    return Status::ok();
+}
+
+Status
+BTree::erase(i64 key)
+{
+    StatusOr<PageNo> leaf_no = findLeaf(key);
+    if (!leaf_no.isOk())
+        return leaf_no.status();
+    StatusOr<Page *> leaf = pager_->getPageWritable(*leaf_no);
+    if (!leaf.isOk())
+        return leaf.status();
+    const u16 idx = leafLowerBound(*leaf, key);
+    if (idx >= header(*leaf)->count || leafSlots(*leaf)[idx].key != key)
+        return Status::notFound("key not in btree");
+    leafRemoveAt(*leaf, idx);
+    return Status::ok();
+}
+
+Status
+BTree::scanRange(i64 first, i64 last,
+                 const std::function<bool(i64, ConstSlice)> &fn)
+{
+    StatusOr<PageNo> leaf_no = findLeaf(first);
+    if (!leaf_no.isOk())
+        return leaf_no.status();
+    PageNo current = *leaf_no;
+    while (current != kNoPage) {
+        StatusOr<Page *> leaf = pager_->getPage(current);
+        if (!leaf.isOk())
+            return leaf.status();
+        const PageHeader *h = header(*leaf);
+        const LeafSlot *slots = leafSlots(*leaf);
+        for (u16 i = leafLowerBound(*leaf, first); i < h->count; ++i) {
+            if (slots[i].key > last)
+                return Status::ok();
+            if (!fn(slots[i].key,
+                    ConstSlice((*leaf)->data.data() + slots[i].offset,
+                               slots[i].len)))
+                return Status::ok();
+        }
+        current = h->rightMost;
+    }
+    return Status::ok();
+}
+
+StatusOr<u64>
+BTree::count()
+{
+    u64 total = 0;
+    MGSP_RETURN_IF_ERROR(scanRange(
+        std::numeric_limits<i64>::min(), std::numeric_limits<i64>::max(),
+        [&](i64, ConstSlice) {
+            ++total;
+            return true;
+        }));
+    return total;
+}
+
+}  // namespace mgsp::minidb

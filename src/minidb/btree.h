@@ -1,0 +1,93 @@
+/**
+ * @file
+ * B+tree of minidb: 64-bit integer keys to variable-length values,
+ * stored in 4 KiB pager pages — the row store behind every minidb
+ * table (SQLite's table B-tree analogue).
+ *
+ * Page formats:
+ *  - leaf: slotted page; a sorted slot array {key, offset, len} grows
+ *    from the header while cell payloads grow from the page tail;
+ *    leaves are chained through `rightMost` for scans.
+ *  - interior: fixed cells {separatorKey, childPage}; children[i]
+ *    holds keys < separatorKey[i]; `rightMost` holds the rest.
+ *
+ * Inserts split full pages (the root splits by growing a new root);
+ * deletes do not rebalance (standard lazy-deletion simplification —
+ * pages reclaim space via compaction on reuse). Values are limited
+ * to kMaxValueSize; minidb rows stay far below it.
+ */
+#ifndef MGSP_MINIDB_BTREE_H
+#define MGSP_MINIDB_BTREE_H
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/pager.h"
+
+namespace mgsp::minidb {
+
+/**
+ * Largest value payload a cell may hold. Bounded so that after a
+ * byte-balanced leaf split either half always has room for one more
+ * maximum-size cell (no overflow pages needed).
+ */
+inline constexpr u64 kMaxValueSize = 900;
+
+/** See file comment. */
+class BTree
+{
+  public:
+    /**
+     * Attaches to an existing tree rooted at @p root (use create()
+     * for a new one).
+     */
+    BTree(Pager *pager, PageNo root) : pager_(pager), root_(root) {}
+
+    /** Allocates an empty leaf as a new tree's root. */
+    static StatusOr<PageNo> create(Pager *pager);
+
+    /** Current root (callers persist it; splits change it). */
+    PageNo root() const { return root_; }
+
+    /** Inserts or replaces @p key. */
+    Status put(i64 key, ConstSlice value);
+
+    /** Reads @p key; NotFound if absent. */
+    StatusOr<std::vector<u8>> get(i64 key);
+
+    /** Removes @p key; NotFound if absent. */
+    Status erase(i64 key);
+
+    /** True iff the key exists. */
+    bool contains(i64 key);
+
+    /**
+     * In-order scan of [first, last]; the callback returns false to
+     * stop early.
+     */
+    Status scanRange(i64 first, i64 last,
+                     const std::function<bool(i64, ConstSlice)> &fn);
+
+    /** Number of keys (full scan; for tests and stats). */
+    StatusOr<u64> count();
+
+  private:
+    struct SplitResult
+    {
+        i64 separator;
+        PageNo right;
+    };
+
+    Status putRec(PageNo page, i64 key, ConstSlice value,
+                  std::optional<SplitResult> *split);
+    StatusOr<PageNo> findLeaf(i64 key);
+
+    Pager *pager_;
+    PageNo root_;
+};
+
+}  // namespace mgsp::minidb
+
+#endif  // MGSP_MINIDB_BTREE_H

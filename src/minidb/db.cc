@@ -1,0 +1,414 @@
+#include "minidb/db.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "mgsp/mgsp_fs.h"
+
+namespace mgsp::minidb {
+
+namespace {
+
+/** Catalog value: {root page, table name}. */
+std::vector<u8>
+encodeCatalogEntry(PageNo root, const std::string &name)
+{
+    std::vector<u8> out(4 + name.size());
+    std::memcpy(out.data(), &root, 4);
+    std::memcpy(out.data() + 4, name.data(), name.size());
+    return out;
+}
+
+bool
+decodeCatalogEntry(ConstSlice value, PageNo *root, std::string *name)
+{
+    if (value.size() < 4)
+        return false;
+    std::memcpy(root, value.data(), 4);
+    name->assign(reinterpret_cast<const char *>(value.data()) + 4,
+                 value.size() - 4);
+    return true;
+}
+
+/** Catalog key: name hash, linear-probed on collision. */
+i64
+catalogBaseKey(const std::string &name)
+{
+    return static_cast<i64>(hashBytes(name.data(), name.size()) >> 1);
+}
+
+/** Opens (creating) a file, using fixed extents on extent FSes. */
+StatusOr<std::unique_ptr<File>>
+openDbFile(FileSystem *fs, const std::string &path, u64 capacity)
+{
+    if (!fs->exists(path)) {
+        if (auto *mgsp_fs = dynamic_cast<MgspFs *>(fs))
+            return mgsp_fs->createFile(path, capacity);
+    }
+    OpenOptions opts;
+    opts.create = true;
+    return fs->open(path, opts);
+}
+
+}  // namespace
+
+Database::Database(FileSystem *fs, DbOptions options)
+    : fs_(fs), options_(options)
+{
+}
+
+Database::~Database()
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    if (inTxn_) {
+        Status s = rollback();
+        if (!s.isOk())
+            MGSP_WARN("rollback on close failed: %s",
+                      s.toString().c_str());
+    }
+}
+
+StatusOr<std::unique_ptr<Database>>
+Database::open(FileSystem *fs, const std::string &path,
+               const DbOptions &options)
+{
+    std::unique_ptr<Database> db(new Database(fs, options));
+    MGSP_RETURN_IF_ERROR(db->bootstrap(path));
+    return db;
+}
+
+Status
+Database::bootstrap(const std::string &path)
+{
+    const bool existed = fs_->exists(path);
+    StatusOr<std::unique_ptr<File>> db_file =
+        openDbFile(fs_, path, options_.fileCapacity);
+    if (!db_file.isOk())
+        return db_file.status();
+    dbFile_ = std::move(*db_file);
+
+    pager_ = std::make_unique<Pager>(dbFile_.get(), options_.cachePages);
+
+    if (options_.journal == JournalMode::Wal) {
+        StatusOr<std::unique_ptr<File>> wal_file =
+            openDbFile(fs_, path + "-wal", options_.fileCapacity);
+        if (!wal_file.isOk())
+            return wal_file.status();
+        walFile_ = std::move(*wal_file);
+        wal_ = std::make_unique<Wal>(walFile_.get(),
+                                     options_.walAutoCheckpointFrames);
+    }
+
+    if (!existed || dbFile_->size() == 0) {
+        MGSP_RETURN_IF_ERROR(pager_->initialize());
+        if (wal_) {
+            MGSP_RETURN_IF_ERROR(wal_->initialize());
+            // The WAL index must shadow the db file from the very
+            // first commit (reads and rollback both depend on it).
+            pager_->setOverlay(&wal_->overlay());
+        }
+        // Create the catalog tree inside the first transaction.
+        MGSP_RETURN_IF_ERROR(begin());
+        StatusOr<PageNo> root = BTree::create(pager_.get());
+        if (!root.isOk())
+            return root.status();
+        pager_->header().catalogRoot = *root;
+        MGSP_RETURN_IF_ERROR(pager_->flushHeaderToCache());
+        catalog_ = std::make_unique<BTree>(pager_.get(), *root);
+        return commit();
+    }
+
+    if (wal_) {
+        MGSP_RETURN_IF_ERROR(wal_->recover());
+        pager_->setOverlay(&wal_->overlay());
+    }
+    MGSP_RETURN_IF_ERROR(pager_->open());
+    catalog_ = std::make_unique<BTree>(pager_.get(),
+                                       pager_->header().catalogRoot);
+    return Status::ok();
+}
+
+StatusOr<BTree *>
+Database::tableTree(const std::string &name)
+{
+    auto it = tables_.find(name);
+    if (it != tables_.end())
+        return it->second.tree.get();
+    // Probe the catalog.
+    i64 key = catalogBaseKey(name);
+    for (int probe = 0; probe < 16; ++probe, ++key) {
+        StatusOr<std::vector<u8>> entry = catalog_->get(key);
+        if (!entry.isOk()) {
+            if (entry.status().code() == StatusCode::NotFound)
+                return Status::notFound("no such table: " + name);
+            return entry.status();
+        }
+        PageNo root;
+        std::string found;
+        if (!decodeCatalogEntry(
+                ConstSlice(entry->data(), entry->size()), &root, &found))
+            return Status::corruption("bad catalog entry");
+        if (found == name) {
+            OpenTable table;
+            table.tree = std::make_unique<BTree>(pager_.get(), root);
+            table.lastPersistedRoot = root;
+            table.catalogKey = key;
+            auto [pos, inserted] = tables_.emplace(name,
+                                                   std::move(table));
+            (void)inserted;
+            return pos->second.tree.get();
+        }
+    }
+    return Status::notFound("no such table: " + name);
+}
+
+Status
+Database::createTable(const std::string &name)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    if (hasTable(name))
+        return Status::alreadyExists("table exists: " + name);
+    return withWriteTxn([&] {
+        StatusOr<PageNo> root = BTree::create(pager_.get());
+        if (!root.isOk())
+            return root.status();
+        i64 key = catalogBaseKey(name);
+        for (int probe = 0; probe < 16; ++probe, ++key) {
+            if (!catalog_->contains(key))
+                break;
+        }
+        std::vector<u8> entry = encodeCatalogEntry(*root, name);
+        MGSP_RETURN_IF_ERROR(
+            catalog_->put(key, ConstSlice(entry.data(), entry.size())));
+        OpenTable table;
+        table.tree = std::make_unique<BTree>(pager_.get(), *root);
+        table.lastPersistedRoot = *root;
+        table.catalogKey = key;
+        tables_.emplace(name, std::move(table));
+        return Status::ok();
+    });
+}
+
+bool
+Database::hasTable(const std::string &name)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    if (tables_.count(name))
+        return true;
+    StatusOr<BTree *> tree = tableTree(name);
+    return tree.isOk();
+}
+
+Status
+Database::begin()
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    if (inTxn_)
+        return Status::busy("transaction already open");
+    inTxn_ = true;
+    return Status::ok();
+}
+
+Status
+Database::syncTableRoots()
+{
+    // Persist any moved table roots into the catalog, and the moved
+    // catalog root into the header.
+    for (auto &[name, table] : tables_) {
+        if (table.tree->root() != table.lastPersistedRoot) {
+            std::vector<u8> entry =
+                encodeCatalogEntry(table.tree->root(), name);
+            MGSP_RETURN_IF_ERROR(catalog_->put(
+                table.catalogKey, ConstSlice(entry.data(),
+                                             entry.size())));
+            table.lastPersistedRoot = table.tree->root();
+        }
+    }
+    if (catalog_->root() != pager_->header().catalogRoot) {
+        pager_->header().catalogRoot = catalog_->root();
+        MGSP_RETURN_IF_ERROR(pager_->flushHeaderToCache());
+    }
+    return Status::ok();
+}
+
+Status
+Database::commitLocked()
+{
+    MGSP_RETURN_IF_ERROR(syncTableRoots());
+    const auto &dirty = pager_->dirtyPages();
+    if (dirty.empty()) {
+        inTxn_ = false;
+        ++stats_.commits;
+        return Status::ok();
+    }
+
+    if (options_.journal == JournalMode::Wal) {
+        std::vector<const Page *> pages;
+        pages.reserve(dirty.size());
+        for (PageNo page_no : dirty) {
+            StatusOr<Page *> page = pager_->getPage(page_no);
+            if (!page.isOk())
+                return page.status();
+            pages.push_back(*page);
+        }
+        MGSP_RETURN_IF_ERROR(
+            wal_->commit(pages, pager_->header().pageCount));
+        stats_.walFramesWritten += pages.size();
+        pager_->commitClear();
+        inTxn_ = false;
+        ++stats_.commits;
+        if (wal_->checkpointDue())
+            MGSP_RETURN_IF_ERROR(checkpoint());
+        return Status::ok();
+    }
+
+    // Journal OFF: write dirty pages home and fsync.
+    for (PageNo page_no : dirty) {
+        StatusOr<Page *> page = pager_->getPage(page_no);
+        if (!page.isOk())
+            return page.status();
+        MGSP_RETURN_IF_ERROR(dbFile_->pwrite(
+            u64(page_no) * kPageSize,
+            ConstSlice((*page)->data.data(), kPageSize)));
+        ++stats_.pagesWrittenDirect;
+    }
+    MGSP_RETURN_IF_ERROR(dbFile_->sync());
+    pager_->commitClear();
+    inTxn_ = false;
+    ++stats_.commits;
+    return Status::ok();
+}
+
+Status
+Database::commit()
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    if (!inTxn_)
+        return Status::invalidArgument("no open transaction");
+    return commitLocked();
+}
+
+Status
+Database::rollback()
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    if (!inTxn_)
+        return Status::invalidArgument("no open transaction");
+    if (options_.journal == JournalMode::Off)
+        return Status::unsupported(
+            "journal_mode=OFF cannot roll back (as in SQLite)");
+    MGSP_RETURN_IF_ERROR(pager_->rollbackClear());
+    // Cached trees may hold stale roots; rebind from the catalog.
+    catalog_ = std::make_unique<BTree>(pager_.get(),
+                                       pager_->header().catalogRoot);
+    tables_.clear();
+    inTxn_ = false;
+    return Status::ok();
+}
+
+Status
+Database::withWriteTxn(const std::function<Status()> &body)
+{
+    if (inTxn_)
+        return body();
+    MGSP_RETURN_IF_ERROR(begin());
+    Status s = body();
+    if (!s.isOk()) {
+        if (options_.journal == JournalMode::Wal) {
+            Status rb = rollback();
+            if (!rb.isOk())
+                MGSP_WARN("auto-rollback failed: %s",
+                          rb.toString().c_str());
+        } else {
+            inTxn_ = false;
+        }
+        return s;
+    }
+    return commitLocked();
+}
+
+Status
+Database::insert(const std::string &table, i64 key, ConstSlice value)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    StatusOr<BTree *> tree = tableTree(table);
+    if (!tree.isOk())
+        return tree.status();
+    return withWriteTxn([&] {
+        if ((*tree)->contains(key))
+            return Status::alreadyExists("duplicate key");
+        return (*tree)->put(key, value);
+    });
+}
+
+Status
+Database::update(const std::string &table, i64 key, ConstSlice value)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    StatusOr<BTree *> tree = tableTree(table);
+    if (!tree.isOk())
+        return tree.status();
+    return withWriteTxn([&] {
+        if (!(*tree)->contains(key))
+            return Status::notFound("no such key");
+        return (*tree)->put(key, value);
+    });
+}
+
+Status
+Database::remove(const std::string &table, i64 key)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    StatusOr<BTree *> tree = tableTree(table);
+    if (!tree.isOk())
+        return tree.status();
+    return withWriteTxn([&] { return (*tree)->erase(key); });
+}
+
+StatusOr<std::vector<u8>>
+Database::get(const std::string &table, i64 key)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    StatusOr<BTree *> tree = tableTree(table);
+    if (!tree.isOk())
+        return tree.status();
+    return (*tree)->get(key);
+}
+
+Status
+Database::scan(const std::string &table, i64 first, i64 last,
+               const std::function<bool(i64, ConstSlice)> &fn)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    StatusOr<BTree *> tree = tableTree(table);
+    if (!tree.isOk())
+        return tree.status();
+    return (*tree)->scanRange(first, last, fn);
+}
+
+StatusOr<u64>
+Database::rowCount(const std::string &table)
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    StatusOr<BTree *> tree = tableTree(table);
+    if (!tree.isOk())
+        return tree.status();
+    return (*tree)->count();
+}
+
+Status
+Database::checkpoint()
+{
+    std::lock_guard<std::recursive_mutex> guard(mutex_);
+    if (options_.journal != JournalMode::Wal)
+        return Status::ok();
+    StatusOr<std::vector<PageNo>> pages = wal_->checkpoint(dbFile_.get());
+    if (!pages.isOk())
+        return pages.status();
+    pager_->invalidate(*pages);
+    ++stats_.walCheckpoints;
+    return Status::ok();
+}
+
+}  // namespace mgsp::minidb

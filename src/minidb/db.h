@@ -1,0 +1,136 @@
+/**
+ * @file
+ * minidb: the embedded transactional table store standing in for
+ * SQLite in the paper's application experiments (Figs. 11, 12).
+ *
+ * A Database is a pager-backed B-tree file plus a catalog mapping
+ * table names to B-tree roots. Transactions are single-writer and
+ * commit through one of SQLite's journal modes:
+ *
+ *  - JournalMode::Wal — commit appends the dirty pages as frames to
+ *    the -wal file and fsyncs it; reads resolve through the WAL
+ *    index; an auto-checkpoint copies frames home when the WAL
+ *    exceeds its threshold. Rollback discards dirty pages.
+ *  - JournalMode::Off — no journal: commit writes dirty pages
+ *    straight to the database file and fsyncs. Rollback of a started
+ *    transaction is unsupported (exactly SQLite's journal_mode=OFF
+ *    contract); the paper's point is that an MGSP-backed file system
+ *    makes this mode safe because every page write is already
+ *    failure-atomic below the database.
+ */
+#ifndef MGSP_MINIDB_DB_H
+#define MGSP_MINIDB_DB_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "minidb/btree.h"
+#include "minidb/pager.h"
+#include "minidb/wal.h"
+#include "vfs/vfs.h"
+
+namespace mgsp::minidb {
+
+/** SQLite-style journal modes minidb reproduces. */
+enum class JournalMode { Wal, Off };
+
+/** Database configuration. */
+struct DbOptions
+{
+    JournalMode journal = JournalMode::Wal;
+    /** WAL auto-checkpoint threshold in frames (SQLite default 1000). */
+    u64 walAutoCheckpointFrames = 1000;
+    /** Page-cache capacity. */
+    u64 cachePages = 4096;
+    /** Capacity for newly created db/-wal files on extent-based FSes. */
+    u64 fileCapacity = 64 * MiB;
+};
+
+/** Aggregate I/O statistics of one Database. */
+struct DbStats
+{
+    u64 commits = 0;
+    u64 walCheckpoints = 0;
+    u64 walFramesWritten = 0;
+    u64 pagesWrittenDirect = 0;
+};
+
+/** See file comment. */
+class Database
+{
+  public:
+    /**
+     * Opens (creating if needed) the database @p path on @p fs.
+     * The -wal companion file is managed automatically in WAL mode.
+     */
+    static StatusOr<std::unique_ptr<Database>>
+    open(FileSystem *fs, const std::string &path, const DbOptions &options);
+
+    ~Database();
+
+    Database(const Database &) = delete;
+    Database &operator=(const Database &) = delete;
+
+    /** Creates a table; AlreadyExists if present. */
+    Status createTable(const std::string &name);
+
+    /** True iff the table exists. */
+    bool hasTable(const std::string &name);
+
+    // ---- transactions (single writer) ----------------------------
+    Status begin();
+    Status commit();
+    Status rollback();
+
+    // ---- row operations (auto-commit when no txn is open) --------
+    Status insert(const std::string &table, i64 key, ConstSlice value);
+    Status update(const std::string &table, i64 key, ConstSlice value);
+    Status remove(const std::string &table, i64 key);
+    StatusOr<std::vector<u8>> get(const std::string &table, i64 key);
+    Status scan(const std::string &table, i64 first, i64 last,
+                const std::function<bool(i64, ConstSlice)> &fn);
+    StatusOr<u64> rowCount(const std::string &table);
+
+    /** Forces a WAL checkpoint (no-op in OFF mode). */
+    Status checkpoint();
+
+    const DbStats &stats() const { return stats_; }
+    JournalMode journalMode() const { return options_.journal; }
+
+  private:
+    Database(FileSystem *fs, DbOptions options);
+
+    Status bootstrap(const std::string &path);
+    StatusOr<BTree *> tableTree(const std::string &name);
+    Status syncTableRoots();
+    Status commitLocked();
+
+    /** Runs @p body inside the open txn or an auto-commit wrapper. */
+    Status withWriteTxn(const std::function<Status()> &body);
+
+    FileSystem *fs_;
+    DbOptions options_;
+    std::unique_ptr<File> dbFile_;
+    std::unique_ptr<File> walFile_;
+    std::unique_ptr<Pager> pager_;
+    std::unique_ptr<Wal> wal_;
+    std::unique_ptr<BTree> catalog_;
+
+    struct OpenTable
+    {
+        std::unique_ptr<BTree> tree;
+        PageNo lastPersistedRoot = kNoPage;
+        i64 catalogKey = 0;
+    };
+    std::map<std::string, OpenTable> tables_;
+
+    std::recursive_mutex mutex_;
+    bool inTxn_ = false;
+    DbStats stats_;
+};
+
+}  // namespace mgsp::minidb
+
+#endif  // MGSP_MINIDB_DB_H

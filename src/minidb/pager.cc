@@ -1,0 +1,226 @@
+#include "minidb/pager.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mgsp::minidb {
+
+Pager::Pager(File *file, u64 cache_pages)
+    : file_(file), cachePages_(cache_pages)
+{
+}
+
+Status
+Pager::initialize()
+{
+    header_ = DbHeader{};
+    header_.magic = DbHeader::kMagic;
+    header_.pageCount = 1;
+    header_.freeListHead = kNoPage;
+    header_.catalogRoot = kNoPage;
+    header_.changeCounter = 0;
+    std::array<u8, kPageSize> zero{};
+    std::memcpy(zero.data(), &header_, sizeof(header_));
+    MGSP_RETURN_IF_ERROR(file_->pwrite(0, ConstSlice(zero.data(),
+                                                     kPageSize)));
+    return file_->sync();
+}
+
+Status
+Pager::open()
+{
+    // Must read through the WAL overlay: after a crash the newest
+    // header often lives only in un-checkpointed WAL frames.
+    std::array<u8, kPageSize> buf{};
+    MGSP_RETURN_IF_ERROR(readPageFromStorage(0, buf.data()));
+    std::memcpy(&header_, buf.data(), sizeof(header_));
+    if (header_.magic != DbHeader::kMagic)
+        return Status::corruption("bad database magic");
+    return Status::ok();
+}
+
+Status
+Pager::readPageFromStorage(PageNo page, u8 *out)
+{
+    if (overlay_ != nullptr) {
+        auto it = overlay_->find(page);
+        if (it != overlay_->end()) {
+            std::memcpy(out, it->second->data(), kPageSize);
+            return Status::ok();
+        }
+    }
+    StatusOr<u64> n =
+        file_->pread(u64(page) * kPageSize, MutSlice(out, kPageSize));
+    if (!n.isOk())
+        return n.status();
+    if (*n < kPageSize)
+        std::memset(out + *n, 0, kPageSize - *n);
+    return Status::ok();
+}
+
+StatusOr<Page *>
+Pager::getPage(PageNo page)
+{
+    auto it = cache_.find(page);
+    if (it != cache_.end()) {
+        touch(page);
+        return it->second.get();
+    }
+    auto fresh = std::make_unique<Page>();
+    fresh->number = page;
+    MGSP_RETURN_IF_ERROR(readPageFromStorage(page, fresh->data.data()));
+    Page *raw = fresh.get();
+    cache_[page] = std::move(fresh);
+    lru_.push_front(page);
+    lruPos_[page] = lru_.begin();
+    evictIfNeeded();
+    return raw;
+}
+
+StatusOr<Page *>
+Pager::getPageWritable(PageNo page)
+{
+    StatusOr<Page *> p = getPage(page);
+    if (!p.isOk())
+        return p;
+    (*p)->dirty = true;
+    dirty_.insert(page);
+    return p;
+}
+
+StatusOr<PageNo>
+Pager::allocPage()
+{
+    if (header_.freeListHead != kNoPage) {
+        const PageNo page = header_.freeListHead;
+        StatusOr<Page *> p = getPage(page);
+        if (!p.isOk())
+            return p.status();
+        u32 next;
+        std::memcpy(&next, (*p)->data.data(), 4);
+        header_.freeListHead = next;
+        // The page becomes live; zero it for the caller.
+        StatusOr<Page *> w = getPageWritable(page);
+        if (!w.isOk())
+            return w.status();
+        (*w)->data.fill(0);
+        MGSP_RETURN_IF_ERROR(flushHeaderToCache());
+        return page;
+    }
+    const PageNo page = header_.pageCount;
+    ++header_.pageCount;
+    auto fresh = std::make_unique<Page>();
+    fresh->number = page;
+    fresh->dirty = true;
+    fresh->data.fill(0);
+    cache_[page] = std::move(fresh);
+    lru_.push_front(page);
+    lruPos_[page] = lru_.begin();
+    dirty_.insert(page);
+    MGSP_RETURN_IF_ERROR(flushHeaderToCache());
+    return page;
+}
+
+Status
+Pager::freePage(PageNo page)
+{
+    StatusOr<Page *> p = getPageWritable(page);
+    if (!p.isOk())
+        return p.status();
+    (*p)->data.fill(0);
+    std::memcpy((*p)->data.data(), &header_.freeListHead, 4);
+    header_.freeListHead = page;
+    return flushHeaderToCache();
+}
+
+Status
+Pager::flushHeaderToCache()
+{
+    StatusOr<Page *> p = getPageWritable(0);
+    if (!p.isOk())
+        return p.status();
+    ++header_.changeCounter;
+    std::memcpy((*p)->data.data(), &header_, sizeof(header_));
+    return Status::ok();
+}
+
+void
+Pager::commitClear()
+{
+    for (PageNo page : dirty_) {
+        auto it = cache_.find(page);
+        if (it != cache_.end())
+            it->second->dirty = false;
+    }
+    dirty_.clear();
+    evictIfNeeded();
+}
+
+Status
+Pager::rollbackClear()
+{
+    for (PageNo page : dirty_) {
+        auto it = cache_.find(page);
+        if (it != cache_.end()) {
+            lru_.erase(lruPos_[page]);
+            lruPos_.erase(page);
+            cache_.erase(it);
+        }
+    }
+    dirty_.clear();
+    // Restore the header from storage.
+    std::array<u8, kPageSize> buf{};
+    MGSP_RETURN_IF_ERROR(readPageFromStorage(0, buf.data()));
+    std::memcpy(&header_, buf.data(), sizeof(header_));
+    return Status::ok();
+}
+
+void
+Pager::invalidate(const std::vector<PageNo> &pages)
+{
+    for (PageNo page : pages) {
+        auto it = cache_.find(page);
+        if (it != cache_.end() && !it->second->dirty) {
+            lru_.erase(lruPos_[page]);
+            lruPos_.erase(page);
+            cache_.erase(it);
+        }
+    }
+}
+
+void
+Pager::touch(PageNo page)
+{
+    auto it = lruPos_.find(page);
+    if (it != lruPos_.end()) {
+        lru_.erase(it->second);
+        lru_.push_front(page);
+        it->second = lru_.begin();
+    }
+}
+
+void
+Pager::evictIfNeeded()
+{
+    while (cache_.size() > cachePages_ && !lru_.empty()) {
+        // Evict the least-recently-used clean, unpinned page.
+        bool evicted = false;
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            const PageNo page = *it;
+            auto centry = cache_.find(page);
+            if (centry == cache_.end() || centry->second->dirty ||
+                page == 0)
+                continue;
+            cache_.erase(centry);
+            lru_.erase(lruPos_[page]);
+            lruPos_.erase(page);
+            evicted = true;
+            break;
+        }
+        if (!evicted)
+            break;  // everything dirty; let the cache grow
+    }
+}
+
+}  // namespace mgsp::minidb

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Page manager of minidb, the embedded database used to reproduce the
+ * paper's SQLite experiments (Figs. 11 and 12).
+ *
+ * minidb reproduces SQLite's *I/O pattern*, which is what the paper's
+ * evaluation depends on: a 4 KiB-page B-tree file updated through
+ * transactions in either WAL mode (commit appends frames to a -wal
+ * file and fsyncs it; a checkpoint later copies frames home) or
+ * journal-mode OFF (commit writes dirty pages straight to the
+ * database file and fsyncs), all through the vfs::FileSystem under
+ * test.
+ *
+ * The pager caches pages in DRAM (SQLite's page cache), tracks the
+ * dirty set of the open transaction, and delegates commit-time I/O to
+ * the database's journal strategy.
+ */
+#ifndef MGSP_MINIDB_PAGER_H
+#define MGSP_MINIDB_PAGER_H
+
+#include <array>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "vfs/vfs.h"
+
+namespace mgsp::minidb {
+
+inline constexpr u64 kPageSize = 4 * KiB;
+using PageNo = u32;
+inline constexpr PageNo kNoPage = 0;  ///< page 0 is the header
+
+/** A pinned page in the cache. */
+struct Page
+{
+    PageNo number = kNoPage;
+    bool dirty = false;
+    std::array<u8, kPageSize> data;
+};
+
+/** Database file header (page 0). */
+struct DbHeader
+{
+    static constexpr u64 kMagic = 0x4D494E4944423031ull;  // "MINIDB01"
+    u64 magic;
+    u32 pageCount;     ///< pages in the file, including the header
+    u32 freeListHead;  ///< first free page (0 = none)
+    u32 catalogRoot;   ///< root page of the catalog B-tree
+    u32 reserved;
+    u64 changeCounter;
+};
+
+/** See file comment. */
+class Pager
+{
+  public:
+    /**
+     * @param file        the open database file.
+     * @param cache_pages page-cache capacity (clean pages evictable).
+     */
+    Pager(File *file, u64 cache_pages = 4096);
+
+    /** Initialises a fresh database file (writes the header). */
+    Status initialize();
+
+    /** Loads the header of an existing database. */
+    Status open();
+
+    DbHeader &header() { return header_; }
+
+    /**
+     * Returns page @p page for reading; faults it from the WAL
+     * overlay (if installed) or the file.
+     */
+    StatusOr<Page *> getPage(PageNo page);
+
+    /** Like getPage() but marks the page dirty for the open txn. */
+    StatusOr<Page *> getPageWritable(PageNo page);
+
+    /** Allocates a page (freelist first, then file growth). */
+    StatusOr<PageNo> allocPage();
+
+    /** Returns @p page to the freelist. */
+    Status freePage(PageNo page);
+
+    /** Pages dirtied since the last commitClear(). */
+    const std::unordered_set<PageNo> &dirtyPages() const { return dirty_; }
+
+    /** Serialises the header into its page image (page 0). */
+    Status flushHeaderToCache();
+
+    /** Marks all pages clean (after the journal strategy persisted
+     *  them). */
+    void commitClear();
+
+    /**
+     * Rollback: drops every dirty page from the cache (they reload
+     * from the file / WAL overlay on next access) and re-reads the
+     * header.
+     */
+    Status rollbackClear();
+
+    /**
+     * Installs a read overlay: pages present in @p overlay are read
+     * from it instead of the file (the WAL index). Pass nullptr to
+     * remove.
+     */
+    using Overlay =
+        std::unordered_map<PageNo, std::shared_ptr<std::vector<u8>>>;
+    void setOverlay(const Overlay *overlay) { overlay_ = overlay; }
+
+    /** Drops cached copies of @p pages (after a WAL checkpoint). */
+    void invalidate(const std::vector<PageNo> &pages);
+
+    File *file() { return file_; }
+
+  private:
+    Status readPageFromStorage(PageNo page, u8 *out);
+    void touch(PageNo page);
+    void evictIfNeeded();
+
+    File *file_;
+    u64 cachePages_;
+    DbHeader header_{};
+
+    std::unordered_map<PageNo, std::unique_ptr<Page>> cache_;
+    std::list<PageNo> lru_;  ///< front = most recent
+    std::unordered_map<PageNo, std::list<PageNo>::iterator> lruPos_;
+    std::unordered_set<PageNo> dirty_;
+    const Overlay *overlay_ = nullptr;
+};
+
+}  // namespace mgsp::minidb
+
+#endif  // MGSP_MINIDB_PAGER_H

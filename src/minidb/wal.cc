@@ -1,0 +1,153 @@
+#include "minidb/wal.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+
+namespace mgsp::minidb {
+
+Wal::Wal(File *file, u64 checkpoint_frames)
+    : file_(file), checkpointFrames_(checkpoint_frames)
+{
+}
+
+u64
+Wal::frameChecksum(const FrameHeader &header, const u8 *payload)
+{
+    u64 crc = crc64(&header, offsetof(FrameHeader, checksum));
+    return crc64(payload, kPageSize, crc);
+}
+
+Status
+Wal::initialize()
+{
+    salt_ = 0x5A17C0DE;
+    frameCount_ = 0;
+    overlay_.clear();
+    WalHeader header{};
+    header.magic = WalHeader::kMagic;
+    header.salt = salt_;
+    MGSP_RETURN_IF_ERROR(file_->truncate(0));
+    MGSP_RETURN_IF_ERROR(
+        file_->pwrite(0, ConstSlice(&header, sizeof(header))));
+    return file_->sync();
+}
+
+Status
+Wal::recover(u64 *committed_frames_out)
+{
+    overlay_.clear();
+    frameCount_ = 0;
+    WalHeader header{};
+    StatusOr<u64> n = file_->pread(0, MutSlice(&header, sizeof(header)));
+    if (!n.isOk())
+        return n.status();
+    if (*n < sizeof(header) || header.magic != WalHeader::kMagic) {
+        // No usable WAL: start fresh.
+        return initialize();
+    }
+    salt_ = header.salt;
+
+    // Scan frames; collect a transaction's frames and apply them only
+    // when its commit frame validates.
+    u64 committed = 0;
+    std::vector<std::pair<PageNo, std::shared_ptr<std::vector<u8>>>>
+        pending;
+    for (u64 frame = 0;; ++frame) {
+        FrameHeader fh{};
+        std::vector<u8> payload(kPageSize);
+        StatusOr<u64> read_header = file_->pread(
+            frameOffset(frame), MutSlice(&fh, sizeof(fh)));
+        if (!read_header.isOk() || *read_header < sizeof(fh))
+            break;
+        StatusOr<u64> read_payload =
+            file_->pread(frameOffset(frame) + sizeof(fh),
+                         MutSlice(payload.data(), kPageSize));
+        if (!read_payload.isOk() || *read_payload < kPageSize)
+            break;
+        if (fh.salt != salt_ ||
+            fh.checksum != frameChecksum(fh, payload.data()))
+            break;  // torn or stale frame: the log ends here
+        pending.emplace_back(
+            fh.pageNo,
+            std::make_shared<std::vector<u8>>(std::move(payload)));
+        frameCount_ = frame + 1;
+        if (fh.dbSizeAfterCommit != 0) {
+            for (auto &[page, data] : pending)
+                overlay_[page] = std::move(data);
+            pending.clear();
+            dbPageCount_ = fh.dbSizeAfterCommit;
+            ++committed;
+        }
+    }
+    // Uncommitted trailing frames are discarded (pending dropped) but
+    // keep frameCount_ pointing past them only if they were valid —
+    // simpler to reset to the last committed boundary:
+    if (!pending.empty())
+        frameCount_ -= pending.size();
+    if (committed_frames_out != nullptr)
+        *committed_frames_out = committed;
+    return Status::ok();
+}
+
+Status
+Wal::commit(const std::vector<const Page *> &pages, u32 db_page_count)
+{
+    MGSP_CHECK(!pages.empty());
+    std::vector<u8> buffer(pages.size() * kFrameBytes);
+    u64 cursor = 0;
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        FrameHeader fh{};
+        fh.pageNo = pages[i]->number;
+        fh.dbSizeAfterCommit =
+            (i + 1 == pages.size()) ? db_page_count : 0;
+        fh.salt = salt_;
+        fh.checksum = frameChecksum(fh, pages[i]->data.data());
+        std::memcpy(buffer.data() + cursor, &fh, sizeof(fh));
+        std::memcpy(buffer.data() + cursor + sizeof(fh),
+                    pages[i]->data.data(), kPageSize);
+        cursor += kFrameBytes;
+    }
+    // One sequential append + one fsync per transaction.
+    MGSP_RETURN_IF_ERROR(file_->pwrite(
+        frameOffset(frameCount_), ConstSlice(buffer.data(),
+                                             buffer.size())));
+    MGSP_RETURN_IF_ERROR(file_->sync());
+    for (const Page *page : pages) {
+        auto payload = std::make_shared<std::vector<u8>>(
+            page->data.begin(), page->data.end());
+        overlay_[page->number] = std::move(payload);
+    }
+    frameCount_ += pages.size();
+    dbPageCount_ = db_page_count;
+    return Status::ok();
+}
+
+StatusOr<std::vector<PageNo>>
+Wal::checkpoint(File *db_file)
+{
+    std::vector<PageNo> pages;
+    pages.reserve(overlay_.size());
+    for (const auto &[page, payload] : overlay_) {
+        MGSP_RETURN_IF_ERROR(db_file->pwrite(
+            u64(page) * kPageSize,
+            ConstSlice(payload->data(), kPageSize)));
+        pages.push_back(page);
+    }
+    MGSP_RETURN_IF_ERROR(db_file->sync());
+    overlay_.clear();
+    // Reset the WAL with a new salt so stale frames never replay.
+    ++salt_;
+    frameCount_ = 0;
+    WalHeader header{};
+    header.magic = WalHeader::kMagic;
+    header.salt = salt_;
+    MGSP_RETURN_IF_ERROR(file_->truncate(0));
+    MGSP_RETURN_IF_ERROR(
+        file_->pwrite(0, ConstSlice(&header, sizeof(header))));
+    MGSP_RETURN_IF_ERROR(file_->sync());
+    return pages;
+}
+
+}  // namespace mgsp::minidb

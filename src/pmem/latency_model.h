@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Calibrated cost model for the emulated persistent memory device.
+ *
+ * The paper evaluates on 4x128 GB Intel Optane DC PMem (interleaved).
+ * We run on DRAM, so the media's characteristic costs are re-injected
+ * as busy-wait delays (common/clock.h). Constants are loosely
+ * calibrated from Izraelevitz et al., "Basic Performance Measurements
+ * of the Intel Optane DC Persistent Memory Module" (the paper's [20]):
+ * ~300 ns random read latency, ~100 ns ntstore into the WPQ,
+ * write bandwidth that favours >=256 B sequential stores, and a
+ * sizeable cost for each flush+fence persistence point.
+ *
+ * Absolute values are deliberately scaled to keep benchmark runtimes
+ * short; all figures in EXPERIMENTS.md are about *relative* shapes,
+ * which depend only on the ratios preserved here.
+ */
+#ifndef MGSP_PMEM_LATENCY_MODEL_H
+#define MGSP_PMEM_LATENCY_MODEL_H
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace mgsp {
+
+/**
+ * Nanosecond costs of the emulated NVM and of the software layers the
+ * backends model. A backend charges costs by calling the charge*
+ * helpers, which busy-wait (no-ops when delay injection is disabled).
+ */
+struct LatencyModel
+{
+    /** Fixed startup cost of a read that misses the CPU cache. */
+    u64 readBaseNanos = 250;
+    /** Incremental read cost per 256 B XPLine fetched. */
+    u64 readPer256BNanos = 25;
+    /** Incremental store cost per 256 B written to the device. */
+    u64 writePer256BNanos = 50;
+    /** Cost of one clwb/clflushopt reaching the WPQ. */
+    u64 flushPerLineNanos = 40;
+    /** Cost of an sfence draining outstanding flushes. */
+    u64 fenceNanos = 90;
+    /** One user->kernel->user crossing (kernel file systems only). */
+    u64 syscallNanos = 500;
+    /** Extra VFS + block-layer bookkeeping per kernel-FS operation. */
+    u64 kernelFsPathNanos = 1800;
+    /** Cost of one TLB-shootdown IPI round (CoW page remapping). */
+    u64 tlbShootdownNanos = 2000;
+
+    /** Charges the cost of reading @p bytes from the device. */
+    void
+    chargeRead(u64 bytes) const
+    {
+        if (bytes == 0)
+            return;
+        spinDelay(readBaseNanos +
+                  readPer256BNanos * ((bytes + 255) / 256));
+    }
+
+    /** Charges the cost of storing @p bytes to the device. */
+    void
+    chargeWrite(u64 bytes) const
+    {
+        if (bytes == 0)
+            return;
+        spinDelay(writePer256BNanos * ((bytes + 255) / 256));
+    }
+
+    /** Charges flushing the cache lines covering @p bytes. */
+    void
+    chargeFlush(u64 bytes) const
+    {
+        if (bytes == 0)
+            return;
+        spinDelay(flushPerLineNanos * ((bytes + kCacheLineSize - 1) /
+                                       kCacheLineSize));
+    }
+
+    /** Charges one persistence fence. */
+    void chargeFence() const { spinDelay(fenceNanos); }
+
+    /** Charges one kernel crossing plus FS path software cost. */
+    void
+    chargeSyscall() const
+    {
+        spinDelay(syscallNanos + kernelFsPathNanos);
+    }
+
+    /** Charges one TLB shootdown (page-table remap in CoW designs). */
+    void chargeTlbShootdown() const { spinDelay(tlbShootdownNanos); }
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_PMEM_LATENCY_MODEL_H

@@ -1,0 +1,186 @@
+#include "pmem/pmem_device.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/align.h"
+#include "common/logging.h"
+
+namespace mgsp {
+
+PmemDevice::PmemDevice(u64 size, Mode mode, LatencyModel model)
+    : size_(size), mode_(mode), model_(model), view_(size, 0)
+{
+    if (mode_ == Mode::Tracked)
+        media_.assign(size, 0);
+}
+
+PmemDevice::PmemDevice(const CrashImage &image, Mode mode,
+                       LatencyModel model)
+    : size_(image.media.size()), mode_(mode), model_(model),
+      view_(image.media)
+{
+    if (mode_ == Mode::Tracked)
+        media_ = image.media;
+}
+
+void
+PmemDevice::read(u64 off, void *dst, u64 len) const
+{
+    MGSP_CHECK(off + len <= size_);
+    std::memcpy(dst, view_.data() + off, len);
+}
+
+void
+PmemDevice::write(u64 off, const void *src, u64 len)
+{
+    MGSP_CHECK(off + len <= size_);
+    std::memcpy(view_.data() + off, src, len);
+    stats_.bytesWritten.fetch_add(len, std::memory_order_relaxed);
+    model_.chargeWrite(len);
+    if (mode_ == Mode::Tracked) {
+        std::lock_guard<std::mutex> guard(trackMutex_);
+        const u64 first = alignDown(off, kCacheLineSize);
+        const u64 last = alignDown(off + len - 1, kCacheLineSize);
+        for (u64 line = first; line <= last; line += kCacheLineSize)
+            dirtyLines_.insert(line);
+    }
+}
+
+void
+PmemDevice::fill(u64 off, u8 byte, u64 len)
+{
+    MGSP_CHECK(off + len <= size_);
+    std::memset(view_.data() + off, byte, len);
+    stats_.bytesWritten.fetch_add(len, std::memory_order_relaxed);
+    model_.chargeWrite(len);
+    if (mode_ == Mode::Tracked) {
+        std::lock_guard<std::mutex> guard(trackMutex_);
+        const u64 first = alignDown(off, kCacheLineSize);
+        const u64 last = alignDown(off + len - 1, kCacheLineSize);
+        for (u64 line = first; line <= last; line += kCacheLineSize)
+            dirtyLines_.insert(line);
+    }
+}
+
+u64
+PmemDevice::load64(u64 off) const
+{
+    MGSP_CHECK(off + 8 <= size_ && isAligned(off, 8));
+    const auto *p = reinterpret_cast<const std::atomic<u64> *>(
+        view_.data() + off);
+    return p->load(std::memory_order_acquire);
+}
+
+void
+PmemDevice::store64(u64 off, u64 value)
+{
+    MGSP_CHECK(off + 8 <= size_ && isAligned(off, 8));
+    auto *p = reinterpret_cast<std::atomic<u64> *>(view_.data() + off);
+    p->store(value, std::memory_order_release);
+    stats_.bytesWritten.fetch_add(8, std::memory_order_relaxed);
+    if (mode_ == Mode::Tracked) {
+        std::lock_guard<std::mutex> guard(trackMutex_);
+        dirtyLines_.insert(alignDown(off, kCacheLineSize));
+    }
+}
+
+bool
+PmemDevice::cas64(u64 off, u64 &expected, u64 desired)
+{
+    MGSP_CHECK(off + 8 <= size_ && isAligned(off, 8));
+    auto *p = reinterpret_cast<std::atomic<u64> *>(view_.data() + off);
+    bool ok = p->compare_exchange_strong(expected, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+    if (ok) {
+        stats_.bytesWritten.fetch_add(8, std::memory_order_relaxed);
+        if (mode_ == Mode::Tracked) {
+            std::lock_guard<std::mutex> guard(trackMutex_);
+            dirtyLines_.insert(alignDown(off, kCacheLineSize));
+        }
+    }
+    return ok;
+}
+
+u64
+PmemDevice::fetchOr64(u64 off, u64 bits)
+{
+    MGSP_CHECK(off + 8 <= size_ && isAligned(off, 8));
+    auto *p = reinterpret_cast<std::atomic<u64> *>(view_.data() + off);
+    u64 prev = p->fetch_or(bits, std::memory_order_acq_rel);
+    stats_.bytesWritten.fetch_add(8, std::memory_order_relaxed);
+    if (mode_ == Mode::Tracked) {
+        std::lock_guard<std::mutex> guard(trackMutex_);
+        dirtyLines_.insert(alignDown(off, kCacheLineSize));
+    }
+    return prev;
+}
+
+void
+PmemDevice::flush(u64 off, u64 len)
+{
+    if (len == 0)
+        return;
+    MGSP_CHECK(off + len <= size_);
+    const u64 first = alignDown(off, kCacheLineSize);
+    const u64 last = alignDown(off + len - 1, kCacheLineSize);
+    const u64 lines = (last - first) / kCacheLineSize + 1;
+    stats_.bytesFlushed.fetch_add(len, std::memory_order_relaxed);
+    stats_.flushedLines.fetch_add(lines, std::memory_order_relaxed);
+    model_.chargeFlush(len);
+    if (mode_ == Mode::Tracked) {
+        std::lock_guard<std::mutex> guard(trackMutex_);
+        for (u64 line = first; line <= last; line += kCacheLineSize) {
+            auto it = dirtyLines_.find(line);
+            if (it != dirtyLines_.end()) {
+                dirtyLines_.erase(it);
+                pendingLines_.insert(line);
+            }
+        }
+    }
+}
+
+void
+PmemDevice::fence()
+{
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    model_.chargeFence();
+    if (mode_ == Mode::Tracked) {
+        std::lock_guard<std::mutex> guard(trackMutex_);
+        for (u64 line : pendingLines_) {
+            std::memcpy(media_.data() + line, view_.data() + line,
+                        kCacheLineSize);
+        }
+        pendingLines_.clear();
+    }
+}
+
+CrashImage
+PmemDevice::captureCrashImage(Rng &rng, double evictionProb) const
+{
+    MGSP_CHECK(mode_ == Mode::Tracked);
+    std::lock_guard<std::mutex> guard(trackMutex_);
+    CrashImage image;
+    image.media = media_;
+    auto maybeSurvive = [&](u64 line) {
+        if (rng.nextBool(evictionProb)) {
+            std::memcpy(image.media.data() + line, view_.data() + line,
+                        kCacheLineSize);
+        }
+    };
+    for (u64 line : pendingLines_)
+        maybeSurvive(line);
+    for (u64 line : dirtyLines_)
+        maybeSurvive(line);
+    return image;
+}
+
+u64
+PmemDevice::dirtyLineCount() const
+{
+    std::lock_guard<std::mutex> guard(trackMutex_);
+    return dirtyLines_.size() + pendingLines_.size();
+}
+
+}  // namespace mgsp

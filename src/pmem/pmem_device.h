@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Emulated byte-addressable persistent memory with x86-style
+ * persistence semantics and crash simulation.
+ *
+ * The paper's testbed is Intel Optane DC PMem accessed through PMDK.
+ * This device substitutes DRAM for the media (as the paper's artifact
+ * appendix sanctions) while preserving exactly the properties the
+ * algorithms rely on:
+ *
+ *  - byte addressability and 8-byte atomic stores;
+ *  - the clwb/sfence persistence model: a store is *guaranteed*
+ *    durable only after it is flushed and a subsequent fence retires,
+ *    but it *may* become durable earlier (cache eviction);
+ *  - accounting of every byte written, flushed and fenced, used by the
+ *    write-amplification experiment (Table II).
+ *
+ * Two modes:
+ *  - Flat: stores hit the media immediately; flush/fence only update
+ *    counters and charge model latency. Used by benchmarks.
+ *  - Tracked: stores land in a volatile overlay; flush+fence moves
+ *    cache lines to the media. captureCrashImage() produces the media
+ *    state plus an arbitrary (seeded) subset of not-yet-fenced dirty
+ *    lines, modelling both store reordering and spontaneous eviction.
+ *    Used by the crash-consistency test harness.
+ */
+#ifndef MGSP_PMEM_PMEM_DEVICE_H
+#define MGSP_PMEM_PMEM_DEVICE_H
+
+#include <atomic>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/types.h"
+#include "pmem/latency_model.h"
+
+namespace mgsp {
+
+/** Counters a device accumulates; basis of Table II. */
+struct PmemStats
+{
+    std::atomic<u64> bytesWritten{0};   ///< bytes stored to the device
+    std::atomic<u64> bytesFlushed{0};   ///< bytes covered by flushes
+    std::atomic<u64> flushedLines{0};   ///< cache lines flushed
+    std::atomic<u64> fences{0};         ///< persistence fences issued
+
+    void
+    reset()
+    {
+        bytesWritten = 0;
+        bytesFlushed = 0;
+        flushedLines = 0;
+        fences = 0;
+    }
+};
+
+/** Snapshot of the media contents after a simulated crash. */
+struct CrashImage
+{
+    std::vector<u8> media;
+};
+
+/**
+ * The emulated device. All mutation must go through the store
+ * methods so that tracked mode sees every write; reads may use the
+ * raw pointer for zero-cost loads (the volatile view is always
+ * coherent with program order).
+ */
+class PmemDevice
+{
+  public:
+    enum class Mode { Flat, Tracked };
+
+    /**
+     * Creates a zeroed device of @p size bytes.
+     *
+     * @param size      arena size in bytes.
+     * @param mode      Flat for benchmarks, Tracked for crash tests.
+     * @param model     media cost model; copied.
+     */
+    explicit PmemDevice(u64 size, Mode mode = Mode::Flat,
+                        LatencyModel model = LatencyModel{});
+
+    /** Restores a device from a crash image (size = image size). */
+    PmemDevice(const CrashImage &image, Mode mode,
+               LatencyModel model = LatencyModel{});
+
+    PmemDevice(const PmemDevice &) = delete;
+    PmemDevice &operator=(const PmemDevice &) = delete;
+
+    u64 size() const { return size_; }
+    Mode mode() const { return mode_; }
+    const LatencyModel &latency() const { return model_; }
+    PmemStats &stats() { return stats_; }
+
+    /** Read-only pointer into the current (volatile) view. */
+    const u8 *
+    rawRead(u64 off) const
+    {
+        return view_.data() + off;
+    }
+
+    /** Copies @p len bytes at @p off into @p dst. */
+    void read(u64 off, void *dst, u64 len) const;
+
+    /** Stores @p len bytes from @p src at @p off (not yet durable). */
+    void write(u64 off, const void *src, u64 len);
+
+    /** Fills [off, off+len) with @p byte. */
+    void fill(u64 off, u8 byte, u64 len);
+
+    /** 8-byte atomic load with acquire ordering. @p off 8-aligned. */
+    u64 load64(u64 off) const;
+
+    /** 8-byte atomic store with release ordering. @p off 8-aligned. */
+    void store64(u64 off, u64 value);
+
+    /**
+     * 8-byte compare-and-swap at @p off.
+     * @return true and installs @p desired iff the current value was
+     *         @p expected; otherwise updates @p expected.
+     */
+    bool cas64(u64 off, u64 &expected, u64 desired);
+
+    /** 8-byte atomic fetch-or; returns the previous value. */
+    u64 fetchOr64(u64 off, u64 bits);
+
+    /** Queues the cache lines covering [off, off+len) for persistence. */
+    void flush(u64 off, u64 len);
+
+    /** Retires all queued flushes; after this they are durable. */
+    void fence();
+
+    /** flush() + fence() — one persistence point. */
+    void
+    persist(u64 off, u64 len)
+    {
+        flush(off, len);
+        fence();
+    }
+
+    /**
+     * Tracked mode: produces the media state of a crash happening now.
+     *
+     * Every line made durable by a fence is present. Each dirty line
+     * not yet fenced (including flushed-but-unfenced lines) survives
+     * independently with probability @p evictionProb, drawn from
+     * @p rng — modelling cache eviction and WPQ drain races.
+     */
+    CrashImage captureCrashImage(Rng &rng, double evictionProb) const;
+
+    /** Tracked mode: number of dirty (not yet durable) cache lines. */
+    u64 dirtyLineCount() const;
+
+  private:
+    u64 size_;
+    Mode mode_;
+    LatencyModel model_;
+    PmemStats stats_;
+
+    /// The program-visible view. In Flat mode this *is* the media.
+    std::vector<u8> view_;
+    /// Tracked mode only: bytes guaranteed durable.
+    std::vector<u8> media_;
+
+    /// Tracked mode: lines stored since their last fence.
+    mutable std::mutex trackMutex_;
+    std::unordered_set<u64> dirtyLines_;
+    std::unordered_set<u64> pendingLines_;  ///< flushed, awaiting fence
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_PMEM_PMEM_DEVICE_H

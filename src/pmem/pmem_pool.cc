@@ -1,0 +1,154 @@
+#include "pmem/pmem_pool.h"
+
+#include <bit>
+#include <mutex>
+
+#include "common/align.h"
+#include "common/logging.h"
+
+namespace mgsp {
+
+PmemPool::PmemPool(u64 base, std::vector<PoolClassConfig> configs)
+    : base_(base), totalBytes_(0)
+{
+    MGSP_CHECK(!configs.empty());
+    u64 cursor = base;
+    u64 prev_cell = 0;
+    for (const PoolClassConfig &cfg : configs) {
+        MGSP_CHECK(isPowerOfTwo(cfg.cellSize));
+        MGSP_CHECK(cfg.cellSize > prev_cell &&
+                   "classes must be sorted by ascending cell size");
+        prev_cell = cfg.cellSize;
+        SizeClass &cls = classes_.emplace_back();
+        cls.cellSize = cfg.cellSize;
+        cls.regionBase = alignUp(cursor, cfg.cellSize);
+        cls.cellCount = cfg.regionBytes / cfg.cellSize;
+        cls.freeCount = cls.cellCount;
+        cls.occupancy.assign(ceilDiv(cls.cellCount, 64), 0);
+        cursor = cls.regionBase + cls.cellCount * cls.cellSize;
+    }
+    totalBytes_ = cursor - base;
+}
+
+int
+PmemPool::classIndexFor(u64 size) const
+{
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+        if (classes_[i].cellSize >= size)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+PmemPool::classIndexOwning(u64 off) const
+{
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+        const SizeClass &cls = classes_[i];
+        if (off >= cls.regionBase &&
+            off < cls.regionBase + cls.cellCount * cls.cellSize)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+StatusOr<u64>
+PmemPool::alloc(u64 size)
+{
+    const int idx = classIndexFor(size);
+    if (idx < 0) {
+        return Status::invalidArgument(
+            "allocation larger than the largest pool class");
+    }
+    SizeClass &cls = classes_[idx];
+    std::lock_guard<SpinLock> guard(cls.lock);
+    if (cls.freeCount == 0)
+        return Status::outOfSpace("pool class exhausted");
+    const u64 words = cls.occupancy.size();
+    u64 word = cls.nextHint;
+    for (u64 scanned = 0; scanned <= words; ++scanned, ++word) {
+        if (word >= words)
+            word = 0;
+        u64 bits = cls.occupancy[word];
+        if (bits == ~0ull)
+            continue;
+        const unsigned bit = std::countr_one(bits);
+        const u64 cell = word * 64 + bit;
+        if (cell >= cls.cellCount)
+            continue;
+        cls.occupancy[word] |= (1ull << bit);
+        --cls.freeCount;
+        cls.nextHint = word;
+        return cls.regionBase + cell * cls.cellSize;
+    }
+    return Status::outOfSpace("pool class exhausted");
+}
+
+void
+PmemPool::free(u64 offset, u64 size)
+{
+    const int idx = classIndexFor(size);
+    MGSP_CHECK(idx >= 0);
+    SizeClass &cls = classes_[idx];
+    MGSP_CHECK(offset >= cls.regionBase &&
+               isAligned(offset - cls.regionBase, cls.cellSize));
+    const u64 cell = (offset - cls.regionBase) / cls.cellSize;
+    MGSP_CHECK(cell < cls.cellCount);
+    std::lock_guard<SpinLock> guard(cls.lock);
+    const u64 mask = 1ull << (cell % 64);
+    MGSP_CHECK((cls.occupancy[cell / 64] & mask) != 0 && "double free");
+    cls.occupancy[cell / 64] &= ~mask;
+    ++cls.freeCount;
+}
+
+void
+PmemPool::resetAllocationState()
+{
+    for (SizeClass &cls : classes_) {
+        std::lock_guard<SpinLock> guard(cls.lock);
+        std::fill(cls.occupancy.begin(), cls.occupancy.end(), 0);
+        cls.freeCount = cls.cellCount;
+        cls.nextHint = 0;
+    }
+}
+
+Status
+PmemPool::markAllocated(u64 offset, u64 size)
+{
+    const int idx = classIndexFor(size);
+    if (idx < 0 || idx != classIndexOwning(offset))
+        return Status::invalidArgument("offset not in expected class");
+    SizeClass &cls = classes_[idx];
+    if (!isAligned(offset - cls.regionBase, cls.cellSize))
+        return Status::invalidArgument("offset not a cell boundary");
+    const u64 cell = (offset - cls.regionBase) / cls.cellSize;
+    if (cell >= cls.cellCount)
+        return Status::invalidArgument("cell out of range");
+    std::lock_guard<SpinLock> guard(cls.lock);
+    const u64 mask = 1ull << (cell % 64);
+    if ((cls.occupancy[cell / 64] & mask) != 0)
+        return Status::alreadyExists("cell referenced twice");
+    cls.occupancy[cell / 64] |= mask;
+    --cls.freeCount;
+    return Status::ok();
+}
+
+u64
+PmemPool::freeCells(u64 size) const
+{
+    const int idx = classIndexFor(size);
+    if (idx < 0)
+        return 0;
+    const SizeClass &cls = classes_[idx];
+    std::lock_guard<SpinLock> guard(cls.lock);
+    return cls.freeCount;
+}
+
+u64
+PmemPool::classCellSize(u64 size) const
+{
+    const int idx = classIndexFor(size);
+    return idx < 0 ? 0 : classes_[idx].cellSize;
+}
+
+}  // namespace mgsp

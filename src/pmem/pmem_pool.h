@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Segregated fixed-partition allocator for shadow-log blocks.
+ *
+ * MGSP allocates log blocks of a handful of power-of-two sizes (one
+ * per radix-tree level). The pool statically partitions its region
+ * into one sub-region per size class; each class is an array of
+ * fixed-size cells with a DRAM occupancy bitmap.
+ *
+ * Crash friendliness comes from keeping *no* persistent allocator
+ * state: after a crash the occupancy bitmaps are rebuilt by scanning
+ * the persistent node table (every live log block is referenced by
+ * exactly one node record), via resetAllocationState() +
+ * markAllocated(). This mirrors how NVM allocators such as the one in
+ * PMDK recover via reachability instead of allocation journaling.
+ */
+#ifndef MGSP_PMEM_PMEM_POOL_H
+#define MGSP_PMEM_PMEM_POOL_H
+
+#include <deque>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace mgsp {
+
+/** One size class: cells of @ref cellSize filling @ref regionBytes. */
+struct PoolClassConfig
+{
+    u64 cellSize;     ///< bytes per cell (power of two)
+    u64 regionBytes;  ///< bytes of the pool devoted to this class
+};
+
+/**
+ * Allocator over the device range [base, base+totalBytes). Thread
+ * safe: each class has its own spin lock.
+ */
+class PmemPool
+{
+  public:
+    /**
+     * @param base    device offset where the pool region begins.
+     * @param classes size classes; regions are laid out in order.
+     */
+    PmemPool(u64 base, std::vector<PoolClassConfig> classes);
+
+    /** Total bytes spanned by all class regions. */
+    u64 totalBytes() const { return totalBytes_; }
+    u64 base() const { return base_; }
+    u64 end() const { return base_ + totalBytes_; }
+
+    /**
+     * Allocates a cell of the smallest class whose cellSize >= @p size.
+     * @return device offset of the cell, or OutOfSpace/InvalidArgument.
+     */
+    StatusOr<u64> alloc(u64 size);
+
+    /** Returns the cell at @p offset (sized @p size at alloc time). */
+    void free(u64 offset, u64 size);
+
+    /** Marks every cell free (start of recovery). */
+    void resetAllocationState();
+
+    /**
+     * Marks the cell containing @p offset allocated (recovery scan).
+     * @return InvalidArgument if @p offset is not a cell boundary of
+     *         the class that owns it, AlreadyExists on double marking.
+     */
+    Status markAllocated(u64 offset, u64 size);
+
+    /** Free cells remaining in the class serving @p size. */
+    u64 freeCells(u64 size) const;
+
+    /** Cell size of the class that would serve @p size (0 if none). */
+    u64 classCellSize(u64 size) const;
+
+  private:
+    struct SizeClass
+    {
+        u64 cellSize = 0;
+        u64 regionBase = 0;  ///< absolute device offset
+        u64 cellCount = 0;
+        u64 freeCount = 0;
+        u64 nextHint = 0;    ///< search start for the next alloc
+        std::vector<u64> occupancy;  ///< 1 bit per cell; 1 = allocated
+        mutable SpinLock lock;
+    };
+
+    /** Index of the class serving @p size, or -1. */
+    int classIndexFor(u64 size) const;
+    /** Index of the class owning device offset @p off, or -1. */
+    int classIndexOwning(u64 off) const;
+
+    u64 base_;
+    u64 totalBytes_;
+    std::deque<SizeClass> classes_;  // deque: SizeClass is immovable
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_PMEM_PMEM_POOL_H

@@ -1,0 +1,100 @@
+#include "vfs/mem_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mgsp {
+
+namespace {
+
+/** File handle over a MemFs inode. */
+class MemFile : public File
+{
+  public:
+    MemFile(std::shared_ptr<MemFs::Inode> inode, std::atomic<u64> *counter)
+        : inode_(std::move(inode)), logicalBytes_(counter)
+    {
+    }
+
+    StatusOr<u64>
+    pread(u64 offset, MutSlice dst) override
+    {
+        std::lock_guard<std::mutex> guard(inode_->mutex);
+        if (offset >= inode_->data.size())
+            return u64{0};
+        const u64 n =
+            std::min<u64>(dst.size(), inode_->data.size() - offset);
+        std::memcpy(dst.data(), inode_->data.data() + offset, n);
+        return n;
+    }
+
+    Status
+    pwrite(u64 offset, ConstSlice src) override
+    {
+        std::lock_guard<std::mutex> guard(inode_->mutex);
+        if (offset + src.size() > inode_->data.size())
+            inode_->data.resize(offset + src.size(), 0);
+        std::memcpy(inode_->data.data() + offset, src.data(), src.size());
+        logicalBytes_->fetch_add(src.size(), std::memory_order_relaxed);
+        return Status::ok();
+    }
+
+    Status sync() override { return Status::ok(); }
+
+    u64
+    size() const override
+    {
+        std::lock_guard<std::mutex> guard(inode_->mutex);
+        return inode_->data.size();
+    }
+
+    Status
+    truncate(u64 new_size) override
+    {
+        std::lock_guard<std::mutex> guard(inode_->mutex);
+        inode_->data.resize(new_size, 0);
+        return Status::ok();
+    }
+
+  private:
+    std::shared_ptr<MemFs::Inode> inode_;
+    std::atomic<u64> *logicalBytes_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<File>>
+MemFs::open(const std::string &path, const OpenOptions &options)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    auto it = inodes_.find(path);
+    if (it == inodes_.end()) {
+        if (!options.create)
+            return Status::notFound("no such file: " + path);
+        it = inodes_.emplace(path, std::make_shared<Inode>()).first;
+    }
+    if (options.truncate) {
+        std::lock_guard<std::mutex> inode_guard(it->second->mutex);
+        it->second->data.clear();
+    }
+    return std::unique_ptr<File>(
+        std::make_unique<MemFile>(it->second, &logicalBytes_));
+}
+
+Status
+MemFs::remove(const std::string &path)
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    if (inodes_.erase(path) == 0)
+        return Status::notFound("no such file: " + path);
+    return Status::ok();
+}
+
+bool
+MemFs::exists(const std::string &path) const
+{
+    std::lock_guard<std::mutex> guard(tableMutex_);
+    return inodes_.count(path) != 0;
+}
+
+}  // namespace mgsp

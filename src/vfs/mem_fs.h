@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A trivial in-memory file system.
+ *
+ * Reference implementation of the vfs interface: no crash
+ * consistency, no cost model. Used as the correctness oracle in
+ * differential tests (every engine must produce byte-identical file
+ * contents to MemFs under the same operation sequence) and as the
+ * fastest backing store for minidb unit tests.
+ */
+#ifndef MGSP_VFS_MEM_FS_H
+#define MGSP_VFS_MEM_FS_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+/** In-memory FileSystem; see file comment. */
+class MemFs : public FileSystem
+{
+  public:
+    const char *name() const override { return "memfs"; }
+
+    ConsistencyLevel
+    consistency() const override
+    {
+        return ConsistencyLevel::MetadataOnly;
+    }
+
+    StatusOr<std::unique_ptr<File>>
+    open(const std::string &path, const OpenOptions &options) override;
+
+    Status remove(const std::string &path) override;
+    bool exists(const std::string &path) const override;
+
+    u64
+    logicalBytesWritten() const override
+    {
+        return logicalBytes_.load(std::memory_order_relaxed);
+    }
+
+    /** Shared file state; public so the handle class can hold it. */
+    struct Inode
+    {
+        std::mutex mutex;
+        std::vector<u8> data;
+    };
+
+  private:
+    mutable std::mutex tableMutex_;
+    std::map<std::string, std::shared_ptr<Inode>> inodes_;
+    std::atomic<u64> logicalBytes_{0};
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_VFS_MEM_FS_H

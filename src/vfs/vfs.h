@@ -1,0 +1,92 @@
+/**
+ * @file
+ * File abstraction implemented by every storage engine in the repo.
+ *
+ * The benchmark harness and the minidb database run against this
+ * interface, so MGSP and the three baselines (Ext4-DAX, Libnvmmio and
+ * NOVA models) are interchangeable, exactly like swapping the mounted
+ * file system in the paper's evaluation.
+ *
+ * Implementations must be thread-safe: the scalability experiments
+ * (Fig. 10) issue pread/pwrite on one File object from many threads.
+ */
+#ifndef MGSP_VFS_VFS_H
+#define MGSP_VFS_VFS_H
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace mgsp {
+
+/** Options for FileSystem::open(). */
+struct OpenOptions
+{
+    bool create = false;     ///< create if missing
+    bool truncate = false;   ///< reset length to zero on open
+};
+
+/** Per-file-system consistency guarantee, used in bench labels. */
+enum class ConsistencyLevel {
+    MetadataOnly,      ///< Ext4-DAX: data can be torn by a crash
+    SyncAtomic,        ///< Libnvmmio: atomic up to the last sync
+    OperationAtomic,   ///< MGSP / NOVA: every write is atomic
+};
+
+/** A handle to an open file. */
+class File
+{
+  public:
+    virtual ~File() = default;
+
+    /**
+     * Reads up to dst.size() bytes from @p offset.
+     * @return bytes read (short count at EOF).
+     */
+    virtual StatusOr<u64> pread(u64 offset, MutSlice dst) = 0;
+
+    /** Writes src at @p offset, extending the file if needed. */
+    virtual Status pwrite(u64 offset, ConstSlice src) = 0;
+
+    /** Makes all completed writes durable. */
+    virtual Status sync() = 0;
+
+    /** Current file length in bytes. */
+    virtual u64 size() const = 0;
+
+    /** Sets the file length (zero-fills on extension). */
+    virtual Status truncate(u64 new_size) = 0;
+};
+
+/** A mountable file system / storage engine. */
+class FileSystem
+{
+  public:
+    virtual ~FileSystem() = default;
+
+    /** Engine name for bench output ("mgsp", "ext4-dax", ...). */
+    virtual const char *name() const = 0;
+
+    /** Consistency guarantee this engine provides. */
+    virtual ConsistencyLevel consistency() const = 0;
+
+    /** Opens (optionally creating) @p path. */
+    virtual StatusOr<std::unique_ptr<File>>
+    open(const std::string &path, const OpenOptions &options) = 0;
+
+    /** Removes @p path. */
+    virtual Status remove(const std::string &path) = 0;
+
+    /** @return true iff @p path exists. */
+    virtual bool exists(const std::string &path) const = 0;
+
+    /** Logical bytes the application asked this FS to write. */
+    virtual u64 logicalBytesWritten() const = 0;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_VFS_VFS_H

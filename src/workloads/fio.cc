@@ -1,0 +1,182 @@
+#include "workloads/fio.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baselines/ext_fs.h"
+#include "baselines/nova_fs.h"
+#include "baselines/nvmmio_fs.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "mgsp/mgsp_fs.h"
+
+namespace mgsp {
+
+StatusOr<std::unique_ptr<File>>
+createFileWithCapacity(FileSystem *fs, const std::string &path,
+                       u64 capacity)
+{
+    if (!fs->exists(path)) {
+        if (auto *mgsp_fs = dynamic_cast<MgspFs *>(fs))
+            return mgsp_fs->createFile(path, capacity);
+        if (auto *ext = dynamic_cast<ExtFs *>(fs))
+            return ext->createFile(path, capacity);
+        if (auto *nvm = dynamic_cast<NvmmioFs *>(fs))
+            return nvm->createFile(path, capacity);
+        if (auto *nova = dynamic_cast<NovaFs *>(fs))
+            return nova->createFile(path, capacity);
+    }
+    OpenOptions opts;
+    opts.create = true;
+    return fs->open(path, opts);
+}
+
+namespace {
+
+/** Pre-writes the file so measured writes are overwrites. */
+Status
+preallocate(File *file, u64 file_size)
+{
+    std::vector<u8> chunk(1 * MiB, 0x5F);
+    for (u64 off = 0; off < file_size; off += chunk.size()) {
+        const u64 len = std::min<u64>(chunk.size(), file_size - off);
+        MGSP_RETURN_IF_ERROR(
+            file->pwrite(off, ConstSlice(chunk.data(), len)));
+    }
+    return file->sync();
+}
+
+/** Per-thread job loop. */
+void
+workerLoop(File *file, const FioConfig &config, u32 tid,
+           const std::atomic<bool> &stop,
+           const std::atomic<bool> &recording, FioResult *result)
+{
+    Rng rng(config.seed * 1315423911u + tid);
+    std::vector<u8> buffer(config.blockSize);
+    rng.fillBytes(buffer.data(), buffer.size());
+    const u64 blocks = config.fileSize / config.blockSize;
+    // Sequential mode: each thread sweeps its own stripe, as fio
+    // does with per-job offsets.
+    const u64 stripe = blocks / config.threads;
+    u64 cursor = (tid * stripe) % blocks;
+    u64 since_sync = 0;
+
+    while (!stop.load(std::memory_order_relaxed)) {
+        u64 block;
+        if (config.random) {
+            block = rng.nextBelow(blocks);
+        } else {
+            block = cursor;
+            cursor = (cursor + 1) % blocks;
+        }
+        const u64 off = block * config.blockSize;
+        bool is_write = config.op == FioOp::Write;
+        if (config.op == FioOp::Mixed)
+            is_write = rng.nextBool(config.writeRatio);
+
+        const u64 start = monotonicNanos();
+        if (is_write) {
+            Status s = file->pwrite(
+                off, ConstSlice(buffer.data(), buffer.size()));
+            if (!s.isOk())
+                break;
+            if (config.fsyncInterval > 0 &&
+                ++since_sync >= config.fsyncInterval) {
+                since_sync = 0;
+                if (!file->sync().isOk())
+                    break;
+            }
+        } else {
+            StatusOr<u64> n = file->pread(
+                off, MutSlice(buffer.data(), buffer.size()));
+            if (!n.isOk())
+                break;
+        }
+        const u64 elapsed = monotonicNanos() - start;
+        if (recording.load(std::memory_order_relaxed)) {
+            ++result->ops;
+            result->bytes += config.blockSize;
+            result->latency.record(elapsed);
+        }
+    }
+}
+
+}  // namespace
+
+StatusOr<FioResult>
+runFio(FileSystem *fs, const FioConfig &config)
+{
+    if (config.blockSize == 0 || config.fileSize < config.blockSize ||
+        config.threads == 0)
+        return Status::invalidArgument("bad fio configuration");
+
+    // One handle per thread (as the paper's multi-thread runs do).
+    std::vector<std::unique_ptr<File>> handles;
+    {
+        StatusOr<std::unique_ptr<File>> first =
+            createFileWithCapacity(fs, "fio.dat", config.fileSize);
+        if (!first.isOk())
+            return first.status();
+        if (config.preallocate)
+            MGSP_RETURN_IF_ERROR(
+                preallocate(first->get(), config.fileSize));
+        handles.push_back(std::move(*first));
+    }
+    for (u32 t = 1; t < config.threads; ++t) {
+        StatusOr<std::unique_ptr<File>> handle =
+            fs->open("fio.dat", OpenOptions{});
+        if (!handle.isOk())
+            return handle.status();
+        handles.push_back(std::move(*handle));
+    }
+
+    // Warmup: one sequential pass of blockSize writes so engines with
+    // first-touch costs (shadow-log/log-block allocation, CoW page
+    // faults) reach steady state before the timer starts — the
+    // paper's runs measure "after the performance is stable".
+    if (config.warmup && config.op != FioOp::Read) {
+        std::vector<u8> warm(config.blockSize, 0xA7);
+        for (u64 off = 0; off + config.blockSize <= config.fileSize;
+             off += config.blockSize) {
+            MGSP_RETURN_IF_ERROR(handles[0]->pwrite(
+                off, ConstSlice(warm.data(), warm.size())));
+        }
+        MGSP_RETURN_IF_ERROR(handles[0]->sync());
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> recording{false};
+    std::vector<FioResult> partials(config.threads);
+    std::vector<std::thread> threads;
+    threads.reserve(config.threads);
+    for (u32 t = 0; t < config.threads; ++t) {
+        threads.emplace_back(workerLoop, handles[t].get(),
+                             std::cref(config), t, std::cref(stop),
+                             std::cref(recording), &partials[t]);
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.rampMillis));
+    recording.store(true);
+    const u64 begin = monotonicNanos();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.runtimeMillis));
+    recording.store(false);
+    const u64 end = monotonicNanos();
+    stop.store(true);
+    for (std::thread &th : threads)
+        th.join();
+
+    FioResult total;
+    total.seconds = static_cast<double>(end - begin) * 1e-9;
+    for (const FioResult &part : partials) {
+        total.ops += part.ops;
+        total.bytes += part.bytes;
+        total.latency.merge(part.latency);
+    }
+    return total;
+}
+
+}  // namespace mgsp

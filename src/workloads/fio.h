@@ -1,0 +1,84 @@
+/**
+ * @file
+ * FIO-style microbenchmark runner: the workload generator behind the
+ * paper's Figs. 1 and 7-10 and Table II. Mirrors the artifact's
+ * run.sh parameter set:
+ *
+ *   run.sh fs op fsize bs fsync t_num write_ratio runtime ramptime
+ */
+#ifndef MGSP_WORKLOADS_FIO_H
+#define MGSP_WORKLOADS_FIO_H
+
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+/** What the job does. */
+enum class FioOp { Write, Read, Mixed };
+
+/** One FIO job description. */
+struct FioConfig
+{
+    FioOp op = FioOp::Write;
+    bool random = false;
+    u64 fileSize = 64 * MiB;
+    u64 blockSize = 4 * KiB;
+    /** Call sync() every N operations; 0 = never. */
+    u32 fsyncInterval = 1;
+    u32 threads = 1;
+    /** Mixed mode: fraction of writes. */
+    double writeRatio = 0.5;
+    u64 runtimeMillis = 1000;
+    u64 rampMillis = 100;
+    u64 seed = 42;
+    /** Pre-write the whole file before measuring (default: yes). */
+    bool preallocate = true;
+    /** One steady-state pass of blockSize writes before the timer. */
+    bool warmup = true;
+};
+
+/** Aggregate result of a job. */
+struct FioResult
+{
+    u64 ops = 0;
+    u64 bytes = 0;
+    double seconds = 0;
+    Histogram latency;
+
+    double
+    throughputMiBps() const
+    {
+        return seconds > 0
+                   ? static_cast<double>(bytes) / MiB / seconds
+                   : 0.0;
+    }
+    double
+    opsPerSecond() const
+    {
+        return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+    }
+};
+
+/**
+ * Creates @p path with a fixed capacity on engines that need one
+ * (MGSP/Ext4/Libnvmmio/NOVA models) or plainly elsewhere.
+ */
+StatusOr<std::unique_ptr<File>>
+createFileWithCapacity(FileSystem *fs, const std::string &path,
+                       u64 capacity);
+
+/**
+ * Runs one FIO job against @p fs. Creates (or reuses) "fio.dat";
+ * each thread opens its own handle, as fio does with one job per
+ * thread.
+ */
+StatusOr<FioResult> runFio(FileSystem *fs, const FioConfig &config);
+
+}  // namespace mgsp
+
+#endif  // MGSP_WORKLOADS_FIO_H

@@ -1,0 +1,65 @@
+#include "workloads/mobibench.h"
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace mgsp {
+
+StatusOr<MobibenchResult>
+runMobibench(FileSystem *fs, const MobibenchConfig &config)
+{
+    minidb::DbOptions options;
+    options.journal = config.journal;
+    options.fileCapacity = config.fileCapacity;
+    StatusOr<std::unique_ptr<minidb::Database>> db =
+        minidb::Database::open(fs, "mobibench.db", options);
+    if (!db.isOk())
+        return db.status();
+    MGSP_RETURN_IF_ERROR((*db)->createTable("tbl"));
+
+    Rng rng(config.seed);
+    std::vector<u8> record = rng.nextBytes(config.recordBytes);
+
+    // Preload for update/delete; delete also needs enough rows to
+    // consume.
+    u64 preload = config.op == MobiOp::Insert ? 0 : config.initialRows;
+    if (config.op == MobiOp::Delete)
+        preload = std::max(preload, config.transactions);
+    if (preload > 0) {
+        MGSP_RETURN_IF_ERROR((*db)->begin());
+        for (u64 k = 0; k < preload; ++k) {
+            MGSP_RETURN_IF_ERROR((*db)->insert(
+                "tbl", static_cast<i64>(k),
+                ConstSlice(record.data(), record.size())));
+        }
+        MGSP_RETURN_IF_ERROR((*db)->commit());
+        MGSP_RETURN_IF_ERROR((*db)->checkpoint());
+    }
+
+    MobibenchResult result;
+    Stopwatch timer;
+    for (u64 t = 0; t < config.transactions; ++t) {
+        switch (config.op) {
+          case MobiOp::Insert:
+            MGSP_RETURN_IF_ERROR((*db)->insert(
+                "tbl", static_cast<i64>(t),
+                ConstSlice(record.data(), record.size())));
+            break;
+          case MobiOp::Update:
+            MGSP_RETURN_IF_ERROR((*db)->update(
+                "tbl",
+                static_cast<i64>(rng.nextBelow(config.initialRows)),
+                ConstSlice(record.data(), record.size())));
+            break;
+          case MobiOp::Delete:
+            MGSP_RETURN_IF_ERROR(
+                (*db)->remove("tbl", static_cast<i64>(t)));
+            break;
+        }
+    }
+    result.seconds = timer.elapsedSeconds();
+    result.transactions = config.transactions;
+    return result;
+}
+
+}  // namespace mgsp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Mobibench-style SQLite transaction driver (paper Fig. 11).
+ *
+ * Mobibench's database test issues basic single-statement
+ * transactions — INSERT, UPDATE or DELETE of ~100-byte records —
+ * against SQLite, measuring transactions per second. This driver
+ * reproduces that pattern on minidb over any vfs::FileSystem.
+ */
+#ifndef MGSP_WORKLOADS_MOBIBENCH_H
+#define MGSP_WORKLOADS_MOBIBENCH_H
+
+#include "common/status.h"
+#include "common/types.h"
+#include "minidb/db.h"
+
+namespace mgsp {
+
+/** Which Mobibench transaction mix to run. */
+enum class MobiOp { Insert, Update, Delete };
+
+/** Job description. */
+struct MobibenchConfig
+{
+    MobiOp op = MobiOp::Insert;
+    minidb::JournalMode journal = minidb::JournalMode::Wal;
+    /** Rows preloaded before update/delete runs. */
+    u64 initialRows = 4000;
+    /** Transactions to execute (each = one statement, as Mobibench). */
+    u64 transactions = 2000;
+    /** Record payload size. */
+    u64 recordBytes = 100;
+    u64 seed = 7;
+    /** Capacity of the db/-wal files on extent-based engines. */
+    u64 fileCapacity = 32 * MiB;
+};
+
+/** Result of a run. */
+struct MobibenchResult
+{
+    u64 transactions = 0;
+    double seconds = 0;
+
+    double
+    tps() const
+    {
+        return seconds > 0 ? static_cast<double>(transactions) / seconds
+                           : 0.0;
+    }
+};
+
+/** Runs the job against a fresh database on @p fs. */
+StatusOr<MobibenchResult> runMobibench(FileSystem *fs,
+                                       const MobibenchConfig &config);
+
+}  // namespace mgsp
+
+#endif  // MGSP_WORKLOADS_MOBIBENCH_H

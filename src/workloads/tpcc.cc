@@ -1,0 +1,355 @@
+#include "workloads/tpcc.h"
+
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mgsp {
+namespace {
+
+using minidb::Database;
+
+// ---- composite-key packing --------------------------------------
+// Warehouse/district/customer ids are small; pack them into an i64
+// with disjoint digit ranges so ordering stays meaningful.
+
+i64
+districtKey(u32 w, u32 d)
+{
+    return static_cast<i64>(w) * 100 + d;
+}
+
+i64
+customerKey(u32 w, u32 d, u32 c)
+{
+    return (static_cast<i64>(w) * 100 + d) * 100000 + c;
+}
+
+i64
+stockKey(u32 w, u32 i)
+{
+    return static_cast<i64>(w) * 1000000 + i;
+}
+
+i64
+orderKey(u32 w, u32 d, u64 o)
+{
+    return (static_cast<i64>(w) * 100 + d) * 10000000 + static_cast<i64>(o);
+}
+
+i64
+orderLineKey(u32 w, u32 d, u64 o, u32 line)
+{
+    return orderKey(w, d, o) * 16 + line;
+}
+
+// ---- fixed-layout rows -------------------------------------------
+
+struct WarehouseRow
+{
+    double ytd;
+    char name[24];
+};
+
+struct DistrictRow
+{
+    double ytd;
+    u64 nextOrderId;
+    char name[24];
+};
+
+struct CustomerRow
+{
+    double balance;
+    double ytdPayment;
+    u32 paymentCount;
+    char data[200];
+};
+
+struct ItemRow
+{
+    double price;
+    char name[32];
+};
+
+struct StockRow
+{
+    i32 quantity;
+    u32 orderCount;
+    char dist[24];
+};
+
+struct OrderRow
+{
+    u32 customer;
+    u32 lineCount;
+    u64 entryNanos;
+};
+
+struct OrderLineRow
+{
+    u32 item;
+    u32 quantity;
+    double amount;
+};
+
+struct HistoryRow
+{
+    double amount;
+    u64 when;
+};
+
+template <typename Row>
+ConstSlice
+rowSlice(const Row &row)
+{
+    return ConstSlice(&row, sizeof(row));
+}
+
+template <typename Row>
+StatusOr<Row>
+readRow(Database *db, const std::string &table, i64 key)
+{
+    StatusOr<std::vector<u8>> raw = db->get(table, key);
+    if (!raw.isOk())
+        return raw.status();
+    if (raw->size() != sizeof(Row))
+        return Status::corruption("row size mismatch in " + table);
+    Row row;
+    std::memcpy(&row, raw->data(), sizeof(row));
+    return row;
+}
+
+Status
+load(Database *db, const TpccConfig &config, Rng *rng)
+{
+    for (const char *table :
+         {"warehouse", "district", "customer", "item", "stock", "orders",
+          "order_line", "history"})
+        MGSP_RETURN_IF_ERROR(db->createTable(table));
+
+    MGSP_RETURN_IF_ERROR(db->begin());
+    for (u32 i = 1; i <= config.items; ++i) {
+        ItemRow item{};
+        item.price = 1.0 + static_cast<double>(rng->nextBelow(9900)) / 100;
+        std::snprintf(item.name, sizeof(item.name), "item-%u", i);
+        MGSP_RETURN_IF_ERROR(db->insert("item", i, rowSlice(item)));
+    }
+    for (u32 w = 1; w <= config.warehouses; ++w) {
+        WarehouseRow warehouse{};
+        warehouse.ytd = 0;
+        std::snprintf(warehouse.name, sizeof(warehouse.name), "w-%u", w);
+        MGSP_RETURN_IF_ERROR(
+            db->insert("warehouse", w, rowSlice(warehouse)));
+        for (u32 i = 1; i <= config.items; ++i) {
+            StockRow stock{};
+            stock.quantity = 50 + static_cast<i32>(rng->nextBelow(50));
+            MGSP_RETURN_IF_ERROR(
+                db->insert("stock", stockKey(w, i), rowSlice(stock)));
+        }
+        for (u32 d = 1; d <= config.districtsPerWarehouse; ++d) {
+            DistrictRow district{};
+            district.ytd = 0;
+            district.nextOrderId = 1;
+            std::snprintf(district.name, sizeof(district.name), "d-%u-%u",
+                          w, d);
+            MGSP_RETURN_IF_ERROR(db->insert("district", districtKey(w, d),
+                                            rowSlice(district)));
+            for (u32 c = 1; c <= config.customersPerDistrict; ++c) {
+                CustomerRow customer{};
+                customer.balance = -10.0;
+                rng->fillBytes(customer.data, sizeof(customer.data));
+                MGSP_RETURN_IF_ERROR(
+                    db->insert("customer", customerKey(w, d, c),
+                               rowSlice(customer)));
+            }
+        }
+    }
+    MGSP_RETURN_IF_ERROR(db->commit());
+    return db->checkpoint();
+}
+
+/** The New-Order transaction (TPC-C §2.4), simplified. */
+Status
+newOrder(Database *db, const TpccConfig &config, Rng *rng, double *amount)
+{
+    const u32 w = 1 + static_cast<u32>(rng->nextBelow(config.warehouses));
+    const u32 d = 1 + static_cast<u32>(
+                          rng->nextBelow(config.districtsPerWarehouse));
+    const u32 c = 1 + static_cast<u32>(
+                          rng->nextBelow(config.customersPerDistrict));
+    const u32 lines = 5 + static_cast<u32>(rng->nextBelow(11));
+
+    MGSP_RETURN_IF_ERROR(db->begin());
+    StatusOr<DistrictRow> district =
+        readRow<DistrictRow>(db, "district", districtKey(w, d));
+    if (!district.isOk())
+        return district.status();
+    const u64 order_id = district->nextOrderId;
+    district->nextOrderId++;
+    MGSP_RETURN_IF_ERROR(db->update("district", districtKey(w, d),
+                                    rowSlice(*district)));
+
+    OrderRow order{};
+    order.customer = c;
+    order.lineCount = lines;
+    order.entryNanos = 0;
+    MGSP_RETURN_IF_ERROR(
+        db->insert("orders", orderKey(w, d, order_id), rowSlice(order)));
+
+    double total = 0;
+    for (u32 line = 0; line < lines; ++line) {
+        const u32 item_id =
+            1 + static_cast<u32>(rng->nextZipf(config.items, 0.4));
+        StatusOr<ItemRow> item = readRow<ItemRow>(db, "item", item_id);
+        if (!item.isOk())
+            return item.status();
+        StatusOr<StockRow> stock =
+            readRow<StockRow>(db, "stock", stockKey(w, item_id));
+        if (!stock.isOk())
+            return stock.status();
+        const u32 qty = 1 + static_cast<u32>(rng->nextBelow(10));
+        stock->quantity -= static_cast<i32>(qty);
+        if (stock->quantity < 10)
+            stock->quantity += 91;
+        stock->orderCount++;
+        MGSP_RETURN_IF_ERROR(db->update("stock", stockKey(w, item_id),
+                                        rowSlice(*stock)));
+        OrderLineRow order_line{};
+        order_line.item = item_id;
+        order_line.quantity = qty;
+        order_line.amount = item->price * qty;
+        total += order_line.amount;
+        MGSP_RETURN_IF_ERROR(
+            db->insert("order_line",
+                       orderLineKey(w, d, order_id, line),
+                       rowSlice(order_line)));
+    }
+    *amount = total;
+    return db->commit();
+}
+
+/** The Payment transaction (TPC-C §2.5), simplified. */
+Status
+payment(Database *db, const TpccConfig &config, Rng *rng, u64 txn_id,
+        double *paid)
+{
+    const u32 w = 1 + static_cast<u32>(rng->nextBelow(config.warehouses));
+    const u32 d = 1 + static_cast<u32>(
+                          rng->nextBelow(config.districtsPerWarehouse));
+    const u32 c = 1 + static_cast<u32>(
+                          rng->nextBelow(config.customersPerDistrict));
+    const double amount =
+        1.0 + static_cast<double>(rng->nextBelow(499900)) / 100;
+
+    MGSP_RETURN_IF_ERROR(db->begin());
+    StatusOr<WarehouseRow> warehouse =
+        readRow<WarehouseRow>(db, "warehouse", w);
+    if (!warehouse.isOk())
+        return warehouse.status();
+    warehouse->ytd += amount;
+    MGSP_RETURN_IF_ERROR(
+        db->update("warehouse", w, rowSlice(*warehouse)));
+
+    StatusOr<DistrictRow> district =
+        readRow<DistrictRow>(db, "district", districtKey(w, d));
+    if (!district.isOk())
+        return district.status();
+    district->ytd += amount;
+    MGSP_RETURN_IF_ERROR(db->update("district", districtKey(w, d),
+                                    rowSlice(*district)));
+
+    StatusOr<CustomerRow> customer =
+        readRow<CustomerRow>(db, "customer", customerKey(w, d, c));
+    if (!customer.isOk())
+        return customer.status();
+    customer->balance -= amount;
+    customer->ytdPayment += amount;
+    customer->paymentCount++;
+    MGSP_RETURN_IF_ERROR(db->update("customer", customerKey(w, d, c),
+                                    rowSlice(*customer)));
+
+    HistoryRow history{};
+    history.amount = amount;
+    history.when = txn_id;
+    MGSP_RETURN_IF_ERROR(db->insert(
+        "history", static_cast<i64>(txn_id), rowSlice(history)));
+    *paid = amount;
+    return db->commit();
+}
+
+/** The Order-Status read-only transaction (TPC-C §2.6). */
+Status
+orderStatus(Database *db, const TpccConfig &config, Rng *rng)
+{
+    const u32 w = 1 + static_cast<u32>(rng->nextBelow(config.warehouses));
+    const u32 d = 1 + static_cast<u32>(
+                          rng->nextBelow(config.districtsPerWarehouse));
+    const u32 c = 1 + static_cast<u32>(
+                          rng->nextBelow(config.customersPerDistrict));
+    StatusOr<CustomerRow> customer =
+        readRow<CustomerRow>(db, "customer", customerKey(w, d, c));
+    if (!customer.isOk())
+        return customer.status();
+    // Scan this district's most recent orders.
+    u64 seen = 0;
+    return db->scan("orders", orderKey(w, d, 0),
+                    orderKey(w, d, 9999999),
+                    [&](i64, ConstSlice) { return ++seen < 20; });
+}
+
+}  // namespace
+
+StatusOr<TpccResult>
+runTpcc(FileSystem *fs, const TpccConfig &config)
+{
+    minidb::DbOptions options;
+    options.journal = config.journal;
+    options.fileCapacity = config.fileCapacity;
+    StatusOr<std::unique_ptr<Database>> db =
+        Database::open(fs, "tpcc.db", options);
+    if (!db.isOk())
+        return db.status();
+    Rng rng(config.seed);
+    MGSP_RETURN_IF_ERROR(load(db->get(), config, &rng));
+
+    TpccResult result;
+    double total_paid = 0;
+    Stopwatch timer;
+    for (u64 t = 0; t < config.transactions; ++t) {
+        const u64 dice = rng.nextBelow(100);
+        if (dice < 45) {
+            double amount = 0;
+            MGSP_RETURN_IF_ERROR(
+                newOrder(db->get(), config, &rng, &amount));
+            ++result.newOrders;
+        } else if (dice < 88) {
+            double paid = 0;
+            MGSP_RETURN_IF_ERROR(
+                payment(db->get(), config, &rng, t, &paid));
+            total_paid += paid;
+            ++result.payments;
+        } else {
+            MGSP_RETURN_IF_ERROR(orderStatus(db->get(), config, &rng));
+            ++result.orderStatuses;
+        }
+    }
+    result.seconds = timer.elapsedSeconds();
+
+    // Money conservation: sum of warehouse YTD == sum of payments.
+    double ytd_total = 0;
+    for (u32 w = 1; w <= config.warehouses; ++w) {
+        StatusOr<WarehouseRow> warehouse =
+            readRow<WarehouseRow>(db->get(), "warehouse", w);
+        if (!warehouse.isOk())
+            return warehouse.status();
+        ytd_total += warehouse->ytd;
+    }
+    if (ytd_total < total_paid - 0.01 || ytd_total > total_paid + 0.01)
+        return Status::internal("TPC-C money conservation violated");
+    return result;
+}
+
+}  // namespace mgsp

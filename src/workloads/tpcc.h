@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simplified TPC-C driver on minidb (paper Fig. 12).
+ *
+ * Implements the two transaction profiles that dominate the standard
+ * mix — New-Order (45 %) and Payment (43 %) — plus the read-only
+ * Order-Status (12 %) against the classic warehouse/district/
+ * customer/item/stock/orders/order-line/history schema, scaled down
+ * to run in seconds. Composite primary keys are packed into 64-bit
+ * integers (minidb's key type).
+ *
+ * What matters for the paper's figure is the I/O shape: multi-page
+ * transactions commit through the database's journal mode, so the
+ * underlying file system's sync cost dominates throughput.
+ */
+#ifndef MGSP_WORKLOADS_TPCC_H
+#define MGSP_WORKLOADS_TPCC_H
+
+#include "common/status.h"
+#include "common/types.h"
+#include "minidb/db.h"
+
+namespace mgsp {
+
+/** Scale and mix parameters. */
+struct TpccConfig
+{
+    minidb::JournalMode journal = minidb::JournalMode::Wal;
+    u32 warehouses = 1;
+    u32 districtsPerWarehouse = 10;
+    u32 customersPerDistrict = 100;  ///< spec: 3000; scaled down
+    u32 items = 1000;                ///< spec: 100000; scaled down
+    u64 transactions = 1000;
+    u64 seed = 99;
+    /** Capacity of the db/-wal files on extent-based engines. */
+    u64 fileCapacity = 32 * MiB;
+};
+
+/** Result of a run. */
+struct TpccResult
+{
+    u64 newOrders = 0;
+    u64 payments = 0;
+    u64 orderStatuses = 0;
+    double seconds = 0;
+
+    /** New-order transactions per minute (the TpmC metric). */
+    double
+    tpmC() const
+    {
+        return seconds > 0
+                   ? static_cast<double>(newOrders) * 60.0 / seconds
+                   : 0.0;
+    }
+    double
+    totalTps() const
+    {
+        return seconds > 0 ? static_cast<double>(newOrders + payments +
+                                                 orderStatuses) /
+                                 seconds
+                           : 0.0;
+    }
+};
+
+/**
+ * Loads the schema + initial population on a fresh database on
+ * @p fs, runs the transaction mix, and verifies the money-conservation
+ * invariant (warehouse YTD = sum of payment amounts) before
+ * returning.
+ */
+StatusOr<TpccResult> runTpcc(FileSystem *fs, const TpccConfig &config);
+
+}  // namespace mgsp
+
+#endif  // MGSP_WORKLOADS_TPCC_H

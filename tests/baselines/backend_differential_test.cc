@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Differential tests across every storage engine: the same random
+ * operation sequence must produce byte-identical results on MemFs,
+ * Ext4 (all modes), Libnvmmio, NOVA and MGSP. This is what makes the
+ * benchmark comparisons meaningful — every engine implements the
+ * same contract.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/ext_fs.h"
+#include "baselines/nova_fs.h"
+#include "baselines/nvmmio_fs.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "mgsp/mgsp_fs.h"
+#include "tests/mgsp/test_util.h"
+#include "vfs/mem_fs.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::ReferenceFile;
+using testutil::readAll;
+
+constexpr u64 kArena = 64 * MiB;
+constexpr u64 kCapacity = 1 * MiB;
+
+struct EngineParam
+{
+    std::string name;
+    std::function<std::unique_ptr<FileSystem>(
+        std::shared_ptr<PmemDevice>)> make;
+};
+
+class BackendDifferential : public ::testing::TestWithParam<EngineParam>
+{
+};
+
+std::unique_ptr<File>
+createTestFile(FileSystem *fs, const std::string &path)
+{
+    if (auto *mgsp_fs = dynamic_cast<MgspFs *>(fs)) {
+        auto f = mgsp_fs->createFile(path, kCapacity);
+        EXPECT_TRUE(f.isOk()) << f.status().toString();
+        return f.isOk() ? std::move(*f) : nullptr;
+    }
+    if (auto *ext = dynamic_cast<ExtFs *>(fs)) {
+        auto f = ext->createFile(path, kCapacity);
+        EXPECT_TRUE(f.isOk());
+        return f.isOk() ? std::move(*f) : nullptr;
+    }
+    if (auto *nvm = dynamic_cast<NvmmioFs *>(fs)) {
+        auto f = nvm->createFile(path, kCapacity);
+        EXPECT_TRUE(f.isOk());
+        return f.isOk() ? std::move(*f) : nullptr;
+    }
+    if (auto *nova = dynamic_cast<NovaFs *>(fs)) {
+        auto f = nova->createFile(path, kCapacity);
+        EXPECT_TRUE(f.isOk());
+        return f.isOk() ? std::move(*f) : nullptr;
+    }
+    OpenOptions opts;
+    opts.create = true;
+    auto f = fs->open(path, opts);
+    EXPECT_TRUE(f.isOk());
+    return f.isOk() ? std::move(*f) : nullptr;
+}
+
+TEST_P(BackendDifferential, RandomOpsMatchOracle)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    std::unique_ptr<FileSystem> fs = GetParam().make(device);
+    ASSERT_NE(fs, nullptr);
+    std::unique_ptr<File> file = createTestFile(fs.get(), "t.dat");
+    ASSERT_NE(file, nullptr);
+
+    ReferenceFile ref;
+    Rng rng(hashBytes(GetParam().name.data(), GetParam().name.size()));
+    for (int i = 0; i < 300; ++i) {
+        const u64 len = rng.nextInRange(1, 20 * KiB);
+        const u64 off = rng.nextBelow(kCapacity - len);
+        const double dice = rng.nextDouble();
+        if (dice < 0.55) {
+            std::vector<u8> data = rng.nextBytes(len);
+            ASSERT_TRUE(
+                file->pwrite(off, ConstSlice(data.data(), len)).isOk())
+                << "op " << i;
+            ref.pwrite(off, data);
+        } else if (dice < 0.9) {
+            std::vector<u8> out(len);
+            auto n = file->pread(off, MutSlice(out.data(), len));
+            ASSERT_TRUE(n.isOk()) << "op " << i;
+            out.resize(*n);
+            EXPECT_EQ(out, ref.pread(off, len)) << "op " << i;
+        } else {
+            ASSERT_TRUE(file->sync().isOk()) << "op " << i;
+        }
+        ASSERT_EQ(file->size(), ref.size()) << "op " << i;
+    }
+    ASSERT_TRUE(file->sync().isOk());
+    EXPECT_EQ(readAll(file.get()), ref.bytes());
+}
+
+TEST_P(BackendDifferential, SequentialAppendPattern)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    std::unique_ptr<FileSystem> fs = GetParam().make(device);
+    std::unique_ptr<File> file = createTestFile(fs.get(), "seq.dat");
+    ASSERT_NE(file, nullptr);
+    ReferenceFile ref;
+    Rng rng(7);
+    u64 pos = 0;
+    while (pos + 4096 <= kCapacity / 2) {
+        std::vector<u8> data = rng.nextBytes(4096);
+        ASSERT_TRUE(
+            file->pwrite(pos, ConstSlice(data.data(), 4096)).isOk());
+        ref.pwrite(pos, data);
+        pos += 4096;
+        if (pos % (64 * KiB) == 0) {
+            ASSERT_TRUE(file->sync().isOk());
+        }
+    }
+    ASSERT_TRUE(file->sync().isOk());
+    EXPECT_EQ(readAll(file.get()), ref.bytes());
+}
+
+TEST_P(BackendDifferential, TruncateSemantics)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    std::unique_ptr<FileSystem> fs = GetParam().make(device);
+    std::unique_ptr<File> file = createTestFile(fs.get(), "tr.dat");
+    ASSERT_NE(file, nullptr);
+    std::vector<u8> data(10000, 0x77);
+    ASSERT_TRUE(
+        file->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    ASSERT_TRUE(file->truncate(5000).isOk());
+    EXPECT_EQ(file->size(), 5000u);
+    // Re-extend: the tail must read as zeros.
+    u8 one = 0x11;
+    ASSERT_TRUE(file->pwrite(9999, ConstSlice(&one, 1)).isOk());
+    std::vector<u8> out = readAll(file.get());
+    ASSERT_EQ(out.size(), 10000u);
+    for (u64 i = 5000; i < 9999; ++i)
+        ASSERT_EQ(out[i], 0) << "byte " << i;
+    EXPECT_EQ(out[9999], 0x11);
+}
+
+std::vector<EngineParam>
+engines()
+{
+    std::vector<EngineParam> list;
+    list.push_back({"memfs", [](std::shared_ptr<PmemDevice>) {
+                        return std::make_unique<MemFs>();
+                    }});
+    list.push_back({"ext4_dax", [](std::shared_ptr<PmemDevice> dev) {
+                        Ext4Options opts;
+                        opts.dax = true;
+                        return std::make_unique<ExtFs>(dev, opts);
+                    }});
+    list.push_back({"ext4_ordered", [](std::shared_ptr<PmemDevice> dev) {
+                        Ext4Options opts;
+                        opts.dax = false;
+                        opts.mode = Ext4Mode::Ordered;
+                        return std::make_unique<ExtFs>(dev, opts);
+                    }});
+    list.push_back({"ext4_journal", [](std::shared_ptr<PmemDevice> dev) {
+                        Ext4Options opts;
+                        opts.dax = false;
+                        opts.mode = Ext4Mode::Journal;
+                        return std::make_unique<ExtFs>(dev, opts);
+                    }});
+    list.push_back({"libnvmmio", [](std::shared_ptr<PmemDevice> dev) {
+                        return std::make_unique<NvmmioFs>(dev,
+                                                          NvmmioOptions{});
+                    }});
+    list.push_back(
+        {"libnvmmio_no_bg", [](std::shared_ptr<PmemDevice> dev) {
+             NvmmioOptions opts;
+             opts.backgroundCheckpoint = false;
+             return std::make_unique<NvmmioFs>(dev, opts);
+         }});
+    list.push_back({"nova", [](std::shared_ptr<PmemDevice> dev) {
+                        return std::make_unique<NovaFs>(dev,
+                                                        NovaOptions{});
+                    }});
+    list.push_back({"mgsp", [](std::shared_ptr<PmemDevice> dev) {
+                        MgspConfig cfg = testutil::smallConfig();
+                        cfg.arenaSize = kArena;
+                        auto fs = MgspFs::format(dev, cfg);
+                        EXPECT_TRUE(fs.isOk());
+                        return std::move(*fs);
+                    }});
+    return list;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BackendDifferential,
+                         ::testing::ValuesIn(engines()),
+                         [](const auto &param_info) {
+                             return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace mgsp

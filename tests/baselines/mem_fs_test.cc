@@ -1,0 +1,100 @@
+/** @file Tests for the in-memory oracle file system. */
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "vfs/mem_fs.h"
+
+namespace mgsp {
+namespace {
+
+TEST(MemFs, CreateOpenRemoveLifecycle)
+{
+    MemFs fs;
+    OpenOptions opts;
+    EXPECT_FALSE(fs.open("a", opts).isOk());
+    opts.create = true;
+    auto file = fs.open("a", opts);
+    ASSERT_TRUE(file.isOk());
+    EXPECT_TRUE(fs.exists("a"));
+    EXPECT_TRUE(fs.remove("a").isOk());
+    EXPECT_FALSE(fs.exists("a"));
+    EXPECT_EQ(fs.remove("a").code(), StatusCode::NotFound);
+}
+
+TEST(MemFs, TruncateFlagResetsContent)
+{
+    MemFs fs;
+    OpenOptions opts;
+    opts.create = true;
+    auto file = fs.open("a", opts);
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->pwrite(0, ConstSlice("content")).isOk());
+    opts.truncate = true;
+    auto reopened = fs.open("a", opts);
+    ASSERT_TRUE(reopened.isOk());
+    EXPECT_EQ((*reopened)->size(), 0u);
+}
+
+TEST(MemFs, HandlesShareTheInode)
+{
+    MemFs fs;
+    OpenOptions opts;
+    opts.create = true;
+    auto a = fs.open("f", opts);
+    auto b = fs.open("f", OpenOptions{});
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    ASSERT_TRUE((*a)->pwrite(0, ConstSlice("xyz")).isOk());
+    char out[3];
+    auto n = (*b)->pread(0, MutSlice(out, 3));
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, 3u);
+    EXPECT_EQ(std::string(out, 3), "xyz");
+}
+
+TEST(MemFs, SparseWriteZeroFills)
+{
+    MemFs fs;
+    OpenOptions opts;
+    opts.create = true;
+    auto file = fs.open("s", opts);
+    ASSERT_TRUE(file.isOk());
+    u8 one = 0xFF;
+    ASSERT_TRUE((*file)->pwrite(1000, ConstSlice(&one, 1)).isOk());
+    EXPECT_EQ((*file)->size(), 1001u);
+    u8 probe = 0xAA;
+    auto n = (*file)->pread(500, MutSlice(&probe, 1));
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(probe, 0u);
+}
+
+TEST(MemFs, ConcurrentAppendsAllLand)
+{
+    MemFs fs;
+    OpenOptions opts;
+    opts.create = true;
+    auto setup = fs.open("c", opts);
+    ASSERT_TRUE(setup.isOk());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&fs, t] {
+            auto file = fs.open("c", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            std::vector<u8> data(100, static_cast<u8>(t + 1));
+            for (int i = 0; i < 200; ++i) {
+                const u64 off = (t * 200 + i) * 100;
+                ASSERT_TRUE(
+                    (*file)->pwrite(off, ConstSlice(data.data(), 100))
+                        .isOk());
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ((*setup)->size(), 4u * 200 * 100);
+    EXPECT_EQ(fs.logicalBytesWritten(), 4u * 200 * 100);
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Shape tests for the cost models: the behaviours Table II and the
+ * figures rely on must hold at the counter level (no timing).
+ *
+ *  - Libnvmmio with per-op sync writes every byte twice (ratio ~2).
+ *  - Libnvmmio without sync writes roughly once (ratio ~1).
+ *  - MGSP writes roughly once regardless of sync (ratio ~1).
+ *  - NOVA writes full 4K pages for 1K writes (ratio ~4).
+ *  - Ext4-DAX writes roughly once (metadata journal aside).
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/ext_fs.h"
+#include "baselines/nova_fs.h"
+#include "baselines/nvmmio_fs.h"
+#include "common/random.h"
+#include "mgsp/mgsp_fs.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+constexpr u64 kArena = 96 * MiB;
+constexpr u64 kCapacity = 8 * MiB;
+
+/**
+ * Runs @p ops random writes of @p block_size on @p file (pre-filled),
+ * syncing every @p sync_interval ops (0 = never), and returns
+ * device-bytes-written / logical-bytes-written.
+ */
+double
+measureAmplification(PmemDevice *device, FileSystem *fs, File *file,
+                     u64 block_size, int ops, int sync_interval,
+                     u64 capacity = kCapacity)
+{
+    Rng rng(13);
+    std::vector<u8> data(block_size, 0xAD);
+    // Pre-fill so writes are overwrites (as in Table II's steady
+    // state), then reset the counters.
+    std::vector<u8> fill(capacity, 1);
+    EXPECT_TRUE(
+        file->pwrite(0, ConstSlice(fill.data(), fill.size())).isOk());
+    EXPECT_TRUE(file->sync().isOk());
+    device->stats().reset();
+    const u64 logical_before = fs->logicalBytesWritten();
+
+    const u64 blocks = capacity / block_size;
+    for (int i = 0; i < ops; ++i) {
+        const u64 off = rng.nextBelow(blocks) * block_size;
+        EXPECT_TRUE(
+            file->pwrite(off, ConstSlice(data.data(), block_size)).isOk());
+        if (sync_interval > 0 && (i + 1) % sync_interval == 0) {
+            EXPECT_TRUE(file->sync().isOk());
+        }
+    }
+    if (sync_interval > 0) {
+        EXPECT_TRUE(file->sync().isOk());
+    }
+    const double logical = static_cast<double>(fs->logicalBytesWritten() -
+                                               logical_before);
+    return static_cast<double>(device->stats().bytesWritten.load()) /
+           logical;
+}
+
+TEST(WriteAmplification, NvmmioSyncedIsDoubleWrite)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    NvmmioOptions opts;
+    opts.backgroundCheckpoint = false;
+    NvmmioFs fs(device, opts);
+    auto file = fs.createFile("t", kCapacity);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(device.get(), &fs,
+                                              file->get(), 4096, 400, 1);
+    EXPECT_GT(ratio, 1.8);
+    EXPECT_LT(ratio, 2.4);
+}
+
+TEST(WriteAmplification, NvmmioSyncEvery100StillNearDouble)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    NvmmioOptions opts;
+    opts.backgroundCheckpoint = false;
+    NvmmioFs fs(device, opts);
+    auto file = fs.createFile("t", kCapacity);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(device.get(), &fs,
+                                              file->get(), 4096, 400, 100);
+    // Overwrites of still-dirty blocks coalesce a little, but random
+    // writes across 2048 blocks rarely coalesce: ratio stays near 2.
+    EXPECT_GT(ratio, 1.7);
+    EXPECT_LT(ratio, 2.3);
+}
+
+TEST(WriteAmplification, NvmmioUnsyncedNearOne)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    NvmmioOptions opts;
+    opts.backgroundCheckpoint = false;
+    NvmmioFs fs(device, opts);
+    auto file = fs.createFile("t", kCapacity);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(device.get(), &fs,
+                                              file->get(), 4096, 400, 0);
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.3);
+}
+
+TEST(WriteAmplification, MgspNearOneDespitePerOpAtomicity)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.arenaSize = kArena;
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk());
+    auto file = (*fs)->createFile("t", 4 * MiB);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(
+        device.get(), fs->get(), file->get(), 4096, 400, 1, 4 * MiB);
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.25) << "MGSP must avoid the double write";
+}
+
+TEST(WriteAmplification, MgspFineGrainedSubBlockWrites)
+{
+    // 1K writes with 1K fine granularity (4 sub-bits on 4K leaves):
+    // amplification stays near 1 — no full-block logging.
+    auto device = std::make_shared<PmemDevice>(kArena);
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.arenaSize = kArena;
+    cfg.leafSubBits = 4;
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk());
+    auto file = (*fs)->createFile("t", 4 * MiB);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(
+        device.get(), fs->get(), file->get(), 1024, 400, 1, 4 * MiB);
+    EXPECT_LT(ratio, 1.4);
+}
+
+TEST(WriteAmplification, MgspWithoutShadowLogDoubles)
+{
+    // The Fig. 13 ablation: disabling shadow logging reintroduces the
+    // redo-log double write.
+    auto device = std::make_shared<PmemDevice>(kArena);
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.arenaSize = kArena;
+    cfg.enableShadowLog = false;
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk());
+    auto file = (*fs)->createFile("t", 4 * MiB);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(
+        device.get(), fs->get(), file->get(), 4096, 300, 1, 4 * MiB);
+    EXPECT_GT(ratio, 1.8);
+}
+
+TEST(WriteAmplification, NovaFullPageCoWForSmallWrites)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    NovaFs fs(device, NovaOptions{});
+    auto file = fs.createFile("t", kCapacity);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(device.get(), &fs,
+                                              file->get(), 1024, 300, 1);
+    EXPECT_GT(ratio, 3.5) << "1K writes must cost full 4K CoW pages";
+}
+
+TEST(WriteAmplification, Ext4DaxNearOne)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    Ext4Options opts;
+    opts.dax = true;
+    ExtFs fs(device, opts);
+    auto file = fs.createFile("t", kCapacity);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(device.get(), &fs,
+                                              file->get(), 4096, 400, 1);
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.2);
+}
+
+TEST(WriteAmplification, Ext4JournalModeDoublesData)
+{
+    auto device = std::make_shared<PmemDevice>(kArena);
+    Ext4Options opts;
+    opts.dax = false;
+    opts.mode = Ext4Mode::Journal;
+    ExtFs fs(device, opts);
+    auto file = fs.createFile("t", kCapacity);
+    ASSERT_TRUE(file.isOk());
+    const double ratio = measureAmplification(device.get(), &fs,
+                                              file->get(), 4096, 300, 1);
+    EXPECT_GT(ratio, 1.9) << "data journaling writes data twice plus "
+                             "journal blocks";
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,88 @@
+/** @file Unit tests for alignment arithmetic. */
+#include <gtest/gtest.h>
+
+#include "common/align.h"
+
+namespace mgsp {
+namespace {
+
+TEST(Align, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+}
+
+TEST(Align, UpDown)
+{
+    EXPECT_EQ(alignDown(0, 64), 0u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+}
+
+TEST(Align, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0, 4096));
+    EXPECT_TRUE(isAligned(8192, 4096));
+    EXPECT_FALSE(isAligned(8191, 4096));
+}
+
+TEST(Align, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+    EXPECT_EQ(log2Exact(1ull << 40), 40u);
+}
+
+TEST(Align, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 7), 0u);
+    EXPECT_EQ(ceilDiv(1, 7), 1u);
+    EXPECT_EQ(ceilDiv(7, 7), 1u);
+    EXPECT_EQ(ceilDiv(8, 7), 2u);
+}
+
+TEST(Align, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(4096), 4096u);
+    EXPECT_EQ(nextPowerOfTwo(4097), 8192u);
+}
+
+/** Property sweep: alignDown <= x <= alignUp, both aligned. */
+class AlignProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(AlignProperty, Sandwich)
+{
+    const u64 align = GetParam();
+    for (u64 x : {u64{0}, u64{1}, align - 1, align, align + 1, 3 * align,
+                  3 * align + align / 2}) {
+        EXPECT_LE(alignDown(x, align), x);
+        EXPECT_GE(alignUp(x, align), x);
+        EXPECT_TRUE(isAligned(alignDown(x, align), align));
+        EXPECT_TRUE(isAligned(alignUp(x, align), align));
+        EXPECT_LT(x - alignDown(x, align), align);
+        EXPECT_LT(alignUp(x, align) - x, align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignProperty,
+                         ::testing::Values(1, 2, 8, 64, 512, 4096,
+                                           1ull << 20));
+
+}  // namespace
+}  // namespace mgsp

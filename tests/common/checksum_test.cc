@@ -1,0 +1,87 @@
+/** @file Unit tests for CRC32C / CRC64. */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/checksum.h"
+
+namespace mgsp {
+namespace {
+
+TEST(Crc32c, KnownVectors)
+{
+    // RFC 3720 test vector: 32 bytes of zeros.
+    u8 zeros[32] = {};
+    EXPECT_EQ(crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+    u8 ones[32];
+    std::memset(ones, 0xFF, sizeof(ones));
+    EXPECT_EQ(crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+
+    u8 ascending[32];
+    for (unsigned i = 0; i < 32; ++i)
+        ascending[i] = static_cast<u8>(i);
+    EXPECT_EQ(crc32c(ascending, sizeof(ascending)), 0x46DD794Eu);
+}
+
+TEST(Crc32c, StandardCheckString)
+{
+    const std::string s = "123456789";
+    EXPECT_EQ(crc32c(s.data(), s.size()), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyIsZero)
+{
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32c, ChainingMatchesOneShot)
+{
+    const std::string s = "the quick brown fox jumps over the lazy dog";
+    const u32 whole = crc32c(s.data(), s.size());
+    for (std::size_t split = 0; split <= s.size(); ++split) {
+        u32 part = crc32c(s.data(), split);
+        part = crc32c(s.data() + split, s.size() - split, part);
+        EXPECT_EQ(part, whole) << "split at " << split;
+    }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips)
+{
+    std::string s = "metadata log entry payload 0123456789";
+    const u32 base = crc32c(s.data(), s.size());
+    for (std::size_t byte = 0; byte < s.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            s[byte] ^= static_cast<char>(1 << bit);
+            EXPECT_NE(crc32c(s.data(), s.size()), base);
+            s[byte] ^= static_cast<char>(1 << bit);
+        }
+    }
+}
+
+TEST(Crc64, CheckString)
+{
+    // CRC-64/XZ check value for "123456789".
+    const std::string s = "123456789";
+    EXPECT_EQ(crc64(s.data(), s.size()), 0x995DC9BBDF1939FAull);
+}
+
+TEST(Crc64, ChainingMatchesOneShot)
+{
+    const std::string s = "wal frame payload with some length to it";
+    const u64 whole = crc64(s.data(), s.size());
+    u64 part = crc64(s.data(), 10);
+    part = crc64(s.data() + 10, s.size() - 10, part);
+    EXPECT_EQ(part, whole);
+}
+
+TEST(Crc64, DifferentInputsDiffer)
+{
+    const std::string a = "aaaaaaaaaaaaaaaa";
+    const std::string b = "aaaaaaaaaaaaaaab";
+    EXPECT_NE(crc64(a.data(), a.size()), crc64(b.data(), b.size()));
+}
+
+}  // namespace
+}  // namespace mgsp

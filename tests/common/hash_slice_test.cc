@@ -1,0 +1,78 @@
+/** @file Unit tests for hashing helpers and byte slices. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/hash.h"
+#include "common/slice.h"
+
+namespace mgsp {
+namespace {
+
+TEST(Hash, MixIsDeterministicAndSpread)
+{
+    std::set<u64> seen;
+    for (u64 i = 0; i < 10000; ++i)
+        seen.insert(mixHash64(i));
+    EXPECT_EQ(seen.size(), 10000u);
+    EXPECT_EQ(mixHash64(123), mixHash64(123));
+}
+
+TEST(Hash, MixAvalanche)
+{
+    // Flipping one input bit should flip roughly half the output bits.
+    int total = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        const u64 a = mixHash64(0x12345678);
+        const u64 b = mixHash64(0x12345678 ^ (1ull << bit));
+        total += __builtin_popcountll(a ^ b);
+    }
+    EXPECT_NEAR(total / 64.0, 32.0, 8.0);
+}
+
+TEST(Hash, BytesMatchesForEqualContent)
+{
+    const std::string a = "same content";
+    const std::string b = "same content";
+    EXPECT_EQ(hashBytes(a.data(), a.size()), hashBytes(b.data(), b.size()));
+    const std::string c = "Same content";
+    EXPECT_NE(hashBytes(a.data(), a.size()), hashBytes(c.data(), c.size()));
+}
+
+TEST(Hash, CombineOrderDependent)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Slice, BasicViews)
+{
+    const std::string s = "abcdef";
+    ConstSlice slice(s);
+    EXPECT_EQ(slice.size(), 6u);
+    EXPECT_EQ(slice[0], 'a');
+    EXPECT_EQ(slice.sub(2, 3).toString(), "cde");
+    EXPECT_TRUE(ConstSlice().empty());
+}
+
+TEST(Slice, EqualityByContent)
+{
+    const std::string a = "hello";
+    const std::string b = "hello";
+    EXPECT_EQ(ConstSlice(a), ConstSlice(b));
+    const std::string c = "hellO";
+    EXPECT_FALSE(ConstSlice(a) == ConstSlice(c));
+}
+
+TEST(Slice, MutSliceWritesThrough)
+{
+    std::string s = "xxxx";
+    MutSlice m(s.data(), s.size());
+    m.data()[1] = 'y';
+    EXPECT_EQ(s, "xyxx");
+    ConstSlice view = m;  // implicit conversion
+    EXPECT_EQ(view.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mgsp

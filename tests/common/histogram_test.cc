@@ -1,0 +1,103 @@
+/** @file Unit tests for the log-scaled histogram. */
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/random.h"
+
+namespace mgsp {
+namespace {
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.record(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 1000u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+    // Log-bucketed: p50 within the bucket's relative error.
+    EXPECT_NEAR(h.percentile(0.5), 1000, 1000 * 0.0701);
+}
+
+TEST(Histogram, SmallValuesExact)
+{
+    Histogram h;
+    for (u64 v = 0; v < 16; ++v)
+        h.record(v);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(1.0), 15u);
+}
+
+TEST(Histogram, PercentileBounds)
+{
+    Histogram h;
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        h.record(rng.nextInRange(100, 1000000));
+    EXPECT_LE(h.percentile(0.0), h.percentile(0.5));
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.99));
+    EXPECT_LE(h.percentile(0.99), h.percentile(1.0));
+    EXPECT_LE(h.percentile(1.0), h.max());
+    EXPECT_GE(h.percentile(0.0), h.min() / 2);
+}
+
+TEST(Histogram, QuantileRelativeError)
+{
+    Histogram h;
+    // Uniform 1..100000: p50 should be ~50000 within bucket error.
+    for (u64 v = 1; v <= 100000; ++v)
+        h.record(v);
+    EXPECT_NEAR(h.percentile(0.5), 50000, 50000 * 0.08);
+    EXPECT_NEAR(h.percentile(0.9), 90000, 90000 * 0.08);
+}
+
+TEST(Histogram, MergeEqualsCombined)
+{
+    Histogram a, b, combined;
+    Rng rng(6);
+    for (int i = 0; i < 5000; ++i) {
+        const u64 v = rng.nextInRange(1, 1 << 20);
+        if (i % 2)
+            a.record(v);
+        else
+            b.record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.percentile(q), combined.percentile(q));
+}
+
+TEST(Histogram, LargeValuesDontOverflow)
+{
+    Histogram h;
+    h.record(~0ull);
+    h.record(1ull << 62);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.max(), ~0ull);
+}
+
+TEST(Histogram, SummaryMentionsCount)
+{
+    Histogram h;
+    h.record(10);
+    h.record(20);
+    EXPECT_NE(h.summary().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,124 @@
+/** @file Unit and distribution tests for the Rng. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mgsp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ZeroSeedWorks)
+{
+    Rng rng(0);
+    std::set<u64> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(rng.next());
+    EXPECT_GE(seen.size(), 99u);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (u64 bound : {u64{1}, u64{2}, u64{10}, u64{1000}, u64{1} << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowUniformish)
+{
+    Rng rng(9);
+    constexpr u64 kBuckets = 16;
+    constexpr int kSamples = 64000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kSamples; ++i)
+        counts[rng.nextBelow(kBuckets)]++;
+    const double expected = double(kSamples) / kBuckets;
+    for (u64 b = 0; b < kBuckets; ++b)
+        EXPECT_NEAR(counts[b], expected, expected * 0.15) << "bucket " << b;
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const u64 v = rng.nextInRange(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 7);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, FillBytesCoversAllValues)
+{
+    Rng rng(17);
+    std::vector<u8> buf(1 << 16);
+    rng.fillBytes(buf.data(), buf.size());
+    std::set<u8> seen(buf.begin(), buf.end());
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Rng, ZipfSkewsTowardHead)
+{
+    Rng rng(19);
+    constexpr u64 kN = 1000;
+    int head = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) {
+        const u64 v = rng.nextZipf(kN, 0.99);
+        ASSERT_LT(v, kN);
+        head += (v < kN / 10);
+    }
+    // With theta=0.99 the hottest 10% draws well over half the mass.
+    EXPECT_GT(head, kSamples / 2);
+}
+
+TEST(Rng, ZipfThetaZeroIsUniform)
+{
+    Rng rng(23);
+    constexpr u64 kN = 100;
+    std::vector<int> counts(kN, 0);
+    for (int i = 0; i < 50000; ++i)
+        counts[rng.nextZipf(kN, 0.0)]++;
+    for (u64 i = 0; i < kN; ++i)
+        EXPECT_NEAR(counts[i], 500, 200);
+}
+
+}  // namespace
+}  // namespace mgsp

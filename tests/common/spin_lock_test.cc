@@ -1,0 +1,129 @@
+/** @file Concurrency tests for SpinLock and RwSpinLock. */
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/spin_lock.h"
+
+namespace mgsp {
+namespace {
+
+TEST(SpinLock, MutualExclusionCounter)
+{
+    SpinLock lock;
+    u64 counter = 0;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                lock.lock();
+                ++counter;
+                lock.unlock();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(counter, u64(kThreads) * kIters);
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld)
+{
+    SpinLock lock;
+    lock.lock();
+    EXPECT_FALSE(lock.tryLock());
+    lock.unlock();
+    EXPECT_TRUE(lock.tryLock());
+    lock.unlock();
+}
+
+TEST(RwSpinLock, ManyReadersCoexist)
+{
+    RwSpinLock lock;
+    lock.lockShared();
+    EXPECT_TRUE(lock.tryLockShared());
+    EXPECT_FALSE(lock.tryLock());  // writer excluded
+    lock.unlockShared();
+    lock.unlockShared();
+    EXPECT_TRUE(lock.tryLock());
+    lock.unlock();
+}
+
+TEST(RwSpinLock, WriterExcludesReaders)
+{
+    RwSpinLock lock;
+    lock.lock();
+    EXPECT_FALSE(lock.tryLockShared());
+    lock.unlock();
+    EXPECT_TRUE(lock.tryLockShared());
+    lock.unlockShared();
+}
+
+TEST(RwSpinLock, ReadersSeeConsistentPair)
+{
+    // A writer keeps two values equal; readers must never observe
+    // them differing.
+    RwSpinLock lock;
+    u64 a = 0, b = 0;
+    std::atomic<bool> stop{false};
+    std::atomic<int> violations{0};
+
+    std::thread writer([&] {
+        for (int i = 1; i <= 30000; ++i) {
+            lock.lock();
+            a = i;
+            b = i;
+            lock.unlock();
+        }
+        stop.store(true);
+    });
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                lock.lockShared();
+                if (a != b)
+                    violations.fetch_add(1);
+                lock.unlockShared();
+            }
+        });
+    }
+    writer.join();
+    for (auto &r : readers)
+        r.join();
+    EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(RwSpinLock, WriterNotStarvedByReaders)
+{
+    RwSpinLock lock;
+    std::atomic<bool> stop{false};
+    std::atomic<bool> writer_done{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                lock.lockShared();
+                lock.unlockShared();
+            }
+        });
+    }
+    std::thread writer([&] {
+        for (int i = 0; i < 100; ++i) {
+            lock.lock();
+            lock.unlock();
+        }
+        writer_done.store(true);
+    });
+    writer.join();
+    stop.store(true);
+    for (auto &r : readers)
+        r.join();
+    EXPECT_TRUE(writer_done.load());
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,83 @@
+/** @file Unit tests for Status / StatusOr. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/status.h"
+
+namespace mgsp {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "Ok");
+}
+
+TEST(Status, ErrorCarriesMessage)
+{
+    Status s = Status::notFound("missing.db");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+    EXPECT_EQ(s.message(), "missing.db");
+    EXPECT_EQ(s.toString(), "NotFound: missing.db");
+}
+
+TEST(Status, AllFactoriesProduceTheirCode)
+{
+    EXPECT_EQ(Status::invalidArgument("").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::alreadyExists("").code(), StatusCode::AlreadyExists);
+    EXPECT_EQ(Status::outOfSpace("").code(), StatusCode::OutOfSpace);
+    EXPECT_EQ(Status::corruption("").code(), StatusCode::Corruption);
+    EXPECT_EQ(Status::busy("").code(), StatusCode::Busy);
+    EXPECT_EQ(Status::ioError("").code(), StatusCode::IoError);
+    EXPECT_EQ(Status::unsupported("").code(), StatusCode::Unsupported);
+    EXPECT_EQ(Status::internal("").code(), StatusCode::Internal);
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> v(42);
+    ASSERT_TRUE(v.isOk());
+    EXPECT_EQ(*v, 42);
+    EXPECT_TRUE(v.status().isOk());
+}
+
+TEST(StatusOr, HoldsError)
+{
+    StatusOr<int> v(Status::corruption("bad checksum"));
+    EXPECT_FALSE(v.isOk());
+    EXPECT_EQ(v.status().code(), StatusCode::Corruption);
+}
+
+TEST(StatusOr, MoveOnlyValue)
+{
+    StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+    ASSERT_TRUE(v.isOk());
+    std::unique_ptr<int> taken = std::move(*v);
+    EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, ArrowOperator)
+{
+    StatusOr<std::string> v(std::string("hello"));
+    EXPECT_EQ(v->size(), 5u);
+}
+
+Status
+helperReturningError()
+{
+    MGSP_RETURN_IF_ERROR(Status::busy("locked"));
+    return Status::internal("unreachable");
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates)
+{
+    EXPECT_EQ(helperReturningError().code(), StatusCode::Busy);
+}
+
+}  // namespace
+}  // namespace mgsp

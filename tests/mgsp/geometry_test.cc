@@ -1,0 +1,111 @@
+/** @file Tests for TreeGeometry and the arena layout. */
+#include <gtest/gtest.h>
+
+#include "mgsp/layout.h"
+#include "mgsp/shadow_tree.h"
+
+namespace mgsp {
+namespace {
+
+TEST(TreeGeometry, SmallFileHasOneLevel)
+{
+    const TreeGeometry g = TreeGeometry::forCapacity(4096, 4096, 16);
+    EXPECT_EQ(g.height, 1u);
+    EXPECT_EQ(g.rootCoverage, 4096u * 16);
+    EXPECT_EQ(g.coverage(0), 4096u * 16);
+    EXPECT_EQ(g.coverage(1), 4096u);
+}
+
+TEST(TreeGeometry, HeightGrowsLogarithmically)
+{
+    // degree 16, leaf 4K: root coverage is 4K * 16^h.
+    EXPECT_EQ(TreeGeometry::forCapacity(64 * KiB, 4096, 16).height, 1u);
+    EXPECT_EQ(TreeGeometry::forCapacity(64 * KiB + 1, 4096, 16).height, 2u);
+    EXPECT_EQ(TreeGeometry::forCapacity(1 * MiB, 4096, 16).height, 2u);
+    EXPECT_EQ(TreeGeometry::forCapacity(16 * MiB, 4096, 16).height, 3u);
+    EXPECT_EQ(TreeGeometry::forCapacity(1 * GiB, 4096, 16).height, 5u);
+}
+
+TEST(TreeGeometry, PaperGeometryDegree64)
+{
+    // The paper's configuration: degree 64, granularities
+    // 4K / 256K / 16M / 1G — a 1 GiB file needs 3 levels.
+    const TreeGeometry g = TreeGeometry::forCapacity(1 * GiB, 4096, 64);
+    EXPECT_EQ(g.height, 3u);
+    EXPECT_EQ(g.coverage(3), 4 * KiB);
+    EXPECT_EQ(g.coverage(2), 256 * KiB);
+    EXPECT_EQ(g.coverage(1), 16 * MiB);
+    EXPECT_EQ(g.coverage(0), 1 * GiB);
+}
+
+TEST(TreeGeometry, CoverageIsDegreeMultiplicative)
+{
+    const TreeGeometry g = TreeGeometry::forCapacity(100 * MiB, 4096, 8);
+    for (u32 level = 1; level <= g.height; ++level)
+        EXPECT_EQ(g.coverage(level - 1), g.coverage(level) * 8);
+    EXPECT_GE(g.rootCoverage, 100 * MiB);
+}
+
+TEST(ArenaLayout, RegionsAreOrderedAndDisjoint)
+{
+    MgspConfig cfg;
+    cfg.arenaSize = 64 * MiB;
+    const ArenaLayout l = ArenaLayout::compute(cfg);
+    EXPECT_GE(l.inodeTableOff, sizeof(Superblock));
+    EXPECT_GE(l.metaLogOff,
+              l.inodeTableOff + cfg.maxInodes * sizeof(InodeRecord));
+    EXPECT_GE(l.nodeTableOff,
+              l.metaLogOff + cfg.metaLogEntries * sizeof(MetaLogEntry));
+    EXPECT_GE(l.poolOff,
+              l.nodeTableOff + u64(cfg.maxNodeRecords) * sizeof(NodeRecord));
+    EXPECT_GE(l.fileAreaOff, l.poolOff + l.poolBytes);
+    EXPECT_EQ(l.fileAreaOff % cfg.leafBlockSize, 0u);
+}
+
+TEST(ArenaLayout, EntryOffsetsAreCacheAligned)
+{
+    MgspConfig cfg;
+    const ArenaLayout l = ArenaLayout::compute(cfg);
+    for (u32 i = 0; i < 4; ++i) {
+        EXPECT_EQ(l.metaEntryOff(i) % 128, 0u);
+        EXPECT_EQ(l.metaEntryOff(i), l.metaLogOff + i * 128ull);
+    }
+    EXPECT_EQ(l.nodeRecOff(3), l.nodeTableOff + 96);
+    EXPECT_EQ(l.inodeOff(2), l.inodeTableOff + 256);
+}
+
+TEST(NodeRecordPacking, RoundTrips)
+{
+    const u64 info = NodeRecord::packInfo(5, 12);
+    EXPECT_TRUE(NodeRecord::inUse(info));
+    EXPECT_EQ(NodeRecord::level(info), 5u);
+    EXPECT_EQ(NodeRecord::inode(info), 12u);
+    EXPECT_FALSE(NodeRecord::inUse(0));
+}
+
+TEST(MgspConfig, ValidityChecks)
+{
+    MgspConfig cfg;
+    EXPECT_TRUE(cfg.valid());
+    cfg.degree = 3;  // not a power of two
+    EXPECT_FALSE(cfg.valid());
+    cfg = MgspConfig{};
+    cfg.leafSubBits = 32;  // beyond the slot format
+    EXPECT_FALSE(cfg.valid());
+    cfg = MgspConfig{};
+    cfg.degree = 128;
+    EXPECT_FALSE(cfg.valid());
+}
+
+TEST(MgspConfig, FineGrainSize)
+{
+    MgspConfig cfg;
+    cfg.leafBlockSize = 4096;
+    cfg.leafSubBits = 8;
+    EXPECT_EQ(cfg.fineGrainSize(), 512u);
+    cfg.enableFineGrained = false;
+    EXPECT_EQ(cfg.fineGrainSize(), 4096u);
+}
+
+}  // namespace
+}  // namespace mgsp

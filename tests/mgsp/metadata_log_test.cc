@@ -1,0 +1,170 @@
+/** @file Unit tests for the lock-free metadata log. */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "mgsp/metadata_log.h"
+
+namespace mgsp {
+namespace {
+
+struct LogFixture
+{
+    LogFixture()
+        : config([] {
+              MgspConfig c;
+              c.arenaSize = 4 * MiB;
+              c.metaLogEntries = 8;
+              c.maxInodes = 4;
+              c.maxNodeRecords = 256;
+              return c;
+          }()),
+          layout(ArenaLayout::compute(config)),
+          device(config.arenaSize, PmemDevice::Mode::Flat),
+          log(&device, layout, config.metaLogEntries, true)
+    {
+    }
+
+    MgspConfig config;
+    ArenaLayout layout;
+    PmemDevice device;
+    MetadataLog log;
+};
+
+TEST(MetadataLog, ClaimReturnsDistinctEntries)
+{
+    LogFixture fx;
+    std::set<u32> claimed;
+    for (u32 i = 0; i < fx.log.entryCount(); ++i) {
+        const u32 idx = fx.log.claim();
+        EXPECT_TRUE(claimed.insert(idx).second);
+    }
+    for (u32 idx : claimed)
+        fx.log.release(idx);
+}
+
+TEST(MetadataLog, CommitThenScanFindsEntry)
+{
+    LogFixture fx;
+    const u32 idx = fx.log.claim();
+    StagedMetadata staged;
+    staged.inode = 2;
+    staged.length = 4096;
+    staged.offset = 8192;
+    staged.newFileSize = 12288;
+    staged.addSlot(17, 0b11);
+    staged.addSlot(23, 0b01);
+    fx.log.commit(idx, staged);
+
+    auto live = fx.log.scanLive();
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].index, idx);
+    EXPECT_EQ(live[0].entry.inode, 2u);
+    EXPECT_EQ(live[0].entry.length, 4096u);
+    EXPECT_EQ(live[0].entry.offset, 8192u);
+    EXPECT_EQ(live[0].entry.newFileSize, 12288u);
+    ASSERT_EQ(live[0].entry.usedSlots, 2u);
+    EXPECT_EQ(live[0].entry.slots[0].recIdx, 17u);
+    EXPECT_EQ(live[0].entry.slots[0].newBits, 0b11u);
+    EXPECT_EQ(live[0].entry.slots[1].recIdx, 23u);
+}
+
+TEST(MetadataLog, OutdatedEntryNotLive)
+{
+    LogFixture fx;
+    const u32 idx = fx.log.claim();
+    StagedMetadata staged;
+    staged.length = 64;
+    staged.addSlot(1, 1);
+    fx.log.commit(idx, staged);
+    fx.log.markOutdated(idx);
+    fx.log.release(idx);
+    EXPECT_TRUE(fx.log.scanLive().empty());
+}
+
+TEST(MetadataLog, TornEntryRejectedByChecksum)
+{
+    LogFixture fx;
+    const u32 idx = fx.log.claim();
+    StagedMetadata staged;
+    staged.length = 128;
+    staged.offset = 4096;
+    staged.addSlot(5, 0b10);
+    fx.log.commit(idx, staged);
+
+    // Corrupt one byte of the committed body (simulating a torn line).
+    const u64 off = fx.layout.metaEntryOff(idx) + 20;
+    u8 byte;
+    fx.device.read(off, &byte, 1);
+    byte ^= 0xFF;
+    fx.device.write(off, &byte, 1);
+    EXPECT_TRUE(fx.log.scanLive().empty());
+}
+
+TEST(MetadataLog, ResetAllClearsEverything)
+{
+    LogFixture fx;
+    for (int i = 0; i < 3; ++i) {
+        const u32 idx = fx.log.claim();
+        StagedMetadata staged;
+        staged.length = 64;
+        staged.addSlot(i, 1);
+        fx.log.commit(idx, staged);
+    }
+    EXPECT_EQ(fx.log.scanLive().size(), 3u);
+    fx.log.resetAll();
+    EXPECT_TRUE(fx.log.scanLive().empty());
+    // All entries must be claimable again.
+    std::set<u32> claimed;
+    for (u32 i = 0; i < fx.log.entryCount(); ++i)
+        claimed.insert(fx.log.claim());
+    EXPECT_EQ(claimed.size(), fx.log.entryCount());
+}
+
+TEST(MetadataLog, PartialFlushStillValidatesUpToThreeSlots)
+{
+    LogFixture fx;
+    for (u32 slots = 1; slots <= MetaLogEntry::kMaxSlots; ++slots) {
+        const u32 idx = fx.log.claim();
+        StagedMetadata staged;
+        staged.length = 64 * slots;
+        for (u32 s = 0; s < slots; ++s)
+            staged.addSlot(s, s & 0b11);
+        fx.log.commit(idx, staged);
+        auto live = fx.log.scanLive();
+        ASSERT_EQ(live.size(), 1u) << "slots=" << slots;
+        EXPECT_EQ(live[0].entry.usedSlots, slots);
+        fx.log.markOutdated(idx);
+        fx.log.release(idx);
+    }
+}
+
+TEST(MetadataLog, ConcurrentClaimsNeverCollide)
+{
+    LogFixture fx;
+    std::atomic<int> collisions{0};
+    std::vector<std::atomic<int>> owners(fx.log.entryCount());
+    for (auto &o : owners)
+        o.store(0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 2000; ++i) {
+                const u32 idx = fx.log.claim();
+                if (owners[idx].fetch_add(1) != 0)
+                    collisions.fetch_add(1);
+                owners[idx].fetch_sub(1);
+                fx.log.release(idx);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(collisions.load(), 0);
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for writeBatch() — the transaction-level atomicity extension
+ * (the paper's §IV-D future work): several writes committed through
+ * one metadata-log entry, atomic as a unit under crashes.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::FsFixture;
+using testutil::ReferenceFile;
+using testutil::makeFs;
+using testutil::readAll;
+using testutil::smallConfig;
+
+TEST(MgspBatch, AppliesAllWrites)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("b.dat", 256 * KiB);
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> a(4096, 0xA1), b(4096, 0xB2), c(100, 0xC3);
+    std::vector<BatchWrite> batch = {
+        {0, ConstSlice(a.data(), a.size())},
+        {32 * KiB, ConstSlice(b.data(), b.size())},
+        {100 * KiB, ConstSlice(c.data(), c.size())},
+    };
+    ASSERT_TRUE(fx.fs->writeBatch(file->get(), batch).isOk());
+
+    ReferenceFile ref;
+    ref.pwrite(0, a);
+    ref.pwrite(32 * KiB, b);
+    ref.pwrite(100 * KiB, c);
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+}
+
+TEST(MgspBatch, EmptyBatchIsOk)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("b.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    EXPECT_TRUE(fx.fs->writeBatch(file->get(), {}).isOk());
+}
+
+TEST(MgspBatch, RejectsOverlaps)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("b.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> x(4096, 1);
+    std::vector<BatchWrite> batch = {
+        {0, ConstSlice(x.data(), x.size())},
+        {2048, ConstSlice(x.data(), x.size())},
+    };
+    EXPECT_EQ(fx.fs->writeBatch(file->get(), batch).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(MgspBatch, RejectsOversizedSlotDemand)
+{
+    MgspConfig cfg = smallConfig();
+    cfg.enableMultiGranularity = false;  // every 4K block = one slot
+    FsFixture fx = makeFs(cfg);
+    auto file = fx.fs->createFile("b.dat", 256 * KiB);
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> big(11 * 4096, 7);  // 11 leaf slots > kMaxSlots
+    std::vector<BatchWrite> batch = {
+        {0, ConstSlice(big.data(), big.size())},
+    };
+    EXPECT_EQ(fx.fs->writeBatch(file->get(), batch).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(MgspBatch, RejectsForeignHandle)
+{
+    FsFixture fx1 = makeFs(smallConfig());
+    FsFixture fx2 = makeFs(smallConfig());
+    auto file2 = fx2.fs->createFile("other.dat", 64 * KiB);
+    ASSERT_TRUE(file2.isOk());
+    std::vector<u8> x(64, 1);
+    std::vector<BatchWrite> batch = {{0, ConstSlice(x.data(), 64)}};
+    EXPECT_EQ(fx1.fs->writeBatch(file2->get(), batch).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(MgspBatch, ExtendsFileSizeAtomically)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("b.dat", 256 * KiB);
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> x(1000, 9);
+    std::vector<BatchWrite> batch = {
+        {10 * KiB, ConstSlice(x.data(), x.size())},
+        {50 * KiB, ConstSlice(x.data(), x.size())},
+    };
+    ASSERT_TRUE(fx.fs->writeBatch(file->get(), batch).isOk());
+    EXPECT_EQ((*file)->size(), 50 * KiB + 1000);
+    // The hole below the first write reads as zeros.
+    std::vector<u8> out = readAll(file->get());
+    for (u64 i = 0; i < 10 * KiB; ++i)
+        ASSERT_EQ(out[i], 0) << i;
+}
+
+TEST(MgspBatch, MatchesOracleUnderRandomBatches)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("b.dat", 512 * KiB);
+    ASSERT_TRUE(file.isOk());
+    ReferenceFile ref;
+    Rng rng(404);
+    for (int round = 0; round < 120; ++round) {
+        const int n = 1 + static_cast<int>(rng.nextBelow(3));
+        std::vector<std::vector<u8>> payloads;
+        std::vector<BatchWrite> batch;
+        u64 cursor = 0;
+        for (int i = 0; i < n; ++i) {
+            const u64 gap = rng.nextBelow(64 * KiB);
+            const u64 len = rng.nextInRange(1, 8 * KiB);
+            const u64 off = cursor + gap;
+            if (off + len > 512 * KiB)
+                break;
+            payloads.push_back(rng.nextBytes(len));
+            batch.push_back(
+                {off, ConstSlice(payloads.back().data(), len)});
+            cursor = off + len;
+        }
+        if (batch.empty())
+            continue;
+        Status s = fx.fs->writeBatch(file->get(), batch);
+        if (s.code() == StatusCode::InvalidArgument)
+            continue;  // slot demand too high for one entry: fine
+        ASSERT_TRUE(s.isOk()) << s.toString();
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            ref.pwrite(batch[i].offset, payloads[i]);
+        // Holes below the first write become zeros in the oracle too.
+        if (ref.size() < (*file)->size())
+            ref.truncate((*file)->size());
+    }
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+}
+
+TEST(MgspBatch, CrashAtomicityAcrossBatch)
+{
+    // A writer commits batches of two stamped blocks; crash images
+    // must never show one block of a batch without the other.
+    MgspConfig cfg = smallConfig();
+    cfg.arenaSize = 16 * MiB;
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk());
+    auto file = (*fs)->createFile("pair.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    {
+        std::vector<u8> zeros(64 * KiB, 0);
+        ASSERT_TRUE(
+            (*file)->pwrite(0, ConstSlice(zeros.data(), zeros.size()))
+                .isOk());
+    }
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        std::vector<u8> block(4096);
+        for (u32 round = 1; round <= 30000 && !stop.load(); ++round) {
+            std::fill(block.begin(), block.end(),
+                      static_cast<u8>(round & 0xFF));
+            std::vector<BatchWrite> batch = {
+                {0, ConstSlice(block.data(), block.size())},
+                {32 * KiB, ConstSlice(block.data(), block.size())},
+            };
+            ASSERT_TRUE((*fs)->writeBatch(file->get(), batch).isOk());
+        }
+        stop.store(true);
+    });
+
+    Rng crash_rng(77);
+    int checked = 0;
+    while (!stop.load() && checked < 10) {
+        CrashImage image =
+            device->captureCrashImage(crash_rng, crash_rng.nextDouble());
+        ++checked;
+        auto revived = std::make_shared<PmemDevice>(
+            image, PmemDevice::Mode::Flat);
+        auto recovered = MgspFs::mount(revived, cfg);
+        ASSERT_TRUE(recovered.isOk());
+        auto reopened = (*recovered)->open("pair.dat", OpenOptions{});
+        ASSERT_TRUE(reopened.isOk());
+        u8 a = 0, b = 0;
+        ASSERT_TRUE((*reopened)->pread(0, MutSlice(&a, 1)).isOk());
+        ASSERT_TRUE(
+            (*reopened)->pread(32 * KiB, MutSlice(&b, 1)).isOk());
+        EXPECT_EQ(a, b) << "batch was torn by the crash";
+    }
+    stop.store(true);
+    writer.join();
+    EXPECT_GE(checked, 1);
+}
+
+}  // namespace
+}  // namespace mgsp

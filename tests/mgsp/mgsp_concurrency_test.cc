@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Multi-threaded isolation tests: MGL must give per-operation
+ * isolation when many threads hammer one file (the paper's Fig. 10
+ * workload shape), and disjoint-range writers must never corrupt
+ * each other.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::FsFixture;
+using testutil::makeFs;
+using testutil::readAll;
+using testutil::smallConfig;
+
+/** Fills a block with a (thread, round) stamp. */
+void
+stampBlock(std::vector<u8> *block, u8 thread, u32 round)
+{
+    for (std::size_t i = 0; i < block->size(); i += 8) {
+        (*block)[i] = thread;
+        u32 r = round;
+        std::memcpy(block->data() + i + 1, &r, 4);
+    }
+}
+
+/** @return false if the block mixes stamps (torn write observed). */
+bool
+blockIsUniform(const std::vector<u8> &block)
+{
+    for (std::size_t i = 8; i < block.size(); i += 8) {
+        if (std::memcmp(block.data(), block.data() + i, 5) != 0)
+            return false;
+    }
+    return true;
+}
+
+struct ConcParam
+{
+    std::string name;
+    LockMode lockMode;
+    bool greedy;
+};
+
+class Concurrency : public ::testing::TestWithParam<ConcParam>
+{
+  protected:
+    MgspConfig
+    config() const
+    {
+        MgspConfig cfg = smallConfig();
+        cfg.lockMode = GetParam().lockMode;
+        cfg.enableGreedyLocking = GetParam().greedy;
+        return cfg;
+    }
+};
+
+TEST_P(Concurrency, DisjointRangesNoInterference)
+{
+    FsFixture fx = makeFs(config());
+    constexpr int kThreads = 4;
+    constexpr u64 kRegion = 64 * KiB;
+    auto setup = fx.fs->createFile("shared", kThreads * kRegion);
+    ASSERT_TRUE(setup.isOk());
+    // Pre-extend so all regions are inside the file.
+    std::vector<u8> zeros(kThreads * kRegion, 0);
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(zeros.data(), zeros.size())).isOk());
+
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("shared", OpenOptions{});
+            if (!file.isOk()) {
+                failures.fetch_add(1);
+                return;
+            }
+            Rng rng(t);
+            const u64 base = t * kRegion;
+            for (int i = 0; i < 300; ++i) {
+                const u64 len = rng.nextInRange(64, 8 * KiB);
+                const u64 off = base + rng.nextBelow(kRegion - len);
+                std::vector<u8> data(len, static_cast<u8>(t + 1));
+                if (!(*file)->pwrite(off, ConstSlice(data.data(), len))
+                         .isOk())
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // Every byte must be 0 or its region-owner's stamp.
+    std::vector<u8> out = readAll(setup->get());
+    for (u64 i = 0; i < out.size(); ++i) {
+        const u8 owner = static_cast<u8>(i / kRegion + 1);
+        ASSERT_TRUE(out[i] == 0 || out[i] == owner)
+            << "byte " << i << " = " << int(out[i]);
+    }
+}
+
+TEST_P(Concurrency, OverlappingBlockWritesAreAtomic)
+{
+    FsFixture fx = makeFs(config());
+    constexpr u64 kBlocks = 8;
+    constexpr u64 kBlockSize = 4 * KiB;
+    auto setup = fx.fs->createFile("contend", kBlocks * kBlockSize);
+    ASSERT_TRUE(setup.isOk());
+    std::vector<u8> init(kBlocks * kBlockSize);
+    stampBlock(&init, 0, 0);
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(init.data(), init.size())).isOk());
+
+    constexpr int kThreads = 4;
+    std::atomic<int> torn{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("contend", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            Rng rng(100 + t);
+            std::vector<u8> block(kBlockSize);
+            std::vector<u8> readback(kBlockSize);
+            for (u32 i = 0; i < 400; ++i) {
+                const u64 blk = rng.nextBelow(kBlocks);
+                if (rng.nextBool(0.5)) {
+                    stampBlock(&block, static_cast<u8>(t + 1), i);
+                    ASSERT_TRUE((*file)
+                                    ->pwrite(blk * kBlockSize,
+                                             ConstSlice(block.data(),
+                                                        kBlockSize))
+                                    .isOk());
+                } else {
+                    auto n = (*file)->pread(
+                        blk * kBlockSize,
+                        MutSlice(readback.data(), kBlockSize));
+                    ASSERT_TRUE(n.isOk());
+                    if (*n == kBlockSize && !blockIsUniform(readback))
+                        torn.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(torn.load(), 0) << "a reader observed a torn block write";
+}
+
+TEST_P(Concurrency, MixedSizesStressNoCrash)
+{
+    FsFixture fx = makeFs(config());
+    auto setup = fx.fs->createFile("mixed", 1 * MiB);
+    ASSERT_TRUE(setup.isOk());
+    std::vector<u8> zeros(1 * MiB, 0);
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(zeros.data(), zeros.size())).isOk());
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("mixed", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            Rng rng(t * 31);
+            std::vector<u8> buf(64 * KiB);
+            for (int i = 0; i < 150; ++i) {
+                const u64 len = rng.nextInRange(1, 64 * KiB);
+                const u64 off = rng.nextBelow(1 * MiB - len);
+                if (rng.nextBool(0.6)) {
+                    ASSERT_TRUE(
+                        (*file)->pwrite(off, ConstSlice(buf.data(), len))
+                            .isOk());
+                } else {
+                    ASSERT_TRUE((*file)
+                                    ->pread(off, MutSlice(buf.data(), len))
+                                    .isOk());
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LockModes, Concurrency,
+    ::testing::Values(ConcParam{"mgl", LockMode::Mgl, true},
+                      ConcParam{"mgl_no_greedy", LockMode::Mgl, false},
+                      ConcParam{"file_lock", LockMode::FileLock, false}),
+    [](const auto &param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Crash-consistency sweep across ablation configurations: every
+ * MgspConfig variant used by the Fig. 13 breakdown must still give
+ * durability-on-ack and per-operation atomicity — turning an
+ * optimisation off must never weaken the guarantee.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::ReferenceFile;
+using testutil::readAll;
+using testutil::smallConfig;
+
+struct AblationParam
+{
+    std::string name;
+    MgspConfig config;
+};
+
+class CrashAblation : public ::testing::TestWithParam<AblationParam>
+{
+};
+
+TEST_P(CrashAblation, AckedWritesSurviveAdversarialCrash)
+{
+    MgspConfig cfg = GetParam().config;
+    cfg.arenaSize = 12 * MiB;
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    auto file = (*fs)->createFile("abl.dat", 128 * KiB);
+    ASSERT_TRUE(file.isOk());
+
+    ReferenceFile ref;
+    Rng rng(hashBytes(GetParam().name.data(), GetParam().name.size()));
+    for (int op = 0; op < 30; ++op) {
+        const u64 len = rng.nextInRange(1, 12 * KiB);
+        const u64 off = rng.nextBelow(128 * KiB - len);
+        std::vector<u8> data = rng.nextBytes(len);
+        ASSERT_TRUE(
+            (*file)->pwrite(off, ConstSlice(data.data(), len)).isOk())
+            << "op " << op;
+        ref.pwrite(off, data);
+
+        if (op % 6 == 5) {
+            Rng crash_rng(op);
+            // evict=0: only fenced state survives; acked writes must.
+            CrashImage image = device->captureCrashImage(crash_rng, 0.0);
+            auto revived = std::make_shared<PmemDevice>(
+                image, PmemDevice::Mode::Flat);
+            auto mounted = MgspFs::mount(revived, cfg);
+            ASSERT_TRUE(mounted.isOk()) << mounted.status().toString();
+            auto reopened = (*mounted)->open("abl.dat", OpenOptions{});
+            ASSERT_TRUE(reopened.isOk());
+            EXPECT_EQ(readAll(reopened->get()), ref.bytes())
+                << GetParam().name << " lost data at op " << op;
+        }
+    }
+    // And with random eviction noise at the end.
+    for (u64 seed = 0; seed < 3; ++seed) {
+        Rng crash_rng(100 + seed);
+        CrashImage image =
+            device->captureCrashImage(crash_rng, 0.3 * (seed + 1));
+        auto revived = std::make_shared<PmemDevice>(
+            image, PmemDevice::Mode::Flat);
+        auto mounted = MgspFs::mount(revived, cfg);
+        ASSERT_TRUE(mounted.isOk());
+        auto reopened = (*mounted)->open("abl.dat", OpenOptions{});
+        ASSERT_TRUE(reopened.isOk());
+        EXPECT_EQ(readAll(reopened->get()), ref.bytes())
+            << GetParam().name << " corrupted by eviction noise";
+    }
+}
+
+std::vector<AblationParam>
+ablations()
+{
+    std::vector<AblationParam> params;
+    MgspConfig base = smallConfig();
+    params.push_back({"full", base});
+
+    MgspConfig v = base;
+    v.enableShadowLog = false;
+    params.push_back({"no_shadow", v});
+
+    v = base;
+    v.enableMultiGranularity = false;
+    params.push_back({"no_multigran", v});
+
+    v = base;
+    v.enableFineGrained = false;
+    params.push_back({"no_fine", v});
+
+    v = base;
+    v.lockMode = LockMode::FileLock;
+    params.push_back({"filelock", v});
+
+    v = base;
+    v.enableGreedyLocking = false;
+    v.enableMinSearchTree = false;
+    v.enablePartialMetaFlush = false;
+    params.push_back({"no_opt", v});
+
+    v = base;
+    v.degree = 2;
+    v.leafSubBits = 2;
+    params.push_back({"degree2", v});
+
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ablations, CrashAblation,
+                         ::testing::ValuesIn(ablations()),
+                         [](const auto &param_info) {
+                             return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace mgsp

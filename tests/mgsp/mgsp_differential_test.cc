@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Differential property tests: random operation sequences against
+ * MGSP must match a byte-array oracle, across tree geometries and
+ * every ablation configuration — the strongest single check that the
+ * multi-granularity shadow-log data placement is correct.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::FsFixture;
+using testutil::ReferenceFile;
+using testutil::makeFs;
+using testutil::readAll;
+using testutil::smallConfig;
+
+struct DiffParam
+{
+    std::string name;
+    MgspConfig config;
+    u64 fileCapacity;
+    u64 maxWrite;
+    int ops;
+};
+
+void
+PrintTo(const DiffParam &p, std::ostream *os)
+{
+    *os << p.name;
+}
+
+class Differential : public ::testing::TestWithParam<DiffParam>
+{
+};
+
+TEST_P(Differential, RandomOpsMatchOracle)
+{
+    const DiffParam &param = GetParam();
+    FsFixture fx = makeFs(param.config);
+    auto file = fx.fs->createFile("diff.dat", param.fileCapacity);
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+    ReferenceFile ref;
+    Rng rng(hashBytes(param.name.data(), param.name.size()));
+
+    for (int i = 0; i < param.ops; ++i) {
+        const u64 len = rng.nextInRange(1, param.maxWrite);
+        const u64 off = rng.nextBelow(param.fileCapacity - len);
+        if (rng.nextBool(0.7)) {
+            std::vector<u8> data = rng.nextBytes(len);
+            ASSERT_TRUE(
+                (*file)->pwrite(off, ConstSlice(data.data(), len)).isOk())
+                << "op " << i;
+            ref.pwrite(off, data);
+        } else {
+            std::vector<u8> out(len);
+            auto n = (*file)->pread(off, MutSlice(out.data(), len));
+            ASSERT_TRUE(n.isOk()) << "op " << i;
+            out.resize(*n);
+            EXPECT_EQ(out, ref.pread(off, len)) << "op " << i;
+        }
+        EXPECT_EQ((*file)->size(), ref.size()) << "op " << i;
+    }
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+}
+
+TEST_P(Differential, SurvivesCloseAndRemount)
+{
+    const DiffParam &param = GetParam();
+    auto device =
+        std::make_shared<PmemDevice>(param.config.arenaSize);
+    ReferenceFile ref;
+    Rng rng(hashBytes(param.name.data(), param.name.size()) ^ 0x5555);
+    {
+        auto fs = MgspFs::format(device, param.config);
+        ASSERT_TRUE(fs.isOk());
+        auto file = (*fs)->createFile("diff.dat", param.fileCapacity);
+        ASSERT_TRUE(file.isOk());
+        for (int i = 0; i < param.ops / 2; ++i) {
+            const u64 len = rng.nextInRange(1, param.maxWrite);
+            const u64 off = rng.nextBelow(param.fileCapacity - len);
+            std::vector<u8> data = rng.nextBytes(len);
+            ASSERT_TRUE(
+                (*file)->pwrite(off, ConstSlice(data.data(), len)).isOk());
+            ref.pwrite(off, data);
+        }
+    }
+    auto fs = MgspFs::mount(device, param.config);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    auto file = (*fs)->open("diff.dat", OpenOptions{});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+}
+
+std::vector<DiffParam>
+diffParams()
+{
+    std::vector<DiffParam> params;
+
+    auto base = smallConfig();
+    params.push_back({"default_small_writes", base, 512 * KiB, 2048, 400});
+    params.push_back({"default_mixed_sizes", base, 1 * MiB, 96 * KiB, 250});
+
+    auto degree2 = base;
+    degree2.degree = 2;  // Figure 4's illustration geometry
+    degree2.leafSubBits = 2;
+    params.push_back({"degree2_like_fig4", degree2, 256 * KiB, 24 * KiB,
+                      300});
+
+    auto degree16 = base;
+    degree16.degree = 16;
+    degree16.leafSubBits = 8;
+    params.push_back({"degree16_fine512", degree16, 2 * MiB, 128 * KiB,
+                      200});
+
+    auto no_fine = base;
+    no_fine.enableFineGrained = false;
+    params.push_back({"ablate_fine_grained", no_fine, 512 * KiB, 8 * KiB,
+                      300});
+
+    auto no_multi = base;
+    no_multi.enableMultiGranularity = false;
+    params.push_back({"ablate_multi_granularity", no_multi, 512 * KiB,
+                      64 * KiB, 200});
+
+    auto no_shadow = base;
+    no_shadow.enableShadowLog = false;
+    params.push_back({"ablate_shadow_log", no_shadow, 512 * KiB, 16 * KiB,
+                      200});
+
+    auto no_opt = base;
+    no_opt.enableGreedyLocking = false;
+    no_opt.enableMinSearchTree = false;
+    no_opt.enablePartialMetaFlush = false;
+    params.push_back({"ablate_optimizations", no_opt, 512 * KiB, 16 * KiB,
+                      300});
+
+    auto file_lock = base;
+    file_lock.lockMode = LockMode::FileLock;
+    params.push_back({"file_lock_mode", file_lock, 512 * KiB, 16 * KiB,
+                      300});
+
+    auto sub16 = base;
+    sub16.leafSubBits = 16;  // finest supported sub-granularity
+    params.push_back({"sub_bits_16", sub16, 256 * KiB, 4 * KiB, 400});
+
+    auto sub1 = base;
+    sub1.leafSubBits = 1;
+    params.push_back({"sub_bits_1", sub1, 256 * KiB, 16 * KiB, 300});
+
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, Differential,
+                         ::testing::ValuesIn(diffParams()),
+                         [](const auto &param_info) {
+                             return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace mgsp

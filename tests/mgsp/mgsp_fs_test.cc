@@ -1,0 +1,285 @@
+/** @file Functional tests of the MGSP file-system API. */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::FsFixture;
+using testutil::ReferenceFile;
+using testutil::makeFs;
+using testutil::readAll;
+using testutil::smallConfig;
+
+TEST(MgspFs, FormatAndBasicProperties)
+{
+    FsFixture fx = makeFs(smallConfig());
+    EXPECT_STREQ(fx.fs->name(), "mgsp");
+    EXPECT_EQ(fx.fs->consistency(), ConsistencyLevel::OperationAtomic);
+    EXPECT_FALSE(fx.fs->exists("nope"));
+}
+
+TEST(MgspFs, CreateWriteReadRoundTrip)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 256 * KiB);
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+    const std::string msg = "the quick brown fox";
+    ASSERT_TRUE((*file)->pwrite(0, ConstSlice(msg)).isOk());
+    EXPECT_EQ((*file)->size(), msg.size());
+
+    std::vector<u8> out(msg.size());
+    auto n = (*file)->pread(0, MutSlice(out.data(), out.size()));
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, msg.size());
+    EXPECT_EQ(std::string(out.begin(), out.end()), msg);
+}
+
+TEST(MgspFs, ReadPastEofIsShort)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    u8 buf[100];
+    ASSERT_TRUE((*file)->pwrite(0, ConstSlice(buf, 100)).isOk());
+    u8 out[200];
+    auto n = (*file)->pread(50, MutSlice(out, 200));
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(*n, 50u);
+    auto n2 = (*file)->pread(100, MutSlice(out, 200));
+    ASSERT_TRUE(n2.isOk());
+    EXPECT_EQ(*n2, 0u);
+}
+
+TEST(MgspFs, WriteBeyondCapacityRejected)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    u8 buf[1] = {1};
+    EXPECT_EQ((*file)->pwrite(64 * KiB, ConstSlice(buf, 1)).code(),
+              StatusCode::OutOfSpace);
+}
+
+TEST(MgspFs, OverwriteSameBlockRepeatedly)
+{
+    // The shadow-log role switch: repeated overwrites of one block
+    // must alternate between log and home and always read back last.
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> block(4096);
+    for (int round = 0; round < 10; ++round) {
+        std::memset(block.data(), round + 1, block.size());
+        ASSERT_TRUE((*file)->pwrite(0, ConstSlice(block.data(), 4096))
+                        .isOk());
+        std::vector<u8> out(4096);
+        ASSERT_TRUE((*file)->pread(0, MutSlice(out.data(), 4096)).isOk());
+        EXPECT_EQ(out, block) << "round " << round;
+    }
+}
+
+TEST(MgspFs, UnalignedSmallWrites)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    ReferenceFile ref;
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const u64 off = rng.nextBelow(60 * KiB);
+        const u64 len = rng.nextInRange(1, 700);
+        std::vector<u8> data = rng.nextBytes(len);
+        ASSERT_TRUE(
+            (*file)->pwrite(off, ConstSlice(data.data(), len)).isOk());
+        ref.pwrite(off, data);
+    }
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+}
+
+TEST(MgspFs, LargeCoarseWrite)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 1 * MiB);
+    ASSERT_TRUE(file.isOk());
+    Rng rng(7);
+    std::vector<u8> data = rng.nextBytes(512 * KiB);
+    ASSERT_TRUE((*file)->pwrite(0, ConstSlice(data.data(), data.size()))
+                    .isOk());
+    EXPECT_EQ(readAll(file->get()), data);
+    // Overwrite the middle with another coarse write.
+    std::vector<u8> mid = rng.nextBytes(128 * KiB);
+    ASSERT_TRUE(
+        (*file)->pwrite(128 * KiB, ConstSlice(mid.data(), mid.size()))
+            .isOk());
+    std::copy(mid.begin(), mid.end(), data.begin() + 128 * KiB);
+    EXPECT_EQ(readAll(file->get()), data);
+}
+
+TEST(MgspFs, SyncIsAlwaysOkAndFree)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    u8 b[16] = {};
+    ASSERT_TRUE((*file)->pwrite(0, ConstSlice(b, 16)).isOk());
+    EXPECT_TRUE((*file)->sync().isOk());
+}
+
+TEST(MgspFs, TruncateShrinkThenGrowReadsZeros)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> data(8192, 0xEE);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    ASSERT_TRUE((*file)->truncate(4096).isOk());
+    EXPECT_EQ((*file)->size(), 4096u);
+    std::vector<u8> again(4096, 0x11);
+    ASSERT_TRUE(
+        (*file)->pwrite(4096, ConstSlice(again.data(), 4096)).isOk());
+    std::vector<u8> out = readAll(file->get());
+    ASSERT_EQ(out.size(), 8192u);
+    for (u64 i = 0; i < 4096; ++i)
+        EXPECT_EQ(out[i], 0xEE);
+    for (u64 i = 4096; i < 8192; ++i)
+        EXPECT_EQ(out[i], 0x11);
+}
+
+TEST(MgspFs, OpenCreateFlagAndExists)
+{
+    FsFixture fx = makeFs(smallConfig());
+    OpenOptions opts;
+    EXPECT_FALSE(fx.fs->open("x", opts).isOk());
+    opts.create = true;
+    auto file = fx.fs->open("x", opts);
+    ASSERT_TRUE(file.isOk());
+    EXPECT_TRUE(fx.fs->exists("x"));
+}
+
+TEST(MgspFs, RemoveFreesNameAndSpace)
+{
+    FsFixture fx = makeFs(smallConfig());
+    {
+        auto file = fx.fs->createFile("temp", 64 * KiB);
+        ASSERT_TRUE(file.isOk());
+        EXPECT_EQ(fx.fs->remove("temp").code(), StatusCode::Busy);
+    }
+    ASSERT_TRUE(fx.fs->remove("temp").isOk());
+    EXPECT_FALSE(fx.fs->exists("temp"));
+    // Name and extent reusable.
+    auto again = fx.fs->createFile("temp", 64 * KiB);
+    ASSERT_TRUE(again.isOk());
+    EXPECT_EQ((*again)->size(), 0u);
+}
+
+TEST(MgspFs, ReusedExtentReadsZeros)
+{
+    FsFixture fx = makeFs(smallConfig());
+    {
+        auto file = fx.fs->createFile("temp", 64 * KiB);
+        ASSERT_TRUE(file.isOk());
+        std::vector<u8> junk(32 * KiB, 0xCD);
+        ASSERT_TRUE(
+            (*file)->pwrite(0, ConstSlice(junk.data(), junk.size()))
+                .isOk());
+    }
+    ASSERT_TRUE(fx.fs->remove("temp").isOk());
+    auto fresh = fx.fs->createFile("fresh", 64 * KiB);
+    ASSERT_TRUE(fresh.isOk());
+    std::vector<u8> probe(16, 0xFF);
+    ASSERT_TRUE(
+        (*fresh)->pwrite(32, ConstSlice(probe.data(), 8)).isOk());
+    std::vector<u8> out = readAll(fresh->get());
+    for (u64 i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], 0) << "reused extent leaked old bytes";
+}
+
+TEST(MgspFs, PersistenceAcrossRemount)
+{
+    const MgspConfig cfg = smallConfig();
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
+    Rng rng(3);
+    std::vector<u8> data = rng.nextBytes(40 * KiB);
+    {
+        auto fs = MgspFs::format(device, cfg);
+        ASSERT_TRUE(fs.isOk());
+        auto file = (*fs)->createFile("persist.dat", 128 * KiB);
+        ASSERT_TRUE(file.isOk());
+        ASSERT_TRUE(
+            (*file)->pwrite(100, ConstSlice(data.data(), data.size()))
+                .isOk());
+        // file handle and fs destructors run: close writes back.
+    }
+    auto fs = MgspFs::mount(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    EXPECT_TRUE((*fs)->exists("persist.dat"));
+    auto file = (*fs)->open("persist.dat", OpenOptions{});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ((*file)->size(), 100 + data.size());
+    std::vector<u8> out = readAll(file->get());
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), out.begin() + 100));
+}
+
+TEST(MgspFs, MountRejectsMismatchedGeometry)
+{
+    const MgspConfig cfg = smallConfig();
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
+    {
+        auto fs = MgspFs::format(device, cfg);
+        ASSERT_TRUE(fs.isOk());
+    }
+    MgspConfig other = cfg;
+    other.degree = 8;
+    EXPECT_FALSE(MgspFs::mount(device, other).isOk());
+    EXPECT_TRUE(MgspFs::mount(device, cfg).isOk());
+}
+
+TEST(MgspFs, MountOfGarbageFails)
+{
+    const MgspConfig cfg = smallConfig();
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
+    EXPECT_EQ(MgspFs::mount(device, cfg).status().code(),
+              StatusCode::Corruption);
+}
+
+TEST(MgspFs, ManyFilesIndependent)
+{
+    FsFixture fx = makeFs(smallConfig());
+    std::vector<std::unique_ptr<File>> files;
+    for (int i = 0; i < 4; ++i) {
+        auto f = fx.fs->createFile("f" + std::to_string(i), 64 * KiB);
+        ASSERT_TRUE(f.isOk());
+        files.push_back(std::move(*f));
+    }
+    for (int i = 0; i < 4; ++i) {
+        std::vector<u8> data(4096, static_cast<u8>(i + 1));
+        ASSERT_TRUE(
+            files[i]->pwrite(0, ConstSlice(data.data(), data.size()))
+                .isOk());
+    }
+    for (int i = 0; i < 4; ++i) {
+        std::vector<u8> out = readAll(files[i].get());
+        for (u8 b : out)
+            EXPECT_EQ(b, i + 1);
+    }
+}
+
+TEST(MgspFs, LogicalBytesCounted)
+{
+    FsFixture fx = makeFs(smallConfig());
+    auto file = fx.fs->createFile("a", 64 * KiB);
+    ASSERT_TRUE(file.isOk());
+    u8 buf[1000] = {};
+    ASSERT_TRUE((*file)->pwrite(0, ConstSlice(buf, 1000)).isOk());
+    ASSERT_TRUE((*file)->pwrite(0, ConstSlice(buf, 500)).isOk());
+    EXPECT_EQ(fx.fs->logicalBytesWritten(), 1500u);
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for MGSP engine tests: small arenas, config presets
+ * and a byte-exact reference file model.
+ */
+#ifndef MGSP_TESTS_MGSP_TEST_UTIL_H
+#define MGSP_TESTS_MGSP_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mgsp/mgsp_fs.h"
+#include "pmem/pmem_device.h"
+
+namespace mgsp::testutil {
+
+/** A small-footprint config suitable for unit tests. */
+inline MgspConfig
+smallConfig()
+{
+    MgspConfig cfg;
+    cfg.arenaSize = 24 * MiB;
+    cfg.leafBlockSize = 4 * KiB;
+    cfg.degree = 4;
+    cfg.leafSubBits = 4;
+    cfg.metaLogEntries = 16;
+    cfg.maxInodes = 8;
+    cfg.maxNodeRecords = 1 << 12;
+    cfg.maxCoarseLogSize = 256 * KiB;
+    cfg.defaultFileCapacity = 1 * MiB;
+    return cfg;
+}
+
+/** Formats a fresh fs + device pair. */
+struct FsFixture
+{
+    std::shared_ptr<PmemDevice> device;
+    std::unique_ptr<MgspFs> fs;
+};
+
+inline FsFixture
+makeFs(const MgspConfig &cfg,
+       PmemDevice::Mode mode = PmemDevice::Mode::Flat)
+{
+    FsFixture fx;
+    fx.device = std::make_shared<PmemDevice>(cfg.arenaSize, mode);
+    auto fs = MgspFs::format(fx.device, cfg);
+    EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+    fx.fs = std::move(*fs);
+    return fx;
+}
+
+/** In-memory oracle: a growable byte array mirroring one file. */
+class ReferenceFile
+{
+  public:
+    void
+    pwrite(u64 off, const std::vector<u8> &data)
+    {
+        if (off + data.size() > bytes_.size())
+            bytes_.resize(off + data.size(), 0);
+        std::copy(data.begin(), data.end(), bytes_.begin() + off);
+    }
+
+    std::vector<u8>
+    pread(u64 off, u64 len) const
+    {
+        std::vector<u8> out;
+        if (off >= bytes_.size())
+            return out;
+        const u64 n = std::min<u64>(len, bytes_.size() - off);
+        out.assign(bytes_.begin() + off, bytes_.begin() + off + n);
+        return out;
+    }
+
+    void
+    truncate(u64 size)
+    {
+        bytes_.resize(size, 0);
+    }
+
+    u64 size() const { return bytes_.size(); }
+    const std::vector<u8> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<u8> bytes_;
+};
+
+/** Reads the whole file through the vfs handle. */
+inline std::vector<u8>
+readAll(File *file)
+{
+    std::vector<u8> out(file->size());
+    if (out.empty())
+        return out;
+    auto n = file->pread(0, MutSlice(out.data(), out.size()));
+    EXPECT_TRUE(n.isOk()) << n.status().toString();
+    EXPECT_EQ(*n, out.size());
+    return out;
+}
+
+}  // namespace mgsp::testutil
+
+#endif  // MGSP_TESTS_MGSP_TEST_UTIL_H

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * B+tree fragmentation and churn tests: heavy insert/delete/resize
+ * cycles that force slot compaction, repeated splits, and page reuse
+ * through the pager freelist.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "minidb/btree.h"
+#include "vfs/mem_fs.h"
+
+namespace mgsp::minidb {
+namespace {
+
+struct ChurnFixture
+{
+    ChurnFixture()
+    {
+        OpenOptions opts;
+        opts.create = true;
+        auto f = fs.open("db", opts);
+        EXPECT_TRUE(f.isOk());
+        file = std::move(*f);
+        pager = std::make_unique<Pager>(file.get());
+        EXPECT_TRUE(pager->initialize().isOk());
+        auto root = BTree::create(pager.get());
+        EXPECT_TRUE(root.isOk());
+        tree = std::make_unique<BTree>(pager.get(), *root);
+    }
+
+    MemFs fs;
+    std::unique_ptr<File> file;
+    std::unique_ptr<Pager> pager;
+    std::unique_ptr<BTree> tree;
+};
+
+TEST(BTreeChurn, GrowShrinkGrowCycles)
+{
+    ChurnFixture fx;
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        // Grow.
+        for (i64 k = 0; k < 1500; ++k) {
+            const std::string v(50 + (k % 100), 'a' + cycle);
+            ASSERT_TRUE(fx.tree->put(k, ConstSlice(v)).isOk())
+                << "cycle " << cycle << " key " << k;
+        }
+        EXPECT_EQ(*fx.tree->count(), 1500u);
+        // Shrink to a sparse residue.
+        for (i64 k = 0; k < 1500; ++k) {
+            if (k % 5 != 0) {
+                ASSERT_TRUE(fx.tree->erase(k).isOk());
+            }
+        }
+        EXPECT_EQ(*fx.tree->count(), 300u);
+        // Survivors still read back with the right payload.
+        for (i64 k = 0; k < 1500; k += 5) {
+            auto got = fx.tree->get(k);
+            ASSERT_TRUE(got.isOk()) << k;
+            EXPECT_EQ(got->size(), 50u + (k % 100));
+            EXPECT_EQ((*got)[0], static_cast<u8>('a' + cycle));
+        }
+        // Clear the rest for the next cycle.
+        for (i64 k = 0; k < 1500; k += 5)
+            ASSERT_TRUE(fx.tree->erase(k).isOk());
+        EXPECT_EQ(*fx.tree->count(), 0u);
+    }
+}
+
+TEST(BTreeChurn, InPlaceResizeFragmentsThenCompacts)
+{
+    // Repeatedly growing one key's value leaves dead fragments that
+    // compaction must reclaim — a page holds far less than the total
+    // bytes ever written to it.
+    ChurnFixture fx;
+    ASSERT_TRUE(fx.tree->put(1, ConstSlice("x")).isOk());
+    for (int round = 0; round < 300; ++round) {
+        const std::string v(100 + (round % 500), 'z');
+        ASSERT_TRUE(fx.tree->put(1, ConstSlice(v)).isOk()) << round;
+        auto got = fx.tree->get(1);
+        ASSERT_TRUE(got.isOk());
+        EXPECT_EQ(got->size(), v.size());
+    }
+    EXPECT_EQ(*fx.tree->count(), 1u);
+}
+
+TEST(BTreeChurn, InterleavedChurnMatchesOracle)
+{
+    ChurnFixture fx;
+    Rng rng(606);
+    std::map<i64, u64> oracle;  // key -> value length
+    for (int op = 0; op < 8000; ++op) {
+        const i64 key = static_cast<i64>(rng.nextBelow(700));
+        const double dice = rng.nextDouble();
+        if (dice < 0.55) {
+            const u64 len = rng.nextInRange(1, kMaxValueSize);
+            std::vector<u8> value(len, static_cast<u8>(key & 0xFF));
+            ASSERT_TRUE(
+                fx.tree->put(key, ConstSlice(value.data(), len)).isOk())
+                << "op " << op;
+            oracle[key] = len;
+        } else if (dice < 0.85) {
+            const Status s = fx.tree->erase(key);
+            EXPECT_EQ(s.isOk(), oracle.erase(key) == 1) << "op " << op;
+        } else {
+            auto got = fx.tree->get(key);
+            auto expect = oracle.find(key);
+            if (expect == oracle.end()) {
+                EXPECT_FALSE(got.isOk()) << "op " << op;
+            } else {
+                ASSERT_TRUE(got.isOk()) << "op " << op;
+                EXPECT_EQ(got->size(), expect->second);
+            }
+        }
+    }
+    EXPECT_EQ(*fx.tree->count(), oracle.size());
+}
+
+TEST(BTreeChurn, FreelistKeepsFileBounded)
+{
+    // Alloc/free cycles through the pager must reuse pages rather
+    // than grow the file without bound.
+    ChurnFixture fx;
+    std::vector<PageNo> pages;
+    for (int i = 0; i < 50; ++i)
+        pages.push_back(*fx.pager->allocPage());
+    const u32 high_water = fx.pager->header().pageCount;
+    for (PageNo p : pages)
+        ASSERT_TRUE(fx.pager->freePage(p).isOk());
+    for (int round = 0; round < 10; ++round) {
+        std::vector<PageNo> again;
+        for (int i = 0; i < 50; ++i)
+            again.push_back(*fx.pager->allocPage());
+        for (PageNo p : again)
+            ASSERT_TRUE(fx.pager->freePage(p).isOk());
+    }
+    EXPECT_EQ(fx.pager->header().pageCount, high_water)
+        << "freelist failed to bound file growth";
+}
+
+}  // namespace
+}  // namespace mgsp::minidb

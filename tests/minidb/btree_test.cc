@@ -1,0 +1,259 @@
+/** @file Unit and property tests for the minidb B+tree. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "minidb/btree.h"
+#include "vfs/mem_fs.h"
+
+namespace mgsp::minidb {
+namespace {
+
+struct TreeFixture
+{
+    TreeFixture()
+    {
+        OpenOptions opts;
+        opts.create = true;
+        auto f = fs.open("db", opts);
+        EXPECT_TRUE(f.isOk());
+        file = std::move(*f);
+        pager = std::make_unique<Pager>(file.get());
+        EXPECT_TRUE(pager->initialize().isOk());
+        auto root = BTree::create(pager.get());
+        EXPECT_TRUE(root.isOk());
+        tree = std::make_unique<BTree>(pager.get(), *root);
+    }
+
+    MemFs fs;
+    std::unique_ptr<File> file;
+    std::unique_ptr<Pager> pager;
+    std::unique_ptr<BTree> tree;
+};
+
+std::vector<u8>
+val(const std::string &s)
+{
+    return std::vector<u8>(s.begin(), s.end());
+}
+
+TEST(BTree, PutGetSingle)
+{
+    TreeFixture fx;
+    ASSERT_TRUE(fx.tree->put(42, ConstSlice("hello")).isOk());
+    auto got = fx.tree->get(42);
+    ASSERT_TRUE(got.isOk());
+    EXPECT_EQ(*got, val("hello"));
+    EXPECT_EQ(fx.tree->get(43).status().code(), StatusCode::NotFound);
+}
+
+TEST(BTree, OverwriteReplacesValue)
+{
+    TreeFixture fx;
+    ASSERT_TRUE(fx.tree->put(1, ConstSlice("short")).isOk());
+    ASSERT_TRUE(
+        fx.tree->put(1, ConstSlice("a considerably longer value"))
+            .isOk());
+    auto got = fx.tree->get(1);
+    ASSERT_TRUE(got.isOk());
+    EXPECT_EQ(*got, val("a considerably longer value"));
+    ASSERT_TRUE(fx.tree->put(1, ConstSlice("x")).isOk());
+    got = fx.tree->get(1);
+    ASSERT_TRUE(got.isOk());
+    EXPECT_EQ(*got, val("x"));
+    EXPECT_EQ(*fx.tree->count(), 1u);
+}
+
+TEST(BTree, EraseRemovesKey)
+{
+    TreeFixture fx;
+    ASSERT_TRUE(fx.tree->put(7, ConstSlice("gone")).isOk());
+    ASSERT_TRUE(fx.tree->erase(7).isOk());
+    EXPECT_EQ(fx.tree->get(7).status().code(), StatusCode::NotFound);
+    EXPECT_EQ(fx.tree->erase(7).code(), StatusCode::NotFound);
+}
+
+TEST(BTree, RejectsOversizedValue)
+{
+    TreeFixture fx;
+    std::vector<u8> big(kMaxValueSize + 1, 0);
+    EXPECT_EQ(fx.tree->put(1, ConstSlice(big.data(), big.size())).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(BTree, ManySequentialInsertsSplitCorrectly)
+{
+    TreeFixture fx;
+    constexpr i64 kN = 5000;
+    for (i64 k = 0; k < kN; ++k) {
+        const std::string v = "value-" + std::to_string(k);
+        ASSERT_TRUE(fx.tree->put(k, ConstSlice(v)).isOk()) << k;
+    }
+    EXPECT_EQ(*fx.tree->count(), u64(kN));
+    for (i64 k = 0; k < kN; k += 37) {
+        auto got = fx.tree->get(k);
+        ASSERT_TRUE(got.isOk()) << k;
+        EXPECT_EQ(*got, val("value-" + std::to_string(k)));
+    }
+}
+
+TEST(BTree, ReverseOrderInserts)
+{
+    TreeFixture fx;
+    for (i64 k = 3000; k-- > 0;)
+        ASSERT_TRUE(fx.tree->put(k, ConstSlice("v")).isOk()) << k;
+    EXPECT_EQ(*fx.tree->count(), 3000u);
+    // Scan must be sorted ascending.
+    i64 prev = -1;
+    ASSERT_TRUE(fx.tree
+                    ->scanRange(0, 1 << 30,
+                                [&](i64 key, ConstSlice) {
+                                    EXPECT_GT(key, prev);
+                                    prev = key;
+                                    return true;
+                                })
+                    .isOk());
+    EXPECT_EQ(prev, 2999);
+}
+
+TEST(BTree, ScanRangeBoundsInclusive)
+{
+    TreeFixture fx;
+    for (i64 k = 0; k < 100; ++k)
+        ASSERT_TRUE(fx.tree->put(k * 10, ConstSlice("v")).isOk());
+    std::vector<i64> seen;
+    ASSERT_TRUE(fx.tree
+                    ->scanRange(100, 200,
+                                [&](i64 key, ConstSlice) {
+                                    seen.push_back(key);
+                                    return true;
+                                })
+                    .isOk());
+    EXPECT_EQ(seen,
+              (std::vector<i64>{100, 110, 120, 130, 140, 150, 160, 170,
+                                180, 190, 200}));
+}
+
+TEST(BTree, ScanEarlyStop)
+{
+    TreeFixture fx;
+    for (i64 k = 0; k < 50; ++k)
+        ASSERT_TRUE(fx.tree->put(k, ConstSlice("v")).isOk());
+    int visits = 0;
+    ASSERT_TRUE(fx.tree
+                    ->scanRange(0, 49,
+                                [&](i64, ConstSlice) {
+                                    return ++visits < 5;
+                                })
+                    .isOk());
+    EXPECT_EQ(visits, 5);
+}
+
+TEST(BTree, NegativeKeys)
+{
+    TreeFixture fx;
+    for (i64 k = -100; k <= 100; ++k)
+        ASSERT_TRUE(fx.tree->put(k, ConstSlice("n")).isOk());
+    EXPECT_EQ(*fx.tree->count(), 201u);
+    EXPECT_TRUE(fx.tree->contains(-100));
+    EXPECT_TRUE(fx.tree->contains(0));
+    i64 first = 1;
+    ASSERT_TRUE(fx.tree
+                    ->scanRange(std::numeric_limits<i64>::min(),
+                                std::numeric_limits<i64>::max(),
+                                [&](i64 key, ConstSlice) {
+                                    first = key;
+                                    return false;
+                                })
+                    .isOk());
+    EXPECT_EQ(first, -100);
+}
+
+TEST(BTree, LargeValuesForceByteBalancedSplits)
+{
+    TreeFixture fx;
+    Rng rng(3);
+    std::map<i64, std::vector<u8>> oracle;
+    for (int i = 0; i < 800; ++i) {
+        const i64 key = static_cast<i64>(rng.nextBelow(10000));
+        std::vector<u8> value =
+            rng.nextBytes(rng.nextInRange(1, kMaxValueSize));
+        ASSERT_TRUE(
+            fx.tree->put(key, ConstSlice(value.data(), value.size()))
+                .isOk());
+        oracle[key] = std::move(value);
+    }
+    EXPECT_EQ(*fx.tree->count(), oracle.size());
+    for (const auto &[key, value] : oracle) {
+        auto got = fx.tree->get(key);
+        ASSERT_TRUE(got.isOk()) << key;
+        EXPECT_EQ(*got, value) << key;
+    }
+}
+
+/** Randomised differential test against std::map. */
+class BTreeRandomOps : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(BTreeRandomOps, MatchesStdMap)
+{
+    TreeFixture fx;
+    Rng rng(GetParam());
+    std::map<i64, std::vector<u8>> oracle;
+    for (int op = 0; op < 4000; ++op) {
+        const i64 key = static_cast<i64>(rng.nextBelow(2000));
+        const double dice = rng.nextDouble();
+        if (dice < 0.5) {
+            std::vector<u8> value =
+                rng.nextBytes(rng.nextInRange(1, 300));
+            ASSERT_TRUE(
+                fx.tree->put(key, ConstSlice(value.data(), value.size()))
+                    .isOk());
+            oracle[key] = std::move(value);
+        } else if (dice < 0.75) {
+            const Status s = fx.tree->erase(key);
+            if (oracle.erase(key))
+                EXPECT_TRUE(s.isOk());
+            else
+                EXPECT_EQ(s.code(), StatusCode::NotFound);
+        } else {
+            auto got = fx.tree->get(key);
+            auto expect = oracle.find(key);
+            if (expect == oracle.end()) {
+                EXPECT_FALSE(got.isOk());
+            } else {
+                ASSERT_TRUE(got.isOk());
+                EXPECT_EQ(*got, expect->second);
+            }
+        }
+    }
+    EXPECT_EQ(*fx.tree->count(), oracle.size());
+    // Full scan equality.
+    auto it = oracle.begin();
+    ASSERT_TRUE(fx.tree
+                    ->scanRange(std::numeric_limits<i64>::min(),
+                                std::numeric_limits<i64>::max(),
+                                [&](i64 key, ConstSlice value) {
+                                    EXPECT_NE(it, oracle.end());
+                                    EXPECT_EQ(key, it->first);
+                                    EXPECT_EQ(value.toString(),
+                                              std::string(
+                                                  it->second.begin(),
+                                                  it->second.end()));
+                                    ++it;
+                                    return true;
+                                })
+                    .isOk());
+    EXPECT_EQ(it, oracle.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomOps,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mgsp::minidb

@@ -1,0 +1,268 @@
+/** @file Functional tests of the minidb Database layer. */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "minidb/db.h"
+#include "tests/mgsp/test_util.h"
+#include "vfs/mem_fs.h"
+
+namespace mgsp::minidb {
+namespace {
+
+std::vector<u8>
+val(const std::string &s)
+{
+    return std::vector<u8>(s.begin(), s.end());
+}
+
+struct ModeParam
+{
+    std::string name;
+    JournalMode mode;
+};
+
+class DbModes : public ::testing::TestWithParam<ModeParam>
+{
+  protected:
+    DbOptions
+    options() const
+    {
+        DbOptions opts;
+        opts.journal = GetParam().mode;
+        opts.fileCapacity = 8 * MiB;
+        return opts;
+    }
+};
+
+TEST_P(DbModes, CreateInsertGet)
+{
+    MemFs fs;
+    auto db = Database::open(&fs, "test.db", options());
+    ASSERT_TRUE(db.isOk()) << db.status().toString();
+    ASSERT_TRUE((*db)->createTable("users").isOk());
+    ASSERT_TRUE((*db)->insert("users", 1, ConstSlice("alice")).isOk());
+    ASSERT_TRUE((*db)->insert("users", 2, ConstSlice("bob")).isOk());
+    auto got = (*db)->get("users", 1);
+    ASSERT_TRUE(got.isOk());
+    EXPECT_EQ(*got, val("alice"));
+    EXPECT_EQ((*db)->insert("users", 1, ConstSlice("dup")).code(),
+              StatusCode::AlreadyExists);
+    EXPECT_EQ((*db)->get("users", 99).status().code(),
+              StatusCode::NotFound);
+    EXPECT_EQ((*db)->get("ghosts", 1).status().code(),
+              StatusCode::NotFound);
+}
+
+TEST_P(DbModes, UpdateAndRemove)
+{
+    MemFs fs;
+    auto db = Database::open(&fs, "test.db", options());
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("t").isOk());
+    ASSERT_TRUE((*db)->insert("t", 5, ConstSlice("v1")).isOk());
+    ASSERT_TRUE((*db)->update("t", 5, ConstSlice("v2")).isOk());
+    EXPECT_EQ(*(*db)->get("t", 5), val("v2"));
+    EXPECT_EQ((*db)->update("t", 6, ConstSlice("x")).code(),
+              StatusCode::NotFound);
+    ASSERT_TRUE((*db)->remove("t", 5).isOk());
+    EXPECT_EQ((*db)->get("t", 5).status().code(), StatusCode::NotFound);
+}
+
+TEST_P(DbModes, MultiStatementTransaction)
+{
+    MemFs fs;
+    auto db = Database::open(&fs, "test.db", options());
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("acct").isOk());
+    ASSERT_TRUE((*db)->insert("acct", 1, ConstSlice("100")).isOk());
+    ASSERT_TRUE((*db)->insert("acct", 2, ConstSlice("50")).isOk());
+
+    ASSERT_TRUE((*db)->begin().isOk());
+    ASSERT_TRUE((*db)->update("acct", 1, ConstSlice("90")).isOk());
+    ASSERT_TRUE((*db)->update("acct", 2, ConstSlice("60")).isOk());
+    ASSERT_TRUE((*db)->commit().isOk());
+
+    EXPECT_EQ(*(*db)->get("acct", 1), val("90"));
+    EXPECT_EQ(*(*db)->get("acct", 2), val("60"));
+    // bootstrap + create + 2 inserts + the explicit transaction.
+    EXPECT_EQ((*db)->stats().commits, 5u);
+}
+
+TEST_P(DbModes, ManyRowsAcrossTables)
+{
+    MemFs fs;
+    auto db = Database::open(&fs, "test.db", options());
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("a").isOk());
+    ASSERT_TRUE((*db)->createTable("b").isOk());
+    ASSERT_TRUE((*db)->begin().isOk());
+    for (i64 k = 0; k < 2000; ++k) {
+        ASSERT_TRUE(
+            (*db)->insert("a", k, ConstSlice("a" + std::to_string(k)))
+                .isOk());
+        ASSERT_TRUE(
+            (*db)->insert("b", k, ConstSlice("b" + std::to_string(k)))
+                .isOk());
+    }
+    ASSERT_TRUE((*db)->commit().isOk());
+    EXPECT_EQ(*(*db)->rowCount("a"), 2000u);
+    EXPECT_EQ(*(*db)->rowCount("b"), 2000u);
+    EXPECT_EQ(*(*db)->get("a", 999), val("a999"));
+    EXPECT_EQ(*(*db)->get("b", 999), val("b999"));
+}
+
+TEST_P(DbModes, PersistsAcrossReopen)
+{
+    MemFs fs;
+    {
+        auto db = Database::open(&fs, "test.db", options());
+        ASSERT_TRUE(db.isOk());
+        ASSERT_TRUE((*db)->createTable("t").isOk());
+        for (i64 k = 0; k < 500; ++k)
+            ASSERT_TRUE(
+                (*db)->insert("t", k, ConstSlice(std::to_string(k)))
+                    .isOk());
+    }
+    auto db = Database::open(&fs, "test.db", options());
+    ASSERT_TRUE(db.isOk()) << db.status().toString();
+    EXPECT_TRUE((*db)->hasTable("t"));
+    EXPECT_EQ(*(*db)->rowCount("t"), 500u);
+    EXPECT_EQ(*(*db)->get("t", 123), val("123"));
+}
+
+TEST_P(DbModes, ScanIsOrdered)
+{
+    MemFs fs;
+    auto db = Database::open(&fs, "test.db", options());
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("t").isOk());
+    Rng rng(5);
+    std::set<i64> keys;
+    ASSERT_TRUE((*db)->begin().isOk());
+    for (int i = 0; i < 300; ++i) {
+        const i64 key = static_cast<i64>(rng.nextBelow(100000));
+        if (keys.insert(key).second) {
+            ASSERT_TRUE((*db)->insert("t", key, ConstSlice("v")).isOk());
+        }
+    }
+    ASSERT_TRUE((*db)->commit().isOk());
+    auto it = keys.begin();
+    ASSERT_TRUE((*db)
+                    ->scan("t", 0, 1 << 20,
+                           [&](i64 key, ConstSlice) {
+                               EXPECT_EQ(key, *it);
+                               ++it;
+                               return true;
+                           })
+                    .isOk());
+    EXPECT_EQ(it, keys.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Journal, DbModes,
+    ::testing::Values(ModeParam{"wal", JournalMode::Wal},
+                      ModeParam{"off", JournalMode::Off}),
+    [](const auto &param_info) { return param_info.param.name; });
+
+TEST(DbWal, RollbackDiscardsChanges)
+{
+    MemFs fs;
+    DbOptions opts;  // WAL by default
+    auto db = Database::open(&fs, "test.db", opts);
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("t").isOk());
+    ASSERT_TRUE((*db)->insert("t", 1, ConstSlice("keep")).isOk());
+
+    ASSERT_TRUE((*db)->begin().isOk());
+    ASSERT_TRUE((*db)->update("t", 1, ConstSlice("discard")).isOk());
+    ASSERT_TRUE((*db)->insert("t", 2, ConstSlice("also-gone")).isOk());
+    ASSERT_TRUE((*db)->rollback().isOk());
+
+    EXPECT_EQ(*(*db)->get("t", 1), val("keep"));
+    EXPECT_EQ((*db)->get("t", 2).status().code(), StatusCode::NotFound);
+}
+
+TEST(DbOff, RollbackUnsupported)
+{
+    MemFs fs;
+    DbOptions opts;
+    opts.journal = JournalMode::Off;
+    auto db = Database::open(&fs, "test.db", opts);
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("t").isOk());
+    ASSERT_TRUE((*db)->begin().isOk());
+    ASSERT_TRUE((*db)->insert("t", 1, ConstSlice("x")).isOk());
+    EXPECT_EQ((*db)->rollback().code(), StatusCode::Unsupported);
+    ASSERT_TRUE((*db)->commit().isOk());
+}
+
+TEST(DbWal, AutoCheckpointTriggers)
+{
+    MemFs fs;
+    DbOptions opts;
+    opts.walAutoCheckpointFrames = 16;
+    auto db = Database::open(&fs, "test.db", opts);
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("t").isOk());
+    for (i64 k = 0; k < 200; ++k)
+        ASSERT_TRUE(
+            (*db)->insert("t", k, ConstSlice("row")).isOk());
+    EXPECT_GT((*db)->stats().walCheckpoints, 0u);
+    EXPECT_EQ(*(*db)->get("t", 150), val("row"));
+}
+
+TEST(DbWal, UncommittedWalFramesIgnoredOnReopen)
+{
+    // Simulate a crash between WAL append of a non-commit frame and
+    // the commit frame by corrupting the tail frame's checksum.
+    MemFs fs;
+    DbOptions opts;
+    opts.walAutoCheckpointFrames = 1 << 30;  // never checkpoint
+    {
+        auto db = Database::open(&fs, "test.db", opts);
+        ASSERT_TRUE(db.isOk());
+        ASSERT_TRUE((*db)->createTable("t").isOk());
+        ASSERT_TRUE((*db)->insert("t", 1, ConstSlice("good")).isOk());
+    }
+    // Append garbage that looks like a torn frame.
+    {
+        OpenOptions oo;
+        auto wal = fs.open("test.db-wal", oo);
+        ASSERT_TRUE(wal.isOk());
+        std::vector<u8> junk(64 + 4096, 0xCC);
+        ASSERT_TRUE((*wal)
+                        ->pwrite((*wal)->size(),
+                                 ConstSlice(junk.data(), junk.size()))
+                        .isOk());
+    }
+    auto db = Database::open(&fs, "test.db", opts);
+    ASSERT_TRUE(db.isOk()) << db.status().toString();
+    EXPECT_EQ(*(*db)->get("t", 1), val("good"));
+}
+
+TEST(DbMgsp, RunsOnMgspBackend)
+{
+    // End-to-end: minidb over the MGSP engine (the Fig. 11/12 stack).
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.arenaSize = 64 * MiB;
+    cfg.defaultFileCapacity = 8 * MiB;
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk());
+    DbOptions opts;
+    opts.journal = JournalMode::Off;
+    opts.fileCapacity = 8 * MiB;
+    auto db = Database::open(fs->get(), "app.db", opts);
+    ASSERT_TRUE(db.isOk()) << db.status().toString();
+    ASSERT_TRUE((*db)->createTable("t").isOk());
+    for (i64 k = 0; k < 300; ++k)
+        ASSERT_TRUE(
+            (*db)->insert("t", k, ConstSlice("mgsp-row")).isOk());
+    EXPECT_EQ(*(*db)->rowCount("t"), 300u);
+    EXPECT_EQ(*(*db)->get("t", 299), val("mgsp-row"));
+}
+
+}  // namespace
+}  // namespace mgsp::minidb

@@ -1,0 +1,88 @@
+/** @file Tests for the latency model and delay injection. */
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "pmem/latency_model.h"
+
+namespace mgsp {
+namespace {
+
+/** RAII: enables injection for a scope, restores after. */
+struct DelayScope
+{
+    explicit DelayScope(bool on) : previous(delayInjectionEnabled())
+    {
+        setDelayInjectionEnabled(on);
+    }
+    ~DelayScope() { setDelayInjectionEnabled(previous); }
+    bool previous;
+};
+
+TEST(LatencyModel, DisabledInjectionIsFree)
+{
+    DelayScope scope(false);
+    LatencyModel model;
+    const u64 start = monotonicNanos();
+    for (int i = 0; i < 1000; ++i)
+        model.chargeWrite(4096);
+    EXPECT_LT(monotonicNanos() - start, 1000000u)
+        << "disabled charges must cost ~nothing";
+}
+
+TEST(LatencyModel, ChargesScaleWithSize)
+{
+    DelayScope scope(true);
+    LatencyModel model;
+    // 4 KiB write: 16 x 256B units.
+    u64 start = monotonicNanos();
+    model.chargeWrite(4096);
+    const u64 four_k = monotonicNanos() - start;
+    start = monotonicNanos();
+    model.chargeWrite(64 * 1024);
+    const u64 sixty_four_k = monotonicNanos() - start;
+    EXPECT_GT(sixty_four_k, four_k * 8)
+        << "64K must cost ~16x a 4K write";
+    EXPECT_NEAR(static_cast<double>(four_k),
+                model.writePer256BNanos * 16.0,
+                model.writePer256BNanos * 16.0);  // within 2x
+}
+
+TEST(LatencyModel, ZeroBytesChargesNothing)
+{
+    DelayScope scope(true);
+    LatencyModel model;
+    const u64 start = monotonicNanos();
+    for (int i = 0; i < 100; ++i) {
+        model.chargeRead(0);
+        model.chargeWrite(0);
+        model.chargeFlush(0);
+    }
+    EXPECT_LT(monotonicNanos() - start, 500000u);
+}
+
+TEST(LatencyModel, SpinDelayAccuracy)
+{
+    DelayScope scope(true);
+    const u64 start = monotonicNanos();
+    spinDelay(50000);  // 50 us
+    const u64 elapsed = monotonicNanos() - start;
+    EXPECT_GE(elapsed, 50000u);
+    EXPECT_LT(elapsed, 500000u) << "gross overshoot";
+}
+
+TEST(LatencyModel, FlushChargesPerCacheLine)
+{
+    DelayScope scope(true);
+    LatencyModel model;
+    model.flushPerLineNanos = 1000;  // big enough to measure
+    u64 start = monotonicNanos();
+    model.chargeFlush(64);  // one line
+    const u64 one = monotonicNanos() - start;
+    start = monotonicNanos();
+    model.chargeFlush(640);  // ten lines
+    const u64 ten = monotonicNanos() - start;
+    EXPECT_GT(ten, one * 5);
+}
+
+}  // namespace
+}  // namespace mgsp

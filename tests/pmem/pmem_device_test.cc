@@ -1,0 +1,189 @@
+/** @file Tests for the emulated PM device, incl. crash semantics. */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "pmem/pmem_device.h"
+
+namespace mgsp {
+namespace {
+
+TEST(PmemDeviceFlat, ReadBackWrites)
+{
+    PmemDevice dev(1 << 20);
+    const std::string data = "hello persistent world";
+    dev.write(100, data.data(), data.size());
+    std::vector<char> out(data.size());
+    dev.read(100, out.data(), out.size());
+    EXPECT_EQ(std::string(out.begin(), out.end()), data);
+}
+
+TEST(PmemDeviceFlat, FillAndRawRead)
+{
+    PmemDevice dev(4096);
+    dev.fill(128, 0xAB, 256);
+    for (u64 i = 0; i < 256; ++i)
+        EXPECT_EQ(dev.rawRead(128)[i], 0xAB);
+    EXPECT_EQ(dev.rawRead(0)[0], 0);
+}
+
+TEST(PmemDeviceFlat, Atomics)
+{
+    PmemDevice dev(4096);
+    dev.store64(64, 0xDEADBEEF);
+    EXPECT_EQ(dev.load64(64), 0xDEADBEEFull);
+    u64 expected = 0xDEADBEEF;
+    EXPECT_TRUE(dev.cas64(64, expected, 42));
+    EXPECT_EQ(dev.load64(64), 42u);
+    expected = 999;  // wrong expectation
+    EXPECT_FALSE(dev.cas64(64, expected, 7));
+    EXPECT_EQ(expected, 42u);  // updated to the current value
+    EXPECT_EQ(dev.fetchOr64(64, 0x100), 42u);
+    EXPECT_EQ(dev.load64(64), 42u | 0x100);
+}
+
+TEST(PmemDeviceFlat, StatsAccumulate)
+{
+    PmemDevice dev(1 << 16);
+    u8 buf[300] = {};
+    dev.write(0, buf, 300);
+    dev.flush(0, 300);
+    dev.fence();
+    EXPECT_EQ(dev.stats().bytesWritten.load(), 300u);
+    EXPECT_EQ(dev.stats().bytesFlushed.load(), 300u);
+    // 300 bytes from offset 0 covers ceil(300/64) = 5 lines.
+    EXPECT_EQ(dev.stats().flushedLines.load(), 5u);
+    EXPECT_EQ(dev.stats().fences.load(), 1u);
+}
+
+TEST(PmemDeviceTracked, UnflushedWritesMayVanish)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    const u64 value = 0x1122334455667788ull;
+    dev.store64(0, value);
+    // No flush/fence: with eviction probability 0 the write is lost.
+    Rng rng(1);
+    CrashImage image = dev.captureCrashImage(rng, 0.0);
+    u64 survived;
+    std::memcpy(&survived, image.media.data(), 8);
+    EXPECT_EQ(survived, 0u);
+}
+
+TEST(PmemDeviceTracked, FlushedAndFencedWritesSurvive)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    const u64 value = 0xABCDull;
+    dev.store64(128, value);
+    dev.persist(128, 8);
+    Rng rng(2);
+    CrashImage image = dev.captureCrashImage(rng, 0.0);
+    u64 survived;
+    std::memcpy(&survived, image.media.data() + 128, 8);
+    EXPECT_EQ(survived, value);
+}
+
+TEST(PmemDeviceTracked, FlushWithoutFenceNotGuaranteed)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    dev.store64(0, 77);
+    dev.flush(0, 8);  // queued, no fence
+    Rng rng(3);
+    CrashImage image = dev.captureCrashImage(rng, 0.0);
+    u64 survived;
+    std::memcpy(&survived, image.media.data(), 8);
+    EXPECT_EQ(survived, 0u) << "flush without fence must not guarantee";
+}
+
+TEST(PmemDeviceTracked, EvictionProbabilityOneKeepsEverything)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    u8 buf[1000];
+    for (int i = 0; i < 1000; ++i)
+        buf[i] = static_cast<u8>(i * 7);
+    dev.write(500, buf, sizeof(buf));
+    Rng rng(4);
+    CrashImage image = dev.captureCrashImage(rng, 1.0);
+    EXPECT_EQ(std::memcmp(image.media.data() + 500, buf, sizeof(buf)), 0);
+}
+
+TEST(PmemDeviceTracked, PartialSurvivalIsLineGranular)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    // Dirty 64 separate lines, survive with p=0.5: expect a mix.
+    for (u64 line = 0; line < 64; ++line)
+        dev.store64(line * kCacheLineSize, line + 1);
+    Rng rng(5);
+    CrashImage image = dev.captureCrashImage(rng, 0.5);
+    int survived = 0;
+    for (u64 line = 0; line < 64; ++line) {
+        u64 v;
+        std::memcpy(&v, image.media.data() + line * kCacheLineSize, 8);
+        ASSERT_TRUE(v == 0 || v == line + 1);
+        survived += (v != 0);
+    }
+    EXPECT_GT(survived, 10);
+    EXPECT_LT(survived, 54);
+}
+
+TEST(PmemDeviceTracked, FenceOnlyRetiresFlushedLines)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    dev.store64(0, 11);    // dirty, never flushed
+    dev.store64(128, 22);  // dirty, flushed below
+    dev.flush(128, 8);
+    dev.fence();
+    Rng rng(6);
+    CrashImage image = dev.captureCrashImage(rng, 0.0);
+    u64 a, b;
+    std::memcpy(&a, image.media.data(), 8);
+    std::memcpy(&b, image.media.data() + 128, 8);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 22u);
+}
+
+TEST(PmemDeviceTracked, RestoreFromImageRoundTrips)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    dev.store64(64, 1234);
+    dev.persist(64, 8);
+    Rng rng(7);
+    CrashImage image = dev.captureCrashImage(rng, 0.0);
+
+    PmemDevice revived(image, PmemDevice::Mode::Tracked);
+    EXPECT_EQ(revived.size(), dev.size());
+    EXPECT_EQ(revived.load64(64), 1234u);
+    EXPECT_EQ(revived.dirtyLineCount(), 0u);
+}
+
+TEST(PmemDeviceTracked, RewriteAfterFenceNeedsNewFlush)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    dev.store64(0, 1);
+    dev.persist(0, 8);
+    dev.store64(0, 2);  // dirty again
+    Rng rng(8);
+    CrashImage image = dev.captureCrashImage(rng, 0.0);
+    u64 v;
+    std::memcpy(&v, image.media.data(), 8);
+    EXPECT_EQ(v, 1u) << "the fenced value survives, not the rewrite";
+}
+
+TEST(PmemDeviceTracked, DirtyLineCountTracksState)
+{
+    PmemDevice dev(1 << 16, PmemDevice::Mode::Tracked);
+    EXPECT_EQ(dev.dirtyLineCount(), 0u);
+    dev.store64(0, 1);
+    dev.store64(4096, 2);
+    EXPECT_EQ(dev.dirtyLineCount(), 2u);
+    dev.flush(0, 8);
+    EXPECT_EQ(dev.dirtyLineCount(), 2u);  // pending still counts
+    dev.fence();
+    EXPECT_EQ(dev.dirtyLineCount(), 1u);
+    dev.persist(4096, 8);
+    EXPECT_EQ(dev.dirtyLineCount(), 0u);
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Shared gtest entry point: latency injection is pure overhead in
+ * functional tests, so it is disabled globally here.
+ */
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    mgsp::setDelayInjectionEnabled(false);
+    return RUN_ALL_TESTS();
+}

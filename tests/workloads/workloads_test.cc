@@ -1,0 +1,165 @@
+/** @file Tests of the FIO, Mobibench and TPC-C drivers. */
+#include <gtest/gtest.h>
+
+#include "baselines/ext_fs.h"
+#include "tests/mgsp/test_util.h"
+#include "vfs/mem_fs.h"
+#include "workloads/fio.h"
+#include "workloads/mobibench.h"
+#include "workloads/tpcc.h"
+
+namespace mgsp {
+namespace {
+
+FioConfig
+quickFio()
+{
+    FioConfig cfg;
+    cfg.fileSize = 4 * MiB;
+    cfg.runtimeMillis = 100;
+    cfg.rampMillis = 10;
+    return cfg;
+}
+
+TEST(Fio, SequentialWriteProducesOps)
+{
+    MemFs fs;
+    StatusOr<FioResult> result = runFio(&fs, quickFio());
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_GT(result->ops, 100u);
+    EXPECT_EQ(result->bytes, result->ops * 4096);
+    EXPECT_GT(result->throughputMiBps(), 0.0);
+    EXPECT_GT(result->latency.count(), 0u);
+}
+
+TEST(Fio, RandomReadAfterPreallocate)
+{
+    MemFs fs;
+    FioConfig cfg = quickFio();
+    cfg.op = FioOp::Read;
+    cfg.random = true;
+    StatusOr<FioResult> result = runFio(&fs, cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_GT(result->ops, 100u);
+}
+
+TEST(Fio, MixedRespectsConfig)
+{
+    MemFs fs;
+    FioConfig cfg = quickFio();
+    cfg.op = FioOp::Mixed;
+    cfg.writeRatio = 0.3;
+    StatusOr<FioResult> result = runFio(&fs, cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_GT(result->ops, 100u);
+}
+
+TEST(Fio, MultiThreadOnOneFile)
+{
+    MemFs fs;
+    FioConfig cfg = quickFio();
+    cfg.threads = 4;
+    cfg.random = true;
+    StatusOr<FioResult> result = runFio(&fs, cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_GT(result->ops, 200u);
+}
+
+TEST(Fio, RejectsBadConfig)
+{
+    MemFs fs;
+    FioConfig cfg = quickFio();
+    cfg.blockSize = 0;
+    EXPECT_FALSE(runFio(&fs, cfg).isOk());
+    cfg = quickFio();
+    cfg.threads = 0;
+    EXPECT_FALSE(runFio(&fs, cfg).isOk());
+}
+
+TEST(Fio, RunsOnMgsp)
+{
+    MgspConfig mgsp_cfg = testutil::smallConfig();
+    mgsp_cfg.arenaSize = 64 * MiB;
+    auto device = std::make_shared<PmemDevice>(mgsp_cfg.arenaSize);
+    auto fs = MgspFs::format(device, mgsp_cfg);
+    ASSERT_TRUE(fs.isOk());
+    FioConfig cfg = quickFio();
+    cfg.random = true;
+    cfg.threads = 2;
+    StatusOr<FioResult> result = runFio(fs->get(), cfg);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_GT(result->ops, 50u);
+}
+
+TEST(Mobibench, AllOpsOnBothJournalModes)
+{
+    for (auto journal :
+         {minidb::JournalMode::Wal, minidb::JournalMode::Off}) {
+        for (auto op : {MobiOp::Insert, MobiOp::Update, MobiOp::Delete}) {
+            MemFs fs;
+            MobibenchConfig cfg;
+            cfg.op = op;
+            cfg.journal = journal;
+            cfg.transactions = 300;
+            cfg.initialRows = 500;
+            StatusOr<MobibenchResult> result = runMobibench(&fs, cfg);
+            ASSERT_TRUE(result.isOk()) << result.status().toString();
+            EXPECT_EQ(result->transactions, 300u);
+            EXPECT_GT(result->tps(), 0.0);
+        }
+    }
+}
+
+TEST(Tpcc, RunsAndConservesMoney)
+{
+    MemFs fs;
+    TpccConfig cfg;
+    cfg.transactions = 300;
+    cfg.customersPerDistrict = 30;
+    cfg.items = 200;
+    StatusOr<TpccResult> result = runTpcc(&fs, cfg);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_GT(result->newOrders, 50u);
+    EXPECT_GT(result->payments, 50u);
+    EXPECT_GT(result->tpmC(), 0.0);
+}
+
+TEST(Tpcc, OffModeOnExt4Dax)
+{
+    auto device = std::make_shared<PmemDevice>(128 * MiB);
+    Ext4Options opts;
+    opts.dax = true;
+    opts.defaultFileCapacity = 32 * MiB;
+    ExtFs fs(device, opts);
+    TpccConfig cfg;
+    cfg.journal = minidb::JournalMode::Off;
+    cfg.transactions = 200;
+    cfg.customersPerDistrict = 20;
+    cfg.items = 100;
+    StatusOr<TpccResult> result = runTpcc(&fs, cfg);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result->newOrders + result->payments +
+                  result->orderStatuses,
+              200u);
+}
+
+TEST(Tpcc, WalModeOnMgsp)
+{
+    MgspConfig mgsp_cfg = testutil::smallConfig();
+    mgsp_cfg.arenaSize = 128 * MiB;
+    mgsp_cfg.defaultFileCapacity = 32 * MiB;
+    auto device = std::make_shared<PmemDevice>(mgsp_cfg.arenaSize);
+    auto fs = MgspFs::format(device, mgsp_cfg);
+    ASSERT_TRUE(fs.isOk());
+    TpccConfig cfg;
+    cfg.transactions = 200;
+    cfg.customersPerDistrict = 20;
+    cfg.items = 100;
+    cfg.fileCapacity = 16 * MiB;
+    StatusOr<TpccResult> result = runTpcc(fs->get(), cfg);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_GT(result->totalTps(), 0.0);
+}
+
+}  // namespace
+}  // namespace mgsp
