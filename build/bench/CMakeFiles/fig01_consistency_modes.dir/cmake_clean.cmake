@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_consistency_modes.dir/fig01_consistency_modes.cc.o"
+  "CMakeFiles/fig01_consistency_modes.dir/fig01_consistency_modes.cc.o.d"
+  "fig01_consistency_modes"
+  "fig01_consistency_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_consistency_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

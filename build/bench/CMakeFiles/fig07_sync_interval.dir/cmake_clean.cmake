@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_sync_interval.dir/fig07_sync_interval.cc.o"
+  "CMakeFiles/fig07_sync_interval.dir/fig07_sync_interval.cc.o.d"
+  "fig07_sync_interval"
+  "fig07_sync_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_sync_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

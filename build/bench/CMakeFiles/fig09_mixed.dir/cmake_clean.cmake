@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mixed.dir/fig09_mixed.cc.o"
+  "CMakeFiles/fig09_mixed.dir/fig09_mixed.cc.o.d"
+  "fig09_mixed"
+  "fig09_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

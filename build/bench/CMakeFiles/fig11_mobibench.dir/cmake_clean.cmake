@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mobibench.dir/fig11_mobibench.cc.o"
+  "CMakeFiles/fig11_mobibench.dir/fig11_mobibench.cc.o.d"
+  "fig11_mobibench"
+  "fig11_mobibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mobibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

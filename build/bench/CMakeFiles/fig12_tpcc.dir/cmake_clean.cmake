@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tpcc.dir/fig12_tpcc.cc.o"
+  "CMakeFiles/fig12_tpcc.dir/fig12_tpcc.cc.o.d"
+  "fig12_tpcc"
+  "fig12_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

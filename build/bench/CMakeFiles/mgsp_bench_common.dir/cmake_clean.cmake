@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libmgsp_bench_common.a"
+  "../lib/libmgsp_bench_common.pdb"
+  "CMakeFiles/mgsp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mgsp_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

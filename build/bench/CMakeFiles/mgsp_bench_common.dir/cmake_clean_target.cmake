@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libmgsp_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_write_amplification.dir/table2_write_amplification.cc.o"
+  "CMakeFiles/table2_write_amplification.dir/table2_write_amplification.cc.o.d"
+  "table2_write_amplification"
+  "table2_write_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_bank.dir/minidb_bank.cpp.o"
+  "CMakeFiles/minidb_bank.dir/minidb_bank.cpp.o.d"
+  "minidb_bank"
+  "minidb_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_baselines.dir/ext_fs.cc.o"
+  "CMakeFiles/mgsp_baselines.dir/ext_fs.cc.o.d"
+  "CMakeFiles/mgsp_baselines.dir/nova_fs.cc.o"
+  "CMakeFiles/mgsp_baselines.dir/nova_fs.cc.o.d"
+  "CMakeFiles/mgsp_baselines.dir/nvmmio_fs.cc.o"
+  "CMakeFiles/mgsp_baselines.dir/nvmmio_fs.cc.o.d"
+  "libmgsp_baselines.a"
+  "libmgsp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

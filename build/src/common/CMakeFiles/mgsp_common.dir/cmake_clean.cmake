@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_common.dir/checksum.cc.o"
+  "CMakeFiles/mgsp_common.dir/checksum.cc.o.d"
+  "CMakeFiles/mgsp_common.dir/clock.cc.o"
+  "CMakeFiles/mgsp_common.dir/clock.cc.o.d"
+  "CMakeFiles/mgsp_common.dir/histogram.cc.o"
+  "CMakeFiles/mgsp_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mgsp_common.dir/logging.cc.o"
+  "CMakeFiles/mgsp_common.dir/logging.cc.o.d"
+  "CMakeFiles/mgsp_common.dir/random.cc.o"
+  "CMakeFiles/mgsp_common.dir/random.cc.o.d"
+  "libmgsp_common.a"
+  "libmgsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

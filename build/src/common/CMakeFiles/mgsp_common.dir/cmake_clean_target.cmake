@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgsp_common.a"
+)

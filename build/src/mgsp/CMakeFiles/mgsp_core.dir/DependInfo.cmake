@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgsp/metadata_log.cc" "src/mgsp/CMakeFiles/mgsp_core.dir/metadata_log.cc.o" "gcc" "src/mgsp/CMakeFiles/mgsp_core.dir/metadata_log.cc.o.d"
+  "/root/repo/src/mgsp/mgsp_fs.cc" "src/mgsp/CMakeFiles/mgsp_core.dir/mgsp_fs.cc.o" "gcc" "src/mgsp/CMakeFiles/mgsp_core.dir/mgsp_fs.cc.o.d"
+  "/root/repo/src/mgsp/node_table.cc" "src/mgsp/CMakeFiles/mgsp_core.dir/node_table.cc.o" "gcc" "src/mgsp/CMakeFiles/mgsp_core.dir/node_table.cc.o.d"
+  "/root/repo/src/mgsp/shadow_tree.cc" "src/mgsp/CMakeFiles/mgsp_core.dir/shadow_tree.cc.o" "gcc" "src/mgsp/CMakeFiles/mgsp_core.dir/shadow_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mgsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mgsp_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mgsp_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_core.dir/metadata_log.cc.o"
+  "CMakeFiles/mgsp_core.dir/metadata_log.cc.o.d"
+  "CMakeFiles/mgsp_core.dir/mgsp_fs.cc.o"
+  "CMakeFiles/mgsp_core.dir/mgsp_fs.cc.o.d"
+  "CMakeFiles/mgsp_core.dir/node_table.cc.o"
+  "CMakeFiles/mgsp_core.dir/node_table.cc.o.d"
+  "CMakeFiles/mgsp_core.dir/shadow_tree.cc.o"
+  "CMakeFiles/mgsp_core.dir/shadow_tree.cc.o.d"
+  "libmgsp_core.a"
+  "libmgsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/btree.cc" "src/minidb/CMakeFiles/mgsp_minidb.dir/btree.cc.o" "gcc" "src/minidb/CMakeFiles/mgsp_minidb.dir/btree.cc.o.d"
+  "/root/repo/src/minidb/db.cc" "src/minidb/CMakeFiles/mgsp_minidb.dir/db.cc.o" "gcc" "src/minidb/CMakeFiles/mgsp_minidb.dir/db.cc.o.d"
+  "/root/repo/src/minidb/pager.cc" "src/minidb/CMakeFiles/mgsp_minidb.dir/pager.cc.o" "gcc" "src/minidb/CMakeFiles/mgsp_minidb.dir/pager.cc.o.d"
+  "/root/repo/src/minidb/wal.cc" "src/minidb/CMakeFiles/mgsp_minidb.dir/wal.cc.o" "gcc" "src/minidb/CMakeFiles/mgsp_minidb.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mgsp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mgsp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgsp/CMakeFiles/mgsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mgsp_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_minidb.dir/btree.cc.o"
+  "CMakeFiles/mgsp_minidb.dir/btree.cc.o.d"
+  "CMakeFiles/mgsp_minidb.dir/db.cc.o"
+  "CMakeFiles/mgsp_minidb.dir/db.cc.o.d"
+  "CMakeFiles/mgsp_minidb.dir/pager.cc.o"
+  "CMakeFiles/mgsp_minidb.dir/pager.cc.o.d"
+  "CMakeFiles/mgsp_minidb.dir/wal.cc.o"
+  "CMakeFiles/mgsp_minidb.dir/wal.cc.o.d"
+  "libmgsp_minidb.a"
+  "libmgsp_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

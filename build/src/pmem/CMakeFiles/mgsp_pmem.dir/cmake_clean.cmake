@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_pmem.dir/pmem_device.cc.o"
+  "CMakeFiles/mgsp_pmem.dir/pmem_device.cc.o.d"
+  "CMakeFiles/mgsp_pmem.dir/pmem_pool.cc.o"
+  "CMakeFiles/mgsp_pmem.dir/pmem_pool.cc.o.d"
+  "libmgsp_pmem.a"
+  "libmgsp_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

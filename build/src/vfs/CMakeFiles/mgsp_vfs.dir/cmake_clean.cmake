@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_vfs.dir/mem_fs.cc.o"
+  "CMakeFiles/mgsp_vfs.dir/mem_fs.cc.o.d"
+  "libmgsp_vfs.a"
+  "libmgsp_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_workloads.dir/fio.cc.o"
+  "CMakeFiles/mgsp_workloads.dir/fio.cc.o.d"
+  "CMakeFiles/mgsp_workloads.dir/mobibench.cc.o"
+  "CMakeFiles/mgsp_workloads.dir/mobibench.cc.o.d"
+  "CMakeFiles/mgsp_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/mgsp_workloads.dir/tpcc.cc.o.d"
+  "libmgsp_workloads.a"
+  "libmgsp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_test_main.dir/test_main.cc.o"
+  "CMakeFiles/mgsp_test_main.dir/test_main.cc.o.d"
+  "libmgsp_test_main.a"
+  "libmgsp_test_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_test_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/backend_differential_test.cc" "tests/baselines/CMakeFiles/baselines_tests.dir/backend_differential_test.cc.o" "gcc" "tests/baselines/CMakeFiles/baselines_tests.dir/backend_differential_test.cc.o.d"
+  "/root/repo/tests/baselines/mem_fs_test.cc" "tests/baselines/CMakeFiles/baselines_tests.dir/mem_fs_test.cc.o" "gcc" "tests/baselines/CMakeFiles/baselines_tests.dir/mem_fs_test.cc.o.d"
+  "/root/repo/tests/baselines/write_amplification_test.cc" "tests/baselines/CMakeFiles/baselines_tests.dir/write_amplification_test.cc.o" "gcc" "tests/baselines/CMakeFiles/baselines_tests.dir/write_amplification_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/mgsp_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mgsp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgsp/CMakeFiles/mgsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mgsp_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mgsp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_tests.dir/backend_differential_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/backend_differential_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/mem_fs_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/mem_fs_test.cc.o.d"
+  "CMakeFiles/baselines_tests.dir/write_amplification_test.cc.o"
+  "CMakeFiles/baselines_tests.dir/write_amplification_test.cc.o.d"
+  "baselines_tests"
+  "baselines_tests.pdb"
+  "baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

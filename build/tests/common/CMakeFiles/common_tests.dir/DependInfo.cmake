@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/align_test.cc" "tests/common/CMakeFiles/common_tests.dir/align_test.cc.o" "gcc" "tests/common/CMakeFiles/common_tests.dir/align_test.cc.o.d"
+  "/root/repo/tests/common/checksum_test.cc" "tests/common/CMakeFiles/common_tests.dir/checksum_test.cc.o" "gcc" "tests/common/CMakeFiles/common_tests.dir/checksum_test.cc.o.d"
+  "/root/repo/tests/common/hash_slice_test.cc" "tests/common/CMakeFiles/common_tests.dir/hash_slice_test.cc.o" "gcc" "tests/common/CMakeFiles/common_tests.dir/hash_slice_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/common/CMakeFiles/common_tests.dir/histogram_test.cc.o" "gcc" "tests/common/CMakeFiles/common_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/common/CMakeFiles/common_tests.dir/random_test.cc.o" "gcc" "tests/common/CMakeFiles/common_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/common/spin_lock_test.cc" "tests/common/CMakeFiles/common_tests.dir/spin_lock_test.cc.o" "gcc" "tests/common/CMakeFiles/common_tests.dir/spin_lock_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/common/CMakeFiles/common_tests.dir/status_test.cc.o" "gcc" "tests/common/CMakeFiles/common_tests.dir/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/mgsp_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

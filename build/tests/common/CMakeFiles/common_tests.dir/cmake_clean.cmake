@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_tests.dir/align_test.cc.o"
+  "CMakeFiles/common_tests.dir/align_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/checksum_test.cc.o"
+  "CMakeFiles/common_tests.dir/checksum_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/hash_slice_test.cc.o"
+  "CMakeFiles/common_tests.dir/hash_slice_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/histogram_test.cc.o"
+  "CMakeFiles/common_tests.dir/histogram_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/random_test.cc.o"
+  "CMakeFiles/common_tests.dir/random_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/spin_lock_test.cc.o"
+  "CMakeFiles/common_tests.dir/spin_lock_test.cc.o.d"
+  "CMakeFiles/common_tests.dir/status_test.cc.o"
+  "CMakeFiles/common_tests.dir/status_test.cc.o.d"
+  "common_tests"
+  "common_tests.pdb"
+  "common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

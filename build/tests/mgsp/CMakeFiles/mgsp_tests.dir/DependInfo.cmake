@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mgsp/geometry_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/geometry_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/geometry_test.cc.o.d"
+  "/root/repo/tests/mgsp/metadata_log_fuzz_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/metadata_log_fuzz_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/metadata_log_fuzz_test.cc.o.d"
+  "/root/repo/tests/mgsp/metadata_log_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/metadata_log_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/metadata_log_test.cc.o.d"
+  "/root/repo/tests/mgsp/mg_lock_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mg_lock_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mg_lock_test.cc.o.d"
+  "/root/repo/tests/mgsp/mgsp_batch_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_batch_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_batch_test.cc.o.d"
+  "/root/repo/tests/mgsp/mgsp_concurrency_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_concurrency_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_concurrency_test.cc.o.d"
+  "/root/repo/tests/mgsp/mgsp_crash_ablation_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_crash_ablation_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_crash_ablation_test.cc.o.d"
+  "/root/repo/tests/mgsp/mgsp_crash_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_crash_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_crash_test.cc.o.d"
+  "/root/repo/tests/mgsp/mgsp_differential_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_differential_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_differential_test.cc.o.d"
+  "/root/repo/tests/mgsp/mgsp_fs_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_fs_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_fs_test.cc.o.d"
+  "/root/repo/tests/mgsp/mgsp_recovery_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_recovery_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/mgsp_recovery_test.cc.o.d"
+  "/root/repo/tests/mgsp/shadow_tree_test.cc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/shadow_tree_test.cc.o" "gcc" "tests/mgsp/CMakeFiles/mgsp_tests.dir/shadow_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/mgsp_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgsp/CMakeFiles/mgsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mgsp_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mgsp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgsp_tests.dir/geometry_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/geometry_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/metadata_log_fuzz_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/metadata_log_fuzz_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/metadata_log_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/metadata_log_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mg_lock_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mg_lock_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mgsp_batch_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mgsp_batch_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mgsp_concurrency_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mgsp_concurrency_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mgsp_crash_ablation_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mgsp_crash_ablation_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mgsp_crash_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mgsp_crash_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mgsp_differential_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mgsp_differential_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mgsp_fs_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mgsp_fs_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/mgsp_recovery_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/mgsp_recovery_test.cc.o.d"
+  "CMakeFiles/mgsp_tests.dir/shadow_tree_test.cc.o"
+  "CMakeFiles/mgsp_tests.dir/shadow_tree_test.cc.o.d"
+  "mgsp_tests"
+  "mgsp_tests.pdb"
+  "mgsp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgsp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minidb/btree_churn_test.cc" "tests/minidb/CMakeFiles/minidb_tests.dir/btree_churn_test.cc.o" "gcc" "tests/minidb/CMakeFiles/minidb_tests.dir/btree_churn_test.cc.o.d"
+  "/root/repo/tests/minidb/btree_test.cc" "tests/minidb/CMakeFiles/minidb_tests.dir/btree_test.cc.o" "gcc" "tests/minidb/CMakeFiles/minidb_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/minidb/db_test.cc" "tests/minidb/CMakeFiles/minidb_tests.dir/db_test.cc.o" "gcc" "tests/minidb/CMakeFiles/minidb_tests.dir/db_test.cc.o.d"
+  "/root/repo/tests/minidb/pager_wal_test.cc" "tests/minidb/CMakeFiles/minidb_tests.dir/pager_wal_test.cc.o" "gcc" "tests/minidb/CMakeFiles/minidb_tests.dir/pager_wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/mgsp_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/minidb/CMakeFiles/mgsp_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgsp/CMakeFiles/mgsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mgsp_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/mgsp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

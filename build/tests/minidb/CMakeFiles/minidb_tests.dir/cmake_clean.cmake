@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_tests.dir/btree_churn_test.cc.o"
+  "CMakeFiles/minidb_tests.dir/btree_churn_test.cc.o.d"
+  "CMakeFiles/minidb_tests.dir/btree_test.cc.o"
+  "CMakeFiles/minidb_tests.dir/btree_test.cc.o.d"
+  "CMakeFiles/minidb_tests.dir/db_test.cc.o"
+  "CMakeFiles/minidb_tests.dir/db_test.cc.o.d"
+  "CMakeFiles/minidb_tests.dir/pager_wal_test.cc.o"
+  "CMakeFiles/minidb_tests.dir/pager_wal_test.cc.o.d"
+  "minidb_tests"
+  "minidb_tests.pdb"
+  "minidb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

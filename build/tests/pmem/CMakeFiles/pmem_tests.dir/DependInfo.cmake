@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pmem/latency_model_test.cc" "tests/pmem/CMakeFiles/pmem_tests.dir/latency_model_test.cc.o" "gcc" "tests/pmem/CMakeFiles/pmem_tests.dir/latency_model_test.cc.o.d"
+  "/root/repo/tests/pmem/pmem_device_test.cc" "tests/pmem/CMakeFiles/pmem_tests.dir/pmem_device_test.cc.o" "gcc" "tests/pmem/CMakeFiles/pmem_tests.dir/pmem_device_test.cc.o.d"
+  "/root/repo/tests/pmem/pmem_pool_test.cc" "tests/pmem/CMakeFiles/pmem_tests.dir/pmem_pool_test.cc.o" "gcc" "tests/pmem/CMakeFiles/pmem_tests.dir/pmem_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/mgsp_test_main.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/mgsp_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmem_tests.dir/latency_model_test.cc.o"
+  "CMakeFiles/pmem_tests.dir/latency_model_test.cc.o.d"
+  "CMakeFiles/pmem_tests.dir/pmem_device_test.cc.o"
+  "CMakeFiles/pmem_tests.dir/pmem_device_test.cc.o.d"
+  "CMakeFiles/pmem_tests.dir/pmem_pool_test.cc.o"
+  "CMakeFiles/pmem_tests.dir/pmem_pool_test.cc.o.d"
+  "pmem_tests"
+  "pmem_tests.pdb"
+  "pmem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
