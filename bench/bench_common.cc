@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "baselines/ext_fs.h"
 #include "baselines/nova_fs.h"
 #include "baselines/nvmmio_fs.h"
 #include "common/logging.h"
+#include "common/stats.h"
 #include "mgsp/mgsp_fs.h"
 
 namespace mgsp::bench {
@@ -113,6 +115,51 @@ printRow(const std::string &label,
         std::printf("  %s=%-10.2f", name.c_str(), value);
     std::printf("[%s]\n", unit.c_str());
     std::fflush(stdout);
+}
+
+BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--stats-json=", 0) == 0) {
+            args.statsJsonPath = arg.substr(strlen("--stats-json="));
+        } else if (arg == "--stats-json" && i + 1 < argc) {
+            args.statsJsonPath = argv[++i];
+        } else {
+            MGSP_FATAL("unknown argument: %s (supported: "
+                       "--stats-json=FILE)",
+                       arg.c_str());
+        }
+    }
+    return args;
+}
+
+void
+resetStats()
+{
+    stats::resetAll();
+}
+
+void
+dumpStatsJson(const BenchArgs &args, const std::string &bench,
+              const std::string &run)
+{
+    if (args.statsJsonPath.empty())
+        return;
+    static bool truncated = false;
+    std::FILE *f =
+        std::fopen(args.statsJsonPath.c_str(), truncated ? "ae" : "we");
+    if (f == nullptr) {
+        MGSP_FATAL("cannot open %s for stats output",
+                   args.statsJsonPath.c_str());
+    }
+    truncated = true;
+    const std::string json = stats::StatsRegistry::instance().toJson();
+    std::fprintf(f, "{\"bench\":\"%s\",\"run\":\"%s\",\"stats\":%s}\n",
+                 bench.c_str(), run.c_str(), json.c_str());
+    std::fclose(f);
 }
 
 BenchScale

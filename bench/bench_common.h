@@ -61,6 +61,33 @@ struct BenchScale
 /** Reads MGSP_BENCH_FAST=1 to shrink runtimes (CI smoke mode). */
 BenchScale defaultScale();
 
+/** Common CLI flags of the bench binaries (see parseBenchArgs). */
+struct BenchArgs
+{
+    /// --stats-json=FILE (or --stats-json FILE): where to write
+    /// StatsRegistry snapshots as JSON lines; empty = don't.
+    std::string statsJsonPath;
+};
+
+/**
+ * Parses the flags every bench binary shares. Unknown arguments are
+ * fatal, so misspelled flags fail loudly instead of silently running
+ * the default configuration.
+ */
+BenchArgs parseBenchArgs(int argc, char **argv);
+
+/** Zeroes all process-wide stats counters/histograms/op rings. */
+void resetStats();
+
+/**
+ * Appends one JSON line {"bench":…,"run":…,"stats":<registry JSON>}
+ * with the current StatsRegistry snapshot to args.statsJsonPath (the
+ * first call of the process truncates the file). No-op when the flag
+ * was not given.
+ */
+void dumpStatsJson(const BenchArgs &args, const std::string &bench,
+                   const std::string &run);
+
 }  // namespace mgsp::bench
 
 #endif  // MGSP_BENCH_BENCH_COMMON_H

@@ -14,8 +14,9 @@ using namespace mgsp;
 using namespace mgsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     printHeader("Figure 1",
                 "4K write throughput under different consistency modes");
@@ -67,5 +68,6 @@ main()
                 "fast but unsafe; adding\nper-op sync collapses them; "
                 "MGSP matches or beats every synchronized mode\nwhile "
                 "giving the strongest guarantee.\n");
+    bench::dumpStatsJson(args, "fig01", "all");
     return 0;
 }

@@ -14,8 +14,9 @@ using namespace mgsp;
 using namespace mgsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     printHeader("Figure 7",
                 "4K sequential write throughput vs fsync interval");
@@ -49,5 +50,6 @@ main()
     std::printf("\nExpected shape: libnvmmio drops sharply as soon as "
                 "syncs appear (double\nwrite per sync); ext4-dax dips "
                 "mildly; MGSP is flat across all intervals.\n");
+    bench::dumpStatsJson(args, "fig07", "all");
     return 0;
 }

@@ -55,8 +55,9 @@ runPanel(const char *panel, const char *title, FioOp op, bool random,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     runPanel("a", "sequential write throughput vs granularity",
              FioOp::Write, false, scale);
@@ -72,5 +73,6 @@ main()
         "full-page CoW and libnvmmio's\nlog+checkpoint); at >=4K NOVA "
         "is closest. reads — MGSP ~ libnvmmio,\nboth ahead of "
         "ext4-dax/nova syscall paths on fine reads.\n");
+    bench::dumpStatsJson(args, "fig08", "all");
     return 0;
 }

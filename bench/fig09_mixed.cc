@@ -36,8 +36,9 @@ throughput(const std::string &name, double write_ratio,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     printHeader("Figure 9",
                 "4K mixed R/W throughput normalised to Ext4-DAX");
@@ -61,5 +62,6 @@ main()
                 "write ratios and decays\ntoward/below 1.0 as writes "
                 "grow; NOVA and MGSP hold stable factors, with\nMGSP "
                 "the highest across all ratios.\n");
+    bench::dumpStatsJson(args, "fig09", "all");
     return 0;
 }

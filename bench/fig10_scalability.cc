@@ -16,8 +16,9 @@ using namespace mgsp;
 using namespace mgsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     const u32 thread_counts[] = {1, 2, 4, 8};
     const u64 sizes[] = {1 * KiB, 4 * KiB, 16 * KiB};
@@ -62,5 +63,6 @@ main()
                 "(fine-grained MGL);\next4-dax and nova stay flat "
                 "(inode lock); libnvmmio may not scale at all\n"
                 "(front/back checkpoint conflict).\n");
+    bench::dumpStatsJson(args, "fig10", "all");
     return 0;
 }

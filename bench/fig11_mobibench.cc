@@ -13,8 +13,9 @@ using namespace mgsp;
 using namespace mgsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     const u64 txns = scale.runtimeMillis >= 300 ? 2000 : 500;
 
@@ -60,5 +61,6 @@ main()
                 "~8-33%% in WAL mode and\n~28-31%% in OFF mode, and "
                 "beats libnvmmio in both; in OFF mode only MGSP\n"
                 "(and NOVA) still give the database crash safety.\n");
+    bench::dumpStatsJson(args, "fig11", "all");
     return 0;
 }

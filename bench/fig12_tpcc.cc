@@ -12,8 +12,9 @@ using namespace mgsp;
 using namespace mgsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     const u64 txns = scale.runtimeMillis >= 300 ? 1500 : 400;
 
@@ -47,5 +48,6 @@ main()
                 "database's own durability work has moved into the "
                 "file system and MGSP\ndoes it with the fewest extra "
                 "writes and fences.\n");
+    bench::dumpStatsJson(args, "fig12", "all");
     return 0;
 }

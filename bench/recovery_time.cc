@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_common.h"
 #include "common/clock.h"
 #include "common/spin_lock.h"
 #include "common/random.h"
@@ -110,8 +111,9 @@ runOnce(u64 file_size, int ops, u64 seed)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     std::printf("\n=== Recovery time (paper §III-D: 1 GiB file "
                 "recovers in 186 ms, <1 s worst case) ===\n");
     setDelayInjectionEnabled(true);
@@ -122,5 +124,6 @@ main()
     std::printf("\nExpected shape: recovery time scales with the number "
                 "of live logs (bounded\nby file size), staying well "
                 "under a second at these scales.\n");
+    bench::dumpStatsJson(args, "recovery", "all");
     return 0;
 }

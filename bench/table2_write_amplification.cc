@@ -81,8 +81,9 @@ amplification(const std::string &engine_name, u64 block, u32 sync,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
     printHeader("Table II",
                 "amplification ratio for random writes (device bytes / "
@@ -117,5 +118,6 @@ main()
     std::printf("\nExpected shape (paper Table II): libnvmmio ~2.0 with "
                 "sync (even every 100\nops), ~1.0 without sync; MGSP "
                 "~1.0 *with* per-operation atomicity.\n");
+    bench::dumpStatsJson(args, "table2", "all");
     return 0;
 }

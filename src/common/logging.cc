@@ -1,13 +1,20 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/clock.h"
+#include "common/stats.h"
 
 namespace mgsp {
 namespace {
 
 std::atomic<LogLevel> gLevel{LogLevel::Warn};
+
+std::atomic<void (*)()> gPanicHooks[8] = {};
+std::atomic<bool> gInPanic{false};
 
 const char *
 levelName(LogLevel level)
@@ -21,13 +28,46 @@ levelName(LogLevel level)
     return "?";
 }
 
+/**
+ * Formats the whole record into one buffer and emits it with a
+ * single fwrite, so records from concurrent threads never interleave
+ * mid-line (stderr is unbuffered: one fwrite = one write syscall).
+ * The prefix carries a monotonic timestamp and the thread id so
+ * concurrent traces can be ordered and attributed.
+ */
 void
 vlog(const char *tag, const char *file, int line, const char *fmt,
      va_list args)
 {
-    std::fprintf(stderr, "[%s %s:%d] ", tag, file, line);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    const u64 now = monotonicNanos();
+    char buf[2048];
+    int n = std::snprintf(buf, sizeof(buf), "[%llu.%06llu t%u %s %s:%d] ",
+                          static_cast<unsigned long long>(now / 1000000000),
+                          static_cast<unsigned long long>(now % 1000000000) /
+                              1000,
+                          stats::currentThreadId(), tag, file, line);
+    if (n < 0)
+        n = 0;
+    if (n < static_cast<int>(sizeof(buf)) - 1) {
+        const int m = std::vsnprintf(buf + n, sizeof(buf) - n - 1, fmt,
+                                     args);
+        if (m > 0)
+            n += std::min(m, static_cast<int>(sizeof(buf)) - n - 1);
+    }
+    buf[n++] = '\n';
+    std::fwrite(buf, 1, static_cast<std::size_t>(n), stderr);
+}
+
+void
+runPanicHooks()
+{
+    if (gInPanic.exchange(true, std::memory_order_acq_rel))
+        return;  // a hook panicked; don't recurse
+    for (std::atomic<void (*)()> &slot : gPanicHooks) {
+        void (*hook)() = slot.load(std::memory_order_acquire);
+        if (hook != nullptr)
+            hook();
+    }
 }
 
 }  // namespace
@@ -42,6 +82,19 @@ LogLevel
 logLevel()
 {
     return gLevel.load(std::memory_order_relaxed);
+}
+
+void
+addPanicHook(void (*hook)())
+{
+    for (std::atomic<void (*)()> &slot : gPanicHooks) {
+        void (*expected)() = nullptr;
+        if (slot.load(std::memory_order_acquire) == hook)
+            return;  // already registered
+        if (slot.compare_exchange_strong(expected, hook,
+                                         std::memory_order_acq_rel))
+            return;
+    }
 }
 
 void
@@ -72,6 +125,7 @@ panicError(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     vlog("PANIC", file, line, fmt, args);
     va_end(args);
+    runPanicHooks();
     std::abort();
 }
 

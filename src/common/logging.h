@@ -32,6 +32,16 @@ void logMessage(LogLevel level, const char *file, int line, const char *fmt,
 [[noreturn]] void panicError(const char *file, int line, const char *fmt,
                              ...) __attribute__((format(printf, 3, 4)));
 
+/**
+ * Registers @p hook to run inside panicError() after the message is
+ * printed and before abort() — e.g. to dump diagnostic state (the
+ * stats op ring registers itself here). Hooks must be async-crash
+ * tolerant: take no locks, touch only their own data. At most 8
+ * hooks; extras are ignored. A hook that panics recursively is not
+ * re-entered.
+ */
+void addPanicHook(void (*hook)());
+
 #define MGSP_LOG(level, ...)                                                 \
     ::mgsp::logMessage((level), __FILE__, __LINE__, __VA_ARGS__)
 #define MGSP_DEBUG(...) MGSP_LOG(::mgsp::LogLevel::Debug, __VA_ARGS__)

@@ -1,0 +1,589 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/spin_lock.h"
+
+namespace mgsp {
+namespace stats {
+
+namespace {
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> flag{[] {
+        if (!kCompiledIn)
+            return false;
+        const char *env = std::getenv("MGSP_STATS");
+        return !(env != nullptr && env[0] == '0');
+    }()};
+    return flag;
+}
+
+/** Escapes the few JSON-hostile characters a stat name could hold. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+appendHistogramJson(std::string *out, const Histogram &h)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"count\":%llu,\"mean\":%.1f,\"min\":%llu,\"p50\":%llu,"
+        "\"p90\":%llu,\"p99\":%llu,\"max\":%llu}",
+        static_cast<unsigned long long>(h.count()), h.mean(),
+        static_cast<unsigned long long>(h.min()),
+        static_cast<unsigned long long>(h.percentile(0.50)),
+        static_cast<unsigned long long>(h.percentile(0.90)),
+        static_cast<unsigned long long>(h.percentile(0.99)),
+        static_cast<unsigned long long>(h.max()));
+    *out += buf;
+}
+
+}  // namespace
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::None: return "none";
+      case Stage::Claim: return "claim";
+      case Stage::Lock: return "lock";
+      case Stage::DataWrite: return "data_write";
+      case Stage::CommitFence: return "commit_fence";
+      case Stage::BitmapApply: return "bitmap_apply";
+      case Stage::Read: return "read";
+      case Stage::Recovery: return "recovery";
+      case Stage::WriteBack: return "writeback";
+      case Stage::kCount: break;
+    }
+    return "?";
+}
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Write: return "write";
+      case OpType::Append: return "append";
+      case OpType::Batch: return "batch";
+      case OpType::Read: return "read";
+      case OpType::Truncate: return "truncate";
+      case OpType::Recovery: return "recovery";
+      case OpType::kCount: break;
+    }
+    return "?";
+}
+
+bool
+enabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    enabledFlag().store(kCompiledIn && on, std::memory_order_relaxed);
+}
+
+u32
+currentThreadId()
+{
+    static std::atomic<u32> next{1};
+    thread_local u32 id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+// ---- Counter ----------------------------------------------------
+
+u64
+Counter::value() const
+{
+    u64 total = 0;
+    for (const Shard &s : shards_)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (Shard &s : shards_)
+        s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- ShardedHistogram -------------------------------------------
+
+namespace {
+
+u64
+nextHistogramId()
+{
+    static std::atomic<u64> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ShardedHistogram::ShardedHistogram() : id_(nextHistogramId()) {}
+
+ShardedHistogram::~ShardedHistogram()
+{
+    Shard *s = shards_.load(std::memory_order_acquire);
+    while (s != nullptr) {
+        Shard *next = s->next;
+        delete s;
+        s = next;
+    }
+}
+
+ShardedHistogram::Shard *
+ShardedHistogram::shardForCurrentThread()
+{
+    // Keyed by the histogram's process-unique id, not its address, so
+    // a stale entry for a destroyed histogram can never alias a new
+    // one. Stale entries are never looked up again (ids not reused).
+    thread_local std::unordered_map<u64, Shard *> tls_shards;
+    auto it = tls_shards.find(id_);
+    if (it != tls_shards.end())
+        return it->second;
+    auto *shard = new Shard;
+    shard->next = shards_.load(std::memory_order_relaxed);
+    while (!shards_.compare_exchange_weak(shard->next, shard,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed))
+        ;
+    tls_shards.emplace(id_, shard);
+    return shard;
+}
+
+void
+ShardedHistogram::record(u64 value)
+{
+    Shard *s = shardForCurrentThread();
+    // Seqlock write: the shard is thread-private, so the only
+    // concurrency is with snapshot() readers, which retry on an odd
+    // or changed sequence. (Stores are not reordered on x86; on
+    // weaker targets a torn read costs at most one discarded sample
+    // — diagnostics-grade accuracy.)
+    const u64 q = s->seq.load(std::memory_order_relaxed);
+    s->seq.store(q + 1, std::memory_order_relaxed);
+    s->hist.record(value);
+    s->seq.store(q + 2, std::memory_order_release);
+}
+
+Histogram
+ShardedHistogram::snapshot() const
+{
+    Histogram merged;
+    for (Shard *s = shards_.load(std::memory_order_acquire); s != nullptr;
+         s = s->next) {
+        Histogram copy;
+        bool clean = false;
+        for (int attempt = 0; attempt < 64 && !clean; ++attempt) {
+            const u64 q = s->seq.load(std::memory_order_acquire);
+            if (q & 1) {
+                cpuRelax();
+                continue;
+            }
+            copy = s->hist;
+            std::atomic_thread_fence(std::memory_order_acquire);
+            clean = s->seq.load(std::memory_order_relaxed) == q;
+        }
+        merged.merge(copy);  // after 64 tries: best effort
+    }
+    return merged;
+}
+
+void
+ShardedHistogram::reset()
+{
+    for (Shard *s = shards_.load(std::memory_order_acquire); s != nullptr;
+         s = s->next) {
+        const u64 q = s->seq.load(std::memory_order_relaxed);
+        s->seq.store(q + 1, std::memory_order_relaxed);
+        s->hist = Histogram();
+        s->seq.store(q + 2, std::memory_order_release);
+    }
+}
+
+// ---- StatsRegistry ----------------------------------------------
+
+StatsRegistry &
+StatsRegistry::instance()
+{
+    // Leaked: counters/histograms handed out must outlive every
+    // thread, including detached ones running at exit.
+    static StatsRegistry *registry = [] {
+        addPanicHook([] { dumpOpRings(stderr); });
+        return new StatsRegistry;
+    }();
+    return *registry;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+ShardedHistogram &
+StatsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<ShardedHistogram>();
+    return *slot;
+}
+
+void
+StatsRegistry::reset()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+std::string
+StatsRegistry::toText() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::string out;
+    char buf[64];
+    for (const auto &[name, counter] : counters_) {
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      static_cast<unsigned long long>(counter->value()));
+        out += name;
+        out += buf;
+    }
+    for (const auto &[name, histogram] : histograms_) {
+        out += name;
+        out += " ";
+        out += histogram->snapshot().summary();
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+StatsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::string out = "{\"counters\":{";
+    char buf[64];
+    bool first = true;
+    for (const auto &[name, counter] : counters_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(counter->value()));
+        out += buf;
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, histogram] : histograms_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":";
+        appendHistogramJson(&out, histogram->snapshot());
+    }
+    out += "}}";
+    return out;
+}
+
+// ---- stage/op cell tables ---------------------------------------
+
+namespace {
+
+/** Cached registry pointers for one stage's hot-path counters. */
+struct StageCells
+{
+    Counter *ops = nullptr;
+    Counter *nanos = nullptr;
+    Counter *bytesWritten = nullptr;
+    Counter *bytesFlushed = nullptr;
+    Counter *flushedLines = nullptr;
+    Counter *fences = nullptr;
+    ShardedHistogram *latency = nullptr;
+};
+
+StageCells &
+stageCells(Stage s)
+{
+    static StageCells cells[kStageCount];
+    static std::once_flag once;
+    std::call_once(once, [] {
+        StatsRegistry &r = StatsRegistry::instance();
+        for (u32 i = 1; i < kStageCount; ++i) {  // skip None
+            const std::string p =
+                std::string("stage.") + stageName(static_cast<Stage>(i)) +
+                ".";
+            cells[i].ops = &r.counter(p + "ops");
+            cells[i].nanos = &r.counter(p + "nanos");
+            cells[i].bytesWritten = &r.counter(p + "bytes_written");
+            cells[i].bytesFlushed = &r.counter(p + "bytes_flushed");
+            cells[i].flushedLines = &r.counter(p + "flushed_lines");
+            cells[i].fences = &r.counter(p + "fences");
+            cells[i].latency = &r.histogram(p + "latency_ns");
+        }
+    });
+    return cells[static_cast<u32>(s)];
+}
+
+ShardedHistogram &
+opLatency(OpType t)
+{
+    static ShardedHistogram *hists[static_cast<u32>(OpType::kCount)];
+    static std::once_flag once;
+    std::call_once(once, [] {
+        StatsRegistry &r = StatsRegistry::instance();
+        for (u32 i = 0; i < static_cast<u32>(OpType::kCount); ++i) {
+            hists[i] = &r.histogram(
+                std::string("op.") + opTypeName(static_cast<OpType>(i)) +
+                ".latency_ns");
+        }
+    });
+    return *hists[static_cast<u32>(t)];
+}
+
+}  // namespace
+
+StageSummary
+stageSummary(Stage s)
+{
+    StageSummary out;
+    if (s == Stage::None || s == Stage::kCount)
+        return out;
+    const StageCells &c = stageCells(s);
+    out.ops = c.ops->value();
+    out.nanosTotal = c.nanos->value();
+    out.bytesWritten = c.bytesWritten->value();
+    out.bytesFlushed = c.bytesFlushed->value();
+    out.flushedLines = c.flushedLines->value();
+    out.fences = c.fences->value();
+    out.latency = c.latency->snapshot();
+    return out;
+}
+
+// ---- stage attribution ------------------------------------------
+
+namespace detail {
+
+#ifndef MGSP_STATS_DISABLED
+thread_local Stage tlsStage = Stage::None;
+#endif
+
+void
+chargeWritten(Stage s, u64 bytes)
+{
+    stageCells(s).bytesWritten->add(bytes);
+}
+
+void
+chargeFlushed(Stage s, u64 bytes, u64 lines)
+{
+    StageCells &c = stageCells(s);
+    c.bytesFlushed->add(bytes);
+    c.flushedLines->add(lines);
+}
+
+void
+chargeFence(Stage s)
+{
+    stageCells(s).fences->add(1);
+}
+
+}  // namespace detail
+
+// ---- operation trace ring ---------------------------------------
+
+namespace {
+
+struct ThreadRing
+{
+    u32 threadId = 0;
+    std::atomic<u64> head{0};  ///< total records ever pushed
+    OpRecord records[kOpRingCapacity];
+    ThreadRing *next = nullptr;
+};
+
+std::atomic<ThreadRing *> gRings{nullptr};
+
+ThreadRing *
+ringForCurrentThread()
+{
+    // Leaked and left on the global list after thread exit so a
+    // panic dump still shows the thread's last operations.
+    thread_local ThreadRing *ring = [] {
+        auto *r = new ThreadRing;
+        r->threadId = currentThreadId();
+        r->next = gRings.load(std::memory_order_relaxed);
+        while (!gRings.compare_exchange_weak(r->next, r,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed))
+            ;
+        StatsRegistry::instance();  // installs the panic dump hook
+        return r;
+    }();
+    return ring;
+}
+
+}  // namespace
+
+void
+pushOpRecord(const OpRecord &rec)
+{
+    ThreadRing *ring = ringForCurrentThread();
+    const u64 head = ring->head.load(std::memory_order_relaxed);
+    ring->records[head & (kOpRingCapacity - 1)] = rec;
+    ring->head.store(head + 1, std::memory_order_release);
+}
+
+void
+dumpOpRings(std::FILE *out)
+{
+    std::fprintf(out,
+                 "---- recent operations (newest first per thread) ----\n");
+    for (ThreadRing *ring = gRings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next) {
+        const u64 head = ring->head.load(std::memory_order_acquire);
+        const u64 n = std::min<u64>(head, kOpRingCapacity);
+        if (n == 0)
+            continue;
+        std::fprintf(out, "thread %u (%llu ops total):\n", ring->threadId,
+                     static_cast<unsigned long long>(head));
+        for (u64 i = 0; i < n; ++i) {
+            const OpRecord &rec =
+                ring->records[(head - 1 - i) & (kOpRingCapacity - 1)];
+            std::fprintf(
+                out,
+                "  #%llu %-8s off=%llu len=%llu slots=%u gran=%c%c%c%c%s",
+                static_cast<unsigned long long>(rec.seq),
+                opTypeName(rec.op),
+                static_cast<unsigned long long>(rec.offset),
+                static_cast<unsigned long long>(rec.length), rec.slots,
+                (rec.granMask & kGranCoarse) ? 'C' : '-',
+                (rec.granMask & kGranLeaf) ? 'L' : '-',
+                (rec.granMask & kGranFine) ? 'F' : '-',
+                (rec.granMask & kGranInPlace) ? 'P' : '-',
+                rec.ok ? "" : " FAILED");
+            for (u32 st = 1; st < kStageCount; ++st) {
+                if (rec.stageNanos[st] != 0)
+                    std::fprintf(out, " %s=%uns",
+                                 stageName(static_cast<Stage>(st)),
+                                 rec.stageNanos[st]);
+            }
+            std::fputc('\n', out);
+        }
+    }
+    std::fprintf(out, "-----------------------------------------------------\n");
+}
+
+u64
+opRingSize()
+{
+    u64 total = 0;
+    for (ThreadRing *ring = gRings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next)
+        total += std::min<u64>(ring->head.load(std::memory_order_acquire),
+                               kOpRingCapacity);
+    return total;
+}
+
+void
+resetAll()
+{
+    StatsRegistry::instance().reset();
+    for (ThreadRing *ring = gRings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next)
+        ring->head.store(0, std::memory_order_relaxed);
+}
+
+// ---- OpTrace ----------------------------------------------------
+
+namespace {
+std::atomic<u64> gOpSeq{1};
+}  // namespace
+
+OpTrace::OpTrace(OpType op, u64 offset, u64 length, bool on)
+    : on_(kCompiledIn && on)
+{
+    if (!on_)
+        return;
+    rec_.op = op;
+    rec_.offset = offset;
+    rec_.length = length;
+    rec_.threadId = currentThreadId();
+    rec_.seq = gOpSeq.fetch_add(1, std::memory_order_relaxed);
+    rec_.startNanos = monotonicNanos();
+    stageStart_ = rec_.startNanos;
+}
+
+void
+OpTrace::stage(Stage s)
+{
+    if (!on_)
+        return;
+    const u64 now = monotonicNanos();
+    if (cur_ != Stage::None) {
+        const u64 delta = now - stageStart_;
+        rec_.stageNanos[static_cast<u32>(cur_)] += static_cast<u32>(
+            std::min<u64>(delta, ~u32{0}));
+        StageCells &cells = stageCells(cur_);
+        cells.ops->add(1);
+        cells.nanos->add(delta);
+        cells.latency->record(delta);
+    }
+    cur_ = s;
+    stageStart_ = now;
+#ifndef MGSP_STATS_DISABLED
+    detail::tlsStage = s;
+#endif
+}
+
+void
+OpTrace::abandon()
+{
+    abandoned_ = true;
+}
+
+OpTrace::~OpTrace()
+{
+    if (!on_)
+        return;
+    stage(Stage::None);  // close the open stage, clear attribution
+    if (abandoned_)
+        return;
+    opLatency(rec_.op).record(monotonicNanos() - rec_.startNanos);
+    pushOpRecord(rec_);
+}
+
+}  // namespace stats
+}  // namespace mgsp

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Process-wide observability: named lock-free counters, per-thread
+ * sharded latency histograms, write-path stage attribution and a
+ * per-thread ring of recent operation traces.
+ *
+ * The paper's evaluation (Fig. 13, Table II) argues from *per-stage*
+ * cost accounting — where each write's nanoseconds and NVM bytes go:
+ * metadata-log claim, MGL locking, shadow-log data write, commit
+ * fence, bitmap apply. This module is the measurement backbone for
+ * that attribution:
+ *
+ *  - StatsRegistry: named Counter / ShardedHistogram instances.
+ *    Counters are cacheline-sharded atomics; histograms keep one
+ *    shard per thread written under a seqlock, so the record path
+ *    never takes a lock and readers merge shards on demand.
+ *  - Stage attribution: an OpTrace on the MGSP write path publishes
+ *    the current Stage in a thread-local; PmemDevice charges every
+ *    byte written/flushed and every fence to that stage, yielding
+ *    per-layer write amplification instead of one grand total.
+ *  - Op ring: each traced operation leaves a fixed-size trace record
+ *    (op type, offset, length, per-stage nanos, slots, granularity)
+ *    in a per-thread ring buffer. panicError() dumps the rings, so a
+ *    crash report shows the operations leading up to the bug.
+ *
+ * Cost control: `MGSP_STATS=0` (env) or MgspConfig::enableStats=false
+ * reduces the whole module to one thread-local load per device write;
+ * compiling with -DMGSP_STATS_DISABLED removes even that.
+ */
+#ifndef MGSP_COMMON_STATS_H
+#define MGSP_COMMON_STATS_H
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace mgsp {
+namespace stats {
+
+/**
+ * The write-path stage taxonomy (paper §III-D; DESIGN.md
+ * "Observability"). Read/Recovery/WriteBack cover the non-write
+ * entry points so every device byte is attributable.
+ */
+enum class Stage : u8 {
+    None = 0,     ///< no traced operation in flight on this thread
+    Claim,        ///< metadata-log entry claim (hash + CAS + probing)
+    Lock,         ///< file lock / greedy covering lock / MGL descent
+    DataWrite,    ///< shadow-tree traversal + shadow-log data write
+    CommitFence,  ///< data fence + metadata-entry publish (commit)
+    BitmapApply,  ///< bitmap-word apply, size persist, entry retire
+    Read,         ///< read path (tree descent + copy-out)
+    Recovery,     ///< mount-time metadata-log replay + rebuild
+    WriteBack,    ///< close/truncate log write-back (checkpoint)
+    kCount
+};
+
+inline constexpr u32 kStageCount = static_cast<u32>(Stage::kCount);
+
+/** Stable lowercase stage name ("claim", "lock", ...). */
+const char *stageName(Stage s);
+
+/** Operation types recorded in the trace ring. */
+enum class OpType : u8 {
+    Write = 0,  ///< shadow-log write (doAtomicChunk slow path)
+    Append,     ///< beyond-EOF in-place fast path
+    Batch,      ///< writeBatch (transaction-level atomicity)
+    Read,
+    Truncate,
+    Recovery,
+    kCount
+};
+
+/** Stable lowercase op-type name ("write", "append", ...). */
+const char *opTypeName(OpType t);
+
+/** Granularity bits observed while staging one write. */
+inline constexpr u8 kGranCoarse = 1;  ///< interior-node (coarse) log
+inline constexpr u8 kGranLeaf = 2;    ///< leaf-block log
+inline constexpr u8 kGranFine = 4;    ///< sub-block fine-grained units
+inline constexpr u8 kGranInPlace = 8; ///< home extent (append/no log)
+
+#ifndef MGSP_STATS_DISABLED
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/**
+ * Global runtime switch. Initialised once from the environment
+ * (`MGSP_STATS=0` disables) and overridable via setEnabled().
+ * Disabling does not clear already-recorded data.
+ */
+bool enabled();
+void setEnabled(bool on);
+
+/** Small dense id for the calling thread (1, 2, 3, ... in first-use order). */
+u32 currentThreadId();
+
+/**
+ * A named monotonic counter. add() is wait-free: threads update one
+ * of kShards cacheline-padded atomics chosen by thread id, so the
+ * hot path never bounces a shared line between writers.
+ */
+class Counter
+{
+  public:
+    void
+    add(u64 n)
+    {
+        shards_[shardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    u64 value() const;
+
+    /** Not linearisable against concurrent add(); callers quiesce. */
+    void reset();
+
+  private:
+    static constexpr u32 kShards = 16;
+    struct alignas(64) Shard
+    {
+        std::atomic<u64> v{0};
+    };
+
+    static u32
+    shardIndex()
+    {
+        return currentThreadId() & (kShards - 1);
+    }
+
+    Shard shards_[kShards];
+};
+
+/**
+ * A histogram with one private shard per writing thread. record()
+ * touches only the calling thread's shard under a seqlock (two
+ * relaxed/release stores around plain writes — no lock, no RMW on
+ * shared state). snapshot() merges all shards, retrying any shard a
+ * writer is mid-update on.
+ *
+ * Reader copies race with the owning thread's plain stores by
+ * design; the sequence check discards torn copies on x86 (stores are
+ * not reordered) and bounds the error to one sample elsewhere —
+ * acceptable for diagnostics.
+ */
+class ShardedHistogram
+{
+  public:
+    ShardedHistogram();
+    ~ShardedHistogram();
+
+    ShardedHistogram(const ShardedHistogram &) = delete;
+    ShardedHistogram &operator=(const ShardedHistogram &) = delete;
+
+    /** Records @p value into the calling thread's shard. */
+    void record(u64 value);
+
+    /** Merged view of every thread's samples. */
+    Histogram snapshot() const;
+
+    /** Not linearisable against concurrent record(); callers quiesce. */
+    void reset();
+
+  private:
+    struct Shard
+    {
+        std::atomic<u64> seq{0};
+        Histogram hist;
+        Shard *next = nullptr;
+    };
+
+    Shard *shardForCurrentThread();
+
+    const u64 id_;                       ///< unique across the process
+    std::atomic<Shard *> shards_{nullptr};
+};
+
+/**
+ * The process-wide registry of named stats. Lookup takes a mutex
+ * (cold path — callers cache the returned pointers); the returned
+ * objects live until process exit and their update paths are
+ * lock-free as above.
+ */
+class StatsRegistry
+{
+  public:
+    static StatsRegistry &instance();
+
+    /** Get-or-create; the pointer is valid for the process lifetime. */
+    Counter &counter(const std::string &name);
+    ShardedHistogram &histogram(const std::string &name);
+
+    /** Zeroes every counter and histogram (bench reuse; quiesced). */
+    void reset();
+
+    /**
+     * All counters plus histogram summaries, one per line:
+     * `name value` / `name n=.. mean=.. p50=.. p99=.. max=..`.
+     */
+    std::string toText() const;
+
+    /**
+     * `{"counters": {name: value, ...}, "histograms": {name:
+     * {"count","mean","min","p50","p90","p99","max"}, ...}}`.
+     */
+    std::string toJson() const;
+
+  private:
+    StatsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+};
+
+/** Merged summary of one stage, for reports and benches. */
+struct StageSummary
+{
+    u64 ops = 0;          ///< stage executions
+    u64 nanosTotal = 0;   ///< total time spent in the stage
+    u64 bytesWritten = 0; ///< device bytes stored while in the stage
+    u64 bytesFlushed = 0;
+    u64 flushedLines = 0;
+    u64 fences = 0;
+    Histogram latency;    ///< per-execution stage nanos
+};
+
+/** Snapshot of stage @p s from the registry's stage counters. */
+StageSummary stageSummary(Stage s);
+
+/** Resets the registry plus the op rings' contents (quiesced). */
+void resetAll();
+
+// ---- stage attribution (called by PmemDevice) -------------------
+
+namespace detail {
+#ifndef MGSP_STATS_DISABLED
+extern thread_local Stage tlsStage;
+#endif
+void chargeWritten(Stage s, u64 bytes);
+void chargeFlushed(Stage s, u64 bytes, u64 lines);
+void chargeFence(Stage s);
+}  // namespace detail
+
+/** Current thread's attributed stage (None outside traced ops). */
+inline Stage
+currentStage()
+{
+#ifndef MGSP_STATS_DISABLED
+    return detail::tlsStage;
+#else
+    return Stage::None;
+#endif
+}
+
+/** Attribute @p bytes stored to the in-flight stage, if any. */
+inline void
+chargeBytesWritten(u64 bytes)
+{
+#ifndef MGSP_STATS_DISABLED
+    if (detail::tlsStage != Stage::None)
+        detail::chargeWritten(detail::tlsStage, bytes);
+#else
+    (void)bytes;
+#endif
+}
+
+inline void
+chargeBytesFlushed(u64 bytes, u64 lines)
+{
+#ifndef MGSP_STATS_DISABLED
+    if (detail::tlsStage != Stage::None)
+        detail::chargeFlushed(detail::tlsStage, bytes, lines);
+#else
+    (void)bytes;
+    (void)lines;
+#endif
+}
+
+inline void
+chargeFence()
+{
+#ifndef MGSP_STATS_DISABLED
+    if (detail::tlsStage != Stage::None)
+        detail::chargeFence(detail::tlsStage);
+#endif
+}
+
+// ---- operation trace ring ---------------------------------------
+
+/** One recent operation; fixed size so the ring is a flat array. */
+struct OpRecord
+{
+    u64 seq = 0;         ///< global operation sequence number
+    u64 startNanos = 0;  ///< monotonicNanos() at trace start
+    u64 offset = 0;
+    u64 length = 0;
+    u32 stageNanos[kStageCount] = {};  ///< per-stage elapsed (truncated)
+    u32 threadId = 0;
+    u16 slots = 0;       ///< metadata-log bitmap slots staged
+    u8 granMask = 0;     ///< kGran* bits touched
+    OpType op = OpType::Write;
+    bool ok = true;      ///< false when the op returned an error
+};
+
+/** Ring capacity per thread (power of two). */
+inline constexpr u32 kOpRingCapacity = 256;
+
+/**
+ * Appends @p rec to the calling thread's ring (lock-free; the ring
+ * is thread-private, the global thread list is a lock-free stack).
+ */
+void pushOpRecord(const OpRecord &rec);
+
+/**
+ * Dumps every thread's recent operations to @p out, newest first per
+ * thread. Safe to call from a panic handler: takes no locks and
+ * tolerates concurrent writers (their newest slot may read torn).
+ */
+void dumpOpRings(std::FILE *out);
+
+/** Number of records currently retained across all rings. */
+u64 opRingSize();
+
+/**
+ * RAII tracer for one operation. Construction snapshots the clock;
+ * stage() closes the previous stage (charging its nanos to the stage
+ * histogram/counters) and opens the next, also publishing it for
+ * device-byte attribution; destruction closes the trace and pushes
+ * the OpRecord into the thread's ring.
+ *
+ * Constructed with on=false (stats disabled) every method is a
+ * branch on one bool — no clock reads, no TLS publication.
+ */
+class OpTrace
+{
+  public:
+    OpTrace(OpType op, u64 offset, u64 length, bool on);
+    ~OpTrace();
+
+    OpTrace(const OpTrace &) = delete;
+    OpTrace &operator=(const OpTrace &) = delete;
+
+    bool on() const { return on_; }
+
+    /** Transition to @p s, closing the currently open stage. */
+    void stage(Stage s);
+
+    /** Close the open stage without opening another. */
+    void endStage() { stage(Stage::None); }
+
+    void
+    setSlots(u32 n)
+    {
+        if (on_)
+            rec_.slots = static_cast<u16>(n);
+    }
+
+    void
+    orGranMask(u8 mask)
+    {
+        if (on_)
+            rec_.granMask |= mask;
+    }
+
+    void
+    setFailed()
+    {
+        if (on_)
+            rec_.ok = false;
+    }
+
+    /** Re-label the op (e.g. Append downgraded to Write on a race). */
+    void
+    setOp(OpType op)
+    {
+        if (on_)
+            rec_.op = op;
+    }
+
+    /** Drop the trace: close stages but push no ring record. */
+    void abandon();
+
+  private:
+    OpRecord rec_{};
+    u64 stageStart_ = 0;
+    Stage cur_ = Stage::None;
+    bool on_ = false;
+    bool abandoned_ = false;
+};
+
+}  // namespace stats
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_STATS_H

@@ -81,6 +81,13 @@ struct MgspConfig
     /** Flush only 64 B of a metadata-log entry when <=3 slots used. */
     bool enablePartialMetaFlush = true;
 
+    /**
+     * Per-stage write-path tracing and NVM byte attribution (see
+     * common/stats.h). Also gated globally by env MGSP_STATS=0 and
+     * the MGSP_STATS_DISABLED compile-out macro.
+     */
+    bool enableStats = true;
+
     LatencyModel latency{};
 
     /** Finest shadow-log granularity in bytes. */

@@ -35,6 +35,9 @@ struct StagedMetadata
     u64 newFileSize = 0;
     u16 flags = 0;
     u32 usedSlots = 0;
+    /// Observability only (never persisted): which log granularities
+    /// the staging pass touched — stats::kGran* bits.
+    u8 granMask = 0;
     MetaLogEntry::Slot slots[MetaLogEntry::kMaxSlots];
 
     /** Appends a bitmap-slot change; caller must respect kMaxSlots. */

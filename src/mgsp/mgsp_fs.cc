@@ -55,7 +55,8 @@ class MgspFile : public File
 };
 
 MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
-    : device_(std::move(device)), config_(config)
+    : device_(std::move(device)), config_(config),
+      statsOn_(config.enableStats && stats::enabled())
 {
 }
 
@@ -177,6 +178,8 @@ Status
 MgspFs::runRecovery()
 {
     Stopwatch timer;
+    stats::OpTrace trace(stats::OpType::Recovery, 0, 0, statsOn_);
+    trace.stage(stats::Stage::Recovery);
 
     // 1. Redo committed-but-unfinished operations from the metadata
     //    log (idempotent: slots store absolute bitmap words).
@@ -470,6 +473,194 @@ MgspFs::treeStatsFor(const std::string &path)
     return it == openInodes_.end() ? nullptr : &it->second->tree->stats();
 }
 
+MgspStatsReport
+MgspFs::statsReport() const
+{
+    // Aggregate the volatile per-file tree counters.
+    u64 coarse = 0, leafw = 0, fine = 0, mt_hits = 0, mt_misses = 0;
+    {
+        std::lock_guard<std::mutex> guard(tableMutex_);
+        for (const auto &[path, inode] : openInodes_) {
+            const TreeStats &t = inode->tree->stats();
+            coarse += t.coarseLogWrites.load(std::memory_order_relaxed);
+            leafw += t.leafLogWrites.load(std::memory_order_relaxed);
+            fine += t.fineSubWrites.load(std::memory_order_relaxed);
+            mt_hits += t.minTreeHits.load(std::memory_order_relaxed);
+            mt_misses += t.minTreeMisses.load(std::memory_order_relaxed);
+        }
+    }
+    const PmemStats &dev = device_->stats();
+    const u64 dev_written = dev.bytesWritten.load(std::memory_order_relaxed);
+    const u64 dev_flushed = dev.bytesFlushed.load(std::memory_order_relaxed);
+    const u64 dev_lines = dev.flushedLines.load(std::memory_order_relaxed);
+    const u64 dev_fences = dev.fences.load(std::memory_order_relaxed);
+    const u64 logical = logicalBytes_.load(std::memory_order_relaxed);
+    const double total_amp =
+        logical ? static_cast<double>(dev_written) / logical : 0.0;
+
+    static constexpr stats::Stage kStages[] = {
+        stats::Stage::Claim,       stats::Stage::Lock,
+        stats::Stage::DataWrite,   stats::Stage::CommitFence,
+        stats::Stage::BitmapApply, stats::Stage::Read,
+        stats::Stage::Recovery,    stats::Stage::WriteBack,
+    };
+    static constexpr stats::OpType kOps[] = {
+        stats::OpType::Write,    stats::OpType::Append,
+        stats::OpType::Batch,    stats::OpType::Read,
+        stats::OpType::Truncate, stats::OpType::Recovery,
+    };
+
+    MgspStatsReport report;
+    char buf[512];
+
+    // ---- human-readable text ------------------------------------
+    std::string &text = report.text;
+    std::snprintf(buf, sizeof(buf),
+                  "MGSP stats report (tracing %s)\n"
+                  "logical bytes written: %llu\n"
+                  "device: written=%llu flushed=%llu lines=%llu "
+                  "fences=%llu  total write-amp=%.2f\n",
+                  statsOn_ ? "on" : "off",
+                  static_cast<unsigned long long>(logical),
+                  static_cast<unsigned long long>(dev_written),
+                  static_cast<unsigned long long>(dev_flushed),
+                  static_cast<unsigned long long>(dev_lines),
+                  static_cast<unsigned long long>(dev_fences), total_amp);
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "%-13s %10s %12s %9s %9s %12s %12s %8s %6s\n", "stage",
+                  "ops", "nanos", "p50ns", "p99ns", "bytes_w", "bytes_f",
+                  "fences", "w-amp");
+    text += buf;
+    for (stats::Stage s : kStages) {
+        const stats::StageSummary sum = stats::stageSummary(s);
+        if (sum.ops == 0 && sum.bytesWritten == 0)
+            continue;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-13s %10llu %12llu %9llu %9llu %12llu %12llu %8llu %6.2f\n",
+            stats::stageName(s), static_cast<unsigned long long>(sum.ops),
+            static_cast<unsigned long long>(sum.nanosTotal),
+            static_cast<unsigned long long>(sum.latency.percentile(0.50)),
+            static_cast<unsigned long long>(sum.latency.percentile(0.99)),
+            static_cast<unsigned long long>(sum.bytesWritten),
+            static_cast<unsigned long long>(sum.bytesFlushed),
+            static_cast<unsigned long long>(sum.fences),
+            logical ? static_cast<double>(sum.bytesWritten) / logical
+                    : 0.0);
+        text += buf;
+    }
+    text += "op latencies:\n";
+    for (stats::OpType op : kOps) {
+        const Histogram h =
+            stats::StatsRegistry::instance()
+                .histogram(std::string("op.") + stats::opTypeName(op) +
+                           ".latency_ns")
+                .snapshot();
+        if (h.count() == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "  %-9s %s\n",
+                      stats::opTypeName(op), h.summary().c_str());
+        text += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
+                  "mst-miss=%llu\n"
+                  "recovery: replayed=%u scanned=%u files=%u nanos=%llu\n",
+                  static_cast<unsigned long long>(coarse),
+                  static_cast<unsigned long long>(leafw),
+                  static_cast<unsigned long long>(fine),
+                  static_cast<unsigned long long>(mt_hits),
+                  static_cast<unsigned long long>(mt_misses),
+                  recovery_.liveEntriesReplayed, recovery_.recordsScanned,
+                  recovery_.filesFound,
+                  static_cast<unsigned long long>(recovery_.nanos));
+    text += buf;
+
+    // ---- JSON ---------------------------------------------------
+    auto hist_json = [&buf](const Histogram &h) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"count\":%llu,\"mean\":%.1f,\"min\":%llu,\"p50\":%llu,"
+            "\"p90\":%llu,\"p99\":%llu,\"max\":%llu}",
+            static_cast<unsigned long long>(h.count()), h.mean(),
+            static_cast<unsigned long long>(h.min()),
+            static_cast<unsigned long long>(h.percentile(0.50)),
+            static_cast<unsigned long long>(h.percentile(0.90)),
+            static_cast<unsigned long long>(h.percentile(0.99)),
+            static_cast<unsigned long long>(h.max()));
+        return std::string(buf);
+    };
+    std::string &json = report.json;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"stats_enabled\":%s,\"logical_bytes\":%llu,"
+                  "\"device\":{\"bytes_written\":%llu,\"bytes_flushed\":"
+                  "%llu,\"flushed_lines\":%llu,\"fences\":%llu},"
+                  "\"write_amplification\":%.3f,\"stages\":{",
+                  statsOn_ ? "true" : "false",
+                  static_cast<unsigned long long>(logical),
+                  static_cast<unsigned long long>(dev_written),
+                  static_cast<unsigned long long>(dev_flushed),
+                  static_cast<unsigned long long>(dev_lines),
+                  static_cast<unsigned long long>(dev_fences), total_amp);
+    json += buf;
+    bool first = true;
+    for (stats::Stage s : kStages) {
+        const stats::StageSummary sum = stats::stageSummary(s);
+        if (!first)
+            json += ",";
+        first = false;
+        std::snprintf(
+            buf, sizeof(buf),
+            "\"%s\":{\"ops\":%llu,\"nanos_total\":%llu,"
+            "\"bytes_written\":%llu,\"bytes_flushed\":%llu,"
+            "\"flushed_lines\":%llu,\"fences\":%llu,"
+            "\"write_amplification\":%.3f,\"latency_ns\":",
+            stats::stageName(s), static_cast<unsigned long long>(sum.ops),
+            static_cast<unsigned long long>(sum.nanosTotal),
+            static_cast<unsigned long long>(sum.bytesWritten),
+            static_cast<unsigned long long>(sum.bytesFlushed),
+            static_cast<unsigned long long>(sum.flushedLines),
+            static_cast<unsigned long long>(sum.fences),
+            logical ? static_cast<double>(sum.bytesWritten) / logical
+                    : 0.0);
+        json += buf;
+        json += hist_json(sum.latency);
+        json += "}";
+    }
+    json += "},\"ops\":{";
+    first = true;
+    for (stats::OpType op : kOps) {
+        const Histogram h =
+            stats::StatsRegistry::instance()
+                .histogram(std::string("op.") + stats::opTypeName(op) +
+                           ".latency_ns")
+                .snapshot();
+        if (!first)
+            json += ",";
+        first = false;
+        json += std::string("\"") + stats::opTypeName(op) +
+                "\":" + hist_json(h);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "},\"tree\":{\"coarse_log_writes\":%llu,"
+                  "\"leaf_log_writes\":%llu,\"fine_sub_writes\":%llu,"
+                  "\"min_tree_hits\":%llu,\"min_tree_misses\":%llu},"
+                  "\"recovery\":{\"live_entries_replayed\":%u,"
+                  "\"records_scanned\":%u,\"files_found\":%u,"
+                  "\"nanos\":%llu}}",
+                  static_cast<unsigned long long>(coarse),
+                  static_cast<unsigned long long>(leafw),
+                  static_cast<unsigned long long>(fine),
+                  static_cast<unsigned long long>(mt_hits),
+                  static_cast<unsigned long long>(mt_misses),
+                  recovery_.liveEntriesReplayed, recovery_.recordsScanned,
+                  recovery_.filesFound,
+                  static_cast<unsigned long long>(recovery_.nanos));
+    json += buf;
+    return report;
+}
+
 void
 MgspFs::persistFileSize(OpenInode *inode, u64 new_size, bool allow_shrink)
 {
@@ -570,10 +761,15 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
         !file_lock_mode && config_.enableGreedyLocking &&
         inode->refCount.load(std::memory_order_acquire) == 1;
 
+    stats::OpTrace trace(stats::OpType::Write, offset, src.size(),
+                         statsOn_);
+    trace.stage(stats::Stage::Claim);
+
     // Claim the entry before any lock: a thread spinning for a free
     // entry must never hold a lock an entry owner is waiting on.
     const u32 entry = metaLog_->claim();
 
+    trace.stage(stats::Stage::Lock);
     std::vector<HeldLock> locks;
     TreeNode *greedy_node = nullptr;
     if (file_lock_mode) {
@@ -590,6 +786,7 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
         ShadowTree::releaseLocks(&locks);
     };
 
+    trace.stage(stats::Stage::DataWrite);
     StagedMetadata staged;
     staged.inode = inode->inodeIdx;
     staged.length = static_cast<u32>(src.size());
@@ -603,12 +800,15 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
     if (!s.isOk()) {
         metaLog_->release(entry);
         unlock_all();
+        trace.setFailed();
         return s;
     }
 
+    trace.stage(stats::Stage::CommitFence);
     device_->fence();               // data + records + existing durable
     metaLog_->commit(entry, staged);  // flush + fence: COMMIT point
 
+    trace.stage(stats::Stage::BitmapApply);
     inode->tree->applyStaged(staged);
     const bool size_changed = new_size != old_size;
     if (size_changed)
@@ -623,6 +823,9 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
     metaLog_->release(entry);
 
     unlock_all();
+    trace.setSlots(staged.usedSlots);
+    trace.orGranMask(staged.granMask);
+    trace.endStage();
 
     // Slow-path claims may now extend to the next fine-grain
     // boundary past the write; advance the frontier monotonically.
@@ -636,9 +839,11 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
 
     if (!config_.enableShadowLog) {
         // Ablation: checkpoint immediately — the classic double write.
+        trace.stage(stats::Stage::WriteBack);
         inode->fileLock.lock();
         Status wb = inode->tree->writeBackRange(offset, src.size());
         inode->fileLock.unlock();
+        trace.endStage();
         MGSP_RETURN_IF_ERROR(wb);
     }
     return Status::ok();
@@ -649,7 +854,11 @@ MgspFs::tryAppendFastPath(OpenInode *inode, u64 offset, ConstSlice src)
 {
     const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
                                 !config_.enableShadowLog;
+    stats::OpTrace trace(stats::OpType::Append, offset, src.size(),
+                         statsOn_);
+    trace.stage(stats::Stage::Claim);
     const u32 entry = metaLog_->claim();
+    trace.stage(stats::Stage::Lock);
     TreeNode *covering = nullptr;
     std::vector<TreeNode *> ancestors;
     if (file_lock_mode) {
@@ -680,14 +889,18 @@ MgspFs::tryAppendFastPath(OpenInode *inode, u64 offset, ConstSlice src)
         // shadow-log path.
         metaLog_->release(entry);
         unlock_all();
+        trace.abandon();  // the slow path will trace the real write
         return Status::busy("append raced");
     }
     // No shadow-log claim can cover bytes at or beyond the claim
     // frontier (slow-path writes advance it; truncate write-backs
     // clear shrunk ranges), so the home extent is authoritative for
     // the target range.
+    trace.stage(stats::Stage::DataWrite);
     device_->write(inode->extentOff + offset, src.data(), src.size());
     device_->flush(inode->extentOff + offset, src.size());
+
+    trace.stage(stats::Stage::CommitFence);
     device_->fence();  // data durable before the commit record
 
     StagedMetadata staged;
@@ -697,11 +910,13 @@ MgspFs::tryAppendFastPath(OpenInode *inode, u64 offset, ConstSlice src)
     staged.newFileSize = offset + src.size();
     metaLog_->commit(entry, staged);  // COMMIT: the size becomes real
 
+    trace.stage(stats::Stage::BitmapApply);
     persistFileSize(inode, staged.newFileSize);
     metaLog_->markOutdated(entry);
     device_->fence();
     metaLog_->release(entry);
     unlock_all();
+    trace.orGranMask(stats::kGranInPlace);
     return Status::ok();
 }
 
@@ -719,6 +934,8 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
         !file_lock_mode && config_.enableGreedyLocking &&
         inode->refCount.load(std::memory_order_acquire) == 1;
 
+    stats::OpTrace trace(stats::OpType::Read, offset, n, statsOn_);
+    trace.stage(stats::Stage::Lock);
     std::vector<HeldLock> locks;
     TreeNode *greedy_node = nullptr;
     if (file_lock_mode) {
@@ -728,6 +945,7 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
         greedy_node->lock.acquire(MglMode::R);
     }
 
+    trace.stage(stats::Stage::Read);
     Status s = inode->tree->performRead(offset, MutSlice(dst.data(), n),
                                         &locks, file_lock_mode || greedy);
     device_->latency().chargeRead(n);
@@ -737,9 +955,12 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
     else if (greedy_node != nullptr)
         greedy_node->lock.release(MglMode::R);
     ShadowTree::releaseLocks(&locks);
+    trace.endStage();
 
-    if (!s.isOk())
+    if (!s.isOk()) {
+        trace.setFailed();
         return s;
+    }
     return n;
 }
 
@@ -791,7 +1012,11 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
 
     const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
                                 !config_.enableShadowLog;
+    stats::OpTrace trace(stats::OpType::Batch, sorted.front().offset,
+                         batch_end - sorted.front().offset, statsOn_);
+    trace.stage(stats::Stage::Claim);
     const u32 entry = metaLog_->claim();
+    trace.stage(stats::Stage::Lock);
     std::vector<HeldLock> locks;
     const bool greedy =
         !file_lock_mode && config_.enableGreedyLocking &&
@@ -813,6 +1038,7 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         ShadowTree::releaseLocks(&locks);
     };
 
+    trace.stage(stats::Stage::DataWrite);
     StagedMetadata staged;
     staged.inode = inode->inodeIdx;
     staged.length = static_cast<u32>(batch_end - sorted.front().offset);
@@ -828,13 +1054,16 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         if (!s.isOk()) {
             metaLog_->release(entry);
             unlock_all();
+            trace.setFailed();
             return s;
         }
     }
 
+    trace.stage(stats::Stage::CommitFence);
     device_->fence();                 // all batch data durable
     metaLog_->commit(entry, staged);  // ONE commit for the whole batch
 
+    trace.stage(stats::Stage::BitmapApply);
     inode->tree->applyStaged(staged);
     const bool size_changed = new_size != old_size;
     if (size_changed)
@@ -845,6 +1074,9 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
     device_->fence();
     metaLog_->release(entry);
     unlock_all();
+    trace.setSlots(staged.usedSlots);
+    trace.orGranMask(staged.granMask);
+    trace.endStage();
 
     // Frontier: slow-path claims may reach past each write's end.
     const u64 claim_end = alignUp(batch_end, config_.fineGrainSize());
@@ -857,10 +1089,12 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         logicalBytes_.fetch_add(w.data.size(), std::memory_order_relaxed);
 
     if (!config_.enableShadowLog) {
+        trace.stage(stats::Stage::WriteBack);
         inode->fileLock.lock();
         Status wb = inode->tree->writeBackRange(
             sorted.front().offset, batch_end - sorted.front().offset);
         inode->fileLock.unlock();
+        trace.endStage();
         MGSP_RETURN_IF_ERROR(wb);
     }
     return Status::ok();
@@ -871,6 +1105,8 @@ MgspFs::doTruncate(OpenInode *inode, u64 new_size)
 {
     if (new_size > inode->capacity)
         return Status::outOfSpace("truncate beyond capacity");
+    stats::OpTrace trace(stats::OpType::Truncate, 0, new_size, statsOn_);
+    trace.stage(stats::Stage::WriteBack);
     ExclusiveGuard guard(inode->fileLock);
     const u64 old_size = inode->fileSize.load(std::memory_order_acquire);
     if (new_size < old_size) {

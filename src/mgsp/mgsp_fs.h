@@ -28,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/stats.h"
 #include "mgsp/config.h"
 #include "mgsp/layout.h"
 #include "mgsp/metadata_log.h"
@@ -38,6 +39,16 @@
 #include "vfs/vfs.h"
 
 namespace mgsp {
+
+/**
+ * Human-readable and machine-readable renderings of the same stats
+ * snapshot (see MgspFs::statsReport()).
+ */
+struct MgspStatsReport
+{
+    std::string text;
+    std::string json;
+};
 
 /** What mount-time recovery found and did. */
 struct RecoveryReport
@@ -109,6 +120,22 @@ class MgspFs : public FileSystem
 
     /** Aggregate tree statistics across open files (benchmarks). */
     TreeStats *treeStatsFor(const std::string &path);
+
+    /**
+     * Snapshot of the observability subsystem: per-stage latency
+     * percentiles and NVM bytes/flushes/fences (write amplification
+     * *per layer*), per-op-type latencies, aggregated shadow-tree
+     * counters, device totals and the recovery report — as aligned
+     * text and as JSON.
+     *
+     * The stage/op data comes from the process-wide StatsRegistry:
+     * with several engines alive in one process it aggregates across
+     * them (benchmarks call stats::resetAll() between runs).
+     */
+    MgspStatsReport statsReport() const;
+
+    /** Whether this instance traces operations (config + env gate). */
+    bool statsEnabled() const { return statsOn_; }
 
     /**
      * Transaction-level atomicity (the paper's stated future work,
@@ -194,6 +221,9 @@ class MgspFs : public FileSystem
 
     std::atomic<u64> logicalBytes_{0};
     RecoveryReport recovery_;
+    /// Operation tracing on? (config.enableStats && stats::enabled()
+    /// at construction; the device-byte attribution follows it.)
+    bool statsOn_ = false;
 };
 
 }  // namespace mgsp

@@ -6,6 +6,7 @@
 
 #include "common/align.h"
 #include "common/logging.h"
+#include "common/stats.h"
 
 namespace mgsp {
 
@@ -289,6 +290,7 @@ ShadowTree::writeRange(TreeNode *n, u64 off, u64 len, const u8 *data,
             new_word = kBitValid;
         }
         stats_.coarseLogWrites.fetch_add(1, std::memory_order_relaxed);
+        staged->granMask |= stats::kGranCoarse;
         staged->addSlot(n->recIdx.load(std::memory_order_acquire),
                         static_cast<u32>(new_word));
         return Status::ok();
@@ -394,9 +396,12 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
         device_->flush(dst, run_len);
         stats_.fineSubWrites.fetch_add(run_end - u + 1,
                                        std::memory_order_relaxed);
+        if (config_->enableFineGrained)
+            staged->granMask |= stats::kGranFine;
         u = run_end + 1;
     }
     stats_.leafLogWrites.fetch_add(1, std::memory_order_relaxed);
+    staged->granMask |= stats::kGranLeaf;
     staged->addSlot(rec, static_cast<u32>(new_word));
     return Status::ok();
 }

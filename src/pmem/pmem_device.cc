@@ -5,6 +5,7 @@
 
 #include "common/align.h"
 #include "common/logging.h"
+#include "common/stats.h"
 
 namespace mgsp {
 
@@ -37,6 +38,7 @@ PmemDevice::write(u64 off, const void *src, u64 len)
     MGSP_CHECK(off + len <= size_);
     std::memcpy(view_.data() + off, src, len);
     stats_.bytesWritten.fetch_add(len, std::memory_order_relaxed);
+    stats::chargeBytesWritten(len);
     model_.chargeWrite(len);
     if (mode_ == Mode::Tracked) {
         std::lock_guard<std::mutex> guard(trackMutex_);
@@ -53,6 +55,7 @@ PmemDevice::fill(u64 off, u8 byte, u64 len)
     MGSP_CHECK(off + len <= size_);
     std::memset(view_.data() + off, byte, len);
     stats_.bytesWritten.fetch_add(len, std::memory_order_relaxed);
+    stats::chargeBytesWritten(len);
     model_.chargeWrite(len);
     if (mode_ == Mode::Tracked) {
         std::lock_guard<std::mutex> guard(trackMutex_);
@@ -79,6 +82,7 @@ PmemDevice::store64(u64 off, u64 value)
     auto *p = reinterpret_cast<std::atomic<u64> *>(view_.data() + off);
     p->store(value, std::memory_order_release);
     stats_.bytesWritten.fetch_add(8, std::memory_order_relaxed);
+    stats::chargeBytesWritten(8);
     if (mode_ == Mode::Tracked) {
         std::lock_guard<std::mutex> guard(trackMutex_);
         dirtyLines_.insert(alignDown(off, kCacheLineSize));
@@ -95,6 +99,7 @@ PmemDevice::cas64(u64 off, u64 &expected, u64 desired)
                                          std::memory_order_acquire);
     if (ok) {
         stats_.bytesWritten.fetch_add(8, std::memory_order_relaxed);
+        stats::chargeBytesWritten(8);
         if (mode_ == Mode::Tracked) {
             std::lock_guard<std::mutex> guard(trackMutex_);
             dirtyLines_.insert(alignDown(off, kCacheLineSize));
@@ -110,6 +115,7 @@ PmemDevice::fetchOr64(u64 off, u64 bits)
     auto *p = reinterpret_cast<std::atomic<u64> *>(view_.data() + off);
     u64 prev = p->fetch_or(bits, std::memory_order_acq_rel);
     stats_.bytesWritten.fetch_add(8, std::memory_order_relaxed);
+    stats::chargeBytesWritten(8);
     if (mode_ == Mode::Tracked) {
         std::lock_guard<std::mutex> guard(trackMutex_);
         dirtyLines_.insert(alignDown(off, kCacheLineSize));
@@ -128,6 +134,7 @@ PmemDevice::flush(u64 off, u64 len)
     const u64 lines = (last - first) / kCacheLineSize + 1;
     stats_.bytesFlushed.fetch_add(len, std::memory_order_relaxed);
     stats_.flushedLines.fetch_add(lines, std::memory_order_relaxed);
+    stats::chargeBytesFlushed(len, lines);
     model_.chargeFlush(len);
     if (mode_ == Mode::Tracked) {
         std::lock_guard<std::mutex> guard(trackMutex_);
@@ -145,6 +152,7 @@ void
 PmemDevice::fence()
 {
     stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    stats::chargeFence();
     model_.chargeFence();
     if (mode_ == Mode::Tracked) {
         std::lock_guard<std::mutex> guard(trackMutex_);

@@ -91,6 +91,43 @@ TEST(Histogram, LargeValuesDontOverflow)
     EXPECT_EQ(h.max(), ~0ull);
 }
 
+TEST(Histogram, MergeWithEmpty)
+{
+    Histogram a, empty;
+    a.record(5);
+    a.merge(empty);  // no-op
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.min(), 5u);
+    empty.merge(a);  // adopts a's samples wholesale
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_EQ(empty.min(), 5u);
+    EXPECT_EQ(empty.max(), 5u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, ZeroValueSamples)
+{
+    Histogram h;
+    h.record(0);
+    h.record(0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ExtremeQuantilesClamped)
+{
+    Histogram h;
+    for (u64 v = 1; v <= 100; ++v)
+        h.record(v);
+    // Out-of-range q must not crash or wrap.
+    EXPECT_LE(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_LE(h.percentile(1.0), h.percentile(2.0));
+    EXPECT_LE(h.percentile(2.0), h.max());
+}
+
 TEST(Histogram, SummaryMentionsCount)
 {
     Histogram h;

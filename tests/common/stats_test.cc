@@ -1,0 +1,286 @@
+/** @file Unit tests for the stats registry, sharded histograms,
+ *  stage attribution and the op trace ring. */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace mgsp {
+namespace stats {
+namespace {
+
+TEST(Counter, SingleThreadAdds)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add(3);
+    c.add(4);
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsSum)
+{
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i)
+                c.add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), static_cast<u64>(kThreads) * kPerThread);
+}
+
+TEST(ShardedHistogram, MergesThreadShards)
+{
+    ShardedHistogram h;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(static_cast<u64>(t) * 1000 + 1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const Histogram merged = h.snapshot();
+    EXPECT_EQ(merged.count(), static_cast<u64>(kThreads) * kPerThread);
+    EXPECT_EQ(merged.min(), 1u);
+    h.reset();
+    EXPECT_EQ(h.snapshot().count(), 0u);
+}
+
+TEST(ShardedHistogram, SnapshotWhileRecording)
+{
+    // A reader merging concurrently with writers must terminate and
+    // see a sane (not torn-negative) view.
+    ShardedHistogram h;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        u64 v = 1;
+        while (!stop.load(std::memory_order_relaxed))
+            h.record(v++ % 1000 + 1);
+    });
+    u64 last = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Histogram snap = h.snapshot();
+        EXPECT_GE(snap.count(), last);
+        last = snap.count();
+    }
+    stop = true;
+    writer.join();
+}
+
+TEST(StatsRegistry, SameNameSameObject)
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    Counter &a = reg.counter("test.same_name");
+    Counter &b = reg.counter("test.same_name");
+    EXPECT_EQ(&a, &b);
+    ShardedHistogram &ha = reg.histogram("test.same_hist");
+    ShardedHistogram &hb = reg.histogram("test.same_hist");
+    EXPECT_EQ(&ha, &hb);
+}
+
+TEST(StatsRegistry, JsonShape)
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    reg.counter("test.json_counter").add(42);
+    reg.histogram("test.json_hist").record(100);
+    const std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    // Balanced braces — cheap structural sanity without a parser.
+    int depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            ++depth;
+        if (ch == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    const std::string text = reg.toText();
+    EXPECT_NE(text.find("test.json_counter"), std::string::npos);
+}
+
+TEST(StatsRegistry, ResetZeroes)
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    reg.counter("test.reset_me").add(5);
+    reg.histogram("test.reset_hist").record(9);
+    reg.reset();
+    EXPECT_EQ(reg.counter("test.reset_me").value(), 0u);
+    EXPECT_EQ(reg.histogram("test.reset_hist").snapshot().count(), 0u);
+}
+
+TEST(StageAttribution, ChargesOnlyInsideStage)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "built with MGSP_STATS_DISABLED";
+    resetAll();
+    // Outside any trace nothing is charged.
+    chargeBytesWritten(1000);
+    chargeFence();
+    EXPECT_EQ(stageSummary(Stage::DataWrite).bytesWritten, 0u);
+
+    {
+        OpTrace trace(OpType::Write, 0, 64, /*on=*/true);
+        trace.stage(Stage::DataWrite);
+        chargeBytesWritten(64);
+        chargeBytesFlushed(64, 1);
+        trace.stage(Stage::CommitFence);
+        chargeFence();
+        trace.endStage();
+    }
+    const StageSummary dw = stageSummary(Stage::DataWrite);
+    EXPECT_EQ(dw.ops, 1u);
+    EXPECT_EQ(dw.bytesWritten, 64u);
+    EXPECT_EQ(dw.bytesFlushed, 64u);
+    EXPECT_EQ(dw.flushedLines, 1u);
+    EXPECT_EQ(dw.latency.count(), 1u);
+    const StageSummary cf = stageSummary(Stage::CommitFence);
+    EXPECT_EQ(cf.ops, 1u);
+    EXPECT_EQ(cf.fences, 1u);
+    // The trace closed its stage: later charges go nowhere.
+    chargeBytesWritten(1000);
+    EXPECT_EQ(stageSummary(Stage::CommitFence).bytesWritten,
+              cf.bytesWritten);
+}
+
+TEST(OpRing, TracePushesRecord)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "built with MGSP_STATS_DISABLED";
+    resetAll();
+    const u64 before = opRingSize();
+    {
+        OpTrace trace(OpType::Append, 4096, 512, /*on=*/true);
+        trace.stage(Stage::Claim);
+        trace.setSlots(3);
+        trace.orGranMask(kGranInPlace);
+        trace.endStage();
+    }
+    EXPECT_EQ(opRingSize(), before + 1);
+
+    // An abandoned trace leaves no record.
+    {
+        OpTrace trace(OpType::Write, 0, 1, /*on=*/true);
+        trace.stage(Stage::Lock);
+        trace.abandon();
+    }
+    EXPECT_EQ(opRingSize(), before + 1);
+
+    // A disabled trace is inert.
+    {
+        OpTrace trace(OpType::Write, 0, 1, /*on=*/false);
+        trace.stage(Stage::Lock);
+        trace.setSlots(9);
+    }
+    EXPECT_EQ(opRingSize(), before + 1);
+}
+
+TEST(OpRing, RingCapsPerThread)
+{
+    resetAll();
+    for (u32 i = 0; i < kOpRingCapacity + 50; ++i) {
+        OpRecord rec;
+        rec.op = OpType::Read;
+        rec.offset = i;
+        pushOpRecord(rec);
+    }
+    // This thread's ring holds exactly kOpRingCapacity records; other
+    // threads' rings were cleared by resetAll above.
+    EXPECT_EQ(opRingSize(), static_cast<u64>(kOpRingCapacity));
+}
+
+TEST(OpRing, DumpMentionsOps)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "built with MGSP_STATS_DISABLED";
+    resetAll();
+    {
+        OpTrace trace(OpType::Truncate, 0, 12345, /*on=*/true);
+        trace.stage(Stage::WriteBack);
+        trace.setFailed();
+        trace.endStage();
+    }
+    std::FILE *f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    dumpOpRings(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    EXPECT_NE(out.find("truncate"), std::string::npos);
+    EXPECT_NE(out.find("FAILED"), std::string::npos);
+    EXPECT_NE(out.find("len=12345"), std::string::npos);
+}
+
+TEST(OpRing, ResetAllClearsRings)
+{
+    if (!kCompiledIn)
+        GTEST_SKIP() << "built with MGSP_STATS_DISABLED";
+    {
+        OpTrace trace(OpType::Write, 0, 8, /*on=*/true);
+        trace.stage(Stage::DataWrite);
+        trace.endStage();
+    }
+    EXPECT_GT(opRingSize(), 0u);
+    resetAll();
+    EXPECT_EQ(opRingSize(), 0u);
+}
+
+TEST(Gates, SetEnabledTogglesGlobal)
+{
+    const bool was = enabled();
+    setEnabled(false);
+    EXPECT_FALSE(enabled());
+    setEnabled(true);
+    // Compiled out, the switch is pinned off.
+    EXPECT_EQ(enabled(), kCompiledIn);
+    setEnabled(was);
+}
+
+TEST(Gates, CompiledInMatchesMacro)
+{
+#ifndef MGSP_STATS_DISABLED
+    EXPECT_TRUE(kCompiledIn);
+#else
+    EXPECT_FALSE(kCompiledIn);
+#endif
+}
+
+TEST(ThreadIds, DenseAndStable)
+{
+    const u32 mine = currentThreadId();
+    EXPECT_GT(mine, 0u);
+    EXPECT_EQ(currentThreadId(), mine);
+    u32 other = 0;
+    std::thread t([&other] { other = currentThreadId(); });
+    t.join();
+    EXPECT_NE(other, mine);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace mgsp
