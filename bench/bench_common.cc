@@ -68,6 +68,10 @@ makeEngine(const std::string &name, u64 arena_bytes)
             cfg.enableGreedyLocking = false;
             cfg.enableMinSearchTree = false;
             cfg.enablePartialMetaFlush = false;
+        } else if (name == "mgsp-bg") {
+            cfg.enableCleaner = true;
+            cfg.cleanerThreads = 1;
+            cfg.cleanerSyncIntervalMillis = 5;
         } else if (name != "mgsp") {
             MGSP_FATAL("unknown mgsp variant: %s", name.c_str());
         }
@@ -127,9 +131,11 @@ parseBenchArgs(int argc, char **argv)
             args.statsJsonPath = arg.substr(strlen("--stats-json="));
         } else if (arg == "--stats-json" && i + 1 < argc) {
             args.statsJsonPath = argv[++i];
+        } else if (arg == "--background") {
+            args.background = true;
         } else {
             MGSP_FATAL("unknown argument: %s (supported: "
-                       "--stats-json=FILE)",
+                       "--stats-json=FILE --background)",
                        arg.c_str());
         }
     }

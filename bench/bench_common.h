@@ -11,7 +11,8 @@
  * Engine names: ext4-wb | ext4-ordered | ext4-journal | ext4-dax |
  * libnvmmio | nova | mgsp, plus mgsp ablation variants
  * (mgsp-no-shadow, mgsp-no-multigran, mgsp-no-fine, mgsp-filelock,
- * mgsp-no-opt) used by the Fig. 13 breakdown.
+ * mgsp-no-opt) used by the Fig. 13 breakdown and mgsp-bg (background
+ * cleaner thread + periodic drain) used by fig07 --background.
  */
 #ifndef MGSP_BENCH_BENCH_COMMON_H
 #define MGSP_BENCH_BENCH_COMMON_H
@@ -67,6 +68,9 @@ struct BenchArgs
     /// --stats-json=FILE (or --stats-json FILE): where to write
     /// StatsRegistry snapshots as JSON lines; empty = don't.
     std::string statsJsonPath;
+    /// --background: benches that honour it (fig07) additionally run
+    /// the mgsp-bg engine (background write-back & cleaning).
+    bool background = false;
 };
 
 /**

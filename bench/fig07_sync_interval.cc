@@ -4,6 +4,11 @@
  * interval (fsync every 1 / 10 / 100 writes / never). Shows
  * Libnvmmio's collapse once syncs appear and MGSP's indifference to
  * sync frequency (every operation is already synchronous + atomic).
+ *
+ * --background additionally runs mgsp-bg: the background cleaner
+ * thread drains dirty shadow logs every cleanerSyncIntervalMillis and
+ * sync() becomes a real write-back barrier, so the fsync interval
+ * genuinely varies the amount of cleaning work on the barrier path.
  */
 #include <cstdio>
 
@@ -29,7 +34,10 @@ main(int argc, char **argv)
                         : ("fsync-" + std::to_string(interval)).c_str());
     std::printf("[MiB/s]\n");
 
-    for (const std::string &name : standardEngines()) {
+    std::vector<std::string> engines = standardEngines();
+    if (args.background)
+        engines.push_back("mgsp-bg");
+    for (const std::string &name : engines) {
         std::printf("%-14s", name.c_str());
         for (u32 interval : intervals) {
             Engine engine = makeEngine(name, scale.arenaBytes);

@@ -71,6 +71,7 @@ stageName(Stage s)
       case Stage::Read: return "read";
       case Stage::Recovery: return "recovery";
       case Stage::WriteBack: return "writeback";
+      case Stage::Clean: return "clean";
       case Stage::kCount: break;
     }
     return "?";
@@ -86,6 +87,7 @@ opTypeName(OpType t)
       case OpType::Read: return "read";
       case OpType::Truncate: return "truncate";
       case OpType::Recovery: return "recovery";
+      case OpType::Clean: return "clean";
       case OpType::kCount: break;
     }
     return "?";

@@ -58,6 +58,7 @@ enum class Stage : u8 {
     Read,         ///< read path (tree descent + copy-out)
     Recovery,     ///< mount-time metadata-log replay + rebuild
     WriteBack,    ///< close/truncate log write-back (checkpoint)
+    Clean,        ///< background/sync cleaner write-back + reclaim
     kCount
 };
 
@@ -74,6 +75,7 @@ enum class OpType : u8 {
     Read,
     Truncate,
     Recovery,
+    Clean,      ///< one cleaner drain cycle (not a user operation)
     kCount
 };
 

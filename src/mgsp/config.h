@@ -88,6 +88,39 @@ struct MgspConfig
      */
     bool enableStats = true;
 
+    // ---- background write-back & cleaning (Fig. 7 sync knob) ----
+    /**
+     * Background shadow-log write-back & cleaning. When on, writers
+     * enqueue their dirty ranges; cleaner passes copy the valid
+     * shadow blocks back to the home extent, clear the bitmaps and
+     * return log blocks / node records to the free lists, so a
+     * long-lived writer no longer exhausts the pool. sync() becomes
+     * a real drain barrier instead of a no-op. Requires
+     * enableShadowLog (no-shadow mode already checkpoints per op).
+     * Greedy locking is disabled while the cleaner is on: it skips
+     * ancestor intention locks, which the cleaner relies on.
+     */
+    bool enableCleaner = false;
+
+    /**
+     * Cleaner worker threads. 0 = inline mode: cleaning runs on the
+     * writer / sync() caller's thread only (deterministic; used by
+     * the crash-point enumeration tests).
+     */
+    u32 cleanerThreads = 1;
+
+    /**
+     * Free-pool fraction below which writers nudge (or, with zero
+     * worker threads, run) a cleaning pass.
+     */
+    double cleanerLowWatermark = 0.25;
+
+    /**
+     * Periodic drain interval for the worker threads in
+     * milliseconds; 0 = drain only on nudges and sync() barriers.
+     */
+    u64 cleanerSyncIntervalMillis = 0;
+
     LatencyModel latency{};
 
     /** Finest shadow-log granularity in bytes. */
@@ -106,7 +139,8 @@ struct MgspConfig
                degree >= 2 && degree <= 64 && isPowerOfTwo(leafSubBits) &&
                leafSubBits >= 1 && leafSubBits <= 16 &&
                leafBlockSize >= leafSubBits * 8 && metaLogEntries >= 1 &&
-               maxInodes >= 1 && maxNodeRecords >= maxInodes;
+               maxInodes >= 1 && maxNodeRecords >= maxInodes &&
+               cleanerLowWatermark >= 0.0 && cleanerLowWatermark <= 1.0;
     }
 };
 

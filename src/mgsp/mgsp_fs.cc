@@ -1,6 +1,7 @@
 #include "mgsp/mgsp_fs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/align.h"
@@ -31,8 +32,11 @@ class MgspFile : public File
         return fs_->doWrite(inode_, offset, src);
     }
 
-    /** Every MGSP operation is already synchronous and atomic. */
-    Status sync() override { return Status::ok(); }
+    /**
+     * Every MGSP operation is already synchronously durable; with the
+     * cleaner enabled this is additionally a write-back barrier.
+     */
+    Status sync() override { return fs_->syncFile(inode_); }
 
     u64
     size() const override
@@ -56,12 +60,33 @@ class MgspFile : public File
 
 MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
     : device_(std::move(device)), config_(config),
-      statsOn_(config.enableStats && stats::enabled())
+      statsOn_(config.enableStats && stats::enabled()),
+      cleanerOn_(config.enableCleaner && config.enableShadowLog),
+      greedyOn_(config.enableGreedyLocking &&
+                !(config.enableCleaner && config.enableShadowLog))
 {
+    if (cleanerOn_) {
+        auto &reg = stats::StatsRegistry::instance();
+        cleanCounters_.ranges = &reg.counter("clean.ranges");
+        cleanCounters_.cycles = &reg.counter("clean.cycles");
+        cleanCounters_.syncBarriers = &reg.counter("clean.sync_barriers");
+        cleanCounters_.watermarkTriggers =
+            &reg.counter("clean.watermark_triggers");
+        cleanCounters_.oomRetries = &reg.counter("clean.oom_retries");
+        cleanCounters_.bytesWrittenBack =
+            &reg.counter("clean.bytes_written_back");
+        cleanCounters_.blocksReclaimed =
+            &reg.counter("clean.blocks_reclaimed");
+        cleanCounters_.bytesReclaimed =
+            &reg.counter("clean.bytes_reclaimed");
+        cleanCounters_.recordsReclaimed =
+            &reg.counter("clean.records_reclaimed");
+    }
 }
 
 MgspFs::~MgspFs()
 {
+    stopCleaner();
     Status s = writeBackAllFiles();
     if (!s.isOk())
         MGSP_WARN("writeback on unmount failed: %s", s.toString().c_str());
@@ -148,6 +173,7 @@ MgspFs::format(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
         return Status::invalidArgument("config.arenaSize != device size");
     std::unique_ptr<MgspFs> fs(new MgspFs(std::move(device), config));
     MGSP_RETURN_IF_ERROR(fs->initLayout(/*fresh=*/true));
+    fs->startCleaner();
     return fs;
 }
 
@@ -171,6 +197,7 @@ MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
     std::unique_ptr<MgspFs> fs(new MgspFs(std::move(device), config));
     MGSP_RETURN_IF_ERROR(fs->initLayout(/*fresh=*/false));
     MGSP_RETURN_IF_ERROR(fs->runRecovery());
+    fs->startCleaner();
     return fs;
 }
 
@@ -299,6 +326,14 @@ MgspFs::releaseHandle(OpenInode *inode)
 {
     if (inode->refCount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last handle: write all logs back (paper's close path).
+        // cleanMutex excludes an in-flight cleaner pass — writeBackAll
+        // deletes volatile subtrees, which only covering exclusivity
+        // makes safe. The queue is superseded by the full write-back.
+        std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
+        {
+            std::lock_guard<std::mutex> dirty_guard(inode->dirtyMutex);
+            inode->dirtyRanges.clear();
+        }
         Status s = inode->tree->writeBackAll();
         if (!s.isOk())
             MGSP_WARN("writeback of %s failed: %s", inode->path.c_str(),
@@ -420,6 +455,8 @@ MgspFs::remove(const std::string &path)
     if (it != openInodes_.end()) {
         if (it->second->refCount.load(std::memory_order_acquire) != 0)
             return Status::busy("file still open: " + path);
+        if (it->second->cleanerPins.load(std::memory_order_acquire) != 0)
+            return Status::busy("file being cleaned: " + path);
         freeExtents_.emplace_back(it->second->extentOff,
                                   it->second->capacity);
         const u32 idx = it->second->inodeIdx;
@@ -460,9 +497,227 @@ MgspFs::writeBackAllFiles()
     for (auto &[path, inode] : openInodes_) {
         if (inode->refCount.load(std::memory_order_acquire) == 0)
             continue;
+        std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
+        {
+            std::lock_guard<std::mutex> dirty_guard(inode->dirtyMutex);
+            inode->dirtyRanges.clear();
+        }
         MGSP_RETURN_IF_ERROR(inode->tree->writeBackAll());
     }
     return Status::ok();
+}
+
+// ---- background write-back & cleaning ---------------------------
+
+bool
+MgspFs::poolBelowWatermark() const
+{
+    const u64 total = pool_->cellBytes();
+    if (total == 0)
+        return false;
+    return static_cast<double>(pool_->freeBytes()) <
+           config_.cleanerLowWatermark * static_cast<double>(total);
+}
+
+void
+MgspFs::noteDirty(OpenInode *inode, u64 off, u64 len)
+{
+    if (!cleanerOn_ || len == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> guard(inode->dirtyMutex);
+        if (!inode->dirtyRanges.empty()) {
+            auto &last = inode->dirtyRanges.back();
+            if (off <= last.first + last.second &&
+                last.first <= off + len) {
+                const u64 end =
+                    std::max(last.first + last.second, off + len);
+                last.first = std::min(last.first, off);
+                last.second = end - last.first;
+            } else {
+                inode->dirtyRanges.emplace_back(off, len);
+            }
+        } else {
+            inode->dirtyRanges.emplace_back(off, len);
+        }
+    }
+    if (!poolBelowWatermark())
+        return;
+    cleanCounters_.watermarkTriggers->add(1);
+    if (cleanerWorkers_.empty()) {
+        // Inline mode: the writer itself runs the pass.
+        Status s = drainInode(inode);
+        if (!s.isOk())
+            MGSP_WARN("inline clean of %s failed: %s",
+                      inode->path.c_str(), s.toString().c_str());
+    } else {
+        {
+            std::lock_guard<std::mutex> guard(cleanerMutex_);
+            cleanerKick_ = true;
+        }
+        cleanerCv_.notify_one();
+    }
+}
+
+Status
+MgspFs::cleanOneRange(OpenInode *inode, u64 off, u64 len,
+                      ReclaimStats *reclaim)
+{
+    if (off >= inode->capacity)
+        return Status::ok();
+    len = std::min(len, inode->capacity - off);
+    if (len == 0)
+        return Status::ok();
+    if (config_.lockMode == LockMode::FileLock) {
+        ExclusiveGuard guard(inode->fileLock);
+        return inode->tree->cleanRange(off, len, reclaim);
+    }
+    // Full MGL discipline, as in the append fast path: IW down the
+    // path, W on the covering node. Writers and readers anywhere in
+    // the range are excluded (including coarse writes at ancestors,
+    // which would need W against our IW) while disjoint subtrees
+    // proceed concurrently.
+    TreeNode *covering = inode->tree->coveringNode(off, len);
+    std::vector<TreeNode *> ancestors;
+    for (TreeNode *n = covering->parent; n != nullptr; n = n->parent)
+        ancestors.push_back(n);
+    for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it)
+        (*it)->lock.acquire(MglMode::IW);
+    covering->lock.acquire(MglMode::W);
+    Status s = inode->tree->cleanRange(off, len, reclaim);
+    covering->lock.release(MglMode::W);
+    for (TreeNode *n : ancestors)
+        n->lock.release(MglMode::IW);
+    return s;
+}
+
+Status
+MgspFs::drainInode(OpenInode *inode)
+{
+    // One cycle = one queue swap, not loop-until-empty: a constant
+    // writer stream must not be able to wedge a sync() barrier.
+    std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
+    std::vector<std::pair<u64, u64>> ranges;
+    {
+        std::lock_guard<std::mutex> guard(inode->dirtyMutex);
+        ranges.swap(inode->dirtyRanges);
+    }
+    if (ranges.empty())
+        return Status::ok();
+    stats::OpTrace trace(stats::OpType::Clean, ranges.front().first,
+                         ranges.front().second, statsOn_);
+    trace.stage(stats::Stage::Clean);
+    ReclaimStats reclaim;
+    Status result = Status::ok();
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+        Status s = cleanOneRange(inode, ranges[i].first,
+                                 ranges[i].second, &reclaim);
+        if (!s.isOk()) {
+            // Re-queue what this cycle did not finish.
+            std::lock_guard<std::mutex> guard(inode->dirtyMutex);
+            inode->dirtyRanges.insert(inode->dirtyRanges.begin(),
+                                      ranges.begin() + i, ranges.end());
+            result = s;
+            break;
+        }
+        cleanCounters_.ranges->add(1);
+    }
+    cleanCounters_.cycles->add(1);
+    cleanCounters_.bytesWrittenBack->add(reclaim.bytesWrittenBack);
+    cleanCounters_.blocksReclaimed->add(reclaim.blocksReclaimed);
+    cleanCounters_.bytesReclaimed->add(reclaim.bytesReclaimed);
+    cleanCounters_.recordsReclaimed->add(reclaim.recordsReclaimed);
+    if (!result.isOk())
+        trace.setFailed();
+    return result;
+}
+
+Status
+MgspFs::drainOpenFiles()
+{
+    std::vector<OpenInode *> targets;
+    {
+        std::lock_guard<std::mutex> guard(tableMutex_);
+        for (auto &[path, inode] : openInodes_) {
+            bool has_dirty;
+            {
+                std::lock_guard<std::mutex> dg(inode->dirtyMutex);
+                has_dirty = !inode->dirtyRanges.empty();
+            }
+            if (!has_dirty)
+                continue;
+            inode->cleanerPins.fetch_add(1, std::memory_order_acq_rel);
+            targets.push_back(inode.get());
+        }
+    }
+    Status result = Status::ok();
+    for (OpenInode *inode : targets) {
+        Status s = drainInode(inode);
+        if (!s.isOk() && result.isOk())
+            result = s;
+        inode->cleanerPins.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return result;
+}
+
+Status
+MgspFs::syncFile(OpenInode *inode)
+{
+    if (!cleanerOn_)
+        return Status::ok();
+    cleanCounters_.syncBarriers->add(1);
+    return drainInode(inode);
+}
+
+void
+MgspFs::cleanerMain()
+{
+    std::unique_lock<std::mutex> lk(cleanerMutex_);
+    for (;;) {
+        if (config_.cleanerSyncIntervalMillis > 0) {
+            // Timeout = periodic drain (the Fig. 7 sync interval).
+            cleanerCv_.wait_for(
+                lk,
+                std::chrono::milliseconds(
+                    config_.cleanerSyncIntervalMillis),
+                [this] { return cleanerStop_ || cleanerKick_; });
+        } else {
+            cleanerCv_.wait(
+                lk, [this] { return cleanerStop_ || cleanerKick_; });
+        }
+        if (cleanerStop_)
+            return;
+        cleanerKick_ = false;
+        lk.unlock();
+        Status s = drainOpenFiles();
+        if (!s.isOk())
+            MGSP_WARN("cleaner drain failed: %s", s.toString().c_str());
+        lk.lock();
+    }
+}
+
+void
+MgspFs::startCleaner()
+{
+    if (!cleanerOn_ || config_.cleanerThreads == 0)
+        return;
+    for (u32 i = 0; i < config_.cleanerThreads; ++i)
+        cleanerWorkers_.emplace_back([this] { cleanerMain(); });
+}
+
+void
+MgspFs::stopCleaner()
+{
+    if (cleanerWorkers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> guard(cleanerMutex_);
+        cleanerStop_ = true;
+    }
+    cleanerCv_.notify_all();
+    for (std::thread &t : cleanerWorkers_)
+        t.join();
+    cleanerWorkers_.clear();
 }
 
 TreeStats *
@@ -503,12 +758,25 @@ MgspFs::statsReport() const
         stats::Stage::DataWrite,   stats::Stage::CommitFence,
         stats::Stage::BitmapApply, stats::Stage::Read,
         stats::Stage::Recovery,    stats::Stage::WriteBack,
+        stats::Stage::Clean,
     };
     static constexpr stats::OpType kOps[] = {
         stats::OpType::Write,    stats::OpType::Append,
         stats::OpType::Batch,    stats::OpType::Read,
         stats::OpType::Truncate, stats::OpType::Recovery,
+        stats::OpType::Clean,
     };
+
+    auto &reg = stats::StatsRegistry::instance();
+    const u64 clean_ranges = reg.counter("clean.ranges").value();
+    const u64 clean_cycles = reg.counter("clean.cycles").value();
+    const u64 clean_syncs = reg.counter("clean.sync_barriers").value();
+    const u64 clean_wm = reg.counter("clean.watermark_triggers").value();
+    const u64 clean_oom = reg.counter("clean.oom_retries").value();
+    const u64 clean_wb = reg.counter("clean.bytes_written_back").value();
+    const u64 clean_blocks = reg.counter("clean.blocks_reclaimed").value();
+    const u64 clean_bytes = reg.counter("clean.bytes_reclaimed").value();
+    const u64 clean_recs = reg.counter("clean.records_reclaimed").value();
 
     MgspStatsReport report;
     char buf[512];
@@ -563,6 +831,21 @@ MgspFs::statsReport() const
                       stats::opTypeName(op), h.summary().c_str());
         text += buf;
     }
+    std::snprintf(buf, sizeof(buf),
+                  "clean: cycles=%llu ranges=%llu sync-barriers=%llu "
+                  "wm-triggers=%llu oom-retries=%llu "
+                  "bytes-written-back=%llu blocks-reclaimed=%llu "
+                  "bytes-reclaimed=%llu records-reclaimed=%llu\n",
+                  static_cast<unsigned long long>(clean_cycles),
+                  static_cast<unsigned long long>(clean_ranges),
+                  static_cast<unsigned long long>(clean_syncs),
+                  static_cast<unsigned long long>(clean_wm),
+                  static_cast<unsigned long long>(clean_oom),
+                  static_cast<unsigned long long>(clean_wb),
+                  static_cast<unsigned long long>(clean_blocks),
+                  static_cast<unsigned long long>(clean_bytes),
+                  static_cast<unsigned long long>(clean_recs));
+    text += buf;
     std::snprintf(buf, sizeof(buf),
                   "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
                   "mst-miss=%llu\n"
@@ -642,6 +925,22 @@ MgspFs::statsReport() const
         json += std::string("\"") + stats::opTypeName(op) +
                 "\":" + hist_json(h);
     }
+    std::snprintf(buf, sizeof(buf),
+                  "},\"clean\":{\"cycles\":%llu,\"ranges\":%llu,"
+                  "\"sync_barriers\":%llu,\"watermark_triggers\":%llu,"
+                  "\"oom_retries\":%llu,\"bytes_written_back\":%llu,"
+                  "\"blocks_reclaimed\":%llu,\"bytes_reclaimed\":%llu,"
+                  "\"records_reclaimed\":%llu",
+                  static_cast<unsigned long long>(clean_cycles),
+                  static_cast<unsigned long long>(clean_ranges),
+                  static_cast<unsigned long long>(clean_syncs),
+                  static_cast<unsigned long long>(clean_wm),
+                  static_cast<unsigned long long>(clean_oom),
+                  static_cast<unsigned long long>(clean_wb),
+                  static_cast<unsigned long long>(clean_blocks),
+                  static_cast<unsigned long long>(clean_bytes),
+                  static_cast<unsigned long long>(clean_recs));
+    json += buf;
     std::snprintf(buf, sizeof(buf),
                   "},\"tree\":{\"coarse_log_writes\":%llu,"
                   "\"leaf_log_writes\":%llu,\"fine_sub_writes\":%llu,"
@@ -729,8 +1028,22 @@ MgspFs::doAtomicChunkOrSplit(OpenInode *inode, u64 offset, ConstSlice src)
         while (inode->tree->planSlotCount(pos, chunk) >
                MetaLogEntry::kMaxSlots)
             chunk = std::max<u64>(chunk / 2, 1);
-        MGSP_RETURN_IF_ERROR(
-            doAtomicChunk(inode, pos, ConstSlice(p, chunk)));
+        Status s = doAtomicChunk(inode, pos, ConstSlice(p, chunk));
+        // With the cleaner on, pool exhaustion is transient: force a
+        // full drain (reclaiming every open file's dead log blocks)
+        // and retry before giving up.
+        for (int retry = 0;
+             cleanerOn_ && s.code() == StatusCode::OutOfSpace &&
+             retry < 2;
+             ++retry) {
+            cleanCounters_.oomRetries->add(1);
+            Status drained = drainOpenFiles();
+            if (!drained.isOk())
+                MGSP_WARN("OOM drain failed: %s",
+                          drained.toString().c_str());
+            s = doAtomicChunk(inode, pos, ConstSlice(p, chunk));
+        }
+        MGSP_RETURN_IF_ERROR(s);
         pos += chunk;
         p += chunk;
         remaining -= chunk;
@@ -758,7 +1071,7 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
     const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
                                 !config_.enableShadowLog;
     const bool greedy =
-        !file_lock_mode && config_.enableGreedyLocking &&
+        !file_lock_mode && greedyOn_ &&
         inode->refCount.load(std::memory_order_acquire) == 1;
 
     stats::OpTrace trace(stats::OpType::Write, offset, src.size(),
@@ -836,6 +1149,8 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
            !inode->claimFrontier.compare_exchange_weak(
                frontier, claim_end, std::memory_order_acq_rel))
         ;
+
+    noteDirty(inode, offset, src.size());
 
     if (!config_.enableShadowLog) {
         // Ablation: checkpoint immediately — the classic double write.
@@ -931,7 +1246,7 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
     const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
                                 !config_.enableShadowLog;
     const bool greedy =
-        !file_lock_mode && config_.enableGreedyLocking &&
+        !file_lock_mode && greedyOn_ &&
         inode->refCount.load(std::memory_order_acquire) == 1;
 
     stats::OpTrace trace(stats::OpType::Read, offset, n, statsOn_);
@@ -1019,7 +1334,7 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
     trace.stage(stats::Stage::Lock);
     std::vector<HeldLock> locks;
     const bool greedy =
-        !file_lock_mode && config_.enableGreedyLocking &&
+        !file_lock_mode && greedyOn_ &&
         inode->refCount.load(std::memory_order_acquire) == 1;
     TreeNode *greedy_node = nullptr;
     if (file_lock_mode) {
@@ -1085,8 +1400,10 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
            !inode->claimFrontier.compare_exchange_weak(
                frontier, claim_end, std::memory_order_acq_rel))
         ;
-    for (const BatchWrite &w : sorted)
+    for (const BatchWrite &w : sorted) {
         logicalBytes_.fetch_add(w.data.size(), std::memory_order_relaxed);
+        noteDirty(inode, w.offset, w.data.size());
+    }
 
     if (!config_.enableShadowLog) {
         trace.stage(stats::Stage::WriteBack);
@@ -1107,6 +1424,10 @@ MgspFs::doTruncate(OpenInode *inode, u64 new_size)
         return Status::outOfSpace("truncate beyond capacity");
     stats::OpTrace trace(stats::OpType::Truncate, 0, new_size, statsOn_);
     trace.stage(stats::Stage::WriteBack);
+    // The shrink path's writeBackRange assumes covering exclusivity;
+    // exclude an in-flight cleaner pass (lock order: cleanMutex, then
+    // fileLock — same as drainInode).
+    std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
     ExclusiveGuard guard(inode->fileLock);
     const u64 old_size = inode->fileSize.load(std::memory_order_acquire);
     if (new_size < old_size) {

@@ -23,9 +23,11 @@
 #define MGSP_MGSP_MGSP_FS_H
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/stats.h"
@@ -169,6 +171,22 @@ class MgspFs : public FileSystem
         /// at or beyond it skip the shadow log entirely (in-place +
         /// size-bump commit), at any byte alignment.
         std::atomic<u64> claimFrontier{0};
+
+        // ---- cleaner state (enableCleaner) ----------------------
+        /// Guards dirtyRanges. Writers append after each committed
+        /// shadow-log chunk; cleaner passes swap the whole queue out.
+        std::mutex dirtyMutex;
+        /// Committed-but-not-written-back (offset, length) ranges,
+        /// tail-coalesced so sequential writers queue one entry.
+        std::vector<std::pair<u64, u64>> dirtyRanges;
+        /// Held across one whole drain cycle (queue swap + write-back
+        /// + reclaim). Close-path write-back and truncate take it too,
+        /// so the cleaner never races operations that assume covering
+        /// exclusivity. Order: cleanMutex, then fileLock / MGL locks.
+        std::mutex cleanMutex;
+        /// Cleaner passes holding a raw pointer to this inode outside
+        /// tableMutex_; remove() refuses while nonzero.
+        std::atomic<u32> cleanerPins{0};
     };
 
     MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config);
@@ -206,6 +224,32 @@ class MgspFs : public FileSystem
     void persistFileSize(OpenInode *inode, u64 new_size,
                          bool allow_shrink = false);
 
+    // --- background write-back & cleaning ------------------------
+    /**
+     * Queues [off, off+len) for cleaning after a committed shadow-log
+     * write; nudges (or, with zero cleaner threads, runs) a drain
+     * when the pool falls below the low watermark.
+     */
+    void noteDirty(OpenInode *inode, u64 off, u64 len);
+    bool poolBelowWatermark() const;
+    /** Locks one queued range (MGL W / file lock) and cleans it. */
+    Status cleanOneRange(OpenInode *inode, u64 off, u64 len,
+                         ReclaimStats *reclaim);
+    /** One drain cycle over @p inode: swap the queue, clean it all. */
+    Status drainInode(OpenInode *inode);
+    /** Drains every open file with queued ranges (pins the inodes). */
+    Status drainOpenFiles();
+    /**
+     * sync() barrier: with the cleaner on, drains the file's queue so
+     * every previously acknowledged write is checkpointed to the home
+     * extent and its log space reclaimed. No-op otherwise (every MGSP
+     * op is already synchronously durable).
+     */
+    Status syncFile(OpenInode *inode);
+    void cleanerMain();
+    void startCleaner();
+    void stopCleaner();
+
     std::shared_ptr<PmemDevice> device_;
     MgspConfig config_;
     ArenaLayout layout_;
@@ -224,6 +268,35 @@ class MgspFs : public FileSystem
     /// Operation tracing on? (config.enableStats && stats::enabled()
     /// at construction; the device-byte attribution follows it.)
     bool statsOn_ = false;
+
+    /// Cleaner active? (config.enableCleaner && enableShadowLog; the
+    /// no-shadow ablation already checkpoints every operation.)
+    bool cleanerOn_ = false;
+    /// Greedy locking skips ancestor intention locks, which the
+    /// cleaner's covering W lock relies on — so it is forced off
+    /// whenever the cleaner is on.
+    bool greedyOn_ = false;
+
+    std::vector<std::thread> cleanerWorkers_;
+    std::mutex cleanerMutex_;
+    std::condition_variable cleanerCv_;
+    bool cleanerStop_ = false;
+    bool cleanerKick_ = false;
+
+    /// Registry counters (process lifetime), cached at construction.
+    struct CleanCounters
+    {
+        stats::Counter *ranges = nullptr;
+        stats::Counter *cycles = nullptr;
+        stats::Counter *syncBarriers = nullptr;
+        stats::Counter *watermarkTriggers = nullptr;
+        stats::Counter *oomRetries = nullptr;
+        stats::Counter *bytesWrittenBack = nullptr;
+        stats::Counter *blocksReclaimed = nullptr;
+        stats::Counter *bytesReclaimed = nullptr;
+        stats::Counter *recordsReclaimed = nullptr;
+    };
+    CleanCounters cleanCounters_;
 };
 
 }  // namespace mgsp

@@ -589,6 +589,8 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
                                device_->rawRead(regionOff(last_valid, off)),
                                len);
                 device_->flush(extentOff_ + off, len);
+                stats_.writtenBackBytes.fetch_add(
+                    len, std::memory_order_relaxed);
             }
             return Status::ok();
         }
@@ -608,6 +610,8 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
                                device_->rawRead(regionOff(src, cursor)),
                                seg_end - cursor);
                 device_->flush(extentOff_ + cursor, seg_end - cursor);
+                stats_.writtenBackBytes.fetch_add(
+                    seg_end - cursor, std::memory_order_relaxed);
             }
             cursor = seg_end;
         }
@@ -623,6 +627,8 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
             device_->write(extentOff_ + off,
                            device_->rawRead(regionOff(src, off)), len);
             device_->flush(extentOff_ + off, len);
+            stats_.writtenBackBytes.fetch_add(len,
+                                              std::memory_order_relaxed);
         }
         return Status::ok();
     }
@@ -644,7 +650,82 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
                            device_->rawRead(regionOff(last_valid, sub_off)),
                            sub_end - sub_off);
             device_->flush(extentOff_ + sub_off, sub_end - sub_off);
+            stats_.writtenBackBytes.fetch_add(sub_end - sub_off,
+                                              std::memory_order_relaxed);
         }
+    }
+    return Status::ok();
+}
+
+Status
+ShadowTree::cleanRange(u64 off, u64 len, ReclaimStats *reclaim)
+{
+    if (len == 0)
+        return Status::ok();
+    const u64 before =
+        stats_.writtenBackBytes.load(std::memory_order_relaxed);
+    MGSP_RETURN_IF_ERROR(writeBackRange(off, len));
+    reclaim->bytesWrittenBack +=
+        stats_.writtenBackBytes.load(std::memory_order_relaxed) - before;
+
+    // Same unit-aligned range writeBackRange cleared the bitmaps of.
+    const u64 unit = geo_.leafSize / (config_->enableFineGrained
+                                          ? config_->leafSubBits
+                                          : 1);
+    const u64 a = alignDown(off, unit);
+    const u64 b = std::min(alignUp(off + len, unit), capacity_);
+
+    // Phase 1: collect every fully-covered non-root node that holds a
+    // record and clear the records' persistent in-use flags (each
+    // flushed by freeRecord, fenced together below).
+    std::vector<TreeNode *> victims;
+    struct Collect
+    {
+        ShadowTree *tree;
+        u64 a, b;
+        std::vector<TreeNode *> *out;
+        void
+        visit(TreeNode *n)
+        {
+            if (n->startOff >= b || n->startOff + n->coverage <= a)
+                return;
+            if (a <= n->startOff && n->startOff + n->coverage <= b &&
+                n->parent != nullptr &&
+                n->recIdx.load(std::memory_order_acquire) != kNoRecord)
+                out->push_back(n);
+            if (n->children) {
+                for (u32 i = 0; i < tree->geo_.degree; ++i) {
+                    TreeNode *child = tree->childAt(n, i);
+                    if (child)
+                        visit(child);
+                }
+            }
+        }
+    } collect{this, a, b, &victims};
+    collect.visit(root_.get());
+    if (victims.empty())
+        return Status::ok();
+    for (TreeNode *n : victims)
+        table_->freeRecord(n->recIdx.load(std::memory_order_acquire));
+
+    // Phase 2: the severed references must be durable before any cell
+    // can be handed to a new owner — otherwise a crash image could
+    // show two live records claiming one cell and mount would fail.
+    device_->fence();
+
+    // Phase 3: recycle the cells and reset the volatile node state.
+    // The TreeNode objects themselves stay allocated (concurrent
+    // readers may hold minSearch_ pointers into this subtree).
+    for (TreeNode *n : victims) {
+        const u64 log = n->logOff.load(std::memory_order_acquire);
+        if (log != 0) {
+            reclaim->blocksReclaimed += 1;
+            reclaim->bytesReclaimed += pool_->classCellSize(n->coverage);
+            pool_->free(log, n->coverage);
+        }
+        n->logOff.store(0, std::memory_order_release);
+        n->recIdx.store(kNoRecord, std::memory_order_release);
+        reclaim->recordsReclaimed += 1;
     }
     return Status::ok();
 }

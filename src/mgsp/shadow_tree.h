@@ -123,6 +123,16 @@ struct TreeStats
     std::atomic<u64> fineSubWrites{0};    ///< sub-block granular units
     std::atomic<u64> minTreeHits{0};
     std::atomic<u64> minTreeMisses{0};
+    std::atomic<u64> writtenBackBytes{0}; ///< home-extent bytes copied
+};
+
+/** What one cleanRange() pass wrote back and returned to free lists. */
+struct ReclaimStats
+{
+    u64 bytesWrittenBack = 0;  ///< bytes copied to the home extent
+    u64 blocksReclaimed = 0;   ///< shadow-log blocks freed to the pool
+    u64 bytesReclaimed = 0;    ///< pool bytes those blocks occupied
+    u64 recordsReclaimed = 0;  ///< node records freed to the table
 };
 
 /**
@@ -194,6 +204,22 @@ class ShadowTree
      * Caller must hold covering exclusivity (close path or file lock).
      */
     Status writeBackRange(u64 off, u64 len);
+
+    /**
+     * Cleaner pass: writeBackRange() plus reclamation — every node
+     * fully covered by the (unit-aligned) range returns its shadow-log
+     * block to the pool and its node record to the table. Unlike
+     * writeBackAll() the volatile TreeNodes stay allocated, so
+     * concurrent descents through the minimum-search-tree cache stay
+     * safe. Caller must hold covering exclusivity over the range (W
+     * on a covering node, or the file lock).
+     *
+     * Crash safety: every victim record's persistent in-use flag is
+     * cleared and *fenced before* its pool cell is recycled, so a
+     * recovery scan can never find two live records referencing one
+     * cell.
+     */
+    Status cleanRange(u64 off, u64 len, ReclaimStats *reclaim);
 
     /**
      * Close path: writes everything back, clears all bitmaps, frees

@@ -146,6 +146,9 @@ PmemDevice::flush(u64 off, u64 len)
             }
         }
     }
+    const u64 seq = persistSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (persistHook_)
+        persistHook_(seq, PersistPoint::Flush);
 }
 
 void
@@ -162,6 +165,9 @@ PmemDevice::fence()
         }
         pendingLines_.clear();
     }
+    const u64 seq = persistSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (persistHook_)
+        persistHook_(seq, PersistPoint::Fence);
 }
 
 CrashImage

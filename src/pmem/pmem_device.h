@@ -28,6 +28,7 @@
 #define MGSP_PMEM_PMEM_DEVICE_H
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
@@ -62,6 +63,22 @@ struct CrashImage
 {
     std::vector<u8> media;
 };
+
+/** Which persistence primitive a PersistHook observed. */
+enum class PersistPoint : u8 {
+    Flush,  ///< after flush(off, len) with len > 0
+    Fence,  ///< after fence() retired pending lines
+};
+
+/**
+ * Called after every flush/fence with that boundary's sequence
+ * number. The crash-point enumeration harness uses this to visit
+ * *every* persist boundary of a workload: the hook may call
+ * captureCrashImage() (the device is no longer holding its internal
+ * lock when the hook runs) and record the image for later recovery
+ * checks. Must not re-enter flush()/fence() on the same device.
+ */
+using PersistHook = std::function<void(u64 seq, PersistPoint point)>;
 
 /**
  * The emulated device. All mutation must go through the store
@@ -155,6 +172,19 @@ class PmemDevice
     /** Tracked mode: number of dirty (not yet durable) cache lines. */
     u64 dirtyLineCount() const;
 
+    /**
+     * Installs @p hook (empty = remove). Not synchronised against
+     * in-flight flush/fence: install before the workload starts.
+     */
+    void setPersistHook(PersistHook hook) { persistHook_ = std::move(hook); }
+
+    /** Persist boundaries (flushes + fences) seen so far. */
+    u64
+    persistSeq() const
+    {
+        return persistSeq_.load(std::memory_order_relaxed);
+    }
+
   private:
     u64 size_;
     Mode mode_;
@@ -170,6 +200,9 @@ class PmemDevice
     mutable std::mutex trackMutex_;
     std::unordered_set<u64> dirtyLines_;
     std::unordered_set<u64> pendingLines_;  ///< flushed, awaiting fence
+
+    PersistHook persistHook_;
+    std::atomic<u64> persistSeq_{0};
 };
 
 }  // namespace mgsp

@@ -26,8 +26,10 @@ PmemPool::PmemPool(u64 base, std::vector<PoolClassConfig> configs)
         cls.freeCount = cls.cellCount;
         cls.occupancy.assign(ceilDiv(cls.cellCount, 64), 0);
         cursor = cls.regionBase + cls.cellCount * cls.cellSize;
+        cellBytes_ += cls.cellCount * cls.cellSize;
     }
     totalBytes_ = cursor - base;
+    freeBytesApprox_.store(cellBytes_, std::memory_order_relaxed);
 }
 
 int
@@ -79,6 +81,8 @@ PmemPool::alloc(u64 size)
         cls.occupancy[word] |= (1ull << bit);
         --cls.freeCount;
         cls.nextHint = word;
+        freeBytesApprox_.fetch_sub(cls.cellSize,
+                                   std::memory_order_relaxed);
         return cls.regionBase + cell * cls.cellSize;
     }
     return Status::outOfSpace("pool class exhausted");
@@ -99,6 +103,7 @@ PmemPool::free(u64 offset, u64 size)
     MGSP_CHECK((cls.occupancy[cell / 64] & mask) != 0 && "double free");
     cls.occupancy[cell / 64] &= ~mask;
     ++cls.freeCount;
+    freeBytesApprox_.fetch_add(cls.cellSize, std::memory_order_relaxed);
 }
 
 void
@@ -110,6 +115,7 @@ PmemPool::resetAllocationState()
         cls.freeCount = cls.cellCount;
         cls.nextHint = 0;
     }
+    freeBytesApprox_.store(cellBytes_, std::memory_order_relaxed);
 }
 
 Status
@@ -130,6 +136,7 @@ PmemPool::markAllocated(u64 offset, u64 size)
         return Status::alreadyExists("cell referenced twice");
     cls.occupancy[cell / 64] |= mask;
     --cls.freeCount;
+    freeBytesApprox_.fetch_sub(cls.cellSize, std::memory_order_relaxed);
     return Status::ok();
 }
 

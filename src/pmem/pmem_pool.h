@@ -17,6 +17,7 @@
 #ifndef MGSP_PMEM_PMEM_POOL_H
 #define MGSP_PMEM_PMEM_POOL_H
 
+#include <atomic>
 #include <deque>
 #include <vector>
 
@@ -73,6 +74,19 @@ class PmemPool
     /** Free cells remaining in the class serving @p size. */
     u64 freeCells(u64 size) const;
 
+    /**
+     * Free bytes across all classes (lock-free snapshot; the value
+     * drifts under concurrent alloc/free). Watermark checks only.
+     */
+    u64
+    freeBytes() const
+    {
+        return freeBytesApprox_.load(std::memory_order_relaxed);
+    }
+
+    /** Bytes usable by cells across all classes (excludes padding). */
+    u64 cellBytes() const { return cellBytes_; }
+
     /** Cell size of the class that would serve @p size (0 if none). */
     u64 classCellSize(u64 size) const;
 
@@ -95,6 +109,8 @@ class PmemPool
 
     u64 base_;
     u64 totalBytes_;
+    u64 cellBytes_ = 0;
+    std::atomic<u64> freeBytesApprox_{0};
     std::deque<SizeClass> classes_;  // deque: SizeClass is immovable
 };
 

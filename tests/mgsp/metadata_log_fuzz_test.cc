@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "mgsp/metadata_log.h"
+#include "tests/mgsp/test_util.h"
 
 namespace mgsp {
 namespace {
@@ -88,7 +89,9 @@ TEST(MetadataLogFuzz, UncoveredTailGarbageIsHarmless)
     const u32 idx = fx.log.claim();
     const u64 off = fx.commitCanonical(idx, 2);  // covered: [8, 56)
     // Scribble over the unused slots + pad (bytes 56..128).
-    Rng rng(8);
+    const u64 seed = testutil::testSeed(8);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    Rng rng(seed);
     std::vector<u8> garbage = rng.nextBytes(128 - 56);
     fx.device.write(off + 56, garbage.data(), garbage.size());
     const auto live = fx.log.scanLive();
@@ -105,7 +108,9 @@ TEST(MetadataLogFuzz, RandomEntryImagesNeverValidate)
     // random images; demand zero false accepts with nonzero length.
     FuzzFixture fx;
     const u64 off = fx.layout.metaEntryOff(0);
-    Rng rng(9);
+    const u64 seed = testutil::testSeed(9);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    Rng rng(seed);
     int accepted = 0;
     for (int i = 0; i < 2000; ++i) {
         std::vector<u8> noise = rng.nextBytes(128);

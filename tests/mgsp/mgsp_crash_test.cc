@@ -68,8 +68,10 @@ TEST(MgspCrash, AckedWritesSurviveTotalCacheLoss)
     ASSERT_TRUE(file.isOk());
 
     ReferenceFile ref;
-    Rng rng(1);
-    Rng crash_rng(2);
+    const u64 seed = testutil::testSeed(1);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    Rng rng(seed);
+    Rng crash_rng(seed + 1);
     for (int op = 0; op < 60; ++op) {
         const u64 len = rng.nextInRange(1, 16 * KiB);
         const u64 off = rng.nextBelow(256 * KiB - len);
@@ -102,7 +104,9 @@ TEST(MgspCrash, RandomEvictionNeverCorrupts)
     ASSERT_TRUE(file.isOk());
 
     ReferenceFile ref;
-    Rng rng(11);
+    const u64 base_seed = testutil::testSeed(11);
+    SCOPED_TRACE(testutil::seedTrace(base_seed));
+    Rng rng(base_seed);
     for (int op = 0; op < 40; ++op) {
         const u64 len = rng.nextInRange(1, 8 * KiB);
         const u64 off = rng.nextBelow(128 * KiB - len);
@@ -148,7 +152,9 @@ TEST(MgspCrash, MidOperationCrashIsAtomic)
         std::vector<u8> data;
     };
     std::vector<Op> plan;
-    Rng rng(21);
+    const u64 seed = testutil::testSeed(21);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    Rng rng(seed);
     for (int i = 0; i < 1500; ++i) {
         Op op;
         // Unaligned multi-block writes stress multi-slot commits.
@@ -172,7 +178,7 @@ TEST(MgspCrash, MidOperationCrashIsAtomic)
         stop.store(true);
     });
 
-    Rng crash_rng(31);
+    Rng crash_rng(seed + 10);
     int checked = 0;
     while (!stop.load() && checked < 12) {
         const u64 before = acked.load(std::memory_order_acquire);
@@ -228,7 +234,9 @@ TEST(MgspCrash, RecoveryIsIdempotentAcrossRecrash)
     auto file = (*fs)->createFile("re.dat", 64 * KiB);
     ASSERT_TRUE(file.isOk());
     ReferenceFile ref;
-    Rng rng(41);
+    const u64 seed = testutil::testSeed(41);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    Rng rng(seed);
     for (int i = 0; i < 25; ++i) {
         const u64 len = rng.nextInRange(1, 4 * KiB);
         const u64 off = rng.nextBelow(64 * KiB - len);
@@ -237,7 +245,7 @@ TEST(MgspCrash, RecoveryIsIdempotentAcrossRecrash)
             (*file)->pwrite(off, ConstSlice(data.data(), len)).isOk());
         ref.pwrite(off, data);
     }
-    Rng crash_rng(43);
+    Rng crash_rng(seed + 2);
     CrashImage first = device->captureCrashImage(crash_rng, 0.3);
 
     // Recover once on a *tracked* device, then crash again with no

@@ -8,13 +8,43 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mgsp/mgsp_fs.h"
 #include "pmem/pmem_device.h"
 
 namespace mgsp::testutil {
+
+/**
+ * Seed for randomized tests: the MGSP_TEST_SEED environment variable
+ * when set, else @p fallback. Always log it via SCOPED_TRACE (see
+ * seedTrace) so a failing run prints the seed to reproduce with.
+ */
+inline u64
+testSeed(u64 fallback)
+{
+    const char *env = std::getenv("MGSP_TEST_SEED");
+    if (env != nullptr && env[0] != '\0') {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 0);
+        if (end != nullptr && *end == '\0')
+            return v;
+        ADD_FAILURE() << "unparsable MGSP_TEST_SEED: " << env;
+    }
+    return fallback;
+}
+
+/** SCOPED_TRACE message naming the seed of a randomized test. */
+inline std::string
+seedTrace(u64 seed)
+{
+    return "rng seed " + std::to_string(seed) +
+           " (reproduce with MGSP_TEST_SEED=" + std::to_string(seed) +
+           ")";
+}
 
 /** A small-footprint config suitable for unit tests. */
 inline MgspConfig
