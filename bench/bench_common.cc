@@ -68,6 +68,8 @@ makeEngine(const std::string &name, u64 arena_bytes)
             cfg.enableGreedyLocking = false;
             cfg.enableMinSearchTree = false;
             cfg.enablePartialMetaFlush = false;
+        } else if (name == "mgsp-no-optimistic") {
+            cfg.enableOptimisticReads = false;
         } else if (name == "mgsp-bg") {
             cfg.enableCleaner = true;
             cfg.cleanerThreads = 1;
@@ -133,9 +135,11 @@ parseBenchArgs(int argc, char **argv)
             args.statsJsonPath = argv[++i];
         } else if (arg == "--background") {
             args.background = true;
+        } else if (arg == "--quick") {
+            args.quick = true;
         } else {
             MGSP_FATAL("unknown argument: %s (supported: "
-                       "--stats-json=FILE --background)",
+                       "--stats-json=FILE --background --quick)",
                        arg.c_str());
         }
     }

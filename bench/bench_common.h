@@ -11,8 +11,9 @@
  * Engine names: ext4-wb | ext4-ordered | ext4-journal | ext4-dax |
  * libnvmmio | nova | mgsp, plus mgsp ablation variants
  * (mgsp-no-shadow, mgsp-no-multigran, mgsp-no-fine, mgsp-filelock,
- * mgsp-no-opt) used by the Fig. 13 breakdown and mgsp-bg (background
- * cleaner thread + periodic drain) used by fig07 --background.
+ * mgsp-no-opt, mgsp-no-optimistic) used by the Fig. 13 breakdown and
+ * the fig10 read-scalability series, and mgsp-bg (background cleaner
+ * thread + periodic drain) used by fig07 --background.
  */
 #ifndef MGSP_BENCH_BENCH_COMMON_H
 #define MGSP_BENCH_BENCH_COMMON_H
@@ -71,6 +72,9 @@ struct BenchArgs
     /// --background: benches that honour it (fig07) additionally run
     /// the mgsp-bg engine (background write-back & cleaning).
     bool background = false;
+    /// --quick: benches that honour it (fig10) run a reduced smoke
+    /// matrix and exit nonzero on a scalability regression, for CI.
+    bool quick = false;
 };
 
 /**

@@ -5,9 +5,24 @@
  * paper's claim: MGL lets MGSP scale where file-level locks (ext4,
  * NOVA per-inode) flatten and libnvmmio's checkpoint thread fights
  * the foreground.
+ *
+ * Extended with a read-scalability series: shared-file random reads
+ * across the same thread counts, with mgsp-no-optimistic alongside
+ * mgsp so the lock-free read path's contribution is visible (locked
+ * reads serialise on the covering node's R lock; optimistic reads
+ * validate seqlock versions and never touch the lock word).
+ *
+ * --quick: CI smoke mode. Runs only the 4K random-read series on
+ * mgsp with 4 and 8 threads and exits nonzero if 8-thread throughput
+ * falls below 4-thread throughput — the cheapest observable symptom
+ * of the read path reintroducing lock contention. Skipped (exit 0)
+ * on machines with fewer than 8 cores, where the comparison would
+ * measure oversubscription instead.
  */
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "workloads/fio.h"
@@ -15,54 +30,122 @@
 using namespace mgsp;
 using namespace mgsp::bench;
 
+namespace {
+
+double
+runOne(const std::string &engine_name, const BenchScale &scale,
+       FioOp op, bool random, u64 block_size, u32 threads)
+{
+    Engine engine = makeEngine(engine_name, scale.arenaBytes);
+    FioConfig cfg;
+    cfg.op = op;
+    cfg.random = random;
+    cfg.fileSize = scale.fileSize;
+    cfg.blockSize = block_size;
+    cfg.fsyncInterval = 1;
+    cfg.threads = threads;
+    cfg.runtimeMillis = scale.runtimeMillis;
+    cfg.rampMillis = scale.rampMillis;
+    StatusOr<FioResult> result = runFio(engine.fs.get(), cfg);
+    return result.isOk() ? result->throughputMiBps() : -1.0;
+}
+
+void
+printMatrix(const std::string &title, const BenchScale &scale,
+            const std::vector<std::string> &engines, FioOp op,
+            bool random, u64 block_size, const u32 *thread_counts,
+            std::size_t n_counts)
+{
+    printHeader("Figure 10", title);
+    std::printf("%-10s", "threads");
+    for (const std::string &name : engines)
+        std::printf("  %-18s", name.c_str());
+    std::printf("[MiB/s]\n");
+    for (std::size_t t = 0; t < n_counts; ++t) {
+        std::printf("%-10u", thread_counts[t]);
+        for (const std::string &name : engines) {
+            std::printf("  %-18.1f",
+                        runOne(name, scale, op, random, block_size,
+                               thread_counts[t]));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+}
+
+/**
+ * CI smoke: mgsp 4K shared-file random reads must not scale worse
+ * from 4 to 8 threads. Returns the process exit code.
+ */
+int
+quickReadSmoke(const BenchScale &scale)
+{
+    if (std::thread::hardware_concurrency() < 8) {
+        std::printf("fig10 --quick: <8 cores, skipping read-scaling "
+                    "check\n");
+        return 0;
+    }
+    const double t4 =
+        runOne("mgsp", scale, FioOp::Read, /*random=*/true, 4 * KiB, 4);
+    const double t8 =
+        runOne("mgsp", scale, FioOp::Read, /*random=*/true, 4 * KiB, 8);
+    std::printf("fig10 --quick: mgsp 4K random read  4T=%.1f MiB/s  "
+                "8T=%.1f MiB/s  (x%.2f)\n",
+                t4, t8, t4 > 0 ? t8 / t4 : 0.0);
+    if (t4 < 0 || t8 < 0) {
+        std::printf("fig10 --quick: FAIL (run error)\n");
+        return 1;
+    }
+    if (t8 < t4) {
+        std::printf("fig10 --quick: FAIL (8-thread reads scale worse "
+                    "than 4-thread)\n");
+        return 1;
+    }
+    std::printf("fig10 --quick: OK\n");
+    return 0;
+}
+
+}  // namespace
+
 int
 main(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const BenchScale scale = defaultScale();
+
+    if (args.quick)
+        return quickReadSmoke(scale);
+
     const u32 thread_counts[] = {1, 2, 4, 8};
     const u64 sizes[] = {1 * KiB, 4 * KiB, 16 * KiB};
 
     for (bool random : {false, true}) {
         for (u64 size : sizes) {
-            printHeader(
-                "Figure 10",
-                (std::to_string(size / KiB) + "K " +
-                 (random ? "random" : "sequential") +
-                 " write scalability (shared file)"));
-            std::printf("%-10s", "threads");
-            for (const std::string &name : standardEngines())
-                std::printf("  %-12s", name.c_str());
-            std::printf("[MiB/s]\n");
-            for (u32 threads : thread_counts) {
-                std::printf("%-10u", threads);
-                for (const std::string &name : standardEngines()) {
-                    Engine engine = makeEngine(name, scale.arenaBytes);
-                    FioConfig cfg;
-                    cfg.op = FioOp::Write;
-                    cfg.random = random;
-                    cfg.fileSize = scale.fileSize;
-                    cfg.blockSize = size;
-                    cfg.fsyncInterval = 1;
-                    cfg.threads = threads;
-                    cfg.runtimeMillis = scale.runtimeMillis;
-                    cfg.rampMillis = scale.rampMillis;
-                    StatusOr<FioResult> result =
-                        runFio(engine.fs.get(), cfg);
-                    std::printf("  %-12.1f",
-                                result.isOk()
-                                    ? result->throughputMiBps()
-                                    : -1.0);
-                    std::fflush(stdout);
-                }
-                std::printf("\n");
-            }
+            printMatrix(std::to_string(size / KiB) + "K " +
+                            (random ? "random" : "sequential") +
+                            " write scalability (shared file)",
+                        scale, standardEngines(), FioOp::Write, random,
+                        size, thread_counts, 4);
         }
     }
+
+    // Read scalability: the optimistic read path against its own
+    // ablation and the baselines. Random reads on one shared file are
+    // the contention-free case the seqlock validation targets.
+    std::vector<std::string> read_engines = standardEngines();
+    read_engines.push_back("mgsp-no-optimistic");
+    printMatrix("4K random read scalability (shared file)", scale,
+                read_engines, FioOp::Read, /*random=*/true, 4 * KiB,
+                thread_counts, 4);
+
     std::printf("\nExpected shape: MGSP throughput grows with threads "
                 "(fine-grained MGL);\next4-dax and nova stay flat "
                 "(inode lock); libnvmmio may not scale at all\n"
-                "(front/back checkpoint conflict).\n");
+                "(front/back checkpoint conflict). In the read series "
+                "mgsp should pull away\nfrom mgsp-no-optimistic as "
+                "threads increase: locked reads serialise on the\n"
+                "covering node, optimistic reads never write the lock "
+                "word.\n");
     bench::dumpStatsJson(args, "fig10", "all");
     return 0;
 }

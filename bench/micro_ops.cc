@@ -29,7 +29,7 @@ struct BenchFs
         if (!made.isOk())
             std::abort();
         fs = std::move(*made);
-        auto f = fs->createFile("bench.dat", capacity);
+        auto f = fs->open("bench.dat", OpenOptions::Create(capacity));
         if (!f.isOk())
             std::abort();
         file = std::move(*f);

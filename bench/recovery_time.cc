@@ -39,7 +39,7 @@ runOnce(u64 file_size, int ops, u64 seed)
                     fs.status().toString().c_str());
         return;
     }
-    auto file = (*fs)->createFile("crashme.dat", file_size);
+    auto file = (*fs)->open("crashme.dat", OpenOptions::Create(file_size));
     if (!file.isOk()) {
         std::printf("create failed: %s\n",
                     file.status().toString().c_str());

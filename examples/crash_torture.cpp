@@ -59,7 +59,7 @@ main(int argc, char **argv)
     auto fs = MgspFs::format(device, config);
     if (!fs.isOk())
         return 1;
-    auto file = (*fs)->createFile("torture.dat", kFileSize);
+    auto file = (*fs)->open("torture.dat", OpenOptions::Create(kFileSize));
     if (!file.isOk())
         return 1;
     {

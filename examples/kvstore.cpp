@@ -127,7 +127,7 @@ main()
     auto fs = MgspFs::format(device, config);
     if (!fs.isOk())
         return 1;
-    auto file = (*fs)->createFile("kv.dat", 8 * MiB);
+    auto file = (*fs)->open("kv.dat", OpenOptions::Create(8 * MiB));
     if (!file.isOk())
         return 1;
     device->stats().reset();  // don't count format/create in the demo

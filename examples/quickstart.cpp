@@ -56,7 +56,7 @@ main(int argc, char **argv)
 
     // 3. Every pwrite is synchronously durable AND atomic: no fsync
     //    needed, and a crash can never expose a half-applied write.
-    auto file = (*fs)->createFile("notes.txt", 1 * MiB);
+    auto file = (*fs)->open("notes.txt", OpenOptions::Create(1 * MiB));
     if (!file.isOk()) {
         std::printf("create failed: %s\n",
                     file.status().toString().c_str());

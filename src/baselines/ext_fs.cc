@@ -264,36 +264,23 @@ ExtFs::open(const std::string &path, const OpenOptions &options)
     if (it == inodes_.end()) {
         if (!options.create)
             return Status::notFound("no such file: " + path);
-        StatusOr<u64> extent = store_.alloc(options_.defaultFileCapacity);
+        const u64 capacity = options.capacity != 0
+                                 ? options.capacity
+                                 : options_.defaultFileCapacity;
+        StatusOr<u64> extent = store_.alloc(capacity);
         if (!extent.isOk())
             return extent.status();
         auto inode = std::make_shared<Inode>();
         inode->extentOff = *extent;
-        inode->capacity = options_.defaultFileCapacity;
+        inode->capacity = capacity;
         it = inodes_.emplace(path, std::move(inode)).first;
+    } else if (options.create && options.exclusive) {
+        return Status::alreadyExists("file exists: " + path);
     }
     auto handle = std::make_unique<ExtFile>(this, it->second);
     if (options.truncate)
         MGSP_RETURN_IF_ERROR(handle->truncate(0));
     return std::unique_ptr<File>(std::move(handle));
-}
-
-StatusOr<std::unique_ptr<File>>
-ExtFs::createFile(const std::string &path, u64 capacity)
-{
-    std::lock_guard<std::mutex> guard(tableMutex_);
-    if (inodes_.count(path))
-        return Status::alreadyExists("file exists: " + path);
-    StatusOr<u64> extent = store_.alloc(capacity);
-    if (!extent.isOk())
-        return extent.status();
-    auto inode = std::make_shared<Inode>();
-    inode->extentOff = *extent;
-    inode->capacity = capacity;
-    auto [it, ok] = inodes_.emplace(path, std::move(inode));
-    (void)ok;
-    return std::unique_ptr<File>(
-        std::make_unique<ExtFile>(this, it->second));
 }
 
 Status

@@ -219,36 +219,20 @@ NovaFs::open(const std::string &path, const OpenOptions &options)
         if (!log.isOk())
             return log.status();
         auto inode = std::make_shared<Inode>();
-        inode->capacity = options_.defaultFileCapacity;
+        inode->capacity = options.capacity != 0
+                              ? options.capacity
+                              : options_.defaultFileCapacity;
         inode->pages.assign(inode->capacity / kPage + 1, 0);
         inode->logOff = *log;
         inode->logPos = kCacheLineSize;  // slot 0 holds the tail word
         it = inodes_.emplace(path, std::move(inode)).first;
+    } else if (options.create && options.exclusive) {
+        return Status::alreadyExists("file exists: " + path);
     }
     auto handle = std::make_unique<NovaFile>(this, it->second);
     if (options.truncate)
         MGSP_RETURN_IF_ERROR(handle->truncate(0));
     return std::unique_ptr<File>(std::move(handle));
-}
-
-StatusOr<std::unique_ptr<File>>
-NovaFs::createFile(const std::string &path, u64 capacity)
-{
-    std::lock_guard<std::mutex> guard(tableMutex_);
-    if (inodes_.count(path))
-        return Status::alreadyExists("file exists: " + path);
-    StatusOr<u64> log = store_.alloc(kInodeLogBytes);
-    if (!log.isOk())
-        return log.status();
-    auto inode = std::make_shared<Inode>();
-    inode->capacity = capacity;
-    inode->pages.assign(capacity / kPage + 1, 0);
-    inode->logOff = *log;
-    inode->logPos = kCacheLineSize;
-    auto [it, ok] = inodes_.emplace(path, std::move(inode));
-    (void)ok;
-    return std::unique_ptr<File>(
-        std::make_unique<NovaFile>(this, it->second));
 }
 
 Status

@@ -69,6 +69,7 @@ stageName(Stage s)
       case Stage::CommitFence: return "commit_fence";
       case Stage::BitmapApply: return "bitmap_apply";
       case Stage::Read: return "read";
+      case Stage::OptimisticRead: return "read_optimistic";
       case Stage::Recovery: return "recovery";
       case Stage::WriteBack: return "writeback";
       case Stage::Clean: return "clean";

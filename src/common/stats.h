@@ -55,7 +55,8 @@ enum class Stage : u8 {
     DataWrite,    ///< shadow-tree traversal + shadow-log data write
     CommitFence,  ///< data fence + metadata-entry publish (commit)
     BitmapApply,  ///< bitmap-word apply, size persist, entry retire
-    Read,         ///< read path (tree descent + copy-out)
+    Read,         ///< locked read path (tree descent + copy-out)
+    OptimisticRead,  ///< lock-free read attempt (seqlock validated)
     Recovery,     ///< mount-time metadata-log replay + rebuild
     WriteBack,    ///< close/truncate log write-back (checkpoint)
     Clean,        ///< background/sync cleaner write-back + reclaim

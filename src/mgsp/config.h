@@ -82,6 +82,17 @@ struct MgspConfig
     bool enablePartialMetaFlush = true;
 
     /**
+     * Lock-free reads on the contention-free path: pread descends the
+     * tree with no IR/R locks, snapshots per-node seqlock versions,
+     * copies the data and re-validates, falling back to the locked
+     * read on any conflict. Effective only under LockMode::Mgl with
+     * enableShadowLog (file-lock mode has no per-node versions to
+     * validate, and no-shadow mode overwrites leaf data in place
+     * without any bitmap/version signal).
+     */
+    bool enableOptimisticReads = true;
+
+    /**
      * Per-stage write-path tracing and NVM byte attribution (see
      * common/stats.h). Also gated globally by env MGSP_STATS=0 and
      * the MGSP_STATS_DISABLED compile-out macro.

@@ -40,14 +40,39 @@ struct StagedMetadata
     u8 granMask = 0;
     MetaLogEntry::Slot slots[MetaLogEntry::kMaxSlots];
 
-    /** Appends a bitmap-slot change; caller must respect kMaxSlots. */
+    /**
+     * Stages a bitmap-slot change; caller must respect kMaxSlots.
+     * At most one slot exists per record: a batched operation can
+     * write the same word twice (adjacent pwritev spans sharing a
+     * leaf), and replay must not let an early flip resurface after a
+     * later one.
+     */
     void
     addSlot(u32 rec_idx, u32 new_bits)
     {
+        for (u32 i = 0; i < usedSlots; ++i) {
+            if (slots[i].recIdx == rec_idx) {
+                slots[i].newBits = new_bits;
+                return;
+            }
+        }
         assert(usedSlots < MetaLogEntry::kMaxSlots);
         slots[usedSlots].recIdx = rec_idx;
         slots[usedSlots].newBits = new_bits;
         ++usedSlots;
+    }
+
+    /** Looks up the pending bits staged for @p rec_idx, if any. */
+    bool
+    findSlot(u32 rec_idx, u32 *bits) const
+    {
+        for (u32 i = 0; i < usedSlots; ++i) {
+            if (slots[i].recIdx == rec_idx) {
+                *bits = slots[i].newBits;
+                return true;
+            }
+        }
+        return false;
     }
 };
 

@@ -125,6 +125,74 @@ class MglLock
     std::atomic<u64> state_{0};
 };
 
+/**
+ * A writer-advanced version counter with seqlock discipline, one per
+ * tree node, validating the optimistic (lock-free) read path.
+ *
+ * Writers bump the counter to an odd value before mutating the state
+ * it covers (bitmap word, log pointer, log data) and back to even
+ * after, always while holding a lock that serialises mutators of the
+ * node (the node's W lock or its transition SpinLock), so bumps never
+ * race each other. Readers snapshot, copy, and re-validate: any odd
+ * snapshot or begin/end mismatch means a writer interleaved and the
+ * copy must be discarded.
+ *
+ * Memory ordering follows the kernel seqcount pattern: a release
+ * fence *after* the begin-bump orders it before the writer's
+ * mutations, and one *before* the end-bump orders the mutations
+ * before it; readers pair these with acquire fences.
+ */
+class SeqVersion
+{
+  public:
+    SeqVersion() = default;
+    SeqVersion(const SeqVersion &) = delete;
+    SeqVersion &operator=(const SeqVersion &) = delete;
+
+    /** Enters the writer critical section (version becomes odd). */
+    void
+    writeBegin()
+    {
+        version_.store(version_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+    }
+
+    /** Leaves the writer critical section (version becomes even). */
+    void
+    writeEnd()
+    {
+        std::atomic_thread_fence(std::memory_order_release);
+        version_.store(version_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    }
+
+    /** Reader snapshot; odd means a writer is mid-flight. */
+    u64
+    readBegin() const
+    {
+        const u64 v = version_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return v;
+    }
+
+    static bool isWriteActive(u64 snapshot) { return (snapshot & 1) != 0; }
+
+    /**
+     * True iff no writer entered since @p snapshot was taken. The
+     * caller issues one atomic_thread_fence(acquire) after its last
+     * data read and before validating its snapshots.
+     */
+    bool
+    matches(u64 snapshot) const
+    {
+        return version_.load(std::memory_order_relaxed) == snapshot;
+    }
+
+  private:
+    std::atomic<u64> version_{0};
+};
+
 }  // namespace mgsp
 
 #endif  // MGSP_MGSP_MG_LOCK_H

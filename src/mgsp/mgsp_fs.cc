@@ -33,6 +33,33 @@ class MgspFile : public File
     }
 
     /**
+     * Vectored write as ONE failure-atomic commit: the spans are laid
+     * end to end at @p offset and routed through writeBatch, so a
+     * crash leaves either none or all of them. Requests writeBatch
+     * cannot express (more bitmap slots than one metadata-log entry
+     * holds) fall back to the span-by-span default, which is still
+     * atomic per span.
+     */
+    Status
+    pwritev(u64 offset, const std::vector<ConstSlice> &spans) override
+    {
+        std::vector<BatchWrite> batch;
+        batch.reserve(spans.size());
+        u64 pos = offset;
+        for (const ConstSlice &s : spans) {
+            if (!s.empty())
+                batch.push_back({pos, s});
+            pos += s.size();
+        }
+        if (batch.empty())
+            return Status::ok();
+        Status s = fs_->writeBatch(this, batch);
+        if (s.code() == StatusCode::InvalidArgument)
+            return File::pwritev(offset, spans);
+        return s;
+    }
+
+    /**
      * Every MGSP operation is already synchronously durable; with the
      * cleaner enabled this is additionally a write-back barrier.
      */
@@ -62,9 +89,18 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
     : device_(std::move(device)), config_(config),
       statsOn_(config.enableStats && stats::enabled()),
       cleanerOn_(config.enableCleaner && config.enableShadowLog),
+      optimisticOn_(config.enableOptimisticReads &&
+                    config.lockMode == LockMode::Mgl &&
+                    config.enableShadowLog),
       greedyOn_(config.enableGreedyLocking &&
                 !(config.enableCleaner && config.enableShadowLog))
 {
+    if (optimisticOn_) {
+        auto &reg = stats::StatsRegistry::instance();
+        readCounters_.optimistic = &reg.counter("read.optimistic");
+        readCounters_.retry = &reg.counter("read.retry");
+        readCounters_.fallback = &reg.counter("read.fallback");
+    }
     if (cleanerOn_) {
         auto &reg = stats::StatsRegistry::instance();
         cleanCounters_.ranges = &reg.counter("clean.ranges");
@@ -363,21 +399,17 @@ MgspFs::open(const std::string &path, const OpenOptions &options)
         }
     }
     if (inode == nullptr) {
-        StatusOr<std::unique_ptr<File>> created =
-            createFileLocked(path, config_.defaultFileCapacity);
+        StatusOr<std::unique_ptr<File>> created = createFileLocked(
+            path, options.capacity != 0 ? options.capacity
+                                        : config_.defaultFileCapacity);
         return created;
     }
+    if (options.create && options.exclusive)
+        return Status::alreadyExists("file exists: " + path);
     StatusOr<std::unique_ptr<File>> handle = makeHandle(inode);
     if (handle.isOk() && options.truncate)
         MGSP_RETURN_IF_ERROR(doTruncate(inode, 0));
     return handle;
-}
-
-StatusOr<std::unique_ptr<File>>
-MgspFs::createFile(const std::string &path, u64 capacity)
-{
-    std::lock_guard<std::mutex> guard(tableMutex_);
-    return createFileLocked(path, capacity);
 }
 
 StatusOr<std::unique_ptr<File>>
@@ -584,7 +616,9 @@ MgspFs::cleanOneRange(OpenInode *inode, u64 off, u64 len,
     for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it)
         (*it)->lock.acquire(MglMode::IW);
     covering->lock.acquire(MglMode::W);
+    covering->version.writeBegin();
     Status s = inode->tree->cleanRange(off, len, reclaim);
+    covering->version.writeEnd();
     covering->lock.release(MglMode::W);
     for (TreeNode *n : ancestors)
         n->lock.release(MglMode::IW);
@@ -720,12 +754,14 @@ MgspFs::stopCleaner()
     cleanerWorkers_.clear();
 }
 
-TreeStats *
-MgspFs::treeStatsFor(const std::string &path)
+StatusOr<TreeStats>
+MgspFs::statsFor(const std::string &path) const
 {
     std::lock_guard<std::mutex> guard(tableMutex_);
     auto it = openInodes_.find(path);
-    return it == openInodes_.end() ? nullptr : &it->second->tree->stats();
+    if (it == openInodes_.end())
+        return Status::notFound("not open: " + path);
+    return it->second->tree->snapshotStats();
 }
 
 MgspStatsReport
@@ -736,12 +772,12 @@ MgspFs::statsReport() const
     {
         std::lock_guard<std::mutex> guard(tableMutex_);
         for (const auto &[path, inode] : openInodes_) {
-            const TreeStats &t = inode->tree->stats();
-            coarse += t.coarseLogWrites.load(std::memory_order_relaxed);
-            leafw += t.leafLogWrites.load(std::memory_order_relaxed);
-            fine += t.fineSubWrites.load(std::memory_order_relaxed);
-            mt_hits += t.minTreeHits.load(std::memory_order_relaxed);
-            mt_misses += t.minTreeMisses.load(std::memory_order_relaxed);
+            const TreeStats t = inode->tree->snapshotStats();
+            coarse += t.coarseLogWrites;
+            leafw += t.leafLogWrites;
+            fine += t.fineSubWrites;
+            mt_hits += t.minTreeHits;
+            mt_misses += t.minTreeMisses;
         }
     }
     const PmemStats &dev = device_->stats();
@@ -757,8 +793,8 @@ MgspFs::statsReport() const
         stats::Stage::Claim,       stats::Stage::Lock,
         stats::Stage::DataWrite,   stats::Stage::CommitFence,
         stats::Stage::BitmapApply, stats::Stage::Read,
-        stats::Stage::Recovery,    stats::Stage::WriteBack,
-        stats::Stage::Clean,
+        stats::Stage::OptimisticRead, stats::Stage::Recovery,
+        stats::Stage::WriteBack,   stats::Stage::Clean,
     };
     static constexpr stats::OpType kOps[] = {
         stats::OpType::Write,    stats::OpType::Append,
@@ -777,6 +813,9 @@ MgspFs::statsReport() const
     const u64 clean_blocks = reg.counter("clean.blocks_reclaimed").value();
     const u64 clean_bytes = reg.counter("clean.bytes_reclaimed").value();
     const u64 clean_recs = reg.counter("clean.records_reclaimed").value();
+    const u64 read_opt = reg.counter("read.optimistic").value();
+    const u64 read_retry = reg.counter("read.retry").value();
+    const u64 read_fb = reg.counter("read.fallback").value();
 
     MgspStatsReport report;
     char buf[512];
@@ -845,6 +884,12 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(clean_blocks),
                   static_cast<unsigned long long>(clean_bytes),
                   static_cast<unsigned long long>(clean_recs));
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "read: optimistic=%llu retries=%llu fallbacks=%llu\n",
+                  static_cast<unsigned long long>(read_opt),
+                  static_cast<unsigned long long>(read_retry),
+                  static_cast<unsigned long long>(read_fb));
     text += buf;
     std::snprintf(buf, sizeof(buf),
                   "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
@@ -940,6 +985,13 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(clean_blocks),
                   static_cast<unsigned long long>(clean_bytes),
                   static_cast<unsigned long long>(clean_recs));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "},\"read\":{\"optimistic\":%llu,\"retries\":%llu,"
+                  "\"fallbacks\":%llu",
+                  static_cast<unsigned long long>(read_opt),
+                  static_cast<unsigned long long>(read_retry),
+                  static_cast<unsigned long long>(read_fb));
     json += buf;
     std::snprintf(buf, sizeof(buf),
                   "},\"tree\":{\"coarse_log_writes\":%llu,"
@@ -1090,12 +1142,18 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
     } else if (greedy) {
         greedy_node = inode->tree->coveringNode(offset, src.size());
         greedy_node->lock.acquire(MglMode::W);
+        // Optimistic readers take no locks even against a sole-handle
+        // greedy writer, so the covering node must still advertise the
+        // write through its version.
+        greedy_node->version.writeBegin();
     }
     auto unlock_all = [&] {
-        if (file_lock_mode)
+        if (file_lock_mode) {
             inode->fileLock.unlock();
-        else if (greedy_node != nullptr)
+        } else if (greedy_node != nullptr) {
+            greedy_node->version.writeEnd();
             greedy_node->lock.release(MglMode::W);
+        }
         ShadowTree::releaseLocks(&locks);
     };
 
@@ -1187,11 +1245,16 @@ MgspFs::tryAppendFastPath(OpenInode *inode, u64 offset, ConstSlice src)
         for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it)
             (*it)->lock.acquire(MglMode::IW);
         covering->lock.acquire(MglMode::W);
+        // Appends land beyond every reader's EOF-clamped range, but
+        // bump anyway so optimistic readers racing the size update
+        // retry instead of relying on that argument.
+        covering->version.writeBegin();
     }
     auto unlock_all = [&] {
         if (file_lock_mode) {
             inode->fileLock.unlock();
         } else {
+            covering->version.writeEnd();
             covering->lock.release(MglMode::W);
             for (TreeNode *n : ancestors)
                 n->lock.release(MglMode::IW);
@@ -1250,6 +1313,27 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
         inode->refCount.load(std::memory_order_acquire) == 1;
 
     stats::OpTrace trace(stats::OpType::Read, offset, n, statsOn_);
+
+    // Optimistic lock-free path: descend without any IR/R
+    // acquisitions, copy, and seqlock-validate the per-node versions
+    // consulted. Any concurrent writer or cleaner invalidates the
+    // attempt; after a few failures fall back to the locked path so
+    // readers cannot starve under sustained write pressure.
+    if (optimisticOn_) {
+        trace.stage(stats::Stage::OptimisticRead);
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            if (inode->tree->tryReadOptimistic(offset,
+                                               MutSlice(dst.data(), n))) {
+                device_->latency().chargeRead(n);
+                trace.endStage();
+                readCounters_.optimistic->add(1);
+                return n;
+            }
+            readCounters_.retry->add(1);
+        }
+        readCounters_.fallback->add(1);
+    }
+
     trace.stage(stats::Stage::Lock);
     std::vector<HeldLock> locks;
     TreeNode *greedy_node = nullptr;
@@ -1344,12 +1428,17 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         greedy_node =
             inode->tree->coveringNode(span_start, batch_end - span_start);
         greedy_node->lock.acquire(MglMode::W);
+        // As in doAtomicChunk: lock-free readers need the version
+        // signal even when the greedy single-handle path skips MGL.
+        greedy_node->version.writeBegin();
     }
     auto unlock_all = [&] {
-        if (file_lock_mode)
+        if (file_lock_mode) {
             inode->fileLock.unlock();
-        else if (greedy_node != nullptr)
+        } else if (greedy_node != nullptr) {
+            greedy_node->version.writeEnd();
             greedy_node->lock.release(MglMode::W);
+        }
         ShadowTree::releaseLocks(&locks);
     };
 

@@ -93,12 +93,21 @@ class MgspFs : public FileSystem
         return ConsistencyLevel::OperationAtomic;
     }
 
+    /**
+     * Opens @p path. Honours the full vfs v2 OpenOptions: create
+     * (capacity bytes of extent, 0 = defaultFileCapacity) and
+     * exclusive (fail if the file already exists).
+     */
     StatusOr<std::unique_ptr<File>>
     open(const std::string &path, const OpenOptions &options) override;
 
-    /** Creates @p path with a fixed extent of @p capacity bytes. */
-    StatusOr<std::unique_ptr<File>> createFile(const std::string &path,
-                                               u64 capacity);
+    /** @deprecated Use open(path, OpenOptions::Create(capacity)). */
+    [[deprecated("use open(path, OpenOptions::Create(capacity))")]]
+    StatusOr<std::unique_ptr<File>>
+    createFile(const std::string &path, u64 capacity)
+    {
+        return open(path, OpenOptions::Create(capacity));
+    }
 
     Status remove(const std::string &path) override;
     bool exists(const std::string &path) const override;
@@ -120,8 +129,13 @@ class MgspFs : public FileSystem
      */
     Status writeBackAllFiles();
 
-    /** Aggregate tree statistics across open files (benchmarks). */
-    TreeStats *treeStatsFor(const std::string &path);
+    /**
+     * Value snapshot of @p path's shadow-tree counters (benchmarks,
+     * tests). NotFound unless the file is open. Unlike the old
+     * raw-pointer treeStatsFor() the result cannot dangle across
+     * remove()/close.
+     */
+    StatusOr<TreeStats> statsFor(const std::string &path) const;
 
     /**
      * Snapshot of the observability subsystem: per-stage latency
@@ -272,6 +286,11 @@ class MgspFs : public FileSystem
     /// Cleaner active? (config.enableCleaner && enableShadowLog; the
     /// no-shadow ablation already checkpoints every operation.)
     bool cleanerOn_ = false;
+    /// Optimistic (lock-free, seqlock-validated) reads active?
+    /// Requires MGL locking and shadow logging — file-lock mode has
+    /// no per-node versions and no-shadow mode overwrites leaf data
+    /// in place with no version signal.
+    bool optimisticOn_ = false;
     /// Greedy locking skips ancestor intention locks, which the
     /// cleaner's covering W lock relies on — so it is forced off
     /// whenever the cleaner is on.
@@ -297,6 +316,15 @@ class MgspFs : public FileSystem
         stats::Counter *recordsReclaimed = nullptr;
     };
     CleanCounters cleanCounters_;
+
+    /// Read-path outcome counters, cached when optimisticOn_.
+    struct ReadCounters
+    {
+        stats::Counter *optimistic = nullptr;  ///< validated lock-free
+        stats::Counter *retry = nullptr;       ///< failed attempts
+        stats::Counter *fallback = nullptr;    ///< gave up, locked read
+    };
+    ReadCounters readCounters_;
 };
 
 }  // namespace mgsp

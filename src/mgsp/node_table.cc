@@ -25,13 +25,18 @@ NodeTable::allocRecord(u32 level, u32 inode, u64 index, u64 log_off,
         idx = freeList_.back();
         freeList_.pop_back();
     }
-    NodeRecord rec;
-    rec.info = NodeRecord::packInfo(level, inode);
-    rec.index = index;
-    rec.logOff = log_off;
-    rec.bitmap = bitmap;
-    device_->write(recOff(idx), &rec, sizeof(rec));
-    device_->flush(recOff(idx), sizeof(rec));
+    // Field-by-field atomic stores, not one memcpy: a lock-free reader
+    // holding a stale record index (freed and recycled under it; the
+    // seqlock validation rejects the read afterwards) may load64 the
+    // bitmap word while it is being initialised here. The in-use info
+    // word is published last.
+    const u64 off = recOff(idx);
+    device_->store64(off + offsetof(NodeRecord, index), index);
+    device_->store64(off + offsetof(NodeRecord, logOff), log_off);
+    device_->store64(off + offsetof(NodeRecord, bitmap), bitmap);
+    device_->store64(off + offsetof(NodeRecord, info),
+                     NodeRecord::packInfo(level, inode));
+    device_->flush(off, sizeof(NodeRecord));
     return idx;
 }
 

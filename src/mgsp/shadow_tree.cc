@@ -146,14 +146,21 @@ ShadowTree::ensureExisting(TreeNode *n)
                 child->recIdx.load(std::memory_order_acquire);
             if (child_rec != kNoRecord &&
                 table_->loadBitmap(child_rec) != 0) {
+                // No writer can hold W on this child (it would have
+                // seen existing=1, set only after this zeroing), so
+                // the transition lock serialises the version bump.
+                child->version.writeBegin();
                 table_->storeBitmap(child_rec, 0);
+                child->version.writeEnd();
                 zeroed = true;
             }
         }
     }
     if (zeroed)
         device_->fence();  // zeroes durable before existing flips
+    n->version.writeBegin();
     table_->orBitmap(rec, kBitExisting);  // flushed; fenced pre-commit
+    n->version.writeEnd();
     return Status::ok();
 }
 
@@ -163,15 +170,32 @@ ShadowTree::lockNode(TreeNode *n, MglMode mode,
 {
     if (lockless)
         return;
+    // A batched operation descends once per write and can revisit a
+    // node: two spans in one leaf, or shared ancestors. W is not
+    // reentrant and the seqlock must flip odd exactly once, so a
+    // node this operation already holds at @p mode is not
+    // re-acquired. (Mixed modes on one node cannot occur: that would
+    // require overlapping batch writes, which are rejected up front.)
+    for (const HeldLock &held : *locks)
+        if (held.node == n && held.mode == mode)
+            return;
     n->lock.acquire(mode);
+    // Seqlock discipline: the version goes odd before any mutation
+    // the W lock licenses, and even again in releaseLocks() after the
+    // commit fence and bitmap apply.
+    if (mode == MglMode::W)
+        n->version.writeBegin();
     locks->push_back(HeldLock{n, mode});
 }
 
 void
 ShadowTree::releaseLocks(std::vector<HeldLock> *locks)
 {
-    for (const HeldLock &held : *locks)
+    for (const HeldLock &held : *locks) {
+        if (held.mode == MglMode::W)
+            held.node->version.writeEnd();
         held.node->lock.release(held.mode);
+    }
     locks->clear();
 }
 
@@ -327,6 +351,20 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
     const u32 rec = leaf->recIdx.load(std::memory_order_acquire);
     const u64 word = table_->loadBitmap(rec);
 
+    // Earlier writes in the same (uncommitted) batch may already have
+    // staged bit flips and shadow data for this word. Reads of the
+    // latest copy must honour those pending bits; the role switch
+    // must not — the committed copy, located by the persistent bits,
+    // has to survive a crash before commit, so a sub-unit written
+    // twice in one batch overwrites its pending shadow in place
+    // instead of flipping roles a second time.
+    u64 cur_word = word;
+    {
+        u32 staged_bits = 0;
+        if (staged->findSlot(rec, &staged_bits))
+            cur_word = staged_bits;
+    }
+
     // Expand to sub-unit alignment (leaf-relative byte range).
     const u64 rel_off = off - leaf->startOff;
     const u64 a = alignDown(rel_off, unit);
@@ -338,7 +376,7 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
     std::vector<u8> buf(span);
     auto latestSrc = [&](u64 rel) -> u64 {
         const u64 bit = 1ull << (rel / unit);
-        if (word & bit)
+        if (cur_word & bit)
             return regionOff(leaf, leaf->startOff) + rel;
         return regionOff(last_valid, leaf->startOff + rel);
     };
@@ -357,8 +395,12 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
         device_->latency().chargeRead(tail);
     }
 
-    // Write runs of sub-units sharing the same valid-bit value.
-    u64 new_word = word;
+    // Write runs of sub-units sharing the same valid-bit value. The
+    // run split and destinations follow the persistent word (role
+    // switch is against the committed copy); the staged word carries
+    // over pending flips for sub-units other writes in this batch
+    // touched.
+    u64 new_word = cur_word;
     bool need_own_log = false;
     const u64 first_unit = a / unit;
     const u64 last_unit = (b - 1) / unit;
@@ -514,6 +556,177 @@ ShadowTree::leafRead(TreeNode *leaf, u64 off, u64 len, u8 *out,
                       seg_end - cursor);
         cursor = seg_end;
     }
+}
+
+bool
+ShadowTree::snapVersion(const TreeNode *n, ReadSnapshots *snaps) const
+{
+    if (snaps->count == ReadSnapshots::kMax)
+        return false;
+    const u64 v = n->version.readBegin();
+    if (SeqVersion::isWriteActive(v))
+        return false;
+    snaps->nodes[snaps->count] = n;
+    snaps->versions[snaps->count] = v;
+    ++snaps->count;
+    return true;
+}
+
+bool
+ShadowTree::optimisticRegionRead(const TreeNode *holder, u64 off, u8 *out,
+                                 u64 len) const
+{
+    if (holder->parent == nullptr) {
+        device_->racyRead(extentOff_ + off, out, len);
+        return true;
+    }
+    // Unlike regionOff() this tolerates a vanished log: the cleaner
+    // may have reclaimed the block since our bitmap probe, in which
+    // case validation is already doomed — just abort early.
+    const u64 log = holder->logOff.load(std::memory_order_acquire);
+    if (log == 0)
+        return false;
+    device_->racyRead(log + (off - holder->startOff), out, len);
+    return true;
+}
+
+bool
+ShadowTree::optimisticLeafRead(const TreeNode *leaf, u64 off, u64 len,
+                               u8 *out, const TreeNode *last_valid) const
+{
+    const u32 sub_bits = config_->enableFineGrained ? config_->leafSubBits
+                                                    : 1;
+    const u64 unit = geo_.leafSize / sub_bits;
+    const u64 word = bitmapOf(leaf);
+    u64 cursor = off;
+    while (cursor < off + len) {
+        const u64 rel = cursor - leaf->startOff;
+        const u64 unit_idx = rel / unit;
+        const u64 unit_end = leaf->startOff + (unit_idx + 1) * unit;
+        const bool valid = (word & (1ull << unit_idx)) != 0;
+        u64 seg_end = std::min(unit_end, off + len);
+        u64 probe = unit_idx + 1;
+        while (seg_end < off + len && probe < sub_bits &&
+               ((word & (1ull << probe)) != 0) == valid) {
+            seg_end = std::min(leaf->startOff + (probe + 1) * unit,
+                               off + len);
+            ++probe;
+        }
+        const TreeNode *src = valid ? leaf : last_valid;
+        if (!optimisticRegionRead(src, cursor, out + (cursor - off),
+                                  seg_end - cursor))
+            return false;
+        cursor = seg_end;
+    }
+    return true;
+}
+
+bool
+ShadowTree::optimisticReadNode(TreeNode *n, u64 off, u64 len, u8 *out,
+                               const TreeNode *last_valid,
+                               ReadSnapshots *snaps)
+{
+    if (!snapVersion(n, snaps))
+        return false;
+    if (isLeaf(n))
+        return optimisticLeafRead(n, off, len, out, last_valid);
+    u64 word = bitmapOf(n);
+    if (n->parent == nullptr)
+        word |= kBitValid;
+    if (!(word & kBitExisting)) {
+        const TreeNode *src = (word & kBitValid) ? n : last_valid;
+        return optimisticRegionRead(src, off, out, len);
+    }
+    if (word & kBitValid)
+        last_valid = n;
+    const u64 child_cov = n->coverage / geo_.degree;
+    const u64 first = (off - n->startOff) / child_cov;
+    const u64 last = (off + len - 1 - n->startOff) / child_cov;
+    for (u64 i = first; i <= last; ++i) {
+        const u64 child_start = n->startOff + i * child_cov;
+        const u64 sub_off = std::max(off, child_start);
+        const u64 sub_end = std::min(off + len, child_start + child_cov);
+        TreeNode *child = childAt(n, static_cast<u32>(i));
+        if (child == nullptr) {
+            // Never materialised: nothing below this slot has logged
+            // data, so the nearest valid ancestor is authoritative.
+            // (Unlike the locked path we do not create the child.)
+            if (!optimisticRegionRead(last_valid, sub_off,
+                                      out + (sub_off - off),
+                                      sub_end - sub_off))
+                return false;
+            continue;
+        }
+        if (!optimisticReadNode(child, sub_off, sub_end - sub_off,
+                                out + (sub_off - off), last_valid, snaps))
+            return false;
+    }
+    return true;
+}
+
+bool
+ShadowTree::tryReadOptimistic(u64 off, MutSlice out)
+{
+    MGSP_CHECK(out.size() > 0 && off + out.size() <= capacity_);
+    const u64 len = out.size();
+    ReadSnapshots snaps;
+
+    // Entry anchor: reuse the minimum-search-tree cache when the
+    // cached node (or one of its ancestors) covers the range, so the
+    // cache finally helps readers too. Never mutates the cache:
+    // readers must not bounce a shared line between themselves.
+    TreeNode *entry = root_.get();
+    if (config_->enableMinSearchTree) {
+        TreeNode *anchor = minSearch_.load(std::memory_order_acquire);
+        while (anchor != nullptr &&
+               !(anchor->startOff <= off &&
+                 off + len <= anchor->startOff + anchor->coverage))
+            anchor = anchor->parent;
+        if (anchor != nullptr)
+            entry = anchor;
+    }
+
+    // Validate the ancestors the anchor skips: snapshot their
+    // versions root->entry and honour the lazy-cleaning invariant —
+    // a node's bitmap is meaningful only while every ancestor's
+    // existing bit is set. A non-existing ancestor supersedes the
+    // whole subtree (a coarse write landed there), so the descent
+    // restarts from that node instead.
+    const TreeNode *last_valid = root_.get();
+    static constexpr u32 kMaxDepth = 16;
+    TreeNode *chain[kMaxDepth];
+    u32 depth = 0;
+    for (TreeNode *n = entry; n != nullptr; n = n->parent) {
+        if (depth == kMaxDepth)
+            return false;
+        chain[depth++] = n;
+    }
+    for (u32 i = depth; i-- > 1;) {
+        TreeNode *n = chain[i];
+        if (!snapVersion(n, &snaps))
+            return false;
+        u64 word = bitmapOf(n);
+        if (n->parent == nullptr)
+            word |= kBitValid;
+        if (!(word & kBitExisting)) {
+            entry = n;
+            break;
+        }
+        if (word & kBitValid)
+            last_valid = n;
+    }
+
+    if (!optimisticReadNode(entry, off, len, out.data(), last_valid,
+                            &snaps))
+        return false;
+
+    // Re-validate every consulted version after the last data read.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (u32 i = 0; i < snaps.count; ++i) {
+        if (!snaps.nodes[i]->version.matches(snaps.versions[i]))
+            return false;
+    }
+    return true;
 }
 
 Status

@@ -106,6 +106,15 @@ struct TreeNode
 
     MglLock lock;
     SpinLock transition;  ///< guards creation + existing 0->1 cleanup
+    /**
+     * Seqlock version validating optimistic reads. Odd while a writer
+     * may be mutating this node's bitmap word, log pointer or log
+     * data; bumped under the node's W lock (lockNode/releaseLocks and
+     * the raw covering-W sites: greedy writes, the append fast path,
+     * the cleaner) or under @ref transition (existing-bit flips and
+     * stale-child zeroing in ensureExisting).
+     */
+    SeqVersion version;
 };
 
 /** A lock acquired during an operation, for ordered release. */
@@ -115,15 +124,44 @@ struct HeldLock
     MglMode mode;
 };
 
-/** Counters for the ablation/breakdown analysis. */
+/**
+ * Value snapshot of one tree's counters for the ablation/breakdown
+ * analysis (see ShadowTree::snapshotStats / MgspFs::statsFor). Plain
+ * integers: safe to copy, return and keep after the file is gone.
+ */
 struct TreeStats
 {
-    std::atomic<u64> coarseLogWrites{0};  ///< interior-node stops
+    u64 coarseLogWrites = 0;  ///< interior-node stops
+    u64 leafLogWrites = 0;
+    u64 fineSubWrites = 0;    ///< sub-block granular units
+    u64 minTreeHits = 0;
+    u64 minTreeMisses = 0;
+    u64 writtenBackBytes = 0; ///< home-extent bytes copied
+};
+
+/** The live atomic counters behind TreeStats. */
+struct TreeCounters
+{
+    std::atomic<u64> coarseLogWrites{0};
     std::atomic<u64> leafLogWrites{0};
-    std::atomic<u64> fineSubWrites{0};    ///< sub-block granular units
+    std::atomic<u64> fineSubWrites{0};
     std::atomic<u64> minTreeHits{0};
     std::atomic<u64> minTreeMisses{0};
-    std::atomic<u64> writtenBackBytes{0}; ///< home-extent bytes copied
+    std::atomic<u64> writtenBackBytes{0};
+
+    TreeStats
+    snapshot() const
+    {
+        TreeStats s;
+        s.coarseLogWrites = coarseLogWrites.load(std::memory_order_relaxed);
+        s.leafLogWrites = leafLogWrites.load(std::memory_order_relaxed);
+        s.fineSubWrites = fineSubWrites.load(std::memory_order_relaxed);
+        s.minTreeHits = minTreeHits.load(std::memory_order_relaxed);
+        s.minTreeMisses = minTreeMisses.load(std::memory_order_relaxed);
+        s.writtenBackBytes =
+            writtenBackBytes.load(std::memory_order_relaxed);
+        return s;
+    }
 };
 
 /** What one cleanRange() pass wrote back and returned to free lists. */
@@ -163,7 +201,10 @@ class ShadowTree
 
     const TreeGeometry &geometry() const { return geo_; }
     TreeNode *root() { return root_.get(); }
-    TreeStats &stats() { return stats_; }
+    TreeCounters &stats() { return stats_; }
+
+    /** Copyable snapshot of the tree counters. */
+    TreeStats snapshotStats() const { return stats_.snapshot(); }
 
     /**
      * Number of bitmap slots a write [off, off+len) will stage.
@@ -193,6 +234,20 @@ class ShadowTree
      */
     Status performRead(u64 off, MutSlice out,
                        std::vector<HeldLock> *locks, bool lockless);
+
+    /**
+     * Lock-free read attempt: descends with NO IR/R acquisitions,
+     * snapshots the seqlock version of every node it consults
+     * (including the ancestors skipped by the minimum-search-tree
+     * entry point), copies the data, then re-validates.
+     *
+     * @return true iff @p out now holds a consistent copy of
+     *         [off, off+out.size()). false = a writer, the cleaner or
+     *         a version-set overflow interfered; the caller retries
+     *         or falls back to the locked performRead(), discarding
+     *         @p out's (possibly torn) contents.
+     */
+    bool tryReadOptimistic(u64 off, MutSlice out);
 
     /** Releases locks in acquisition order and clears the vector. */
     static void releaseLocks(std::vector<HeldLock> *locks);
@@ -244,6 +299,35 @@ class ShadowTree
 
     /** Current bitmap word (0 when no record). */
     u64 bitmapOf(const TreeNode *n) const;
+
+    /** Fixed-capacity (node, version) set of one optimistic read. */
+    struct ReadSnapshots
+    {
+        static constexpr u32 kMax = 64;
+        const TreeNode *nodes[kMax];
+        u64 versions[kMax];
+        u32 count = 0;
+    };
+
+    /**
+     * Snapshots @p n's version into @p snaps. false on a mid-flight
+     * writer (odd version) or set overflow — abort the attempt.
+     */
+    bool snapVersion(const TreeNode *n, ReadSnapshots *snaps) const;
+
+    /**
+     * Copies [off, off+len) of the file range from @p holder's log
+     * region (home extent for the root) without locks. false if the
+     * log vanished under us (cleaner reclaim; validation would fail
+     * anyway).
+     */
+    bool optimisticRegionRead(const TreeNode *holder, u64 off, u8 *out,
+                              u64 len) const;
+    bool optimisticReadNode(TreeNode *n, u64 off, u64 len, u8 *out,
+                            const TreeNode *last_valid,
+                            ReadSnapshots *snaps);
+    bool optimisticLeafRead(const TreeNode *leaf, u64 off, u64 len,
+                            u8 *out, const TreeNode *last_valid) const;
 
     /** Arena offset of @p holder's log bytes for file offset @p off. */
     u64 regionOff(const TreeNode *holder, u64 off) const;
@@ -304,7 +388,7 @@ class ShadowTree
 
     std::unique_ptr<TreeNode> root_;
     std::atomic<TreeNode *> minSearch_;  ///< minimum-search-tree cache
-    TreeStats stats_;
+    TreeCounters stats_;
 };
 
 }  // namespace mgsp

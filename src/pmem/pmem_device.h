@@ -123,6 +123,15 @@ class PmemDevice
     /** Copies @p len bytes at @p off into @p dst. */
     void read(u64 off, void *dst, u64 len) const;
 
+    /**
+     * read() for callers that tolerate racing writers: the seqlock-
+     * validated optimistic read path, which copies first and discards
+     * torn data on version mismatch. Under ThreadSanitizer this copy
+     * is exempted from race detection (the race is the design), so
+     * the locked paths keep full race coverage.
+     */
+    void racyRead(u64 off, void *dst, u64 len) const;
+
     /** Stores @p len bytes from @p src at @p off (not yet durable). */
     void write(u64 off, const void *src, u64 len);
 

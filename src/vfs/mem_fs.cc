@@ -71,7 +71,10 @@ MemFs::open(const std::string &path, const OpenOptions &options)
     if (it == inodes_.end()) {
         if (!options.create)
             return Status::notFound("no such file: " + path);
+        // Growable engine: OpenOptions::capacity is advisory only.
         it = inodes_.emplace(path, std::make_shared<Inode>()).first;
+    } else if (options.create && options.exclusive) {
+        return Status::alreadyExists("file exists: " + path);
     }
     if (options.truncate) {
         std::lock_guard<std::mutex> inode_guard(it->second->mutex);

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -27,6 +28,24 @@ struct OpenOptions
 {
     bool create = false;     ///< create if missing
     bool truncate = false;   ///< reset length to zero on open
+    bool exclusive = false;  ///< with create: fail if the file exists
+    /**
+     * With create: fixed extent capacity in bytes for engines that
+     * preallocate (MGSP and the NVM baselines); 0 = engine default.
+     * Growable engines (MemFs) ignore it.
+     */
+    u64 capacity = 0;
+
+    /** Creation options, the successor of the createFile() entry point. */
+    static OpenOptions
+    Create(u64 capacity = 0, bool exclusive = true)
+    {
+        OpenOptions o;
+        o.create = true;
+        o.exclusive = exclusive;
+        o.capacity = capacity;
+        return o;
+    }
 };
 
 /** Per-file-system consistency guarantee, used in bench labels. */
@@ -50,6 +69,50 @@ class File
 
     /** Writes src at @p offset, extending the file if needed. */
     virtual Status pwrite(u64 offset, ConstSlice src) = 0;
+
+    /**
+     * Vectored read: fills @p spans with consecutive bytes starting
+     * at @p offset (spans lay end-to-end, POSIX preadv style).
+     * @return total bytes read (short count at EOF).
+     *
+     * The default loops over pread(); engines may override.
+     */
+    virtual StatusOr<u64>
+    preadv(u64 offset, const std::vector<MutSlice> &spans)
+    {
+        u64 total = 0;
+        for (const MutSlice &s : spans) {
+            if (s.empty())
+                continue;
+            StatusOr<u64> n = pread(offset + total, s);
+            if (!n.isOk())
+                return n.status();
+            total += *n;
+            if (*n < s.size())
+                break;  // EOF
+        }
+        return total;
+    }
+
+    /**
+     * Vectored write: stores @p spans end-to-end starting at
+     * @p offset. The default loops over pwrite(), so each span gets
+     * this engine's per-write guarantee but the combination does not;
+     * MGSP overrides it to commit the whole vector as ONE
+     * failure-atomic unit when it fits a single metadata-log entry.
+     */
+    virtual Status
+    pwritev(u64 offset, const std::vector<ConstSlice> &spans)
+    {
+        u64 pos = offset;
+        for (const ConstSlice &s : spans) {
+            if (s.empty())
+                continue;
+            MGSP_RETURN_IF_ERROR(pwrite(pos, s));
+            pos += s.size();
+        }
+        return Status::ok();
+    }
 
     /** Makes all completed writes durable. */
     virtual Status sync() = 0;

@@ -17,19 +17,10 @@ StatusOr<std::unique_ptr<File>>
 createFileWithCapacity(FileSystem *fs, const std::string &path,
                        u64 capacity)
 {
-    if (!fs->exists(path)) {
-        if (auto *mgsp_fs = dynamic_cast<MgspFs *>(fs))
-            return mgsp_fs->createFile(path, capacity);
-        if (auto *ext = dynamic_cast<ExtFs *>(fs))
-            return ext->createFile(path, capacity);
-        if (auto *nvm = dynamic_cast<NvmmioFs *>(fs))
-            return nvm->createFile(path, capacity);
-        if (auto *nova = dynamic_cast<NovaFs *>(fs))
-            return nova->createFile(path, capacity);
-    }
-    OpenOptions opts;
-    opts.create = true;
-    return fs->open(path, opts);
+    // vfs v2: capacity rides in OpenOptions, so no engine-specific
+    // side doors are needed; non-exclusive create re-opens an
+    // existing file.
+    return fs->open(path, OpenOptions::Create(capacity, false));
 }
 
 namespace {

@@ -44,30 +44,10 @@ class BackendDifferential : public ::testing::TestWithParam<EngineParam>
 std::unique_ptr<File>
 createTestFile(FileSystem *fs, const std::string &path)
 {
-    if (auto *mgsp_fs = dynamic_cast<MgspFs *>(fs)) {
-        auto f = mgsp_fs->createFile(path, kCapacity);
-        EXPECT_TRUE(f.isOk()) << f.status().toString();
-        return f.isOk() ? std::move(*f) : nullptr;
-    }
-    if (auto *ext = dynamic_cast<ExtFs *>(fs)) {
-        auto f = ext->createFile(path, kCapacity);
-        EXPECT_TRUE(f.isOk());
-        return f.isOk() ? std::move(*f) : nullptr;
-    }
-    if (auto *nvm = dynamic_cast<NvmmioFs *>(fs)) {
-        auto f = nvm->createFile(path, kCapacity);
-        EXPECT_TRUE(f.isOk());
-        return f.isOk() ? std::move(*f) : nullptr;
-    }
-    if (auto *nova = dynamic_cast<NovaFs *>(fs)) {
-        auto f = nova->createFile(path, kCapacity);
-        EXPECT_TRUE(f.isOk());
-        return f.isOk() ? std::move(*f) : nullptr;
-    }
-    OpenOptions opts;
-    opts.create = true;
-    auto f = fs->open(path, opts);
-    EXPECT_TRUE(f.isOk());
+    // vfs v2: capacity travels in OpenOptions, so one call covers
+    // every engine — no per-engine side doors.
+    auto f = fs->open(path, OpenOptions::Create(kCapacity));
+    EXPECT_TRUE(f.isOk()) << f.status().toString();
     return f.isOk() ? std::move(*f) : nullptr;
 }
 
@@ -127,6 +107,75 @@ TEST_P(BackendDifferential, SequentialAppendPattern)
     }
     ASSERT_TRUE(file->sync().isOk());
     EXPECT_EQ(readAll(file.get()), ref.bytes());
+}
+
+TEST_P(BackendDifferential, VectoredIoMatchesOracle)
+{
+    // vfs v2 surface: pwritev/preadv must agree with the flat oracle
+    // on every engine — MGSP through its single-commit writeBatch
+    // route, the baselines through the default span loop.
+    auto device = std::make_shared<PmemDevice>(kArena);
+    std::unique_ptr<FileSystem> fs = GetParam().make(device);
+    std::unique_ptr<File> file = createTestFile(fs.get(), "vec.dat");
+    ASSERT_NE(file, nullptr);
+
+    ReferenceFile ref;
+    Rng rng(hashBytes(GetParam().name.data(), GetParam().name.size()) ^
+            0x5eed);
+    for (int i = 0; i < 60; ++i) {
+        const int nspans = static_cast<int>(rng.nextInRange(1, 4));
+        std::vector<std::vector<u8>> bufs;
+        u64 total = 0;
+        for (int s = 0; s < nspans; ++s) {
+            bufs.push_back(rng.nextBytes(rng.nextInRange(1, 8 * KiB)));
+            total += bufs.back().size();
+        }
+        const u64 off = rng.nextBelow(kCapacity - total);
+        if (rng.nextBool(0.6)) {
+            std::vector<ConstSlice> spans;
+            for (const auto &b : bufs)
+                spans.emplace_back(b.data(), b.size());
+            ASSERT_TRUE(file->pwritev(off, spans).isOk()) << "op " << i;
+            u64 pos = off;
+            for (const auto &b : bufs) {
+                ref.pwrite(pos, b);
+                pos += b.size();
+            }
+        } else {
+            std::vector<std::vector<u8>> outs;
+            outs.reserve(bufs.size());  // spans hold pointers into outs
+            std::vector<MutSlice> spans;
+            for (const auto &b : bufs) {
+                outs.emplace_back(b.size(), 0);
+                spans.emplace_back(outs.back().data(),
+                                   outs.back().size());
+            }
+            auto n = file->preadv(off, spans);
+            ASSERT_TRUE(n.isOk()) << "op " << i;
+            std::vector<u8> flat;
+            for (const auto &o : outs)
+                flat.insert(flat.end(), o.begin(), o.end());
+            flat.resize(*n);
+            EXPECT_EQ(flat, ref.pread(off, *n)) << "op " << i;
+        }
+    }
+    ASSERT_TRUE(file->sync().isOk());
+    EXPECT_EQ(readAll(file.get()), ref.bytes());
+}
+
+TEST_P(BackendDifferential, ExclusiveCreateContract)
+{
+    // OpenOptions::Create defaults to exclusive: a second create of
+    // the same path must fail on every engine; a non-exclusive create
+    // re-opens the existing file.
+    auto device = std::make_shared<PmemDevice>(kArena);
+    std::unique_ptr<FileSystem> fs = GetParam().make(device);
+    auto first = fs->open("x.dat", OpenOptions::Create(kCapacity));
+    ASSERT_TRUE(first.isOk()) << first.status().toString();
+    auto dup = fs->open("x.dat", OpenOptions::Create(kCapacity));
+    EXPECT_EQ(dup.status().code(), StatusCode::AlreadyExists);
+    auto reopen = fs->open("x.dat", OpenOptions::Create(kCapacity, false));
+    EXPECT_TRUE(reopen.isOk()) << reopen.status().toString();
 }
 
 TEST_P(BackendDifferential, TruncateSemantics)
@@ -195,6 +244,16 @@ engines()
                         EXPECT_TRUE(fs.isOk());
                         return std::move(*fs);
                     }});
+    // Ablation: identical results with the lock-free read path off.
+    list.push_back(
+        {"mgsp_no_optimistic", [](std::shared_ptr<PmemDevice> dev) {
+             MgspConfig cfg = testutil::smallConfig();
+             cfg.arenaSize = kArena;
+             cfg.enableOptimisticReads = false;
+             auto fs = MgspFs::format(dev, cfg);
+             EXPECT_TRUE(fs.isOk());
+             return std::move(*fs);
+         }});
     return list;
 }
 

@@ -69,7 +69,7 @@ TEST(WriteAmplification, NvmmioSyncedIsDoubleWrite)
     NvmmioOptions opts;
     opts.backgroundCheckpoint = false;
     NvmmioFs fs(device, opts);
-    auto file = fs.createFile("t", kCapacity);
+    auto file = fs.open("t", OpenOptions::Create(kCapacity));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(device.get(), &fs,
                                               file->get(), 4096, 400, 1);
@@ -83,7 +83,7 @@ TEST(WriteAmplification, NvmmioSyncEvery100StillNearDouble)
     NvmmioOptions opts;
     opts.backgroundCheckpoint = false;
     NvmmioFs fs(device, opts);
-    auto file = fs.createFile("t", kCapacity);
+    auto file = fs.open("t", OpenOptions::Create(kCapacity));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(device.get(), &fs,
                                               file->get(), 4096, 400, 100);
@@ -99,7 +99,7 @@ TEST(WriteAmplification, NvmmioUnsyncedNearOne)
     NvmmioOptions opts;
     opts.backgroundCheckpoint = false;
     NvmmioFs fs(device, opts);
-    auto file = fs.createFile("t", kCapacity);
+    auto file = fs.open("t", OpenOptions::Create(kCapacity));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(device.get(), &fs,
                                               file->get(), 4096, 400, 0);
@@ -114,7 +114,7 @@ TEST(WriteAmplification, MgspNearOneDespitePerOpAtomicity)
     cfg.arenaSize = kArena;
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("t", 4 * MiB);
+    auto file = (*fs)->open("t", OpenOptions::Create(4 * MiB));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(
         device.get(), fs->get(), file->get(), 4096, 400, 1, 4 * MiB);
@@ -132,7 +132,7 @@ TEST(WriteAmplification, MgspFineGrainedSubBlockWrites)
     cfg.leafSubBits = 4;
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("t", 4 * MiB);
+    auto file = (*fs)->open("t", OpenOptions::Create(4 * MiB));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(
         device.get(), fs->get(), file->get(), 1024, 400, 1, 4 * MiB);
@@ -149,7 +149,7 @@ TEST(WriteAmplification, MgspWithoutShadowLogDoubles)
     cfg.enableShadowLog = false;
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("t", 4 * MiB);
+    auto file = (*fs)->open("t", OpenOptions::Create(4 * MiB));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(
         device.get(), fs->get(), file->get(), 4096, 300, 1, 4 * MiB);
@@ -160,7 +160,7 @@ TEST(WriteAmplification, NovaFullPageCoWForSmallWrites)
 {
     auto device = std::make_shared<PmemDevice>(kArena);
     NovaFs fs(device, NovaOptions{});
-    auto file = fs.createFile("t", kCapacity);
+    auto file = fs.open("t", OpenOptions::Create(kCapacity));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(device.get(), &fs,
                                               file->get(), 1024, 300, 1);
@@ -173,7 +173,7 @@ TEST(WriteAmplification, Ext4DaxNearOne)
     Ext4Options opts;
     opts.dax = true;
     ExtFs fs(device, opts);
-    auto file = fs.createFile("t", kCapacity);
+    auto file = fs.open("t", OpenOptions::Create(kCapacity));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(device.get(), &fs,
                                               file->get(), 4096, 400, 1);
@@ -188,7 +188,7 @@ TEST(WriteAmplification, Ext4JournalModeDoublesData)
     opts.dax = false;
     opts.mode = Ext4Mode::Journal;
     ExtFs fs(device, opts);
-    auto file = fs.createFile("t", kCapacity);
+    auto file = fs.open("t", OpenOptions::Create(kCapacity));
     ASSERT_TRUE(file.isOk());
     const double ratio = measureAmplification(device.get(), &fs,
                                               file->get(), 4096, 300, 1);

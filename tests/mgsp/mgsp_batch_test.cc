@@ -24,7 +24,7 @@ using testutil::smallConfig;
 TEST(MgspBatch, AppliesAllWrites)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("b.dat", 256 * KiB);
+    auto file = fx.fs->open("b.dat", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> a(4096, 0xA1), b(4096, 0xB2), c(100, 0xC3);
     std::vector<BatchWrite> batch = {
@@ -44,7 +44,7 @@ TEST(MgspBatch, AppliesAllWrites)
 TEST(MgspBatch, EmptyBatchIsOk)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("b.dat", 64 * KiB);
+    auto file = fx.fs->open("b.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     EXPECT_TRUE(fx.fs->writeBatch(file->get(), {}).isOk());
 }
@@ -52,7 +52,7 @@ TEST(MgspBatch, EmptyBatchIsOk)
 TEST(MgspBatch, RejectsOverlaps)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("b.dat", 64 * KiB);
+    auto file = fx.fs->open("b.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> x(4096, 1);
     std::vector<BatchWrite> batch = {
@@ -68,7 +68,7 @@ TEST(MgspBatch, RejectsOversizedSlotDemand)
     MgspConfig cfg = smallConfig();
     cfg.enableMultiGranularity = false;  // every 4K block = one slot
     FsFixture fx = makeFs(cfg);
-    auto file = fx.fs->createFile("b.dat", 256 * KiB);
+    auto file = fx.fs->open("b.dat", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> big(11 * 4096, 7);  // 11 leaf slots > kMaxSlots
     std::vector<BatchWrite> batch = {
@@ -82,7 +82,7 @@ TEST(MgspBatch, RejectsForeignHandle)
 {
     FsFixture fx1 = makeFs(smallConfig());
     FsFixture fx2 = makeFs(smallConfig());
-    auto file2 = fx2.fs->createFile("other.dat", 64 * KiB);
+    auto file2 = fx2.fs->open("other.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file2.isOk());
     std::vector<u8> x(64, 1);
     std::vector<BatchWrite> batch = {{0, ConstSlice(x.data(), 64)}};
@@ -93,7 +93,7 @@ TEST(MgspBatch, RejectsForeignHandle)
 TEST(MgspBatch, ExtendsFileSizeAtomically)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("b.dat", 256 * KiB);
+    auto file = fx.fs->open("b.dat", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> x(1000, 9);
     std::vector<BatchWrite> batch = {
@@ -111,7 +111,7 @@ TEST(MgspBatch, ExtendsFileSizeAtomically)
 TEST(MgspBatch, MatchesOracleUnderRandomBatches)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("b.dat", 512 * KiB);
+    auto file = fx.fs->open("b.dat", OpenOptions::Create(512 * KiB));
     ASSERT_TRUE(file.isOk());
     ReferenceFile ref;
     Rng rng(404);
@@ -156,7 +156,7 @@ TEST(MgspBatch, CrashAtomicityAcrossBatch)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("pair.dat", 64 * KiB);
+    auto file = (*fs)->open("pair.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     {
         std::vector<u8> zeros(64 * KiB, 0);

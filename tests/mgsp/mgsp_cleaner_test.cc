@@ -64,7 +64,7 @@ TEST(MgspCleaner, SyncBarrierDrainsAndReclaims)
 {
     const MgspConfig cfg = inlineCleanerConfig();
     auto fx = testutil::makeFs(cfg);
-    auto file = fx.fs->createFile("sync.dat", 64 * KiB);
+    auto file = fx.fs->open("sync.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
 
     ReferenceFile ref;
@@ -138,7 +138,7 @@ TEST(MgspCleaner, LongLivedWriterCompletesOnlyWithCleaner)
         MgspConfig run = cfg;
         run.enableCleaner = cleaner_on;
         auto fx = testutil::makeFs(run);
-        auto file = fx.fs->createFile("long.dat", kFileSize);
+        auto file = fx.fs->open("long.dat", OpenOptions::Create(kFileSize));
         ASSERT_TRUE(file.isOk()) << file.status().toString();
         {
             std::vector<u8> zeros(kFileSize, 0);
@@ -187,7 +187,7 @@ TEST(MgspCleaner, WatermarkNudgeTriggersInlineDrain)
     MgspConfig cfg = inlineCleanerConfig();
     cfg.cleanerLowWatermark = 1.0;  // any allocation breaches it
     auto fx = testutil::makeFs(cfg);
-    auto file = fx.fs->createFile("wm.dat", 64 * KiB);
+    auto file = fx.fs->open("wm.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
     {
         std::vector<u8> zeros(64 * KiB, 0);
@@ -217,7 +217,7 @@ TEST(MgspCleaner, BackgroundWorkerDrainsPeriodically)
     cfg.cleanerLowWatermark = 0.0;   // no nudges: the timer must act
     cfg.cleanerSyncIntervalMillis = 1;
     auto fx = testutil::makeFs(cfg);
-    auto file = fx.fs->createFile("bg.dat", 64 * KiB);
+    auto file = fx.fs->open("bg.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
 
     ReferenceFile ref;
@@ -253,7 +253,7 @@ TEST(MgspCleaner, FileLockModeCleansToo)
     MgspConfig cfg = inlineCleanerConfig();
     cfg.lockMode = LockMode::FileLock;
     auto fx = testutil::makeFs(cfg);
-    auto file = fx.fs->createFile("fl.dat", 64 * KiB);
+    auto file = fx.fs->open("fl.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
     ReferenceFile ref;
     {
@@ -304,7 +304,7 @@ TEST(MgspCleaner, ConcurrentWritersReadersAndCleanerStress)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk()) << fs.status().toString();
-    auto file = (*fs)->createFile("stress.dat", kFileSize);
+    auto file = (*fs)->open("stress.dat", OpenOptions::Create(kFileSize));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
     {
         std::vector<u8> zeros(kFileSize, 0);
@@ -404,7 +404,7 @@ TEST(MgspCleaner, RemoveRefusedWhileHandleOpenThenSucceeds)
     const MgspConfig cfg = inlineCleanerConfig();
     auto fx = testutil::makeFs(cfg);
     {
-        auto file = fx.fs->createFile("rm.dat", 64 * KiB);
+        auto file = fx.fs->open("rm.dat", OpenOptions::Create(64 * KiB));
         ASSERT_TRUE(file.isOk()) << file.status().toString();
         std::vector<u8> data(kBlock, 0x77);
         ASSERT_TRUE(
@@ -414,6 +414,72 @@ TEST(MgspCleaner, RemoveRefusedWhileHandleOpenThenSucceeds)
     }
     EXPECT_TRUE(fx.fs->remove("rm.dat").isOk());
     EXPECT_FALSE(fx.fs->exists("rm.dat"));
+}
+
+TEST(MgspCleaner, OptimisticReadersRaceWorkerCleaning)
+{
+    // Lock-free readers against the background cleaner: cleanOneRange
+    // bumps the covering node's version under its W lock, so a reader
+    // whose descent raced the write-back must fail validation and
+    // retry/fall back — never observe a half-migrated block. A writer
+    // keeps refilling the dirty queue so cleaning stays active for the
+    // whole run.
+    const u64 seed = testutil::testSeed(211);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    MgspConfig cfg = smallConfig();
+    cfg.enableCleaner = true;
+    cfg.cleanerThreads = 1;
+    cfg.cleanerLowWatermark = 0.9;  // nudge on nearly every alloc
+    cfg.cleanerSyncIntervalMillis = 1;
+    auto fx = testutil::makeFs(cfg);
+    constexpr u64 kBlocks = 8;
+    auto file =
+        fx.fs->open("optclean.dat", OpenOptions::Create(kBlocks * kBlock));
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+    // Stamped blocks: byte value == block index + round tag, uniform
+    // within a block at all times.
+    std::vector<u8> init(kBlocks * kBlock, 0x01);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(init.data(), init.size())).isOk());
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&, t] {
+            Rng rng(seed + 13 * (t + 1));
+            std::vector<u8> buf(kBlock);
+            while (!stop.load(std::memory_order_acquire)) {
+                const u64 blk = rng.nextBelow(kBlocks);
+                auto n = (*file)->pread(blk * kBlock,
+                                        MutSlice(buf.data(), kBlock));
+                ASSERT_TRUE(n.isOk());
+                for (u64 i = 1; i < *n; ++i) {
+                    if (buf[i] != buf[0]) {
+                        torn.fetch_add(1);
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    Rng rng(seed);
+    for (u32 round = 0; round < 300; ++round) {
+        const u64 blk = rng.nextBelow(kBlocks);
+        std::vector<u8> data(kBlock,
+                             static_cast<u8>(1 + ((round + blk) % 250)));
+        ASSERT_TRUE((*file)
+                        ->pwrite(blk * kBlock,
+                                 ConstSlice(data.data(), data.size()))
+                        .isOk());
+        if (round % 50 == 49)
+            ASSERT_TRUE((*file)->sync().isOk());
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto &th : readers)
+        th.join();
+    EXPECT_EQ(torn.load(), 0)
+        << "a lock-free reader observed a half-cleaned block";
 }
 
 }  // namespace

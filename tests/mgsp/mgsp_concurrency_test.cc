@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/stats.h"
 #include "tests/mgsp/test_util.h"
 
 namespace mgsp {
@@ -69,7 +70,7 @@ TEST_P(Concurrency, DisjointRangesNoInterference)
     FsFixture fx = makeFs(config());
     constexpr int kThreads = 4;
     constexpr u64 kRegion = 64 * KiB;
-    auto setup = fx.fs->createFile("shared", kThreads * kRegion);
+    auto setup = fx.fs->open("shared", OpenOptions::Create(kThreads * kRegion));
     ASSERT_TRUE(setup.isOk());
     // Pre-extend so all regions are inside the file.
     std::vector<u8> zeros(kThreads * kRegion, 0);
@@ -115,7 +116,7 @@ TEST_P(Concurrency, OverlappingBlockWritesAreAtomic)
     FsFixture fx = makeFs(config());
     constexpr u64 kBlocks = 8;
     constexpr u64 kBlockSize = 4 * KiB;
-    auto setup = fx.fs->createFile("contend", kBlocks * kBlockSize);
+    auto setup = fx.fs->open("contend", OpenOptions::Create(kBlocks * kBlockSize));
     ASSERT_TRUE(setup.isOk());
     std::vector<u8> init(kBlocks * kBlockSize);
     stampBlock(&init, 0, 0);
@@ -160,7 +161,7 @@ TEST_P(Concurrency, OverlappingBlockWritesAreAtomic)
 TEST_P(Concurrency, MixedSizesStressNoCrash)
 {
     FsFixture fx = makeFs(config());
-    auto setup = fx.fs->createFile("mixed", 1 * MiB);
+    auto setup = fx.fs->open("mixed", OpenOptions::Create(1 * MiB));
     ASSERT_TRUE(setup.isOk());
     std::vector<u8> zeros(1 * MiB, 0);
     ASSERT_TRUE(
@@ -198,6 +199,179 @@ INSTANTIATE_TEST_SUITE_P(
                       ConcParam{"mgl_no_greedy", LockMode::Mgl, false},
                       ConcParam{"file_lock", LockMode::FileLock, false}),
     [](const auto &param_info) { return param_info.param.name; });
+
+// ---- optimistic (lock-free) read path ---------------------------
+
+u64
+readCounter(const char *name)
+{
+    return stats::StatsRegistry::instance().counter(name).value();
+}
+
+TEST(ConcurrencyOptimistic, QuiescentReadsValidateWithoutLocks)
+{
+    MgspConfig cfg = smallConfig();
+    cfg.enableGreedyLocking = false;
+    FsFixture fx = makeFs(cfg);
+    auto file = fx.fs->open("q.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    Rng rng(7);
+    std::vector<u8> data = rng.nextBytes(128 * KiB);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+
+    // No concurrent writer: every read must take the optimistic path
+    // and validate on the first attempt.
+    const u64 opt_before = readCounter("read.optimistic");
+    const u64 fb_before = readCounter("read.fallback");
+    std::vector<u8> out(data.size());
+    for (int i = 0; i < 10; ++i) {
+        auto n = (*file)->pread(0, MutSlice(out.data(), out.size()));
+        ASSERT_TRUE(n.isOk());
+        ASSERT_EQ(*n, out.size());
+        ASSERT_EQ(out, data);
+    }
+    EXPECT_EQ(readCounter("read.optimistic"), opt_before + 10);
+    EXPECT_EQ(readCounter("read.fallback"), fb_before);
+}
+
+TEST(ConcurrencyOptimistic, AblationFlagRestoresLockedReads)
+{
+    MgspConfig cfg = smallConfig();
+    cfg.enableOptimisticReads = false;
+    FsFixture fx = makeFs(cfg);
+    auto file = fx.fs->open("abl.dat", OpenOptions::Create(64 * KiB));
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> data(16 * KiB, 0xAB);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    const u64 opt_before = readCounter("read.optimistic");
+    std::vector<u8> out(data.size());
+    auto n = (*file)->pread(0, MutSlice(out.data(), out.size()));
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(readCounter("read.optimistic"), opt_before);
+}
+
+TEST(ConcurrencyOptimistic, ReadersValidateAgainstRacingWriters)
+{
+    // Lock-free readers against MGL writers on the same blocks: every
+    // read must return an untorn block (seqlock validation or locked
+    // fallback), never a mix of two stamps.
+    MgspConfig cfg = smallConfig();
+    cfg.enableGreedyLocking = false;
+    FsFixture fx = makeFs(cfg);
+    constexpr u64 kBlocks = 8;
+    constexpr u64 kBlockSize = 4 * KiB;
+    auto setup =
+        fx.fs->open("opt.dat", OpenOptions::Create(kBlocks * kBlockSize));
+    ASSERT_TRUE(setup.isOk());
+    std::vector<u8> init(kBlocks * kBlockSize);
+    stampBlock(&init, 0, 0);
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(init.data(), init.size())).isOk());
+
+    const u64 opt_before = readCounter("read.optimistic");
+    const u64 fb_before = readCounter("read.fallback");
+    std::atomic<int> torn{0};
+    std::atomic<u64> reads_done{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("opt.dat", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            Rng rng(500 + t);
+            std::vector<u8> block(kBlockSize);
+            for (u32 i = 0; i < 400; ++i) {
+                stampBlock(&block, static_cast<u8>(t + 1), i);
+                ASSERT_TRUE(
+                    (*file)
+                        ->pwrite(rng.nextBelow(kBlocks) * kBlockSize,
+                                 ConstSlice(block.data(), kBlockSize))
+                        .isOk());
+            }
+        });
+    }
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("opt.dat", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            Rng rng(900 + t);
+            std::vector<u8> readback(kBlockSize);
+            for (u32 i = 0; i < 400; ++i) {
+                const u64 blk = rng.nextBelow(kBlocks);
+                auto n = (*file)->pread(
+                    blk * kBlockSize,
+                    MutSlice(readback.data(), kBlockSize));
+                ASSERT_TRUE(n.isOk());
+                if (*n == kBlockSize && !blockIsUniform(readback))
+                    torn.fetch_add(1);
+                reads_done.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(torn.load(), 0) << "lock-free reader saw a torn write";
+    // Every read resolved through the optimistic machinery: validated
+    // lock-free or counted as a fallback.
+    EXPECT_GE(readCounter("read.optimistic") - opt_before +
+                  readCounter("read.fallback") - fb_before,
+              reads_done.load());
+}
+
+TEST(ConcurrencyOptimistic, GreedyWriterStillInvalidatesReaders)
+{
+    // One shared handle keeps refCount == 1, so writers take the
+    // greedy raw-W path (no MGL ancestor locks). Lock-free readers on
+    // the same handle must still be invalidated by the covering-node
+    // version bump.
+    MgspConfig cfg = smallConfig();
+    cfg.enableGreedyLocking = true;
+    FsFixture fx = makeFs(cfg);
+    constexpr u64 kBlocks = 4;
+    constexpr u64 kBlockSize = 4 * KiB;
+    auto file =
+        fx.fs->open("greedy.dat", OpenOptions::Create(kBlocks * kBlockSize));
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> init(kBlocks * kBlockSize);
+    stampBlock(&init, 0, 0);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(init.data(), init.size())).isOk());
+
+    std::atomic<int> torn{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&, t] {
+            Rng rng(40 + t);
+            std::vector<u8> readback(kBlockSize);
+            while (!stop.load(std::memory_order_acquire)) {
+                const u64 blk = rng.nextBelow(kBlocks);
+                auto n = (*file)->pread(
+                    blk * kBlockSize,
+                    MutSlice(readback.data(), kBlockSize));
+                ASSERT_TRUE(n.isOk());
+                if (*n == kBlockSize && !blockIsUniform(readback))
+                    torn.fetch_add(1);
+            }
+        });
+    }
+    Rng rng(11);
+    std::vector<u8> block(kBlockSize);
+    for (u32 i = 0; i < 600; ++i) {
+        stampBlock(&block, 1, i);
+        ASSERT_TRUE((*file)
+                        ->pwrite(rng.nextBelow(kBlocks) * kBlockSize,
+                                 ConstSlice(block.data(), kBlockSize))
+                        .isOk());
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto &th : readers)
+        th.join();
+    EXPECT_EQ(torn.load(), 0)
+        << "greedy writer failed to invalidate a lock-free reader";
+}
 
 }  // namespace
 }  // namespace mgsp

@@ -38,7 +38,7 @@ TEST_P(CrashAblation, AckedWritesSurviveAdversarialCrash)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk()) << fs.status().toString();
-    auto file = (*fs)->createFile("abl.dat", 128 * KiB);
+    auto file = (*fs)->open("abl.dat", OpenOptions::Create(128 * KiB));
     ASSERT_TRUE(file.isOk());
 
     ReferenceFile ref;

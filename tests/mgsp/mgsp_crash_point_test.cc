@@ -151,7 +151,7 @@ TEST_P(MgspCrashPoint, EveryBoundaryRecoversToAckedPrefix)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk()) << fs.status().toString();
-    auto file = (*fs)->createFile(kPath, kFileSize);
+    auto file = (*fs)->open(kPath, OpenOptions::Create(kFileSize));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
     {
         std::vector<u8> zeros(kFileSize, 0);
@@ -230,7 +230,7 @@ TEST_P(MgspCrashPoint, AppendPathBoundariesRecoverToAckedPrefix)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk()) << fs.status().toString();
-    auto file = (*fs)->createFile(kPath, 256 * KiB);
+    auto file = (*fs)->open(kPath, OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
 
     struct Op
@@ -277,6 +277,88 @@ TEST_P(MgspCrashPoint, AppendPathBoundariesRecoverToAckedPrefix)
 
     EXPECT_FALSE(checker.failed);
     EXPECT_GE(checker.boundaries, 16u);
+    EXPECT_EQ(device->persistSeq() - seq0, checker.boundaries);
+    EXPECT_EQ(readAll(file->get()), refs[kOps]);
+}
+
+TEST_P(MgspCrashPoint, PwritevBoundariesAreAllOrNothing)
+{
+    // vfs v2 vectored writes: every pwritev commits its spans as ONE
+    // failure-atomic unit (MgspFile routes them through writeBatch).
+    // At every flush/fence boundary the recovered file must show all
+    // spans of an op or none of them — a reference with only some
+    // spans applied matches neither acked prefix and fails the check.
+    const bool cleaner_on = GetParam();
+    const MgspConfig cfg = pointConfig(cleaner_on);
+    const u64 seed = testutil::testSeed(79);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    constexpr u64 kFileSize = 64 * KiB;
+
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    auto file = (*fs)->open(kPath, OpenOptions::Create(kFileSize));
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+    {
+        std::vector<u8> zeros(kFileSize, 0);
+        ASSERT_TRUE(
+            (*file)->pwrite(0, ConstSlice(zeros.data(), zeros.size()))
+                .isOk());
+    }
+
+    struct VecOp
+    {
+        u64 off;
+        std::vector<std::vector<u8>> spans;
+    };
+    constexpr int kOps = 6;
+    std::vector<VecOp> plan;
+    std::vector<std::vector<u8>> refs;
+    {
+        ReferenceFile ref;
+        ref.pwrite(0, std::vector<u8>(kFileSize, 0));
+        refs.push_back(ref.bytes());
+        Rng rng(seed);
+        for (int i = 0; i < kOps; ++i) {
+            VecOp op;
+            const int nspans = static_cast<int>(rng.nextInRange(2, 4));
+            u64 total = 0;
+            for (int s = 0; s < nspans; ++s) {
+                op.spans.push_back(
+                    rng.nextBytes(rng.nextInRange(1, kBlock)));
+                total += op.spans.back().size();
+            }
+            op.off = rng.nextBelow(kFileSize - total);
+            u64 pos = op.off;
+            for (const auto &span : op.spans) {
+                ref.pwrite(pos, span);
+                pos += span.size();
+            }
+            refs.push_back(ref.bytes());
+            plan.push_back(std::move(op));
+        }
+    }
+
+    u64 acked = 0;
+    BoundaryChecker checker{cfg, refs, acked};
+    const u64 seq0 = device->persistSeq();
+    checker.install(device);
+
+    for (int i = 0; i < kOps; ++i) {
+        std::vector<ConstSlice> spans;
+        for (const auto &span : plan[i].spans)
+            spans.emplace_back(span.data(), span.size());
+        ASSERT_TRUE((*file)->pwritev(plan[i].off, spans).isOk());
+        acked = static_cast<u64>(i) + 1;
+        if (i == 3) {
+            ASSERT_TRUE((*file)->sync().isOk());
+        }
+    }
+    device->setPersistHook({});
+
+    EXPECT_FALSE(checker.failed);
+    EXPECT_GE(checker.boundaries, 20u);
     EXPECT_EQ(device->persistSeq() - seq0, checker.boundaries);
     EXPECT_EQ(readAll(file->get()), refs[kOps]);
 }

@@ -64,7 +64,7 @@ TEST(MgspCrash, AckedWritesSurviveTotalCacheLoss)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("crash.dat", 256 * KiB);
+    auto file = (*fs)->open("crash.dat", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk());
 
     ReferenceFile ref;
@@ -100,7 +100,7 @@ TEST(MgspCrash, RandomEvictionNeverCorrupts)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("crash.dat", 128 * KiB);
+    auto file = (*fs)->open("crash.dat", OpenOptions::Create(128 * KiB));
     ASSERT_TRUE(file.isOk());
 
     ReferenceFile ref;
@@ -137,7 +137,7 @@ TEST(MgspCrash, MidOperationCrashIsAtomic)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("atomic.dat", kFileSize);
+    auto file = (*fs)->open("atomic.dat", OpenOptions::Create(kFileSize));
     ASSERT_TRUE(file.isOk());
     {
         std::vector<u8> zeros(kFileSize, 0);
@@ -231,7 +231,7 @@ TEST(MgspCrash, RecoveryIsIdempotentAcrossRecrash)
                                                PmemDevice::Mode::Tracked);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("re.dat", 64 * KiB);
+    auto file = (*fs)->open("re.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     ReferenceFile ref;
     const u64 seed = testutil::testSeed(41);
@@ -269,7 +269,7 @@ TEST(MgspCrash, CleanUnmountNeedsNoReplay)
     {
         auto fs = MgspFs::format(device, cfg);
         ASSERT_TRUE(fs.isOk());
-        auto file = (*fs)->createFile("clean.dat", 64 * KiB);
+        auto file = (*fs)->open("clean.dat", OpenOptions::Create(64 * KiB));
         ASSERT_TRUE(file.isOk());
         std::vector<u8> data(10 * KiB, 0x5A);
         ASSERT_TRUE(

@@ -45,7 +45,7 @@ TEST_P(Differential, RandomOpsMatchOracle)
 {
     const DiffParam &param = GetParam();
     FsFixture fx = makeFs(param.config);
-    auto file = fx.fs->createFile("diff.dat", param.fileCapacity);
+    auto file = fx.fs->open("diff.dat", OpenOptions::Create(param.fileCapacity));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
     ReferenceFile ref;
     Rng rng(hashBytes(param.name.data(), param.name.size()));
@@ -81,7 +81,7 @@ TEST_P(Differential, SurvivesCloseAndRemount)
     {
         auto fs = MgspFs::format(device, param.config);
         ASSERT_TRUE(fs.isOk());
-        auto file = (*fs)->createFile("diff.dat", param.fileCapacity);
+        auto file = (*fs)->open("diff.dat", OpenOptions::Create(param.fileCapacity));
         ASSERT_TRUE(file.isOk());
         for (int i = 0; i < param.ops / 2; ++i) {
             const u64 len = rng.nextInRange(1, param.maxWrite);
@@ -141,6 +141,11 @@ diffParams()
     no_opt.enablePartialMetaFlush = false;
     params.push_back({"ablate_optimizations", no_opt, 512 * KiB, 16 * KiB,
                       300});
+
+    auto no_optimistic = base;
+    no_optimistic.enableOptimisticReads = false;
+    params.push_back({"ablate_optimistic_reads", no_optimistic, 512 * KiB,
+                      16 * KiB, 300});
 
     auto file_lock = base;
     file_lock.lockMode = LockMode::FileLock;

@@ -26,7 +26,7 @@ TEST(MgspFs, FormatAndBasicProperties)
 TEST(MgspFs, CreateWriteReadRoundTrip)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 256 * KiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk()) << file.status().toString();
     const std::string msg = "the quick brown fox";
     ASSERT_TRUE((*file)->pwrite(0, ConstSlice(msg)).isOk());
@@ -42,7 +42,7 @@ TEST(MgspFs, CreateWriteReadRoundTrip)
 TEST(MgspFs, ReadPastEofIsShort)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     u8 buf[100];
     ASSERT_TRUE((*file)->pwrite(0, ConstSlice(buf, 100)).isOk());
@@ -58,7 +58,7 @@ TEST(MgspFs, ReadPastEofIsShort)
 TEST(MgspFs, WriteBeyondCapacityRejected)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     u8 buf[1] = {1};
     EXPECT_EQ((*file)->pwrite(64 * KiB, ConstSlice(buf, 1)).code(),
@@ -70,7 +70,7 @@ TEST(MgspFs, OverwriteSameBlockRepeatedly)
     // The shadow-log role switch: repeated overwrites of one block
     // must alternate between log and home and always read back last.
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> block(4096);
     for (int round = 0; round < 10; ++round) {
@@ -86,7 +86,7 @@ TEST(MgspFs, OverwriteSameBlockRepeatedly)
 TEST(MgspFs, UnalignedSmallWrites)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     ReferenceFile ref;
     Rng rng(99);
@@ -104,7 +104,7 @@ TEST(MgspFs, UnalignedSmallWrites)
 TEST(MgspFs, LargeCoarseWrite)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 1 * MiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(1 * MiB));
     ASSERT_TRUE(file.isOk());
     Rng rng(7);
     std::vector<u8> data = rng.nextBytes(512 * KiB);
@@ -123,7 +123,7 @@ TEST(MgspFs, LargeCoarseWrite)
 TEST(MgspFs, SyncIsAlwaysOkAndFree)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     u8 b[16] = {};
     ASSERT_TRUE((*file)->pwrite(0, ConstSlice(b, 16)).isOk());
@@ -133,7 +133,7 @@ TEST(MgspFs, SyncIsAlwaysOkAndFree)
 TEST(MgspFs, TruncateShrinkThenGrowReadsZeros)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a.dat", 64 * KiB);
+    auto file = fx.fs->open("a.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> data(8192, 0xEE);
     ASSERT_TRUE(
@@ -166,14 +166,14 @@ TEST(MgspFs, RemoveFreesNameAndSpace)
 {
     FsFixture fx = makeFs(smallConfig());
     {
-        auto file = fx.fs->createFile("temp", 64 * KiB);
+        auto file = fx.fs->open("temp", OpenOptions::Create(64 * KiB));
         ASSERT_TRUE(file.isOk());
         EXPECT_EQ(fx.fs->remove("temp").code(), StatusCode::Busy);
     }
     ASSERT_TRUE(fx.fs->remove("temp").isOk());
     EXPECT_FALSE(fx.fs->exists("temp"));
     // Name and extent reusable.
-    auto again = fx.fs->createFile("temp", 64 * KiB);
+    auto again = fx.fs->open("temp", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(again.isOk());
     EXPECT_EQ((*again)->size(), 0u);
 }
@@ -182,7 +182,7 @@ TEST(MgspFs, ReusedExtentReadsZeros)
 {
     FsFixture fx = makeFs(smallConfig());
     {
-        auto file = fx.fs->createFile("temp", 64 * KiB);
+        auto file = fx.fs->open("temp", OpenOptions::Create(64 * KiB));
         ASSERT_TRUE(file.isOk());
         std::vector<u8> junk(32 * KiB, 0xCD);
         ASSERT_TRUE(
@@ -190,7 +190,7 @@ TEST(MgspFs, ReusedExtentReadsZeros)
                 .isOk());
     }
     ASSERT_TRUE(fx.fs->remove("temp").isOk());
-    auto fresh = fx.fs->createFile("fresh", 64 * KiB);
+    auto fresh = fx.fs->open("fresh", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(fresh.isOk());
     std::vector<u8> probe(16, 0xFF);
     ASSERT_TRUE(
@@ -209,7 +209,7 @@ TEST(MgspFs, PersistenceAcrossRemount)
     {
         auto fs = MgspFs::format(device, cfg);
         ASSERT_TRUE(fs.isOk());
-        auto file = (*fs)->createFile("persist.dat", 128 * KiB);
+        auto file = (*fs)->open("persist.dat", OpenOptions::Create(128 * KiB));
         ASSERT_TRUE(file.isOk());
         ASSERT_TRUE(
             (*file)->pwrite(100, ConstSlice(data.data(), data.size()))
@@ -253,7 +253,7 @@ TEST(MgspFs, ManyFilesIndependent)
     FsFixture fx = makeFs(smallConfig());
     std::vector<std::unique_ptr<File>> files;
     for (int i = 0; i < 4; ++i) {
-        auto f = fx.fs->createFile("f" + std::to_string(i), 64 * KiB);
+        auto f = fx.fs->open("f" + std::to_string(i), OpenOptions::Create(64 * KiB));
         ASSERT_TRUE(f.isOk());
         files.push_back(std::move(*f));
     }
@@ -273,7 +273,7 @@ TEST(MgspFs, ManyFilesIndependent)
 TEST(MgspFs, LogicalBytesCounted)
 {
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("a", 64 * KiB);
+    auto file = fx.fs->open("a", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     u8 buf[1000] = {};
     ASSERT_TRUE((*file)->pwrite(0, ConstSlice(buf, 1000)).isOk());

@@ -24,8 +24,8 @@ TEST(MgspRecovery, ReportCountsFilesAndRecords)
     {
         auto fs = MgspFs::format(device, cfg);
         ASSERT_TRUE(fs.isOk());
-        auto a = (*fs)->createFile("a", 128 * KiB);
-        auto b = (*fs)->createFile("b", 128 * KiB);
+        auto a = (*fs)->open("a", OpenOptions::Create(128 * KiB));
+        auto b = (*fs)->open("b", OpenOptions::Create(128 * KiB));
         ASSERT_TRUE(a.isOk());
         ASSERT_TRUE(b.isOk());
         std::vector<u8> block(4096, 1);
@@ -70,7 +70,7 @@ TEST(MgspRecovery, PoolOccupancyPreventsLogReuseCorruption)
     {
         auto fs = MgspFs::format(device, cfg);
         ASSERT_TRUE(fs.isOk());
-        auto file = (*fs)->createFile("old", 256 * KiB);
+        auto file = (*fs)->open("old", OpenOptions::Create(256 * KiB));
         ASSERT_TRUE(file.isOk());
         std::vector<u8> fill(256 * KiB, 0);
         ASSERT_TRUE(
@@ -94,7 +94,7 @@ TEST(MgspRecovery, PoolOccupancyPreventsLogReuseCorruption)
     ASSERT_TRUE(fs.isOk());
 
     // Hammer a fresh file: its logs must come from unclaimed cells.
-    auto fresh = (*fs)->createFile("fresh", 256 * KiB);
+    auto fresh = (*fs)->open("fresh", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(fresh.isOk());
     std::vector<u8> junk(4096, 0xEE);
     std::vector<u8> fill(256 * KiB, 0xEE);
@@ -118,7 +118,7 @@ TEST(MgspRecovery, DoubleMountIsIdempotent)
     {
         auto fs = MgspFs::format(device, cfg);
         ASSERT_TRUE(fs.isOk());
-        auto file = (*fs)->createFile("f", 64 * KiB);
+        auto file = (*fs)->open("f", OpenOptions::Create(64 * KiB));
         ASSERT_TRUE(file.isOk());
         std::vector<u8> data(10 * KiB, 0x42);
         ASSERT_TRUE(
@@ -152,7 +152,7 @@ TEST(MgspRecovery, PaperGeometryDegree64RoundTrips)
     {
         auto fs = MgspFs::format(device, cfg);
         ASSERT_TRUE(fs.isOk());
-        auto file = (*fs)->createFile("deg64", 8 * MiB);
+        auto file = (*fs)->open("deg64", OpenOptions::Create(8 * MiB));
         ASSERT_TRUE(file.isOk());
         for (int i = 0; i < 150; ++i) {
             const u64 len = rng.nextInRange(1, 300 * KiB);
@@ -186,7 +186,7 @@ TEST(MgspRecovery, NodeTableExhaustionSurfacesCleanly)
     auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
     auto fs = MgspFs::format(device, cfg);
     ASSERT_TRUE(fs.isOk());
-    auto file = (*fs)->createFile("tiny", 512 * KiB);
+    auto file = (*fs)->open("tiny", OpenOptions::Create(512 * KiB));
     ASSERT_TRUE(file.isOk());
     ReferenceFile ref;
     Rng rng(9);

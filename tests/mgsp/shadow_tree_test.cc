@@ -36,7 +36,7 @@ TEST(ShadowTreeZeroCopy, TwoOverwritesCostTwoDataWrites)
     // The shadow-log insight (paper Fig. 3): overwriting the same
     // block N times costs N block writes, not 2N.
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("z.dat", 64 * KiB);
+    auto file = fx.fs->open("z.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> block(4096, 1);
     // Bring the file + leaf log to steady state.
@@ -62,7 +62,7 @@ TEST(ShadowTreeZeroCopy, AblationWithoutShadowLogWritesTwice)
     MgspConfig cfg = smallConfig();
     cfg.enableShadowLog = false;
     FsFixture fx = makeFs(cfg);
-    auto file = fx.fs->createFile("z.dat", 64 * KiB);
+    auto file = fx.fs->open("z.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> block(4096, 1);
     ASSERT_TRUE((*file)->pwrite(0, ConstSlice(block.data(), 4096)).isOk());
@@ -84,7 +84,7 @@ TEST(ShadowTreeFineGrained, SubBlockWriteCostsSubBlock)
     MgspConfig cfg = smallConfig();
     cfg.leafSubBits = 4;  // 4K leaf / 4 = 1K units
     FsFixture fx = makeFs(cfg);
-    auto file = fx.fs->createFile("f.dat", 64 * KiB);
+    auto file = fx.fs->open("f.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> unit(1024, 2);
     ASSERT_TRUE((*file)->pwrite(0, ConstSlice(unit.data(), 1024)).isOk());
@@ -101,7 +101,7 @@ TEST(ShadowTreeFineGrained, SubBlockWriteCostsSubBlock)
     MgspConfig no_fine = cfg;
     no_fine.enableFineGrained = false;
     FsFixture fx2 = makeFs(no_fine);
-    auto file2 = fx2.fs->createFile("f.dat", 64 * KiB);
+    auto file2 = fx2.fs->open("f.dat", OpenOptions::Create(64 * KiB));
     ASSERT_TRUE(file2.isOk());
     ASSERT_TRUE(
         (*file2)->pwrite(0, ConstSlice(unit.data(), 1024)).isOk());
@@ -119,36 +119,37 @@ TEST(ShadowTreeCoarse, LargeAlignedWriteUsesOneSlot)
     // node (degree 4 * 4K leaves => 16K and 64K levels exist).
     MgspConfig cfg = smallConfig();
     FsFixture fx = makeFs(cfg);
-    auto file = fx.fs->createFile("c.dat", 1 * MiB);
+    auto file = fx.fs->open("c.dat", OpenOptions::Create(1 * MiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> zeros(1 * MiB, 0);
     ASSERT_TRUE(
         (*file)->pwrite(0, ConstSlice(zeros.data(), zeros.size()))
             .isOk());  // preallocate via append path
 
-    TreeStats *stats = fx.fs->treeStatsFor("c.dat");
-    ASSERT_NE(stats, nullptr);
+    const TreeStats before = *fx.fs->statsFor("c.dat");
     std::vector<u8> big(64 * KiB, 3);
     ASSERT_TRUE(
         (*file)->pwrite(0, ConstSlice(big.data(), big.size())).isOk());
-    EXPECT_EQ(stats->coarseLogWrites.load(), 1u);
-    EXPECT_EQ(stats->leafLogWrites.load(), 0u);
+    const TreeStats after = *fx.fs->statsFor("c.dat");
+    EXPECT_EQ(after.coarseLogWrites - before.coarseLogWrites, 1u);
+    EXPECT_EQ(after.leafLogWrites - before.leafLogWrites, 0u);
 
     // Without multi-granularity the same write touches 16 leaves.
     MgspConfig no_multi = cfg;
     no_multi.enableMultiGranularity = false;
     FsFixture fx2 = makeFs(no_multi);
-    auto file2 = fx2.fs->createFile("c.dat", 1 * MiB);
+    auto file2 = fx2.fs->open("c.dat", OpenOptions::Create(1 * MiB));
     ASSERT_TRUE(file2.isOk());
     ASSERT_TRUE(
         (*file2)->pwrite(0, ConstSlice(zeros.data(), zeros.size()))
             .isOk());
-    TreeStats *stats2 = fx2.fs->treeStatsFor("c.dat");
+    const TreeStats before2 = *fx2.fs->statsFor("c.dat");
     ASSERT_TRUE((*file2)
                     ->pwrite(0, ConstSlice(big.data(), big.size()))
                     .isOk());
-    EXPECT_EQ(stats2->coarseLogWrites.load(), 0u);
-    EXPECT_EQ(stats2->leafLogWrites.load(), 16u);
+    const TreeStats after2 = *fx2.fs->statsFor("c.dat");
+    EXPECT_EQ(after2.coarseLogWrites - before2.coarseLogWrites, 0u);
+    EXPECT_EQ(after2.leafLogWrites - before2.leafLogWrites, 16u);
 }
 
 TEST(ShadowTreeLazyCleaning, CoarseOverwriteInvalidatesDescendants)
@@ -157,7 +158,7 @@ TEST(ShadowTreeLazyCleaning, CoarseOverwriteInvalidatesDescendants)
     // the old fine data unreachable (existing bit cleared), and later
     // fine writes must re-descend correctly (children zeroed lazily).
     FsFixture fx = makeFs(smallConfig());
-    auto file = fx.fs->createFile("l.dat", 256 * KiB);
+    auto file = fx.fs->open("l.dat", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> zeros(64 * KiB, 0);
     ASSERT_TRUE(
@@ -200,14 +201,14 @@ TEST(ShadowTreeMinSearch, CacheHitsOnLocalAccess)
 {
     MgspConfig cfg = smallConfig();
     FsFixture fx = makeFs(cfg);
-    auto file = fx.fs->createFile("m.dat", 256 * KiB);
+    auto file = fx.fs->open("m.dat", OpenOptions::Create(256 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> zeros(256 * KiB, 0);
     ASSERT_TRUE(
         (*file)->pwrite(0, ConstSlice(zeros.data(), zeros.size()))
             .isOk());
-    TreeStats *stats = fx.fs->treeStatsFor("m.dat");
-    ASSERT_NE(stats, nullptr);
+    ASSERT_TRUE(fx.fs->statsFor("m.dat").isOk());
+    const TreeStats before = *fx.fs->statsFor("m.dat");
 
     std::vector<u8> block(4096, 1);
     // Repeated writes to the same block: after the first, the cached
@@ -215,7 +216,12 @@ TEST(ShadowTreeMinSearch, CacheHitsOnLocalAccess)
     for (int i = 0; i < 20; ++i)
         ASSERT_TRUE(
             (*file)->pwrite(8192, ConstSlice(block.data(), 4096)).isOk());
-    EXPECT_GT(stats->minTreeHits.load(), 15u);
+    const TreeStats after = *fx.fs->statsFor("m.dat");
+    EXPECT_GT(after.minTreeHits - before.minTreeHits, 15u);
+    // The escape hatch is a value snapshot: a missing path is a
+    // status, not a dangling pointer.
+    EXPECT_EQ(fx.fs->statsFor("nope").status().code(),
+              StatusCode::NotFound);
 }
 
 TEST(ShadowTreeWriteback, CloseMovesEverythingHome)
@@ -226,7 +232,7 @@ TEST(ShadowTreeWriteback, CloseMovesEverythingHome)
     {
         auto fs = MgspFs::format(device, cfg);
         ASSERT_TRUE(fs.isOk());
-        auto file = (*fs)->createFile("w.dat", 128 * KiB);
+        auto file = (*fs)->open("w.dat", OpenOptions::Create(128 * KiB));
         ASSERT_TRUE(file.isOk());
         Rng rng(31);
         std::vector<u8> zeros(128 * KiB, 0);
@@ -261,7 +267,7 @@ TEST(ShadowTreeSlotPlanning, ChunkSplitKeepsWritesWithinEntry)
     MgspConfig cfg = smallConfig();
     cfg.enableMultiGranularity = false;  // worst case: leaf-only slots
     FsFixture fx = makeFs(cfg);
-    auto file = fx.fs->createFile("s.dat", 512 * KiB);
+    auto file = fx.fs->open("s.dat", OpenOptions::Create(512 * KiB));
     ASSERT_TRUE(file.isOk());
     std::vector<u8> zeros(512 * KiB, 0);
     ASSERT_TRUE(
