@@ -137,9 +137,27 @@ parseBenchArgs(int argc, char **argv)
             args.background = true;
         } else if (arg == "--quick") {
             args.quick = true;
+        } else if (arg.rfind("--corrupt-pct=", 0) == 0) {
+            std::string list = arg.substr(strlen("--corrupt-pct="));
+            for (std::size_t pos = 0; pos <= list.size();) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                const std::string tok = list.substr(pos, comma - pos);
+                if (!tok.empty()) {
+                    const double pct = std::strtod(tok.c_str(), nullptr);
+                    if (pct < 0.0 || pct > 100.0)
+                        MGSP_FATAL("--corrupt-pct value out of "
+                                   "[0,100]: %s",
+                                   tok.c_str());
+                    args.corruptPcts.push_back(pct);
+                }
+                pos = comma + 1;
+            }
         } else {
             MGSP_FATAL("unknown argument: %s (supported: "
-                       "--stats-json=FILE --background --quick)",
+                       "--stats-json=FILE --background --quick "
+                       "--corrupt-pct=P0,P1,...)",
                        arg.c_str());
         }
     }

@@ -75,6 +75,11 @@ struct BenchArgs
     /// --quick: benches that honour it (fig10) run a reduced smoke
     /// matrix and exit nonzero on a scalability regression, for CI.
     bool quick = false;
+    /// --corrupt-pct=P0,P1,...: benches that honour it
+    /// (recovery_time) additionally run a salvage-mode recovery
+    /// series, rotting the given percentages of node records in the
+    /// crash image before mounting. Empty = skip the series.
+    std::vector<double> corruptPcts;
 };
 
 /**

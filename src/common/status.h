@@ -26,6 +26,7 @@ enum class StatusCode {
     Corruption,
     Busy,
     IoError,
+    MediaError,
     Unsupported,
     Internal,
 };
@@ -43,6 +44,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Corruption: return "Corruption";
       case StatusCode::Busy: return "Busy";
       case StatusCode::IoError: return "IoError";
+      case StatusCode::MediaError: return "MediaError";
       case StatusCode::Unsupported: return "Unsupported";
       case StatusCode::Internal: return "Internal";
     }
@@ -102,6 +104,19 @@ class Status
     ioError(std::string msg)
     {
         return Status(StatusCode::IoError, std::move(msg));
+    }
+    /**
+     * An uncorrectable media error (poisoned NVM line) was hit while
+     * reading persistent memory. Unlike Corruption — which means a
+     * checksum mismatch over bytes that read fine — MediaError means
+     * the device itself refused the load (DAX SIGBUS / UC error).
+     * Transient faults may succeed on retry; see
+     * MgspConfig::mediaErrorRetries.
+     */
+    static Status
+    mediaError(std::string msg)
+    {
+        return Status(StatusCode::MediaError, std::move(msg));
     }
     static Status
     unsupported(std::string msg)

@@ -25,6 +25,27 @@ enum class LockMode {
     Mgl,       ///< multi-granularity IR/IW/R/W intention locking
 };
 
+/**
+ * How mount/recovery reacts to corrupt or poisoned metadata
+ * (DESIGN.md §12).
+ */
+enum class RecoveryMode {
+    /**
+     * Fail fast: any checksum mismatch, invalid record or poisoned
+     * metadata read aborts the mount with Status::corruption /
+     * Status::mediaError. Today's (pre-fault-model) behaviour.
+     */
+    Strict,
+    /**
+     * Quarantine and continue: corrupt metadata-log entries and node
+     * records are dropped (only their ranges lose the shadow copy and
+     * fall back to the base-file bytes), a bad primary superblock is
+     * recovered from the secondary copy, and poisoned ranges are
+     * skipped. RecoveryReport tallies what was salvaged.
+     */
+    Salvage,
+};
+
 /** Engine configuration. Fixed at file-system creation. */
 struct MgspConfig
 {
@@ -131,6 +152,34 @@ struct MgspConfig
      * milliseconds; 0 = drain only on nudges and sync() barriers.
      */
     u64 cleanerSyncIntervalMillis = 0;
+
+    // ---- media-fault robustness (DESIGN.md §12) -----------------
+    /** Corruption handling policy for mount-time recovery. */
+    RecoveryMode recoveryMode = RecoveryMode::Strict;
+
+    /**
+     * CRC32C over shadow-log data: per-unit CRCs computed when a
+     * fine-grained unit or whole block is logged, verified before
+     * write-back/clean copies a shadow block home and by the scrub
+     * pass. Off = trust the media (pre-fault-model behaviour; saves
+     * one CRC pass per logged unit).
+     */
+    bool enableDataChecksums = true;
+
+    /**
+     * Bounded retries for reads that hit a poisoned (UC) range
+     * before the error surfaces as Status::mediaError. Transient
+     * faults (FaultSpec::healAfterReads) succeed within the bound.
+     */
+    u32 mediaErrorRetries = 2;
+
+    /**
+     * Background scrub: every this-many milliseconds the cleaner
+     * thread verifies shadow-log checksums of open files and reports
+     * scrub.* counters. 0 = scrub only on explicit scrubAllFiles().
+     * Requires enableCleaner with worker threads.
+     */
+    u64 scrubIntervalMillis = 0;
 
     LatencyModel latency{};
 

@@ -15,15 +15,27 @@
 #ifndef MGSP_MGSP_LAYOUT_H
 #define MGSP_MGSP_LAYOUT_H
 
+#include <cstring>
+
+#include "common/checksum.h"
 #include "common/types.h"
 #include "mgsp/config.h"
 
 namespace mgsp {
 
-/** On-media superblock, at arena offset 0. */
+/**
+ * On-media superblock. Two checksummed copies live at the head of the
+ * arena (slots 0 and 256): updates bump the epoch, rewrite the
+ * secondary slot first, then the primary, each under its own persist.
+ * Mount validates magic + CRC of both copies; strict mode requires a
+ * valid primary, salvage mode accepts whichever valid copy carries
+ * the highest epoch (DESIGN.md §12).
+ */
 struct Superblock
 {
     static constexpr u64 kMagic = 0x4D47535032303233ull;  // "MGSP2023"
+    static constexpr u32 kSlots = 2;
+    static constexpr u64 kSlotStride = 256;
 
     u64 magic;
     u64 arenaSize;
@@ -42,7 +54,27 @@ struct Superblock
     u64 fileAreaOff;
     u64 fileAreaBytes;
     u64 fileAreaBump;  ///< persistent bump pointer for extent allocation
+    u64 epoch;         ///< incremented on every superblock rewrite
+    u32 checksum;      ///< CRC32C over bytes [0, offsetof(checksum))
+    u32 reserved1;
+
+    static u64 slotOff(u32 slot) { return slot * kSlotStride; }
+
+    /** CRC32C over every field before the checksum itself. */
+    u32
+    computeChecksum() const
+    {
+        return crc32c(this, offsetof(Superblock, checksum));
+    }
+
+    bool
+    validCopy() const
+    {
+        return magic == kMagic && checksum == computeChecksum();
+    }
 };
+static_assert(sizeof(Superblock) == 128);
+static_assert(sizeof(Superblock) <= Superblock::kSlotStride);
 
 /** On-media inode record (128 bytes). */
 struct InodeRecord
@@ -64,7 +96,12 @@ static_assert(sizeof(InodeRecord) == 128);
 struct NodeRecord
 {
     /// info field layout: bit 0 = in use; bits 8..15 = level;
-    /// bits 16..31 = inode index.
+    /// bits 16..31 = inode index; bits 32..63 = CRC32C over the
+    /// record's immutable identity (low info bits + index). logOff
+    /// and bitmap are deliberately outside the CRC: both are mutated
+    /// in place by single 8-byte stores whose torn/absent states are
+    /// legitimate crash outcomes, validated structurally instead
+    /// (pool-cell bounds for logOff, metadata-log replay for bitmap).
     static constexpr u64 kInUse = 1;
 
     u64 info;
@@ -89,8 +126,56 @@ struct NodeRecord
     {
         return static_cast<u32>((info_word >> 16) & 0xFFFF);
     }
+
+    /** CRC32C binding a record's identity fields together. */
+    static u32
+    identityCrc(u64 info_word, u64 index_word)
+    {
+        u8 buf[12];
+        const u32 low = static_cast<u32>(info_word);
+        std::memcpy(buf, &low, 4);
+        std::memcpy(buf + 4, &index_word, 8);
+        return crc32c(buf, sizeof(buf));
+    }
+
+    /** @return @p info_word with the identity CRC sealed into bits 32..63. */
+    static u64
+    sealInfo(u64 info_word, u64 index_word)
+    {
+        return (info_word & 0xFFFFFFFFull) |
+               (static_cast<u64>(identityCrc(info_word, index_word)) << 32);
+    }
+
+    /** Verifies the sealed identity CRC of an in-use record. */
+    static bool
+    identityOk(u64 info_word, u64 index_word)
+    {
+        return static_cast<u32>(info_word >> 32) ==
+               identityCrc(info_word, index_word);
+    }
 };
 static_assert(sizeof(NodeRecord) == 32);
+
+/**
+ * Per-node-record shadow-log data checksums (DESIGN.md §12). Entry i
+ * guards the log block of node record i: unit[u] is the CRC32C of
+ * fine-grained unit u as last written to the record's *own* log
+ * (interior/coarse blocks use unit[0] for the whole block), and bit u
+ * of `present` says whether unit[u] is current. Role-switch writes
+ * into an ancestor's region clear the ancestor's present bits (with a
+ * fence) *before* touching its block, so a CRC never outlives the
+ * bytes it described; absent bits simply mean "unverifiable", never
+ * "corrupt".
+ */
+struct BlockCrcEntry
+{
+    static constexpr u32 kMaxUnits = 16;
+
+    u32 unit[kMaxUnits];
+    u64 present;  ///< bit u: unit[u] is current (low kMaxUnits bits)
+    u64 reserved;
+};
+static_assert(sizeof(BlockCrcEntry) == 80);
 
 /**
  * On-media metadata-log entry (128 bytes, cache-line pair).
@@ -131,6 +216,7 @@ struct ArenaLayout
     u64 inodeTableOff = 0;
     u64 metaLogOff = 0;
     u64 nodeTableOff = 0;
+    u64 crcTableOff = 0;
     u64 poolOff = 0;
     u64 poolBytes = 0;
     u64 fileAreaOff = 0;
@@ -141,7 +227,10 @@ struct ArenaLayout
     compute(const MgspConfig &config)
     {
         ArenaLayout l;
-        u64 cursor = alignUp(sizeof(Superblock), kCacheLineSize);
+        // Both superblock slots (primary + secondary) precede the
+        // inode table.
+        u64 cursor = alignUp(Superblock::kSlots * Superblock::kSlotStride,
+                             kCacheLineSize);
         l.inodeTableOff = cursor;
         cursor += static_cast<u64>(config.maxInodes) * sizeof(InodeRecord);
         l.metaLogOff = alignUp(cursor, 128);
@@ -152,6 +241,10 @@ struct ArenaLayout
         cursor = l.nodeTableOff +
                  static_cast<u64>(config.maxNodeRecords) *
                      sizeof(NodeRecord);
+        l.crcTableOff = alignUp(cursor, kCacheLineSize);
+        cursor = l.crcTableOff +
+                 static_cast<u64>(config.maxNodeRecords) *
+                     sizeof(BlockCrcEntry);
         l.poolOff = alignUp(cursor, config.leafBlockSize);
         l.poolBytes = static_cast<u64>(
             static_cast<double>(config.arenaSize) * config.poolFraction);
@@ -166,6 +259,11 @@ struct ArenaLayout
     u64 inodeOff(u32 idx) const { return inodeTableOff + idx * 128ull; }
     u64 metaEntryOff(u32 idx) const { return metaLogOff + idx * 128ull; }
     u64 nodeRecOff(u32 idx) const { return nodeTableOff + idx * 32ull; }
+    u64
+    crcEntryOff(u32 idx) const
+    {
+        return crcTableOff + idx * sizeof(BlockCrcEntry);
+    }
 };
 
 }  // namespace mgsp

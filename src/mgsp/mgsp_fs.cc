@@ -118,6 +118,17 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
         cleanCounters_.recordsReclaimed =
             &reg.counter("clean.records_reclaimed");
     }
+    {
+        auto &reg = stats::StatsRegistry::instance();
+        faultCounters_.mediaRetries = &reg.counter("read.media_retries");
+        faultCounters_.scrubPasses = &reg.counter("scrub.passes");
+        faultCounters_.scrubUnitsVerified =
+            &reg.counter("scrub.units_verified");
+        faultCounters_.scrubCrcMismatches =
+            &reg.counter("scrub.crc_mismatches");
+        faultCounters_.scrubPoisonSkipped =
+            &reg.counter("scrub.poison_skipped");
+    }
 }
 
 MgspFs::~MgspFs()
@@ -175,29 +186,44 @@ MgspFs::initLayout(bool fresh)
         config_.enablePartialMetaFlush);
 
     if (fresh) {
-        // Zero the metadata regions and publish the superblock.
+        // Zero the metadata regions and publish both superblock
+        // copies (epoch 1 after the persistSuperblock bump).
         device_->fill(0, 0, layout_.poolOff);
-        Superblock sb{};
-        sb.magic = Superblock::kMagic;
-        sb.arenaSize = device_->size();
-        sb.leafBlockSize = config_.leafBlockSize;
-        sb.degree = config_.degree;
-        sb.leafSubBits = config_.leafSubBits;
-        sb.metaLogEntries = config_.metaLogEntries;
-        sb.maxInodes = config_.maxInodes;
-        sb.maxNodeRecords = config_.maxNodeRecords;
-        sb.inodeTableOff = layout_.inodeTableOff;
-        sb.metaLogOff = layout_.metaLogOff;
-        sb.nodeTableOff = layout_.nodeTableOff;
-        sb.poolOff = layout_.poolOff;
-        sb.poolBytes = layout_.poolBytes;
-        sb.fileAreaOff = layout_.fileAreaOff;
-        sb.fileAreaBytes = layout_.fileAreaBytes;
-        sb.fileAreaBump = layout_.fileAreaOff;
-        device_->write(0, &sb, sizeof(sb));
-        device_->persist(0, sizeof(sb));
+        sb_ = Superblock{};
+        sb_.magic = Superblock::kMagic;
+        sb_.arenaSize = device_->size();
+        sb_.leafBlockSize = config_.leafBlockSize;
+        sb_.degree = config_.degree;
+        sb_.leafSubBits = config_.leafSubBits;
+        sb_.metaLogEntries = config_.metaLogEntries;
+        sb_.maxInodes = config_.maxInodes;
+        sb_.maxNodeRecords = config_.maxNodeRecords;
+        sb_.inodeTableOff = layout_.inodeTableOff;
+        sb_.metaLogOff = layout_.metaLogOff;
+        sb_.nodeTableOff = layout_.nodeTableOff;
+        sb_.poolOff = layout_.poolOff;
+        sb_.poolBytes = layout_.poolBytes;
+        sb_.fileAreaOff = layout_.fileAreaOff;
+        sb_.fileAreaBytes = layout_.fileAreaBytes;
+        sb_.fileAreaBump = layout_.fileAreaOff;
+        sb_.epoch = 0;
+        persistSuperblock();
     }
     return Status::ok();
+}
+
+void
+MgspFs::persistSuperblock()
+{
+    ++sb_.epoch;
+    sb_.checksum = sb_.computeChecksum();
+    // Secondary first: if the crash lands mid-primary-rewrite, the
+    // secondary already carries the new epoch and salvage mounts from
+    // it; if it lands mid-secondary-rewrite, the primary is intact.
+    for (u32 slot = Superblock::kSlots; slot-- > 0;) {
+        device_->write(Superblock::slotOff(slot), &sb_, sizeof(sb_));
+        device_->persist(Superblock::slotOff(slot), sizeof(sb_));
+    }
 }
 
 StatusOr<std::unique_ptr<MgspFs>>
@@ -216,10 +242,46 @@ MgspFs::format(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
 StatusOr<std::unique_ptr<MgspFs>>
 MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
 {
+    if (device->size() < Superblock::kSlots * Superblock::kSlotStride)
+        return Status::corruption(
+            "arena truncated below the superblock region");
+    Superblock copies[Superblock::kSlots];
+    for (u32 i = 0; i < Superblock::kSlots; ++i)
+        device->read(Superblock::slotOff(i), &copies[i],
+                     sizeof(Superblock));
+
     Superblock sb;
-    device->read(0, &sb, sizeof(sb));
-    if (sb.magic != Superblock::kMagic)
-        return Status::corruption("bad superblock magic");
+    bool recovered = false;
+    if (config.recoveryMode == RecoveryMode::Strict) {
+        // Fail-fast: the primary copy must stand on its own.
+        if (copies[0].magic != Superblock::kMagic)
+            return Status::corruption("bad superblock magic");
+        if (!copies[0].validCopy())
+            return Status::corruption("superblock checksum mismatch");
+        sb = copies[0];
+    } else {
+        // Salvage: any valid copy will do; highest epoch wins.
+        int best = -1;
+        for (u32 i = 0; i < Superblock::kSlots; ++i) {
+            if (!copies[i].validCopy())
+                continue;
+            if (device->poisoned(Superblock::slotOff(i),
+                                 sizeof(Superblock)))
+                continue;
+            if (best < 0 || copies[i].epoch > copies[best].epoch)
+                best = static_cast<int>(i);
+        }
+        if (best < 0)
+            return Status::corruption("no valid superblock copy");
+        sb = copies[best];
+        recovered = best != 0 || !copies[0].validCopy();
+    }
+
+    // A valid superblock describing an arena larger than the device
+    // means the backing file was truncated after format.
+    if (sb.arenaSize > device->size())
+        return Status::corruption(
+            "arena truncated below the formatted size");
     if (sb.leafBlockSize != config.leafBlockSize ||
         sb.degree != config.degree ||
         sb.leafSubBits != config.leafSubBits ||
@@ -232,6 +294,10 @@ MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
     }
     std::unique_ptr<MgspFs> fs(new MgspFs(std::move(device), config));
     MGSP_RETURN_IF_ERROR(fs->initLayout(/*fresh=*/false));
+    fs->sb_ = sb;
+    fs->recovery_.superblockRecovered = recovered;
+    if (recovered)
+        fs->persistSuperblock();  // repair the losing copy in place
     MGSP_RETURN_IF_ERROR(fs->runRecovery());
     fs->startCleaner();
     return fs;
@@ -243,15 +309,33 @@ MgspFs::runRecovery()
     Stopwatch timer;
     stats::OpTrace trace(stats::OpType::Recovery, 0, 0, statsOn_);
     trace.stage(stats::Stage::Recovery);
+    const bool salvage = config_.recoveryMode == RecoveryMode::Salvage;
+
+    // Strict mode refuses to recover over poisoned metadata: every
+    // structure below poolOff is load-bearing for consistency, and
+    // fail-fast beats guessing. Salvage skips the poisoned slots
+    // below, structure by structure.
+    if (!salvage && device_->poisoned(0, layout_.poolOff))
+        return Status::mediaError(
+            "metadata region carries unrecovered media errors");
 
     // 1. Redo committed-but-unfinished operations from the metadata
-    //    log (idempotent: slots store absolute bitmap words).
+    //    log (idempotent: slots store absolute bitmap words). Entries
+    //    arrive checksum-validated from scanLive, so an out-of-range
+    //    index here means corruption the checksum failed to catch.
     std::vector<MetadataLog::LiveEntry> live = metaLog_->scanLive();
     for (const MetadataLog::LiveEntry &op : live) {
+        bool bad = op.entry.inode >= config_.maxInodes;
+        for (u32 i = 0; !bad && i < op.entry.usedSlots; ++i)
+            bad = op.entry.slots[i].recIdx >= config_.maxNodeRecords;
+        if (bad) {
+            if (!salvage)
+                return Status::corruption("metadata slot out of range");
+            ++recovery_.corruptRecordsQuarantined;
+            continue;  // unreplayed = the op never happened
+        }
         for (u32 i = 0; i < op.entry.usedSlots; ++i) {
             const MetaLogEntry::Slot &slot = op.entry.slots[i];
-            if (slot.recIdx >= config_.maxNodeRecords)
-                return Status::corruption("metadata slot out of range");
             nodeTable_->storeBitmap(slot.recIdx, slot.newBits);
         }
         const u64 size_off = layout_.inodeOff(op.entry.inode) +
@@ -260,46 +344,106 @@ MgspFs::runRecovery()
             device_->store64(size_off, op.entry.newFileSize);
             device_->flush(size_off, 8);
         }
+        ++recovery_.liveEntriesReplayed;
     }
     device_->fence();
     metaLog_->resetAll();
-    recovery_.liveEntriesReplayed = static_cast<u32>(live.size());
 
     // 2. Rebuild pool occupancy and per-inode record lists from the
     //    node table. Coverage depends on the owning file's geometry.
     std::vector<InodeRecord> inodes(config_.maxInodes);
-    for (u32 i = 0; i < config_.maxInodes; ++i)
+    std::vector<bool> inodeOk(config_.maxInodes, true);
+    for (u32 i = 0; i < config_.maxInodes; ++i) {
+        if (salvage && device_->poisoned(layout_.inodeOff(i),
+                                         sizeof(InodeRecord))) {
+            // Unreadable inode slot: treat as absent. Its records
+            // become orphans and its extent is left untouched.
+            inodes[i] = InodeRecord{};
+            inodeOk[i] = false;
+            ++recovery_.poisonedRangesSkipped;
+            continue;
+        }
         device_->read(layout_.inodeOff(i), &inodes[i],
                       sizeof(InodeRecord));
+    }
     std::vector<TreeGeometry> geos(config_.maxInodes);
     for (u32 i = 0; i < config_.maxInodes; ++i) {
-        if (inodes[i].flags & InodeRecord::kInUse) {
-            geos[i] = TreeGeometry::forCapacity(inodes[i].capacity,
-                                                config_.leafBlockSize,
-                                                config_.degree);
-            ++recovery_.filesFound;
+        if (!(inodes[i].flags & InodeRecord::kInUse))
+            continue;
+        // Structural sanity: the extent must lie inside the file
+        // area. An in-use record violating that is rot, not a crash
+        // state (creation publishes the record in one persist).
+        if (inodes[i].extentOff < layout_.fileAreaOff ||
+            inodes[i].extentOff + inodes[i].capacity >
+                device_->size() ||
+            inodes[i].capacity == 0) {
+            if (!salvage)
+                return Status::corruption("inode extent out of bounds");
+            inodes[i].flags = 0;
+            inodeOk[i] = false;
+            ++recovery_.corruptRecordsQuarantined;
+            continue;
         }
+        geos[i] = TreeGeometry::forCapacity(inodes[i].capacity,
+                                            config_.leafBlockSize,
+                                            config_.degree);
+        ++recovery_.filesFound;
     }
 
     pool_->resetAllocationState();
     Status scan_status = Status::ok();
-    nodeTable_->rebuild([&](u32 idx, const NodeRecord &rec) {
-        ++recovery_.recordsScanned;
-        const u32 inode = NodeRecord::inode(rec.info);
-        if (inode >= config_.maxInodes ||
-            !(inodes[inode].flags & InodeRecord::kInUse)) {
-            return;  // orphaned record (leaked by a crash); ignore
-        }
-        pendingRecords_[inode].emplace_back(idx, rec);
-        if (rec.logOff != 0) {
-            const u64 cov =
-                geos[inode].coverage(NodeRecord::level(rec.info));
-            Status s = pool_->markAllocated(rec.logOff, cov);
-            if (!s.isOk() && scan_status.isOk())
-                scan_status = s;
-        }
-    });
+    recovery_.poisonedRangesSkipped += nodeTable_->rebuild(
+        [&](u32 idx, const NodeRecord &rec) {
+            ++recovery_.recordsScanned;
+            // The sealed identity CRC binds (in-use, level, inode) to
+            // the index; silent rot in any of them fails here. A
+            // quarantined record keeps its slot (rebuild never frees
+            // in-use indices) so nothing can overwrite the evidence.
+            if (!NodeRecord::identityOk(rec.info, rec.index)) {
+                if (!salvage && scan_status.isOk())
+                    scan_status = Status::corruption(
+                        "node record identity checksum mismatch");
+                ++recovery_.corruptRecordsQuarantined;
+                return;
+            }
+            const u32 inode = NodeRecord::inode(rec.info);
+            if (inode >= config_.maxInodes ||
+                !(inodes[inode].flags & InodeRecord::kInUse)) {
+                return;  // orphaned record (leaked by a crash); ignore
+            }
+            if (rec.logOff != 0) {
+                const u64 cov =
+                    geos[inode].coverage(NodeRecord::level(rec.info));
+                Status s = pool_->markAllocated(rec.logOff, cov);
+                if (!s.isOk()) {
+                    // logOff points outside its pool class (or into
+                    // an already-claimed cell): quarantine; reads of
+                    // the covered range fall back to the base file.
+                    if (!salvage && scan_status.isOk())
+                        scan_status = s;
+                    ++recovery_.corruptRecordsQuarantined;
+                    recovery_.salvagedBytes += cov;
+                    return;
+                }
+            }
+            pendingRecords_[inode].emplace_back(idx, rec);
+        },
+        /*skip_poisoned=*/salvage);
     MGSP_RETURN_IF_ERROR(scan_status);
+
+    // 3. Repair the extent bump pointer: a crash between the two
+    //    superblock copies (or a salvaged older epoch) may leave it
+    //    behind the furthest live extent; never re-allocate over one.
+    u64 max_end = sb_.fileAreaBump;
+    for (u32 i = 0; i < config_.maxInodes; ++i) {
+        if ((inodes[i].flags & InodeRecord::kInUse) && inodeOk[i])
+            max_end = std::max(max_end,
+                               inodes[i].extentOff + inodes[i].capacity);
+    }
+    if (max_end > sb_.fileAreaBump) {
+        sb_.fileAreaBump = max_end;
+        persistSuperblock();
+    }
 
     recovery_.nanos = timer.elapsedNanos();
     return Status::ok();
@@ -446,13 +590,16 @@ MgspFs::createFileLocked(const std::string &path, u64 capacity)
         }
     }
     if (extent_off == 0) {
-        const u64 bump_off = offsetof(Superblock, fileAreaBump);
-        const u64 bump = device_->load64(bump_off);
+        const u64 bump = sb_.fileAreaBump;
         if (bump + capacity > device_->size())
             return Status::outOfSpace("file area exhausted");
         extent_off = bump;
-        device_->store64(bump_off, bump + capacity);
-        device_->flush(bump_off, 8);
+        // Full dual-copy rewrite, not a bare field store: the
+        // superblock checksum covers the bump pointer. If the crash
+        // beats the inode publish, recovery's max-extent repair is a
+        // no-op and the gap is merely leaked until the next create.
+        sb_.fileAreaBump = bump + capacity;
+        persistSuperblock();
     }
 
     // Root node record (always valid: the extent is the root's log).
@@ -703,17 +850,60 @@ MgspFs::syncFile(OpenInode *inode)
     return drainInode(inode);
 }
 
+ScrubStats
+MgspFs::scrubAllFiles()
+{
+    // Pin targets outside tableMutex_, like drainOpenFiles: the scrub
+    // holds each tree's root R lock for a while and must not keep the
+    // whole open table locked meanwhile.
+    std::vector<OpenInode *> targets;
+    {
+        std::lock_guard<std::mutex> guard(tableMutex_);
+        for (auto &[path, inode] : openInodes_) {
+            inode->cleanerPins.fetch_add(1, std::memory_order_acq_rel);
+            targets.push_back(inode.get());
+        }
+    }
+    ScrubStats total;
+    for (OpenInode *inode : targets) {
+        const ScrubStats s = inode->tree->scrub();
+        total.unitsVerified += s.unitsVerified;
+        total.crcMismatches += s.crcMismatches;
+        total.poisonSkipped += s.poisonSkipped;
+        if (s.crcMismatches != 0)
+            MGSP_WARN("scrub: %llu checksum mismatch(es) in %s",
+                      static_cast<unsigned long long>(s.crcMismatches),
+                      inode->path.c_str());
+        inode->cleanerPins.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    faultCounters_.scrubPasses->add(1);
+    faultCounters_.scrubUnitsVerified->add(total.unitsVerified);
+    faultCounters_.scrubCrcMismatches->add(total.crcMismatches);
+    faultCounters_.scrubPoisonSkipped->add(total.poisonSkipped);
+    return total;
+}
+
 void
 MgspFs::cleanerMain()
 {
+    using Clock = std::chrono::steady_clock;
+    // The scrub interval doubles as a wait timeout so a scrub-only
+    // configuration (sync interval 0) still wakes periodically.
+    u64 timeout_ms = config_.cleanerSyncIntervalMillis;
+    if (config_.scrubIntervalMillis > 0)
+        timeout_ms = timeout_ms > 0
+                         ? std::min(timeout_ms,
+                                    config_.scrubIntervalMillis)
+                         : config_.scrubIntervalMillis;
+    Clock::time_point last_scrub = Clock::now();
+
     std::unique_lock<std::mutex> lk(cleanerMutex_);
     for (;;) {
-        if (config_.cleanerSyncIntervalMillis > 0) {
-            // Timeout = periodic drain (the Fig. 7 sync interval).
+        if (timeout_ms > 0) {
+            // Timeout = periodic drain (the Fig. 7 sync interval)
+            // and/or periodic scrub.
             cleanerCv_.wait_for(
-                lk,
-                std::chrono::milliseconds(
-                    config_.cleanerSyncIntervalMillis),
+                lk, std::chrono::milliseconds(timeout_ms),
                 [this] { return cleanerStop_ || cleanerKick_; });
         } else {
             cleanerCv_.wait(
@@ -726,6 +916,12 @@ MgspFs::cleanerMain()
         Status s = drainOpenFiles();
         if (!s.isOk())
             MGSP_WARN("cleaner drain failed: %s", s.toString().c_str());
+        if (config_.scrubIntervalMillis > 0 &&
+            Clock::now() - last_scrub >=
+                std::chrono::milliseconds(config_.scrubIntervalMillis)) {
+            scrubAllFiles();
+            last_scrub = Clock::now();
+        }
         lk.lock();
     }
 }
@@ -816,6 +1012,18 @@ MgspFs::statsReport() const
     const u64 read_opt = reg.counter("read.optimistic").value();
     const u64 read_retry = reg.counter("read.retry").value();
     const u64 read_fb = reg.counter("read.fallback").value();
+    const u64 read_media = reg.counter("read.media_retries").value();
+    const u64 wb_crc_skips =
+        reg.counter("write_back.crc_mismatch_skips").value();
+    const u64 wb_poison_skips =
+        reg.counter("write_back.poison_skips").value();
+    const u64 wb_salvaged =
+        reg.counter("write_back.salvaged_bytes").value();
+    const u64 scrub_passes = reg.counter("scrub.passes").value();
+    const u64 scrub_units = reg.counter("scrub.units_verified").value();
+    const u64 scrub_bad = reg.counter("scrub.crc_mismatches").value();
+    const u64 scrub_poison = reg.counter("scrub.poison_skipped").value();
+    const FaultStats fault = device_->faultStats();
 
     MgspStatsReport report;
     char buf[512];
@@ -886,15 +1094,40 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(clean_recs));
     text += buf;
     std::snprintf(buf, sizeof(buf),
-                  "read: optimistic=%llu retries=%llu fallbacks=%llu\n",
+                  "read: optimistic=%llu retries=%llu fallbacks=%llu "
+                  "media-retries=%llu\n",
                   static_cast<unsigned long long>(read_opt),
                   static_cast<unsigned long long>(read_retry),
-                  static_cast<unsigned long long>(read_fb));
+                  static_cast<unsigned long long>(read_fb),
+                  static_cast<unsigned long long>(read_media));
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "fault: bit-flips=%llu torn-stores=%llu "
+                  "ranges-poisoned=%llu poison-read-hits=%llu "
+                  "ranges-healed=%llu\n"
+                  "scrub: passes=%llu units-verified=%llu "
+                  "crc-mismatches=%llu poison-skipped=%llu\n"
+                  "salvage: wb-crc-skips=%llu wb-poison-skips=%llu "
+                  "wb-salvaged-bytes=%llu\n",
+                  static_cast<unsigned long long>(fault.bitFlipsInjected),
+                  static_cast<unsigned long long>(fault.tornStores),
+                  static_cast<unsigned long long>(fault.rangesPoisoned),
+                  static_cast<unsigned long long>(fault.poisonReadHits),
+                  static_cast<unsigned long long>(fault.rangesHealed),
+                  static_cast<unsigned long long>(scrub_passes),
+                  static_cast<unsigned long long>(scrub_units),
+                  static_cast<unsigned long long>(scrub_bad),
+                  static_cast<unsigned long long>(scrub_poison),
+                  static_cast<unsigned long long>(wb_crc_skips),
+                  static_cast<unsigned long long>(wb_poison_skips),
+                  static_cast<unsigned long long>(wb_salvaged));
     text += buf;
     std::snprintf(buf, sizeof(buf),
                   "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
                   "mst-miss=%llu\n"
-                  "recovery: replayed=%u scanned=%u files=%u nanos=%llu\n",
+                  "recovery: replayed=%u scanned=%u files=%u nanos=%llu "
+                  "quarantined=%u salvaged-bytes=%llu poison-skipped=%u "
+                  "sb-recovered=%s\n",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -902,7 +1135,11 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(mt_misses),
                   recovery_.liveEntriesReplayed, recovery_.recordsScanned,
                   recovery_.filesFound,
-                  static_cast<unsigned long long>(recovery_.nanos));
+                  static_cast<unsigned long long>(recovery_.nanos),
+                  recovery_.corruptRecordsQuarantined,
+                  static_cast<unsigned long long>(recovery_.salvagedBytes),
+                  recovery_.poisonedRangesSkipped,
+                  recovery_.superblockRecovered ? "yes" : "no");
     text += buf;
 
     // ---- JSON ---------------------------------------------------
@@ -988,10 +1225,32 @@ MgspFs::statsReport() const
     json += buf;
     std::snprintf(buf, sizeof(buf),
                   "},\"read\":{\"optimistic\":%llu,\"retries\":%llu,"
-                  "\"fallbacks\":%llu",
+                  "\"fallbacks\":%llu,\"media_retries\":%llu",
                   static_cast<unsigned long long>(read_opt),
                   static_cast<unsigned long long>(read_retry),
-                  static_cast<unsigned long long>(read_fb));
+                  static_cast<unsigned long long>(read_fb),
+                  static_cast<unsigned long long>(read_media));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "},\"fault\":{\"bit_flips\":%llu,\"torn_stores\":%llu,"
+                  "\"ranges_poisoned\":%llu,\"poison_read_hits\":%llu,"
+                  "\"ranges_healed\":%llu},"
+                  "\"scrub\":{\"passes\":%llu,\"units_verified\":%llu,"
+                  "\"crc_mismatches\":%llu,\"poison_skipped\":%llu},"
+                  "\"salvage\":{\"wb_crc_skips\":%llu,"
+                  "\"wb_poison_skips\":%llu,\"wb_salvaged_bytes\":%llu",
+                  static_cast<unsigned long long>(fault.bitFlipsInjected),
+                  static_cast<unsigned long long>(fault.tornStores),
+                  static_cast<unsigned long long>(fault.rangesPoisoned),
+                  static_cast<unsigned long long>(fault.poisonReadHits),
+                  static_cast<unsigned long long>(fault.rangesHealed),
+                  static_cast<unsigned long long>(scrub_passes),
+                  static_cast<unsigned long long>(scrub_units),
+                  static_cast<unsigned long long>(scrub_bad),
+                  static_cast<unsigned long long>(scrub_poison),
+                  static_cast<unsigned long long>(wb_crc_skips),
+                  static_cast<unsigned long long>(wb_poison_skips),
+                  static_cast<unsigned long long>(wb_salvaged));
     json += buf;
     std::snprintf(buf, sizeof(buf),
                   "},\"tree\":{\"coarse_log_writes\":%llu,"
@@ -999,7 +1258,9 @@ MgspFs::statsReport() const
                   "\"min_tree_hits\":%llu,\"min_tree_misses\":%llu},"
                   "\"recovery\":{\"live_entries_replayed\":%u,"
                   "\"records_scanned\":%u,\"files_found\":%u,"
-                  "\"nanos\":%llu}}",
+                  "\"nanos\":%llu,\"corrupt_records_quarantined\":%u,"
+                  "\"salvaged_bytes\":%llu,\"poisoned_ranges_skipped\":%u,"
+                  "\"superblock_recovered\":%s}}",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -1007,7 +1268,11 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(mt_misses),
                   recovery_.liveEntriesReplayed, recovery_.recordsScanned,
                   recovery_.filesFound,
-                  static_cast<unsigned long long>(recovery_.nanos));
+                  static_cast<unsigned long long>(recovery_.nanos),
+                  recovery_.corruptRecordsQuarantined,
+                  static_cast<unsigned long long>(recovery_.salvagedBytes),
+                  recovery_.poisonedRangesSkipped,
+                  recovery_.superblockRecovered ? "true" : "false");
     json += buf;
     return report;
 }
@@ -1334,27 +1599,40 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
         readCounters_.fallback->add(1);
     }
 
-    trace.stage(stats::Stage::Lock);
-    std::vector<HeldLock> locks;
-    TreeNode *greedy_node = nullptr;
-    if (file_lock_mode) {
-        inode->fileLock.lockShared();
-    } else if (greedy) {
-        greedy_node = inode->tree->coveringNode(offset, n);
-        greedy_node->lock.acquire(MglMode::R);
+    // Bounded retry on MediaError: each locked attempt that touches a
+    // transiently poisoned range advances its heal countdown (the
+    // read *is* the retraining probe), so short UC episodes are ridden
+    // out here instead of surfacing to every caller. Permanent faults
+    // still fail after mediaErrorRetries + 1 attempts.
+    Status s = Status::ok();
+    for (u32 attempt = 0;; ++attempt) {
+        trace.stage(stats::Stage::Lock);
+        std::vector<HeldLock> locks;
+        TreeNode *greedy_node = nullptr;
+        if (file_lock_mode) {
+            inode->fileLock.lockShared();
+        } else if (greedy) {
+            greedy_node = inode->tree->coveringNode(offset, n);
+            greedy_node->lock.acquire(MglMode::R);
+        }
+
+        trace.stage(stats::Stage::Read);
+        s = inode->tree->performRead(offset, MutSlice(dst.data(), n),
+                                     &locks, file_lock_mode || greedy);
+        device_->latency().chargeRead(n);
+
+        if (file_lock_mode)
+            inode->fileLock.unlockShared();
+        else if (greedy_node != nullptr)
+            greedy_node->lock.release(MglMode::R);
+        ShadowTree::releaseLocks(&locks);
+        trace.endStage();
+
+        if (s.code() != StatusCode::MediaError ||
+            attempt >= config_.mediaErrorRetries)
+            break;
+        faultCounters_.mediaRetries->add(1);
     }
-
-    trace.stage(stats::Stage::Read);
-    Status s = inode->tree->performRead(offset, MutSlice(dst.data(), n),
-                                        &locks, file_lock_mode || greedy);
-    device_->latency().chargeRead(n);
-
-    if (file_lock_mode)
-        inode->fileLock.unlockShared();
-    else if (greedy_node != nullptr)
-        greedy_node->lock.release(MglMode::R);
-    ShadowTree::releaseLocks(&locks);
-    trace.endStage();
 
     if (!s.isOk()) {
         trace.setFailed();

@@ -60,6 +60,18 @@ struct RecoveryReport
     u32 filesFound = 0;
     u64 bytesWrittenBack = 0;
     u64 nanos = 0;
+    // ---- salvage-mode accounting (DESIGN.md §12) ----------------
+    /// Records/entries failing their checksum (or structural bounds)
+    /// that salvage mode set aside instead of replaying/attaching.
+    u32 corruptRecordsQuarantined = 0;
+    /// Log-pool bytes whose records were quarantined; reads of those
+    /// ranges fall back to the base file.
+    u64 salvagedBytes = 0;
+    /// Metadata slots skipped because their media range was poisoned.
+    u32 poisonedRangesSkipped = 0;
+    /// Salvage mount took the secondary superblock copy (and repaired
+    /// the primary from it).
+    bool superblockRecovered = false;
 };
 
 /** One write of an atomic batch (see MgspFs::writeBatch). */
@@ -128,6 +140,15 @@ class MgspFs : public FileSystem
      * a planned-shutdown image).
      */
     Status writeBackAllFiles();
+
+    /**
+     * One checksum-scrub pass over every open file's shadow logs
+     * (ShadowTree::scrub() per file, aggregated). Updates the
+     * scrub.* registry counters; with scrubIntervalMillis > 0 the
+     * cleaner thread runs this periodically. Detection only — a
+     * mismatch is reported, never "repaired" in place.
+     */
+    ScrubStats scrubAllFiles();
 
     /**
      * Value snapshot of @p path's shadow-tree counters (benchmarks,
@@ -207,6 +228,14 @@ class MgspFs : public FileSystem
 
     Status initLayout(bool fresh);
     Status runRecovery();
+    /**
+     * Durably rewrites both superblock copies from the cached sb_:
+     * epoch bump, fresh checksum, secondary slot first (persisted),
+     * then primary (persisted) — so a crash at any point leaves at
+     * least one valid copy, and the higher epoch wins in salvage.
+     * Caller holds tableMutex_ (or is single-threaded mount/format).
+     */
+    void persistSuperblock();
     std::vector<PoolClassConfig> poolClasses() const;
 
     StatusOr<OpenInode *> materializeInode(u32 idx);
@@ -267,6 +296,9 @@ class MgspFs : public FileSystem
     std::shared_ptr<PmemDevice> device_;
     MgspConfig config_;
     ArenaLayout layout_;
+    /// DRAM copy of the current superblock; every mutation goes
+    /// through persistSuperblock() (dual-copy epoch protocol).
+    Superblock sb_{};
     std::unique_ptr<NodeTable> nodeTable_;
     std::unique_ptr<PmemPool> pool_;
     std::unique_ptr<MetadataLog> metaLog_;
@@ -325,6 +357,18 @@ class MgspFs : public FileSystem
         stats::Counter *fallback = nullptr;    ///< gave up, locked read
     };
     ReadCounters readCounters_;
+
+    /// Media-fault / scrub counters, cached unconditionally.
+    struct FaultCounters
+    {
+        /// Locked reads retried after a transient MediaError.
+        stats::Counter *mediaRetries = nullptr;
+        stats::Counter *scrubPasses = nullptr;
+        stats::Counter *scrubUnitsVerified = nullptr;
+        stats::Counter *scrubCrcMismatches = nullptr;
+        stats::Counter *scrubPoisonSkipped = nullptr;
+    };
+    FaultCounters faultCounters_;
 };
 
 }  // namespace mgsp

@@ -25,17 +25,22 @@ NodeTable::allocRecord(u32 level, u32 inode, u64 index, u64 log_off,
         idx = freeList_.back();
         freeList_.pop_back();
     }
+    // A recycled record may carry CRC-table state from its previous
+    // life; drop it before the record becomes reachable again.
+    clearCrcEntry(idx);
     // Field-by-field atomic stores, not one memcpy: a lock-free reader
     // holding a stale record index (freed and recycled under it; the
     // seqlock validation rejects the read afterwards) may load64 the
     // bitmap word while it is being initialised here. The in-use info
-    // word is published last.
+    // word — identity CRC sealed into its high bits — is published
+    // last.
     const u64 off = recOff(idx);
     device_->store64(off + offsetof(NodeRecord, index), index);
     device_->store64(off + offsetof(NodeRecord, logOff), log_off);
     device_->store64(off + offsetof(NodeRecord, bitmap), bitmap);
-    device_->store64(off + offsetof(NodeRecord, info),
-                     NodeRecord::packInfo(level, inode));
+    device_->store64(
+        off + offsetof(NodeRecord, info),
+        NodeRecord::sealInfo(NodeRecord::packInfo(level, inode), index));
     device_->flush(off, sizeof(NodeRecord));
     return idx;
 }
@@ -64,6 +69,43 @@ NodeTable::setLogOff(u32 idx, u64 log_off)
 {
     device_->store64(recOff(idx) + offsetof(NodeRecord, logOff), log_off);
     device_->flush(recOff(idx) + offsetof(NodeRecord, logOff), 8);
+}
+
+void
+NodeTable::storeUnitCrc(u32 idx, u32 unit, u32 crc)
+{
+    MGSP_CHECK(idx < capacity_ && unit < BlockCrcEntry::kMaxUnits);
+    const u64 entry_off = crcEntryOff(idx);
+    // Value before present bit; both flushed here and fenced by the
+    // caller's commit fence before any bitmap flip publishes the unit.
+    device_->write(entry_off + unit * sizeof(u32), &crc, sizeof(crc));
+    device_->fetchOr64(entry_off + offsetof(BlockCrcEntry, present),
+                       1ull << unit);
+    device_->flush(entry_off, sizeof(BlockCrcEntry));
+}
+
+void
+NodeTable::clearCrcEntry(u32 idx)
+{
+    MGSP_CHECK(idx < capacity_);
+    const u64 present_off =
+        crcEntryOff(idx) + offsetof(BlockCrcEntry, present);
+    device_->store64(present_off, 0);
+    device_->flush(present_off, 8);
+}
+
+bool
+NodeTable::invalidateBlockCrc(u32 idx)
+{
+    MGSP_CHECK(idx < capacity_);
+    const u64 present_off =
+        crcEntryOff(idx) + offsetof(BlockCrcEntry, present);
+    if (device_->load64(present_off) == 0)
+        return false;
+    device_->store64(present_off, 0);
+    device_->flush(present_off, 8);
+    device_->fence();
+    return true;
 }
 
 }  // namespace mgsp

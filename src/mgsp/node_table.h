@@ -87,25 +87,92 @@ class NodeTable
     /** Updates the log-block pointer of @p idx (flushed, unfenced). */
     void setLogOff(u32 idx, u64 log_off);
 
+    // ---- shadow-log data checksums (BlockCrcEntry table) --------
+
+    /** Device offset of the crc-table entry of record @p idx. */
+    u64
+    crcEntryOff(u32 idx) const
+    {
+        return layout_.crcEntryOff(idx);
+    }
+
+    /** Present-bit word of entry @p idx (bit u: unit[u] is current). */
+    u64
+    crcPresent(u32 idx) const
+    {
+        return device_->load64(crcEntryOff(idx) +
+                               offsetof(BlockCrcEntry, present));
+    }
+
+    /** Stored CRC of unit @p unit of record @p idx. */
+    u32
+    loadUnitCrc(u32 idx, u32 unit) const
+    {
+        u32 crc;
+        device_->read(crcEntryOff(idx) + unit * sizeof(u32), &crc,
+                      sizeof(crc));
+        return crc;
+    }
+
+    /**
+     * Publishes @p crc for unit @p unit of record @p idx: value bytes
+     * first, then the present bit (flushed, unfenced — callers ride
+     * the commit fence, which orders both before the bitmap flip that
+     * makes the unit consultable).
+     */
+    void storeUnitCrc(u32 idx, u32 unit, u32 crc);
+
+    /**
+     * Drops every present bit of entry @p idx (flush, no fence).
+     * Used when recycling a record; stale CRC values may remain but
+     * are unreachable without their present bits.
+     */
+    void clearCrcEntry(u32 idx);
+
+    /**
+     * Ancestor invalidation before a role-switch write lands in
+     * record @p idx's block: clears the present bits and *fences* so
+     * no crash image can pair the ancestor's old CRC with partially
+     * overwritten block bytes. @return true if a fence was paid
+     * (present bits were set); false = already invalid, free.
+     */
+    bool invalidateBlockCrc(u32 idx);
+
     /**
      * Rebuilds the free list from the persistent in-use flags and
-     * invokes @p visitor for every live record (mount-time scan).
+     * invokes @p visitor for every in-use record (mount-time scan).
+     * Whether an in-use record is *attached* to a tree is the
+     * visitor's call; either way its index stays off the free list,
+     * so a record the caller quarantines cannot be overwritten until
+     * the next format.
+     *
+     * With @p skip_poisoned, record slots overlapping a poisoned
+     * media range are skipped entirely — neither visited nor freed —
+     * and counted in the return value (salvage mode; strict mode
+     * refuses to mount poisoned metadata before calling this).
      */
     template <typename Visitor>
-    void
-    rebuild(Visitor &&visitor)
+    u32
+    rebuild(Visitor &&visitor, bool skip_poisoned = false)
     {
         std::lock_guard<SpinLock> guard(freeLock_);
         freeList_.clear();
+        u32 poisoned = 0;
         // Descending, so the back of the list (popped first) holds
         // the lowest free index.
         for (u32 i = capacity_; i-- > 0;) {
+            if (skip_poisoned &&
+                device_->poisoned(recOff(i), sizeof(NodeRecord))) {
+                ++poisoned;
+                continue;
+            }
             NodeRecord rec = readRecord(i);
             if (NodeRecord::inUse(rec.info))
                 visitor(i, rec);
             else
                 freeList_.push_back(i);
         }
+        return poisoned;
     }
 
   private:

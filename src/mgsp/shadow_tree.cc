@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/align.h"
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "common/stats.h"
 
@@ -38,6 +39,10 @@ ShadowTree::ShadowTree(PmemDevice *device, PmemPool *pool, NodeTable *table,
                                        /*leaf=*/geo_.height == 0);
     root_->recIdx.store(root_rec, std::memory_order_relaxed);
     minSearch_.store(root_.get(), std::memory_order_relaxed);
+    auto &reg = stats::StatsRegistry::instance();
+    wbCrcSkips_ = &reg.counter("write_back.crc_mismatch_skips");
+    wbPoisonSkips_ = &reg.counter("write_back.poison_skips");
+    wbSalvagedBytes_ = &reg.counter("write_back.salvaged_bytes");
 }
 
 ShadowTree::~ShadowTree() = default;
@@ -59,6 +64,57 @@ ShadowTree::regionOff(const TreeNode *holder, u64 off) const
     const u64 log = holder->logOff.load(std::memory_order_acquire);
     MGSP_CHECK(log != 0);
     return log + (off - holder->startOff);
+}
+
+Status
+ShadowTree::readMedia(u64 off, u8 *out, u64 len) const
+{
+    // Query first: the read below advances heal counts, so a
+    // transient poison that heals *on* this read still fails it (the
+    // copied bytes are the fill pattern), and the caller's retry
+    // succeeds against the restored bytes.
+    const bool was_poisoned = device_->poisoned(off, len);
+    device_->read(off, out, len);
+    if (was_poisoned)
+        return Status::mediaError("poisoned NVM range read");
+    return Status::ok();
+}
+
+Status
+ShadowTree::copyHome(const TreeNode *src, u64 file_off, u64 len,
+                     int own_unit)
+{
+    const bool strict = config_->recoveryMode == RecoveryMode::Strict;
+    const u64 src_off = regionOff(src, file_off);
+    if (device_->poisoned(src_off, len)) {
+        device_->hitPoison(src_off, len);  // observable + heal progress
+        if (strict)
+            return Status::mediaError(
+                "poisoned shadow block during write-back");
+        wbPoisonSkips_->add(1);
+        wbSalvagedBytes_->add(len);
+        return Status::ok();  // home extent keeps the base copy
+    }
+    if (own_unit >= 0 && config_->enableDataChecksums) {
+        const u32 rec = src->recIdx.load(std::memory_order_acquire);
+        if (rec != kNoRecord &&
+            (table_->crcPresent(rec) >> own_unit) & 1) {
+            const u32 want = table_->loadUnitCrc(rec, own_unit);
+            const u32 got = crc32c(device_->rawRead(src_off), len);
+            if (want != got) {
+                if (strict)
+                    return Status::corruption(
+                        "shadow-log CRC mismatch during write-back");
+                wbCrcSkips_->add(1);
+                wbSalvagedBytes_->add(len);
+                return Status::ok();
+            }
+        }
+    }
+    device_->write(extentOff_ + file_off, device_->rawRead(src_off), len);
+    device_->flush(extentOff_ + file_off, len);
+    stats_.writtenBackBytes.fetch_add(len, std::memory_order_relaxed);
+    return Status::ok();
 }
 
 TreeNode *
@@ -304,6 +360,15 @@ ShadowTree::writeRange(TreeNode *n, u64 off, u64 len, const u8 *data,
         if ((word & kBitValid) && config_->enableShadowLog) {
             // Valid log: the new data goes to the nearest valid
             // ancestor's region; this node's copy becomes the undo.
+            // The ancestor's whole-block CRC dies first, durably
+            // (see the matching leafWrite comment).
+            if (config_->enableDataChecksums &&
+                last_valid->parent != nullptr) {
+                const u32 lv_rec =
+                    last_valid->recIdx.load(std::memory_order_acquire);
+                if (lv_rec != kNoRecord)
+                    table_->invalidateBlockCrc(lv_rec);
+            }
             device_->write(regionOff(last_valid, off), data, len);
             device_->flush(regionOff(last_valid, off), len);
             new_word = 0;
@@ -311,6 +376,10 @@ ShadowTree::writeRange(TreeNode *n, u64 off, u64 len, const u8 *data,
             MGSP_RETURN_IF_ERROR(ensureLog(n));
             device_->write(regionOff(n, off), data, len);
             device_->flush(regionOff(n, off), len);
+            if (config_->enableDataChecksums)
+                table_->storeUnitCrc(
+                    n->recIdx.load(std::memory_order_acquire), 0,
+                    crc32c(data, len));
             new_word = kBitValid;
         }
         stats_.coarseLogWrites.fetch_add(1, std::memory_order_relaxed);
@@ -382,16 +451,17 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
     };
     if (rel_off > a) {
         const u64 head = rel_off - a;
-        device_->read(latestSrc(a), buf.data(), head);
+        MGSP_RETURN_IF_ERROR(readMedia(latestSrc(a), buf.data(), head));
         device_->latency().chargeRead(head);
     }
     std::memcpy(buf.data() + (rel_off - a), data, len);
     if (b > rel_off + len) {
         const u64 tail_rel = rel_off + len;
         const u64 tail = b - tail_rel;
-        device_->read(latestSrc(alignDown(tail_rel, unit)) +
+        MGSP_RETURN_IF_ERROR(
+            readMedia(latestSrc(alignDown(tail_rel, unit)) +
                           (tail_rel - alignDown(tail_rel, unit)),
-                      buf.data() + (tail_rel - a), tail);
+                      buf.data() + (tail_rel - a), tail));
         device_->latency().chargeRead(tail);
     }
 
@@ -402,14 +472,29 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
     // touched.
     u64 new_word = cur_word;
     bool need_own_log = false;
+    bool need_role_switch = false;
     const u64 first_unit = a / unit;
     const u64 last_unit = (b - 1) / unit;
     for (u64 u = first_unit; u <= last_unit; ++u) {
         if (!(word & (1ull << u)))
             need_own_log = true;
+        else
+            need_role_switch = true;
     }
     if (need_own_log || !config_->enableShadowLog)
         MGSP_RETURN_IF_ERROR(ensureLog(leaf));
+    // Role-switch runs partially overwrite the ancestor's block: its
+    // whole-block CRC must be durably dropped *before* the first data
+    // byte lands there, or a crash image could pair the old CRC with
+    // the half-overwritten block and salvage would quarantine
+    // committed data (DESIGN.md §12). One fence per block generation:
+    // later writers find the present bit already clear.
+    if (need_role_switch && config_->enableShadowLog &&
+        config_->enableDataChecksums && last_valid->parent != nullptr) {
+        const u32 lv_rec = last_valid->recIdx.load(std::memory_order_acquire);
+        if (lv_rec != kNoRecord)
+            table_->invalidateBlockCrc(lv_rec);
+    }
 
     u64 u = first_unit;
     while (u <= last_unit) {
@@ -436,6 +521,17 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
         }
         device_->write(dst, buf.data() + (run_rel - a), run_len);
         device_->flush(dst, run_len);
+        if (!was_valid && config_->enableDataChecksums) {
+            // Own-log units get per-unit CRCs; value + present bit
+            // ride the caller's commit fence, which orders them
+            // before the bitmap flip that makes the unit
+            // consultable. (Role-switch runs write into the
+            // ancestor's block, invalidated above.)
+            for (u64 v = u; v <= run_end; ++v)
+                table_->storeUnitCrc(
+                    rec, static_cast<u32>(v),
+                    crc32c(buf.data() + (v * unit - a), unit));
+        }
         stats_.fineSubWrites.fetch_add(run_end - u + 1,
                                        std::memory_order_relaxed);
         if (config_->enableFineGrained)
@@ -472,8 +568,7 @@ ShadowTree::readRange(TreeNode *n, u64 off, u64 len, u8 *out,
 {
     if (isLeaf(n)) {
         lockNode(n, MglMode::R, locks, lockless);
-        leafRead(n, off, len, out, last_valid);
-        return Status::ok();
+        return leafRead(n, off, len, out, last_valid);
     }
 
     for (;;) {
@@ -493,8 +588,7 @@ ShadowTree::readRange(TreeNode *n, u64 off, u64 len, u8 *out,
                 continue;
             }
             const TreeNode *src = (word & kBitValid) ? n : last_valid;
-            device_->read(regionOff(src, off), out, len);
-            return Status::ok();
+            return readMedia(regionOff(src, off), out, len);
         }
         lockNode(n, MglMode::IR, locks, lockless);
         if (!lockless) {
@@ -528,7 +622,7 @@ ShadowTree::readRange(TreeNode *n, u64 off, u64 len, u8 *out,
     }
 }
 
-void
+Status
 ShadowTree::leafRead(TreeNode *leaf, u64 off, u64 len, u8 *out,
                      TreeNode *last_valid) const
 {
@@ -552,10 +646,12 @@ ShadowTree::leafRead(TreeNode *leaf, u64 off, u64 len, u8 *out,
             ++probe;
         }
         const TreeNode *src = valid ? leaf : last_valid;
-        device_->read(regionOff(src, cursor), out + (cursor - off),
-                      seg_end - cursor);
+        MGSP_RETURN_IF_ERROR(readMedia(regionOff(src, cursor),
+                                       out + (cursor - off),
+                                       seg_end - cursor));
         cursor = seg_end;
     }
+    return Status::ok();
 }
 
 bool
@@ -576,7 +672,12 @@ bool
 ShadowTree::optimisticRegionRead(const TreeNode *holder, u64 off, u8 *out,
                                  u64 len) const
 {
+    // Poisoned ranges bail to the locked path: racyRead never fires
+    // the media-error hook, so the fallback's readMedia() is where
+    // the hit becomes observable (exactly once) as Status::mediaError.
     if (holder->parent == nullptr) {
+        if (device_->poisoned(extentOff_ + off, len))
+            return false;
         device_->racyRead(extentOff_ + off, out, len);
         return true;
     }
@@ -585,6 +686,8 @@ ShadowTree::optimisticRegionRead(const TreeNode *holder, u64 off, u8 *out,
     // case validation is already doomed — just abort early.
     const u64 log = holder->logOff.load(std::memory_order_acquire);
     if (log == 0)
+        return false;
+    if (device_->poisoned(log + (off - holder->startOff), len))
         return false;
     device_->racyRead(log + (off - holder->startOff), out, len);
     return true;
@@ -797,14 +900,9 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
     if (isLeaf(n)) {
         const u32 rec = n->recIdx.load(std::memory_order_acquire);
         if (rec == kNoRecord) {
-            if (last_valid->parent != nullptr) {
-                device_->write(extentOff_ + off,
-                               device_->rawRead(regionOff(last_valid, off)),
-                               len);
-                device_->flush(extentOff_ + off, len);
-                stats_.writtenBackBytes.fetch_add(
-                    len, std::memory_order_relaxed);
-            }
+            if (last_valid->parent != nullptr)
+                MGSP_RETURN_IF_ERROR(
+                    copyHome(last_valid, off, len, /*own_unit=*/-1));
             return Status::ok();
         }
         const u32 sub_bits = config_->enableFineGrained
@@ -819,12 +917,14 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
             const bool valid = (word & (1ull << unit_idx)) != 0;
             const TreeNode *src = valid ? n : last_valid;
             if (src->parent != nullptr) {
-                device_->write(extentOff_ + cursor,
-                               device_->rawRead(regionOff(src, cursor)),
-                               seg_end - cursor);
-                device_->flush(extentOff_ + cursor, seg_end - cursor);
-                stats_.writtenBackBytes.fetch_add(
-                    seg_end - cursor, std::memory_order_relaxed);
+                // The unit CRC is checkable only when the segment is
+                // the unit, exactly, from the unit's own log.
+                const bool whole_unit =
+                    valid && cursor == n->startOff + unit_idx * unit &&
+                    seg_end - cursor == unit;
+                MGSP_RETURN_IF_ERROR(copyHome(
+                    src, cursor, seg_end - cursor,
+                    whole_unit ? static_cast<int>(unit_idx) : -1));
             }
             cursor = seg_end;
         }
@@ -837,11 +937,12 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
     if (!(word & kBitExisting)) {
         const TreeNode *src = (word & kBitValid) ? n : last_valid;
         if (src->parent != nullptr) {
-            device_->write(extentOff_ + off,
-                           device_->rawRead(regionOff(src, off)), len);
-            device_->flush(extentOff_ + off, len);
-            stats_.writtenBackBytes.fetch_add(len,
-                                              std::memory_order_relaxed);
+            // Whole-block CRC (unit 0) applies only to a full-block
+            // copy out of the node's own log.
+            const bool whole_block = src == n && off == n->startOff &&
+                                     len == n->coverage;
+            MGSP_RETURN_IF_ERROR(
+                copyHome(src, off, len, whole_block ? 0 : -1));
         }
         return Status::ok();
     }
@@ -859,12 +960,9 @@ ShadowTree::writeBackNode(TreeNode *n, u64 off, u64 len,
             MGSP_RETURN_IF_ERROR(writeBackNode(
                 child, sub_off, sub_end - sub_off, last_valid));
         } else if (last_valid->parent != nullptr) {
-            device_->write(extentOff_ + sub_off,
-                           device_->rawRead(regionOff(last_valid, sub_off)),
-                           sub_end - sub_off);
-            device_->flush(extentOff_ + sub_off, sub_end - sub_off);
-            stats_.writtenBackBytes.fetch_add(sub_end - sub_off,
-                                              std::memory_order_relaxed);
+            MGSP_RETURN_IF_ERROR(copyHome(last_valid, sub_off,
+                                          sub_end - sub_off,
+                                          /*own_unit=*/-1));
         }
     }
     return Status::ok();
@@ -1003,6 +1101,77 @@ ShadowTree::writeBackAll()
     freer.visit(root_.get());
     minSearch_.store(root_.get(), std::memory_order_release);
     return Status::ok();
+}
+
+ScrubStats
+ShadowTree::scrub()
+{
+    ScrubStats out;
+    if (!config_->enableDataChecksums)
+        return out;
+    // R on the root conflicts with every writer's root W/IW and with
+    // the cleaner's covering-W discipline, so log bytes and CRC
+    // entries are quiescent for the whole pass.
+    root_->lock.acquire(MglMode::R);
+    const u32 sub_bits = config_->enableFineGrained ? config_->leafSubBits
+                                                    : 1;
+    const u64 unit = geo_.leafSize / sub_bits;
+    struct Walk
+    {
+        ShadowTree *tree;
+        ScrubStats *out;
+        u64 unit;
+        u32 subBits;
+        void
+        visit(TreeNode *n)
+        {
+            const u32 rec = n->recIdx.load(std::memory_order_acquire);
+            const u64 log = n->logOff.load(std::memory_order_acquire);
+            if (rec != kNoRecord && log != 0) {
+                const u64 present = tree->table_->crcPresent(rec);
+                const u64 word = tree->table_->loadBitmap(rec);
+                if (tree->isLeaf(n)) {
+                    // Only consultable units: present CRC and valid
+                    // bit. A present-but-invalid unit may hold an
+                    // interrupted pre-commit overwrite — a legal
+                    // crash state, not corruption.
+                    for (u32 u = 0; u < subBits; ++u) {
+                        if (!((present >> u) & 1) || !((word >> u) & 1))
+                            continue;
+                        const u64 off = log + u * unit;
+                        if (tree->device_->poisoned(off, unit)) {
+                            out->poisonSkipped++;
+                            continue;
+                        }
+                        out->unitsVerified++;
+                        if (tree->table_->loadUnitCrc(rec, u) !=
+                            crc32c(tree->device_->rawRead(off), unit))
+                            out->crcMismatches++;
+                    }
+                } else if ((present & 1) && (word & kBitValid)) {
+                    if (tree->device_->poisoned(log, n->coverage)) {
+                        out->poisonSkipped++;
+                    } else {
+                        out->unitsVerified++;
+                        if (tree->table_->loadUnitCrc(rec, 0) !=
+                            crc32c(tree->device_->rawRead(log),
+                                   n->coverage))
+                            out->crcMismatches++;
+                    }
+                }
+            }
+            if (n->children) {
+                for (u32 i = 0; i < tree->geo_.degree; ++i) {
+                    TreeNode *child = tree->childAt(n, i);
+                    if (child)
+                        visit(child);
+                }
+            }
+        }
+    } walk{this, &out, unit, sub_bits};
+    walk.visit(root_.get());
+    root_->lock.release(MglMode::R);
+    return out;
 }
 
 void

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/slice.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "mgsp/config.h"
 #include "mgsp/metadata_log.h"
@@ -173,6 +174,14 @@ struct ReclaimStats
     u64 recordsReclaimed = 0;  ///< node records freed to the table
 };
 
+/** What one scrub() checksum-verification pass found. */
+struct ScrubStats
+{
+    u64 unitsVerified = 0;   ///< CRC-covered units recomputed
+    u64 crcMismatches = 0;   ///< verified units whose CRC disagreed
+    u64 poisonSkipped = 0;   ///< log ranges skipped as poisoned
+};
+
 /**
  * Per-file shadow-log tree. Thread-safe under the MGL protocol: all
  * public operations acquire node locks unless @p lockless is passed
@@ -283,6 +292,17 @@ class ShadowTree
     Status writeBackAll();
 
     /**
+     * Checksum-verification pass (DESIGN.md §12): recomputes the
+     * CRC32C of every *consultable* CRC-covered unit — own-log bytes
+     * whose present bit and valid bit are both set — and compares
+     * against the stored value, skipping (and counting) poisoned
+     * ranges. Reports only; quarantine decisions belong to the
+     * caller. Serialises against writers by holding R on the root
+     * for the duration.
+     */
+    ScrubStats scrub();
+
+    /**
      * Mount path: re-attaches a persistent record to the volatile
      * tree (creating ancestors as needed).
      */
@@ -357,8 +377,30 @@ class ShadowTree
     Status readRange(TreeNode *n, u64 off, u64 len, u8 *out,
                      TreeNode *last_valid, std::vector<HeldLock> *locks,
                      bool lockless);
-    void leafRead(TreeNode *leaf, u64 off, u64 len, u8 *out,
-                  TreeNode *last_valid) const;
+    Status leafRead(TreeNode *leaf, u64 off, u64 len, u8 *out,
+                    TreeNode *last_valid) const;
+
+    /**
+     * device_->read that surfaces poison as Status::mediaError: the
+     * pre-read poison query decides the status, the read itself makes
+     * the hit observable (media-error hook + heal progress), so a
+     * bounded retry of the whole operation can ride out transient
+     * faults.
+     */
+    Status readMedia(u64 off, u8 *out, u64 len) const;
+
+    /**
+     * Copies @p len file bytes at @p file_off from @p src's log
+     * region to the home extent (flush, no fence). @p own_unit >= 0
+     * selects the CRC unit of @p src's entry guarding these exact
+     * bytes (-1 = bytes are an unverifiable portion of an ancestor
+     * block). Poisoned or CRC-mismatching shadow bytes abort with
+     * mediaError/corruption in strict mode; in salvage mode the copy
+     * is skipped — the home extent keeps the base bytes — and the
+     * write_back.* salvage counters tick.
+     */
+    Status copyHome(const TreeNode *src, u64 file_off, u64 len,
+                    int own_unit);
 
     Status writeBackNode(TreeNode *n, u64 off, u64 len,
                          TreeNode *last_valid);
@@ -389,6 +431,11 @@ class ShadowTree
     std::unique_ptr<TreeNode> root_;
     std::atomic<TreeNode *> minSearch_;  ///< minimum-search-tree cache
     TreeCounters stats_;
+
+    // Cached registry counters for salvage-mode write-back skips.
+    stats::Counter *wbCrcSkips_;
+    stats::Counter *wbPoisonSkips_;
+    stats::Counter *wbSalvagedBytes_;
 };
 
 }  // namespace mgsp

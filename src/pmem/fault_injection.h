@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic media-fault injection for the emulated pmem device.
+ *
+ * The crash-point harness (DESIGN.md §9) exercises *clean* power
+ * failures: every store that survives is a store the program issued.
+ * Real NVM also fails dirty — bit rot in persisted lines, torn
+ * non-atomic stores, and uncorrectable (poisoned) lines that machine-
+ * check on load instead of returning data. A FaultPlan scripts such
+ * failures against a PmemDevice deterministically (seeded), so a test
+ * can replay the exact same fault at the exact same persist boundary
+ * and assert on the recovery outcome.
+ *
+ * Fault model (DESIGN.md §12):
+ *
+ *  - BitFlip: at persist boundary `atSeq`, flip `bitFlips` seeded bit
+ *    positions inside [off, off+len) in both the program view and the
+ *    durable media. Models retention errors / rot below the ECC
+ *    detection threshold: reads succeed and return wrong bytes, so
+ *    only checksums can catch it.
+ *  - TornStore: the first store64() targeting `off` at or after
+ *    persist boundary `atSeq` writes only half of its 8 bytes (seeded
+ *    choice of halves). Models hardware without 8-byte store
+ *    atomicity failing mid-store.
+ *  - Poison: at `atSeq`, [off, off+len) becomes uncorrectable: the
+ *    bytes are overwritten with kPoisonFill and every PmemDevice::read
+ *    overlapping the range invokes the media-error hook (the software
+ *    analogue of a DAX SIGBUS). If healAfterReads > 0, the range
+ *    heals — original bytes restored, reads succeed — after that many
+ *    faulting reads, modelling transient UC errors that a bounded
+ *    retry can ride out.
+ *
+ * atSeq == 0 applies the fault immediately when the plan is armed.
+ */
+#ifndef MGSP_PMEM_FAULT_INJECTION_H
+#define MGSP_PMEM_FAULT_INJECTION_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgsp {
+
+/**
+ * Fill pattern for poisoned bytes. Chosen so metadata read through a
+ * poisoned line is self-evidently dead: bit 0 is clear, so in-use
+ * flags (inode kInUse, node-record info) decode as "free", and any
+ * checksummed structure fails validation.
+ */
+inline constexpr u8 kPoisonFill = 0xEE;
+
+/** What kind of media failure a FaultSpec injects. */
+enum class FaultKind : u8 {
+    BitFlip,    ///< silent bit corruption in persisted bytes
+    TornStore,  ///< an 8-byte store64 lands only halfway
+    Poison,     ///< range machine-checks on read until healed
+};
+
+/** One scripted fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::BitFlip;
+
+    /**
+     * Persist boundary (PmemDevice::persistSeq) at which the fault
+     * arms/fires; 0 = immediately on setFaultPlan(). For TornStore
+     * this is the boundary after which the next store64 to `off`
+     * tears (the tear itself happens at that store).
+     */
+    u64 atSeq = 0;
+
+    u64 off = 0;  ///< range start (TornStore: the 8-aligned store addr)
+    u64 len = 0;  ///< range length (ignored for TornStore; treated as 8)
+
+    u32 bitFlips = 1;  ///< BitFlip: number of seeded bit positions
+
+    /**
+     * Poison: number of faulting reads after which the range heals
+     * (original contents restored). 0 = permanent poison.
+     */
+    u32 healAfterReads = 0;
+};
+
+/** A deterministic scripted sequence of faults. */
+struct FaultPlan
+{
+    u64 seed = 1;  ///< drives bit positions and torn-half choices
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+};
+
+/** Counters the device keeps about injected faults and hits. */
+struct FaultStats
+{
+    u64 bitFlipsInjected = 0;   ///< individual bits flipped
+    u64 tornStores = 0;         ///< store64s torn
+    u64 rangesPoisoned = 0;     ///< poison faults applied
+    u64 poisonReadHits = 0;     ///< read()s that hit a poisoned range
+    u64 rangesHealed = 0;       ///< transient poisons healed
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_PMEM_FAULT_INJECTION_H

@@ -1,5 +1,6 @@
 #include "pmem/pmem_device.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -30,6 +31,8 @@ PmemDevice::read(u64 off, void *dst, u64 len) const
 {
     MGSP_CHECK(off + len <= size_);
     std::memcpy(dst, view_.data() + off, len);
+    if (poisonCount_.load(std::memory_order_relaxed) != 0)
+        pokePoison(off, len, /*hit=*/true);
 }
 
 #if defined(__SANITIZE_THREAD__)
@@ -123,6 +126,8 @@ void
 PmemDevice::store64(u64 off, u64 value)
 {
     MGSP_CHECK(off + 8 <= size_ && isAligned(off, 8));
+    if (armedTearCount_.load(std::memory_order_relaxed) != 0)
+        value = maybeTearStore(off, value);
     auto *p = reinterpret_cast<std::atomic<u64> *>(view_.data() + off);
     p->store(value, std::memory_order_release);
     stats_.bytesWritten.fetch_add(8, std::memory_order_relaxed);
@@ -191,6 +196,8 @@ PmemDevice::flush(u64 off, u64 len)
         }
     }
     const u64 seq = persistSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (pendingFaultCount_.load(std::memory_order_relaxed) != 0)
+        applyDueFaults(seq);
     if (persistHook_)
         persistHook_(seq, PersistPoint::Flush);
 }
@@ -210,6 +217,8 @@ PmemDevice::fence()
         pendingLines_.clear();
     }
     const u64 seq = persistSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (pendingFaultCount_.load(std::memory_order_relaxed) != 0)
+        applyDueFaults(seq);
     if (persistHook_)
         persistHook_(seq, PersistPoint::Fence);
 }
@@ -239,6 +248,175 @@ PmemDevice::dirtyLineCount() const
 {
     std::lock_guard<std::mutex> guard(trackMutex_);
     return dirtyLines_.size() + pendingLines_.size();
+}
+
+// ---- media-fault injection --------------------------------------
+
+void
+PmemDevice::setFaultPlan(FaultPlan plan)
+{
+    {
+        std::lock_guard<std::mutex> guard(faultMutex_);
+        faultRng_ = Rng(plan.seed);
+        pendingFaults_ = std::move(plan.faults);
+        u32 tears = 0;
+        for (const FaultSpec &f : pendingFaults_)
+            if (f.kind == FaultKind::TornStore)
+                ++tears;
+        armedTearCount_.store(tears, std::memory_order_relaxed);
+        pendingFaultCount_.store(static_cast<u32>(pendingFaults_.size()),
+                                 std::memory_order_relaxed);
+    }
+    // Faults scheduled at (or before) the current boundary fire now.
+    if (pendingFaultCount_.load(std::memory_order_relaxed) != 0)
+        applyDueFaults(persistSeq());
+}
+
+void
+PmemDevice::applyDueFaults(u64 seq)
+{
+    std::lock_guard<std::mutex> guard(faultMutex_);
+    auto &reg = stats::StatsRegistry::instance();
+    for (auto it = pendingFaults_.begin(); it != pendingFaults_.end();) {
+        const FaultSpec &f = *it;
+        // Torn stores stay armed until the matching store64 arrives.
+        if (f.kind == FaultKind::TornStore || f.atSeq > seq) {
+            ++it;
+            continue;
+        }
+        MGSP_CHECK(f.off + f.len <= size_ && f.len > 0);
+        if (f.kind == FaultKind::BitFlip) {
+            for (u32 i = 0; i < f.bitFlips; ++i) {
+                const u64 bit = faultRng_.nextBelow(f.len * 8);
+                const u64 byte = f.off + bit / 8;
+                const u8 mask = static_cast<u8>(1u << (bit % 8));
+                view_[byte] ^= mask;
+                if (mode_ == Mode::Tracked)
+                    media_[byte] ^= mask;
+            }
+            faultStats_.bitFlipsInjected += f.bitFlips;
+            reg.counter("fault.bit_flips").add(f.bitFlips);
+        } else {  // Poison
+            PoisonRange range;
+            range.off = f.off;
+            range.len = f.len;
+            range.healAfterReads = f.healAfterReads;
+            range.saved.assign(view_.begin() + f.off,
+                               view_.begin() + f.off + f.len);
+            std::memset(view_.data() + f.off, kPoisonFill, f.len);
+            if (mode_ == Mode::Tracked)
+                std::memset(media_.data() + f.off, kPoisonFill, f.len);
+            poison_.push_back(std::move(range));
+            poisonCount_.fetch_add(1, std::memory_order_relaxed);
+            faultStats_.rangesPoisoned++;
+            reg.counter("fault.ranges_poisoned").add(1);
+        }
+        it = pendingFaults_.erase(it);
+        pendingFaultCount_.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+u64
+PmemDevice::maybeTearStore(u64 off, u64 value)
+{
+    std::lock_guard<std::mutex> guard(faultMutex_);
+    const u64 seq = persistSeq_.load(std::memory_order_relaxed);
+    for (auto it = pendingFaults_.begin(); it != pendingFaults_.end(); ++it) {
+        if (it->kind != FaultKind::TornStore || it->off != off ||
+            it->atSeq > seq)
+            continue;
+        const auto *p =
+            reinterpret_cast<const std::atomic<u64> *>(view_.data() + off);
+        const u64 old = p->load(std::memory_order_relaxed);
+        // Half the 8-byte store lands; which half is seeded.
+        const u64 torn = faultRng_.nextBool()
+                             ? ((value & 0xFFFFFFFFull) | (old & ~0xFFFFFFFFull))
+                             : ((old & 0xFFFFFFFFull) | (value & ~0xFFFFFFFFull));
+        pendingFaults_.erase(it);
+        armedTearCount_.fetch_sub(1, std::memory_order_relaxed);
+        pendingFaultCount_.fetch_sub(1, std::memory_order_relaxed);
+        faultStats_.tornStores++;
+        stats::StatsRegistry::instance().counter("fault.torn_stores").add(1);
+        return torn;
+    }
+    return value;
+}
+
+bool
+PmemDevice::pokePoison(u64 off, u64 len, bool hit) const
+{
+    struct Hit
+    {
+        u64 off;
+        u64 len;
+    };
+    std::vector<Hit> hits;
+    bool overlapped = false;
+    {
+        std::lock_guard<std::mutex> guard(faultMutex_);
+        auto &reg = stats::StatsRegistry::instance();
+        for (auto it = poison_.begin(); it != poison_.end();) {
+            PoisonRange &r = *it;
+            const u64 lo = std::max(off, r.off);
+            const u64 hi = std::min(off + len, r.off + r.len);
+            if (lo >= hi) {
+                ++it;
+                continue;
+            }
+            overlapped = true;
+            if (!hit) {
+                ++it;
+                continue;
+            }
+            hits.push_back({lo, hi - lo});
+            faultStats_.poisonReadHits++;
+            reg.counter("fault.poison_read_hits").add(1);
+            if (r.healAfterReads > 0 && --r.healAfterReads == 0) {
+                // Transient fault rides out: restore pristine bytes.
+                // (Healing is fault-state mutation, so it is allowed
+                // from this const read path like the other mutable
+                // fault fields.)
+                auto *self = const_cast<PmemDevice *>(this);
+                std::memcpy(self->view_.data() + r.off, r.saved.data(), r.len);
+                if (mode_ == Mode::Tracked)
+                    std::memcpy(self->media_.data() + r.off, r.saved.data(),
+                                r.len);
+                faultStats_.rangesHealed++;
+                reg.counter("fault.ranges_healed").add(1);
+                it = poison_.erase(it);
+                poisonCount_.fetch_sub(1, std::memory_order_relaxed);
+                continue;
+            }
+            ++it;
+        }
+    }
+    if (mediaErrorHook_)
+        for (const Hit &h : hits)
+            mediaErrorHook_(h.off, h.len);
+    return overlapped;
+}
+
+bool
+PmemDevice::poisoned(u64 off, u64 len) const
+{
+    if (poisonCount_.load(std::memory_order_relaxed) == 0)
+        return false;
+    return pokePoison(off, len, /*hit=*/false);
+}
+
+bool
+PmemDevice::hitPoison(u64 off, u64 len) const
+{
+    if (poisonCount_.load(std::memory_order_relaxed) == 0)
+        return false;
+    return pokePoison(off, len, /*hit=*/true);
+}
+
+FaultStats
+PmemDevice::faultStats() const
+{
+    std::lock_guard<std::mutex> guard(faultMutex_);
+    return faultStats_;
 }
 
 }  // namespace mgsp

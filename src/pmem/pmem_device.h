@@ -36,6 +36,7 @@
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/types.h"
+#include "pmem/fault_injection.h"
 #include "pmem/latency_model.h"
 
 namespace mgsp {
@@ -81,6 +82,13 @@ enum class PersistPoint : u8 {
 using PersistHook = std::function<void(u64 seq, PersistPoint point)>;
 
 /**
+ * Called (outside the device's fault lock) each time a read() hits a
+ * poisoned range — the software analogue of a DAX SIGBUS / machine
+ * check. Arguments are the poisoned overlap actually touched.
+ */
+using MediaErrorHook = std::function<void(u64 off, u64 len)>;
+
+/**
  * The emulated device. All mutation must go through the store
  * methods so that tracked mode sees every write; reads may use the
  * raw pointer for zero-cost loads (the volatile view is always
@@ -113,14 +121,35 @@ class PmemDevice
     const LatencyModel &latency() const { return model_; }
     PmemStats &stats() { return stats_; }
 
-    /** Read-only pointer into the current (volatile) view. */
+    /**
+     * Read-only pointer into the current (volatile) view. Bypasses
+     * poison detection entirely: callers reading through the raw
+     * pointer must query poisoned() themselves if the range may carry
+     * media faults (poisoned bytes read as kPoisonFill, with no hook
+     * invocation and no heal-count progress).
+     */
     const u8 *
     rawRead(u64 off) const
     {
         return view_.data() + off;
     }
 
-    /** Copies @p len bytes at @p off into @p dst. */
+    /**
+     * Copies @p len bytes at @p off into @p dst.
+     *
+     * Memory ordering: a plain memcpy from the coherent view — it
+     * synchronises with nothing. Writers racing with this read may
+     * yield torn bytes; callers needing ordering against a publisher
+     * must pair a load64 (acquire) of the publishing word with the
+     * writer's store64 (release) before trusting the copied bytes.
+     *
+     * Fault semantics: if the range overlaps a poisoned (UC) range,
+     * the overlap reads as kPoisonFill, the media-error hook fires
+     * once per overlapping poison range, and transient poisons make
+     * heal progress (see FaultSpec::healAfterReads). The read itself
+     * still completes — the caller decides whether to fail by
+     * checking poisoned() before/after, as ShadowTree::readLog does.
+     */
     void read(u64 off, void *dst, u64 len) const;
 
     /**
@@ -129,6 +158,17 @@ class PmemDevice
      * torn data on version mismatch. Under ThreadSanitizer this copy
      * is exempted from race detection (the race is the design), so
      * the locked paths keep full race coverage.
+     *
+     * Memory ordering: none — weaker than read() even in principle;
+     * the caller's seqlock re-validation (acquire loads on the node
+     * version) is the only thing standing between the copied bytes
+     * and a torn view, and it must reject the copy on mismatch.
+     *
+     * Fault semantics: unlike read(), racyRead never invokes the
+     * media-error hook and never advances heal counts — the
+     * optimistic path instead bails to the locked path when
+     * poisoned() reports an overlap (see optimisticRegionRead), so
+     * every poison hit is surfaced exactly once, by the locked read.
      */
     void racyRead(u64 off, void *dst, u64 len) const;
 
@@ -194,7 +234,45 @@ class PmemDevice
         return persistSeq_.load(std::memory_order_relaxed);
     }
 
+    // ---- media-fault injection (DESIGN.md §12) ------------------
+
+    /**
+     * Arms @p plan (replacing any previous one). Faults with
+     * atSeq == 0 (or <= the current persistSeq) apply immediately;
+     * the rest fire as flush()/fence() advance persistSeq. Not
+     * synchronised against in-flight operations: arm before the
+     * workload starts, like setPersistHook().
+     */
+    void setFaultPlan(FaultPlan plan);
+
+    /** Installs @p hook (empty = remove); see MediaErrorHook. */
+    void setMediaErrorHook(MediaErrorHook hook)
+    {
+        mediaErrorHook_ = std::move(hook);
+    }
+
+    /**
+     * @return true iff [off, off+len) overlaps a currently-poisoned
+     * range. A pure query: no hook, no heal progress. O(1) when no
+     * poison was ever armed (one relaxed load).
+     */
+    bool poisoned(u64 off, u64 len) const;
+
+    /**
+     * Like poisoned(), but a *hit*: fires the media-error hook and
+     * advances heal counts for each overlapping range, exactly as an
+     * overlapping read() would. Lets raw-pointer readers opt into
+     * full fault semantics.
+     */
+    bool hitPoison(u64 off, u64 len) const;
+
+    /** Snapshot of fault counters (also mirrored to fault.* stats). */
+    FaultStats faultStats() const;
+
   private:
+    void applyDueFaults(u64 seq);
+    bool pokePoison(u64 off, u64 len, bool hit) const;
+    u64 maybeTearStore(u64 off, u64 value);
     u64 size_;
     Mode mode_;
     LatencyModel model_;
@@ -212,6 +290,31 @@ class PmemDevice
 
     PersistHook persistHook_;
     std::atomic<u64> persistSeq_{0};
+
+    // ---- fault-injection state --------------------------------------
+    /// A poisoned range plus the pristine bytes restored on heal.
+    struct PoisonRange
+    {
+        u64 off;
+        u64 len;
+        u32 healAfterReads;  ///< 0 = permanent
+        std::vector<u8> saved;
+    };
+
+    /// Guards every field below. Fast paths skip it via the armed
+    /// counters: no fault plan, no overhead beyond one relaxed load.
+    mutable std::mutex faultMutex_;
+    std::vector<FaultSpec> pendingFaults_;  ///< not yet fired
+    mutable std::vector<PoisonRange> poison_;
+    mutable Rng faultRng_{1};
+    mutable FaultStats faultStats_;
+    MediaErrorHook mediaErrorHook_;
+
+    std::atomic<u32> pendingFaultCount_{0};  ///< flush/fence fast path
+    std::atomic<u32> armedTearCount_{0};     ///< store64 fast path
+    /// Read fast path; mutable because healing (a fault-state
+    /// transition) happens on the const read path.
+    mutable std::atomic<u32> poisonCount_{0};
 };
 
 }  // namespace mgsp

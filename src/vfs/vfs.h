@@ -64,6 +64,13 @@ class File
     /**
      * Reads up to dst.size() bytes from @p offset.
      * @return bytes read (short count at EOF).
+     *
+     * Engines backed by faulty media may return StatusCode::MediaError
+     * when the range overlaps an uncorrectable region. The error is
+     * returned only after the engine's own bounded retry (MGSP:
+     * MgspConfig::mediaErrorRetries) has failed, so callers should
+     * treat it as persistent for that range, not retry-looping on it.
+     * @p dst may then hold partially copied (poison-pattern) bytes.
      */
     virtual StatusOr<u64> pread(u64 offset, MutSlice dst) = 0;
 

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "mgsp/metadata_log.h"
+#include "mgsp/mgsp_fs.h"
 #include "tests/mgsp/test_util.h"
 
 namespace mgsp {
@@ -122,6 +123,156 @@ TEST(MetadataLogFuzz, RandomEntryImagesNeverValidate)
         accepted += static_cast<int>(!fx.log.scanLive().empty());
     }
     EXPECT_EQ(accepted, 0);
+}
+
+/**
+ * Full-mount counterpart of the scanLive fuzzing: a formatted arena
+ * with one real file, into which crafted metadata-log entries are
+ * published between mounts. Recovery must never replay a corrupted
+ * entry and never abort on one in salvage mode.
+ */
+struct MountFuzzFixture
+{
+    MountFuzzFixture() : cfg(testutil::smallConfig())
+    {
+        auto fx = testutil::makeFs(cfg);
+        device = fx.device;
+        auto file = fx.fs->open("f", OpenOptions::Create(64 * KiB));
+        EXPECT_TRUE(file.isOk());
+        std::vector<u8> data(8 * KiB);
+        for (u64 i = 0; i < data.size(); ++i)
+            data[i] = static_cast<u8>(i * 13 + 5);
+        EXPECT_TRUE(
+            (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+        file->reset();
+        fx.fs.reset();
+        layout = ArenaLayout::compute(cfg);
+        // Everything recovery reads or repairs lives below poolOff;
+        // snapshotting it lets each iteration restart from a clean
+        // unmounted state (mounting mutates the log and superblock).
+        snapshot.resize(layout.poolOff);
+        device->read(0, snapshot.data(), snapshot.size());
+    }
+
+    void
+    restore()
+    {
+        device->write(0, snapshot.data(), snapshot.size());
+    }
+
+    /** Publishes @p staged as a live, checksummed entry. */
+    u64
+    commitEntry(const StagedMetadata &staged)
+    {
+        MetadataLog log(device.get(), layout, cfg.metaLogEntries, true);
+        const u32 idx = log.claim();
+        log.commit(idx, staged);
+        return layout.metaEntryOff(idx);
+    }
+
+    /** A replayable no-op entry: in-range inode and record slot. */
+    StagedMetadata
+    benignStaged() const
+    {
+        StagedMetadata staged;
+        staged.inode = 0;
+        staged.length = 4096;
+        staged.offset = 0;
+        staged.newFileSize = 0;  // never raises the file size
+        staged.addSlot(cfg.maxNodeRecords - 1, 0);
+        return staged;
+    }
+
+    MgspConfig cfg;
+    std::shared_ptr<PmemDevice> device;
+    ArenaLayout layout;
+    std::vector<u8> snapshot;
+};
+
+TEST(MetadataLogFuzz, MountReplaysIntactCraftedEntry)
+{
+    // Control for the flip test below: the crafted entry is real
+    // enough that an uncorrupted mount replays it.
+    MountFuzzFixture fx;
+    fx.commitEntry(fx.benignStaged());
+    auto fs = MgspFs::mount(fx.device, fx.cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    EXPECT_EQ((*fs)->recoveryReport().liveEntriesReplayed, 1u);
+}
+
+TEST(MetadataLogFuzz, MountNeverReplaysFlippedEntries)
+{
+    MountFuzzFixture fx;
+    const u64 seed = testutil::testSeed(31);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    Rng rng(seed);
+    const StagedMetadata staged = fx.benignStaged();
+    const u64 covered_end = 40 + 8ull * staged.usedSlots;
+    for (int iter = 0; iter < 24; ++iter) {
+        fx.restore();
+        const u64 off = fx.commitEntry(staged);
+        const u32 flips = 1 + static_cast<u32>(rng.nextBelow(3));
+        for (u32 f = 0; f < flips; ++f) {
+            const u64 byte = 8 + rng.nextBelow(covered_end - 8);
+            u8 b;
+            fx.device->read(off + byte, &b, 1);
+            b ^= static_cast<u8>(1u << rng.nextBelow(8));
+            fx.device->write(off + byte, &b, 1);
+        }
+        // Both modes: a corrupted entry is a torn publish — the op
+        // never committed. Mount succeeds and replays nothing.
+        auto fs = MgspFs::mount(fx.device, fx.cfg);
+        ASSERT_TRUE(fs.isOk())
+            << "iter " << iter << ": " << fs.status().toString();
+        EXPECT_EQ((*fs)->recoveryReport().liveEntriesReplayed, 0u)
+            << "iter " << iter << ": corrupted entry replayed";
+        (*fs).reset();
+    }
+}
+
+TEST(MetadataLogFuzz, OutOfRangeSlotStrictFailsSalvageQuarantines)
+{
+    // A validly-checksummed entry whose record index is out of range
+    // is rot the checksum cannot catch. Strict refuses the mount;
+    // salvage drops the op (unreplayed = it never happened) and keeps
+    // the file readable.
+    MountFuzzFixture fx;
+    StagedMetadata staged = fx.benignStaged();
+    staged.usedSlots = 0;
+    staged.addSlot(fx.cfg.maxNodeRecords + 7, 0x3);
+    fx.commitEntry(staged);
+
+    auto strict = MgspFs::mount(fx.device, fx.cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    MgspConfig salvage_cfg = fx.cfg;
+    salvage_cfg.recoveryMode = RecoveryMode::Salvage;
+    auto salvaged = MgspFs::mount(fx.device, salvage_cfg);
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_EQ((*salvaged)->recoveryReport().liveEntriesReplayed, 0u);
+    EXPECT_EQ((*salvaged)->recoveryReport().corruptRecordsQuarantined, 1u);
+    auto file = (*salvaged)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ((*file)->size(), 8u * KiB);
+}
+
+TEST(MetadataLogFuzz, OutOfRangeInodeStrictFailsSalvageQuarantines)
+{
+    MountFuzzFixture fx;
+    StagedMetadata staged = fx.benignStaged();
+    staged.inode = fx.cfg.maxInodes + 1;
+    fx.commitEntry(staged);
+
+    auto strict = MgspFs::mount(fx.device, fx.cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    MgspConfig salvage_cfg = fx.cfg;
+    salvage_cfg.recoveryMode = RecoveryMode::Salvage;
+    auto salvaged = MgspFs::mount(fx.device, salvage_cfg);
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_EQ((*salvaged)->recoveryReport().corruptRecordsQuarantined, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * End-to-end media-fault tests of the MGSP engine: scripted fault
+ * plans against real workloads, asserting the DESIGN.md §12 contract —
+ * strict mode fails fast, salvage mode either restores committed
+ * contents or quarantines exactly the faulted ranges (never silent
+ * corruption, never a crash), and transient poison is ridden out by
+ * the bounded read retry.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "mgsp/mgsp_fs.h"
+#include "pmem/fault_injection.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+std::vector<u8>
+pattern(u64 n, u8 tag)
+{
+    std::vector<u8> out(n);
+    for (u64 i = 0; i < n; ++i)
+        out[i] = static_cast<u8>(i * 37 + tag);
+    return out;
+}
+
+/**
+ * Tracked-mode workload whose crash image carries live shadow-log
+ * state: writes A in place (append), then B over its head through the
+ * shadow logs, and captures the fully persisted image mid-life (file
+ * still open, logs not written back).
+ */
+struct ImageFixture
+{
+    static constexpr u64 kFileBytes = 64 * KiB;
+    static constexpr u64 kOverwrite = 32 * KiB;
+
+    ImageFixture() : cfg(testutil::smallConfig())
+    {
+        a = pattern(kFileBytes, 1);
+        b = pattern(kOverwrite, 2);
+        auto device = std::make_shared<PmemDevice>(
+            cfg.arenaSize, PmemDevice::Mode::Tracked);
+        auto fs = MgspFs::format(device, cfg);
+        EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+        auto file = (*fs)->open("f", OpenOptions::Create(256 * KiB));
+        EXPECT_TRUE(file.isOk());
+        EXPECT_TRUE(
+            (*file)->pwrite(0, ConstSlice(a.data(), a.size())).isOk());
+        EXPECT_TRUE(
+            (*file)->pwrite(0, ConstSlice(b.data(), b.size())).isOk());
+        Rng rng(1);
+        image = device->captureCrashImage(rng, 1.0);
+        // The original device absorbs the close-path write-back.
+        file->reset();
+        fs->reset();
+    }
+
+    std::shared_ptr<PmemDevice>
+    freshDevice() const
+    {
+        return std::make_shared<PmemDevice>(image,
+                                            PmemDevice::Mode::Flat);
+    }
+
+    /** Expected post-crash contents: B over the head of A. */
+    std::vector<u8>
+    expected() const
+    {
+        std::vector<u8> e = a;
+        std::copy(b.begin(), b.end(), e.begin());
+        return e;
+    }
+
+    /** Index of an in-use node record owning a shadow-log block. */
+    u32
+    findLoggedRecord(PmemDevice *device) const
+    {
+        const ArenaLayout layout = ArenaLayout::compute(cfg);
+        for (u32 i = 0; i < cfg.maxNodeRecords; ++i) {
+            NodeRecord rec;
+            device->read(layout.nodeRecOff(i), &rec, sizeof(rec));
+            if (NodeRecord::inUse(rec.info) && rec.logOff != 0)
+                return i;
+        }
+        ADD_FAILURE() << "no shadow-logged record in the image";
+        return 0;
+    }
+
+    MgspConfig cfg;
+    std::vector<u8> a, b;
+    CrashImage image;
+};
+
+MgspConfig
+withMode(MgspConfig cfg, RecoveryMode mode)
+{
+    cfg.recoveryMode = mode;
+    return cfg;
+}
+
+TEST(MgspFaultInjection, PristineImageRecoversExactly)
+{
+    ImageFixture fx;
+    for (RecoveryMode mode :
+         {RecoveryMode::Strict, RecoveryMode::Salvage}) {
+        auto fs = MgspFs::mount(fx.freshDevice(), withMode(fx.cfg, mode));
+        ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+        EXPECT_EQ((*fs)->recoveryReport().corruptRecordsQuarantined, 0u);
+        auto file = (*fs)->open("f", {});
+        ASSERT_TRUE(file.isOk());
+        EXPECT_EQ(testutil::readAll(file->get()), fx.expected());
+        file->reset();
+    }
+}
+
+TEST(MgspFaultInjection, FlippedRecordIdentityStrictFailsFast)
+{
+    ImageFixture fx;
+    auto device = fx.freshDevice();
+    const u32 victim = fx.findLoggedRecord(device.get());
+    const ArenaLayout layout = ArenaLayout::compute(fx.cfg);
+
+    FaultPlan plan;
+    plan.seed = testutil::testSeed(21);
+    SCOPED_TRACE(testutil::seedTrace(plan.seed));
+    FaultSpec flip;
+    flip.kind = FaultKind::BitFlip;
+    flip.off = layout.nodeRecOff(victim) + offsetof(NodeRecord, index);
+    flip.len = 8;
+    plan.faults.push_back(flip);
+    device->setFaultPlan(plan);
+
+    auto fs = MgspFs::mount(device, fx.cfg);  // strict default
+    ASSERT_FALSE(fs.isOk());
+    EXPECT_EQ(fs.status().code(), StatusCode::Corruption);
+}
+
+TEST(MgspFaultInjection, FlippedRecordIdentitySalvageQuarantines)
+{
+    ImageFixture fx;
+    auto device = fx.freshDevice();
+    const u32 victim = fx.findLoggedRecord(device.get());
+    const ArenaLayout layout = ArenaLayout::compute(fx.cfg);
+
+    FaultPlan plan;
+    plan.seed = testutil::testSeed(22);
+    SCOPED_TRACE(testutil::seedTrace(plan.seed));
+    FaultSpec flip;
+    flip.kind = FaultKind::BitFlip;
+    flip.off = layout.nodeRecOff(victim) + offsetof(NodeRecord, index);
+    flip.len = 8;
+    plan.faults.push_back(flip);
+    device->setFaultPlan(plan);
+
+    auto fs =
+        MgspFs::mount(device, withMode(fx.cfg, RecoveryMode::Salvage));
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    EXPECT_GE((*fs)->recoveryReport().corruptRecordsQuarantined, 1u);
+
+    // Salvage contract: the quarantined range falls back to the base
+    // file (pre-overwrite bytes); everything else reads the committed
+    // state. Every byte is one of the two committed values — never
+    // garbage, never the poison pattern.
+    auto file = (*fs)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> got = testutil::readAll(file->get());
+    const std::vector<u8> want = fx.expected();
+    ASSERT_EQ(got.size(), want.size());
+    u64 fallback_bytes = 0;
+    for (u64 i = 0; i < got.size(); ++i) {
+        if (got[i] == want[i])
+            continue;
+        ASSERT_EQ(got[i], fx.a[i])
+            << "byte " << i << " is neither committed value";
+        ++fallback_bytes;
+    }
+    // The overwrite went through the quarantined log, so some of its
+    // range must have fallen back.
+    EXPECT_GT(fallback_bytes, 0u);
+    EXPECT_LE(fallback_bytes, ImageFixture::kOverwrite);
+}
+
+TEST(MgspFaultInjection, PoisonedRecordStrictIsMediaError)
+{
+    ImageFixture fx;
+    auto device = fx.freshDevice();
+    const u32 victim = fx.findLoggedRecord(device.get());
+    const ArenaLayout layout = ArenaLayout::compute(fx.cfg);
+
+    FaultPlan plan;
+    FaultSpec poison;
+    poison.kind = FaultKind::Poison;
+    poison.off = layout.nodeRecOff(victim);
+    poison.len = sizeof(NodeRecord);
+    plan.faults.push_back(poison);
+    device->setFaultPlan(plan);
+
+    auto fs = MgspFs::mount(device, fx.cfg);
+    ASSERT_FALSE(fs.isOk());
+    EXPECT_EQ(fs.status().code(), StatusCode::MediaError);
+}
+
+TEST(MgspFaultInjection, PoisonedRecordSalvageSkipsAndFallsBack)
+{
+    ImageFixture fx;
+    auto device = fx.freshDevice();
+    const u32 victim = fx.findLoggedRecord(device.get());
+    const ArenaLayout layout = ArenaLayout::compute(fx.cfg);
+
+    FaultPlan plan;
+    FaultSpec poison;
+    poison.kind = FaultKind::Poison;
+    poison.off = layout.nodeRecOff(victim);
+    poison.len = sizeof(NodeRecord);
+    plan.faults.push_back(poison);
+    device->setFaultPlan(plan);
+
+    auto fs =
+        MgspFs::mount(device, withMode(fx.cfg, RecoveryMode::Salvage));
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    EXPECT_GE((*fs)->recoveryReport().poisonedRangesSkipped, 1u);
+
+    auto file = (*fs)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> got = testutil::readAll(file->get());
+    const std::vector<u8> want = fx.expected();
+    ASSERT_EQ(got.size(), want.size());
+    for (u64 i = 0; i < got.size(); ++i) {
+        ASSERT_TRUE(got[i] == want[i] || got[i] == fx.a[i])
+            << "byte " << i << " is neither committed value";
+    }
+}
+
+TEST(MgspFaultInjection, TransientPoisonRiddenOutByReadRetry)
+{
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.mediaErrorRetries = 2;
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> data = pattern(64 * KiB, 5);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+
+    // The first file's extent starts at the file-area base; poison a
+    // slice of it with a two-read heal so the bounded retry succeeds.
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    FaultPlan plan;
+    FaultSpec poison;
+    poison.kind = FaultKind::Poison;
+    poison.off = layout.fileAreaOff + 1000;
+    poison.len = 500;
+    poison.healAfterReads = 2;
+    plan.faults.push_back(poison);
+    fx.device->setFaultPlan(plan);
+
+    std::vector<u8> got(data.size());
+    auto n = (*file)->pread(0, MutSlice(got.data(), got.size()));
+    ASSERT_TRUE(n.isOk()) << n.status().toString()
+                          << " (transient fault must heal within the "
+                             "retry bound)";
+    EXPECT_EQ(*n, got.size());
+    EXPECT_EQ(got, data) << "healed read must return pristine bytes";
+    EXPECT_EQ(fx.device->faultStats().rangesHealed, 1u);
+    file->reset();
+}
+
+TEST(MgspFaultInjection, PermanentPoisonSurfacesMediaError)
+{
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.mediaErrorRetries = 2;
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> data = pattern(16 * KiB, 6);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    FaultPlan plan;
+    FaultSpec poison;
+    poison.kind = FaultKind::Poison;
+    poison.off = layout.fileAreaOff + 64;
+    poison.len = 128;
+    plan.faults.push_back(poison);  // permanent: healAfterReads == 0
+    fx.device->setFaultPlan(plan);
+
+    std::vector<u8> got(data.size());
+    auto n = (*file)->pread(0, MutSlice(got.data(), got.size()));
+    ASSERT_FALSE(n.isOk());
+    EXPECT_EQ(n.status().code(), StatusCode::MediaError);
+    // Reads outside the poisoned slice still work.
+    auto tail = (*file)->pread(4096, MutSlice(got.data(), 4096));
+    ASSERT_TRUE(tail.isOk()) << tail.status().toString();
+    EXPECT_EQ(*tail, 4096u);
+    file->reset();
+}
+
+TEST(MgspFaultInjection, ScrubDetectsSilentLogRot)
+{
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.recoveryMode = RecoveryMode::Salvage;
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> old_data = pattern(4 * KiB, 7);
+    ASSERT_TRUE((*file)
+                    ->pwrite(0, ConstSlice(old_data.data(),
+                                           old_data.size()))
+                    .isOk());
+    // Overwrite one fine-grained unit: goes to a leaf's own log with
+    // a per-unit CRC.
+    const u64 unit = cfg.fineGrainSize();
+    const std::vector<u8> new_data = pattern(unit, 8);
+    ASSERT_TRUE((*file)
+                    ->pwrite(0, ConstSlice(new_data.data(),
+                                           new_data.size()))
+                    .isOk());
+
+    const ScrubStats clean = fx.fs->scrubAllFiles();
+    EXPECT_GE(clean.unitsVerified, 1u);
+    EXPECT_EQ(clean.crcMismatches, 0u);
+
+    // Rot one byte of the logged unit (found via its node record).
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    u64 log_off = 0;
+    for (u32 i = 0; i < cfg.maxNodeRecords && log_off == 0; ++i) {
+        NodeRecord rec;
+        fx.device->read(layout.nodeRecOff(i), &rec, sizeof(rec));
+        if (NodeRecord::inUse(rec.info) && rec.logOff != 0)
+            log_off = rec.logOff;
+    }
+    ASSERT_NE(log_off, 0u);
+    u8 byte;
+    fx.device->read(log_off + 10, &byte, 1);
+    byte ^= 0x04;
+    fx.device->write(log_off + 10, &byte, 1);
+
+    const ScrubStats dirty = fx.fs->scrubAllFiles();
+    EXPECT_GE(dirty.crcMismatches, 1u);
+
+    // Salvage write-back refuses to copy the rotten unit home: the
+    // base file keeps the previous committed bytes; the rest of the
+    // leaf (old_data) is untouched. Nothing ever serves the flipped
+    // byte silently.
+    auto &reg = stats::StatsRegistry::instance();
+    const u64 skips_before =
+        reg.counter("write_back.crc_mismatch_skips").value();
+    ASSERT_TRUE(fx.fs->writeBackAllFiles().isOk());
+    EXPECT_GE(reg.counter("write_back.crc_mismatch_skips").value(),
+              skips_before + 1);
+    std::vector<u8> got(old_data.size());
+    auto n = (*file)->pread(0, MutSlice(got.data(), got.size()));
+    ASSERT_TRUE(n.isOk());
+    EXPECT_EQ(got, old_data)
+        << "quarantined unit must fall back to the base-file bytes";
+    file->reset();
+}
+
+TEST(MgspFaultInjection, StrictWriteBackFailsOnLogRot)
+{
+    MgspConfig cfg = testutil::smallConfig();  // strict default
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> data = pattern(4 * KiB, 9);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    const u64 unit = cfg.fineGrainSize();
+    const std::vector<u8> next = pattern(unit, 10);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(next.data(), next.size())).isOk());
+
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    u64 log_off = 0;
+    for (u32 i = 0; i < cfg.maxNodeRecords && log_off == 0; ++i) {
+        NodeRecord rec;
+        fx.device->read(layout.nodeRecOff(i), &rec, sizeof(rec));
+        if (NodeRecord::inUse(rec.info) && rec.logOff != 0)
+            log_off = rec.logOff;
+    }
+    ASSERT_NE(log_off, 0u);
+    u8 byte;
+    fx.device->read(log_off + 3, &byte, 1);
+    byte ^= 0x80;
+    fx.device->write(log_off + 3, &byte, 1);
+
+    Status wb = fx.fs->writeBackAllFiles();
+    ASSERT_FALSE(wb.isOk());
+    EXPECT_EQ(wb.code(), StatusCode::Corruption);
+    // Repair the byte so the close-path write-back succeeds and the
+    // fixture tears down cleanly.
+    byte ^= 0x80;
+    fx.device->write(log_off + 3, &byte, 1);
+    file->reset();
+}
+
+TEST(MgspFaultInjection, SeededPlansAreReproducible)
+{
+    // The same fault plan against the same image must produce
+    // byte-identical salvage results — the property the CI matrix
+    // relies on when re-running a pinned MGSP_TEST_SEED.
+    ImageFixture fx;
+    auto run = [&](u64 seed) {
+        auto device = fx.freshDevice();
+        const u32 victim = fx.findLoggedRecord(device.get());
+        const ArenaLayout layout = ArenaLayout::compute(fx.cfg);
+        FaultPlan plan;
+        plan.seed = seed;
+        FaultSpec flip;
+        flip.kind = FaultKind::BitFlip;
+        flip.off = layout.nodeRecOff(victim);
+        flip.len = sizeof(NodeRecord);
+        flip.bitFlips = 4;
+        plan.faults.push_back(flip);
+        device->setFaultPlan(plan);
+        auto fs = MgspFs::mount(
+            device, withMode(fx.cfg, RecoveryMode::Salvage));
+        EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+        if (!fs.isOk())
+            return std::vector<u8>{};
+        auto file = (*fs)->open("f", {});
+        EXPECT_TRUE(file.isOk());
+        std::vector<u8> got = testutil::readAll(file->get());
+        file->reset();
+        return got;
+    };
+    EXPECT_EQ(run(77), run(77));
+}
+
+}  // namespace
+}  // namespace mgsp

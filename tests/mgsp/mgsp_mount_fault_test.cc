@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Mount-time fault handling: truncated arenas, zeroed / corrupted
+ * superblocks, and the dual-copy salvage protocol (DESIGN.md §12).
+ * Strict mode fails fast with Corruption; salvage mode recovers from
+ * the surviving copy and repairs the bad one in place.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mgsp/mgsp_fs.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+MgspConfig
+salvageConfig()
+{
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.recoveryMode = RecoveryMode::Salvage;
+    return cfg;
+}
+
+/** Formats, writes one known file, and unmounts. */
+std::shared_ptr<PmemDevice>
+arenaWithOneFile(const MgspConfig &cfg, std::vector<u8> *content)
+{
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    EXPECT_TRUE(file.isOk());
+    content->assign(100 * 1024, 0);
+    for (u64 i = 0; i < content->size(); ++i)
+        (*content)[i] = static_cast<u8>(i * 131 + 7);
+    EXPECT_TRUE((*file)
+                    ->pwrite(0, ConstSlice(content->data(),
+                                           content->size()))
+                    .isOk());
+    file->reset();
+    fx.fs.reset();  // unmount (write-back + stop cleaner)
+    return fx.device;
+}
+
+TEST(MountFault, ArenaTruncatedBelowSuperblockRegion)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    // Copy the first few hundred bytes into a device too small to
+    // even hold both superblock slots.
+    auto tiny = std::make_shared<PmemDevice>(256);
+    std::vector<u8> head(256);
+    device->read(0, head.data(), head.size());
+    tiny->write(0, head.data(), head.size());
+    auto mounted = MgspFs::mount(tiny, cfg);
+    ASSERT_FALSE(mounted.isOk());
+    EXPECT_EQ(mounted.status().code(), StatusCode::Corruption);
+    // Salvage cannot help either: there is nothing to salvage from.
+    auto salvaged = MgspFs::mount(tiny, salvageConfig());
+    ASSERT_FALSE(salvaged.isOk());
+    EXPECT_EQ(salvaged.status().code(), StatusCode::Corruption);
+}
+
+TEST(MountFault, ArenaTruncatedBelowFormattedSize)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    // Valid superblocks, but the backing device lost its tail.
+    const u64 cut = cfg.arenaSize / 2;
+    auto half = std::make_shared<PmemDevice>(cut);
+    std::vector<u8> bytes(cut);
+    device->read(0, bytes.data(), bytes.size());
+    half->write(0, bytes.data(), bytes.size());
+    for (const MgspConfig &mode : {cfg, salvageConfig()}) {
+        auto mounted = MgspFs::mount(half, mode);
+        ASSERT_FALSE(mounted.isOk());
+        EXPECT_EQ(mounted.status().code(), StatusCode::Corruption);
+    }
+}
+
+TEST(MountFault, ZeroedSuperblocksFailBothModes)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
+    auto strict = MgspFs::mount(device, cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+    auto salvaged = MgspFs::mount(device, salvageConfig());
+    ASSERT_FALSE(salvaged.isOk());
+    EXPECT_EQ(salvaged.status().code(), StatusCode::Corruption);
+}
+
+TEST(MountFault, BadPrimaryMagicStrictFailsSalvageRecovers)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    // Clobber the primary's magic (models a wrong-version or foreign
+    // superblock); the checksum no longer matches either.
+    const u64 bogus = ~Superblock::kMagic;
+    device->write(0, &bogus, sizeof(bogus));
+
+    auto strict = MgspFs::mount(device, cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    auto salvaged = MgspFs::mount(device, salvageConfig());
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_TRUE((*salvaged)->recoveryReport().superblockRecovered);
+    auto file = (*salvaged)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(testutil::readAll(file->get()), content);
+    file->reset();
+    (*salvaged).reset();
+
+    // The salvage mount repaired the primary: strict now succeeds.
+    auto repaired = MgspFs::mount(device, cfg);
+    ASSERT_TRUE(repaired.isOk()) << repaired.status().toString();
+    EXPECT_FALSE((*repaired)->recoveryReport().superblockRecovered);
+}
+
+TEST(MountFault, CorruptPrimaryChecksumStrictFailsSalvageRecovers)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    // Flip one byte inside the checksummed prefix (the bump pointer),
+    // keeping the magic intact: only the CRC can catch this.
+    u8 b;
+    const u64 victim = offsetof(Superblock, fileAreaBump);
+    device->read(victim, &b, 1);
+    b ^= 0x10;
+    device->write(victim, &b, 1);
+
+    auto strict = MgspFs::mount(device, cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    auto salvaged = MgspFs::mount(device, salvageConfig());
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_TRUE((*salvaged)->recoveryReport().superblockRecovered);
+    auto file = (*salvaged)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(testutil::readAll(file->get()), content);
+}
+
+TEST(MountFault, CorruptSecondaryIsHarmless)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    device->fill(Superblock::slotOff(1), 0xA5, sizeof(Superblock));
+    for (const MgspConfig &mode : {cfg, salvageConfig()}) {
+        auto mounted = MgspFs::mount(device, mode);
+        ASSERT_TRUE(mounted.isOk()) << mounted.status().toString();
+        EXPECT_FALSE((*mounted)->recoveryReport().superblockRecovered);
+        auto file = (*mounted)->open("f", {});
+        ASSERT_TRUE(file.isOk());
+        EXPECT_EQ(testutil::readAll(file->get()), content);
+        file->reset();
+    }
+}
+
+TEST(MountFault, BothCopiesCorruptSalvageGivesUp)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    device->fill(Superblock::slotOff(0), 0xA5, sizeof(Superblock));
+    device->fill(Superblock::slotOff(1), 0x5A, sizeof(Superblock));
+    auto salvaged = MgspFs::mount(device, salvageConfig());
+    ASSERT_FALSE(salvaged.isOk());
+    EXPECT_EQ(salvaged.status().code(), StatusCode::Corruption);
+}
+
+TEST(MountFault, HighestEpochCopyWins)
+{
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    // Model a crash between the two slot rewrites: the secondary
+    // carries epoch N+1, the primary still epoch N. Salvage must take
+    // the secondary.
+    Superblock sb;
+    device->read(Superblock::slotOff(1), &sb, sizeof(sb));
+    ++sb.epoch;
+    sb.checksum = sb.computeChecksum();
+    device->write(Superblock::slotOff(1), &sb, sizeof(sb));
+
+    auto salvaged = MgspFs::mount(device, salvageConfig());
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_TRUE((*salvaged)->recoveryReport().superblockRecovered);
+    auto file = (*salvaged)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ(testutil::readAll(file->get()), content);
+}
+
+TEST(MountFault, GeometryMismatchIsStillInvalidArgument)
+{
+    // Corruption is for damaged media; a healthy arena mounted with
+    // the wrong config keeps its distinct error code.
+    const MgspConfig cfg = testutil::smallConfig();
+    std::vector<u8> content;
+    auto device = arenaWithOneFile(cfg, &content);
+    MgspConfig other = cfg;
+    other.degree = 8;
+    auto mounted = MgspFs::mount(device, other);
+    ASSERT_FALSE(mounted.isOk());
+    EXPECT_EQ(mounted.status().code(), StatusCode::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Device-level tests of the scripted media-fault plane: seeded bit
+ * flips at chosen persist boundaries, torn 8-byte stores, poisoned
+ * ranges with media-error hooks and transient healing, and the
+ * interaction with crash images.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "pmem/fault_injection.h"
+#include "pmem/pmem_device.h"
+
+namespace mgsp {
+namespace {
+
+FaultPlan
+onePlan(FaultSpec spec, u64 seed = 7)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.faults.push_back(spec);
+    return plan;
+}
+
+TEST(FaultInjection, ImmediateBitFlipCorruptsSilently)
+{
+    PmemDevice dev(1 * MiB);
+    std::vector<u8> data(256, 0xAB);
+    dev.write(4096, data.data(), data.size());
+    dev.persist(4096, data.size());
+
+    FaultSpec spec;
+    spec.kind = FaultKind::BitFlip;
+    spec.off = 4096;
+    spec.len = 256;
+    spec.bitFlips = 3;
+    dev.setFaultPlan(onePlan(spec));
+
+    std::vector<u8> got(256);
+    dev.read(4096, got.data(), got.size());
+    int bits_changed = 0;
+    for (u64 i = 0; i < got.size(); ++i) {
+        u8 diff = static_cast<u8>(got[i] ^ 0xAB);
+        while (diff != 0) {
+            bits_changed += diff & 1;
+            diff >>= 1;
+        }
+    }
+    EXPECT_EQ(bits_changed, 3);
+    EXPECT_EQ(dev.faultStats().bitFlipsInjected, 3u);
+    // Silent: reads succeed, nothing is poisoned.
+    EXPECT_FALSE(dev.poisoned(4096, 256));
+}
+
+TEST(FaultInjection, BitFlipWaitsForItsPersistBoundary)
+{
+    PmemDevice dev(1 * MiB);
+    std::vector<u8> data(64, 0x5C);
+    dev.write(0, data.data(), data.size());
+    dev.persist(0, data.size());
+    const u64 now = dev.persistSeq();
+
+    FaultSpec spec;
+    spec.kind = FaultKind::BitFlip;
+    spec.atSeq = now + 2;  // after one more flush AND fence
+    spec.off = 0;
+    spec.len = 64;
+    dev.setFaultPlan(onePlan(spec));
+
+    std::vector<u8> got(64);
+    dev.read(0, got.data(), got.size());
+    EXPECT_EQ(std::memcmp(got.data(), data.data(), 64), 0)
+        << "fault fired before its persist boundary";
+
+    dev.persist(0, 64);  // two boundaries: flush, then fence
+    dev.read(0, got.data(), got.size());
+    EXPECT_NE(std::memcmp(got.data(), data.data(), 64), 0);
+    EXPECT_EQ(dev.faultStats().bitFlipsInjected, 1u);
+}
+
+TEST(FaultInjection, BitFlipsAreSeedDeterministic)
+{
+    auto run = [](u64 seed) {
+        PmemDevice dev(64 * KiB);
+        std::vector<u8> data(512, 0);
+        dev.write(0, data.data(), data.size());
+        FaultSpec spec;
+        spec.kind = FaultKind::BitFlip;
+        spec.off = 0;
+        spec.len = 512;
+        spec.bitFlips = 8;
+        dev.setFaultPlan(onePlan(spec, seed));
+        std::vector<u8> got(512);
+        dev.read(0, got.data(), got.size());
+        return got;
+    };
+    EXPECT_EQ(run(42), run(42));
+    EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultInjection, TornStoreLandsExactlyOneHalf)
+{
+    PmemDevice dev(64 * KiB);
+    const u64 off = 1024;
+    const u64 old_val = 0x1111111122222222ull;
+    const u64 new_val = 0xAAAAAAAABBBBBBBBull;
+    dev.store64(off, old_val);
+    dev.persist(off, 8);
+
+    FaultSpec spec;
+    spec.kind = FaultKind::TornStore;
+    spec.off = off;
+    dev.setFaultPlan(onePlan(spec));
+
+    dev.store64(off, new_val);
+    const u64 torn = dev.load64(off);
+    const u64 low_torn = (new_val & 0xFFFFFFFFull) | (old_val & ~0xFFFFFFFFull);
+    const u64 high_torn = (old_val & 0xFFFFFFFFull) | (new_val & ~0xFFFFFFFFull);
+    EXPECT_TRUE(torn == low_torn || torn == high_torn)
+        << std::hex << torn;
+    EXPECT_EQ(dev.faultStats().tornStores, 1u);
+
+    // One-shot: the spec is consumed, the next store is whole.
+    dev.store64(off, new_val);
+    EXPECT_EQ(dev.load64(off), new_val);
+    EXPECT_EQ(dev.faultStats().tornStores, 1u);
+}
+
+TEST(FaultInjection, TornStoreIgnoresOtherAddresses)
+{
+    PmemDevice dev(64 * KiB);
+    FaultSpec spec;
+    spec.kind = FaultKind::TornStore;
+    spec.off = 512;
+    dev.setFaultPlan(onePlan(spec));
+    dev.store64(1024, 0xDEADBEEFCAFEF00Dull);  // different address
+    EXPECT_EQ(dev.load64(1024), 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(dev.faultStats().tornStores, 0u);
+}
+
+TEST(FaultInjection, PoisonReadsFillPatternAndFireHook)
+{
+    PmemDevice dev(64 * KiB);
+    std::vector<u8> data(128, 0x77);
+    dev.write(4096, data.data(), data.size());
+    dev.persist(4096, data.size());
+
+    std::vector<std::pair<u64, u64>> hook_hits;
+    dev.setMediaErrorHook(
+        [&](u64 off, u64 len) { hook_hits.emplace_back(off, len); });
+
+    FaultSpec spec;
+    spec.kind = FaultKind::Poison;
+    spec.off = 4096 + 32;
+    spec.len = 64;
+    dev.setFaultPlan(onePlan(spec));
+
+    EXPECT_TRUE(dev.poisoned(4096, 128));
+    EXPECT_FALSE(dev.poisoned(0, 4096));
+    EXPECT_TRUE(hook_hits.empty()) << "poisoned() must not fire the hook";
+
+    std::vector<u8> got(128);
+    dev.read(4096, got.data(), got.size());
+    for (u64 i = 0; i < 128; ++i) {
+        const bool in_poison = i >= 32 && i < 96;
+        EXPECT_EQ(got[i], in_poison ? kPoisonFill : 0x77) << "byte " << i;
+    }
+    ASSERT_EQ(hook_hits.size(), 1u);
+    EXPECT_EQ(hook_hits[0].first, 4096u + 32);
+    EXPECT_EQ(hook_hits[0].second, 64u);
+    EXPECT_EQ(dev.faultStats().poisonReadHits, 1u);
+    // Permanent (healAfterReads == 0): still poisoned after many reads.
+    dev.read(4096, got.data(), got.size());
+    dev.read(4096, got.data(), got.size());
+    EXPECT_TRUE(dev.poisoned(4096 + 32, 1));
+    EXPECT_EQ(dev.faultStats().rangesHealed, 0u);
+}
+
+TEST(FaultInjection, TransientPoisonHealsAfterNReads)
+{
+    PmemDevice dev(64 * KiB);
+    std::vector<u8> data(64, 0x3C);
+    dev.write(0, data.data(), data.size());
+
+    FaultSpec spec;
+    spec.kind = FaultKind::Poison;
+    spec.off = 0;
+    spec.len = 64;
+    spec.healAfterReads = 2;
+    dev.setFaultPlan(onePlan(spec));
+
+    std::vector<u8> got(64);
+    dev.read(0, got.data(), got.size());  // hit 1
+    EXPECT_EQ(got[0], kPoisonFill);
+    EXPECT_TRUE(dev.poisoned(0, 64));
+    dev.read(0, got.data(), got.size());  // hit 2: heals
+    EXPECT_FALSE(dev.poisoned(0, 64));
+    dev.read(0, got.data(), got.size());
+    EXPECT_EQ(got, data) << "healed range must restore pristine bytes";
+    EXPECT_EQ(dev.faultStats().rangesHealed, 1u);
+    EXPECT_EQ(dev.faultStats().poisonReadHits, 2u);
+}
+
+TEST(FaultInjection, RacyReadNeverAdvancesHealOrHook)
+{
+    PmemDevice dev(64 * KiB);
+    int hook_calls = 0;
+    dev.setMediaErrorHook([&](u64, u64) { ++hook_calls; });
+    FaultSpec spec;
+    spec.kind = FaultKind::Poison;
+    spec.off = 0;
+    spec.len = 64;
+    spec.healAfterReads = 1;
+    dev.setFaultPlan(onePlan(spec));
+
+    std::vector<u8> got(64);
+    dev.racyRead(0, got.data(), got.size());
+    dev.racyRead(0, got.data(), got.size());
+    EXPECT_EQ(hook_calls, 0);
+    EXPECT_TRUE(dev.poisoned(0, 64))
+        << "racyRead must not make heal progress";
+    // A locked read() is the single surfacing point.
+    dev.read(0, got.data(), got.size());
+    EXPECT_EQ(hook_calls, 1);
+    EXPECT_FALSE(dev.poisoned(0, 64));
+}
+
+TEST(FaultInjection, BitFlipReachesCrashImages)
+{
+    // Tracked mode: a flip at a persist boundary corrupts the durable
+    // media too, so recovery-from-crash-image tests observe it.
+    PmemDevice dev(64 * KiB, PmemDevice::Mode::Tracked);
+    std::vector<u8> data(64, 0x99);
+    dev.write(0, data.data(), data.size());
+    dev.persist(0, data.size());
+
+    FaultSpec spec;
+    spec.kind = FaultKind::BitFlip;
+    spec.atSeq = dev.persistSeq() + 2;
+    spec.off = 0;
+    spec.len = 64;
+    dev.setFaultPlan(onePlan(spec));
+    dev.persist(0, 64);
+
+    Rng rng(1);
+    CrashImage img = dev.captureCrashImage(rng, 0.0);
+    EXPECT_NE(std::memcmp(img.media.data(), data.data(), 64), 0)
+        << "durable media must carry the injected flip";
+}
+
+TEST(FaultInjection, StatsRoundTripThroughPlan)
+{
+    PmemDevice dev(64 * KiB);
+    FaultPlan plan;
+    plan.seed = 11;
+    FaultSpec flip;
+    flip.kind = FaultKind::BitFlip;
+    flip.off = 0;
+    flip.len = 8;
+    FaultSpec poison;
+    poison.kind = FaultKind::Poison;
+    poison.off = 256;
+    poison.len = 32;
+    plan.faults = {flip, poison};
+    dev.setFaultPlan(plan);
+
+    const FaultStats stats = dev.faultStats();
+    EXPECT_EQ(stats.bitFlipsInjected, 1u);
+    EXPECT_EQ(stats.rangesPoisoned, 1u);
+    EXPECT_EQ(stats.tornStores, 0u);
+}
+
+}  // namespace
+}  // namespace mgsp
