@@ -154,10 +154,27 @@ parseBenchArgs(int argc, char **argv)
                 }
                 pos = comma + 1;
             }
+        } else if (arg.rfind("--pool-pct=", 0) == 0) {
+            std::string list = arg.substr(strlen("--pool-pct="));
+            for (std::size_t pos = 0; pos <= list.size();) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                const std::string tok = list.substr(pos, comma - pos);
+                if (!tok.empty()) {
+                    const double pct = std::strtod(tok.c_str(), nullptr);
+                    if (pct <= 0.0 || pct > 100.0)
+                        MGSP_FATAL("--pool-pct value out of "
+                                   "(0,100]: %s",
+                                   tok.c_str());
+                    args.poolPcts.push_back(pct);
+                }
+                pos = comma + 1;
+            }
         } else {
             MGSP_FATAL("unknown argument: %s (supported: "
                        "--stats-json=FILE --background --quick "
-                       "--corrupt-pct=P0,P1,...)",
+                       "--corrupt-pct=P0,P1,... --pool-pct=P0,P1,...)",
                        arg.c_str());
         }
     }

@@ -80,6 +80,11 @@ struct BenchArgs
     /// series, rotting the given percentages of node records in the
     /// crash image before mounting. Empty = skip the series.
     std::vector<double> corruptPcts;
+    /// --pool-pct=P0,P1,...: benches that honour it (pool_exhaustion)
+    /// size the shadow-log pool at the given percentages of its
+    /// default share, sweeping the engine into exhaustion. Empty =
+    /// use the bench's default sweep.
+    std::vector<double> poolPcts;
 };
 
 /**

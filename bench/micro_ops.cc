@@ -125,7 +125,7 @@ BM_MetadataLogClaimCommit(benchmark::State &state)
     staged.length = 4096;
     staged.addSlot(1, 0b11);
     for (auto _ : state) {
-        const u32 entry = log.claim();
+        const u32 entry = *log.claim();
         log.commit(entry, staged);
         log.markOutdated(entry);
         log.release(entry);

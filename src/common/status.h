@@ -29,6 +29,7 @@ enum class StatusCode {
     MediaError,
     Unsupported,
     Internal,
+    ResourceBusy,
 };
 
 /** @return a stable human-readable name for @p code. */
@@ -47,6 +48,7 @@ statusCodeName(StatusCode code)
       case StatusCode::MediaError: return "MediaError";
       case StatusCode::Unsupported: return "Unsupported";
       case StatusCode::Internal: return "Internal";
+      case StatusCode::ResourceBusy: return "ResourceBusy";
     }
     return "Unknown";
 }
@@ -122,6 +124,20 @@ class Status
     unsupported(std::string msg)
     {
         return Status(StatusCode::Unsupported, std::move(msg));
+    }
+    /**
+     * A transient *internal* resource (metadata-log entry, shadow-log
+     * pool cell, node record) stayed exhausted past the caller's
+     * bounded retry budget. Unlike Busy — a lock/race conflict that a
+     * bare retry resolves — and unlike OutOfSpace — a capacity limit
+     * of the file itself — ResourceBusy means "try again later once
+     * the cleaner has reclaimed space" (POSIX EAGAIN semantics; see
+     * statusToErrno() in vfs/vfs.h).
+     */
+    static Status
+    resourceBusy(std::string msg)
+    {
+        return Status(StatusCode::ResourceBusy, std::move(msg));
     }
     static Status
     internal(std::string msg)

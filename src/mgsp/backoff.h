@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounded exponential backoff for transient resource exhaustion.
+ *
+ * Every retry loop against an exhausted internal resource (shadow-log
+ * pool, node table, metadata log) shares this one policy: a fixed
+ * attempt budget AND a wall-clock deadline, exponential pauses with a
+ * cap between attempts, and enough accounting for the alloc.* /
+ * watchdog.* counters. Replaces the unbounded MetadataLog::claim()
+ * spin and the old ad-hoc 2-attempt OOM retry in the write path
+ * (DESIGN.md §13).
+ *
+ * The pause deliberately spins on the monotonic clock (sleeping for
+ * longer pauses) rather than using spinDelay(): the latency-injection
+ * gate is disabled in tests, and backoff must still pace real time.
+ */
+#ifndef MGSP_MGSP_BACKOFF_H
+#define MGSP_MGSP_BACKOFF_H
+
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/types.h"
+
+namespace mgsp {
+
+/** One retry sequence. Construct per operation; not thread safe. */
+class BoundedBackoff
+{
+  public:
+    BoundedBackoff(u32 attempts, u64 deadline_nanos, u64 initial_nanos,
+                   u64 max_nanos)
+        : attempts_(attempts), deadlineNanos_(deadline_nanos),
+          pauseNanos_(initial_nanos), maxPauseNanos_(max_nanos),
+          startNanos_(monotonicNanos())
+    {
+    }
+
+    /**
+     * Call after a failed attempt. Pauses (exponential, capped) and
+     * @return true if the caller may retry; false once the attempt
+     * budget or the deadline is spent — the caller then surfaces
+     * ResourceBusy / the allocator's error instead of looping.
+     */
+    bool
+    nextAttempt()
+    {
+        ++attemptsUsed_;
+        if (attemptsUsed_ >= attempts_ || elapsedNanos() >= deadlineNanos_)
+            return false;
+        pause(pauseNanos_);
+        pausedNanos_ += pauseNanos_;
+        if (pauseNanos_ < maxPauseNanos_)
+            pauseNanos_ = pauseNanos_ * 2 < maxPauseNanos_
+                              ? pauseNanos_ * 2
+                              : maxPauseNanos_;
+        return true;
+    }
+
+    u64 elapsedNanos() const { return monotonicNanos() - startNanos_; }
+    u64 pausedNanos() const { return pausedNanos_; }
+    u32 attemptsUsed() const { return attemptsUsed_; }
+    bool deadlineExceeded() const { return elapsedNanos() > deadlineNanos_; }
+
+  private:
+    static void
+    pause(u64 nanos)
+    {
+        if (nanos == 0)
+            return;
+        // Short pauses spin (a sleep would oversleep by more than the
+        // pause itself); long ones yield the core.
+        if (nanos >= 100'000) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+            return;
+        }
+        const u64 until = monotonicNanos() + nanos;
+        while (monotonicNanos() < until) {
+        }
+    }
+
+    const u32 attempts_;
+    const u64 deadlineNanos_;
+    u64 pauseNanos_;
+    const u64 maxPauseNanos_;
+    const u64 startNanos_;
+    u64 pausedNanos_ = 0;
+    u32 attemptsUsed_ = 0;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_BACKOFF_H

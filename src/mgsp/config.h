@@ -181,6 +181,48 @@ struct MgspConfig
      */
     u64 scrubIntervalMillis = 0;
 
+    // ---- resource exhaustion & degraded mode (DESIGN.md §13) ----
+    /**
+     * Attempts the write path makes against a transiently exhausted
+     * resource (shadow-log pool cell, node record, metadata-log
+     * entry) before giving up. The first attempt is free; each retry
+     * kicks the cleaner and pauses with exponential backoff.
+     */
+    u32 resourceRetryAttempts = 4;
+
+    /**
+     * Wall-clock budget for one retry sequence. A sequence that runs
+     * past this (e.g. a cleaner drain wedged behind a stalled device)
+     * stops retrying, and the watchdog counts a trip — so no write
+     * ever hangs unobserved past the deadline.
+     */
+    u64 resourceRetryDeadlineNanos = 100'000'000;  // 100 ms
+
+    /** First backoff pause; doubles per retry up to backoffMaxNanos. */
+    u64 backoffInitialNanos = 2'000;
+    /** Backoff pause cap. */
+    u64 backoffMaxNanos = 2'000'000;
+
+    /**
+     * Full sweeps over the entry array one MetadataLog::claim() call
+     * makes before reporting ResourceBusy. Bounded so a leaked entry
+     * (claimed but never released) can never wedge every writer; the
+     * write path layers its retry/backoff policy on top.
+     */
+    u32 metaClaimSweeps = 64;
+
+    /**
+     * Graceful write-through degradation: when shadow resources stay
+     * exhausted past the retry budget, the write W-locks its range
+     * and goes directly to the base file area with flush+fence
+     * ordering — durable but NOT operation-atomic (the ext4-DAX
+     * contract), instead of failing. The file is marked degraded and
+     * restored to shadow-logged mode once the pool recovers above the
+     * cleaner low watermark. Off by default: callers that prefer a
+     * hard error over weakened atomicity see OutOfSpace/ResourceBusy.
+     */
+    bool degradedWriteThrough = false;
+
     LatencyModel latency{};
 
     /** Finest shadow-log granularity in bytes. */
@@ -200,7 +242,9 @@ struct MgspConfig
                leafSubBits >= 1 && leafSubBits <= 16 &&
                leafBlockSize >= leafSubBits * 8 && metaLogEntries >= 1 &&
                maxInodes >= 1 && maxNodeRecords >= maxInodes &&
-               cleanerLowWatermark >= 0.0 && cleanerLowWatermark <= 1.0;
+               cleanerLowWatermark >= 0.0 && cleanerLowWatermark <= 1.0 &&
+               resourceRetryAttempts >= 1 && metaClaimSweeps >= 1 &&
+               backoffInitialNanos <= backoffMaxNanos;
     }
 };
 

@@ -80,9 +80,19 @@ static_assert(sizeof(Superblock) <= Superblock::kSlotStride);
 struct InodeRecord
 {
     static constexpr u64 kInUse = 1;
+    /**
+     * The file is in degraded write-through mode (DESIGN.md §13):
+     * some writes after the flag was set went straight to the base
+     * extent without a shadow-log commit record, so an unclean
+     * shutdown may have torn them. Recovery clears the bit — the
+     * surviving bytes are durable and the weakened (non-atomic)
+     * contract only ever applies to writes acknowledged while it was
+     * set.
+     */
+    static constexpr u64 kDegraded = 2;
     static constexpr u32 kMaxNameLen = 79;
 
-    u64 flags;       ///< bit 0: in use
+    u64 flags;       ///< bit 0: in use; bit 1: degraded write-through
     u64 extentOff;   ///< arena offset of the file's data extent
     u64 capacity;    ///< extent size = maximum file size
     u64 fileSize;    ///< current logical size (atomically updated)

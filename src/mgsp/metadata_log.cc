@@ -29,12 +29,15 @@ MetadataLog::MetadataLog(PmemDevice *device, const ArenaLayout &layout,
 {
 }
 
-u32
-MetadataLog::claim()
+StatusOr<u32>
+MetadataLog::claim(u32 max_sweeps)
 {
+    if (injector_ != nullptr &&
+        injector_->onCall(ResourceSite::MetaClaim))
+        return Status::resourceBusy("injected metadata-log claim fault");
     const u64 tag = threadTag();
     const u32 start = static_cast<u32>(mixHash64(tag) % entries_);
-    for (;;) {
+    for (u32 sweep = 0; sweep < max_sweeps; ++sweep) {
         for (u32 probe = 0; probe < entries_; ++probe) {
             const u32 idx = (start + probe) % entries_;
             u64 expected = 0;
@@ -43,6 +46,7 @@ MetadataLog::claim()
         }
         cpuRelax();
     }
+    return Status::resourceBusy("metadata log entries exhausted");
 }
 
 u32

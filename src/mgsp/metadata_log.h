@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "mgsp/layout.h"
+#include "pmem/fault_injection.h"
 #include "pmem/pmem_device.h"
 
 namespace mgsp {
@@ -85,12 +86,32 @@ class MetadataLog
 
     u32 entryCount() const { return entries_; }
 
+    /** Default sweep bound for claim() (MgspConfig::metaClaimSweeps). */
+    static constexpr u32 kDefaultClaimSweeps = 64;
+
     /**
-     * Claims a free entry for the calling thread (spins while all
-     * entries are busy, as the paper specifies for >32 threads).
-     * @return the entry index.
+     * Claims a free entry for the calling thread, CAS-probing the
+     * whole array up to @p max_sweeps times (the paper specifies an
+     * unbounded spin for >32 threads; we bound it so a leaked entry —
+     * a thread that died between claim and release — can never wedge
+     * every writer, DESIGN.md §13).
+     *
+     * @return the entry index, or Status::resourceBusy once the sweep
+     * budget is spent. Callers wanting the old wait-forever behaviour
+     * layer retry/backoff on top (MgspFs::claimEntryWithRetry).
      */
-    u32 claim();
+    StatusOr<u32> claim(u32 max_sweeps = kDefaultClaimSweeps);
+
+    /**
+     * Arms (or disarms, with nullptr) scripted claim faults at
+     * ResourceSite::MetaClaim. Set only while no claim() is in
+     * flight; the injector must outlive the log.
+     */
+    void
+    setResourceFaultInjector(ResourceFaultInjector *injector)
+    {
+        injector_ = injector;
+    }
 
     /**
      * Publishes @p staged into entry @p idx: writes the fields,
@@ -138,6 +159,7 @@ class MetadataLog
     ArenaLayout layout_;
     u32 entries_;
     bool partialFlush_;
+    ResourceFaultInjector *injector_ = nullptr;
 };
 
 }  // namespace mgsp

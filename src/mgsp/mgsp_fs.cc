@@ -7,6 +7,7 @@
 #include "common/align.h"
 #include "common/clock.h"
 #include "common/logging.h"
+#include "mgsp/backoff.h"
 
 namespace mgsp {
 
@@ -128,6 +129,16 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
             &reg.counter("scrub.crc_mismatches");
         faultCounters_.scrubPoisonSkipped =
             &reg.counter("scrub.poison_skipped");
+    }
+    {
+        auto &reg = stats::StatsRegistry::instance();
+        resourceCounters_.allocFail = &reg.counter("alloc.fail");
+        resourceCounters_.allocRetry = &reg.counter("alloc.retry");
+        resourceCounters_.backoffNanos = &reg.counter("alloc.backoff_ns");
+        resourceCounters_.degradedEnter = &reg.counter("degraded.enter");
+        resourceCounters_.degradedExit = &reg.counter("degraded.exit");
+        resourceCounters_.degradedBytes = &reg.counter("degraded.bytes");
+        resourceCounters_.watchdogTrips = &reg.counter("watchdog.trips");
     }
 }
 
@@ -390,6 +401,27 @@ MgspFs::runRecovery()
         ++recovery_.filesFound;
     }
 
+    // Degraded write-through is volatile pressure state, not crash
+    // state: whatever landed in the base extent before the crash is
+    // durable, and after replay the shadow structures are consistent
+    // again — so recovery ends the weakened-atomicity window by
+    // clearing the persistent flag (DESIGN.md §13).
+    bool cleared_degraded = false;
+    for (u32 i = 0; i < config_.maxInodes; ++i) {
+        if (!(inodes[i].flags & InodeRecord::kInUse) ||
+            !(inodes[i].flags & InodeRecord::kDegraded) || !inodeOk[i])
+            continue;
+        inodes[i].flags &= ~InodeRecord::kDegraded;
+        const u64 flags_off =
+            layout_.inodeOff(i) + offsetof(InodeRecord, flags);
+        device_->store64(flags_off, inodes[i].flags);
+        device_->flush(flags_off, 8);
+        cleared_degraded = true;
+        ++recovery_.degradedFilesCleared;
+    }
+    if (cleared_degraded)
+        device_->fence();
+
     pool_->resetAllocationState();
     Status scan_status = Status::ok();
     recovery_.poisonedRangesSkipped += nodeTable_->rebuild(
@@ -567,6 +599,11 @@ MgspFs::createFileLocked(const std::string &path, u64 capacity)
                        config_.leafBlockSize);
 
     // Find a free inode slot.
+    if (resourceInjector_ != nullptr &&
+        resourceInjector_->onCall(ResourceSite::InodeAlloc)) {
+        resourceCounters_.allocFail->add(1);
+        return Status::outOfSpace("injected inode allocation fault");
+    }
     u32 idx = kNoRecord;
     for (u32 i = 0; i < config_.maxInodes; ++i) {
         InodeRecord rec;
@@ -576,8 +613,16 @@ MgspFs::createFileLocked(const std::string &path, u64 capacity)
             break;
         }
     }
-    if (idx == kNoRecord)
+    if (idx == kNoRecord) {
+        resourceCounters_.allocFail->add(1);
         return Status::outOfSpace("inode table full");
+    }
+
+    if (resourceInjector_ != nullptr &&
+        resourceInjector_->onCall(ResourceSite::FileAreaAlloc)) {
+        resourceCounters_.allocFail->add(1);
+        return Status::outOfSpace("injected file-area allocation fault");
+    }
 
     // Allocate the extent: reuse a freed one or bump the area.
     u64 extent_off = 0;
@@ -591,8 +636,10 @@ MgspFs::createFileLocked(const std::string &path, u64 capacity)
     }
     if (extent_off == 0) {
         const u64 bump = sb_.fileAreaBump;
-        if (bump + capacity > device_->size())
+        if (bump + capacity > device_->size()) {
+            resourceCounters_.allocFail->add(1);
             return Status::outOfSpace("file area exhausted");
+        }
         extent_off = bump;
         // Full dual-copy rewrite, not a bare field store: the
         // superblock checksum covers the bump pointer. If the crash
@@ -777,14 +824,17 @@ MgspFs::drainInode(OpenInode *inode)
 {
     // One cycle = one queue swap, not loop-until-empty: a constant
     // writer stream must not be able to wedge a sync() barrier.
+    Stopwatch cycle_timer;
     std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
     std::vector<std::pair<u64, u64>> ranges;
     {
         std::lock_guard<std::mutex> guard(inode->dirtyMutex);
         ranges.swap(inode->dirtyRanges);
     }
-    if (ranges.empty())
+    if (ranges.empty()) {
+        exitDegradedLocked(inode);
         return Status::ok();
+    }
     stats::OpTrace trace(stats::OpType::Clean, ranges.front().first,
                          ranges.front().second, statsOn_);
     trace.stage(stats::Stage::Clean);
@@ -808,8 +858,12 @@ MgspFs::drainInode(OpenInode *inode)
     cleanCounters_.blocksReclaimed->add(reclaim.blocksReclaimed);
     cleanCounters_.bytesReclaimed->add(reclaim.bytesReclaimed);
     cleanCounters_.recordsReclaimed->add(reclaim.recordsReclaimed);
-    if (!result.isOk())
+    if (result.isOk())
+        exitDegradedLocked(inode);
+    else
         trace.setFailed();
+    if (cycle_timer.elapsedNanos() > config_.resourceRetryDeadlineNanos)
+        watchdogTrip("cleaner drain cycle", cycle_timer.elapsedNanos());
     return result;
 }
 
@@ -1023,6 +1077,13 @@ MgspFs::statsReport() const
     const u64 scrub_units = reg.counter("scrub.units_verified").value();
     const u64 scrub_bad = reg.counter("scrub.crc_mismatches").value();
     const u64 scrub_poison = reg.counter("scrub.poison_skipped").value();
+    const u64 alloc_fail = reg.counter("alloc.fail").value();
+    const u64 alloc_retry = reg.counter("alloc.retry").value();
+    const u64 alloc_backoff = reg.counter("alloc.backoff_ns").value();
+    const u64 deg_enter = reg.counter("degraded.enter").value();
+    const u64 deg_exit = reg.counter("degraded.exit").value();
+    const u64 deg_bytes = reg.counter("degraded.bytes").value();
+    const u64 wd_trips = reg.counter("watchdog.trips").value();
     const FaultStats fault = device_->faultStats();
 
     MgspStatsReport report;
@@ -1123,11 +1184,24 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(wb_salvaged));
     text += buf;
     std::snprintf(buf, sizeof(buf),
+                  "resource: alloc-fails=%llu alloc-retries=%llu "
+                  "backoff-ns=%llu degraded-enters=%llu "
+                  "degraded-exits=%llu degraded-bytes=%llu "
+                  "watchdog-trips=%llu\n",
+                  static_cast<unsigned long long>(alloc_fail),
+                  static_cast<unsigned long long>(alloc_retry),
+                  static_cast<unsigned long long>(alloc_backoff),
+                  static_cast<unsigned long long>(deg_enter),
+                  static_cast<unsigned long long>(deg_exit),
+                  static_cast<unsigned long long>(deg_bytes),
+                  static_cast<unsigned long long>(wd_trips));
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
                   "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
                   "mst-miss=%llu\n"
                   "recovery: replayed=%u scanned=%u files=%u nanos=%llu "
                   "quarantined=%u salvaged-bytes=%llu poison-skipped=%u "
-                  "sb-recovered=%s\n",
+                  "sb-recovered=%s degraded-cleared=%u\n",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -1139,7 +1213,8 @@ MgspFs::statsReport() const
                   recovery_.corruptRecordsQuarantined,
                   static_cast<unsigned long long>(recovery_.salvagedBytes),
                   recovery_.poisonedRangesSkipped,
-                  recovery_.superblockRecovered ? "yes" : "no");
+                  recovery_.superblockRecovered ? "yes" : "no",
+                  recovery_.degradedFilesCleared);
     text += buf;
 
     // ---- JSON ---------------------------------------------------
@@ -1253,6 +1328,19 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(wb_salvaged));
     json += buf;
     std::snprintf(buf, sizeof(buf),
+                  "},\"resource\":{\"alloc_fails\":%llu,"
+                  "\"alloc_retries\":%llu,\"backoff_ns\":%llu,"
+                  "\"degraded_enters\":%llu,\"degraded_exits\":%llu,"
+                  "\"degraded_bytes\":%llu,\"watchdog_trips\":%llu",
+                  static_cast<unsigned long long>(alloc_fail),
+                  static_cast<unsigned long long>(alloc_retry),
+                  static_cast<unsigned long long>(alloc_backoff),
+                  static_cast<unsigned long long>(deg_enter),
+                  static_cast<unsigned long long>(deg_exit),
+                  static_cast<unsigned long long>(deg_bytes),
+                  static_cast<unsigned long long>(wd_trips));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
                   "},\"tree\":{\"coarse_log_writes\":%llu,"
                   "\"leaf_log_writes\":%llu,\"fine_sub_writes\":%llu,"
                   "\"min_tree_hits\":%llu,\"min_tree_misses\":%llu},"
@@ -1260,7 +1348,8 @@ MgspFs::statsReport() const
                   "\"records_scanned\":%u,\"files_found\":%u,"
                   "\"nanos\":%llu,\"corrupt_records_quarantined\":%u,"
                   "\"salvaged_bytes\":%llu,\"poisoned_ranges_skipped\":%u,"
-                  "\"superblock_recovered\":%s}}",
+                  "\"superblock_recovered\":%s,"
+                  "\"degraded_files_cleared\":%u}}",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -1272,7 +1361,8 @@ MgspFs::statsReport() const
                   recovery_.corruptRecordsQuarantined,
                   static_cast<unsigned long long>(recovery_.salvagedBytes),
                   recovery_.poisonedRangesSkipped,
-                  recovery_.superblockRecovered ? "true" : "false");
+                  recovery_.superblockRecovered ? "true" : "false",
+                  recovery_.degradedFilesCleared);
     json += buf;
     return report;
 }
@@ -1345,20 +1435,49 @@ MgspFs::doAtomicChunkOrSplit(OpenInode *inode, u64 offset, ConstSlice src)
         while (inode->tree->planSlotCount(pos, chunk) >
                MetaLogEntry::kMaxSlots)
             chunk = std::max<u64>(chunk / 2, 1);
-        Status s = doAtomicChunk(inode, pos, ConstSlice(p, chunk));
-        // With the cleaner on, pool exhaustion is transient: force a
-        // full drain (reclaiming every open file's dead log blocks)
-        // and retry before giving up.
-        for (int retry = 0;
-             cleanerOn_ && s.code() == StatusCode::OutOfSpace &&
-             retry < 2;
-             ++retry) {
-            cleanCounters_.oomRetries->add(1);
-            Status drained = drainOpenFiles();
-            if (!drained.isOk())
-                MGSP_WARN("OOM drain failed: %s",
-                          drained.toString().c_str());
-            s = doAtomicChunk(inode, pos, ConstSlice(p, chunk));
+        const ConstSlice piece(p, chunk);
+
+        // A degraded file keeps bypassing the shadow path until the
+        // pool recovers above the low watermark; probe for recovery
+        // first so a drained pool flips it back promptly.
+        if (inode->degraded.load(std::memory_order_acquire))
+            maybeExitDegraded(inode);
+
+        Status s;
+        if (inode->degraded.load(std::memory_order_acquire)) {
+            s = doDegradedWrite(inode, pos, piece);
+        } else {
+            s = doAtomicChunk(inode, pos, piece);
+            if (isResourceExhaustion(s)) {
+                // Exhaustion is usually transient (a cleaner pass
+                // reclaims dead log blocks; a raced claim frees up):
+                // kick the cleaner and retry under the shared bounded
+                // policy instead of the old unbounded/ad-hoc spins.
+                BoundedBackoff backoff(config_.resourceRetryAttempts,
+                                       config_.resourceRetryDeadlineNanos,
+                                       config_.backoffInitialNanos,
+                                       config_.backoffMaxNanos);
+                resourceCounters_.allocFail->add(1);
+                while (backoff.nextAttempt()) {
+                    resourceCounters_.allocRetry->add(1);
+                    if (cleanerOn_)
+                        cleanCounters_.oomRetries->add(1);
+                    nudgeCleanerForSpace();
+                    s = doAtomicChunk(inode, pos, piece);
+                    if (!isResourceExhaustion(s))
+                        break;
+                    resourceCounters_.allocFail->add(1);
+                }
+                resourceCounters_.backoffNanos->add(backoff.pausedNanos());
+                if (backoff.deadlineExceeded())
+                    watchdogTrip("write retry sequence",
+                                 backoff.elapsedNanos());
+                // Retry budget spent and still no shadow resources:
+                // degrade to write-through rather than failing the
+                // write, when the config allows it.
+                if (isResourceExhaustion(s) && config_.degradedWriteThrough)
+                    s = doDegradedWrite(inode, pos, piece);
+            }
         }
         MGSP_RETURN_IF_ERROR(s);
         pos += chunk;
@@ -1395,9 +1514,16 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
                          statsOn_);
     trace.stage(stats::Stage::Claim);
 
-    // Claim the entry before any lock: a thread spinning for a free
-    // entry must never hold a lock an entry owner is waiting on.
-    const u32 entry = metaLog_->claim();
+    // Claim the entry before any lock: a thread probing for a free
+    // entry must never hold a lock an entry owner is waiting on. A
+    // single bounded attempt here — doAtomicChunkOrSplit owns the
+    // retry/backoff policy for the whole chunk.
+    StatusOr<u32> entry_or = metaLog_->claim(config_.metaClaimSweeps);
+    if (!entry_or.isOk()) {
+        trace.setFailed();
+        return entry_or.status();
+    }
+    const u32 entry = *entry_or;
 
     trace.stage(stats::Stage::Lock);
     std::vector<HeldLock> locks;
@@ -1495,7 +1621,12 @@ MgspFs::tryAppendFastPath(OpenInode *inode, u64 offset, ConstSlice src)
     stats::OpTrace trace(stats::OpType::Append, offset, src.size(),
                          statsOn_);
     trace.stage(stats::Stage::Claim);
-    const u32 entry = metaLog_->claim();
+    StatusOr<u32> entry_or = metaLog_->claim(config_.metaClaimSweeps);
+    if (!entry_or.isOk()) {
+        trace.abandon();  // nothing happened; the caller retries
+        return entry_or.status();
+    }
+    const u32 entry = *entry_or;
     trace.stage(stats::Stage::Lock);
     TreeNode *covering = nullptr;
     std::vector<TreeNode *> ancestors;
@@ -1692,7 +1823,14 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
     stats::OpTrace trace(stats::OpType::Batch, sorted.front().offset,
                          batch_end - sorted.front().offset, statsOn_);
     trace.stage(stats::Stage::Claim);
-    const u32 entry = metaLog_->claim();
+    // Batches get the bounded claim retry but never the degraded
+    // fallback: write-through cannot honour all-or-nothing.
+    StatusOr<u32> entry_or = claimEntryWithRetry();
+    if (!entry_or.isOk()) {
+        trace.setFailed();
+        return entry_or.status();
+    }
+    const u32 entry = *entry_or;
     trace.stage(stats::Stage::Lock);
     std::vector<HeldLock> locks;
     const bool greedy =
@@ -1782,6 +1920,230 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         MGSP_RETURN_IF_ERROR(wb);
     }
     return Status::ok();
+}
+
+// --- resource exhaustion & degraded mode (DESIGN.md §13) -------------
+
+bool
+MgspFs::isResourceExhaustion(const Status &s)
+{
+    // OutOfSpace reaching the retry loop can only mean pool /
+    // node-table / inode-table exhaustion: capacity overruns are
+    // rejected before any chunk is attempted. ResourceBusy is a
+    // bounded-out metadata-log claim.
+    return s.code() == StatusCode::OutOfSpace ||
+           s.code() == StatusCode::ResourceBusy;
+}
+
+void
+MgspFs::nudgeCleanerForSpace()
+{
+    if (!cleanerOn_)
+        return;
+    // Run a full drain synchronously — the retrying writer needs the
+    // space now, not after the worker wakes — and kick the worker too
+    // so reclaim keeps going once we stop retrying.
+    Status drained = drainOpenFiles();
+    if (!drained.isOk())
+        MGSP_WARN("exhaustion drain failed: %s",
+                  drained.toString().c_str());
+    if (!cleanerWorkers_.empty()) {
+        {
+            std::lock_guard<std::mutex> guard(cleanerMutex_);
+            cleanerKick_ = true;
+        }
+        cleanerCv_.notify_one();
+    }
+}
+
+StatusOr<u32>
+MgspFs::claimEntryWithRetry()
+{
+    StatusOr<u32> entry = metaLog_->claim(config_.metaClaimSweeps);
+    if (entry.isOk())
+        return entry;
+    BoundedBackoff backoff(config_.resourceRetryAttempts,
+                           config_.resourceRetryDeadlineNanos,
+                           config_.backoffInitialNanos,
+                           config_.backoffMaxNanos);
+    resourceCounters_.allocFail->add(1);
+    while (backoff.nextAttempt()) {
+        resourceCounters_.allocRetry->add(1);
+        nudgeCleanerForSpace();
+        entry = metaLog_->claim(config_.metaClaimSweeps);
+        if (entry.isOk())
+            break;
+        resourceCounters_.allocFail->add(1);
+    }
+    resourceCounters_.backoffNanos->add(backoff.pausedNanos());
+    if (backoff.deadlineExceeded())
+        watchdogTrip("metadata-log claim", backoff.elapsedNanos());
+    return entry;
+}
+
+void
+MgspFs::watchdogTrip(const char *what, u64 elapsed_nanos)
+{
+    resourceCounters_.watchdogTrips->add(1);
+    MGSP_WARN("watchdog: %s ran %llu ms, past the %llu ms resource "
+              "deadline",
+              what,
+              static_cast<unsigned long long>(elapsed_nanos / 1000000),
+              static_cast<unsigned long long>(
+                  config_.resourceRetryDeadlineNanos / 1000000));
+}
+
+void
+MgspFs::enterDegradedLocked(OpenInode *inode)
+{
+    if (inode->degraded.load(std::memory_order_acquire))
+        return;
+    // Persist the flag before the first non-atomic write lands, so
+    // recovery always knows which files carry the weakened contract.
+    const u64 flags_off = layout_.inodeOff(inode->inodeIdx) +
+                          offsetof(InodeRecord, flags);
+    device_->store64(flags_off,
+                     device_->load64(flags_off) | InodeRecord::kDegraded);
+    device_->flush(flags_off, 8);
+    device_->fence();
+    inode->degraded.store(true, std::memory_order_release);
+    resourceCounters_.degradedEnter->add(1);
+    MGSP_WARN("%s: shadow resources exhausted past the retry budget; "
+              "entering degraded write-through mode",
+              inode->path.c_str());
+}
+
+void
+MgspFs::exitDegradedLocked(OpenInode *inode)
+{
+    if (!inode->degraded.load(std::memory_order_acquire))
+        return;
+    if (poolBelowWatermark())
+        return;  // still under pressure; stay degraded
+    const u64 flags_off = layout_.inodeOff(inode->inodeIdx) +
+                          offsetof(InodeRecord, flags);
+    device_->store64(flags_off,
+                     device_->load64(flags_off) & ~InodeRecord::kDegraded);
+    device_->flush(flags_off, 8);
+    device_->fence();
+    inode->degraded.store(false, std::memory_order_release);
+    resourceCounters_.degradedExit->add(1);
+    MGSP_INFO("%s: pool recovered; restoring shadow-logged writes",
+              inode->path.c_str());
+}
+
+void
+MgspFs::maybeExitDegraded(OpenInode *inode)
+{
+    if (!inode->degraded.load(std::memory_order_acquire) ||
+        poolBelowWatermark())
+        return;
+    std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
+    exitDegradedLocked(inode);
+}
+
+Status
+MgspFs::doDegradedWrite(OpenInode *inode, u64 offset, ConstSlice src)
+{
+    stats::OpTrace trace(stats::OpType::Write, offset, src.size(),
+                         statsOn_);
+    {
+        // Exclude cleaner passes and truncate for the whole degraded
+        // operation (lock order: cleanMutex, then fileLock / MGL —
+        // same as drainInode).
+        std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
+        enterDegradedLocked(inode);
+        Status s;
+        if (config_.lockMode == LockMode::FileLock ||
+            !config_.enableShadowLog) {
+            ExclusiveGuard guard(inode->fileLock);
+            s = degradedWriteLocked(inode, offset, src, &trace);
+        } else {
+            // Full MGL discipline, as in cleanOneRange: IW down the
+            // path, W on the covering node, version bump so lock-free
+            // readers retry instead of reading a torn range.
+            TreeNode *covering =
+                inode->tree->coveringNode(offset, src.size());
+            std::vector<TreeNode *> ancestors;
+            for (TreeNode *n = covering->parent; n != nullptr;
+                 n = n->parent)
+                ancestors.push_back(n);
+            for (auto it = ancestors.rbegin(); it != ancestors.rend();
+                 ++it)
+                (*it)->lock.acquire(MglMode::IW);
+            covering->lock.acquire(MglMode::W);
+            covering->version.writeBegin();
+            s = degradedWriteLocked(inode, offset, src, &trace);
+            covering->version.writeEnd();
+            covering->lock.release(MglMode::W);
+            for (TreeNode *n : ancestors)
+                n->lock.release(MglMode::IW);
+        }
+        if (!s.isOk()) {
+            trace.setFailed();
+            return s;
+        }
+        trace.orGranMask(stats::kGranInPlace);
+        trace.endStage();
+    }
+    // Pool pressure persists while degraded; keep the cleaner moving
+    // so the file can return to shadow-logged mode. Must not hold
+    // cleanMutex here: a drain re-takes it.
+    if (poolBelowWatermark())
+        nudgeCleanerForSpace();
+    return Status::ok();
+}
+
+Status
+MgspFs::degradedWriteLocked(OpenInode *inode, u64 offset, ConstSlice src,
+                            stats::OpTrace *trace)
+{
+    // Clear any shadow-log claims covering the range first so the
+    // base extent is authoritative for it — a reader consulting a
+    // stale claim would otherwise miss the new bytes.
+    trace->stage(stats::Stage::WriteBack);
+    MGSP_RETURN_IF_ERROR(inode->tree->writeBackRange(offset, src.size()));
+    device_->fence();  // claims dead before the new bytes land
+
+    // Durable but NOT operation-atomic: a crash mid-write tears at
+    // store granularity, exactly like the ext4-DAX baseline. The
+    // contract for bytes acked from here on is old-or-new per byte
+    // until recovery clears the degraded flag (DESIGN.md §13).
+    trace->stage(stats::Stage::DataWrite);
+    device_->write(inode->extentOff + offset, src.data(), src.size());
+    device_->flush(inode->extentOff + offset, src.size());
+    trace->stage(stats::Stage::CommitFence);
+    device_->fence();  // data durable before the size (and the ack)
+    if (offset + src.size() >
+        inode->fileSize.load(std::memory_order_acquire)) {
+        persistFileSize(inode, offset + src.size());
+        device_->fence();
+    }
+    resourceCounters_.degradedBytes->add(src.size());
+    return Status::ok();
+}
+
+void
+MgspFs::setResourceFaultPlan(const ResourceFaultPlan &plan)
+{
+    if (plan.empty()) {
+        pool_->setResourceFaultInjector(nullptr);
+        nodeTable_->setResourceFaultInjector(nullptr);
+        metaLog_->setResourceFaultInjector(nullptr);
+        resourceInjector_.reset();
+        return;
+    }
+    resourceInjector_ = std::make_unique<ResourceFaultInjector>(plan);
+    pool_->setResourceFaultInjector(resourceInjector_.get());
+    nodeTable_->setResourceFaultInjector(resourceInjector_.get());
+    metaLog_->setResourceFaultInjector(resourceInjector_.get());
+}
+
+ResourceFaultStats
+MgspFs::resourceFaultStats() const
+{
+    return resourceInjector_ != nullptr ? resourceInjector_->stats()
+                                        : ResourceFaultStats{};
 }
 
 Status

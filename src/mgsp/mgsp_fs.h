@@ -72,6 +72,9 @@ struct RecoveryReport
     /// Salvage mount took the secondary superblock copy (and repaired
     /// the primary from it).
     bool superblockRecovered = false;
+    /// Inodes whose persistent degraded-write-through flag was cleared
+    /// (the weakened-atomicity window ends at recovery; DESIGN.md §13).
+    u32 degradedFilesCleared = 0;
 };
 
 /** One write of an atomic batch (see MgspFs::writeBatch). */
@@ -188,6 +191,17 @@ class MgspFs : public FileSystem
      */
     Status writeBatch(File *file, const std::vector<BatchWrite> &batch);
 
+    /**
+     * Arms scripted allocation faults (ResourceFaultPlan) against
+     * this instance's pool / node-table / metadata-log / inode
+     * allocators; an empty plan disarms. Call while no operation is
+     * in flight. Deterministic-test plumbing, not a production knob.
+     */
+    void setResourceFaultPlan(const ResourceFaultPlan &plan);
+
+    /** Injector tallies for the armed plan (zeros when disarmed). */
+    ResourceFaultStats resourceFaultStats() const;
+
   private:
     friend class MgspFile;
 
@@ -222,6 +236,12 @@ class MgspFs : public FileSystem
         /// Cleaner passes holding a raw pointer to this inode outside
         /// tableMutex_; remove() refuses while nonzero.
         std::atomic<u32> cleanerPins{0};
+
+        // ---- degraded write-through (DESIGN.md §13) -------------
+        /// Writes currently bypass the shadow log (durable, not
+        /// operation-atomic). Mirrors InodeRecord::kDegraded; entry
+        /// and exit happen under cleanMutex.
+        std::atomic<bool> degraded{false};
     };
 
     MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config);
@@ -266,6 +286,40 @@ class MgspFs : public FileSystem
     /** Durably updates the file size (monotonic unless shrinking). */
     void persistFileSize(OpenInode *inode, u64 new_size,
                          bool allow_shrink = false);
+
+    // --- resource exhaustion & degraded mode (DESIGN.md §13) ------
+    /**
+     * Claims a metadata-log entry under the shared BoundedBackoff
+     * policy: bounded sweeps per attempt, cleaner kick + exponential
+     * pause between attempts, watchdog trip past the deadline.
+     */
+    StatusOr<u32> claimEntryWithRetry();
+    /** True for the transient exhaustion codes the retry loop eats. */
+    static bool isResourceExhaustion(const Status &s);
+    /** Kicks (or, inline mode, runs) a cleaner pass between retries. */
+    void nudgeCleanerForSpace();
+    /**
+     * The degraded write-through path: covering W lock, write the
+     * bytes straight into the base extent with flush+fence ordering —
+     * durable but not operation-atomic — marking the file degraded
+     * first. Takes inode->cleanMutex.
+     */
+    Status doDegradedWrite(OpenInode *inode, u64 offset, ConstSlice src);
+    /** Body of doDegradedWrite once covering exclusivity is held. */
+    Status degradedWriteLocked(OpenInode *inode, u64 offset,
+                               ConstSlice src, stats::OpTrace *trace);
+    /** Sets the volatile + persistent degraded flags (cleanMutex held). */
+    void enterDegradedLocked(OpenInode *inode);
+    /**
+     * Leaves degraded mode if the pool has recovered above the low
+     * watermark (cleanMutex held). Called by the cleaner after a
+     * drain cycle and by writers before a degraded write.
+     */
+    void exitDegradedLocked(OpenInode *inode);
+    /** Takes cleanMutex and tries exitDegradedLocked. */
+    void maybeExitDegraded(OpenInode *inode);
+    /** Counts a watchdog trip (op ring + stats + warning log). */
+    void watchdogTrip(const char *what, u64 elapsed_nanos);
 
     // --- background write-back & cleaning ------------------------
     /**
@@ -369,6 +423,24 @@ class MgspFs : public FileSystem
         stats::Counter *scrubPoisonSkipped = nullptr;
     };
     FaultCounters faultCounters_;
+
+    /// Resource-exhaustion counters (DESIGN.md §13), cached
+    /// unconditionally.
+    struct ResourceCounters
+    {
+        stats::Counter *allocFail = nullptr;   ///< exhausted attempts
+        stats::Counter *allocRetry = nullptr;  ///< retries taken
+        stats::Counter *backoffNanos = nullptr;
+        stats::Counter *degradedEnter = nullptr;
+        stats::Counter *degradedExit = nullptr;
+        stats::Counter *degradedBytes = nullptr;
+        stats::Counter *watchdogTrips = nullptr;
+    };
+    ResourceCounters resourceCounters_;
+
+    /// Armed by setResourceFaultPlan(); raw pointers distributed to
+    /// pool_/nodeTable_/metaLog_ (they never outlive us).
+    std::unique_ptr<ResourceFaultInjector> resourceInjector_;
 };
 
 }  // namespace mgsp

@@ -17,6 +17,9 @@ StatusOr<u32>
 NodeTable::allocRecord(u32 level, u32 inode, u64 index, u64 log_off,
                        u64 bitmap)
 {
+    if (injector_ != nullptr &&
+        injector_->onCall(ResourceSite::NodeAlloc))
+        return Status::outOfSpace("injected node-record allocation fault");
     u32 idx;
     {
         std::lock_guard<SpinLock> guard(freeLock_);

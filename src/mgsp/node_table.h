@@ -16,6 +16,7 @@
 #include "common/spin_lock.h"
 #include "common/status.h"
 #include "mgsp/layout.h"
+#include "pmem/fault_injection.h"
 #include "pmem/pmem_device.h"
 
 namespace mgsp {
@@ -30,6 +31,17 @@ class NodeTable
     NodeTable(PmemDevice *device, const ArenaLayout &layout, u32 capacity);
 
     u32 capacity() const { return capacity_; }
+
+    /**
+     * Arms (or disarms, with nullptr) scripted allocation faults at
+     * ResourceSite::NodeAlloc. The injector must outlive the table;
+     * set only while no allocRecord() is in flight.
+     */
+    void
+    setResourceFaultInjector(ResourceFaultInjector *injector)
+    {
+        injector_ = injector;
+    }
 
     /**
      * Allocates a record, writes its fields and persists it
@@ -179,6 +191,7 @@ class NodeTable
     PmemDevice *device_;
     ArenaLayout layout_;
     u32 capacity_;
+    ResourceFaultInjector *injector_ = nullptr;
 
     SpinLock freeLock_;
     std::vector<u32> freeList_;  ///< record indices; popped from back

@@ -332,7 +332,16 @@ Database::withWriteTxn(const std::function<Status()> &body)
         }
         return s;
     }
-    return commitLocked();
+    // EAGAIN (vfs statusToErrno) means transient engine exhaustion —
+    // the cleaner is still draining shadow resources. The dirty pages
+    // stay cached and WAL replay stops at the last commit frame, so
+    // re-running the commit is safe; ENOSPC and everything else stay
+    // fatal to the transaction.
+    Status cs = commitLocked();
+    for (int retry = 0; statusToErrno(cs) == EAGAIN && retry < 3;
+         ++retry)
+        cs = commitLocked();
+    return cs;
 }
 
 Status

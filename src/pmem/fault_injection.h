@@ -31,12 +31,22 @@
  *    retry can ride out.
  *
  * atSeq == 0 applies the fault immediately when the plan is armed.
+ *
+ * Besides media faults, this header also defines the *resource* fault
+ * plane (ResourceFaultPlan): scripted allocation failures and stalls
+ * at the internal allocators — PmemPool::alloc, NodeTable::allocRecord,
+ * MetadataLog::claim and the inode / file-area allocators — so every
+ * exhaustion path (bounded retry, backoff, watchdog, degraded
+ * write-through; DESIGN.md §13) is deterministically testable without
+ * actually filling the arena.
  */
 #ifndef MGSP_PMEM_FAULT_INJECTION_H
 #define MGSP_PMEM_FAULT_INJECTION_H
 
+#include <atomic>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/types.h"
 
 namespace mgsp {
@@ -98,6 +108,160 @@ struct FaultStats
     u64 rangesPoisoned = 0;     ///< poison faults applied
     u64 poisonReadHits = 0;     ///< read()s that hit a poisoned range
     u64 rangesHealed = 0;       ///< transient poisons healed
+};
+
+// ====================================================================
+// Resource (allocation) fault plane
+// ====================================================================
+
+/** Which internal allocator a ResourceFaultSpec targets. */
+enum class ResourceSite : u8 {
+    PoolAlloc,      ///< PmemPool::alloc (shadow-log blocks)
+    NodeAlloc,      ///< NodeTable::allocRecord
+    MetaClaim,      ///< MetadataLog::claim
+    InodeAlloc,     ///< inode-table slot allocation (open/create)
+    FileAreaAlloc,  ///< file-area extent allocation (open/create)
+};
+
+inline constexpr u32 kResourceSiteCount = 5;
+
+/** @return a stable human-readable name for @p site. */
+inline const char *
+resourceSiteName(ResourceSite site)
+{
+    switch (site) {
+      case ResourceSite::PoolAlloc: return "pool_alloc";
+      case ResourceSite::NodeAlloc: return "node_alloc";
+      case ResourceSite::MetaClaim: return "meta_claim";
+      case ResourceSite::InodeAlloc: return "inode_alloc";
+      case ResourceSite::FileAreaAlloc: return "file_area_alloc";
+    }
+    return "unknown";
+}
+
+/** How a resource fault manifests. */
+enum class ResourceFaultKind : u8 {
+    Fail,   ///< the call reports exhaustion (OutOfSpace/ResourceBusy)
+    Stall,  ///< the call blocks stallNanos first, then proceeds
+};
+
+/**
+ * One scripted allocation fault. Calls are counted per site (0-based,
+ * across all threads); the spec fires on call indices
+ * [atCall, atCall + count).
+ */
+struct ResourceFaultSpec
+{
+    ResourceSite site = ResourceSite::PoolAlloc;
+    ResourceFaultKind kind = ResourceFaultKind::Fail;
+
+    u64 atCall = 0;  ///< first 0-based call index that fires
+    /** Number of consecutive calls that fire; kEveryCall = forever. */
+    u64 count = 1;
+    u64 stallNanos = 0;  ///< Stall: how long the call blocks
+
+    static constexpr u64 kEveryCall = ~0ull;
+};
+
+/** A deterministic scripted sequence of allocation faults. */
+struct ResourceFaultPlan
+{
+    /**
+     * Recorded for reproduction lines; the plan itself is fully
+     * scripted (tests derive their call windows from MGSP_TEST_SEED).
+     */
+    u64 seed = 1;
+    std::vector<ResourceFaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+};
+
+/** What the injector tallied (test assertions / diagnostics). */
+struct ResourceFaultStats
+{
+    u64 failsInjected = 0;
+    u64 stallsInjected = 0;
+    u64 stallNanosInjected = 0;
+};
+
+/**
+ * Evaluates a ResourceFaultPlan at allocator call sites. Thread safe:
+ * per-site call counters are atomic and the plan is immutable after
+ * construction. Components hold a raw pointer distributed by
+ * MgspFs::setResourceFaultPlan() (null = no injection, zero cost
+ * beyond one branch).
+ */
+class ResourceFaultInjector
+{
+  public:
+    explicit ResourceFaultInjector(ResourceFaultPlan plan)
+        : plan_(std::move(plan))
+    {
+    }
+
+    /**
+     * Advances @p site's call counter and applies whatever the plan
+     * scripts for this call: a scripted stall blocks right here (spin
+     * on the monotonic clock — deliberately independent of the
+     * injected-latency gate, which tests disable).
+     *
+     * @return true iff the call must fail with exhaustion.
+     */
+    bool
+    onCall(ResourceSite site)
+    {
+        const u64 call = callCount_[static_cast<u32>(site)].fetch_add(
+            1, std::memory_order_relaxed);
+        bool fail = false;
+        for (const ResourceFaultSpec &spec : plan_.faults) {
+            if (spec.site != site || call < spec.atCall)
+                continue;
+            if (spec.count != ResourceFaultSpec::kEveryCall &&
+                call >= spec.atCall + spec.count)
+                continue;
+            if (spec.kind == ResourceFaultKind::Stall) {
+                stallsInjected_.fetch_add(1, std::memory_order_relaxed);
+                stallNanosInjected_.fetch_add(spec.stallNanos,
+                                              std::memory_order_relaxed);
+                const u64 until = monotonicNanos() + spec.stallNanos;
+                while (monotonicNanos() < until) {
+                }
+            } else {
+                fail = true;
+            }
+        }
+        if (fail)
+            failsInjected_.fetch_add(1, std::memory_order_relaxed);
+        return fail;
+    }
+
+    /** Calls @p site has seen so far. */
+    u64
+    callCount(ResourceSite site) const
+    {
+        return callCount_[static_cast<u32>(site)].load(
+            std::memory_order_relaxed);
+    }
+
+    ResourceFaultStats
+    stats() const
+    {
+        ResourceFaultStats s;
+        s.failsInjected = failsInjected_.load(std::memory_order_relaxed);
+        s.stallsInjected = stallsInjected_.load(std::memory_order_relaxed);
+        s.stallNanosInjected =
+            stallNanosInjected_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    const ResourceFaultPlan &plan() const { return plan_; }
+
+  private:
+    const ResourceFaultPlan plan_;
+    std::atomic<u64> callCount_[kResourceSiteCount]{};
+    std::atomic<u64> failsInjected_{0};
+    std::atomic<u64> stallsInjected_{0};
+    std::atomic<u64> stallNanosInjected_{0};
 };
 
 }  // namespace mgsp

@@ -57,6 +57,9 @@ PmemPool::classIndexOwning(u64 off) const
 StatusOr<u64>
 PmemPool::alloc(u64 size)
 {
+    if (injector_ != nullptr &&
+        injector_->onCall(ResourceSite::PoolAlloc))
+        return Status::outOfSpace("injected pool allocation fault");
     const int idx = classIndexFor(size);
     if (idx < 0) {
         return Status::invalidArgument(

@@ -24,6 +24,7 @@
 #include "common/spin_lock.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "pmem/fault_injection.h"
 
 namespace mgsp {
 
@@ -90,6 +91,17 @@ class PmemPool
     /** Cell size of the class that would serve @p size (0 if none). */
     u64 classCellSize(u64 size) const;
 
+    /**
+     * Arms (or, with nullptr, disarms) scripted allocation faults at
+     * the ResourceSite::PoolAlloc site. The injector must outlive the
+     * pool; call only while no alloc() is in flight.
+     */
+    void
+    setResourceFaultInjector(ResourceFaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     struct SizeClass
     {
@@ -110,6 +122,7 @@ class PmemPool
     u64 base_;
     u64 totalBytes_;
     u64 cellBytes_ = 0;
+    ResourceFaultInjector *injector_ = nullptr;
     std::atomic<u64> freeBytesApprox_{0};
     std::deque<SizeClass> classes_;  // deque: SizeClass is immovable
 };

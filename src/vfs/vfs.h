@@ -13,6 +13,7 @@
 #ifndef MGSP_VFS_VFS_H
 #define MGSP_VFS_VFS_H
 
+#include <cerrno>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,42 @@
 #include "common/types.h"
 
 namespace mgsp {
+
+/**
+ * POSIX errno equivalent of @p s, for callers (minidb, the benches)
+ * that want classic file-system failure semantics out of the vfs
+ * layer. The load-bearing distinction is transient vs. permanent
+ * exhaustion: ResourceBusy -> EAGAIN (retry later, the cleaner is
+ * draining), OutOfSpace -> ENOSPC (the file/pool really is full).
+ */
+inline int
+statusToErrno(const Status &s)
+{
+    switch (s.code()) {
+    case StatusCode::Ok:
+        return 0;
+    case StatusCode::NotFound:
+        return ENOENT;
+    case StatusCode::AlreadyExists:
+        return EEXIST;
+    case StatusCode::InvalidArgument:
+        return EINVAL;
+    case StatusCode::OutOfSpace:
+        return ENOSPC;
+    case StatusCode::ResourceBusy:
+        return EAGAIN;
+    case StatusCode::Busy:
+        return EBUSY;
+    case StatusCode::Unsupported:
+        return ENOTSUP;
+    case StatusCode::Corruption:
+    case StatusCode::IoError:
+    case StatusCode::MediaError:
+    case StatusCode::Internal:
+        return EIO;
+    }
+    return EIO;
+}
 
 /** Options for FileSystem::open(). */
 struct OpenOptions

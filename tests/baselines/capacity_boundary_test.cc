@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Capacity-boundary conformance across every fixed-extent engine:
+ * writes, appends, truncates and vectored writes at exactly the
+ * extent capacity, one byte past it, and across the last fine-grained
+ * unit. The contract under test is the POSIX one surfaced through
+ * statusToErrno(): an in-bounds operation succeeds bit-exactly, an
+ * out-of-bounds one fails ENOSPC without disturbing existing bytes.
+ * (MemFs is growable and so exempt.)
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/ext_fs.h"
+#include "baselines/nova_fs.h"
+#include "baselines/nvmmio_fs.h"
+#include "mgsp/mgsp_fs.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::readAll;
+
+constexpr u64 kArena = 64 * MiB;
+/// leafBlockSize-aligned, so MGSP's extent rounding is a no-op and
+/// every engine sees the exact same capacity.
+constexpr u64 kCapacity = 256 * KiB;
+
+struct EngineParam
+{
+    std::string name;
+    /// MGSP commits a fitting pwritev as one atomic unit; the
+    /// baselines fall back to span-by-span, so only MGSP owes
+    /// no-partial-application on a rejected vector.
+    bool atomicVector = false;
+    std::function<std::unique_ptr<FileSystem>(
+        std::shared_ptr<PmemDevice>)> make;
+};
+
+class CapacityBoundary : public ::testing::TestWithParam<EngineParam>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        device_ = std::make_shared<PmemDevice>(kArena);
+        fs_ = GetParam().make(device_);
+        ASSERT_NE(fs_, nullptr);
+        auto f = fs_->open("cap.dat", OpenOptions::Create(kCapacity));
+        ASSERT_TRUE(f.isOk()) << f.status().toString();
+        file_ = std::move(*f);
+    }
+
+    /** Fills the whole extent with a deterministic pattern. */
+    std::vector<u8>
+    prefill()
+    {
+        std::vector<u8> data(kCapacity);
+        for (u64 i = 0; i < data.size(); ++i)
+            data[i] = static_cast<u8>(i * 7 + 3);
+        EXPECT_TRUE(
+            file_->pwrite(0, ConstSlice(data.data(), data.size()))
+                .isOk());
+        return data;
+    }
+
+    std::shared_ptr<PmemDevice> device_;
+    std::unique_ptr<FileSystem> fs_;
+    std::unique_ptr<File> file_;
+};
+
+TEST_P(CapacityBoundary, WriteEndingExactlyAtCapacitySucceeds)
+{
+    std::vector<u8> ref = prefill();
+    std::vector<u8> tail(4 * KiB, 0xC4);
+    ASSERT_TRUE(file_->pwrite(kCapacity - tail.size(),
+                              ConstSlice(tail.data(), tail.size()))
+                    .isOk());
+    std::copy(tail.begin(), tail.end(), ref.end() - tail.size());
+    EXPECT_EQ(file_->size(), kCapacity);
+    EXPECT_EQ(readAll(file_.get()), ref);
+}
+
+TEST_P(CapacityBoundary, WriteOneBytePastCapacityFailsEnospc)
+{
+    const std::vector<u8> ref = prefill();
+    std::vector<u8> tail(4 * KiB, 0xC5);
+    const Status s = file_->pwrite(kCapacity - tail.size() + 1,
+                                   ConstSlice(tail.data(), tail.size()));
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(statusToErrno(s), ENOSPC);
+    // The rejected write must not have disturbed a single byte.
+    EXPECT_EQ(file_->size(), kCapacity);
+    EXPECT_EQ(readAll(file_.get()), ref);
+}
+
+TEST_P(CapacityBoundary, AppendAtCapacityFailsEnospc)
+{
+    const std::vector<u8> ref = prefill();
+    const u8 one = 0xC6;
+    const Status s = file_->pwrite(kCapacity, ConstSlice(&one, 1));
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(statusToErrno(s), ENOSPC);
+    EXPECT_EQ(file_->size(), kCapacity);
+    EXPECT_EQ(readAll(file_.get()), ref);
+}
+
+TEST_P(CapacityBoundary, TruncateToCapacityButNotPastIt)
+{
+    ASSERT_TRUE(file_->truncate(kCapacity).isOk());
+    EXPECT_EQ(file_->size(), kCapacity);
+
+    const Status s = file_->truncate(kCapacity + 1);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(statusToErrno(s), ENOSPC);
+    EXPECT_EQ(file_->size(), kCapacity);
+}
+
+TEST_P(CapacityBoundary, WriteAcrossLastFineGrainedUnitSucceeds)
+{
+    // 1.5 KiB ending exactly at capacity: for MGSP (1 KiB fine units
+    // in the small config) this spans the last two sub-block units of
+    // the last leaf; for the baselines it is simply an unaligned tail
+    // write. Either way it must land bit-exactly.
+    std::vector<u8> ref = prefill();
+    std::vector<u8> span(1536, 0xC7);
+    ASSERT_TRUE(file_->pwrite(kCapacity - span.size(),
+                              ConstSlice(span.data(), span.size()))
+                    .isOk());
+    std::copy(span.begin(), span.end(), ref.end() - span.size());
+    EXPECT_EQ(readAll(file_.get()), ref);
+}
+
+TEST_P(CapacityBoundary, VectoredWriteAtAndPastCapacity)
+{
+    std::vector<u8> ref = prefill();
+
+    // Two spans laid end-to-end, ending exactly at capacity: fine.
+    std::vector<u8> s1(2 * KiB, 0xC8);
+    std::vector<u8> s2(2 * KiB, 0xC9);
+    const u64 start = kCapacity - s1.size() - s2.size();
+    ASSERT_TRUE(file_->pwritev(start,
+                               {ConstSlice(s1.data(), s1.size()),
+                                ConstSlice(s2.data(), s2.size())})
+                    .isOk());
+    std::copy(s1.begin(), s1.end(), ref.begin() + start);
+    std::copy(s2.begin(), s2.end(), ref.begin() + start + s1.size());
+    EXPECT_EQ(readAll(file_.get()), ref);
+
+    // First span already overflows: every engine rejects with ENOSPC
+    // and applies nothing.
+    const Status overflow_first = file_->pwritev(
+        kCapacity - KiB, {ConstSlice(s1.data(), s1.size()),
+                          ConstSlice(s2.data(), s2.size())});
+    ASSERT_FALSE(overflow_first.isOk());
+    EXPECT_EQ(statusToErrno(overflow_first), ENOSPC);
+    EXPECT_EQ(readAll(file_.get()), ref);
+
+    // Overflow in the *last* span, earlier spans valid: engines with
+    // an atomic vectored commit must apply nothing at all; the
+    // span-by-span baselines only owe the error.
+    const Status overflow_last = file_->pwritev(
+        kCapacity - s1.size() - KiB,
+        {ConstSlice(s1.data(), s1.size()),
+         ConstSlice(s2.data(), s2.size())});
+    ASSERT_FALSE(overflow_last.isOk());
+    EXPECT_EQ(statusToErrno(overflow_last), ENOSPC);
+    if (GetParam().atomicVector) {
+        EXPECT_EQ(readAll(file_.get()), ref);
+    }
+}
+
+std::vector<EngineParam>
+engines()
+{
+    std::vector<EngineParam> list;
+    list.push_back({"ext4_dax", false, [](std::shared_ptr<PmemDevice> dev) {
+                        Ext4Options opts;
+                        opts.dax = true;
+                        return std::make_unique<ExtFs>(dev, opts);
+                    }});
+    list.push_back(
+        {"ext4_ordered", false, [](std::shared_ptr<PmemDevice> dev) {
+             Ext4Options opts;
+             opts.dax = false;
+             opts.mode = Ext4Mode::Ordered;
+             return std::make_unique<ExtFs>(dev, opts);
+         }});
+    list.push_back(
+        {"ext4_journal", false, [](std::shared_ptr<PmemDevice> dev) {
+             Ext4Options opts;
+             opts.dax = false;
+             opts.mode = Ext4Mode::Journal;
+             return std::make_unique<ExtFs>(dev, opts);
+         }});
+    list.push_back({"libnvmmio", false,
+                    [](std::shared_ptr<PmemDevice> dev) {
+                        return std::make_unique<NvmmioFs>(dev,
+                                                          NvmmioOptions{});
+                    }});
+    list.push_back({"nova", false, [](std::shared_ptr<PmemDevice> dev) {
+                        return std::make_unique<NovaFs>(dev,
+                                                        NovaOptions{});
+                    }});
+    list.push_back({"mgsp", true, [](std::shared_ptr<PmemDevice> dev) {
+                        MgspConfig cfg = testutil::smallConfig();
+                        cfg.arenaSize = kArena;
+                        auto fs = MgspFs::format(dev, cfg);
+                        EXPECT_TRUE(fs.isOk());
+                        return std::move(*fs);
+                    }});
+    return list;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CapacityBoundary,
+                         ::testing::ValuesIn(engines()),
+                         [](const auto &param_info) {
+                             return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace mgsp

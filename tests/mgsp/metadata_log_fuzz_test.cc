@@ -55,7 +55,7 @@ TEST(MetadataLogFuzz, AnyCoveredByteFlipInvalidates)
 {
     for (u32 slots : {1u, 3u, 7u, 10u}) {
         FuzzFixture fx;
-        const u32 idx = fx.log.claim();
+        const u32 idx = *fx.log.claim();
         const u64 off = fx.commitCanonical(idx, slots);
         ASSERT_EQ(fx.log.scanLive().size(), 1u);
 
@@ -87,7 +87,7 @@ TEST(MetadataLogFuzz, AnyCoveredByteFlipInvalidates)
 TEST(MetadataLogFuzz, UncoveredTailGarbageIsHarmless)
 {
     FuzzFixture fx;
-    const u32 idx = fx.log.claim();
+    const u32 idx = *fx.log.claim();
     const u64 off = fx.commitCanonical(idx, 2);  // covered: [8, 56)
     // Scribble over the unused slots + pad (bytes 56..128).
     const u64 seed = testutil::testSeed(8);
@@ -165,7 +165,7 @@ struct MountFuzzFixture
     commitEntry(const StagedMetadata &staged)
     {
         MetadataLog log(device.get(), layout, cfg.metaLogEntries, true);
-        const u32 idx = log.claim();
+        const u32 idx = *log.claim();
         log.commit(idx, staged);
         return layout.metaEntryOff(idx);
     }

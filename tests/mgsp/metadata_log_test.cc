@@ -39,7 +39,7 @@ TEST(MetadataLog, ClaimReturnsDistinctEntries)
     LogFixture fx;
     std::set<u32> claimed;
     for (u32 i = 0; i < fx.log.entryCount(); ++i) {
-        const u32 idx = fx.log.claim();
+        const u32 idx = *fx.log.claim();
         EXPECT_TRUE(claimed.insert(idx).second);
     }
     for (u32 idx : claimed)
@@ -49,7 +49,7 @@ TEST(MetadataLog, ClaimReturnsDistinctEntries)
 TEST(MetadataLog, CommitThenScanFindsEntry)
 {
     LogFixture fx;
-    const u32 idx = fx.log.claim();
+    const u32 idx = *fx.log.claim();
     StagedMetadata staged;
     staged.inode = 2;
     staged.length = 4096;
@@ -75,7 +75,7 @@ TEST(MetadataLog, CommitThenScanFindsEntry)
 TEST(MetadataLog, OutdatedEntryNotLive)
 {
     LogFixture fx;
-    const u32 idx = fx.log.claim();
+    const u32 idx = *fx.log.claim();
     StagedMetadata staged;
     staged.length = 64;
     staged.addSlot(1, 1);
@@ -88,7 +88,7 @@ TEST(MetadataLog, OutdatedEntryNotLive)
 TEST(MetadataLog, TornEntryRejectedByChecksum)
 {
     LogFixture fx;
-    const u32 idx = fx.log.claim();
+    const u32 idx = *fx.log.claim();
     StagedMetadata staged;
     staged.length = 128;
     staged.offset = 4096;
@@ -108,7 +108,7 @@ TEST(MetadataLog, ResetAllClearsEverything)
 {
     LogFixture fx;
     for (int i = 0; i < 3; ++i) {
-        const u32 idx = fx.log.claim();
+        const u32 idx = *fx.log.claim();
         StagedMetadata staged;
         staged.length = 64;
         staged.addSlot(i, 1);
@@ -120,7 +120,7 @@ TEST(MetadataLog, ResetAllClearsEverything)
     // All entries must be claimable again.
     std::set<u32> claimed;
     for (u32 i = 0; i < fx.log.entryCount(); ++i)
-        claimed.insert(fx.log.claim());
+        claimed.insert(*fx.log.claim());
     EXPECT_EQ(claimed.size(), fx.log.entryCount());
 }
 
@@ -128,7 +128,7 @@ TEST(MetadataLog, PartialFlushStillValidatesUpToThreeSlots)
 {
     LogFixture fx;
     for (u32 slots = 1; slots <= MetaLogEntry::kMaxSlots; ++slots) {
-        const u32 idx = fx.log.claim();
+        const u32 idx = *fx.log.claim();
         StagedMetadata staged;
         staged.length = 64 * slots;
         for (u32 s = 0; s < slots; ++s)
@@ -153,7 +153,7 @@ TEST(MetadataLog, ConcurrentClaimsNeverCollide)
     for (int t = 0; t < 8; ++t) {
         threads.emplace_back([&] {
             for (int i = 0; i < 2000; ++i) {
-                const u32 idx = fx.log.claim();
+                const u32 idx = *fx.log.claim();
                 if (owners[idx].fetch_add(1) != 0)
                     collisions.fetch_add(1);
                 owners[idx].fetch_sub(1);

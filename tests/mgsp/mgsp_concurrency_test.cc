@@ -13,6 +13,7 @@
 
 #include "common/random.h"
 #include "common/stats.h"
+#include "pmem/fault_injection.h"
 #include "tests/mgsp/test_util.h"
 
 namespace mgsp {
@@ -371,6 +372,82 @@ TEST(ConcurrencyOptimistic, GreedyWriterStillInvalidatesReaders)
         th.join();
     EXPECT_EQ(torn.load(), 0)
         << "greedy writer failed to invalidate a lock-free reader";
+}
+
+// ---- degraded write-through under concurrency -------------------
+
+TEST(ConcurrencyDegraded, WritersDegradeWhileCleanerDrains)
+{
+    // Writers racing a background cleaner across a pool-fault window:
+    // early writes retreat to the degraded write-through path while
+    // the cleaner drains; once the window is spent they return to
+    // shadow logging. Under TSan this exercises the degraded
+    // enter/exit transitions against the cleaner's drain cycle.
+    MgspConfig cfg = smallConfig();
+    cfg.enableCleaner = true;
+    cfg.cleanerThreads = 1;
+    cfg.enableGreedyLocking = false;
+    cfg.degradedWriteThrough = true;
+    cfg.resourceRetryAttempts = 2;
+    cfg.resourceRetryDeadlineNanos = 5'000'000;
+    cfg.backoffInitialNanos = 1'000;
+    cfg.backoffMaxNanos = 10'000;
+    FsFixture fx = makeFs(cfg);
+
+    constexpr int kThreads = 4;
+    constexpr u64 kRegion = 64 * KiB;
+    auto setup =
+        fx.fs->open("deg.dat", OpenOptions::Create(kThreads * kRegion));
+    ASSERT_TRUE(setup.isOk());
+    std::vector<u8> zeros(kThreads * kRegion, 0);
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(zeros.data(), zeros.size())).isOk());
+
+    const u64 enter_before = readCounter("degraded.enter");
+
+    // Finite fault window, armed before the writers start and never
+    // un-armed mid-run (re-arming would race the in-flight hooks).
+    ResourceFaultPlan plan;
+    plan.faults.push_back(
+        {ResourceSite::PoolAlloc, ResourceFaultKind::Fail, 0, 300, 0});
+    fx.fs->setResourceFaultPlan(plan);
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("deg.dat", OpenOptions{});
+            if (!file.isOk()) {
+                failures.fetch_add(1);
+                return;
+            }
+            Rng rng(700 + t);
+            const u64 base = t * kRegion;
+            for (int i = 0; i < 200; ++i) {
+                const u64 len = rng.nextInRange(64, 4 * KiB);
+                const u64 off = base + rng.nextBelow(kRegion - len);
+                std::vector<u8> data(len, static_cast<u8>(t + 1));
+                if (!(*file)->pwrite(off, ConstSlice(data.data(), len))
+                         .isOk())
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    // No write may fail: the degraded path absorbs the fault window.
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GT(readCounter("degraded.enter"), enter_before)
+        << "fault window never pushed a writer into degraded mode";
+
+    // Region isolation must hold across both write paths.
+    std::vector<u8> out = readAll(setup->get());
+    for (u64 i = 0; i < out.size(); ++i) {
+        const u8 owner = static_cast<u8>(i / kRegion + 1);
+        ASSERT_TRUE(out[i] == 0 || out[i] == owner)
+            << "byte " << i << " = " << int(out[i]);
+    }
 }
 
 }  // namespace

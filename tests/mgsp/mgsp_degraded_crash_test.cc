@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Crash-point enumeration of the degraded write-through path
+ * (DESIGN.md §13).
+ *
+ * With the shadow pool scripted to stay exhausted, every write after
+ * the first takes the in-place degraded path, whose contract is
+ * weaker than the shadow-logged one: durable once acked, but the one
+ * in-flight operation may tear. The persist hook numbers every
+ * flush/fence boundary; the driver crashes at each and asserts the
+ * durable-prefix oracle —
+ *
+ *  1. every byte outside the in-flight write's range equals the acked
+ *     prefix exactly;
+ *  2. every byte inside it is old-or-new (no third value ever);
+ *  3. recovery always mounts, and clears the persistent degraded
+ *     flag (the weakened window ends at recovery).
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "pmem/fault_injection.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::ReferenceFile;
+using testutil::readAll;
+using testutil::smallConfig;
+
+constexpr char kPath[] = "degraded.dat";
+constexpr u64 kFileBytes = 32 * KiB;
+
+MgspConfig
+degradedConfig()
+{
+    MgspConfig cfg = smallConfig();
+    cfg.arenaSize = 12 * MiB;
+    cfg.degradedWriteThrough = true;
+    // One shot, minimal pauses: the enumeration replays the fault on
+    // every attempt anyway, so a bigger budget only adds runtime.
+    cfg.resourceRetryAttempts = 1;
+    cfg.resourceRetryDeadlineNanos = 1'000'000;
+    cfg.backoffInitialNanos = 1;
+    cfg.backoffMaxNanos = 1;
+    return cfg;
+}
+
+/** One scripted overwrite (always within [0, kFileBytes)). */
+struct Op
+{
+    u64 off;
+    std::vector<u8> data;
+};
+
+/** Mounts @p image, checks the degraded flag is cleared, reads back. */
+std::vector<u8>
+recoverAndRead(const CrashImage &image, const MgspConfig &cfg)
+{
+    auto device =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Flat);
+    auto fs = MgspFs::mount(device, cfg);
+    EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+    if (!fs.isOk())
+        return {};
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    EXPECT_FALSE(device->load64(layout.inodeOff(0)) &
+                 InodeRecord::kDegraded)
+        << "recovery left the degraded flag set";
+    auto file = (*fs)->open(kPath, OpenOptions{});
+    EXPECT_TRUE(file.isOk()) << file.status().toString();
+    if (!file.isOk())
+        return {};
+    return readAll(file->get());
+}
+
+/**
+ * The byte-wise durable-prefix oracle for a degraded in-flight write:
+ * old bytes outside [op.off, op.off+len), old-or-new inside.
+ */
+bool
+matchesOracle(const std::vector<u8> &got, const std::vector<u8> &acked,
+              const std::vector<u8> &next, const Op *inflight)
+{
+    if (got.size() != acked.size())
+        return false;
+    for (u64 i = 0; i < got.size(); ++i) {
+        const bool inside = inflight != nullptr && i >= inflight->off &&
+                            i < inflight->off + inflight->data.size();
+        if (inside) {
+            if (got[i] != acked[i] && got[i] != next[i])
+                return false;
+        } else if (got[i] != acked[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(MgspDegradedCrash, EveryBoundarySatisfiesDurablePrefixOracle)
+{
+    const MgspConfig cfg = degradedConfig();
+    const u64 seed = testutil::testSeed(79);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    auto file = (*fs)->open(kPath, OpenOptions::Create(128 * KiB));
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+
+    // Prefill (append path) plus one shadow overwrite, so the pool
+    // holds a live block — the degraded window then has claims to
+    // write back and the low-watermark check sees real occupancy.
+    std::vector<u8> base(kFileBytes, 0);
+    for (u64 i = 0; i < base.size(); ++i)
+        base[i] = static_cast<u8>(i * 13 + 1);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(base.data(), base.size())).isOk());
+    std::vector<u8> head(4 * KiB, 0xAB);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(head.data(), head.size())).isOk());
+
+    // Script: random overwrites strictly inside the prefill, so the
+    // file size stays fixed and the oracle is purely byte-wise.
+    constexpr int kOps = 6;
+    std::vector<Op> plan;
+    std::vector<std::vector<u8>> refs;
+    {
+        ReferenceFile ref;
+        ref.pwrite(0, base);
+        ref.pwrite(0, head);
+        refs.push_back(ref.bytes());
+        Rng rng(seed);
+        for (int i = 0; i < kOps; ++i) {
+            Op op;
+            const u64 len = rng.nextInRange(1, 6 * KiB);
+            op.off = rng.nextBelow(kFileBytes - len);
+            op.data = rng.nextBytes(len);
+            ref.pwrite(op.off, op.data);
+            refs.push_back(ref.bytes());
+            plan.push_back(std::move(op));
+        }
+    }
+
+    // Exhaust the pool for the rest of the engine's life: every
+    // scripted write degrades to write-through.
+    ResourceFaultPlan fault_plan;
+    fault_plan.faults.push_back({ResourceSite::PoolAlloc,
+                                 ResourceFaultKind::Fail, 0,
+                                 ResourceFaultSpec::kEveryCall, 0});
+    (*fs)->setResourceFaultPlan(fault_plan);
+
+    u64 acked = 0;
+    u64 boundaries = 0;
+    bool failed = false;
+    PmemDevice *dev = device.get();
+    dev->setPersistHook([&](u64 seq, PersistPoint) {
+        ++boundaries;
+        if (failed)
+            return;
+        const Op *inflight =
+            acked < plan.size() ? &plan[acked] : nullptr;
+        const std::vector<u8> &next =
+            acked + 1 < refs.size() ? refs[acked + 1] : refs[acked];
+        for (const double p : {0.0, 1.0}) {
+            Rng crng(seq);
+            const CrashImage image = dev->captureCrashImage(crng, p);
+            const std::vector<u8> got = recoverAndRead(image, cfg);
+            if (!matchesOracle(got, refs[acked], next, inflight)) {
+                failed = true;
+                ADD_FAILURE()
+                    << "boundary " << seq << " (p=" << p
+                    << ", acked=" << acked
+                    << "): recovered bytes violate the degraded "
+                    << "durable-prefix oracle";
+                return;
+            }
+        }
+    });
+
+    for (int i = 0; i < kOps; ++i) {
+        ASSERT_TRUE((*file)
+                        ->pwrite(plan[i].off,
+                                 ConstSlice(plan[i].data.data(),
+                                            plan[i].data.size()))
+                        .isOk())
+            << "op " << i;
+        acked = static_cast<u64>(i) + 1;
+    }
+    dev->setPersistHook({});
+
+    EXPECT_FALSE(failed);
+    // The degraded path fences on write-back, data and size, so the
+    // script must have produced a dense boundary set.
+    EXPECT_GE(boundaries, 10u);
+    EXPECT_EQ(readAll(file->get()), refs[kOps]);
+
+    // The engine really was degraded while the script ran.
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    EXPECT_TRUE(device->load64(layout.inodeOff(0)) &
+                InodeRecord::kDegraded);
+
+    // Final crash: recovery clears the flag and keeps every acked op.
+    Rng rng(seed + 1);
+    const CrashImage image = device->captureCrashImage(rng, 1.0);
+    EXPECT_EQ(recoverAndRead(image, cfg), refs[kOps]);
+}
+
+}  // namespace
+}  // namespace mgsp

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Resource-exhaustion tests of the MGSP engine: scripted allocation
+ * faults (ResourceFaultPlan) against real workloads, asserting the
+ * DESIGN.md §13 contract — bounded claim spins, bounded retry with
+ * exponential backoff, POSIX errno semantics (ENOSPC vs EAGAIN), the
+ * watchdog, and graceful write-through degradation with automatic
+ * restoration once the pressure clears.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "mgsp/metadata_log.h"
+#include "mgsp/mgsp_fs.h"
+#include "pmem/fault_injection.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::ReferenceFile;
+using testutil::readAll;
+using testutil::smallConfig;
+
+u64
+counterValue(const std::string &name)
+{
+    return stats::StatsRegistry::instance().counter(name).value();
+}
+
+std::vector<u8>
+pattern(u64 n, u8 tag)
+{
+    std::vector<u8> out(n);
+    for (u64 i = 0; i < n; ++i)
+        out[i] = static_cast<u8>(i * 31 + tag);
+    return out;
+}
+
+/** Config with a tight retry budget so failure tests finish fast. */
+MgspConfig
+fastRetryConfig()
+{
+    MgspConfig cfg = smallConfig();
+    cfg.resourceRetryAttempts = 2;
+    cfg.resourceRetryDeadlineNanos = 20'000'000;  // 20 ms
+    cfg.backoffInitialNanos = 1'000;
+    cfg.backoffMaxNanos = 10'000;
+    return cfg;
+}
+
+/**
+ * Prepares a file whose head overwrite must take the shadow-log path
+ * (the first write appends in place; the overwrite cannot).
+ */
+struct ShadowFixture
+{
+    static constexpr u64 kFileBytes = 32 * KiB;
+
+    explicit ShadowFixture(const MgspConfig &cfg)
+        : fx(testutil::makeFs(cfg)),
+          file_or(fx.fs->open("f", OpenOptions::Create(256 * KiB)))
+    {
+        EXPECT_TRUE(file_or.isOk()) << file_or.status().toString();
+        base = pattern(kFileBytes, 1);
+        EXPECT_TRUE((*file_or)
+                        ->pwrite(0, ConstSlice(base.data(), base.size()))
+                        .isOk());
+    }
+
+    File *file() { return file_or->get(); }
+
+    testutil::FsFixture fx;
+    StatusOr<std::unique_ptr<File>> file_or;
+    std::vector<u8> base;
+};
+
+// --- satellite (a): the claim spin is capped ------------------------
+
+TEST(BoundedClaim, ExhaustedLogReturnsResourceBusyWithoutBackoff)
+{
+    // Claim every entry of a standalone log, then ask for one more:
+    // the old implementation spun forever; now the sweep budget is
+    // the bound and the caller gets ResourceBusy even with no retry
+    // or backoff layered on top.
+    MgspConfig cfg = smallConfig();
+    cfg.metaLogEntries = 8;
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    PmemDevice device(cfg.arenaSize, PmemDevice::Mode::Flat);
+    MetadataLog log(&device, layout, cfg.metaLogEntries, true);
+
+    for (u32 i = 0; i < cfg.metaLogEntries; ++i)
+        ASSERT_TRUE(log.claim().isOk());
+    const StatusOr<u32> extra = log.claim(/*max_sweeps=*/4);
+    ASSERT_FALSE(extra.isOk());
+    EXPECT_EQ(extra.status().code(), StatusCode::ResourceBusy);
+    EXPECT_EQ(statusToErrno(extra.status()), EAGAIN);
+
+    // Releasing one entry makes claims succeed again.
+    log.release(0);
+    EXPECT_TRUE(log.claim(4).isOk());
+}
+
+// --- fail faults at each site ---------------------------------------
+
+TEST(ResourceFault, MetaClaimFaultSurfacesEagain)
+{
+    MgspConfig cfg = fastRetryConfig();
+    ShadowFixture sf(cfg);
+    stats::resetAll();
+
+    ResourceFaultPlan plan;
+    plan.faults.push_back({ResourceSite::MetaClaim,
+                           ResourceFaultKind::Fail, 0,
+                           ResourceFaultSpec::kEveryCall, 0});
+    sf.fx.fs->setResourceFaultPlan(plan);
+
+    const std::vector<u8> data = pattern(4 * KiB, 2);
+    const Status s =
+        sf.file()->pwrite(0, ConstSlice(data.data(), data.size()));
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::ResourceBusy);
+    EXPECT_EQ(statusToErrno(s), EAGAIN);
+    // Every attempt failed and was counted; the bounded policy
+    // retried (attempts - 1) times and backed off in between.
+    EXPECT_GE(counterValue("alloc.fail"), 2u);
+    EXPECT_GE(counterValue("alloc.retry"), 1u);
+    EXPECT_GT(counterValue("alloc.backoff_ns"), 0u);
+    EXPECT_GE(sf.fx.fs->resourceFaultStats().failsInjected, 2u);
+
+    // Disarming restores normal service and the old bytes survived.
+    sf.fx.fs->setResourceFaultPlan(ResourceFaultPlan{});
+    EXPECT_TRUE(sf.file()
+                    ->pwrite(0, ConstSlice(data.data(), data.size()))
+                    .isOk());
+}
+
+TEST(ResourceFault, PoolFaultWithoutDegradationSurfacesEnospc)
+{
+    MgspConfig cfg = fastRetryConfig();
+    ASSERT_FALSE(cfg.degradedWriteThrough);  // default stays strict
+    ShadowFixture sf(cfg);
+    stats::resetAll();
+
+    ResourceFaultPlan plan;
+    plan.faults.push_back({ResourceSite::PoolAlloc,
+                           ResourceFaultKind::Fail, 0,
+                           ResourceFaultSpec::kEveryCall, 0});
+    sf.fx.fs->setResourceFaultPlan(plan);
+
+    const std::vector<u8> data = pattern(4 * KiB, 3);
+    const Status s =
+        sf.file()->pwrite(0, ConstSlice(data.data(), data.size()));
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::OutOfSpace);
+    EXPECT_EQ(statusToErrno(s), ENOSPC);
+
+    // The failed write must not have torn the old contents.
+    sf.fx.fs->setResourceFaultPlan(ResourceFaultPlan{});
+    EXPECT_EQ(readAll(sf.file()), sf.base);
+}
+
+TEST(ResourceFault, TransientPoolFaultIsRetriedToSuccess)
+{
+    MgspConfig cfg = fastRetryConfig();
+    cfg.resourceRetryAttempts = 4;
+    ShadowFixture sf(cfg);
+    stats::resetAll();
+
+    // Only the first pool allocation fails; the bounded retry's next
+    // attempt succeeds without the caller ever seeing an error.
+    ResourceFaultPlan plan;
+    plan.faults.push_back({ResourceSite::PoolAlloc,
+                           ResourceFaultKind::Fail, 0, 1, 0});
+    sf.fx.fs->setResourceFaultPlan(plan);
+
+    std::vector<u8> data = pattern(4 * KiB, 4);
+    ASSERT_TRUE(sf.file()
+                    ->pwrite(0, ConstSlice(data.data(), data.size()))
+                    .isOk());
+    EXPECT_GE(counterValue("alloc.retry"), 1u);
+    EXPECT_EQ(counterValue("degraded.enter"), 0u);
+
+    std::vector<u8> expect = sf.base;
+    std::copy(data.begin(), data.end(), expect.begin());
+    EXPECT_EQ(readAll(sf.file()), expect);
+}
+
+TEST(ResourceFault, InodeAndFileAreaFaultsFailCreateCleanly)
+{
+    MgspConfig cfg = fastRetryConfig();
+    auto fx = testutil::makeFs(cfg);
+
+    ResourceFaultPlan plan;
+    plan.faults.push_back({ResourceSite::InodeAlloc,
+                           ResourceFaultKind::Fail, 0, 1, 0});
+    plan.faults.push_back({ResourceSite::FileAreaAlloc,
+                           ResourceFaultKind::Fail, 0, 1, 0});
+    fx.fs->setResourceFaultPlan(plan);
+
+    // First create hits the inode fault, second the file-area fault,
+    // third goes through; no attempt may leave a half-created file.
+    auto a = fx.fs->open("a", OpenOptions::Create(64 * KiB));
+    ASSERT_FALSE(a.isOk());
+    EXPECT_EQ(statusToErrno(a.status()), ENOSPC);
+    EXPECT_FALSE(fx.fs->exists("a"));
+
+    auto b = fx.fs->open("a", OpenOptions::Create(64 * KiB));
+    ASSERT_FALSE(b.isOk());
+    EXPECT_EQ(statusToErrno(b.status()), ENOSPC);
+    EXPECT_FALSE(fx.fs->exists("a"));
+
+    auto c = fx.fs->open("a", OpenOptions::Create(64 * KiB));
+    ASSERT_TRUE(c.isOk()) << c.status().toString();
+    EXPECT_TRUE(fx.fs->exists("a"));
+}
+
+// --- stall faults and the watchdog ----------------------------------
+
+TEST(ResourceFault, StallPastDeadlineTripsWatchdogButCompletes)
+{
+    MgspConfig cfg = fastRetryConfig();
+    cfg.resourceRetryAttempts = 4;
+    cfg.resourceRetryDeadlineNanos = 1'000'000;  // 1 ms
+
+    ShadowFixture sf(cfg);
+    stats::resetAll();
+
+    // Every claim stalls 2 ms (past the deadline) and the first one
+    // additionally fails, so the retry sequence engages, blows the
+    // deadline, trips the watchdog — and still completes the write.
+    ResourceFaultPlan plan;
+    plan.faults.push_back({ResourceSite::MetaClaim,
+                           ResourceFaultKind::Stall, 0,
+                           ResourceFaultSpec::kEveryCall, 2'000'000});
+    plan.faults.push_back({ResourceSite::MetaClaim,
+                           ResourceFaultKind::Fail, 0, 1, 0});
+    sf.fx.fs->setResourceFaultPlan(plan);
+
+    std::vector<u8> data = pattern(4 * KiB, 5);
+    Stopwatch timer;
+    ASSERT_TRUE(sf.file()
+                    ->pwrite(0, ConstSlice(data.data(), data.size()))
+                    .isOk());
+    // Bounded: attempts * (stall + pause) is a few ms, never a hang.
+    EXPECT_LT(timer.elapsedNanos(), 2'000'000'000ull);
+    EXPECT_GE(counterValue("watchdog.trips"), 1u);
+    EXPECT_GE(sf.fx.fs->resourceFaultStats().stallsInjected, 1u);
+
+    std::vector<u8> expect = sf.base;
+    std::copy(data.begin(), data.end(), expect.begin());
+    EXPECT_EQ(readAll(sf.file()), expect);
+}
+
+// --- degraded write-through -----------------------------------------
+
+TEST(ResourceDegraded, EngagesPersistsFlagAndAutoRestores)
+{
+    MgspConfig cfg = fastRetryConfig();
+    cfg.degradedWriteThrough = true;
+    ShadowFixture sf(cfg);
+    stats::resetAll();
+
+    // A finite exhaustion window: pool allocations fail long enough
+    // to exhaust one write's retry budget, then recover.
+    ResourceFaultPlan plan;
+    plan.faults.push_back({ResourceSite::PoolAlloc,
+                           ResourceFaultKind::Fail, 0, 64, 0});
+    sf.fx.fs->setResourceFaultPlan(plan);
+
+    ReferenceFile ref;
+    ref.pwrite(0, sf.base);
+
+    // W1 exhausts the budget and degrades — but succeeds.
+    std::vector<u8> w1 = pattern(4 * KiB, 6);
+    ASSERT_TRUE(sf.file()
+                    ->pwrite(0, ConstSlice(w1.data(), w1.size()))
+                    .isOk());
+    ref.pwrite(0, w1);
+    EXPECT_GE(counterValue("degraded.enter"), 1u);
+    EXPECT_GT(counterValue("degraded.bytes"), 0u);
+
+    // The persistent flag is set while degraded, so a crash in this
+    // window is attributable during recovery.
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    EXPECT_TRUE(sf.fx.device->load64(layout.inodeOff(0)) &
+                InodeRecord::kDegraded);
+
+    // Pressure clears: the next write leaves degraded mode (the pool
+    // is genuinely free — the faults, not allocations, caused the
+    // exhaustion) and commits through the shadow log again.
+    sf.fx.fs->setResourceFaultPlan(ResourceFaultPlan{});
+    std::vector<u8> w2 = pattern(4 * KiB, 7);
+    ASSERT_TRUE(sf.file()
+                    ->pwrite(2 * KiB, ConstSlice(w2.data(), w2.size()))
+                    .isOk());
+    ref.pwrite(2 * KiB, w2);
+    EXPECT_GE(counterValue("degraded.exit"), 1u);
+    EXPECT_FALSE(sf.fx.device->load64(layout.inodeOff(0)) &
+                 InodeRecord::kDegraded);
+
+    EXPECT_EQ(readAll(sf.file()), ref.bytes());
+}
+
+TEST(ResourceDegraded, RecoveryClearsPersistentFlag)
+{
+    MgspConfig cfg = fastRetryConfig();
+    cfg.degradedWriteThrough = true;
+
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    std::vector<u8> base = pattern(ShadowFixture::kFileBytes, 1);
+    std::vector<u8> w1 = pattern(4 * KiB, 8);
+    {
+        auto fs = MgspFs::format(device, cfg);
+        ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+        auto file = (*fs)->open("f", OpenOptions::Create(256 * KiB));
+        ASSERT_TRUE(file.isOk());
+        ASSERT_TRUE((*file)
+                        ->pwrite(0, ConstSlice(base.data(), base.size()))
+                        .isOk());
+
+        ResourceFaultPlan plan;
+        plan.faults.push_back({ResourceSite::PoolAlloc,
+                               ResourceFaultKind::Fail, 0,
+                               ResourceFaultSpec::kEveryCall, 0});
+        (*fs)->setResourceFaultPlan(plan);
+        ASSERT_TRUE((*file)
+                        ->pwrite(0, ConstSlice(w1.data(), w1.size()))
+                        .isOk());
+
+        // Crash while degraded: capture everything persisted, then
+        // drop the instance without the close-path write-back.
+        Rng rng(1);
+        const CrashImage image = device->captureCrashImage(rng, 1.0);
+        file->reset();
+        fs->reset();
+        device = std::make_shared<PmemDevice>(image,
+                                              PmemDevice::Mode::Flat);
+    }
+
+    auto fs = MgspFs::mount(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    EXPECT_EQ((*fs)->recoveryReport().degradedFilesCleared, 1u);
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    EXPECT_FALSE(device->load64(layout.inodeOff(0)) &
+                 InodeRecord::kDegraded);
+
+    // Every acked byte survived (degraded writes are durable at ack).
+    auto file = (*fs)->open("f", OpenOptions{});
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> expect = base;
+    std::copy(w1.begin(), w1.end(), expect.begin());
+    EXPECT_EQ(readAll(file->get()), expect);
+}
+
+// --- real exhaustion, no injector: the acceptance workload ----------
+
+TEST(ResourceReal, PoolExhaustionMidWorkloadDegradesNotHangs)
+{
+    // A pool far too small for the write stream, no cleaner to bail
+    // the engine out: the shadow pool genuinely exhausts mid-workload.
+    // Every write must still complete within the bounded budget, no
+    // bytes may be garbled, and degraded mode must engage.
+    MgspConfig cfg = fastRetryConfig();
+    cfg.poolFraction = 0.04;
+    cfg.degradedWriteThrough = true;
+    const u64 seed = testutil::testSeed(77);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+
+    auto fx = testutil::makeFs(cfg);
+    stats::resetAll();
+    auto file = fx.fs->open("f", OpenOptions::Create(512 * KiB));
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+
+    constexpr u64 kFileBytes = 256 * KiB;
+    ReferenceFile ref;
+    {
+        std::vector<u8> zeros(kFileBytes, 0);
+        ASSERT_TRUE((*file)
+                        ->pwrite(0, ConstSlice(zeros.data(),
+                                               zeros.size()))
+                        .isOk());
+        ref.pwrite(0, zeros);
+    }
+
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+        const u64 len = rng.nextInRange(1, 8 * KiB);
+        const u64 off = rng.nextBelow(kFileBytes - len);
+        std::vector<u8> data = rng.nextBytes(len);
+        Stopwatch timer;
+        ASSERT_TRUE((*file)
+                        ->pwrite(off, ConstSlice(data.data(), len))
+                        .isOk())
+            << "op " << i;
+        // Attempts * deadline plus generous slack: never a hang.
+        EXPECT_LT(timer.elapsedNanos(), 5'000'000'000ull) << "op " << i;
+        ref.pwrite(off, data);
+    }
+
+    EXPECT_GE(counterValue("degraded.enter"), 1u);
+    EXPECT_GT(counterValue("degraded.bytes"), 0u);
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+
+    // The report renders the new counters in both formats.
+    const MgspStatsReport report = fx.fs->statsReport();
+    EXPECT_NE(report.text.find("degraded-enters="), std::string::npos);
+    EXPECT_NE(report.json.find("\"degraded_enters\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgsp
