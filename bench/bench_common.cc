@@ -4,11 +4,15 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <memory>
+
 #include "baselines/ext_fs.h"
 #include "baselines/nova_fs.h"
 #include "baselines/nvmmio_fs.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/stats_sampler.h"
+#include "common/trace.h"
 #include "mgsp/mgsp_fs.h"
 
 namespace mgsp::bench {
@@ -123,6 +127,28 @@ printRow(const std::string &label,
     std::fflush(stdout);
 }
 
+namespace {
+
+/// The sampler started by --sample-ms; finishBench() stops it.
+std::unique_ptr<stats::StatsSampler> gSampler;
+
+[[noreturn]] void
+usageError(const char *argv0, const std::string &offender)
+{
+    std::fprintf(
+        stderr,
+        "%s: bad argument: %s\n"
+        "usage: %s [--stats-json=FILE] [--trace-json=FILE]\n"
+        "          [--bench-json=FILE] [--sample-ms=N] [--background]\n"
+        "          [--quick] [--corrupt-pct=P0,P1,...]\n"
+        "          [--pool-pct=P0,P1,...]\n"
+        "Value-taking flags require the value (= or next argument).\n",
+        argv0, offender.c_str(), argv0);
+    std::exit(2);
+}
+
+}  // namespace
+
 BenchArgs
 parseBenchArgs(int argc, char **argv)
 {
@@ -133,6 +159,29 @@ parseBenchArgs(int argc, char **argv)
             args.statsJsonPath = arg.substr(strlen("--stats-json="));
         } else if (arg == "--stats-json" && i + 1 < argc) {
             args.statsJsonPath = argv[++i];
+        } else if (arg.rfind("--trace-json=", 0) == 0) {
+            args.traceJsonPath = arg.substr(strlen("--trace-json="));
+        } else if (arg == "--trace-json" && i + 1 < argc) {
+            args.traceJsonPath = argv[++i];
+        } else if (arg.rfind("--bench-json=", 0) == 0) {
+            args.benchJsonPath = arg.substr(strlen("--bench-json="));
+        } else if (arg == "--bench-json" && i + 1 < argc) {
+            args.benchJsonPath = argv[++i];
+        } else if (arg.rfind("--sample-ms=", 0) == 0) {
+            args.sampleMillis = std::strtoull(
+                arg.c_str() + strlen("--sample-ms="), nullptr, 10);
+            if (args.sampleMillis == 0)
+                usageError(argv[0], arg);
+        } else if (arg == "--sample-ms" && i + 1 < argc) {
+            args.sampleMillis = std::strtoull(argv[++i], nullptr, 10);
+            if (args.sampleMillis == 0)
+                usageError(argv[0], arg + " " + argv[i]);
+        } else if (arg == "--stats-json" || arg == "--trace-json" ||
+                   arg == "--bench-json" || arg == "--sample-ms") {
+            // A trailing value-taking flag used to be swallowed by the
+            // unknown-argument branch with a misleading message; make
+            // the missing value explicit.
+            usageError(argv[0], arg + " (missing value)");
         } else if (arg == "--background") {
             args.background = true;
         } else if (arg == "--quick") {
@@ -172,11 +221,15 @@ parseBenchArgs(int argc, char **argv)
                 pos = comma + 1;
             }
         } else {
-            MGSP_FATAL("unknown argument: %s (supported: "
-                       "--stats-json=FILE --background --quick "
-                       "--corrupt-pct=P0,P1,... --pool-pct=P0,P1,...)",
-                       arg.c_str());
+            usageError(argv[0], arg);
         }
+    }
+    if (!args.traceJsonPath.empty())
+        trace::setEnabled(true);
+    if (args.sampleMillis != 0 && gSampler == nullptr) {
+        gSampler = std::make_unique<stats::StatsSampler>(
+            static_cast<u32>(args.sampleMillis));
+        gSampler->start();
     }
     return args;
 }
@@ -202,8 +255,74 @@ dumpStatsJson(const BenchArgs &args, const std::string &bench,
     }
     truncated = true;
     const std::string json = stats::StatsRegistry::instance().toJson();
-    std::fprintf(f, "{\"bench\":\"%s\",\"run\":\"%s\",\"stats\":%s}\n",
+    std::fprintf(f, "{\"bench\":\"%s\",\"run\":\"%s\",\"stats\":%s",
                  bench.c_str(), run.c_str(), json.c_str());
+    if (gSampler != nullptr)
+        std::fprintf(f, ",\"timeseries\":%s",
+                     gSampler->toJson().c_str());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+namespace {
+
+struct SeriesPoint
+{
+    std::string name;
+    double value;
+    std::string unit;
+};
+
+/// Insertion-ordered so BENCH_*.json diffs stay textually stable.
+std::vector<SeriesPoint> &
+seriesTable()
+{
+    static std::vector<SeriesPoint> table;
+    return table;
+}
+
+}  // namespace
+
+void
+recordSeries(const std::string &name, double value,
+             const std::string &unit)
+{
+    for (SeriesPoint &p : seriesTable()) {
+        if (p.name == name) {
+            p.value = value;
+            p.unit = unit;
+            return;
+        }
+    }
+    seriesTable().push_back({name, value, unit});
+}
+
+void
+finishBench(const BenchArgs &args, const std::string &bench)
+{
+    if (gSampler != nullptr)
+        gSampler->stop();
+    dumpStatsJson(args, bench, "all");
+    if (!args.traceJsonPath.empty() &&
+        !trace::exportJsonToFile(args.traceJsonPath))
+        MGSP_FATAL("cannot write trace to %s",
+                   args.traceJsonPath.c_str());
+    if (args.benchJsonPath.empty())
+        return;
+    std::FILE *f = std::fopen(args.benchJsonPath.c_str(), "we");
+    if (f == nullptr)
+        MGSP_FATAL("cannot open %s for bench output",
+                   args.benchJsonPath.c_str());
+    std::fprintf(f, "{\"meta\":%s,\"bench\":\"%s\",\"series\":{",
+                 stats::metadataJson().c_str(), bench.c_str());
+    bool first = true;
+    for (const SeriesPoint &p : seriesTable()) {
+        std::fprintf(f, "%s\n  \"%s\":{\"value\":%.6g,\"unit\":\"%s\"}",
+                     first ? "" : ",", p.name.c_str(), p.value,
+                     p.unit.c_str());
+        first = false;
+    }
+    std::fprintf(f, "\n}}\n");
     std::fclose(f);
 }
 

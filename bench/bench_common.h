@@ -69,6 +69,17 @@ struct BenchArgs
     /// --stats-json=FILE (or --stats-json FILE): where to write
     /// StatsRegistry snapshots as JSON lines; empty = don't.
     std::string statsJsonPath;
+    /// --trace-json=FILE: enable the causal trace plane
+    /// (common/trace.h) and write the Chrome trace-event export there
+    /// at finishBench(). Empty = tracing stays off.
+    std::string traceJsonPath;
+    /// --bench-json=FILE: where finishBench() writes the canonical
+    /// named-series document (BENCH_<name>.json schema) consumed by
+    /// tools/bench_compare.py. Empty = don't.
+    std::string benchJsonPath;
+    /// --sample-ms=N: start a StatsSampler ticking every N ms; its
+    /// time-series goes into the stats JSON lines. 0 = off.
+    u64 sampleMillis = 0;
     /// --background: benches that honour it (fig07) additionally run
     /// the mgsp-bg engine (background write-back & cleaning).
     bool background = false;
@@ -88,9 +99,12 @@ struct BenchArgs
 };
 
 /**
- * Parses the flags every bench binary shares. Unknown arguments are
- * fatal, so misspelled flags fail loudly instead of silently running
- * the default configuration.
+ * Parses the flags every bench binary shares. Unknown arguments and
+ * a value-taking flag with its value missing print usage to stderr
+ * and exit(2), so misspelled invocations fail loudly instead of
+ * silently running the default configuration. Side effects: enables
+ * the trace plane when --trace-json is given and starts the stats
+ * sampler when --sample-ms is given (finishBench stops it).
  */
 BenchArgs parseBenchArgs(int argc, char **argv);
 
@@ -105,6 +119,25 @@ void resetStats();
  */
 void dumpStatsJson(const BenchArgs &args, const std::string &bench,
                    const std::string &run);
+
+/**
+ * Records one named scalar into the process-wide series table for
+ * the canonical bench JSON: `name` must be stable across runs (it is
+ * the comparator's join key), `unit` drives the regression direction
+ * (time units: lower is better; otherwise higher is better). A
+ * repeated name overwrites — last value wins.
+ */
+void recordSeries(const std::string &name, double value,
+                  const std::string &unit);
+
+/**
+ * End-of-bench epilogue, replacing the trailing dumpStatsJson call:
+ * stops the sampler (if --sample-ms), appends the stats JSON line
+ * (with the sampler's time-series attached), writes the Chrome trace
+ * export (if --trace-json), and writes the canonical named-series
+ * document (if --bench-json).
+ */
+void finishBench(const BenchArgs &args, const std::string &bench);
 
 }  // namespace mgsp::bench
 

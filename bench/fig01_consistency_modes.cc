@@ -68,6 +68,6 @@ main(int argc, char **argv)
                 "fast but unsafe; adding\nper-op sync collapses them; "
                 "MGSP matches or beats every synchronized mode\nwhile "
                 "giving the strongest guarantee.\n");
-    bench::dumpStatsJson(args, "fig01", "all");
+    bench::finishBench(args, "fig01");
     return 0;
 }

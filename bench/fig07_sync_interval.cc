@@ -49,15 +49,20 @@ main(int argc, char **argv)
             cfg.runtimeMillis = scale.runtimeMillis;
             cfg.rampMillis = scale.rampMillis;
             StatusOr<FioResult> result = runFio(engine.fs.get(), cfg);
-            std::printf("  %-14.1f",
-                        result.isOk() ? result->throughputMiBps() : -1.0);
+            const double mibps =
+                result.isOk() ? result->throughputMiBps() : -1.0;
+            std::printf("  %-14.1f", mibps);
             std::fflush(stdout);
+            const std::string label =
+                interval == 0 ? "nosync" : std::to_string(interval);
+            bench::recordSeries("fig07.sync" + label + "." + name, mibps,
+                                "MiB/s");
         }
         std::printf("\n");
     }
     std::printf("\nExpected shape: libnvmmio drops sharply as soon as "
                 "syncs appear (double\nwrite per sync); ext4-dax dips "
                 "mildly; MGSP is flat across all intervals.\n");
-    bench::dumpStatsJson(args, "fig07", "all");
+    bench::finishBench(args, "fig07");
     return 0;
 }

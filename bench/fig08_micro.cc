@@ -44,9 +44,14 @@ runPanel(const char *panel, const char *title, FioOp op, bool random,
             cfg.runtimeMillis = scale.runtimeMillis;
             cfg.rampMillis = scale.rampMillis;
             StatusOr<FioResult> result = runFio(engine.fs.get(), cfg);
-            std::printf("  %-12.1f",
-                        result.isOk() ? result->throughputMiBps() : -1.0);
+            const double mibps =
+                result.isOk() ? result->throughputMiBps() : -1.0;
+            std::printf("  %-12.1f", mibps);
             std::fflush(stdout);
+            bench::recordSeries(std::string("fig08") + panel + "." +
+                                    name + "." + std::to_string(size) +
+                                    "B",
+                                mibps, "MiB/s");
         }
         std::printf("\n");
     }
@@ -73,6 +78,6 @@ main(int argc, char **argv)
         "full-page CoW and libnvmmio's\nlog+checkpoint); at >=4K NOVA "
         "is closest. reads — MGSP ~ libnvmmio,\nboth ahead of "
         "ext4-dax/nova syscall paths on fine reads.\n");
-    bench::dumpStatsJson(args, "fig08", "all");
+    bench::finishBench(args, "fig08");
     return 0;
 }

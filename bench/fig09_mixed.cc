@@ -62,6 +62,6 @@ main(int argc, char **argv)
                 "write ratios and decays\ntoward/below 1.0 as writes "
                 "grow; NOVA and MGSP hold stable factors, with\nMGSP "
                 "the highest across all ratios.\n");
-    bench::dumpStatsJson(args, "fig09", "all");
+    bench::finishBench(args, "fig09");
     return 0;
 }

@@ -61,13 +61,21 @@ printMatrix(const std::string &title, const BenchScale &scale,
     for (const std::string &name : engines)
         std::printf("  %-18s", name.c_str());
     std::printf("[MiB/s]\n");
+    const std::string series_stem =
+        std::string(op == FioOp::Read ? "read" : "write") + "." +
+        (random ? "rand" : "seq") + "." +
+        std::to_string(block_size / KiB) + "K";
     for (std::size_t t = 0; t < n_counts; ++t) {
         std::printf("%-10u", thread_counts[t]);
         for (const std::string &name : engines) {
-            std::printf("  %-18.1f",
-                        runOne(name, scale, op, random, block_size,
-                               thread_counts[t]));
+            const double mibps = runOne(name, scale, op, random,
+                                        block_size, thread_counts[t]);
+            std::printf("  %-18.1f", mibps);
             std::fflush(stdout);
+            bench::recordSeries("fig10." + series_stem + ".t" +
+                                    std::to_string(thread_counts[t]) +
+                                    "." + name,
+                                mibps, "MiB/s");
         }
         std::printf("\n");
     }
@@ -146,6 +154,6 @@ main(int argc, char **argv)
                 "threads increase: locked reads serialise on the\n"
                 "covering node, optimistic reads never write the lock "
                 "word.\n");
-    bench::dumpStatsJson(args, "fig10", "all");
+    bench::finishBench(args, "fig10");
     return 0;
 }

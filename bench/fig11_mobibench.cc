@@ -61,6 +61,6 @@ main(int argc, char **argv)
                 "~8-33%% in WAL mode and\n~28-31%% in OFF mode, and "
                 "beats libnvmmio in both; in OFF mode only MGSP\n"
                 "(and NOVA) still give the database crash safety.\n");
-    bench::dumpStatsJson(args, "fig11", "all");
+    bench::finishBench(args, "fig11");
     return 0;
 }

@@ -48,6 +48,6 @@ main(int argc, char **argv)
                 "database's own durability work has moved into the "
                 "file system and MGSP\ndoes it with the fewest extra "
                 "writes and fences.\n");
-    bench::dumpStatsJson(args, "fig12", "all");
+    bench::finishBench(args, "fig12");
     return 0;
 }

@@ -174,5 +174,6 @@ main(int argc, char **argv)
                 "In the stage table, mgsp-no-shadow shifts time and "
                 "bytes into data-write\n(the double write returns) and "
                 "mgsp-filelock inflates the lock share.\n");
+    bench::finishBench(args, "fig13");
     return 0;
 }

@@ -100,5 +100,6 @@ main(int argc, char **argv)
         "share shrinks the\nretry/degraded counters climb and "
         "throughput steps down to the write-through\nfloor instead of "
         "failing with ENOSPC.\n");
+    finishBench(args, "pool_exhaustion");
     return 0;
 }

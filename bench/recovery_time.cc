@@ -128,6 +128,12 @@ runOnce(u64 file_size, int ops, u64 seed)
                 report.liveEntriesReplayed, report.recordsScanned,
                 mount_ms, writeback_ms, mount_ms + writeback_ms);
     std::fflush(stdout);
+    const std::string stem = "recovery." +
+                             std::to_string(file_size / MiB) + "MiB." +
+                             std::to_string(ops) + "ops";
+    bench::recordSeries(stem + ".mount", mount_ms, "ms");
+    bench::recordSeries(stem + ".writeback", writeback_ms, "ms");
+    bench::recordSeries(stem + ".total", mount_ms + writeback_ms, "ms");
 }
 
 /**
@@ -227,8 +233,8 @@ main(int argc, char **argv)
     std::printf("\nExpected shape: recovery time scales with the number "
                 "of live logs (bounded\nby file size), staying well "
                 "under a second at these scales.\n");
-    bench::dumpStatsJson(args, "recovery", "all");
     if (!args.corruptPcts.empty())
         runCorruptSeries(args, 64 * MiB, 4000, 5);
+    bench::finishBench(args, "recovery_time");
     return 0;
 }

@@ -118,6 +118,6 @@ main(int argc, char **argv)
     std::printf("\nExpected shape (paper Table II): libnvmmio ~2.0 with "
                 "sync (even every 100\nops), ~1.0 without sync; MGSP "
                 "~1.0 *with* per-operation atomicity.\n");
-    bench::dumpStatsJson(args, "table2", "all");
+    bench::finishBench(args, "table2");
     return 0;
 }

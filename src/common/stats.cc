@@ -7,6 +7,11 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/spin_lock.h"
+#include "common/trace.h"
+
+#ifndef MGSP_GIT_SHA
+#define MGSP_GIT_SHA "unknown"
+#endif
 
 namespace mgsp {
 namespace stats {
@@ -112,6 +117,54 @@ currentThreadId()
     static std::atomic<u32> next{1};
     thread_local u32 id = next.fetch_add(1, std::memory_order_relaxed);
     return id;
+}
+
+// ---- metadata header --------------------------------------------
+
+namespace {
+
+std::mutex &
+metadataMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, std::string> &
+metadataExtras()
+{
+    static std::map<std::string, std::string> extras;
+    return extras;
+}
+
+}  // namespace
+
+void
+setMetadataField(const std::string &key, const std::string &rawJson)
+{
+    std::lock_guard<std::mutex> guard(metadataMutex());
+    metadataExtras()[key] = rawJson;
+}
+
+std::string
+metadataJson()
+{
+    const char *seed = std::getenv("MGSP_TEST_SEED");
+    std::string out;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"schema_version\":%u,\"git_sha\":\"%s\",\"seed\":",
+                  kStatsSchemaVersion, MGSP_GIT_SHA);
+    out += buf;
+    if (seed != nullptr && seed[0] != '\0')
+        out += "\"" + jsonEscape(seed) + "\"";
+    else
+        out += "null";
+    std::lock_guard<std::mutex> guard(metadataMutex());
+    for (const auto &[key, rawJson] : metadataExtras())
+        out += ",\"" + jsonEscape(key) + "\":" + rawJson;
+    out += "}";
+    return out;
 }
 
 // ---- Counter ----------------------------------------------------
@@ -292,11 +345,29 @@ StatsRegistry::toText() const
     return out;
 }
 
+std::vector<std::pair<std::string, u64>>
+StatsRegistry::sampleValues() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::vector<std::pair<std::string, u64>> out;
+    out.reserve(counters_.size() + histograms_.size());
+    for (const auto &[name, counter] : counters_)
+        out.emplace_back(name, counter->value());
+    for (const auto &[name, histogram] : histograms_)
+        out.emplace_back(name + ".count", histogram->snapshot().count());
+    // Counters and histograms interleave: restore the global order the
+    // sampler's binary search relies on.
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 std::string
 StatsRegistry::toJson() const
 {
     std::lock_guard<std::mutex> guard(mutex_);
-    std::string out = "{\"counters\":{";
+    std::string out = "{\"meta\":";
+    out += metadataJson();
+    out += ",\"counters\":{";
     char buf[64];
     bool first = true;
     for (const auto &[name, counter] : counters_) {
@@ -407,6 +478,7 @@ void
 chargeWritten(Stage s, u64 bytes)
 {
     stageCells(s).bytesWritten->add(bytes);
+    trace::detail::addSpanBytes(bytes);
 }
 
 void
@@ -547,6 +619,15 @@ OpTrace::OpTrace(OpType op, u64 offset, u64 length, bool on)
     rec_.seq = gOpSeq.fetch_add(1, std::memory_order_relaxed);
     rec_.startNanos = monotonicNanos();
     stageStart_ = rec_.startNanos;
+#ifndef MGSP_STATS_DISABLED
+    prevStage_ = detail::tlsStage;
+#endif
+    if (trace::enabled()) {
+        traced_ = true;
+        prevOpId_ = trace::detail::currentOpId();
+        trace::detail::setCurrentOpId(rec_.seq);
+        prevSpanBytes_ = trace::detail::swapSpanBytes(0);
+    }
 }
 
 void
@@ -563,6 +644,19 @@ OpTrace::stage(Stage s)
         cells.ops->add(1);
         cells.nanos->add(delta);
         cells.latency->record(delta);
+        if (traced_) {
+            trace::TraceSpan span;
+            span.opId = rec_.seq;
+            span.startNanos = stageStart_;
+            span.endNanos = now;
+            span.bytes = trace::detail::swapSpanBytes(0);
+            span.threadId = rec_.threadId;
+            span.stage = cur_;
+            span.op = rec_.op;
+            span.ok = rec_.ok;
+            opBytes_ += span.bytes;
+            trace::pushSpan(span);
+        }
     }
     cur_ = s;
     stageStart_ = now;
@@ -582,10 +676,31 @@ OpTrace::~OpTrace()
     if (!on_)
         return;
     stage(Stage::None);  // close the open stage, clear attribution
+#ifndef MGSP_STATS_DISABLED
+    detail::tlsStage = prevStage_;  // restore any enclosing trace
+#endif
+    if (traced_) {
+        trace::detail::setCurrentOpId(prevOpId_);
+        trace::detail::swapSpanBytes(prevSpanBytes_);
+    }
     if (abandoned_)
         return;
-    opLatency(rec_.op).record(monotonicNanos() - rec_.startNanos);
+    const u64 end = monotonicNanos();
+    opLatency(rec_.op).record(end - rec_.startNanos);
     pushOpRecord(rec_);
+    if (traced_) {
+        // The whole-op span: stage == None marks it as the parent of
+        // this op's stage spans on the same thread track.
+        trace::TraceSpan span;
+        span.opId = rec_.seq;
+        span.startNanos = rec_.startNanos;
+        span.endNanos = end;
+        span.bytes = opBytes_;
+        span.threadId = rec_.threadId;
+        span.op = rec_.op;
+        span.ok = rec_.ok;
+        trace::pushSpan(span);
+    }
 }
 
 }  // namespace stats

@@ -36,6 +36,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/types.h"
@@ -105,6 +107,34 @@ void setEnabled(bool on);
 
 /** Small dense id for the calling thread (1, 2, 3, ... in first-use order). */
 u32 currentThreadId();
+
+// ---- metadata header --------------------------------------------
+
+/**
+ * Version of the stats / bench JSON schema. Bumped whenever the
+ * shape of toJson(), statsReport() JSON or the canonical BENCH_*.json
+ * files changes incompatibly, so the perf-trajectory comparator can
+ * refuse to diff across schema breaks.
+ */
+inline constexpr u32 kStatsSchemaVersion = 2;
+
+/**
+ * Registers (or overwrites) an extra metadata field emitted by
+ * metadataJson(). @p rawJson is spliced in verbatim — pass a quoted
+ * string or a JSON object/number. Used by e.g. the pmem device to
+ * publish its latency-model constants so every stats/bench artifact
+ * records the emulation parameters it was measured under.
+ */
+void setMetadataField(const std::string &key, const std::string &rawJson);
+
+/**
+ * The metadata header object: schema version, git sha (baked in at
+ * build time), `MGSP_TEST_SEED` from the environment, and every
+ * field registered via setMetadataField(), keys sorted. Embedded in
+ * StatsRegistry::toJson(), MgspFs::statsReport() and BENCH_*.json so
+ * comparator diffs are attributable to a build + config fingerprint.
+ */
+std::string metadataJson();
 
 /**
  * A named monotonic counter. add() is wait-free: threads update one
@@ -214,6 +244,13 @@ class StatsRegistry
      * {"count","mean","min","p50","p90","p99","max"}, ...}}`.
      */
     std::string toJson() const;
+
+    /**
+     * Flat snapshot of every counter value plus each histogram's
+     * sample count (as "<name>.count"), for the time-series sampler:
+     * subtracting two snapshots yields the per-interval deltas.
+     */
+    std::vector<std::pair<std::string, u64>> sampleValues() const;
 
   private:
     StatsRegistry() = default;
@@ -353,6 +390,13 @@ class OpTrace
 
     bool on() const { return on_; }
 
+    /**
+     * The operation's process-unique id (0 when off). Doubles as the
+     * causal trace id: pass it to MgspFs::noteDirty so the cleaner's
+     * later write-back span can point back at this op.
+     */
+    u64 opId() const { return on_ ? rec_.seq : 0; }
+
     /** Transition to @p s, closing the currently open stage. */
     void stage(Stage s);
 
@@ -394,8 +438,17 @@ class OpTrace
   private:
     OpRecord rec_{};
     u64 stageStart_ = 0;
+    // Nesting support: an inline cleaner drain runs its own OpTrace
+    // inside a writer's (noteDirty below the watermark), so the ctor
+    // saves and the dtor restores the outer trace's published stage,
+    // causal op id and span-byte accumulator.
+    u64 prevOpId_ = 0;
+    u64 prevSpanBytes_ = 0;
+    u64 opBytes_ = 0;     ///< device bytes stored across all stages
     Stage cur_ = Stage::None;
+    Stage prevStage_ = Stage::None;
     bool on_ = false;
+    bool traced_ = false; ///< trace plane was enabled at construction
     bool abandoned_ = false;
 };
 

@@ -1,0 +1,155 @@
+/** @file StatsRegistry time-series sampler. */
+#include "common/stats_sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace mgsp {
+namespace stats {
+
+StatsSampler::StatsSampler(u32 intervalMillis)
+    : intervalMillis_(std::max<u32>(intervalMillis, 1))
+{
+}
+
+StatsSampler::~StatsSampler()
+{
+    stop();
+}
+
+void
+StatsSampler::start()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_)
+        return;
+    running_ = true;
+    stopRequested_ = false;
+    last_ = StatsRegistry::instance().sampleValues();
+    lastNanos_ = monotonicNanos();
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+StatsSampler::stop()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::unique_lock<std::mutex> lock(mutex_);
+    running_ = false;
+}
+
+void
+StatsSampler::run()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // do-while: even when stop() wins the race and the flag is already
+    // set on entry, one final sample is taken, so the tail of the run
+    // (the part a regression usually lives in) is not silently dropped.
+    do {
+        cv_.wait_for(lock, std::chrono::milliseconds(intervalMillis_),
+                     [this] { return stopRequested_; });
+        sampleOnce(monotonicNanos());
+    } while (!stopRequested_);
+}
+
+void
+StatsSampler::sampleOnce(u64 nowNanos)
+{
+    // Called with mutex_ held. sampleValues() takes the registry's
+    // own mutex; no path locks them in the other order.
+    std::vector<std::pair<std::string, u64>> now =
+        StatsRegistry::instance().sampleValues();
+    const u64 tick = tickNanos_.size();
+    for (const auto &[name, value] : now) {
+        // Counters can appear mid-run (first op of a kind); treat a
+        // missing previous value as 0 and backfill the series.
+        u64 prev = 0;
+        const auto it = std::lower_bound(
+            last_.begin(), last_.end(), name,
+            [](const std::pair<std::string, u64> &a,
+               const std::string &b) { return a.first < b; });
+        if (it != last_.end() && it->first == name)
+            prev = it->second;
+        std::vector<u64> &column = series_[name];
+        column.resize(tick, 0);
+        // Benches reset counters between runs; a value below the
+        // previous snapshot means "restarted from zero", not a
+        // (u64-wrapping) negative delta.
+        column.push_back(value >= prev ? value - prev : value);
+    }
+    tickNanos_.push_back(nowNanos - lastNanos_);
+    lastNanos_ = nowNanos;
+    last_ = std::move(now);
+}
+
+u64
+StatsSampler::sampleCount() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return tickNanos_.size();
+}
+
+std::string
+StatsSampler::toJson() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"interval_ms\":%u,\"ticks\":%zu",
+                  intervalMillis_, tickNanos_.size());
+    out += buf;
+    out += ",\"tick_ns\":[";
+    for (std::size_t i = 0; i < tickNanos_.size(); ++i) {
+        if (i != 0)
+            out += ",";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(tickNanos_[i]));
+        out += buf;
+    }
+    out += "],\"series\":{";
+    bool first = true;
+    for (const auto &[name, column] : series_) {
+        const bool allZero =
+            std::all_of(column.begin(), column.end(),
+                        [](u64 v) { return v == 0; });
+        if (allZero)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"";
+        for (char c : name) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += "\":[";
+        for (std::size_t i = 0; i < column.size(); ++i) {
+            if (i != 0)
+                out += ",";
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(column[i]));
+            out += buf;
+        }
+        // Columns lag the tick count when a counter appeared and then
+        // went idle; pad with explicit zeros so rows stay rectangular.
+        for (std::size_t i = column.size(); i < tickNanos_.size(); ++i)
+            out += ",0";
+        out += "]";
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace stats
+}  // namespace mgsp

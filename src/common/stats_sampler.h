@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Background time-series sampler over the StatsRegistry.
+ *
+ * The registry's counters are end-of-run aggregates; a bench that
+ * reports one number cannot show a group-commit burst, a cleaner
+ * falling behind, or a throughput cliff when the arena fills. The
+ * sampler closes that gap: a background thread snapshots every
+ * counter (plus histogram sample counts) every intervalMillis and
+ * stores the per-interval deltas, so the stats JSON carries
+ * throughput *over time* — the evidentiary basis for the upcoming
+ * epoch-sync and DRAM-cache work.
+ *
+ * Cost: one sampleValues() snapshot per tick (a mutex + O(counters)
+ * relaxed loads), nothing on any hot path. Not started by default;
+ * benches opt in with --sample-ms=N.
+ */
+#ifndef MGSP_COMMON_STATS_SAMPLER_H
+#define MGSP_COMMON_STATS_SAMPLER_H
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mgsp {
+namespace stats {
+
+class StatsSampler
+{
+  public:
+    /** @p intervalMillis between snapshots; clamped to >= 1. */
+    explicit StatsSampler(u32 intervalMillis);
+    ~StatsSampler();  ///< stops without a final sample if still running
+
+    StatsSampler(const StatsSampler &) = delete;
+    StatsSampler &operator=(const StatsSampler &) = delete;
+
+    /** Takes the baseline snapshot and launches the sampler thread. */
+    void start();
+
+    /** Joins the thread after one final snapshot. Idempotent. */
+    void stop();
+
+    /** Ticks recorded so far (grows while running). */
+    u64 sampleCount() const;
+
+    /**
+     * `{"interval_ms":N,"ticks":T,"tick_ns":[...],"series":{name:
+     * [delta,...],...}}` — one delta per tick per counter, with the
+     * measured tick duration alongside so consumers can derive true
+     * rates (ops/s = delta / tick_ns * 1e9). All-zero series are
+     * omitted to keep benches with hundreds of idle counters small.
+     */
+    std::string toJson() const;
+
+  private:
+    void run();
+    void sampleOnce(u64 nowNanos);
+
+    const u32 intervalMillis_;
+    mutable std::mutex mutex_;       ///< guards series_/tickNanos_
+    std::condition_variable cv_;
+    std::thread thread_;
+    bool running_ = false;
+    bool stopRequested_ = false;
+    u64 lastNanos_ = 0;
+    std::vector<std::pair<std::string, u64>> last_;  ///< previous snapshot
+    std::map<std::string, std::vector<u64>> series_; ///< per-tick deltas
+    std::vector<u64> tickNanos_;                     ///< measured durations
+};
+
+}  // namespace stats
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_STATS_SAMPLER_H

@@ -1,0 +1,339 @@
+/** @file Causal-trace span rings and Chrome trace-event export. */
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mgsp {
+namespace trace {
+namespace {
+
+bool envEnabled()
+{
+    const char *env = std::getenv("MGSP_TRACE");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+}
+
+u32 ringCapacityFromEnv()
+{
+    u64 cap = u64{1} << 16;
+    if (const char *env = std::getenv("MGSP_TRACE_RING")) {
+        const u64 parsed = std::strtoull(env, nullptr, 10);
+        if (parsed > 0)
+            cap = parsed;
+    }
+    cap = std::clamp(cap, u64{1} << 10, u64{1} << 22);
+    // Round up to a power of two so the ring index is a mask.
+    u64 pow2 = 1;
+    while (pow2 < cap)
+        pow2 <<= 1;
+    return static_cast<u32>(pow2);
+}
+
+/**
+ * One thread's span ring. Unlike the stats OpRecord rings (small and
+ * deliberately leaked), trace rings are megabyte-scale and the test
+ * suites spawn hundreds of short-lived threads, so exited threads
+ * return their ring to a freelist for the next thread to reuse; the
+ * set of rings is bounded by the peak live thread count.
+ */
+struct SpanRing
+{
+    explicit SpanRing(u32 capacity)
+        : spans(capacity), mask(capacity - 1)
+    {
+    }
+
+    std::vector<TraceSpan> spans;
+    u32 mask;
+    /// Monotonic push count; slot = head & mask. Written only by the
+    /// owning thread; read by the quiescent exporter.
+    std::atomic<u64> head{0};
+    SpanRing *next = nullptr;  ///< all-rings list link (immutable)
+    std::atomic<SpanRing *> freeNext{nullptr};
+};
+
+/// Head of the list of every ring ever created (never removed).
+std::atomic<SpanRing *> gAllRings{nullptr};
+/// Rings whose owning thread exited, available for adoption.
+std::mutex gFreeMutex;
+SpanRing *gFreeList = nullptr;
+
+SpanRing *acquireRing()
+{
+    {
+        std::lock_guard<std::mutex> guard(gFreeMutex);
+        if (gFreeList != nullptr) {
+            SpanRing *ring = gFreeList;
+            gFreeList = ring->freeNext.load(std::memory_order_relaxed);
+            return ring;
+        }
+    }
+    SpanRing *ring = new SpanRing(spanRingCapacity());
+    SpanRing *head = gAllRings.load(std::memory_order_acquire);
+    do {
+        ring->next = head;
+    } while (!gAllRings.compare_exchange_weak(head, ring,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire));
+    return ring;
+}
+
+void releaseRing(SpanRing *ring)
+{
+    std::lock_guard<std::mutex> guard(gFreeMutex);
+    ring->freeNext.store(gFreeList, std::memory_order_relaxed);
+    gFreeList = ring;
+}
+
+/** RAII TLS holder so a dying thread recycles its ring. */
+struct RingHolder
+{
+    ~RingHolder()
+    {
+        if (ring != nullptr)
+            releaseRing(ring);
+    }
+    SpanRing *ring = nullptr;
+};
+
+SpanRing &localRing()
+{
+    thread_local RingHolder holder;
+    if (holder.ring == nullptr)
+        holder.ring = acquireRing();
+    return *holder.ring;
+}
+
+thread_local u64 tlsOpId = 0;
+
+/** Appends one Chrome "X" (complete) event for @p span. */
+void appendCompleteEvent(std::string *out, const TraceSpan &span)
+{
+    const char *name;
+    const char *cat;
+    if (span.flags & kSpanCleanRange) {
+        name = "clean_range";
+        cat = "clean";
+    } else if (span.stage == stats::Stage::None) {
+        name = stats::opTypeName(span.op);
+        cat = "op";
+    } else {
+        name = stats::stageName(span.stage);
+        cat = "stage";
+    }
+    char buf[384];
+    // Chrome trace timestamps are microseconds (doubles); keep the
+    // sub-microsecond precision with a fractional part.
+    const double tsUs = static_cast<double>(span.startNanos) / 1000.0;
+    const double durUs =
+        static_cast<double>(span.endNanos - span.startNanos) / 1000.0;
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":0,"
+        "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"op\":%llu",
+        name, cat, span.threadId, tsUs, durUs,
+        static_cast<unsigned long long>(span.opId));
+    out->append(buf, static_cast<std::size_t>(n));
+    if (span.srcOpId != 0) {
+        n = std::snprintf(buf, sizeof(buf), ",\"src_op\":%llu",
+                          static_cast<unsigned long long>(span.srcOpId));
+        out->append(buf, static_cast<std::size_t>(n));
+    }
+    n = std::snprintf(buf, sizeof(buf), ",\"bytes\":%llu,\"ok\":%s}}",
+                      static_cast<unsigned long long>(span.bytes),
+                      span.ok ? "true" : "false");
+    out->append(buf, static_cast<std::size_t>(n));
+}
+
+/** Appends one flow event (ph s/t/f) tying producer to consumer. */
+void appendFlowEvent(std::string *out, char phase, u64 id, u32 tid,
+                     u64 nanos, bool bindEnclosing)
+{
+    char buf[256];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"ph\":\"%c\",\"name\":\"dirty-handoff\",\"cat\":\"causal\","
+        "\"id\":%llu,\"pid\":0,\"tid\":%u,\"ts\":%.3f%s}",
+        phase, static_cast<unsigned long long>(id), tid,
+        static_cast<double>(nanos) / 1000.0,
+        bindEnclosing ? ",\"bp\":\"e\"" : "");
+    out->append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> gEnabledFlag{envEnabled()};
+thread_local u64 tlsSpanBytes = 0;
+}  // namespace detail
+
+void setEnabled(bool on)
+{
+    detail::gEnabledFlag.store(on, std::memory_order_relaxed);
+}
+
+u32 spanRingCapacity()
+{
+    static const u32 capacity = ringCapacityFromEnv();
+    return capacity;
+}
+
+void pushSpan(const TraceSpan &span)
+{
+    if (!enabled())
+        return;
+    SpanRing &ring = localRing();
+    const u64 head = ring.head.load(std::memory_order_relaxed);
+    ring.spans[head & ring.mask] = span;
+    ring.head.store(head + 1, std::memory_order_release);
+}
+
+u64 spanCount()
+{
+    u64 total = 0;
+    for (SpanRing *ring = gAllRings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next) {
+        total += std::min<u64>(ring->head.load(std::memory_order_acquire),
+                               ring->mask + u64{1});
+    }
+    return total;
+}
+
+void clear()
+{
+    for (SpanRing *ring = gAllRings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next)
+        ring->head.store(0, std::memory_order_release);
+}
+
+std::vector<TraceSpan> snapshot()
+{
+    std::vector<TraceSpan> out;
+    out.reserve(spanCount());
+    for (SpanRing *ring = gAllRings.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->next) {
+        const u64 head = ring->head.load(std::memory_order_acquire);
+        const u64 capacity = ring->mask + u64{1};
+        const u64 count = std::min(head, capacity);
+        for (u64 i = head - count; i < head; ++i)
+            out.push_back(ring->spans[i & ring->mask]);
+    }
+    return out;
+}
+
+std::string exportJson()
+{
+    std::vector<TraceSpan> spans = snapshot();
+    // Chrome tolerates unsorted events, but sorted output keeps the
+    // export deterministic for tests and diffing.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceSpan &a, const TraceSpan &b) {
+                         return a.startNanos < b.startNanos;
+                     });
+
+    // Producer op id -> (commit time, thread) for flow synthesis.
+    // The op span's end is where the dirty range became durable and
+    // visible to the cleaner, so arrows start there.
+    struct Producer
+    {
+        u64 endNanos;
+        u32 threadId;
+    };
+    std::unordered_map<u64, Producer> producers;
+    std::unordered_map<u64, u32> consumerCount;
+    for (const TraceSpan &span : spans) {
+        if (!(span.flags & kSpanCleanRange) &&
+            span.stage == stats::Stage::None)
+            producers[span.opId] = {span.endNanos, span.threadId};
+        if ((span.flags & kSpanCleanRange) && span.srcOpId != 0)
+            ++consumerCount[span.srcOpId];
+    }
+
+    std::string out;
+    out.reserve(spans.size() * 192 + 256);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ",\n";
+        first = false;
+    };
+    for (const TraceSpan &span : spans) {
+        comma();
+        appendCompleteEvent(&out, span);
+    }
+    // Flow arrows: one "s" at each producer's commit, then a "t" per
+    // clean_range consumer, closed by "f" on the last one.
+    std::unordered_map<u64, u32> seen;
+    for (const TraceSpan &span : spans) {
+        if (!(span.flags & kSpanCleanRange) || span.srcOpId == 0)
+            continue;
+        const auto producer = producers.find(span.srcOpId);
+        if (producer == producers.end())
+            continue;  // producer span already evicted from its ring
+        u32 &done = seen[span.srcOpId];
+        if (done == 0) {
+            comma();
+            appendFlowEvent(&out, 's', span.srcOpId,
+                            producer->second.threadId,
+                            producer->second.endNanos,
+                            /*bindEnclosing=*/false);
+        }
+        ++done;
+        const bool last = done == consumerCount[span.srcOpId];
+        comma();
+        appendFlowEvent(&out, last ? 'f' : 't', span.srcOpId,
+                        span.threadId, span.startNanos,
+                        /*bindEnclosing=*/last);
+    }
+    out += "]}";
+    return out;
+}
+
+bool exportJsonToFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        MGSP_ERROR("trace: cannot open %s for writing", path.c_str());
+        return false;
+    }
+    const std::string json = exportJson();
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok)
+        MGSP_ERROR("trace: short write to %s", path.c_str());
+    return ok;
+}
+
+namespace detail {
+
+u64 currentOpId()
+{
+    return tlsOpId;
+}
+
+void setCurrentOpId(u64 id)
+{
+    tlsOpId = id;
+}
+
+u64 swapSpanBytes(u64 value)
+{
+    const u64 old = tlsSpanBytes;
+    tlsSpanBytes = value;
+    return old;
+}
+
+}  // namespace detail
+
+}  // namespace trace
+}  // namespace mgsp

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Causal operation tracing: per-thread lock-free span rings plus a
+ * Chrome-trace-event (Perfetto-loadable) exporter.
+ *
+ * The PR-1 stats plane answers "where do the nanoseconds go in
+ * aggregate" (per-stage counters and histograms). This module answers
+ * the question those aggregates cannot: *where inside one operation*
+ * the time went, and what later asynchronous work that operation
+ * caused. Every traced MGSP operation (see stats::OpTrace) carries a
+ * process-unique op id; each stage transition emits a TraceSpan into
+ * the calling thread's ring, and cross-thread handoffs — a write's
+ * dirty range being cleaned later by the background cleaner — record
+ * the originating op id as srcOpId, so one write's full causal chain
+ * (claim → lock → data_write → commit_fence → bitmap_apply → async
+ * clean) is reconstructable from the export.
+ *
+ * Concurrency contract: pushSpan() touches only the calling thread's
+ * ring (no locks, no shared RMW), so tracing is race-free under TSan.
+ * exportJson()/snapshot() are quiescent-reader operations: they are
+ * meant to run after workers finish (bench teardown, test join); a
+ * concurrent writer can tear the ring slot being overwritten, which
+ * costs one garbled span, never memory unsafety.
+ *
+ * Cost: with tracing disabled (the default) the only overhead on the
+ * stats hot path is one relaxed atomic load per stage transition.
+ * Enable with MGSP_TRACE=1 or trace::setEnabled(true); benches wire
+ * this to --trace-json=FILE. Tracing rides on the stats plane, so it
+ * also requires stats to be enabled (MGSP_STATS != 0).
+ */
+#ifndef MGSP_COMMON_TRACE_H
+#define MGSP_COMMON_TRACE_H
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mgsp {
+namespace trace {
+
+/** Span kind flags (TraceSpan::flags). */
+inline constexpr u8 kSpanCleanRange = 1;  ///< one cleaned dirty range
+
+/**
+ * One closed interval of attributed work. stage == Stage::None marks
+ * a whole-operation span (the parent of that op's stage spans).
+ */
+struct TraceSpan
+{
+    u64 opId = 0;       ///< owning operation (stats::OpTrace seq)
+    u64 srcOpId = 0;    ///< causal source op (cleaner handoff); 0 = none
+    u64 startNanos = 0; ///< monotonicNanos() at span open
+    u64 endNanos = 0;
+    u64 bytes = 0;      ///< device bytes stored during the span
+    u32 threadId = 0;   ///< stats::currentThreadId() of the emitter
+    stats::Stage stage = stats::Stage::None;
+    stats::OpType op = stats::OpType::Write;
+    u8 flags = 0;       ///< kSpan* bits
+    bool ok = true;
+};
+
+namespace detail {
+/** Backing flag for enabled(); do not touch directly. */
+extern std::atomic<bool> gEnabledFlag;
+}  // namespace detail
+
+/**
+ * Global runtime switch. Initialised from the environment
+ * (`MGSP_TRACE=1` enables) and overridable via setEnabled().
+ * Inline: this gate sits on the stats hot path, so it must compile
+ * down to two relaxed loads, not a library call.
+ */
+inline bool
+enabled()
+{
+    return detail::gEnabledFlag.load(std::memory_order_relaxed) &&
+           stats::enabled();
+}
+
+void setEnabled(bool on);
+
+/**
+ * Per-thread ring capacity in spans (power of two). Read once at
+ * first use from `MGSP_TRACE_RING` (rounded up to a power of two,
+ * clamped to [1<<10, 1<<22]); default 1<<16.
+ */
+u32 spanRingCapacity();
+
+/**
+ * Appends @p span to the calling thread's ring, overwriting the
+ * oldest span once the ring is full. Lock-free (thread-private ring;
+ * the global ring list is mutated only on thread birth/death). No-op
+ * when tracing is disabled.
+ */
+void pushSpan(const TraceSpan &span);
+
+/** Spans currently retained across all rings. */
+u64 spanCount();
+
+/** Drops every retained span (bench reuse; callers quiesce). */
+void clear();
+
+/**
+ * Copies every retained span out of the rings, oldest first per
+ * thread (unsorted across threads). Quiescent-reader: see the file
+ * comment.
+ */
+std::vector<TraceSpan> snapshot();
+
+/**
+ * Renders the retained spans as Chrome trace-event JSON ("X"
+ * complete events, microsecond timestamps), loadable in Perfetto /
+ * chrome://tracing. Whole-op spans and stage spans nest by time on
+ * each thread track; cleaner handoffs additionally emit flow arrows
+ * (s/t/f events keyed by the source op id) from the committing
+ * write to every clean_range span that wrote its data back.
+ */
+std::string exportJson();
+
+/**
+ * Writes exportJson() to @p path (truncating). Returns false and
+ * logs on I/O failure.
+ */
+bool exportJsonToFile(const std::string &path);
+
+// ---- hot-path hooks (used by stats::OpTrace / device charging) ---
+
+namespace detail {
+/** Current thread's in-flight traced op id (0 = none). */
+u64 currentOpId();
+void setCurrentOpId(u64 id);
+
+/** Byte accumulator for the calling thread's open span. */
+extern thread_local u64 tlsSpanBytes;
+
+/** Swaps the per-stage byte accumulator, returning the old value. */
+u64 swapSpanBytes(u64 value);
+
+/**
+ * Adds device bytes to the open span of the calling thread. Inline
+ * and unconditional by design: a plain thread-local add is cheaper
+ * than gating on enabled() (two atomic loads) at every device store,
+ * and a stale accumulator is harmless — OpTrace zeroes it whenever a
+ * traced operation actually begins.
+ */
+inline void
+addSpanBytes(u64 bytes)
+{
+    tlsSpanBytes += bytes;
+}
+}  // namespace detail
+
+}  // namespace trace
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_TRACE_H

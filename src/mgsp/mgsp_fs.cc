@@ -7,6 +7,7 @@
 #include "common/align.h"
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "mgsp/backoff.h"
 
 namespace mgsp {
@@ -746,7 +747,7 @@ MgspFs::poolBelowWatermark() const
 }
 
 void
-MgspFs::noteDirty(OpenInode *inode, u64 off, u64 len)
+MgspFs::noteDirty(OpenInode *inode, u64 off, u64 len, u64 srcOp)
 {
     if (!cleanerOn_ || len == 0)
         return;
@@ -754,17 +755,19 @@ MgspFs::noteDirty(OpenInode *inode, u64 off, u64 len)
         std::lock_guard<std::mutex> guard(inode->dirtyMutex);
         if (!inode->dirtyRanges.empty()) {
             auto &last = inode->dirtyRanges.back();
-            if (off <= last.first + last.second &&
-                last.first <= off + len) {
-                const u64 end =
-                    std::max(last.first + last.second, off + len);
-                last.first = std::min(last.first, off);
-                last.second = end - last.first;
+            if (off <= last.off + last.len && last.off <= off + len) {
+                const u64 end = std::max(last.off + last.len, off + len);
+                last.off = std::min(last.off, off);
+                last.len = end - last.off;
+                // Latest contributor wins: close enough for the flow
+                // arrow, and sequential streams coalesce to one range.
+                if (srcOp != 0)
+                    last.srcOp = srcOp;
             } else {
-                inode->dirtyRanges.emplace_back(off, len);
+                inode->dirtyRanges.push_back({off, len, srcOp});
             }
         } else {
-            inode->dirtyRanges.emplace_back(off, len);
+            inode->dirtyRanges.push_back({off, len, srcOp});
         }
     }
     if (!poolBelowWatermark())
@@ -826,7 +829,7 @@ MgspFs::drainInode(OpenInode *inode)
     // writer stream must not be able to wedge a sync() barrier.
     Stopwatch cycle_timer;
     std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
-    std::vector<std::pair<u64, u64>> ranges;
+    std::vector<OpenInode::DirtyRange> ranges;
     {
         std::lock_guard<std::mutex> guard(inode->dirtyMutex);
         ranges.swap(inode->dirtyRanges);
@@ -835,14 +838,33 @@ MgspFs::drainInode(OpenInode *inode)
         exitDegradedLocked(inode);
         return Status::ok();
     }
-    stats::OpTrace trace(stats::OpType::Clean, ranges.front().first,
-                         ranges.front().second, statsOn_);
+    stats::OpTrace trace(stats::OpType::Clean, ranges.front().off,
+                         ranges.front().len, statsOn_);
     trace.stage(stats::Stage::Clean);
     ReclaimStats reclaim;
     Status result = Status::ok();
     for (std::size_t i = 0; i < ranges.size(); ++i) {
-        Status s = cleanOneRange(inode, ranges[i].first,
-                                 ranges[i].second, &reclaim);
+        const bool traced = trace.on() && trace::enabled();
+        const u64 range_start = traced ? monotonicNanos() : 0;
+        Status s = cleanOneRange(inode, ranges[i].off, ranges[i].len,
+                                 &reclaim);
+        if (traced) {
+            // Per-range span carrying the causal link back to the
+            // write that dirtied it; the export synthesises the flow
+            // arrow from srcOp.
+            trace::TraceSpan span;
+            span.opId = trace.opId();
+            span.srcOpId = ranges[i].srcOp;
+            span.startNanos = range_start;
+            span.endNanos = monotonicNanos();
+            span.bytes = ranges[i].len;
+            span.threadId = stats::currentThreadId();
+            span.stage = stats::Stage::Clean;
+            span.op = stats::OpType::Clean;
+            span.flags = trace::kSpanCleanRange;
+            span.ok = s.isOk();
+            trace::pushSpan(span);
+        }
         if (!s.isOk()) {
             // Re-queue what this cycle did not finish.
             std::lock_guard<std::mutex> guard(inode->dirtyMutex);
@@ -1091,6 +1113,7 @@ MgspFs::statsReport() const
 
     // ---- human-readable text ------------------------------------
     std::string &text = report.text;
+    text += "meta: " + stats::metadataJson() + "\n";
     std::snprintf(buf, sizeof(buf),
                   "MGSP stats report (tracing %s)\n"
                   "logical bytes written: %llu\n"
@@ -1232,8 +1255,9 @@ MgspFs::statsReport() const
         return std::string(buf);
     };
     std::string &json = report.json;
+    json += "{\"meta\":" + stats::metadataJson() + ",";
     std::snprintf(buf, sizeof(buf),
-                  "{\"stats_enabled\":%s,\"logical_bytes\":%llu,"
+                  "\"stats_enabled\":%s,\"logical_bytes\":%llu,"
                   "\"device\":{\"bytes_written\":%llu,\"bytes_flushed\":"
                   "%llu,\"flushed_lines\":%llu,\"fences\":%llu},"
                   "\"write_amplification\":%.3f,\"stages\":{",
@@ -1365,6 +1389,12 @@ MgspFs::statsReport() const
                   recovery_.degradedFilesCleared);
     json += buf;
     return report;
+}
+
+std::string
+MgspFs::traceExport() const
+{
+    return trace::exportJson();
 }
 
 void
@@ -1599,7 +1629,7 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
                frontier, claim_end, std::memory_order_acq_rel))
         ;
 
-    noteDirty(inode, offset, src.size());
+    noteDirty(inode, offset, src.size(), trace.opId());
 
     if (!config_.enableShadowLog) {
         // Ablation: checkpoint immediately — the classic double write.
@@ -1907,7 +1937,7 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         ;
     for (const BatchWrite &w : sorted) {
         logicalBytes_.fetch_add(w.data.size(), std::memory_order_relaxed);
-        noteDirty(inode, w.offset, w.data.size());
+        noteDirty(inode, w.offset, w.data.size(), trace.opId());
     }
 
     if (!config_.enableShadowLog) {

@@ -174,6 +174,14 @@ class MgspFs : public FileSystem
      */
     MgspStatsReport statsReport() const;
 
+    /**
+     * Chrome trace-event JSON (Perfetto-loadable) of the causal span
+     * rings — per-op stage spans plus flow arrows from each write to
+     * the cleaner ranges it caused (see common/trace.h). Process-wide
+     * like statsReport(); call from a quiesced point (bench teardown).
+     */
+    std::string traceExport() const;
+
     /** Whether this instance traces operations (config + env gate). */
     bool statsEnabled() const { return statsOn_; }
 
@@ -225,9 +233,20 @@ class MgspFs : public FileSystem
         /// Guards dirtyRanges. Writers append after each committed
         /// shadow-log chunk; cleaner passes swap the whole queue out.
         std::mutex dirtyMutex;
-        /// Committed-but-not-written-back (offset, length) ranges,
-        /// tail-coalesced so sequential writers queue one entry.
-        std::vector<std::pair<u64, u64>> dirtyRanges;
+        /// One committed-but-not-written-back range. srcOp is the
+        /// causal trace id of the (latest, under tail-coalescing)
+        /// write that produced it, so the cleaner's write-back span
+        /// can point back at the op that made the data dirty; 0 when
+        /// tracing was off at commit time.
+        struct DirtyRange
+        {
+            u64 off = 0;
+            u64 len = 0;
+            u64 srcOp = 0;
+        };
+        /// Committed-but-not-written-back ranges, tail-coalesced so
+        /// sequential writers queue one entry.
+        std::vector<DirtyRange> dirtyRanges;
         /// Held across one whole drain cycle (queue swap + write-back
         /// + reclaim). Close-path write-back and truncate take it too,
         /// so the cleaner never races operations that assume covering
@@ -327,7 +346,7 @@ class MgspFs : public FileSystem
      * write; nudges (or, with zero cleaner threads, runs) a drain
      * when the pool falls below the low watermark.
      */
-    void noteDirty(OpenInode *inode, u64 off, u64 len);
+    void noteDirty(OpenInode *inode, u64 off, u64 len, u64 srcOp);
     bool poolBelowWatermark() const;
     /** Locks one queued range (MGL W / file lock) and cleans it. */
     Status cleanOneRange(OpenInode *inode, u64 off, u64 len,

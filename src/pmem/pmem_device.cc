@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
 
 #include "common/align.h"
 #include "common/logging.h"
@@ -10,9 +12,46 @@
 
 namespace mgsp {
 
+namespace {
+
+/**
+ * Publishes the device's latency constants into the stats metadata
+ * header (once; every device in a process shares the compiled-in
+ * defaults unless a test overrides them, and the first device's
+ * constants are the ones benches run under). Makes BENCH_*.json
+ * self-describing: a regression caused by retuning the cost model is
+ * distinguishable from a code regression.
+ */
+void
+registerLatencyMetadata(const LatencyModel &m)
+{
+    static std::once_flag once;
+    std::call_once(once, [&m] {
+        char buf[320];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"read_base_ns\":%llu,\"read_per_256b_ns\":%llu,"
+            "\"write_per_256b_ns\":%llu,\"flush_per_line_ns\":%llu,"
+            "\"fence_ns\":%llu,\"syscall_ns\":%llu,"
+            "\"kernel_fs_path_ns\":%llu,\"tlb_shootdown_ns\":%llu}",
+            static_cast<unsigned long long>(m.readBaseNanos),
+            static_cast<unsigned long long>(m.readPer256BNanos),
+            static_cast<unsigned long long>(m.writePer256BNanos),
+            static_cast<unsigned long long>(m.flushPerLineNanos),
+            static_cast<unsigned long long>(m.fenceNanos),
+            static_cast<unsigned long long>(m.syscallNanos),
+            static_cast<unsigned long long>(m.kernelFsPathNanos),
+            static_cast<unsigned long long>(m.tlbShootdownNanos));
+        stats::setMetadataField("latency_model", buf);
+    });
+}
+
+}  // namespace
+
 PmemDevice::PmemDevice(u64 size, Mode mode, LatencyModel model)
     : size_(size), mode_(mode), model_(model), view_(size, 0)
 {
+    registerLatencyMetadata(model_);
     if (mode_ == Mode::Tracked)
         media_.assign(size, 0);
 }
@@ -22,6 +61,7 @@ PmemDevice::PmemDevice(const CrashImage &image, Mode mode,
     : size_(image.media.size()), mode_(mode), model_(model),
       view_(image.media)
 {
+    registerLatencyMetadata(model_);
     if (mode_ == Mode::Tracked)
         media_ = image.media;
 }

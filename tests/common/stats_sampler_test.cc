@@ -1,0 +1,83 @@
+/** @file Unit tests for the StatsRegistry time-series sampler. */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/stats.h"
+#include "common/stats_sampler.h"
+
+namespace mgsp {
+namespace stats {
+namespace {
+
+TEST(StatsSampler, CapturesDeltasOverTime)
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    Counter &c = reg.counter("test.sampler_counter");
+    c.reset();
+    StatsSampler sampler(/*intervalMillis=*/5);
+    sampler.start();
+    for (int i = 0; i < 4; ++i) {
+        c.add(100);
+        std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    }
+    sampler.stop();
+    EXPECT_GE(sampler.sampleCount(), 2u);
+    const std::string json = sampler.toJson();
+    EXPECT_NE(json.find("\"interval_ms\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"tick_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.sampler_counter\""), std::string::npos);
+}
+
+TEST(StatsSampler, OmitsIdleSeries)
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    reg.counter("test.sampler_idle").reset();
+    reg.counter("test.sampler_busy").reset();
+    StatsSampler sampler(/*intervalMillis=*/5);
+    sampler.start();
+    reg.counter("test.sampler_busy").add(7);
+    std::this_thread::sleep_for(std::chrono::milliseconds(12));
+    sampler.stop();
+    const std::string json = sampler.toJson();
+    EXPECT_NE(json.find("\"test.sampler_busy\""), std::string::npos);
+    EXPECT_EQ(json.find("\"test.sampler_idle\""), std::string::npos);
+}
+
+TEST(StatsSampler, ResetBetweenRunsDoesNotUnderflow)
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    Counter &c = reg.counter("test.sampler_reset");
+    c.reset();
+    c.add(1000);
+    StatsSampler sampler(/*intervalMillis=*/5);
+    sampler.start();  // baseline sees 1000
+    c.reset();        // bench-style mid-run reset
+    c.add(3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(12));
+    sampler.stop();
+    const std::string json = sampler.toJson();
+    // The delta must be the small post-reset value, not a u64 wrap.
+    EXPECT_EQ(json.find("18446744073709"), std::string::npos);
+}
+
+TEST(StatsSampler, StopIsIdempotentAndFinalSampleTaken)
+{
+    StatsRegistry &reg = StatsRegistry::instance();
+    Counter &c = reg.counter("test.sampler_final");
+    c.reset();
+    StatsSampler sampler(/*intervalMillis=*/1000);  // never ticks alone
+    sampler.start();
+    c.add(5);
+    sampler.stop();  // must not hang for a second; takes a final tick
+    sampler.stop();
+    EXPECT_GE(sampler.sampleCount(), 1u);
+    EXPECT_NE(sampler.toJson().find("\"test.sampler_final\""),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace mgsp

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Perf-trajectory comparator for the canonical BENCH_*.json files.
+
+Diffs the named series of a freshly generated bench document against
+the committed baseline and fails (exit 1) when any series regressed
+beyond the tolerance. Direction is inferred from the series unit:
+time units (ns/us/ms/s) regress upward, everything else (MiB/s,
+ops/s, ...) regresses downward.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.15]
+  tools/bench_compare.py --self-test
+
+Exit codes: 0 ok, 1 regression (or self-test failure), 2 usage/schema
+error. Schema breaks (mismatched meta.schema_version) are a hard
+error: numbers across schemas are not comparable.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNITS = {"ns", "us", "ms", "s"}
+# Series whose fast-mode runs are too short to be stable are skipped
+# when their baseline value is below this floor (in their own unit):
+# a 0.2 ms mount time doubling is timer noise, not a regression.
+TIME_FLOOR = {"ns": 1e5, "us": 100.0, "ms": 0.5, "s": 0.001}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for key in ("meta", "bench", "series"):
+        if key not in doc:
+            print(f"bench_compare: {path} missing '{key}'", file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def lower_is_better(unit):
+    return unit in TIME_UNITS
+
+
+def compare(baseline, candidate, tolerance):
+    """Returns a list of human-readable regression strings."""
+    if baseline["meta"].get("schema_version") != candidate["meta"].get(
+        "schema_version"
+    ):
+        print(
+            "bench_compare: schema_version mismatch "
+            f"({baseline['meta'].get('schema_version')} vs "
+            f"{candidate['meta'].get('schema_version')}); regenerate the "
+            "baseline",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    regressions = []
+    missing = []
+    for name, base in sorted(baseline["series"].items()):
+        cand = candidate["series"].get(name)
+        if cand is None:
+            missing.append(name)
+            continue
+        bval, cval = base["value"], cand["value"]
+        unit = base.get("unit", "")
+        if bval < 0 or cval < 0:
+            regressions.append(f"{name}: run error (baseline={bval} candidate={cval})")
+            continue
+        if lower_is_better(unit):
+            if bval < TIME_FLOOR.get(unit, 0.0):
+                continue  # below the noise floor for this unit
+            if bval == 0:
+                continue
+            ratio = cval / bval
+            if ratio > 1.0 + tolerance:
+                regressions.append(
+                    f"{name}: {bval:g} -> {cval:g} {unit} "
+                    f"(+{(ratio - 1) * 100:.1f}%, lower is better)"
+                )
+        else:
+            if bval == 0:
+                continue
+            ratio = cval / bval
+            if ratio < 1.0 - tolerance:
+                regressions.append(
+                    f"{name}: {bval:g} -> {cval:g} {unit} "
+                    f"({(ratio - 1) * 100:.1f}%, higher is better)"
+                )
+    # A series disappearing is as suspicious as a slowdown: it means
+    # the bench stopped measuring something the baseline ratchets.
+    for name in missing:
+        regressions.append(f"{name}: series missing from candidate")
+    return regressions
+
+
+def self_test():
+    """Injects a 20% synthetic regression and checks it is caught."""
+    meta = {"schema_version": 2, "git_sha": "selftest", "seed": None}
+    base = {
+        "meta": meta,
+        "bench": "selftest",
+        "series": {
+            "tput.a": {"value": 100.0, "unit": "MiB/s"},
+            "lat.b": {"value": 10.0, "unit": "ms"},
+            "tiny.c": {"value": 0.1, "unit": "ms"},
+        },
+    }
+    # 20% throughput drop and 20% latency rise must both trip at the
+    # default 15% tolerance; the tiny series sits under the noise
+    # floor and must not.
+    cand = {
+        "meta": meta,
+        "bench": "selftest",
+        "series": {
+            "tput.a": {"value": 80.0, "unit": "MiB/s"},
+            "lat.b": {"value": 12.0, "unit": "ms"},
+            "tiny.c": {"value": 0.2, "unit": "ms"},
+        },
+    }
+    regressions = compare(base, cand, 0.15)
+    ok = (
+        len(regressions) == 2
+        and any(r.startswith("tput.a") for r in regressions)
+        and any(r.startswith("lat.b") for r in regressions)
+    )
+    # And an unchanged candidate must pass clean.
+    ok = ok and not compare(base, base, 0.15)
+    # Direction sanity: an improvement is never a regression.
+    better = {
+        "meta": meta,
+        "bench": "selftest",
+        "series": {
+            "tput.a": {"value": 130.0, "unit": "MiB/s"},
+            "lat.b": {"value": 7.0, "unit": "ms"},
+            "tiny.c": {"value": 0.05, "unit": "ms"},
+        },
+    }
+    ok = ok and not compare(base, better, 0.15)
+    print("bench_compare self-test:", "OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    if baseline["bench"] != candidate["bench"]:
+        print(
+            f"bench_compare: comparing different benches "
+            f"({baseline['bench']} vs {candidate['bench']})",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    regressions = compare(baseline, candidate, args.tolerance)
+    n = len(baseline["series"])
+    if regressions:
+        print(
+            f"bench_compare: {baseline['bench']}: "
+            f"{len(regressions)} regression(s) beyond "
+            f"{args.tolerance * 100:.0f}% across {n} series:"
+        )
+        for r in regressions:
+            print("  " + r)
+        sys.exit(1)
+    print(
+        f"bench_compare: {baseline['bench']}: OK "
+        f"({n} series within {args.tolerance * 100:.0f}%; candidate sha "
+        f"{candidate['meta'].get('git_sha')})"
+    )
+
+
+if __name__ == "__main__":
+    main()
