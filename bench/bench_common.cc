@@ -78,6 +78,8 @@ makeEngine(const std::string &name, u64 arena_bytes)
             cfg.enableCleaner = true;
             cfg.cleanerThreads = 1;
             cfg.cleanerSyncIntervalMillis = 5;
+        } else if (name == "mgsp-epoch") {
+            cfg.enableEpochSync = true;
         } else if (name != "mgsp") {
             MGSP_FATAL("unknown mgsp variant: %s", name.c_str());
         }
@@ -140,9 +142,10 @@ usageError(const char *argv0, const std::string &offender)
         "%s: bad argument: %s\n"
         "usage: %s [--stats-json=FILE] [--trace-json=FILE]\n"
         "          [--bench-json=FILE] [--sample-ms=N] [--background]\n"
-        "          [--quick] [--corrupt-pct=P0,P1,...]\n"
-        "          [--pool-pct=P0,P1,...]\n"
-        "Value-taking flags require the value (= or next argument).\n",
+        "          [--quick] [--sync-interval=N]\n"
+        "          [--corrupt-pct=P0,P1,...] [--pool-pct=P0,P1,...]\n"
+        "Value-taking flags require the value (= or next argument);\n"
+        "--sync-interval must be >= 1 (no-sync is part of the sweep).\n",
         argv0, offender.c_str(), argv0);
     std::exit(2);
 }
@@ -176,8 +179,21 @@ parseBenchArgs(int argc, char **argv)
             args.sampleMillis = std::strtoull(argv[++i], nullptr, 10);
             if (args.sampleMillis == 0)
                 usageError(argv[0], arg + " " + argv[i]);
+        } else if (arg.rfind("--sync-interval=", 0) == 0) {
+            // 0 would divide by zero in the interval scheduler: every
+            // N ops the workload checks `ops % interval`. Reject it at
+            // the door like the other malformed values.
+            args.syncInterval = std::strtoull(
+                arg.c_str() + strlen("--sync-interval="), nullptr, 10);
+            if (args.syncInterval == 0)
+                usageError(argv[0], arg);
+        } else if (arg == "--sync-interval" && i + 1 < argc) {
+            args.syncInterval = std::strtoull(argv[++i], nullptr, 10);
+            if (args.syncInterval == 0)
+                usageError(argv[0], arg + " " + argv[i]);
         } else if (arg == "--stats-json" || arg == "--trace-json" ||
-                   arg == "--bench-json" || arg == "--sample-ms") {
+                   arg == "--bench-json" || arg == "--sample-ms" ||
+                   arg == "--sync-interval") {
             // A trailing value-taking flag used to be swallowed by the
             // unknown-argument branch with a misleading message; make
             // the missing value explicit.

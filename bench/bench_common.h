@@ -12,8 +12,9 @@
  * libnvmmio | nova | mgsp, plus mgsp ablation variants
  * (mgsp-no-shadow, mgsp-no-multigran, mgsp-no-fine, mgsp-filelock,
  * mgsp-no-opt, mgsp-no-optimistic) used by the Fig. 13 breakdown and
- * the fig10 read-scalability series, and mgsp-bg (background cleaner
- * thread + periodic drain) used by fig07 --background.
+ * the fig10 read-scalability series, mgsp-bg (background cleaner
+ * thread + periodic drain) used by fig07 --background, and mgsp-epoch
+ * (epoch-based group sync, DESIGN.md §15) in the fig07 sweep.
  */
 #ifndef MGSP_BENCH_BENCH_COMMON_H
 #define MGSP_BENCH_BENCH_COMMON_H
@@ -86,6 +87,12 @@ struct BenchArgs
     /// --quick: benches that honour it (fig10) run a reduced smoke
     /// matrix and exit nonzero on a scalability regression, for CI.
     bool quick = false;
+    /// --sync-interval=N: benches that honour it (fig07) run only the
+    /// fsync-every-N column instead of the full sweep. 0 would divide
+    /// by zero in the interval scheduler, so it is rejected at parse
+    /// time (usage/exit 2); the no-sync column comes from the sweep.
+    /// 0 here means "not given": run the full sweep.
+    u64 syncInterval = 0;
     /// --corrupt-pct=P0,P1,...: benches that honour it
     /// (recovery_time) additionally run a salvage-mode recovery
     /// series, rotting the given percentages of node records in the

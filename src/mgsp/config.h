@@ -46,6 +46,23 @@ enum class RecoveryMode {
     Salvage,
 };
 
+/**
+ * Per-subtree shadow-log write policy under epoch sync (DESIGN.md
+ * §15). "Write-through" never weakens atomicity: every write still
+ * commits through the shadow machinery; the policy only decides
+ * whether a subtree's logs are eagerly written back to the base
+ * extent at epoch boundaries (read-hot subtrees) or left in place
+ * (write-hot subtrees, the classic shadow-log behaviour).
+ */
+enum class PolicyMode {
+    /** Choose per subtree from the observed read/write ratio. */
+    Adaptive,
+    /** Never write back at epoch boundaries (ablation baseline). */
+    ForceShadow,
+    /** Write every dirty subtree back at each epoch (ablation). */
+    ForceWriteThrough,
+};
+
 /** Engine configuration. Fixed at file-system creation. */
 struct MgspConfig
 {
@@ -223,6 +240,42 @@ struct MgspConfig
      */
     bool degradedWriteThrough = false;
 
+    // ---- epoch group sync & adaptive log policy (DESIGN.md §15) --
+    /**
+     * Epoch-based group commit: writes stage their data and bitmap
+     * words into the current epoch instead of paying a metadata-log
+     * commit each; sync() bumps the global epoch and publishes every
+     * participating inode's staged metadata with one fence-ordered
+     * commit flip. Recovery replays complete epochs and discards
+     * partial ones, so sync() is the atomicity boundary (msync
+     * semantics) rather than each operation. Requires enableShadowLog
+     * and metaLogEntries >= 5 (the epoch commit needs its reserved
+     * record slot plus data slots).
+     */
+    bool enableEpochSync = false;
+
+    /**
+     * Staged-slot budget before an epoch auto-commits without an
+     * explicit sync(), bounding both replay work and metadata-log
+     * occupancy. 0 = derive from metaLogEntries (the entries the
+     * epoch region can hold).
+     */
+    u32 epochMaxSlots = 0;
+
+    /** Per-subtree log policy evaluated at epoch boundaries. */
+    PolicyMode policyMode = PolicyMode::Adaptive;
+
+    /**
+     * Adaptive mode: a subtree switches to write-through when
+     * reads / (reads + writes) over the decayed access window is at
+     * least this ratio, and back to shadow logging when it falls
+     * below. Counters halve at each evaluation (exponential decay).
+     */
+    double policyReadRatio = 0.6;
+
+    /** Adaptive mode: minimum decayed ops before a switch is made. */
+    u32 policyMinOps = 64;
+
     LatencyModel latency{};
 
     /** Finest shadow-log granularity in bytes. */
@@ -244,7 +297,10 @@ struct MgspConfig
                maxInodes >= 1 && maxNodeRecords >= maxInodes &&
                cleanerLowWatermark >= 0.0 && cleanerLowWatermark <= 1.0 &&
                resourceRetryAttempts >= 1 && metaClaimSweeps >= 1 &&
-               backoffInitialNanos <= backoffMaxNanos;
+               backoffInitialNanos <= backoffMaxNanos &&
+               (!enableEpochSync ||
+                (enableShadowLog && metaLogEntries >= 5)) &&
+               policyReadRatio >= 0.0 && policyReadRatio <= 1.0;
     }
 };
 

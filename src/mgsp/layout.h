@@ -90,6 +90,17 @@ struct InodeRecord
      * set.
      */
     static constexpr u64 kDegraded = 2;
+    /**
+     * At least one subtree of the file is in the adaptive
+     * write-through log policy (DESIGN.md §15): its shadow-log blocks
+     * are eagerly written back to the base extent at epoch
+     * boundaries. Atomicity is never weakened — the flag only marks
+     * that a crash may interrupt a policy write-back, which recovery
+     * resolves exactly like a cleaner pass (the committed bitmaps
+     * stay authoritative). Recovery clears the bit; the volatile
+     * access counters that drove the choice restart cold.
+     */
+    static constexpr u64 kPolicyWriteThrough = 4;
     static constexpr u32 kMaxNameLen = 79;
 
     u64 flags;       ///< bit 0: in use; bit 1: degraded write-through
@@ -198,6 +209,26 @@ static_assert(sizeof(BlockCrcEntry) == 80);
 struct MetaLogEntry
 {
     static constexpr u32 kMaxSlots = 10;
+
+    /**
+     * Epoch group-commit flags (DESIGN.md §15). A plain entry (flags
+     * 0) replays standalone, as before. Epoch entries replay in
+     * epoch-id order (the id rides in the checksummed `offset` field)
+     * and only as complete groups:
+     *
+     *  - kFlagEpochData: one member of an epoch's entry set. Orphaned
+     *    data entries — no live commit record names their epoch — are
+     *    a normal crash outcome (the epoch never committed) and are
+     *    silently discarded.
+     *  - kFlagEpochCommit alone: the epoch's commit record. `length`
+     *    is 1 + the number of data entries the epoch wrote; replay
+     *    applies the group iff exactly that many live data entries
+     *    carry the same epoch id.
+     *  - both bits: a self-contained single-inode epoch — commit
+     *    record and payload in one entry.
+     */
+    static constexpr u16 kFlagEpochData = 1;
+    static constexpr u16 kFlagEpochCommit = 2;
 
     u64 owner;        ///< 0 = free; claimed with CAS (thread tag)
     u32 length;       ///< I/O length; 0 = outdated entry

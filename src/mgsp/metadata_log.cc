@@ -61,7 +61,16 @@ MetadataLog::computeChecksum(const MetaLogEntry &entry)
 }
 
 void
-MetadataLog::commit(u32 idx, const StagedMetadata &staged)
+MetadataLog::reserve(u32 idx)
+{
+    // Any nonzero owner defeats claim()'s CAS-from-zero. Volatile on
+    // purpose: recovery's resetAll() clears owners at mount, and the
+    // epoch region is re-reserved right after.
+    device_->store64(entryOff(idx), ~0ull);
+}
+
+void
+MetadataLog::commit(u32 idx, const StagedMetadata &staged, bool fenced)
 {
     MGSP_CHECK(staged.usedSlots <= MetaLogEntry::kMaxSlots);
     MGSP_CHECK(staged.length != 0 &&
@@ -85,7 +94,9 @@ MetadataLog::commit(u32 idx, const StagedMetadata &staged)
     device_->write(off + 8, bytes + 8, body - 8);
     const u64 flush_len =
         (partialFlush_ && staged.usedSlots <= 3) ? 64 : sizeof(entry);
-    device_->persist(off, flush_len);
+    device_->flush(off, flush_len);
+    if (fenced)
+        device_->fence();
 }
 
 void

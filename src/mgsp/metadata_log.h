@@ -27,9 +27,23 @@
 
 namespace mgsp {
 
+struct TreeNode;  // shadow_tree.h; staged alongside slots, never persisted
+
 /** DRAM staging buffer for one operation's metadata. */
 struct StagedMetadata
 {
+    /**
+     * DRAM staging capacity. Larger than the persistent entry's
+     * kMaxSlots: an epoch-mode op additionally stages ancestor
+     * existing-bit flips (up to the tree height) on top of its <=10
+     * data slots, and the epoch commit re-splits the accumulated
+     * slots across as many log entries as needed. The plain path
+     * still never exceeds kMaxSlots (writes are split by
+     * planSlotCount and ancestors flip their bits directly), and
+     * commit() enforces that bound for anything persisted.
+     */
+    static constexpr u32 kStageSlots = MetaLogEntry::kMaxSlots + 16;
+
     u32 inode = 0;
     u32 length = 0;
     u64 offset = 0;
@@ -39,27 +53,35 @@ struct StagedMetadata
     /// Observability only (never persisted): which log granularities
     /// the staging pass touched — stats::kGran* bits.
     u8 granMask = 0;
-    MetaLogEntry::Slot slots[MetaLogEntry::kMaxSlots];
+    MetaLogEntry::Slot slots[kStageSlots];
+    /// Volatile twin of `slots` (same indices): the tree node whose
+    /// bitmap word slot i stages, so epoch mode can overlay the
+    /// pending word on the node without re-walking the tree. Never
+    /// persisted — commit() copies the persistent fields explicitly.
+    TreeNode *nodes[kStageSlots] = {};
 
     /**
-     * Stages a bitmap-slot change; caller must respect kMaxSlots.
+     * Stages a bitmap-slot change; caller must respect the capacity.
      * At most one slot exists per record: a batched operation can
      * write the same word twice (adjacent pwritev spans sharing a
      * leaf), and replay must not let an early flip resurface after a
      * later one.
      */
     void
-    addSlot(u32 rec_idx, u32 new_bits)
+    addSlot(u32 rec_idx, u32 new_bits, TreeNode *node = nullptr)
     {
         for (u32 i = 0; i < usedSlots; ++i) {
             if (slots[i].recIdx == rec_idx) {
                 slots[i].newBits = new_bits;
+                if (node != nullptr)
+                    nodes[i] = node;
                 return;
             }
         }
-        assert(usedSlots < MetaLogEntry::kMaxSlots);
+        assert(usedSlots < kStageSlots);
         slots[usedSlots].recIdx = rec_idx;
         slots[usedSlots].newBits = new_bits;
+        nodes[usedSlots] = node;
         ++usedSlots;
     }
 
@@ -114,11 +136,22 @@ class MetadataLog
     }
 
     /**
-     * Publishes @p staged into entry @p idx: writes the fields,
-     * computes the checksum and persists (flush + fence). On return
-     * the operation is committed.
+     * Marks entry @p idx permanently owned, so claim() skips it.
+     * Epoch mode reserves the whole array at mount: the group commit
+     * addresses entries by fixed role (fast slot, commit record, data
+     * slots) instead of claiming, and a stray CAS claim colliding
+     * with that addressing would corrupt an epoch mid-publish.
      */
-    void commit(u32 idx, const StagedMetadata &staged);
+    void reserve(u32 idx);
+
+    /**
+     * Publishes @p staged into entry @p idx: writes the fields,
+     * computes the checksum and flushes. With @p fenced (the
+     * default) a fence follows — on return the operation is
+     * committed. Epoch data entries pass fenced = false and ride one
+     * fence over the whole entry set before the commit record flips.
+     */
+    void commit(u32 idx, const StagedMetadata &staged, bool fenced = true);
 
     /**
      * Marks entry @p idx outdated (length = 0) and flushes. The

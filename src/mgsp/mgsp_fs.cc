@@ -95,7 +95,9 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
                     config.lockMode == LockMode::Mgl &&
                     config.enableShadowLog),
       greedyOn_(config.enableGreedyLocking &&
-                !(config.enableCleaner && config.enableShadowLog))
+                !(config.enableCleaner && config.enableShadowLog) &&
+                !config.enableEpochSync),
+      epochOn_(config.enableEpochSync && config.enableShadowLog)
 {
     if (optimisticOn_) {
         auto &reg = stats::StatsRegistry::instance();
@@ -130,6 +132,36 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
             &reg.counter("scrub.crc_mismatches");
         faultCounters_.scrubPoisonSkipped =
             &reg.counter("scrub.poison_skipped");
+    }
+    if (epochOn_) {
+        auto &reg = stats::StatsRegistry::instance();
+        epochCounters_.commits = &reg.counter("epoch.commits");
+        epochCounters_.fastCommits = &reg.counter("epoch.fast_commits");
+        epochCounters_.inodesCommitted =
+            &reg.counter("epoch.inodes_committed");
+        epochCounters_.slotsFlushed = &reg.counter("epoch.slots_flushed");
+        epochCounters_.autoFlushes = &reg.counter("epoch.auto_flushes");
+        epochCounters_.finalizes = &reg.counter("epoch.finalizes");
+        policyCounters_.evaluations = &reg.counter("policy.evaluations");
+        policyCounters_.toWriteThrough =
+            &reg.counter("policy.to_write_through");
+        policyCounters_.toShadow = &reg.counter("policy.to_shadow");
+        policyCounters_.writeBackBytes =
+            &reg.counter("policy.write_back_bytes");
+        // The budget keeps one participant's accumulator re-splittable
+        // into the E-2 data entries of a single commit chunk: an op
+        // may overshoot the trigger by up to kStageSlots staged slots
+        // before the auto-commit fires, so that headroom is carved out
+        // of the raw (E-2)*kMaxSlots log capacity up front.
+        const u64 raw = static_cast<u64>(config.metaLogEntries - 2) *
+                        MetaLogEntry::kMaxSlots;
+        const u64 derived =
+            raw > StagedMetadata::kStageSlots
+                ? raw - StagedMetadata::kStageSlots
+                : 1;
+        epochBudget_ = config.epochMaxSlots != 0
+                           ? std::min<u64>(config.epochMaxSlots, derived)
+                           : derived;
     }
     {
         auto &reg = stats::StatsRegistry::instance();
@@ -247,6 +279,7 @@ MgspFs::format(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
         return Status::invalidArgument("config.arenaSize != device size");
     std::unique_ptr<MgspFs> fs(new MgspFs(std::move(device), config));
     MGSP_RETURN_IF_ERROR(fs->initLayout(/*fresh=*/true));
+    fs->initEpochLog();
     fs->startCleaner();
     return fs;
 }
@@ -311,6 +344,7 @@ MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
     if (recovered)
         fs->persistSuperblock();  // repair the losing copy in place
     MGSP_RETURN_IF_ERROR(fs->runRecovery());
+    fs->initEpochLog();
     fs->startCleaner();
     return fs;
 }
@@ -335,28 +369,120 @@ MgspFs::runRecovery()
     //    log (idempotent: slots store absolute bitmap words). Entries
     //    arrive checksum-validated from scanLive, so an out-of-range
     //    index here means corruption the checksum failed to catch.
+    //    Plain entries replay independently; epoch-flagged entries
+    //    replay as ordered all-or-nothing groups (DESIGN.md §15),
+    //    regardless of whether this mount enables epoch sync.
     std::vector<MetadataLog::LiveEntry> live = metaLog_->scanLive();
-    for (const MetadataLog::LiveEntry &op : live) {
-        bool bad = op.entry.inode >= config_.maxInodes;
-        for (u32 i = 0; !bad && i < op.entry.usedSlots; ++i)
-            bad = op.entry.slots[i].recIdx >= config_.maxNodeRecords;
-        if (bad) {
-            if (!salvage)
-                return Status::corruption("metadata slot out of range");
-            ++recovery_.corruptRecordsQuarantined;
-            continue;  // unreplayed = the op never happened
-        }
-        for (u32 i = 0; i < op.entry.usedSlots; ++i) {
-            const MetaLogEntry::Slot &slot = op.entry.slots[i];
-            nodeTable_->storeBitmap(slot.recIdx, slot.newBits);
-        }
-        const u64 size_off = layout_.inodeOff(op.entry.inode) +
-                             offsetof(InodeRecord, fileSize);
-        if (device_->load64(size_off) < op.entry.newFileSize) {
-            device_->store64(size_off, op.entry.newFileSize);
+    auto entryInBounds = [&](const MetaLogEntry &e) {
+        if (e.inode >= config_.maxInodes)
+            return false;
+        for (u32 i = 0; i < e.usedSlots; ++i)
+            if (e.slots[i].recIdx >= config_.maxNodeRecords)
+                return false;
+        return true;
+    };
+    auto replayEntry = [&](const MetaLogEntry &e) {
+        for (u32 i = 0; i < e.usedSlots; ++i)
+            nodeTable_->storeBitmap(e.slots[i].recIdx, e.slots[i].newBits);
+        const u64 size_off =
+            layout_.inodeOff(e.inode) + offsetof(InodeRecord, fileSize);
+        if (device_->load64(size_off) < e.newFileSize) {
+            device_->store64(size_off, e.newFileSize);
             device_->flush(size_off, 8);
         }
-        ++recovery_.liveEntriesReplayed;
+    };
+
+    /// One epoch id's live entries: data members, the commit record,
+    /// and self-contained single-inode epochs (Data|Commit).
+    struct EpochGroup
+    {
+        std::vector<const MetadataLog::LiveEntry *> data;
+        std::vector<const MetadataLog::LiveEntry *> singles;
+        const MetadataLog::LiveEntry *record = nullptr;
+        bool dupRecord = false;
+    };
+    // Ordered ascending by epoch id (the checksummed `offset` field):
+    // later epochs' words must win when stale lazily-retired entries
+    // of an earlier epoch touch the same records.
+    std::map<u64, EpochGroup> epochs;
+
+    for (const MetadataLog::LiveEntry &op : live) {
+        const u16 eflags =
+            op.entry.flags & (MetaLogEntry::kFlagEpochData |
+                              MetaLogEntry::kFlagEpochCommit);
+        if (eflags == 0) {
+            if (!entryInBounds(op.entry)) {
+                if (!salvage)
+                    return Status::corruption(
+                        "metadata slot out of range");
+                ++recovery_.corruptRecordsQuarantined;
+                continue;  // unreplayed = the op never happened
+            }
+            replayEntry(op.entry);
+            ++recovery_.liveEntriesReplayed;
+            continue;
+        }
+        EpochGroup &g = epochs[op.entry.offset];
+        if (eflags == MetaLogEntry::kFlagEpochCommit) {
+            if (g.record != nullptr)
+                g.dupRecord = true;
+            else
+                g.record = &op;
+        } else if (eflags == MetaLogEntry::kFlagEpochData) {
+            g.data.push_back(&op);
+        } else {
+            g.singles.push_back(&op);
+        }
+    }
+
+    for (auto &[epoch_id, g] : epochs) {
+        (void)epoch_id;
+        // Bounds rot anywhere in the group quarantines the WHOLE
+        // group: replaying a subset would tear the epoch's atomicity.
+        bool bounds_ok = true;
+        for (const auto *e : g.singles)
+            bounds_ok = bounds_ok && entryInBounds(e->entry);
+        for (const auto *e : g.data)
+            bounds_ok = bounds_ok && entryInBounds(e->entry);
+        if (!bounds_ok) {
+            if (!salvage)
+                return Status::corruption("epoch slot out of range");
+            recovery_.corruptRecordsQuarantined += static_cast<u32>(
+                g.singles.size() + g.data.size() +
+                (g.record != nullptr ? 1 : 0));
+            continue;
+        }
+        // Self-contained epochs (Data|Commit in one entry) are
+        // complete by construction.
+        for (const auto *e : g.singles) {
+            replayEntry(e->entry);
+            ++recovery_.epochsReplayed;
+        }
+        if (g.record == nullptr) {
+            // Data entries whose commit record never landed: the
+            // epoch never committed. A normal crash outcome, so the
+            // discard is silent even in strict mode.
+            if (!g.data.empty())
+                ++recovery_.epochsDiscarded;
+            continue;
+        }
+        // The record commits only after its full data set is fenced
+        // durable, so any count mismatch (or a duplicated record) is
+        // genuine corruption, not a crash shape.
+        if (g.dupRecord ||
+            g.record->entry.length !=
+                1 + static_cast<u32>(g.data.size())) {
+            if (!salvage)
+                return Status::corruption(
+                    "epoch commit record does not match its data "
+                    "entries");
+            recovery_.corruptRecordsQuarantined +=
+                static_cast<u32>(g.data.size() + 1);
+            continue;
+        }
+        for (const auto *e : g.data)
+            replayEntry(e->entry);
+        ++recovery_.epochsReplayed;
     }
     device_->fence();
     metaLog_->resetAll();
@@ -407,20 +533,30 @@ MgspFs::runRecovery()
     // durable, and after replay the shadow structures are consistent
     // again — so recovery ends the weakened-atomicity window by
     // clearing the persistent flag (DESIGN.md §13).
-    bool cleared_degraded = false;
+    // The write-through policy flag clears the same way: the access
+    // counters that justified it are volatile, so the policy restarts
+    // cold after a crash and re-earns any write-through mask.
+    bool cleared_flags = false;
     for (u32 i = 0; i < config_.maxInodes; ++i) {
-        if (!(inodes[i].flags & InodeRecord::kInUse) ||
-            !(inodes[i].flags & InodeRecord::kDegraded) || !inodeOk[i])
+        if (!(inodes[i].flags & InodeRecord::kInUse) || !inodeOk[i])
             continue;
-        inodes[i].flags &= ~InodeRecord::kDegraded;
+        const u64 clear =
+            inodes[i].flags &
+            (InodeRecord::kDegraded | InodeRecord::kPolicyWriteThrough);
+        if (clear == 0)
+            continue;
+        inodes[i].flags &= ~clear;
         const u64 flags_off =
             layout_.inodeOff(i) + offsetof(InodeRecord, flags);
         device_->store64(flags_off, inodes[i].flags);
         device_->flush(flags_off, 8);
-        cleared_degraded = true;
-        ++recovery_.degradedFilesCleared;
+        cleared_flags = true;
+        if (clear & InodeRecord::kDegraded)
+            ++recovery_.degradedFilesCleared;
+        if (clear & InodeRecord::kPolicyWriteThrough)
+            ++recovery_.policyFlagsCleared;
     }
-    if (cleared_degraded)
+    if (cleared_flags)
         device_->fence();
 
     pool_->resetAllocationState();
@@ -542,6 +678,14 @@ MgspFs::releaseHandle(OpenInode *inode)
         // cleanMutex excludes an in-flight cleaner pass — writeBackAll
         // deletes volatile subtrees, which only covering exclusivity
         // makes safe. The queue is superseded by the full write-back.
+        // Epoch mode must commit + retire first: writeBackAll recycles
+        // records and cells that live epoch entries may still name.
+        if (epochOn_) {
+            Status es = epochBarrier();
+            if (!es.isOk())
+                MGSP_WARN("epoch barrier on close of %s failed: %s",
+                          inode->path.c_str(), es.toString().c_str());
+        }
         std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
         {
             std::lock_guard<std::mutex> dirty_guard(inode->dirtyMutex);
@@ -720,6 +864,11 @@ MgspFs::exists(const std::string &path) const
 Status
 MgspFs::writeBackAllFiles()
 {
+    // Epoch entries must retire before any write-back recycles the
+    // records/cells they name (taken before tableMutex_: the commit
+    // never touches the open table).
+    if (epochOn_)
+        MGSP_RETURN_IF_ERROR(epochBarrier());
     std::lock_guard<std::mutex> guard(tableMutex_);
     for (auto &[path, inode] : openInodes_) {
         if (inode->refCount.load(std::memory_order_acquire) == 0)
@@ -827,6 +976,12 @@ MgspFs::drainInode(OpenInode *inode)
 {
     // One cycle = one queue swap, not loop-until-empty: a constant
     // writer stream must not be able to wedge a sync() barrier.
+    // Epoch mode commits + retires first (before cleanMutex — commit
+    // never takes it): cleanRange recycles records and pool cells
+    // that a live epoch entry may still name, and a stale entry
+    // replaying over a recycled record would resurrect freed state.
+    if (epochOn_)
+        MGSP_RETURN_IF_ERROR(epochBarrier());
     Stopwatch cycle_timer;
     std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
     std::vector<OpenInode::DirtyRange> ranges;
@@ -920,6 +1075,12 @@ MgspFs::drainOpenFiles()
 Status
 MgspFs::syncFile(OpenInode *inode)
 {
+    // Epoch mode: sync() IS the group commit — bump the epoch and
+    // publish every participant's staged metadata (all inodes, not
+    // just this one: the epoch is global). With the cleaner on the
+    // drain below additionally retires the epoch entries.
+    if (epochOn_)
+        MGSP_RETURN_IF_ERROR(epochCommit());
     if (!cleanerOn_)
         return Status::ok();
     cleanCounters_.syncBarriers->add(1);
@@ -1106,6 +1267,16 @@ MgspFs::statsReport() const
     const u64 deg_exit = reg.counter("degraded.exit").value();
     const u64 deg_bytes = reg.counter("degraded.bytes").value();
     const u64 wd_trips = reg.counter("watchdog.trips").value();
+    const u64 ep_commits = reg.counter("epoch.commits").value();
+    const u64 ep_fast = reg.counter("epoch.fast_commits").value();
+    const u64 ep_inodes = reg.counter("epoch.inodes_committed").value();
+    const u64 ep_slots = reg.counter("epoch.slots_flushed").value();
+    const u64 ep_auto = reg.counter("epoch.auto_flushes").value();
+    const u64 ep_final = reg.counter("epoch.finalizes").value();
+    const u64 pol_evals = reg.counter("policy.evaluations").value();
+    const u64 pol_to_wt = reg.counter("policy.to_write_through").value();
+    const u64 pol_to_sh = reg.counter("policy.to_shadow").value();
+    const u64 pol_wb = reg.counter("policy.write_back_bytes").value();
     const FaultStats fault = device_->faultStats();
 
     MgspStatsReport report;
@@ -1220,11 +1391,29 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(wd_trips));
     text += buf;
     std::snprintf(buf, sizeof(buf),
+                  "epoch: commits=%llu fast=%llu inodes=%llu slots=%llu "
+                  "auto-flushes=%llu finalizes=%llu\n"
+                  "policy: evals=%llu to-wt=%llu to-shadow=%llu "
+                  "wb-bytes=%llu\n",
+                  static_cast<unsigned long long>(ep_commits),
+                  static_cast<unsigned long long>(ep_fast),
+                  static_cast<unsigned long long>(ep_inodes),
+                  static_cast<unsigned long long>(ep_slots),
+                  static_cast<unsigned long long>(ep_auto),
+                  static_cast<unsigned long long>(ep_final),
+                  static_cast<unsigned long long>(pol_evals),
+                  static_cast<unsigned long long>(pol_to_wt),
+                  static_cast<unsigned long long>(pol_to_sh),
+                  static_cast<unsigned long long>(pol_wb));
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
                   "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
                   "mst-miss=%llu\n"
                   "recovery: replayed=%u scanned=%u files=%u nanos=%llu "
                   "quarantined=%u salvaged-bytes=%llu poison-skipped=%u "
-                  "sb-recovered=%s degraded-cleared=%u\n",
+                  "sb-recovered=%s degraded-cleared=%u "
+                  "epochs-replayed=%u epochs-discarded=%u "
+                  "policy-cleared=%u\n",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -1237,7 +1426,8 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(recovery_.salvagedBytes),
                   recovery_.poisonedRangesSkipped,
                   recovery_.superblockRecovered ? "yes" : "no",
-                  recovery_.degradedFilesCleared);
+                  recovery_.degradedFilesCleared, recovery_.epochsReplayed,
+                  recovery_.epochsDiscarded, recovery_.policyFlagsCleared);
     text += buf;
 
     // ---- JSON ---------------------------------------------------
@@ -1365,6 +1555,24 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(wd_trips));
     json += buf;
     std::snprintf(buf, sizeof(buf),
+                  "},\"epoch\":{\"commits\":%llu,\"fast_commits\":%llu,"
+                  "\"inodes_committed\":%llu,\"slots_flushed\":%llu,"
+                  "\"auto_flushes\":%llu,\"finalizes\":%llu},"
+                  "\"policy\":{\"evaluations\":%llu,"
+                  "\"to_write_through\":%llu,\"to_shadow\":%llu,"
+                  "\"write_back_bytes\":%llu",
+                  static_cast<unsigned long long>(ep_commits),
+                  static_cast<unsigned long long>(ep_fast),
+                  static_cast<unsigned long long>(ep_inodes),
+                  static_cast<unsigned long long>(ep_slots),
+                  static_cast<unsigned long long>(ep_auto),
+                  static_cast<unsigned long long>(ep_final),
+                  static_cast<unsigned long long>(pol_evals),
+                  static_cast<unsigned long long>(pol_to_wt),
+                  static_cast<unsigned long long>(pol_to_sh),
+                  static_cast<unsigned long long>(pol_wb));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
                   "},\"tree\":{\"coarse_log_writes\":%llu,"
                   "\"leaf_log_writes\":%llu,\"fine_sub_writes\":%llu,"
                   "\"min_tree_hits\":%llu,\"min_tree_misses\":%llu},"
@@ -1373,7 +1581,9 @@ MgspFs::statsReport() const
                   "\"nanos\":%llu,\"corrupt_records_quarantined\":%u,"
                   "\"salvaged_bytes\":%llu,\"poisoned_ranges_skipped\":%u,"
                   "\"superblock_recovered\":%s,"
-                  "\"degraded_files_cleared\":%u}}",
+                  "\"degraded_files_cleared\":%u,"
+                  "\"epochs_replayed\":%u,\"epochs_discarded\":%u,"
+                  "\"policy_flags_cleared\":%u}}",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -1386,7 +1596,8 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(recovery_.salvagedBytes),
                   recovery_.poisonedRangesSkipped,
                   recovery_.superblockRecovered ? "true" : "false",
-                  recovery_.degradedFilesCleared);
+                  recovery_.degradedFilesCleared, recovery_.epochsReplayed,
+                  recovery_.epochsDiscarded, recovery_.policyFlagsCleared);
     json += buf;
     return report;
 }
@@ -1477,7 +1688,11 @@ MgspFs::doAtomicChunkOrSplit(OpenInode *inode, u64 offset, ConstSlice src)
         if (inode->degraded.load(std::memory_order_acquire)) {
             s = doDegradedWrite(inode, pos, piece);
         } else {
-            s = doAtomicChunk(inode, pos, piece);
+            // Epoch mode substitutes the group-commit write path; the
+            // retry/backoff policy below applies unchanged (an epoch
+            // chunk never retries while holding the epoch mutex).
+            s = epochOn_ ? doEpochChunk(inode, pos, piece)
+                         : doAtomicChunk(inode, pos, piece);
             if (isResourceExhaustion(s)) {
                 // Exhaustion is usually transient (a cleaner pass
                 // reclaims dead log blocks; a raced claim frees up):
@@ -1493,7 +1708,8 @@ MgspFs::doAtomicChunkOrSplit(OpenInode *inode, u64 offset, ConstSlice src)
                     if (cleanerOn_)
                         cleanCounters_.oomRetries->add(1);
                     nudgeCleanerForSpace();
-                    s = doAtomicChunk(inode, pos, piece);
+                    s = epochOn_ ? doEpochChunk(inode, pos, piece)
+                                 : doAtomicChunk(inode, pos, piece);
                     if (!isResourceExhaustion(s))
                         break;
                     resourceCounters_.allocFail->add(1);
@@ -1731,6 +1947,8 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
     if (offset >= size || dst.empty())
         return u64{0};
     const u64 n = std::min<u64>(dst.size(), size - offset);
+    if (epochOn_)
+        inode->tree->noteAccess(offset, /*is_write=*/false);
 
     const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
                                 !config_.enableShadowLog;
@@ -1810,6 +2028,12 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         return Status::invalidArgument("file is not an MGSP handle");
     if (batch.empty())
         return Status::ok();
+    // Epoch mode has no per-op commit entry for a batch to share;
+    // InvalidArgument routes pwritev to its span-by-span fallback,
+    // whose spans become ordinary epoch ops.
+    if (epochOn_)
+        return Status::invalidArgument(
+            "atomic batches bypass the epoch group commit");
     OpenInode *inode = handle->inode();
 
     // Sort by offset: establishes the deadlock-free MGL lock order
@@ -1952,6 +2176,613 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
     return Status::ok();
 }
 
+// --- epoch group sync & adaptive log policy (DESIGN.md §15) ----------
+
+void
+MgspFs::initEpochLog()
+{
+    if (!epochOn_)
+        return;
+    // The group commit addresses entries by fixed role — 0 = the
+    // single-inode fast entry, 1 = the commit record, 2.. = data
+    // entries — so claim() must never hand any of them out. Volatile
+    // reservation: recovery's resetAll() clears owners each mount and
+    // this runs right after.
+    for (u32 i = 0; i < config_.metaLogEntries; ++i)
+        metaLog_->reserve(i);
+}
+
+Status
+MgspFs::doEpochChunk(OpenInode *inode, u64 offset, ConstSlice src)
+{
+    stats::OpTrace trace(stats::OpType::Write, offset, src.size(),
+                         statsOn_);
+    std::unique_lock<std::mutex> epoch_guard(inode->epochMutex);
+    inode->tree->noteAccess(offset, /*is_write=*/true);
+
+    // Append fast path: a write entirely beyond EOF and the claim
+    // frontier goes straight into the home extent (flushed, no
+    // fence); only the volatile size grows. The durable size
+    // publication — the append's commit point — rides the epoch.
+    // Readers racing the size bump synchronise through the acq_rel
+    // CAS, so the bytes are visible before the size admits them.
+    const u64 old_size = inode->fileSize.load(std::memory_order_acquire);
+    if (offset >= old_size &&
+        offset >= inode->claimFrontier.load(std::memory_order_acquire)) {
+        trace.stage(stats::Stage::DataWrite);
+        device_->write(inode->extentOff + offset, src.data(), src.size());
+        device_->flush(inode->extentOff + offset, src.size());
+        const u64 new_size = offset + src.size();
+        u64 cur = inode->fileSize.load(std::memory_order_relaxed);
+        while (cur < new_size &&
+               !inode->fileSize.compare_exchange_weak(
+                   cur, new_size, std::memory_order_acq_rel))
+            ;
+        inode->epochSizeDirty = true;
+        registerEpochParticipant(inode);
+        trace.orGranMask(stats::kGranInPlace);
+        trace.endStage();
+        epoch_guard.unlock();
+        noteDirty(inode, offset, src.size(), trace.opId());
+        return Status::ok();
+    }
+
+    trace.stage(stats::Stage::Lock);
+    const bool file_lock_mode = config_.lockMode == LockMode::FileLock;
+    std::vector<HeldLock> locks;
+    if (file_lock_mode)
+        inode->fileLock.lock();
+    auto unlock_all = [&] {
+        if (file_lock_mode)
+            inode->fileLock.unlock();
+        ShadowTree::releaseLocks(&locks);
+    };
+
+    trace.stage(stats::Stage::DataWrite);
+    StagedMetadata staged;
+    staged.inode = inode->inodeIdx;
+    staged.length = static_cast<u32>(src.size());
+    staged.offset = offset;
+    const u64 new_size = std::max(old_size, offset + src.size());
+    staged.newFileSize = new_size;
+
+    Status s = inode->tree->performWrite(offset, src, &staged, &locks,
+                                         file_lock_mode);
+    if (!s.isOk()) {
+        // The walk may have published pending overlays (staged
+        // existing-bit flips) that will now never commit; restore
+        // them to the accumulator's state before anyone trusts them.
+        rollbackEpochOverlay(inode, staged);
+        unlock_all();
+        trace.setFailed();
+        return s;
+    }
+
+    // No fence, no metadata-log entry: the write is acknowledged as
+    // part of the current epoch. Readers see it through the pending
+    // overlays; the committed words stay untouched until the group
+    // commit, so a crash now simply never happened.
+    trace.stage(stats::Stage::BitmapApply);
+    inode->tree->applyStagedVolatile(staged);
+    mergeEpochSlots(inode, staged);
+    if (new_size != old_size) {
+        u64 cur = inode->fileSize.load(std::memory_order_relaxed);
+        while (cur < new_size &&
+               !inode->fileSize.compare_exchange_weak(
+                   cur, new_size, std::memory_order_acq_rel))
+            ;
+        inode->epochSizeDirty = true;
+    }
+    registerEpochParticipant(inode);
+    unlock_all();
+    trace.setSlots(staged.usedSlots);
+    trace.orGranMask(staged.granMask);
+    trace.endStage();
+
+    const u64 claim_end =
+        alignUp(offset + src.size(), config_.fineGrainSize());
+    u64 frontier = inode->claimFrontier.load(std::memory_order_relaxed);
+    while (frontier < claim_end &&
+           !inode->claimFrontier.compare_exchange_weak(
+               frontier, claim_end, std::memory_order_acq_rel))
+        ;
+
+    // Forced commits — never while holding the epoch mutex (the
+    // commit locks every participant, including us):
+    //  - a coarse-granularity op: a later op descending below the
+    //    coarse node would make role decisions against a committed
+    //    word the pending coarse flip is about to supersede;
+    //  - the slot budget: bounds replay work and guarantees one
+    //    participant's accumulator re-splits into a single chunk.
+    const bool force_coarse = (staged.granMask & stats::kGranCoarse) != 0;
+    const u64 total = epochSlotCount_.load(std::memory_order_relaxed);
+    epoch_guard.unlock();
+    noteDirty(inode, offset, src.size(), trace.opId());
+    if (force_coarse || total >= epochBudget_) {
+        epochCounters_.autoFlushes->add(1);
+        return epochCommit();
+    }
+    return Status::ok();
+}
+
+void
+MgspFs::mergeEpochSlots(OpenInode *inode, const StagedMetadata &staged)
+{
+    u64 added = 0;
+    for (u32 i = 0; i < staged.usedSlots; ++i) {
+        const u32 rec = staged.slots[i].recIdx;
+        TreeNode *n = staged.nodes[i];
+        // O(1) merge via the node's cached accumulator position (see
+        // TreeNode::epochSlotPos). An entry's position never changes
+        // — the accumulator is append-only until the commit clears it
+        // — and each record appears at most once, so a position whose
+        // recIdx matches IS the record's entry; a stale cache fails
+        // the check and falls through to a fresh append.
+        const u32 pos = n != nullptr ? n->epochSlotPos : 0xffffffffu;
+        if (pos < inode->epochSlots.size() &&
+            inode->epochSlots[pos].recIdx == rec) {
+            // Newest op wins: replay stores absolute words.
+            inode->epochSlots[pos].newBits = staged.slots[i].newBits;
+            if (n != nullptr)
+                inode->epochSlots[pos].node = n;
+            continue;
+        }
+        if (n != nullptr)
+            n->epochSlotPos =
+                static_cast<u32>(inode->epochSlots.size());
+        inode->epochSlots.push_back(
+            {rec, staged.slots[i].newBits, n});
+        ++added;
+    }
+    if (added != 0)
+        epochSlotCount_.fetch_add(added, std::memory_order_relaxed);
+}
+
+void
+MgspFs::rollbackEpochOverlay(OpenInode *inode,
+                             const StagedMetadata &staged)
+{
+    // Same-inode writers are serialised by the epoch mutex (held) and
+    // the commit locks it too, so no concurrent version writer exists
+    // on these nodes.
+    for (u32 i = 0; i < staged.usedSlots; ++i) {
+        TreeNode *n = staged.nodes[i];
+        if (n == nullptr)
+            continue;
+        u64 prior = 0;
+        bool have = false;
+        for (const auto &slot : inode->epochSlots) {
+            if (slot.recIdx == staged.slots[i].recIdx) {
+                prior = slot.newBits;
+                have = true;
+                break;
+            }
+        }
+        n->version.writeBegin();
+        if (have) {
+            n->pendingBits.store(prior, std::memory_order_relaxed);
+            n->hasPending.store(true, std::memory_order_release);
+        } else {
+            n->hasPending.store(false, std::memory_order_release);
+        }
+        n->version.writeEnd();
+    }
+}
+
+void
+MgspFs::registerEpochParticipant(OpenInode *inode)
+{
+    if (inode->epochRegistered)  // under the inode's epochMutex
+        return;
+    inode->epochRegistered = true;
+    std::lock_guard<std::mutex> guard(epochRegMutex_);
+    epochParticipants_.push_back(inode);
+}
+
+Status
+MgspFs::epochCommit()
+{
+    if (!epochOn_)
+        return Status::ok();
+    std::lock_guard<std::mutex> commit_guard(epochCommitMutex_);
+
+    // Snapshot-and-swap the roster: writers landing after the swap
+    // re-register and join the next epoch. The scratch vector (guarded
+    // by epochCommitMutex_) ping-pongs its capacity with the roster so
+    // neither side re-allocates once warmed up.
+    std::vector<OpenInode *> &parts = epochRosterScratch_;
+    parts.clear();
+    {
+        std::lock_guard<std::mutex> reg_guard(epochRegMutex_);
+        parts.swap(epochParticipants_);
+    }
+    if (parts.empty())
+        return Status::ok();
+    std::sort(parts.begin(), parts.end(),
+              [](const OpenInode *a, const OpenInode *b) {
+                  return a->inodeIdx < b->inodeIdx;
+              });
+    for (OpenInode *p : parts)
+        p->epochMutex.lock();
+    // Every participant's accumulator is frozen from here; in-flight
+    // writers block at their epoch mutex and land in the next epoch.
+    for (OpenInode *p : parts)
+        p->epochRegistered = false;
+
+    // Applies + accumulator teardown for one participant. Unfenced on
+    // purpose: the participant's entry (or record group) is live, so
+    // a crash replays the same absolute words; the next chunk's (or
+    // epoch's) leading fence — or the finalize — makes them durable
+    // before anything retires the entries.
+    auto applyParticipant = [&](OpenInode *p) {
+        for (const auto &slot : p->epochSlots) {
+            nodeTable_->storeBitmap(slot.recIdx, slot.newBits);
+            if (slot.node != nullptr) {
+                // Value-identical hand-off (committed word := pending
+                // word, table store first), so lock-free readers need
+                // no version bump.
+                slot.node->hasPending.store(false,
+                                            std::memory_order_release);
+            }
+        }
+        if (p->epochSizeDirty) {
+            const u64 size = p->fileSize.load(std::memory_order_acquire);
+            const u64 off = layout_.inodeOff(p->inodeIdx) +
+                            offsetof(InodeRecord, fileSize);
+            if (device_->load64(off) < size) {
+                device_->store64(off, size);
+                device_->flush(off, 8);
+            }
+        }
+        epochCounters_.slotsFlushed->add(p->epochSlots.size());
+        epochSlotCount_.fetch_sub(p->epochSlots.size(),
+                                  std::memory_order_relaxed);
+        p->epochSlots.clear();
+        p->epochSizeDirty = false;
+        epochCounters_.inodesCommitted->add(1);
+    };
+
+    u64 slot_total = 0;
+    bool any_dirty = false;
+    for (const OpenInode *p : parts) {
+        slot_total += p->epochSlots.size();
+        any_dirty = any_dirty || p->epochSizeDirty ||
+                    !p->epochSlots.empty();
+    }
+
+    // Replay-soundness invariant: the live entries always belong to
+    // exactly ONE epoch — the newest that published entries — and
+    // every earlier epoch's applies were fence-durable before its
+    // entries were retired or overwritten. Letting two epochs' worth
+    // of entries coexist is the stale-replay trap: an old entry may
+    // name a record whose newest word came from an intermediate epoch
+    // whose own entry was since destroyed by index reuse, and
+    // id-ordered replay would resurrect the stale word. Each shape
+    // below either retires the previous epoch's live set up front or
+    // destroys it wholesale by overwriting it.
+
+    if (!any_dirty) {
+        // Registered but nothing staged (e.g. a failed op rolled
+        // back): nothing to publish.
+    } else if (parts.size() == 1 && slot_total == 0) {
+        // Size-only epoch (append fast paths): the durable size store
+        // is itself atomic, so no log entry is needed — fence the
+        // appended bytes, publish the size, fence the ack. The
+        // previous epoch's entries stay live untouched: they are
+        // still the newest entry-publishing epoch, so replaying them
+        // plus this fenced size is exactly the post-sync state.
+        OpenInode *p = parts.front();
+        device_->fence();
+        applyParticipant(p);
+        device_->fence();
+        epochCounters_.commits->add(1);
+        epochCounters_.fastCommits->add(1);
+    } else if (parts.size() == 1 &&
+               slot_total <= MetaLogEntry::kMaxSlots) {
+        // Single-inode fast shape: one self-contained entry at index
+        // 0, overwritten in place each fast epoch. A torn overwrite
+        // leaves a checksum-dead entry, and the previous epoch's
+        // applies are already durable via the fence below. When entry
+        // 0 is the whole live set, the overwrite IS the retirement;
+        // only a leftover general-shape group needs outdating first.
+        const bool live_is_entry0 =
+            epochLiveIdx_.empty() ||
+            (epochLiveIdx_.size() == 1 && epochLiveIdx_[0] == 0);
+        if (!live_is_entry0)
+            epochFinalizeLocked();
+        OpenInode *p = parts.front();
+        device_->fence();  // epoch data + prior applies durable
+        StagedMetadata staged;
+        staged.inode = p->inodeIdx;
+        staged.flags = MetaLogEntry::kFlagEpochData |
+                       MetaLogEntry::kFlagEpochCommit;
+        staged.offset = epochId_++;
+        staged.length = 1;
+        staged.newFileSize = p->fileSize.load(std::memory_order_acquire);
+        for (const auto &slot : p->epochSlots)
+            staged.addSlot(slot.recIdx, static_cast<u32>(slot.newBits));
+        metaLog_->commit(0, staged, /*fenced=*/true);  // COMMIT point
+        epochEntriesDirty_ = true;
+        epochLiveIdx_.assign(1, 0);
+        applyParticipant(p);
+        epochCounters_.commits->add(1);
+        epochCounters_.fastCommits->add(1);
+    } else {
+        // General shape: re-split every dirty participant's
+        // accumulator into <=kMaxSlots data entries and pack whole
+        // participants into chunks of at most E-2 entries. Each chunk
+        // commits as its own epoch id — the chunk is the atomicity
+        // unit, and keeping a participant whole keeps every logical
+        // op whole. The previous epoch's live set is retired up front
+        // (a live fast entry at 0 is never overwritten here, and a
+        // live record over mixed-epoch data would replay as rot).
+        epochFinalizeLocked();
+        struct PartEntries
+        {
+            OpenInode *part;
+            std::vector<StagedMetadata> entries;
+        };
+        std::vector<PartEntries> pending;
+        for (OpenInode *p : parts) {
+            if (p->epochSlots.empty() && !p->epochSizeDirty)
+                continue;
+            PartEntries pe;
+            pe.part = p;
+            const u64 fsize = p->fileSize.load(std::memory_order_acquire);
+            StagedMetadata e;
+            auto reset_entry = [&] {
+                e = StagedMetadata{};
+                e.inode = p->inodeIdx;
+                e.flags = MetaLogEntry::kFlagEpochData;
+                e.length = 1;
+                e.newFileSize = fsize;
+            };
+            reset_entry();
+            for (const auto &slot : p->epochSlots) {
+                if (e.usedSlots == MetaLogEntry::kMaxSlots) {
+                    pe.entries.push_back(e);
+                    reset_entry();
+                }
+                e.addSlot(slot.recIdx, static_cast<u32>(slot.newBits));
+            }
+            pe.entries.push_back(e);  // >=1, carries size-only epochs
+            pending.push_back(std::move(pe));
+        }
+
+        const std::size_t cap = config_.metaLogEntries - 2;
+        std::size_t next = 0;
+        while (next < pending.size()) {
+            std::size_t first = next;
+            std::size_t entry_count = 0;
+            while (next < pending.size() &&
+                   entry_count + pending[next].entries.size() <= cap) {
+                entry_count += pending[next].entries.size();
+                ++next;
+            }
+            // The slot budget keeps one participant within cap.
+            MGSP_CHECK(next > first &&
+                       "one participant's entries outgrew the log");
+
+            const u64 id = epochId_++;
+            device_->fence();  // chunk data + prior applies durable
+            if (epochRecordLive_) {
+                // Kill the stale record before its data region is
+                // reused: a live record over mixed-epoch data entries
+                // would read as corruption at replay. Safe: the fence
+                // above made that epoch's applies durable.
+                metaLog_->markOutdated(1);
+                device_->fence();
+                epochRecordLive_ = false;
+            }
+            u32 entry_idx = 2;
+            for (std::size_t i = first; i < next; ++i) {
+                for (StagedMetadata e : pending[i].entries) {
+                    e.offset = id;
+                    if (std::find(epochLiveIdx_.begin(),
+                                  epochLiveIdx_.end(),
+                                  entry_idx) == epochLiveIdx_.end())
+                        epochLiveIdx_.push_back(entry_idx);
+                    metaLog_->commit(entry_idx++, e, /*fenced=*/false);
+                }
+            }
+            device_->fence();  // full data set durable before the record
+            StagedMetadata rec;
+            rec.inode = pending[first].part->inodeIdx;
+            rec.flags = MetaLogEntry::kFlagEpochCommit;
+            rec.offset = id;
+            rec.length = 1 + static_cast<u32>(entry_count);
+            metaLog_->commit(1, rec, /*fenced=*/true);  // COMMIT point
+            epochRecordLive_ = true;
+            epochEntriesDirty_ = true;
+            if (std::find(epochLiveIdx_.begin(), epochLiveIdx_.end(),
+                          1u) == epochLiveIdx_.end())
+                epochLiveIdx_.push_back(1);
+
+            // This chunk's applies; the next chunk's leading fence
+            // (which precedes the record kill) makes them durable
+            // before the chunk's entries can be overwritten.
+            for (std::size_t i = first; i < next; ++i)
+                applyParticipant(pending[i].part);
+        }
+        epochCounters_.commits->add(1);
+    }
+
+    // Re-evaluate the per-subtree log policy now that the epoch is
+    // durable and every overlay is gone. Writers of these inodes are
+    // still blocked at their epoch mutex; the write-back takes the
+    // same covering-W locks as the cleaner.
+    Status result = Status::ok();
+    for (OpenInode *p : parts) {
+        Status ps = evaluatePolicyLocked(p);
+        if (!ps.isOk() && result.isOk())
+            result = ps;
+    }
+
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+        (*it)->epochMutex.unlock();
+
+    // With the cleaner on, retire eagerly: any pass may recycle
+    // records/cells right after this commit, and the barrier it takes
+    // becomes a cheap no-op.
+    if (cleanerOn_)
+        epochFinalizeLocked();
+    return result;
+}
+
+Status
+MgspFs::epochBarrier()
+{
+    if (!epochOn_)
+        return Status::ok();
+    Status s = epochCommit();
+    std::lock_guard<std::mutex> guard(epochCommitMutex_);
+    epochFinalizeLocked();
+    return s;
+}
+
+void
+MgspFs::epochFinalizeLocked()
+{
+    if (!epochEntriesDirty_)
+        return;
+    device_->fence();  // every unfenced apply durable before retirement
+    // Ascending index order so the commit record (index 1) dies
+    // before its data entries (2..): a crash mid-retirement then
+    // leaves silently-discarded orphans, never a live record over a
+    // partial data set (which replay would read as rot).
+    std::sort(epochLiveIdx_.begin(), epochLiveIdx_.end());
+    for (u32 idx : epochLiveIdx_)
+        metaLog_->markOutdated(idx);
+    device_->fence();  // entries dead before records/cells may recycle
+    epochLiveIdx_.clear();
+    epochEntriesDirty_ = false;
+    epochRecordLive_ = false;
+    epochCounters_.finalizes->add(1);
+}
+
+Status
+MgspFs::evaluatePolicyLocked(OpenInode *inode)
+{
+    if (config_.policyMode == PolicyMode::ForceShadow)
+        return Status::ok();
+    // With every subtree on the shadow log and too little new traffic
+    // to cross policyMinOps, no decision can change: skip the 64-way
+    // counter sweep. Matters at fsync-every-1, where an epoch commits
+    // per op. Skipping also skips the decay, so the deferred traffic
+    // is still in the counters when the sweep eventually runs.
+    if (config_.policyMode == PolicyMode::Adaptive &&
+        inode->policyMask == 0 &&
+        inode->tree->policyAccessDelta() < config_.policyMinOps)
+        return Status::ok();
+    inode->tree->resetPolicyAccessDelta();
+    policyCounters_.evaluations->add(1);
+    const u32 subtrees = inode->tree->policySubtrees();
+    u64 new_mask = 0;
+    if (config_.policyMode == PolicyMode::ForceWriteThrough) {
+        new_mask = subtrees >= 64 ? ~0ull : ((1ull << subtrees) - 1);
+    } else {
+        for (u32 i = 0; i < subtrees; ++i) {
+            u64 reads = 0, writes = 0;
+            inode->tree->sampleAccessAndDecay(i, &reads, &writes);
+            const u64 total = reads + writes;
+            const bool was = (inode->policyMask >> i) & 1;
+            bool now = was;
+            if (total >= config_.policyMinOps)
+                now = static_cast<double>(reads) >=
+                      config_.policyReadRatio *
+                          static_cast<double>(total);
+            else if (was && total < config_.policyMinOps / 2)
+                now = false;  // hysteresis: revert once traffic dies
+            if (now)
+                new_mask |= 1ull << i;
+        }
+    }
+    const u64 turning_on = new_mask & ~inode->policyMask;
+    const u64 turning_off = inode->policyMask & ~new_mask;
+    if (turning_on != 0)
+        policyCounters_.toWriteThrough->add(
+            static_cast<u64>(__builtin_popcountll(turning_on)));
+    if (turning_off != 0)
+        policyCounters_.toShadow->add(
+            static_cast<u64>(__builtin_popcountll(turning_off)));
+    // The persistent flag goes durable BEFORE the first write-back,
+    // reusing the degraded-flag machinery: a crash mid-switch finds
+    // the flag and clears it at recovery, ending the window cleanly.
+    if (new_mask != 0 && !inode->policyFlagOn)
+        setPolicyFlag(inode, true);
+    inode->policyMask = new_mask;
+
+    // Eagerly write the write-through subtrees back. Crash safe
+    // without a barrier: writeBackRange recycles nothing, so a stale
+    // live epoch entry replaying over it merely resurrects bits that
+    // point at bytes identical to what was just copied home.
+    Status result = Status::ok();
+    const u64 fsize = inode->fileSize.load(std::memory_order_acquire);
+    for (u32 i = 0; i < subtrees && result.isOk(); ++i) {
+        if (((new_mask >> i) & 1) == 0)
+            continue;
+        u64 start = 0, len = 0;
+        inode->tree->policySubtreeRange(i, &start, &len);
+        if (start >= fsize)
+            continue;
+        len = std::min(len, fsize - start);
+        const u64 before =
+            inode->tree->snapshotStats().writtenBackBytes;
+        result = policyWriteBack(inode, start, len);
+        policyCounters_.writeBackBytes->add(
+            inode->tree->snapshotStats().writtenBackBytes - before);
+    }
+    if (new_mask == 0 && inode->policyFlagOn && result.isOk())
+        setPolicyFlag(inode, false);
+    return result;
+}
+
+void
+MgspFs::setPolicyFlag(OpenInode *inode, bool on)
+{
+    const u64 flags_off = layout_.inodeOff(inode->inodeIdx) +
+                          offsetof(InodeRecord, flags);
+    const u64 flags = device_->load64(flags_off);
+    const u64 want = on ? flags | InodeRecord::kPolicyWriteThrough
+                        : flags & ~InodeRecord::kPolicyWriteThrough;
+    if (want != flags) {
+        device_->store64(flags_off, want);
+        device_->flush(flags_off, 8);
+        device_->fence();
+    }
+    inode->policyFlagOn = on;
+}
+
+Status
+MgspFs::policyWriteBack(OpenInode *inode, u64 off, u64 len)
+{
+    if (off >= inode->capacity)
+        return Status::ok();
+    len = std::min(len, inode->capacity - off);
+    if (len == 0)
+        return Status::ok();
+    if (config_.lockMode == LockMode::FileLock) {
+        ExclusiveGuard guard(inode->fileLock);
+        return inode->tree->writeBackRange(off, len);
+    }
+    // cleanOneRange's covering-W discipline: IW down the path, W on
+    // the covering node, version bump for lock-free readers.
+    TreeNode *covering = inode->tree->coveringNode(off, len);
+    std::vector<TreeNode *> ancestors;
+    for (TreeNode *n = covering->parent; n != nullptr; n = n->parent)
+        ancestors.push_back(n);
+    for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it)
+        (*it)->lock.acquire(MglMode::IW);
+    covering->lock.acquire(MglMode::W);
+    covering->version.writeBegin();
+    Status s = inode->tree->writeBackRange(off, len);
+    covering->version.writeEnd();
+    covering->lock.release(MglMode::W);
+    for (TreeNode *n : ancestors)
+        n->lock.release(MglMode::IW);
+    return s;
+}
+
 // --- resource exhaustion & degraded mode (DESIGN.md §13) -------------
 
 bool
@@ -2075,6 +2906,10 @@ MgspFs::maybeExitDegraded(OpenInode *inode)
 Status
 MgspFs::doDegradedWrite(OpenInode *inode, u64 offset, ConstSlice src)
 {
+    // Epoch mode: the degraded path's writeBackRange assumes no
+    // pending overlays and no live epoch entries over its range.
+    if (epochOn_)
+        MGSP_RETURN_IF_ERROR(epochBarrier());
     stats::OpTrace trace(stats::OpType::Write, offset, src.size(),
                          statsOn_);
     {
@@ -2181,6 +3016,11 @@ MgspFs::doTruncate(OpenInode *inode, u64 new_size)
 {
     if (new_size > inode->capacity)
         return Status::outOfSpace("truncate beyond capacity");
+    // Epoch mode: commit + retire before the shrink path recycles
+    // claims a live epoch entry may still name (and so the pending
+    // overlays are gone before writeBackRange walks the tree).
+    if (epochOn_)
+        MGSP_RETURN_IF_ERROR(epochBarrier());
     stats::OpTrace trace(stats::OpType::Truncate, 0, new_size, statsOn_);
     trace.stage(stats::Stage::WriteBack);
     // The shrink path's writeBackRange assumes covering exclusivity;

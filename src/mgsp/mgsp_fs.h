@@ -75,6 +75,16 @@ struct RecoveryReport
     /// Inodes whose persistent degraded-write-through flag was cleared
     /// (the weakened-atomicity window ends at recovery; DESIGN.md §13).
     u32 degradedFilesCleared = 0;
+    // ---- epoch group sync (DESIGN.md §15) -----------------------
+    /// Complete epoch groups (commit record + full data-entry set, or
+    /// a self-contained single-inode epoch) whose slots were redone.
+    u32 epochsReplayed = 0;
+    /// Orphaned epoch data entries whose epoch never committed — a
+    /// normal crash outcome, discarded silently even in strict mode.
+    u32 epochsDiscarded = 0;
+    /// Inodes whose persistent write-through policy flag was cleared
+    /// (policy counters restart cold after a crash; DESIGN.md §15).
+    u32 policyFlagsCleared = 0;
 };
 
 /** One write of an atomic batch (see MgspFs::writeBatch). */
@@ -261,6 +271,32 @@ class MgspFs : public FileSystem
         /// operation-atomic). Mirrors InodeRecord::kDegraded; entry
         /// and exit happen under cleanMutex.
         std::atomic<bool> degraded{false};
+
+        // ---- epoch group sync (DESIGN.md §15) -------------------
+        /// One accumulated bitmap flip of the current epoch, merged
+        /// by record index (newest op wins). `node` lets the commit
+        /// clear the pending overlay without re-walking the tree.
+        struct EpochSlot
+        {
+            u32 recIdx = 0;
+            u64 newBits = 0;
+            TreeNode *node = nullptr;
+        };
+        /// Serialises this inode's epoch accumulation: writers hold
+        /// it across a whole epoch op; epochCommit() locks every
+        /// participant (sorted by inodeIdx, after epochCommitMutex_).
+        /// Guards the four fields below.
+        std::mutex epochMutex;
+        std::vector<EpochSlot> epochSlots;
+        /// Volatile fileSize grew this epoch; its durable publication
+        /// rides the epoch commit.
+        bool epochSizeDirty = false;
+        /// Already in epochParticipants_ for the current epoch.
+        bool epochRegistered = false;
+        /// Bit per policy subtree currently in write-through mode.
+        u64 policyMask = 0;
+        /// Mirrors InodeRecord::kPolicyWriteThrough.
+        bool policyFlagOn = false;
     };
 
     MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config);
@@ -366,6 +402,56 @@ class MgspFs : public FileSystem
     void startCleaner();
     void stopCleaner();
 
+    // --- epoch group sync & adaptive policy (DESIGN.md §15) -------
+    /**
+     * Epoch-mode write path: stages data + bitmap flips like
+     * doAtomicChunk but publishes them only as the volatile pending
+     * overlay and merges the slots into the inode's epoch
+     * accumulator — no metadata-log commit, no fence. The epoch
+     * commit (sync, auto-flush or barrier) makes them durable.
+     */
+    Status doEpochChunk(OpenInode *inode, u64 offset, ConstSlice src);
+    /** Merges @p staged into the inode's accumulator (epochMutex held). */
+    void mergeEpochSlots(OpenInode *inode, const StagedMetadata &staged);
+    /**
+     * Restores the pending overlays touched by a failed op to their
+     * pre-op state (the accumulator value, or none). Caller still
+     * holds the op's W locks and the epochMutex.
+     */
+    void rollbackEpochOverlay(OpenInode *inode,
+                              const StagedMetadata &staged);
+    /** Adds the inode to the current epoch's roster (epochMutex held). */
+    void registerEpochParticipant(OpenInode *inode);
+    /**
+     * The group commit: snapshots the participant roster, locks the
+     * participants, publishes every accumulated slot with one
+     * fence-ordered commit flip per epoch (per-epoch record in the
+     * metadata log; chunked over several records when one epoch's
+     * slots outgrow the log), applies the committed words, clears the
+     * overlays, and re-evaluates the per-subtree log policy.
+     */
+    Status epochCommit();
+    /**
+     * epochCommit() plus retirement of every epoch log entry, so no
+     * stale epoch entry can replay over state a cleaner pass,
+     * truncate or degraded write is about to rewrite. Called before
+     * any path that recycles records/cells or shrinks a file.
+     */
+    Status epochBarrier();
+    /** Outdates all epoch entries (epochCommitMutex_ held). */
+    void epochFinalizeLocked();
+    /** Reserves the whole metadata-log array for epoch addressing. */
+    void initEpochLog();
+    /** Re-evaluates @p inode's subtree policy (epochMutex held). */
+    Status evaluatePolicyLocked(OpenInode *inode);
+    /** Durably sets/clears InodeRecord::kPolicyWriteThrough. */
+    void setPolicyFlag(OpenInode *inode, bool on);
+    /**
+     * Eagerly writes a write-through subtree range back to the home
+     * extent under cleanOneRange-style covering exclusivity.
+     */
+    Status policyWriteBack(OpenInode *inode, u64 off, u64 len);
+
     std::shared_ptr<PmemDevice> device_;
     MgspConfig config_;
     ArenaLayout layout_;
@@ -398,8 +484,47 @@ class MgspFs : public FileSystem
     bool optimisticOn_ = false;
     /// Greedy locking skips ancestor intention locks, which the
     /// cleaner's covering W lock relies on — so it is forced off
-    /// whenever the cleaner is on.
+    /// whenever the cleaner is on (and in epoch mode, whose policy
+    /// write-back uses the same covering-W discipline).
     bool greedyOn_ = false;
+
+    // ---- epoch group sync state (DESIGN.md §15) -----------------
+    /// Epoch group commit active? (config.enableEpochSync &&
+    /// enableShadowLog.)
+    bool epochOn_ = false;
+    /// Serialises epoch commits and guards epochId_,
+    /// epochEntriesDirty_ and epochRecordLive_.
+    std::mutex epochCommitMutex_;
+    /// Guards epochParticipants_ only (leaf lock; taken briefly from
+    /// writers and from the commit's roster swap).
+    std::mutex epochRegMutex_;
+    std::vector<OpenInode *> epochParticipants_;
+    /// Commit-local roster snapshot (guarded by epochCommitMutex_);
+    /// swaps capacity with epochParticipants_ so per-commit roster
+    /// handling never allocates once warmed up.
+    std::vector<OpenInode *> epochRosterScratch_;
+    /// Monotonic per-mount epoch id; rides in the checksummed
+    /// `offset` field of epoch log entries so recovery can group and
+    /// order them. Restarts at 1 each mount (resetAll() wipes the
+    /// log before any epoch commits).
+    u64 epochId_ = 1;
+    /// Some epoch entries may be live (lazy retirement); a barrier
+    /// must outdate them before records/cells recycle.
+    bool epochEntriesDirty_ = false;
+    /// Exact indices of the live epoch entries (all from the newest
+    /// entry-publishing epoch — the invariant epochCommit maintains).
+    /// Lets retirement outdate only what is live, and lets a fast
+    /// commit skip retirement entirely when overwriting entry 0
+    /// destroys the only live entry anyway.
+    std::vector<u32> epochLiveIdx_;
+    /// Entry 1 (the commit-record slot) holds a live record that must
+    /// be killed before the next general-shape epoch's data entries.
+    bool epochRecordLive_ = false;
+    /// Accumulated slots across all inodes; auto-flush trigger.
+    std::atomic<u64> epochSlotCount_{0};
+    /// Slot budget before an epoch auto-commits (epochMaxSlots, or
+    /// derived from the log capacity).
+    u64 epochBudget_ = 0;
 
     std::vector<std::thread> cleanerWorkers_;
     std::mutex cleanerMutex_;
@@ -456,6 +581,28 @@ class MgspFs : public FileSystem
         stats::Counter *watchdogTrips = nullptr;
     };
     ResourceCounters resourceCounters_;
+
+    /// Epoch group-commit counters, cached when epochOn_.
+    struct EpochCounters
+    {
+        stats::Counter *commits = nullptr;      ///< group commits
+        stats::Counter *fastCommits = nullptr;  ///< single-entry shape
+        stats::Counter *inodesCommitted = nullptr;
+        stats::Counter *slotsFlushed = nullptr;
+        stats::Counter *autoFlushes = nullptr;  ///< budget/coarse forced
+        stats::Counter *finalizes = nullptr;    ///< barrier retirements
+    };
+    EpochCounters epochCounters_;
+
+    /// Adaptive-policy counters, cached when epochOn_.
+    struct PolicyCounters
+    {
+        stats::Counter *evaluations = nullptr;
+        stats::Counter *toWriteThrough = nullptr;
+        stats::Counter *toShadow = nullptr;
+        stats::Counter *writeBackBytes = nullptr;
+    };
+    PolicyCounters policyCounters_;
 
     /// Armed by setResourceFaultPlan(); raw pointers distributed to
     /// pool_/nodeTable_/metaLog_ (they never outlive us).

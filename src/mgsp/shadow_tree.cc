@@ -50,6 +50,14 @@ ShadowTree::~ShadowTree() = default;
 u64
 ShadowTree::bitmapOf(const TreeNode *n) const
 {
+    if (n->hasPending.load(std::memory_order_acquire))
+        return n->pendingBits.load(std::memory_order_relaxed);
+    return committedBitmapOf(n);
+}
+
+u64
+ShadowTree::committedBitmapOf(const TreeNode *n) const
+{
     const u32 rec = n->recIdx.load(std::memory_order_acquire);
     if (rec == kNoRecord)
         return n->parent == nullptr ? kBitValid : 0;
@@ -178,16 +186,19 @@ ShadowTree::ensureLog(TreeNode *n)
 }
 
 Status
-ShadowTree::ensureExisting(TreeNode *n)
+ShadowTree::ensureExisting(TreeNode *n, StagedMetadata *staged)
 {
+    // Overlay-aware probes: a prior op of the current epoch may have
+    // staged the flip already (pending overlay), which is as good as
+    // committed for every writer of the same epoch.
     const u32 rec_probe = n->recIdx.load(std::memory_order_acquire);
-    if (rec_probe != kNoRecord &&
-        (table_->loadBitmap(rec_probe) & kBitExisting))
+    if (rec_probe != kNoRecord && (bitmapOf(n) & kBitExisting))
         return Status::ok();
     MGSP_RETURN_IF_ERROR(ensureRecord(n));
     std::lock_guard<SpinLock> guard(n->transition);
     const u32 rec = n->recIdx.load(std::memory_order_acquire);
-    if (table_->loadBitmap(rec) & kBitExisting)
+    const u64 cur_word = bitmapOf(n);
+    if (cur_word & kBitExisting)
         return Status::ok();
     // Lazy-cleaning invariant: before making descendants reachable,
     // durably zero any stale child bitmaps left by an earlier coarse
@@ -214,6 +225,23 @@ ShadowTree::ensureExisting(TreeNode *n)
     }
     if (zeroed)
         device_->fence();  // zeroes durable before existing flips
+    if (config_->enableEpochSync && staged != nullptr) {
+        // Stage the flip: the committed word stays crash-consistent
+        // (children zeroed durably, bit not yet reachable) and the
+        // set becomes durable with the epoch's commit record, in the
+        // same entry set as the descendant flips that rely on it. No
+        // prior overlay can exist here: an interior overlay implies
+        // either a coarse write (which force-commits its epoch) or an
+        // earlier staged existing flip (caught by the probes above),
+        // so cur_word is the committed word.
+        const u64 new_word = cur_word | kBitExisting;
+        n->version.writeBegin();
+        n->pendingBits.store(new_word, std::memory_order_relaxed);
+        n->hasPending.store(true, std::memory_order_release);
+        n->version.writeEnd();
+        staged->addSlot(rec, static_cast<u32>(new_word), n);
+        return Status::ok();
+    }
     n->version.writeBegin();
     table_->orBitmap(rec, kBitExisting);  // flushed; fenced pre-commit
     n->version.writeEnd();
@@ -355,7 +383,10 @@ ShadowTree::writeRange(TreeNode *n, u64 off, u64 len, const u8 *data,
     if (full_cover && coarseStopAllowed(n)) {
         lockNode(n, MglMode::W, locks, lockless);
         MGSP_RETURN_IF_ERROR(ensureRecord(n));
-        const u64 word = bitmapOf(n);
+        // Role decision against the committed word: an epoch overlay
+        // on this node must not redirect the write onto the bytes a
+        // pre-commit crash would still need (see leafWrite).
+        const u64 word = committedBitmapOf(n);
         u64 new_word;
         if ((word & kBitValid) && config_->enableShadowLog) {
             // Valid log: the new data goes to the nearest valid
@@ -385,13 +416,13 @@ ShadowTree::writeRange(TreeNode *n, u64 off, u64 len, const u8 *data,
         stats_.coarseLogWrites.fetch_add(1, std::memory_order_relaxed);
         staged->granMask |= stats::kGranCoarse;
         staged->addSlot(n->recIdx.load(std::memory_order_acquire),
-                        static_cast<u32>(new_word));
+                        static_cast<u32>(new_word), n);
         return Status::ok();
     }
 
     // Descend: this node is partially covered (or too coarse to log).
     lockNode(n, MglMode::IW, locks, lockless);
-    MGSP_RETURN_IF_ERROR(ensureExisting(n));
+    MGSP_RETURN_IF_ERROR(ensureExisting(n, staged));
     if (n->parent == nullptr || (bitmapOf(n) & kBitValid))
         last_valid = n;
     const u64 child_cov = n->coverage / geo_.degree;
@@ -420,14 +451,16 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
     const u32 rec = leaf->recIdx.load(std::memory_order_acquire);
     const u64 word = table_->loadBitmap(rec);
 
-    // Earlier writes in the same (uncommitted) batch may already have
-    // staged bit flips and shadow data for this word. Reads of the
-    // latest copy must honour those pending bits; the role switch
-    // must not — the committed copy, located by the persistent bits,
-    // has to survive a crash before commit, so a sub-unit written
-    // twice in one batch overwrites its pending shadow in place
-    // instead of flipping roles a second time.
-    u64 cur_word = word;
+    // Earlier writes in the same (uncommitted) batch or epoch may
+    // already have staged bit flips and shadow data for this word.
+    // Reads of the latest copy must honour those pending bits; the
+    // role switch must not — the committed copy, located by the
+    // persistent bits, has to survive a crash before commit, so a
+    // sub-unit written twice in one batch/epoch overwrites its
+    // pending shadow in place instead of flipping roles a second
+    // time. bitmapOf() covers prior epoch ops (the overlay);
+    // findSlot() covers slots this operation itself staged.
+    u64 cur_word = bitmapOf(leaf);
     {
         u32 staged_bits = 0;
         if (staged->findSlot(rec, &staged_bits))
@@ -540,7 +573,7 @@ ShadowTree::leafWrite(TreeNode *leaf, u64 off, u64 len, const u8 *data,
     }
     stats_.leafLogWrites.fetch_add(1, std::memory_order_relaxed);
     staged->granMask |= stats::kGranLeaf;
-    staged->addSlot(rec, static_cast<u32>(new_word));
+    staged->addSlot(rec, static_cast<u32>(new_word), leaf);
     return Status::ok();
 }
 
@@ -550,6 +583,78 @@ ShadowTree::applyStaged(const StagedMetadata &staged)
     for (u32 i = 0; i < staged.usedSlots; ++i)
         table_->storeBitmap(staged.slots[i].recIdx,
                             staged.slots[i].newBits);
+}
+
+void
+ShadowTree::applyStagedVolatile(const StagedMetadata &staged)
+{
+    // Called while the op still holds its W locks (version odd), so
+    // optimistic readers that raced the overlay stores fail their
+    // validation, exactly as with applyStaged.
+    for (u32 i = 0; i < staged.usedSlots; ++i) {
+        TreeNode *n = staged.nodes[i];
+        MGSP_CHECK(n != nullptr &&
+                   "epoch staging requires node-tracked slots");
+        n->pendingBits.store(staged.slots[i].newBits,
+                             std::memory_order_relaxed);
+        n->hasPending.store(true, std::memory_order_release);
+    }
+}
+
+u32
+ShadowTree::policyIndexOf(u64 off) const
+{
+    if (geo_.height == 0)
+        return 0;
+    const u64 child_cov = geo_.rootCoverage / geo_.degree;
+    return static_cast<u32>(
+        std::min<u64>(off / child_cov, kPolicySubtrees - 1));
+}
+
+u32
+ShadowTree::policySubtrees() const
+{
+    if (geo_.height == 0)
+        return 1;
+    const u64 child_cov = geo_.rootCoverage / geo_.degree;
+    const u64 n = (capacity_ + child_cov - 1) / child_cov;
+    return static_cast<u32>(std::min<u64>(n, kPolicySubtrees));
+}
+
+void
+ShadowTree::policySubtreeRange(u32 idx, u64 *start, u64 *len) const
+{
+    if (geo_.height == 0) {
+        *start = 0;
+        *len = capacity_;
+        return;
+    }
+    const u64 child_cov = geo_.rootCoverage / geo_.degree;
+    *start = idx * child_cov;
+    *len = std::min(child_cov, capacity_ - *start);
+}
+
+void
+ShadowTree::noteAccess(u64 off, bool is_write)
+{
+    auto &ctr = is_write ? polWrites_[policyIndexOf(off)]
+                         : polReads_[policyIndexOf(off)];
+    ctr.fetch_add(1, std::memory_order_relaxed);
+    polDelta_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ShadowTree::sampleAccessAndDecay(u32 idx, u64 *reads, u64 *writes)
+{
+    MGSP_CHECK(idx < kPolicySubtrees);
+    *reads = polReads_[idx].load(std::memory_order_relaxed);
+    *writes = polWrites_[idx].load(std::memory_order_relaxed);
+    // Halving zero is a no-op; skip the stores so idle subtrees cost
+    // two relaxed loads, not four atomics, per evaluation.
+    if (*reads != 0)
+        polReads_[idx].store(*reads / 2, std::memory_order_relaxed);
+    if (*writes != 0)
+        polWrites_[idx].store(*writes / 2, std::memory_order_relaxed);
 }
 
 Status

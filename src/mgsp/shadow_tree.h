@@ -116,6 +116,33 @@ struct TreeNode
      * stale-child zeroing in ensureExisting).
      */
     SeqVersion version;
+
+    /**
+     * Epoch-mode pending bitmap overlay (DESIGN.md §15). Between an
+     * acknowledged epoch write and the epoch's group commit, the
+     * node's newest bitmap word lives here, not in the node table:
+     * bitmapOf() returns pendingBits while hasPending is set, and
+     * committedBitmapOf() (role decisions, crash state) keeps reading
+     * the table. Writers store pendingBits then flip hasPending with
+     * release under the node's W lock; the commit stores the same
+     * value into the table *first* and only then clears hasPending, a
+     * value-identical transition lock-free readers never observe. A
+     * separate flag (not an in-band sentinel) because a fully-set
+     * bitmap word is legitimate.
+     */
+    std::atomic<u64> pendingBits{0};
+    std::atomic<bool> hasPending{false};
+
+    /**
+     * Cached position of this node's slot in its inode's epoch
+     * accumulator (MgspFs::mergeEpochSlots), making the per-op merge
+     * O(1) instead of a linear scan. Self-validating: the accumulator
+     * is append-only until the commit clears it, so the cache is
+     * current iff epochSlots[epochSlotPos].recIdx matches this node's
+     * record — any stale value simply fails that check. Written and
+     * read only under the owning inode's epoch mutex.
+     */
+    u32 epochSlotPos = 0xffffffffu;
 };
 
 /** A lock acquired during an operation, for ordered release. */
@@ -238,6 +265,55 @@ class ShadowTree
     void applyStaged(const StagedMetadata &staged);
 
     /**
+     * Epoch mode: publishes @p staged's bitmap words as the pending
+     * overlay of their TreeNodes (staged.nodes) instead of the node
+     * table, making the write visible to readers while the committed
+     * words stay untouched until the epoch's group commit. Call
+     * between performWrite() and releasing its locks, where
+     * applyStaged() would go.
+     */
+    void applyStagedVolatile(const StagedMetadata &staged);
+
+    // ---- adaptive per-subtree log policy (DESIGN.md §15) --------
+    /**
+     * Number of policy subtrees: the root's immediate children that
+     * intersect the file capacity (one for a height-0 tree), capped
+     * at kPolicySubtrees.
+     */
+    u32 policySubtrees() const;
+
+    /** File range [*start, *start + *len) covered by subtree @p idx. */
+    void policySubtreeRange(u32 idx, u64 *start, u64 *len) const;
+
+    /**
+     * Counts one access for the subtree covering @p off. Relaxed
+     * atomics; called from the epoch read/write paths.
+     */
+    void noteAccess(u64 off, bool is_write);
+
+    /**
+     * Reads subtree @p idx's decayed access counters and halves them
+     * (exponential decay per policy evaluation). Concurrent bumps may
+     * be lost to the halving store — the counters are a heuristic,
+     * not an invariant.
+     */
+    void sampleAccessAndDecay(u32 idx, u64 *reads, u64 *writes);
+
+    /**
+     * Accesses counted since the last resetPolicyAccessDelta() —
+     * lets the policy evaluator skip the full per-subtree sweep when
+     * not enough traffic has arrived to change any decision.
+     */
+    u64 policyAccessDelta() const
+    {
+        return polDelta_.load(std::memory_order_relaxed);
+    }
+    void resetPolicyAccessDelta()
+    {
+        polDelta_.store(0, std::memory_order_relaxed);
+    }
+
+    /**
      * Reads the latest bytes of [off, off+out.size()). Acquires IR/R
      * locks into @p locks unless @p lockless.
      */
@@ -317,8 +393,23 @@ class ShadowTree
   private:
     bool isLeaf(const TreeNode *n) const { return n->level == geo_.height; }
 
-    /** Current bitmap word (0 when no record). */
+    /**
+     * Newest bitmap word: the epoch pending overlay when set, the
+     * committed word otherwise. What readers (and read-modify-write
+     * edges) must consult.
+     */
     u64 bitmapOf(const TreeNode *n) const;
+
+    /**
+     * Committed bitmap word only (0 when no record), ignoring any
+     * epoch overlay. Role decisions and run splits use this: the
+     * committed copy, located by the persistent bits, must survive a
+     * crash before the epoch commits.
+     */
+    u64 committedBitmapOf(const TreeNode *n) const;
+
+    /** Policy subtree index covering file offset @p off. */
+    u32 policyIndexOf(u64 off) const;
 
     /** Fixed-capacity (node, version) set of one optimistic read. */
     struct ReadSnapshots
@@ -362,9 +453,15 @@ class ShadowTree
 
     /**
      * Guarantees n's existing bit is set, durably zeroing stale
-     * immediate children first (lazy-cleaning invariant).
+     * immediate children first (lazy-cleaning invariant). Plain mode
+     * flips the committed bit directly (flushed, fenced by the op's
+     * commit). Epoch mode must not touch committed words between
+     * commits — a lazily-retired older epoch entry could replay over
+     * the flip — so the set is staged into @p staged (and the node's
+     * pending overlay) and rides the epoch commit instead; the child
+     * zeroing stays direct and fenced, which is safe standalone.
      */
-    Status ensureExisting(TreeNode *n);
+    Status ensureExisting(TreeNode *n, StagedMetadata *staged);
 
     void lockNode(TreeNode *n, MglMode mode, std::vector<HeldLock> *locks,
                   bool lockless);
@@ -431,6 +528,12 @@ class ShadowTree
     std::unique_ptr<TreeNode> root_;
     std::atomic<TreeNode *> minSearch_;  ///< minimum-search-tree cache
     TreeCounters stats_;
+
+    /** Per-top-level-subtree access counters (max degree = 64). */
+    static constexpr u32 kPolicySubtrees = 64;
+    std::atomic<u64> polReads_[kPolicySubtrees] = {};
+    std::atomic<u64> polWrites_[kPolicySubtrees] = {};
+    std::atomic<u64> polDelta_ = 0;  ///< accesses since last policy eval
 
     // Cached registry counters for salvage-mode write-back skips.
     stats::Counter *wbCrcSkips_;

@@ -275,5 +275,178 @@ TEST(MetadataLogFuzz, OutOfRangeInodeStrictFailsSalvageQuarantines)
     EXPECT_EQ((*salvaged)->recoveryReport().corruptRecordsQuarantined, 1u);
 }
 
+// --- epoch-group corruption (DESIGN.md §15) -------------------------
+//
+// An epoch group is only replayable as a unit: data entries plus a
+// commit record whose length names exactly 1 + dataCount. The cases
+// below hand-corrupt each part and demand all-or-nothing behaviour —
+// a dead record orphans the group silently (a normal crash shape),
+// while a count mismatch or duplicated record is rot that strict
+// mode refuses and salvage quarantines whole.
+
+/** Publishes one epoch data entry for @p id raising the size. */
+u64
+commitEpochData(MountFuzzFixture &fx, u64 id, u64 new_size)
+{
+    StagedMetadata staged = fx.benignStaged();
+    staged.flags = MetaLogEntry::kFlagEpochData;
+    staged.length = 1;
+    staged.offset = id;
+    staged.newFileSize = new_size;
+    return fx.commitEntry(staged);
+}
+
+/** Publishes the commit record for @p id claiming @p data_count. */
+u64
+commitEpochRecord(MountFuzzFixture &fx, u64 id, u32 data_count)
+{
+    StagedMetadata staged;
+    staged.inode = 0;
+    staged.flags = MetaLogEntry::kFlagEpochCommit;
+    staged.offset = id;
+    staged.length = 1 + data_count;
+    staged.newFileSize = 0;
+    return fx.commitEntry(staged);
+}
+
+TEST(MetadataLogFuzz, EpochRecordFlipOrphansWholeGroupSilently)
+{
+    // Control: the intact crafted group replays as one epoch and
+    // publishes its size.
+    MountFuzzFixture fx;
+    commitEpochData(fx, 7, 16 * KiB);
+    commitEpochData(fx, 7, 16 * KiB);
+    const u64 rec_off = commitEpochRecord(fx, 7, 2);
+    {
+        auto fs = MgspFs::mount(fx.device, fx.cfg);
+        ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+        EXPECT_EQ((*fs)->recoveryReport().epochsReplayed, 1u);
+        auto file = (*fs)->open("f", {});
+        ASSERT_TRUE(file.isOk());
+        EXPECT_EQ((*file)->size(), 16u * KiB);
+    }
+
+    // Any covered-byte flip in the commit record kills its checksum:
+    // the epoch never committed, so even strict mode mounts fine, the
+    // data entries are discarded as one group, and the size is never
+    // partially bumped.
+    const u64 seed = testutil::testSeed(47);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    Rng rng(seed);
+    for (int iter = 0; iter < 24; ++iter) {
+        fx.restore();
+        commitEpochData(fx, 7, 16 * KiB);
+        commitEpochData(fx, 7, 16 * KiB);
+        commitEpochRecord(fx, 7, 2);
+        const u64 byte = 8 + rng.nextBelow(40 - 8);  // covered: [8, 40)
+        u8 b;
+        fx.device->read(rec_off + byte, &b, 1);
+        b ^= static_cast<u8>(1u << rng.nextBelow(8));
+        fx.device->write(rec_off + byte, &b, 1);
+
+        auto fs = MgspFs::mount(fx.device, fx.cfg);
+        ASSERT_TRUE(fs.isOk())
+            << "iter " << iter << ": " << fs.status().toString();
+        EXPECT_EQ((*fs)->recoveryReport().epochsReplayed, 0u)
+            << "iter " << iter;
+        EXPECT_EQ((*fs)->recoveryReport().epochsDiscarded, 1u)
+            << "iter " << iter;
+        auto file = (*fs)->open("f", {});
+        ASSERT_TRUE(file.isOk());
+        EXPECT_EQ((*file)->size(), 8u * KiB)
+            << "iter " << iter << ": orphaned group bumped the size";
+        file->reset();  // the handle must not outlive the fs
+        (*fs).reset();
+    }
+}
+
+TEST(MetadataLogFuzz, EpochTruncatedDataSetStrictFailsSalvageQuarantines)
+{
+    // A record claiming three data entries over a two-entry set can
+    // only come from rot: the record commits strictly after its full
+    // data set is fenced durable. Strict refuses; salvage drops the
+    // whole group and never replays a subset.
+    MountFuzzFixture fx;
+    commitEpochData(fx, 11, 16 * KiB);
+    commitEpochData(fx, 11, 16 * KiB);
+    commitEpochRecord(fx, 11, 3);
+
+    auto strict = MgspFs::mount(fx.device, fx.cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    MgspConfig salvage_cfg = fx.cfg;
+    salvage_cfg.recoveryMode = RecoveryMode::Salvage;
+    auto salvaged = MgspFs::mount(fx.device, salvage_cfg);
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_EQ((*salvaged)->recoveryReport().epochsReplayed, 0u);
+    EXPECT_EQ((*salvaged)->recoveryReport().corruptRecordsQuarantined,
+              3u);
+    auto file = (*salvaged)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ((*file)->size(), 8u * KiB);
+}
+
+TEST(MetadataLogFuzz, EpochDuplicateRecordStrictFailsSalvageQuarantines)
+{
+    // Two live commit records for one epoch id cannot happen in any
+    // crash shape (the record index is killed before reuse), so a
+    // duplicate is corruption even when the counts line up.
+    MountFuzzFixture fx;
+    commitEpochData(fx, 13, 16 * KiB);
+    commitEpochData(fx, 13, 16 * KiB);
+    commitEpochRecord(fx, 13, 2);
+    commitEpochRecord(fx, 13, 2);
+
+    auto strict = MgspFs::mount(fx.device, fx.cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    MgspConfig salvage_cfg = fx.cfg;
+    salvage_cfg.recoveryMode = RecoveryMode::Salvage;
+    auto salvaged = MgspFs::mount(fx.device, salvage_cfg);
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_EQ((*salvaged)->recoveryReport().epochsReplayed, 0u);
+    EXPECT_EQ((*salvaged)->recoveryReport().corruptRecordsQuarantined,
+              3u);
+    auto file = (*salvaged)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ((*file)->size(), 8u * KiB);
+}
+
+TEST(MetadataLogFuzz, EpochOutOfRangeSlotQuarantinesWholeGroup)
+{
+    // Bounds rot in ONE member poisons the whole group: replaying the
+    // healthy sibling alone would tear the epoch's atomicity.
+    MountFuzzFixture fx;
+    commitEpochData(fx, 17, 16 * KiB);
+    {
+        StagedMetadata staged;
+        staged.inode = 0;
+        staged.flags = MetaLogEntry::kFlagEpochData;
+        staged.length = 1;
+        staged.offset = 17;
+        staged.newFileSize = 16 * KiB;
+        staged.addSlot(fx.cfg.maxNodeRecords + 7, 0x3);
+        fx.commitEntry(staged);
+    }
+    commitEpochRecord(fx, 17, 2);
+
+    auto strict = MgspFs::mount(fx.device, fx.cfg);
+    ASSERT_FALSE(strict.isOk());
+    EXPECT_EQ(strict.status().code(), StatusCode::Corruption);
+
+    MgspConfig salvage_cfg = fx.cfg;
+    salvage_cfg.recoveryMode = RecoveryMode::Salvage;
+    auto salvaged = MgspFs::mount(fx.device, salvage_cfg);
+    ASSERT_TRUE(salvaged.isOk()) << salvaged.status().toString();
+    EXPECT_EQ((*salvaged)->recoveryReport().epochsReplayed, 0u);
+    EXPECT_EQ((*salvaged)->recoveryReport().corruptRecordsQuarantined,
+              3u);
+    auto file = (*salvaged)->open("f", {});
+    ASSERT_TRUE(file.isOk());
+    EXPECT_EQ((*file)->size(), 8u * KiB);
+}
+
 }  // namespace
 }  // namespace mgsp

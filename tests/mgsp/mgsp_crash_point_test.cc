@@ -369,5 +369,323 @@ INSTANTIATE_TEST_SUITE_P(
         return param_info.param ? "CleanerOnInline" : "CleanerOff";
     });
 
+// ---- epoch group commit (DESIGN.md §15) -----------------------------
+
+constexpr char kPathA[] = "epochA.dat";
+constexpr char kPathB[] = "epochB.dat";
+
+MgspConfig
+epochPointConfig(bool cleaner_on)
+{
+    MgspConfig cfg = pointConfig(cleaner_on);
+    cfg.enableEpochSync = true;
+    return cfg;
+}
+
+/** Mounts @p image and reads files A and B back, concatenated. */
+std::vector<u8>
+recoverAndReadBoth(const CrashImage &image, const MgspConfig &cfg)
+{
+    auto device =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Flat);
+    auto fs = MgspFs::mount(device, cfg);
+    EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+    if (!fs.isOk())
+        return {};
+    std::vector<u8> out;
+    for (const char *path : {kPathA, kPathB}) {
+        auto file = (*fs)->open(path, OpenOptions{});
+        EXPECT_TRUE(file.isOk()) << file.status().toString();
+        if (!file.isOk())
+            return {};
+        const std::vector<u8> got = readAll(file->get());
+        out.insert(out.end(), got.begin(), got.end());
+    }
+    return out;
+}
+
+/**
+ * Epoch variant of BoundaryChecker over the concatenated contents of
+ * two files. `committed` is the reference index known durable;
+ * `target` the index an in-flight group commit may reach. Between
+ * commits the two are equal, so the check is strict: acknowledged but
+ * un-synced epoch writes must NOT appear in any crash image — and a
+ * mid-commit image must never mix files (A new, B old), which would
+ * match neither reference.
+ */
+struct EpochBoundaryChecker
+{
+    const MgspConfig &cfg;
+    const std::vector<std::vector<u8>> &refs;
+    const u64 &committed;
+    const u64 &target;
+    u64 boundaries = 0;
+    bool failed = false;
+
+    void
+    install(const std::shared_ptr<PmemDevice> &device)
+    {
+        PmemDevice *dev = device.get();
+        dev->setPersistHook([this, dev](u64 seq, PersistPoint) {
+            ++boundaries;
+            if (failed)
+                return;
+            for (const double p : {0.0, 1.0}) {
+                Rng crng(seq);
+                const CrashImage image =
+                    dev->captureCrashImage(crng, p);
+                const std::vector<u8> got =
+                    recoverAndReadBoth(image, cfg);
+                const bool ok = got == refs[committed] ||
+                                (target != committed &&
+                                 got == refs[target]);
+                if (!ok) {
+                    failed = true;
+                    ADD_FAILURE()
+                        << "boundary " << seq << " (p=" << p
+                        << "): recovered contents match neither epoch "
+                        << committed << " (" << refs[committed].size()
+                        << " B) nor in-flight epoch state " << target
+                        << " (" << refs[target].size() << " B); got "
+                        << got.size() << " B";
+                    return;
+                }
+                if (seq % 9 != 0)
+                    continue;
+                auto dev2 = std::make_shared<PmemDevice>(
+                    image, PmemDevice::Mode::Tracked);
+                auto fs2 = MgspFs::mount(dev2, cfg);
+                if (!fs2.isOk()) {
+                    failed = true;
+                    ADD_FAILURE() << "boundary " << seq
+                                  << ": tracked re-mount failed: "
+                                  << fs2.status().toString();
+                    return;
+                }
+                Rng crng2(seq + 1);
+                const CrashImage again =
+                    dev2->captureCrashImage(crng2, 0.0);
+                if (recoverAndReadBoth(again, cfg) != got) {
+                    failed = true;
+                    ADD_FAILURE() << "boundary " << seq
+                                  << ": epoch recovery not idempotent "
+                                  << "under re-crash";
+                    return;
+                }
+            }
+        });
+    }
+};
+
+class MgspEpochCrashPoint : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(MgspEpochCrashPoint, GroupCommitBoundariesAreAllOrNothing)
+{
+    // A multi-inode epoch workload: each epoch interleaves overwrites
+    // of two files, then one sync() group-commits them. At every
+    // flush/fence boundary the recovered pair must equal the last
+    // synced epoch exactly — or, inside the commit itself, the epoch
+    // being published — across BOTH files at once.
+    //
+    // With the inline cleaner on, every pwrite's noteDirty() drains,
+    // and the drain's epoch barrier commits the epoch at once; the
+    // commit granularity collapses to per-op and the checker windows
+    // follow each pwrite instead of each sync.
+    const bool cleaner_on = GetParam();
+    const MgspConfig cfg = epochPointConfig(cleaner_on);
+    const u64 seed = testutil::testSeed(83);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    constexpr u64 kFileSize = 64 * KiB;
+
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    auto file_a = (*fs)->open(kPathA, OpenOptions::Create(kFileSize));
+    ASSERT_TRUE(file_a.isOk()) << file_a.status().toString();
+    auto file_b = (*fs)->open(kPathB, OpenOptions::Create(kFileSize));
+    ASSERT_TRUE(file_b.isOk()) << file_b.status().toString();
+    {
+        std::vector<u8> zeros(kFileSize, 0);
+        ASSERT_TRUE(
+            (*file_a)->pwrite(0, ConstSlice(zeros.data(), zeros.size()))
+                .isOk());
+        ASSERT_TRUE(
+            (*file_b)->pwrite(0, ConstSlice(zeros.data(), zeros.size()))
+                .isOk());
+        ASSERT_TRUE((*file_a)->sync().isOk());  // prefill epoch durable
+    }
+
+    // The scripted epochs: small overwrites so the slot budget never
+    // forces a mid-epoch auto-flush (which would make intermediate
+    // states durable and the all-or-nothing check meaningless).
+    struct Op
+    {
+        bool toB;
+        u64 off;
+        std::vector<u8> data;
+    };
+    constexpr int kEpochs = 4;
+    constexpr int kOpsPerEpoch = 3;
+    constexpr int kOps = kEpochs * kOpsPerEpoch;
+    std::vector<Op> plan;
+    std::vector<std::vector<u8>> refs;  // refs[i]: A+B after i ops
+    {
+        ReferenceFile ref_a, ref_b;
+        ref_a.pwrite(0, std::vector<u8>(kFileSize, 0));
+        ref_b.pwrite(0, std::vector<u8>(kFileSize, 0));
+        auto both = [&] {
+            std::vector<u8> out = ref_a.bytes();
+            out.insert(out.end(), ref_b.bytes().begin(),
+                       ref_b.bytes().end());
+            return out;
+        };
+        refs.push_back(both());
+        Rng rng(seed);
+        for (int i = 0; i < kOps; ++i) {
+            Op op;
+            op.toB = (i % kOpsPerEpoch) == 1;  // every epoch hits both
+            const u64 len = rng.nextInRange(1, 2 * kBlock);
+            op.off = rng.nextBelow(kFileSize - len);
+            op.data = rng.nextBytes(len);
+            (op.toB ? ref_b : ref_a).pwrite(op.off, op.data);
+            refs.push_back(both());
+            plan.push_back(std::move(op));
+        }
+    }
+
+    u64 committed = 0;
+    u64 target = 0;
+    EpochBoundaryChecker checker{cfg, refs, committed, target};
+    const u64 seq0 = device->persistSeq();
+    checker.install(device);
+
+    for (int e = 0; e < kEpochs; ++e) {
+        for (int j = 0; j < kOpsPerEpoch; ++j) {
+            const int i = e * kOpsPerEpoch + j;
+            File *f = plan[i].toB ? file_b->get() : file_a->get();
+            if (cleaner_on)
+                target = static_cast<u64>(i) + 1;  // inline barrier
+            ASSERT_TRUE(f->pwrite(plan[i].off,
+                                  ConstSlice(plan[i].data.data(),
+                                             plan[i].data.size()))
+                            .isOk());
+            if (cleaner_on) {
+                committed = static_cast<u64>(i) + 1;
+            }
+        }
+        const u64 done = static_cast<u64>(e + 1) * kOpsPerEpoch;
+        target = done;  // the group commit may land at any boundary
+        ASSERT_TRUE((*file_a)->sync().isOk());
+        committed = done;
+    }
+    device->setPersistHook({});
+
+    EXPECT_FALSE(checker.failed);
+    EXPECT_GE(checker.boundaries, 20u);
+    EXPECT_EQ(device->persistSeq() - seq0, checker.boundaries);
+    std::vector<u8> live = readAll(file_a->get());
+    const std::vector<u8> live_b = readAll(file_b->get());
+    live.insert(live.end(), live_b.begin(), live_b.end());
+    EXPECT_EQ(live, refs[kOps]);
+}
+
+TEST_P(MgspEpochCrashPoint, AppendEpochBoundariesPublishSizeAtomically)
+{
+    // Epoch-mode appends go straight into the home extent with no
+    // fence at all; the durable size publication rides the group
+    // commit. A crash image must therefore show the file exactly as
+    // of a synced epoch — never a partially grown size.
+    const bool cleaner_on = GetParam();
+    const MgspConfig cfg = epochPointConfig(cleaner_on);
+    const u64 seed = testutil::testSeed(89);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize,
+                                               PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    auto file_a = (*fs)->open(kPathA, OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file_a.isOk()) << file_a.status().toString();
+    auto file_b = (*fs)->open(kPathB, OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file_b.isOk()) << file_b.status().toString();
+
+    struct Op
+    {
+        bool toB;
+        u64 off;
+        std::vector<u8> data;
+    };
+    constexpr int kEpochs = 3;
+    constexpr int kOpsPerEpoch = 2;
+    constexpr int kOps = kEpochs * kOpsPerEpoch;
+    std::vector<Op> plan;
+    std::vector<std::vector<u8>> refs;
+    {
+        ReferenceFile ref_a, ref_b;
+        auto both = [&] {
+            std::vector<u8> out = ref_a.bytes();
+            out.insert(out.end(), ref_b.bytes().begin(),
+                       ref_b.bytes().end());
+            return out;
+        };
+        refs.push_back(both());
+        Rng rng(seed);
+        u64 end_a = 0, end_b = 0;
+        for (int i = 0; i < kOps; ++i) {
+            Op op;
+            op.toB = (i % 2) == 1;
+            u64 &end = op.toB ? end_b : end_a;
+            op.off = end;
+            op.data = rng.nextBytes(rng.nextInRange(1, 8 * KiB));
+            end += op.data.size();
+            (op.toB ? ref_b : ref_a).pwrite(op.off, op.data);
+            refs.push_back(both());
+            plan.push_back(std::move(op));
+        }
+    }
+
+    u64 committed = 0;
+    u64 target = 0;
+    EpochBoundaryChecker checker{cfg, refs, committed, target};
+    const u64 seq0 = device->persistSeq();
+    checker.install(device);
+
+    // Appends claim no pool cells, so even the inline cleaner's
+    // watermark never trips between syncs: under BOTH params the only
+    // commit points are the explicit syncs.
+    for (int e = 0; e < kEpochs; ++e) {
+        for (int j = 0; j < kOpsPerEpoch; ++j) {
+            const int i = e * kOpsPerEpoch + j;
+            File *f = plan[i].toB ? file_b->get() : file_a->get();
+            ASSERT_TRUE(f->pwrite(plan[i].off,
+                                  ConstSlice(plan[i].data.data(),
+                                             plan[i].data.size()))
+                            .isOk());
+        }
+        const u64 done = static_cast<u64>(e + 1) * kOpsPerEpoch;
+        target = done;
+        ASSERT_TRUE((*file_b)->sync().isOk());
+        committed = done;
+    }
+    device->setPersistHook({});
+
+    EXPECT_FALSE(checker.failed);
+    EXPECT_GE(checker.boundaries, 10u);
+    EXPECT_EQ(device->persistSeq() - seq0, checker.boundaries);
+    std::vector<u8> live = readAll(file_a->get());
+    const std::vector<u8> live_b = readAll(file_b->get());
+    live.insert(live.end(), live_b.begin(), live_b.end());
+    EXPECT_EQ(live, refs[kOps]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cleaner, MgspEpochCrashPoint, ::testing::Bool(),
+    [](const ::testing::TestParamInfo<bool> &param_info) {
+        return param_info.param ? "CleanerOnInline" : "CleanerOff";
+    });
+
 }  // namespace
 }  // namespace mgsp

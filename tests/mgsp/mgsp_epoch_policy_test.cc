@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Epoch group sync: adaptive per-subtree log-policy ablation
+ * (DESIGN.md §15).
+ *
+ * The write policy (adaptive / forced shadow / forced write-through)
+ * is a performance knob, never a semantics knob: the same seeded
+ * workload must produce byte-identical contents and identical
+ * crash-recovery outcomes under all three modes. A TSan-covered
+ * concurrency case drives writers across epoch boundaries against a
+ * syncing thread.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::FsFixture;
+using testutil::ReferenceFile;
+using testutil::makeFs;
+using testutil::readAll;
+using testutil::smallConfig;
+
+constexpr char kPath[] = "policy.dat";
+constexpr u64 kCapacity = 1 * MiB;
+
+MgspConfig
+epochConfig(PolicyMode mode)
+{
+    MgspConfig cfg = smallConfig();
+    cfg.enableEpochSync = true;
+    cfg.policyMode = mode;
+    return cfg;
+}
+
+/** One seeded mixed op: overwrite, append or read-checked-against-ref. */
+struct MixedWorkload
+{
+    u64 seed;
+    int ops = 60;
+    int syncEvery = 10;
+
+    /**
+     * Runs the workload on @p fs, checking reads against the model.
+     * Invokes @p atSync after every sync() with the number of synced
+     * ops, so callers can capture crash images at each checkpoint.
+     */
+    template <typename AtSync>
+    std::vector<u8>
+    run(MgspFs *fs, AtSync &&atSync) const
+    {
+        auto file = fs->open(kPath, OpenOptions::Create(kCapacity));
+        EXPECT_TRUE(file.isOk()) << file.status().toString();
+        ReferenceFile ref;
+        {
+            std::vector<u8> base(128 * KiB, 0xA5);
+            EXPECT_TRUE(
+                (*file)
+                    ->pwrite(0, ConstSlice(base.data(), base.size()))
+                    .isOk());
+            ref.pwrite(0, base);
+            EXPECT_TRUE((*file)->sync().isOk());
+        }
+        Rng rng(seed);
+        for (int i = 0; i < ops; ++i) {
+            const int kind = static_cast<int>(rng.nextBelow(4));
+            if (kind == 0) {  // append at EOF
+                const std::vector<u8> data =
+                    rng.nextBytes(rng.nextInRange(1, 4 * KiB));
+                const u64 off = ref.size();
+                EXPECT_TRUE((*file)
+                                ->pwrite(off, ConstSlice(data.data(),
+                                                         data.size()))
+                                .isOk());
+                ref.pwrite(off, data);
+            } else if (kind == 1) {  // read, checked against the model
+                const u64 len = rng.nextInRange(1, 8 * KiB);
+                const u64 off = rng.nextBelow(ref.size());
+                std::vector<u8> got(len, 0);
+                auto n =
+                    (*file)->pread(off, MutSlice(got.data(), len));
+                EXPECT_TRUE(n.isOk()) << n.status().toString();
+                got.resize(*n);
+                EXPECT_EQ(got, ref.pread(off, len));
+            } else {  // overwrite below EOF
+                const u64 len = rng.nextInRange(1, 8 * KiB);
+                const u64 off = rng.nextBelow(ref.size() > len
+                                                  ? ref.size() - len
+                                                  : 1);
+                const std::vector<u8> data = rng.nextBytes(len);
+                EXPECT_TRUE((*file)
+                                ->pwrite(off, ConstSlice(data.data(),
+                                                         data.size()))
+                                .isOk());
+                ref.pwrite(off, data);
+            }
+            if ((i + 1) % syncEvery == 0) {
+                EXPECT_TRUE((*file)->sync().isOk());
+                atSync(i + 1, ref.bytes());
+            }
+        }
+        EXPECT_TRUE((*file)->sync().isOk());
+        atSync(ops, ref.bytes());
+        EXPECT_EQ(readAll(file->get()), ref.bytes());
+        return ref.bytes();
+    }
+};
+
+/** Mounts @p image and reads kPath back. */
+std::vector<u8>
+recoverContents(const CrashImage &image, const MgspConfig &cfg)
+{
+    auto device =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Flat);
+    auto fs = MgspFs::mount(device, cfg);
+    EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+    if (!fs.isOk())
+        return {};
+    auto file = (*fs)->open(kPath, OpenOptions{});
+    EXPECT_TRUE(file.isOk()) << file.status().toString();
+    if (!file.isOk())
+        return {};
+    return readAll(file->get());
+}
+
+TEST(MgspEpochPolicy, AblationIsByteIdenticalAcrossModes)
+{
+    // The same seeded mixed workload under the three policy modes:
+    // identical live contents, and at every sync checkpoint an
+    // immediate durable-only crash recovers identical contents —
+    // exactly the model's synced prefix — under every mode.
+    const u64 seed = testutil::testSeed(97);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+
+    std::vector<std::vector<u8>> finals;
+    for (const PolicyMode mode :
+         {PolicyMode::Adaptive, PolicyMode::ForceShadow,
+          PolicyMode::ForceWriteThrough}) {
+        const MgspConfig cfg = epochConfig(mode);
+        FsFixture fx = makeFs(cfg, PmemDevice::Mode::Tracked);
+        MixedWorkload wl{seed};
+        const std::vector<u8> final_bytes = wl.run(
+            fx.fs.get(),
+            [&](int synced_ops, const std::vector<u8> &expect) {
+                Rng crng(seed + static_cast<u64>(synced_ops));
+                const CrashImage image =
+                    fx.device->captureCrashImage(crng, 0.0);
+                const std::vector<u8> got = recoverContents(image, cfg);
+                ASSERT_EQ(got, expect)
+                    << "mode " << static_cast<int>(mode)
+                    << " diverged at synced op " << synced_ops;
+            });
+        finals.push_back(final_bytes);
+    }
+    EXPECT_EQ(finals[0], finals[1]);
+    EXPECT_EQ(finals[1], finals[2]);
+}
+
+TEST(MgspEpochPolicy, ForceWriteThroughFlagClearsAtRecovery)
+{
+    // ForceWriteThrough sets the persistent per-inode policy flag
+    // before its first eager write-back; a crash image must carry it
+    // and mount-time recovery must clear it (the access counters that
+    // justified the choice restart cold).
+    const u64 seed = testutil::testSeed(101);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    const MgspConfig cfg = epochConfig(PolicyMode::ForceWriteThrough);
+    FsFixture fx = makeFs(cfg, PmemDevice::Mode::Tracked);
+
+    MixedWorkload wl{seed};
+    wl.ops = 20;
+    const std::vector<u8> expect =
+        wl.run(fx.fs.get(), [](int, const std::vector<u8> &) {});
+
+    Rng crng(seed);
+    const CrashImage image = fx.device->captureCrashImage(crng, 0.0);
+    auto device =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Flat);
+    auto fs = MgspFs::mount(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    EXPECT_GE((*fs)->recoveryReport().policyFlagsCleared, 1u);
+    auto file = (*fs)->open(kPath, OpenOptions{});
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+    EXPECT_EQ(readAll(file->get()), expect);
+}
+
+TEST(MgspEpochPolicy, AdaptiveSwitchesOnReadHeavySubtree)
+{
+    // A read-heavy subtree must flip to write-through once its sample
+    // clears policyMinOps at the configured read ratio, and flip back
+    // after a write-heavy phase drains the read share — observable in
+    // the policy.* counters and never in the contents.
+    MgspConfig cfg = epochConfig(PolicyMode::Adaptive);
+    cfg.policyMinOps = 8;
+    FsFixture fx = makeFs(cfg);
+    auto file = fx.fs->open(kPath, OpenOptions::Create(kCapacity));
+    ASSERT_TRUE(file.isOk()) << file.status().toString();
+
+    auto &reg = stats::StatsRegistry::instance();
+    const u64 to_wt0 = reg.counter("policy.to_write_through").value();
+    const u64 to_sh0 = reg.counter("policy.to_shadow").value();
+
+    ReferenceFile ref;
+    std::vector<u8> base(16 * KiB, 0x5A);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(base.data(), base.size())).isOk());
+    ref.pwrite(0, base);
+    ASSERT_TRUE((*file)->sync().isOk());
+
+    // Read-heavy epochs confined to the file's first policy subtree:
+    // one small write keeps the inode in the epoch roster, thirty
+    // reads tilt the sample far past the read ratio.
+    Rng rng(7);
+    for (int e = 0; e < 3; ++e) {
+        const std::vector<u8> stamp = rng.nextBytes(64);
+        ASSERT_TRUE(
+            (*file)
+                ->pwrite(e * 128, ConstSlice(stamp.data(), stamp.size()))
+                .isOk());
+        ref.pwrite(e * 128, stamp);
+        for (int r = 0; r < 30; ++r) {
+            std::vector<u8> got(512);
+            const u64 off = rng.nextBelow(8 * KiB);
+            auto n = (*file)->pread(off, MutSlice(got.data(), 512));
+            ASSERT_TRUE(n.isOk());
+            got.resize(*n);
+            ASSERT_EQ(got, ref.pread(off, 512));
+        }
+        ASSERT_TRUE((*file)->sync().isOk());
+    }
+    EXPECT_GT(reg.counter("policy.to_write_through").value(), to_wt0);
+
+    // Write-heavy epochs on the same subtree: the decayed sample
+    // falls under the ratio and the subtree reverts to shadow-first.
+    for (int e = 0; e < 4; ++e) {
+        for (int w = 0; w < 20; ++w) {
+            const std::vector<u8> stamp = rng.nextBytes(256);
+            const u64 off = rng.nextBelow(8 * KiB);
+            ASSERT_TRUE(
+                (*file)
+                    ->pwrite(off, ConstSlice(stamp.data(), stamp.size()))
+                    .isOk());
+            ref.pwrite(off, stamp);
+        }
+        ASSERT_TRUE((*file)->sync().isOk());
+    }
+    EXPECT_GT(reg.counter("policy.to_shadow").value(), to_sh0);
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+}
+
+TEST(MgspEpochConcurrency, WritersAcrossEpochBoundaries)
+{
+    // Disjoint-region writers race a dedicated syncing thread, so
+    // epoch registration, the roster swap, the commit's participant
+    // locking and the overlay hand-off all interleave with staging —
+    // the TSan job runs this to prove those transitions race-free.
+    MgspConfig cfg = smallConfig();
+    cfg.enableEpochSync = true;
+    FsFixture fx = makeFs(cfg);
+    constexpr int kThreads = 4;
+    constexpr u64 kRegion = 64 * KiB;
+    auto setup =
+        fx.fs->open("shared", OpenOptions::Create(kThreads * kRegion));
+    ASSERT_TRUE(setup.isOk());
+    std::vector<u8> zeros(kThreads * kRegion, 0);
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(zeros.data(), zeros.size())).isOk());
+    ASSERT_TRUE((*setup)->sync().isOk());
+
+    std::atomic<int> failures{0};
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("shared", OpenOptions{});
+            if (!file.isOk()) {
+                failures.fetch_add(1);
+                return;
+            }
+            Rng rng(t);
+            const u64 base = t * kRegion;
+            for (int i = 0; i < 150; ++i) {
+                const u64 len = rng.nextInRange(64, 4 * KiB);
+                const u64 off = base + rng.nextBelow(kRegion - len);
+                std::vector<u8> data(len, static_cast<u8>(t + 1));
+                if (!(*file)->pwrite(off, ConstSlice(data.data(), len))
+                         .isOk())
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    std::thread syncer([&] {
+        auto file = fx.fs->open("shared", OpenOptions{});
+        if (!file.isOk()) {
+            failures.fetch_add(1);
+            return;
+        }
+        while (!done.load(std::memory_order_acquire)) {
+            if (!(*file)->sync().isOk())
+                failures.fetch_add(1);
+            std::this_thread::yield();
+        }
+    });
+    for (auto &th : threads)
+        th.join();
+    done.store(true, std::memory_order_release);
+    syncer.join();
+    EXPECT_EQ(failures.load(), 0);
+    ASSERT_TRUE((*setup)->sync().isOk());
+
+    std::vector<u8> out = readAll(setup->get());
+    for (u64 i = 0; i < out.size(); ++i) {
+        const u8 owner = static_cast<u8>(i / kRegion + 1);
+        ASSERT_TRUE(out[i] == 0 || out[i] == owner)
+            << "byte " << i << " = " << int(out[i]);
+    }
+}
+
+}  // namespace
+}  // namespace mgsp
