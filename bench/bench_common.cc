@@ -25,13 +25,18 @@ mgspConfigFor(u64 arena_bytes)
     MgspConfig cfg;
     cfg.arenaSize = arena_bytes;
     cfg.poolFraction = 0.55;
+    // Cache off for every bench engine except the explicit mgsp-cache
+    // variant: the long-lived ratchet series (BENCH_*.json) measure
+    // the raw shadow tree, and must not silently change meaning when
+    // the config default flips.
+    cfg.cacheBytes = 0;
     return cfg;
 }
 
 }  // namespace
 
 Engine
-makeEngine(const std::string &name, u64 arena_bytes)
+makeEngine(const std::string &name, u64 arena_bytes, u64 cache_bytes)
 {
     Engine engine;
     engine.name = name;
@@ -80,6 +85,8 @@ makeEngine(const std::string &name, u64 arena_bytes)
             cfg.cleanerSyncIntervalMillis = 5;
         } else if (name == "mgsp-epoch") {
             cfg.enableEpochSync = true;
+        } else if (name == "mgsp-cache") {
+            cfg.cacheBytes = cache_bytes != 0 ? cache_bytes : 64 * MiB;
         } else if (name != "mgsp") {
             MGSP_FATAL("unknown mgsp variant: %s", name.c_str());
         }
@@ -142,10 +149,12 @@ usageError(const char *argv0, const std::string &offender)
         "%s: bad argument: %s\n"
         "usage: %s [--stats-json=FILE] [--trace-json=FILE]\n"
         "          [--bench-json=FILE] [--sample-ms=N] [--background]\n"
-        "          [--quick] [--sync-interval=N]\n"
+        "          [--quick] [--sync-interval=N] [--cache-mb=N]\n"
         "          [--corrupt-pct=P0,P1,...] [--pool-pct=P0,P1,...]\n"
         "Value-taking flags require the value (= or next argument);\n"
-        "--sync-interval must be >= 1 (no-sync is part of the sweep).\n",
+        "--sync-interval must be >= 1 (no-sync is part of the sweep);\n"
+        "--cache-mb must be >= 1 (the plain mgsp series is the\n"
+        "no-cache measurement).\n",
         argv0, offender.c_str(), argv0);
     std::exit(2);
 }
@@ -191,9 +200,21 @@ parseBenchArgs(int argc, char **argv)
             args.syncInterval = std::strtoull(argv[++i], nullptr, 10);
             if (args.syncInterval == 0)
                 usageError(argv[0], arg + " " + argv[i]);
+        } else if (arg.rfind("--cache-mb=", 0) == 0) {
+            // 0 (and any non-numeric value, which strtoull parses as
+            // 0) would run the "cache" series with the cache disabled
+            // — a silently meaningless measurement. Reject it.
+            args.cacheMb = std::strtoull(
+                arg.c_str() + strlen("--cache-mb="), nullptr, 10);
+            if (args.cacheMb == 0)
+                usageError(argv[0], arg);
+        } else if (arg == "--cache-mb" && i + 1 < argc) {
+            args.cacheMb = std::strtoull(argv[++i], nullptr, 10);
+            if (args.cacheMb == 0)
+                usageError(argv[0], arg + " " + argv[i]);
         } else if (arg == "--stats-json" || arg == "--trace-json" ||
                    arg == "--bench-json" || arg == "--sample-ms" ||
-                   arg == "--sync-interval") {
+                   arg == "--sync-interval" || arg == "--cache-mb") {
             // A trailing value-taking flag used to be swallowed by the
             // unknown-argument branch with a misleading message; make
             // the missing value explicit.

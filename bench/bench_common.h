@@ -13,8 +13,12 @@
  * (mgsp-no-shadow, mgsp-no-multigran, mgsp-no-fine, mgsp-filelock,
  * mgsp-no-opt, mgsp-no-optimistic) used by the Fig. 13 breakdown and
  * the fig10 read-scalability series, mgsp-bg (background cleaner
- * thread + periodic drain) used by fig07 --background, and mgsp-epoch
- * (epoch-based group sync, DESIGN.md §15) in the fig07 sweep.
+ * thread + periodic drain) used by fig07 --background, mgsp-epoch
+ * (epoch-based group sync, DESIGN.md §15) in the fig07 sweep, and
+ * mgsp-cache (DRAM hot-extent read cache, DESIGN.md §16) in the fig10
+ * read series. The plain mgsp engine is always built with the cache
+ * OFF so the long-lived ratchet series keep measuring the raw shadow
+ * tree; mgsp-cache is the only cache-enabled variant.
  */
 #ifndef MGSP_BENCH_BENCH_COMMON_H
 #define MGSP_BENCH_BENCH_COMMON_H
@@ -37,8 +41,13 @@ struct Engine
     std::unique_ptr<FileSystem> fs;
 };
 
-/** Builds engine @p name over a fresh @p arena_bytes device. */
-Engine makeEngine(const std::string &name, u64 arena_bytes);
+/**
+ * Builds engine @p name over a fresh @p arena_bytes device.
+ * @p cache_bytes sizes the DRAM read cache of the mgsp-cache variant
+ * (0 = that variant's 64 MiB default); other engines ignore it.
+ */
+Engine makeEngine(const std::string &name, u64 arena_bytes,
+                  u64 cache_bytes = 0);
 
 /** Engine sets used by the figures. */
 std::vector<std::string> standardEngines();   ///< dax/nvmmio/nova/mgsp
@@ -103,6 +112,13 @@ struct BenchArgs
     /// default share, sweeping the engine into exhaustion. Empty =
     /// use the bench's default sweep.
     std::vector<double> poolPcts;
+    /// --cache-mb=N: benches that honour it (fig10) size the
+    /// mgsp-cache variant's DRAM read cache at N MiB. 0 would be a
+    /// disabled cache masquerading as the cache series, so it is
+    /// rejected at parse time (usage/exit 2); use the plain mgsp
+    /// series for the no-cache numbers. 0 here means "not given":
+    /// the bench picks its default (fig10: the workload file size).
+    u64 cacheMb = 0;
 };
 
 /**

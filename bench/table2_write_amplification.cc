@@ -31,7 +31,7 @@ amplification(const std::string &engine_name, u64 block, u32 sync,
     Engine engine = makeEngine(engine_name, scale.arenaBytes);
     const u64 file_size = scale.fileSize / 2;
     StatusOr<std::unique_ptr<File>> file =
-        createFileWithCapacity(engine.fs.get(), "amp.dat", file_size);
+        openWithCapacity(engine.fs.get(), "amp.dat", file_size);
     if (!file.isOk())
         return -1.0;
 

@@ -64,13 +64,6 @@ class NvmmioFs : public FileSystem
 
     StatusOr<std::unique_ptr<File>>
     open(const std::string &path, const OpenOptions &options) override;
-    /** @deprecated Use open(path, OpenOptions::Create(capacity)). */
-    [[deprecated("use open(path, OpenOptions::Create(capacity))")]]
-    StatusOr<std::unique_ptr<File>>
-    createFile(const std::string &path, u64 capacity)
-    {
-        return open(path, OpenOptions::Create(capacity));
-    }
     Status remove(const std::string &path) override;
     bool exists(const std::string &path) const override;
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * TSan-exempt memory copies for optimistic (seqlock-validated)
+ * protocols.
+ *
+ * Optimistic readers copy bytes that a writer may be mutating and
+ * then discard the copy if a version check fails — a data race by
+ * design, made benign by the validation. ThreadSanitizer cannot see
+ * the protocol, so these copies are compiled uninstrumented under
+ * TSan: the volatile accesses keep the compiler from lowering the
+ * loop to a (TSan-intercepted) memcpy call; word copies keep it
+ * reasonably fast. Without TSan they are plain memcpy.
+ *
+ * Users: PmemDevice::racyRead (optimistic tree reads over the NVM
+ * arena) and the DRAM read cache (frame fills racing frame hits).
+ */
+#ifndef MGSP_COMMON_RACY_COPY_H
+#define MGSP_COMMON_RACY_COPY_H
+
+#include <cstring>
+
+#include "common/types.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define MGSP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MGSP_TSAN 1
+#endif
+#endif
+
+namespace mgsp {
+
+#ifdef MGSP_TSAN
+__attribute__((no_sanitize("thread"), noinline)) inline void
+racyCopy(void *dst, const void *src, u64 len)
+{
+    auto *d = static_cast<u8 *>(dst);
+    const auto *s = static_cast<const u8 *>(src);
+    while (len >= 8 && reinterpret_cast<uintptr_t>(s) % 8 == 0) {
+        u64 word = *reinterpret_cast<const volatile u64 *>(s);
+        std::memcpy(d, &word, 8);
+        d += 8;
+        s += 8;
+        len -= 8;
+    }
+    while (len > 0) {
+        *d++ = *reinterpret_cast<const volatile u8 *>(s++);
+        --len;
+    }
+}
+
+/** Write-side twin of racyCopy: uninstrumented volatile stores. */
+__attribute__((no_sanitize("thread"), noinline)) inline void
+racyStore(void *dst, const void *src, u64 len)
+{
+    auto *d = static_cast<u8 *>(dst);
+    const auto *s = static_cast<const u8 *>(src);
+    while (len >= 8 && reinterpret_cast<uintptr_t>(d) % 8 == 0) {
+        u64 word;
+        std::memcpy(&word, s, 8);
+        *reinterpret_cast<volatile u64 *>(d) = word;
+        d += 8;
+        s += 8;
+        len -= 8;
+    }
+    while (len > 0) {
+        *reinterpret_cast<volatile u8 *>(d++) = *s++;
+        --len;
+    }
+}
+#else
+inline void
+racyCopy(void *dst, const void *src, u64 len)
+{
+    std::memcpy(dst, src, len);
+}
+
+inline void
+racyStore(void *dst, const void *src, u64 len)
+{
+    std::memcpy(dst, src, len);
+}
+#endif
+
+}  // namespace mgsp
+
+#endif  // MGSP_COMMON_RACY_COPY_H

@@ -75,6 +75,7 @@ stageName(Stage s)
       case Stage::BitmapApply: return "bitmap_apply";
       case Stage::Read: return "read";
       case Stage::OptimisticRead: return "read_optimistic";
+      case Stage::ReadCache: return "read_cache";
       case Stage::Recovery: return "recovery";
       case Stage::WriteBack: return "writeback";
       case Stage::Clean: return "clean";

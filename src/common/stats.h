@@ -59,6 +59,7 @@ enum class Stage : u8 {
     BitmapApply,  ///< bitmap-word apply, size persist, entry retire
     Read,         ///< locked read path (tree descent + copy-out)
     OptimisticRead,  ///< lock-free read attempt (seqlock validated)
+    ReadCache,    ///< DRAM frame lookup/copy (hit or rejected probe)
     Recovery,     ///< mount-time metadata-log replay + rebuild
     WriteBack,    ///< close/truncate log write-back (checkpoint)
     Clean,        ///< background/sync cleaner write-back + reclaim

@@ -137,6 +137,17 @@ struct MgspConfig
      */
     bool enableStats = true;
 
+    /**
+     * DRAM budget for the hot-extent read cache (DESIGN.md §16);
+     * 0 disables it. Frames are leafBlockSize bytes and validate
+     * against the same per-node seqlock versions the optimistic read
+     * path uses, so the cache is effective only under the optimistic
+     * preconditions (LockMode::Mgl with enableShadowLog and
+     * enableOptimisticReads) and silently stays off otherwise.
+     * Degraded, salvaged and poisoned state always bypasses it.
+     */
+    u64 cacheBytes = 8 * MiB;
+
     // ---- background write-back & cleaning (Fig. 7 sync knob) ----
     /**
      * Background shadow-log write-back & cleaning. When on, writers

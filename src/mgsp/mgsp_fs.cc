@@ -67,6 +67,23 @@ class MgspFile : public File
      */
     Status sync() override { return fs_->syncFile(inode_); }
 
+    /**
+     * Per-file read-cache steering (vfs AccessHint semantics). The
+     * hint is shared by every handle on the file, like
+     * posix_fadvise. DontCache additionally drops the file's
+     * already-resident frames so "stop caching this" takes effect
+     * immediately, not at eviction.
+     */
+    Status
+    advise(AccessHint hint) override
+    {
+        inode_->accessHint.store(static_cast<u8>(hint),
+                                 std::memory_order_relaxed);
+        if (hint == AccessHint::DontCache && fs_->cache_ != nullptr)
+            fs_->cache_->dropFile(inode_->inodeIdx);
+        return Status::ok();
+    }
+
     u64
     size() const override
     {
@@ -104,6 +121,17 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
         readCounters_.optimistic = &reg.counter("read.optimistic");
         readCounters_.retry = &reg.counter("read.retry");
         readCounters_.fallback = &reg.counter("read.fallback");
+    }
+    // Frame validation needs the same per-node version signal the
+    // optimistic read path rides, so the cache shares its gate.
+    cacheOn_ = config.cacheBytes > 0 && optimisticOn_;
+    if (cacheOn_) {
+        cache_ = std::make_unique<PageCache>(
+            config.cacheBytes, config.leafBlockSize, config.maxInodes);
+        if (!cache_->enabled()) {  // budget below one frame
+            cache_.reset();
+            cacheOn_ = false;
+        }
     }
     if (cleanerOn_) {
         auto &reg = stats::StatsRegistry::instance();
@@ -615,6 +643,18 @@ MgspFs::runRecovery()
     }
 
     recovery_.nanos = timer.elapsedNanos();
+
+    // A salvage mount that quarantined anything serves some ranges
+    // from base-file fallbacks that carry no version signal distinct
+    // from the pre-fault state. Keep the read cache off for the whole
+    // mount rather than risk a frame masking a salvaged range.
+    if (recovery_.corruptRecordsQuarantined != 0 ||
+        recovery_.salvagedBytes != 0 ||
+        recovery_.poisonedRangesSkipped != 0 ||
+        recovery_.superblockRecovered) {
+        cache_.reset();
+        cacheOn_ = false;
+    }
     return Status::ok();
 }
 
@@ -720,7 +760,7 @@ MgspFs::open(const std::string &path, const OpenOptions &options)
         }
     }
     if (inode == nullptr) {
-        StatusOr<std::unique_ptr<File>> created = createFileLocked(
+        StatusOr<std::unique_ptr<File>> created = createInodeLocked(
             path, options.capacity != 0 ? options.capacity
                                         : config_.defaultFileCapacity);
         return created;
@@ -734,7 +774,7 @@ MgspFs::open(const std::string &path, const OpenOptions &options)
 }
 
 StatusOr<std::unique_ptr<File>>
-MgspFs::createFileLocked(const std::string &path, u64 capacity)
+MgspFs::createInodeLocked(const std::string &path, u64 capacity)
 {
     if (path.empty() || path.size() > InodeRecord::kMaxNameLen)
         return Status::invalidArgument("bad file name");
@@ -831,6 +871,11 @@ MgspFs::remove(const std::string &path)
         freeExtents_.emplace_back(it->second->extentOff,
                                   it->second->capacity);
         const u32 idx = it->second->inodeIdx;
+        // Drop cached frames before the tree is destroyed: frames
+        // hold TreeNode pointers into it. Safe here — refCount is 0,
+        // so no reader can be mid-lookup on this inode.
+        if (cache_ != nullptr)
+            cache_->dropFile(idx);
         InodeRecord rec;
         device_->read(layout_.inodeOff(idx), &rec, sizeof(rec));
         nodeTable_->freeRecord(static_cast<u32>(rec.rootRecIdx));
@@ -1950,6 +1995,29 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
     if (epochOn_)
         inode->tree->noteAccess(offset, /*is_write=*/false);
 
+    // DRAM frame lookup first. Bypassed whenever a fault plane is
+    // live — degraded files, armed poison — and by DontCache advice,
+    // so cached bytes can never mask what the tree paths would
+    // surface. A hit skips the NVM latency charge entirely: the copy
+    // comes from DRAM, which is the whole point of the cache — and it
+    // skips the op-trace machinery too: two clock reads plus the
+    // histogram and ring updates would roughly double the cost of a
+    // DRAM hit, so hits are accounted by cache.hit alone and the
+    // per-stage read records see only misses.
+    const u8 hint_raw = inode->accessHint.load(std::memory_order_relaxed);
+    const auto hint = static_cast<AccessHint>(hint_raw);
+    const bool cache_ok = cacheOn_ && hint != AccessHint::DontCache &&
+                          !inode->degraded.load(std::memory_order_relaxed) &&
+                          !device_->anyPoisoned();
+    const u64 frame_size = cache_ok ? cache_->frameSize() : 0;
+    const bool one_frame =
+        cache_ok && n <= frame_size &&
+        (offset & ~(frame_size - 1)) ==
+            ((offset + n - 1) & ~(frame_size - 1));
+    if (one_frame &&
+        cache_->lookup(inode->inodeIdx, offset, dst.data(), n))
+        return n;
+
     const bool file_lock_mode = config_.lockMode == LockMode::FileLock ||
                                 !config_.enableShadowLog;
     const bool greedy =
@@ -1958,6 +2026,25 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
 
     stats::OpTrace trace(stats::OpType::Read, offset, n, statsOn_);
 
+    // Whole-frame miss: the bytes this read is about to fetch are
+    // exactly one frame's contents, so an admitted fill rides the
+    // user's own optimistic read — snapshot exported, dst installed
+    // directly, no second tree walk and no second latency charge.
+    // Partial-frame misses go through maybeCachePopulate's separate
+    // fill read instead.
+    const bool whole_frame =
+        one_frame && optimisticOn_ && hint != AccessHint::Sequential &&
+        (offset & (frame_size - 1)) == 0 &&
+        (n == frame_size || offset + n == size);
+    // One admission decision per miss: a whole-frame read consults
+    // the doorkeeper here and nowhere else, so a Normal-hint extent
+    // really does need a second miss before it earns a frame.
+    const bool fill_inline =
+        whole_frame && cache_->admitCheck(inode->inodeIdx, offset,
+                                          hint == AccessHint::ReadMostly);
+    const u64 fill_gen0 =
+        fill_inline ? cache_->generation(inode->inodeIdx) : 0;
+
     // Optimistic lock-free path: descend without any IR/R
     // acquisitions, copy, and seqlock-validate the per-node versions
     // consulted. Any concurrent writer or cleaner invalidates the
@@ -1965,12 +2052,24 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
     // readers cannot starve under sustained write pressure.
     if (optimisticOn_) {
         trace.stage(stats::Stage::OptimisticRead);
+        VersionSnapshot snap;
         for (int attempt = 0; attempt < 3; ++attempt) {
-            if (inode->tree->tryReadOptimistic(offset,
-                                               MutSlice(dst.data(), n))) {
+            if (inode->tree->tryReadOptimistic(
+                    offset, MutSlice(dst.data(), n),
+                    fill_inline ? &snap : nullptr)) {
                 device_->latency().chargeRead(n);
                 trace.endStage();
                 readCounters_.optimistic->add(1);
+                if (fill_inline) {
+                    cache_->populate(inode->inodeIdx, offset, dst.data(),
+                                     static_cast<u32>(n), snap,
+                                     fill_gen0);
+                } else if (one_frame && !whole_frame) {
+                    // Partial-frame miss: the separate fill read does
+                    // its own (single) admission check. Whole-frame
+                    // misses the doorkeeper rejected stay out.
+                    maybeCachePopulate(inode, offset, hint, &trace);
+                }
                 return n;
             }
             readCounters_.retry->add(1);
@@ -2017,7 +2116,51 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
         trace.setFailed();
         return s;
     }
+    // Locked-fallback fill. An admitted whole-frame miss re-checks
+    // admission inside; the doorkeeper slot already holds its key, so
+    // the re-check is idempotent. A rejected one stays rejected.
+    if (one_frame && (!whole_frame || fill_inline))
+        maybeCachePopulate(inode, offset, hint, &trace);
     return n;
+}
+
+/**
+ * Fill attempt after a successful partial-frame or locked-fallback
+ * miss read: re-reads the whole frame extent optimistically (the fill
+ * needs the frame's full bytes plus the consulted version snapshot,
+ * which the user's arbitrary-range read does not provide) and
+ * installs it. Whole-frame optimistic misses skip this entirely —
+ * their fill rides the user's own read in doRead. Failure of any step
+ * just means no frame this time — the next miss retries. The extra
+ * NVM read is charged honestly; it amortizes over every subsequent
+ * hit.
+ */
+void
+MgspFs::maybeCachePopulate(OpenInode *inode, u64 offset, AccessHint hint,
+                           stats::OpTrace *trace)
+{
+    if (hint == AccessHint::Sequential || hint == AccessHint::DontCache)
+        return;
+    const bool eager = hint == AccessHint::ReadMostly;
+    const u64 fsz = cache_->frameSize();
+    const u64 frame_off = offset - offset % fsz;
+    if (!cache_->admitCheck(inode->inodeIdx, frame_off, eager))
+        return;
+    const u64 size = inode->fileSize.load(std::memory_order_acquire);
+    if (frame_off >= size)
+        return;
+    const u64 vlen = std::min(fsz, size - frame_off);
+    const u64 gen0 = cache_->generation(inode->inodeIdx);
+    std::unique_ptr<u8[]> buf(new u8[vlen]);
+    trace->stage(stats::Stage::ReadCache);
+    VersionSnapshot snap;
+    if (inode->tree->tryReadOptimistic(frame_off, MutSlice(buf.get(), vlen),
+                                       &snap)) {
+        device_->latency().chargeRead(vlen);
+        cache_->populate(inode->inodeIdx, frame_off, buf.get(),
+                         static_cast<u32>(vlen), snap, gen0);
+    }
+    trace->endStage();
 }
 
 Status
@@ -2868,6 +3011,12 @@ MgspFs::enterDegradedLocked(OpenInode *inode)
     device_->flush(flags_off, 8);
     device_->fence();
     inode->degraded.store(true, std::memory_order_release);
+    // Readers bypass the cache while degraded (doRead checks the
+    // flag), but frames filled before the flip must go too: degraded
+    // writes bump covering versions under MGL, yet belt-and-braces
+    // beats reasoning about every raw write-through interleaving.
+    if (cache_ != nullptr)
+        cache_->dropFile(inode->inodeIdx);
     resourceCounters_.degradedEnter->add(1);
     MGSP_WARN("%s: shadow resources exhausted past the retry budget; "
               "entering degraded write-through mode",
@@ -3051,6 +3200,25 @@ MgspFs::doTruncate(OpenInode *inode, u64 new_size)
     }
     persistFileSize(inode, new_size, /*allow_shrink=*/true);
     device_->fence();
+    // No version signal distinguishes "shrunk then re-grown as
+    // zeros" from the pre-truncate bytes, so cached frames must go;
+    // the generation bump also discards any fill that raced us.
+    if (cache_ != nullptr)
+        cache_->dropFile(inode->inodeIdx);
+    return Status::ok();
+}
+
+CacheStats
+MgspFs::cacheStats() const
+{
+    return cache_ != nullptr ? cache_->statsSnapshot() : CacheStats{};
+}
+
+Status
+MgspFs::dropCaches()
+{
+    if (cache_ != nullptr)
+        cache_->dropAll();
     return Status::ok();
 }
 

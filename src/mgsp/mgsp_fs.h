@@ -35,6 +35,7 @@
 #include "mgsp/layout.h"
 #include "mgsp/metadata_log.h"
 #include "mgsp/node_table.h"
+#include "mgsp/page_cache.h"
 #include "mgsp/shadow_tree.h"
 #include "pmem/pmem_device.h"
 #include "pmem/pmem_pool.h"
@@ -126,16 +127,19 @@ class MgspFs : public FileSystem
     StatusOr<std::unique_ptr<File>>
     open(const std::string &path, const OpenOptions &options) override;
 
-    /** @deprecated Use open(path, OpenOptions::Create(capacity)). */
-    [[deprecated("use open(path, OpenOptions::Create(capacity))")]]
-    StatusOr<std::unique_ptr<File>>
-    createFile(const std::string &path, u64 capacity)
-    {
-        return open(path, OpenOptions::Create(capacity));
-    }
-
     Status remove(const std::string &path) override;
     bool exists(const std::string &path) const override;
+
+    /**
+     * DRAM read-cache counters (vfs cache surface). Zeros when the
+     * cache is off (cacheBytes == 0 or the optimistic-read
+     * preconditions are unmet).
+     */
+    CacheStats cacheStats() const override;
+
+    /** Drops every DRAM read-cache frame. Never loses data: the
+     * cache is read-only (frames mirror durable NVM bytes). */
+    Status dropCaches() override;
 
     u64
     logicalBytesWritten() const override
@@ -272,6 +276,11 @@ class MgspFs : public FileSystem
         /// and exit happen under cleanMutex.
         std::atomic<bool> degraded{false};
 
+        /// Latest File::advise() hint, shared by every handle
+        /// (stored as static_cast<u8>(AccessHint); advice is
+        /// per-file, matching posix_fadvise semantics).
+        std::atomic<u8> accessHint{0};
+
         // ---- epoch group sync (DESIGN.md §15) -------------------
         /// One accumulated bitmap flip of the current epoch, merged
         /// by record index (newest op wins). `node` lets the commit
@@ -316,7 +325,7 @@ class MgspFs : public FileSystem
     StatusOr<OpenInode *> materializeInode(u32 idx);
     StatusOr<std::unique_ptr<File>> makeHandle(OpenInode *inode);
     StatusOr<std::unique_ptr<File>>
-    createFileLocked(const std::string &path, u64 capacity);
+    createInodeLocked(const std::string &path, u64 capacity);
     void releaseHandle(OpenInode *inode);
 
     /** Scans the persistent inode table for @p path; kNoRecord if absent. */
@@ -337,6 +346,13 @@ class MgspFs : public FileSystem
                              ConstSlice src);
     StatusOr<u64> doRead(OpenInode *inode, u64 offset, MutSlice dst);
     Status doTruncate(OpenInode *inode, u64 new_size);
+    /**
+     * Read-cache fill attempt after a successful single-frame miss
+     * read (doRead): admission check, full-frame optimistic re-read
+     * with a version snapshot, PageCache::populate. Best-effort.
+     */
+    void maybeCachePopulate(OpenInode *inode, u64 offset, AccessHint hint,
+                            stats::OpTrace *trace);
 
     /** Durably updates the file size (monotonic unless shrinking). */
     void persistFileSize(OpenInode *inode, u64 new_size,
@@ -482,6 +498,14 @@ class MgspFs : public FileSystem
     /// no per-node versions and no-shadow mode overwrites leaf data
     /// in place with no version signal.
     bool optimisticOn_ = false;
+    /// DRAM read cache active? (cacheBytes > 0 && optimisticOn_ —
+    /// frame validation rides the same seqlock versions. Forced off
+    /// for the whole mount when salvage recovery quarantined
+    /// anything: reads of salvaged ranges must keep falling back to
+    /// the base bytes, not a cached pre-fault copy.)
+    bool cacheOn_ = false;
+    /// The frame pool (constructed iff cacheOn_).
+    std::unique_ptr<PageCache> cache_;
     /// Greedy locking skips ancestor intention locks, which the
     /// cleaner's covering W lock relies on — so it is forced off
     /// whenever the cleaner is on (and in epoch mode, whose policy

@@ -1,0 +1,470 @@
+#include "mgsp/page_cache.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/racy_copy.h"
+
+namespace mgsp {
+
+namespace {
+
+u32
+log2Floor(u64 v)
+{
+    u32 s = 0;
+    while ((1ull << (s + 1)) <= v)
+        ++s;
+    return s;
+}
+
+}  // namespace
+
+PageCache::PageCache(u64 budget_bytes, u64 frame_size, u32 max_inodes)
+    : frameSize_(frame_size),
+      frameShift_(log2Floor(frame_size)),
+      frameCount_(frame_size > 0 ? budget_bytes / frame_size : 0),
+      maxInodes_(max_inodes)
+{
+    MGSP_CHECK(frame_size > 0 && (frame_size & (frame_size - 1)) == 0);
+    MGSP_CHECK(max_inodes < ~0u);  // reserved index-slot keys
+    auto &r = stats::StatsRegistry::instance();
+    hits_.global = &r.counter("cache.hit");
+    misses_.global = &r.counter("cache.miss");
+    fills_.global = &r.counter("cache.fill");
+    evicts_.global = &r.counter("cache.evict");
+    invalidates_.global = &r.counter("cache.invalidate");
+    if (frameCount_ == 0)
+        return;
+    frames_ = std::make_unique<Frame[]>(frameCount_);
+    // for_overwrite: zeroing the slab would put a multi-ms memset on
+    // every mount, and no slab byte is ever served before a fill sets
+    // the frame's key and validLen.
+    slab_ = std::make_unique_for_overwrite<u8[]>(frameCount_ * frameSize_);
+    for (u64 i = 0; i < frameCount_; ++i)
+        frames_[i].data = slab_.get() + i * frameSize_;
+    gens_ = std::make_unique<std::atomic<u64>[]>(maxInodes_);
+    for (u32 i = 0; i < maxInodes_; ++i)
+        gens_[i].store(0, std::memory_order_relaxed);
+    door_ = std::make_unique<std::atomic<u64>[]>(kDoorSlots);
+    for (u32 i = 0; i < kDoorSlots; ++i)
+        door_[i].store(kNoKey, std::memory_order_relaxed);
+    // Index capacity: power of two holding every frame at <= 50%
+    // load, floor 64 so tiny test budgets still probe short chains.
+    u64 cap = 64;
+    while (cap < frameCount_ * 2)
+        cap <<= 1;
+    slotMask_ = cap - 1;
+    slots_ = std::make_unique<IndexSlot[]>(cap);
+}
+
+u32
+PageCache::indexFind(u64 key) const
+{
+    u64 s = slotStart(key);
+    for (u64 probes = 0; probes <= slotMask_;
+         ++probes, s = (s + 1) & slotMask_) {
+        const u64 k = slots_[s].key.load(std::memory_order_acquire);
+        if (k == key)
+            return slots_[s].frame.load(std::memory_order_relaxed);
+        if (k == kEmptySlot)
+            return kNoFrame;
+        // Tombstone or another key: keep probing.
+    }
+    return kNoFrame;
+}
+
+void
+PageCache::indexInsertLocked(u64 key, u32 idx)
+{
+    u64 s = slotStart(key);
+    u64 first_tomb = kEmptySlot;
+    for (;; s = (s + 1) & slotMask_) {
+        const u64 k = slots_[s].key.load(std::memory_order_relaxed);
+        if (k == key) {
+            // Remap in place. A concurrent reader may pair the old
+            // frame with the new key load; its frame-key recheck
+            // turns that into a miss.
+            slots_[s].frame.store(idx, std::memory_order_relaxed);
+            return;
+        }
+        if (k == kTombSlot) {
+            if (first_tomb == kEmptySlot)
+                first_tomb = s;
+            continue;
+        }
+        if (k == kEmptySlot) {
+            const u64 t = first_tomb != kEmptySlot ? first_tomb : s;
+            slots_[t].frame.store(idx, std::memory_order_relaxed);
+            slots_[t].key.store(key, std::memory_order_release);
+            if (t == first_tomb)
+                --tombstones_;
+            return;
+        }
+    }
+}
+
+bool
+PageCache::indexEraseLocked(u64 key, u32 idx)
+{
+    u64 s = slotStart(key);
+    for (u64 probes = 0; probes <= slotMask_;
+         ++probes, s = (s + 1) & slotMask_) {
+        const u64 k = slots_[s].key.load(std::memory_order_relaxed);
+        if (k == key) {
+            if (slots_[s].frame.load(std::memory_order_relaxed) != idx)
+                return false;
+            slots_[s].key.store(kTombSlot, std::memory_order_release);
+            ++tombstones_;
+            indexMaybeRebuildLocked();
+            return true;
+        }
+        if (k == kEmptySlot)
+            return false;
+    }
+    return false;
+}
+
+void
+PageCache::indexMaybeRebuildLocked()
+{
+    if (tombstones_ <= (slotMask_ + 1) / 4)
+        return;
+    // Rehash the live entries. Concurrent lock-free probes may catch
+    // the table mid-rebuild and miss a live key — a spurious miss the
+    // caller resolves with an ordinary fill; never a wrong hit.
+    const u64 cap = slotMask_ + 1;
+    std::vector<std::pair<u64, u32>> live;
+    live.reserve(frameCount_);
+    for (u64 s = 0; s < cap; ++s) {
+        const u64 k = slots_[s].key.load(std::memory_order_relaxed);
+        if (k != kEmptySlot && k != kTombSlot)
+            live.emplace_back(
+                k, slots_[s].frame.load(std::memory_order_relaxed));
+        slots_[s].key.store(kEmptySlot, std::memory_order_release);
+    }
+    tombstones_ = 0;
+    for (auto &[k, idx] : live)
+        indexInsertLocked(k, idx);
+}
+
+bool
+PageCache::tryLockFrame(Frame &f, u64 *locked_word)
+{
+    u64 w = f.ps.load(std::memory_order_relaxed);
+    if (stateOf(w) != kUnlocked)
+        return false;
+    const u64 locked = withState(w, kLocked);
+    if (!f.ps.compare_exchange_strong(w, locked,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed))
+        return false;
+    *locked_word = locked;
+    return true;
+}
+
+void
+PageCache::unlockFrameBump(Frame &f)
+{
+    const u64 w = f.ps.load(std::memory_order_relaxed);
+    f.ps.store(bumpVersion(w, kUnlocked), std::memory_order_release);
+}
+
+bool
+PageCache::lookup(u32 inode, u64 off, u8 *dst, u64 len)
+{
+    if (!enabled())
+        return false;
+    MGSP_CHECK(len > 0 && len <= frameSize_ &&
+               (off >> frameShift_) == ((off + len - 1) >> frameShift_));
+    const u64 key = makeKey(inode, off);
+
+    const u32 idx = indexFind(key);
+    if (idx == kNoFrame) {
+        misses_.add(1);
+        return false;
+    }
+
+    Frame &f = frames_[idx];
+    const u64 w = f.ps.load(std::memory_order_acquire);
+    if (stateOf(w) != kUnlocked) {
+        misses_.add(1);
+        return false;
+    }
+
+    // Optimistic copy: frame metadata and bytes first, then one
+    // acquire fence, then the PageState recheck proves everything
+    // read so far was stable (no fill/evict/invalidate raced us).
+    const u64 fkey = f.key.load(std::memory_order_relaxed);
+    const u32 vlen = f.validLen.load(std::memory_order_relaxed);
+    const u32 cnt = f.snapCount.load(std::memory_order_relaxed);
+    const u64 in_frame = off & (frameSize_ - 1);
+    if (fkey != key || cnt == 0 || cnt > VersionSnapshot::kMax ||
+        in_frame + len > vlen) {
+        misses_.add(1);
+        return false;
+    }
+    uintptr_t nodes[VersionSnapshot::kMax];
+    u64 vers[VersionSnapshot::kMax];
+    for (u32 i = 0; i < cnt; ++i) {
+        nodes[i] = f.snapNodes[i].load(std::memory_order_relaxed);
+        vers[i] = f.snapVers[i].load(std::memory_order_relaxed);
+        // Start the scattered TreeNode lines towards L1 now so the
+        // seqlock validation below overlaps the data copy.
+        __builtin_prefetch(reinterpret_cast<const void *>(nodes[i]));
+    }
+    racyCopy(dst, f.data + in_frame, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (f.ps.load(std::memory_order_relaxed) != w) {
+        misses_.add(1);
+        return false;
+    }
+
+    // The copy is internally consistent and belongs to `key`, whose
+    // inode the caller holds open — the TreeNodes are alive. Validate
+    // the tree hasn't moved since the fill's snapshot (the same fence
+    // above orders these loads after the data copy).
+    for (u32 i = 0; i < cnt; ++i) {
+        const auto *node = reinterpret_cast<const TreeNode *>(nodes[i]);
+        if (!node->version.matches(vers[i])) {
+            lazyInvalidate(key, idx);
+            misses_.add(1);
+            return false;
+        }
+    }
+
+    // Conditional store: hits on already-referenced frames (the
+    // steady state) avoid dirtying the frame header's cache line.
+    if (f.refBit.load(std::memory_order_relaxed) == 0)
+        f.refBit.store(1, std::memory_order_relaxed);
+    hits_.add(1);
+    return true;
+}
+
+bool
+PageCache::doorAdmit(u64 key)
+{
+    const u32 slot = static_cast<u32>((key * 0x9e3779b97f4a7c15ull) >> 40) &
+                     (kDoorSlots - 1);
+    return door_[slot].exchange(key, std::memory_order_relaxed) == key;
+}
+
+bool
+PageCache::admitCheck(u32 inode, u64 frame_off, bool eager)
+{
+    if (!enabled())
+        return false;
+    if (eager)
+        return true;
+    return doorAdmit(makeKey(inode, frame_off));
+}
+
+u32
+PageCache::acquireVictim(u64 *locked_word)
+{
+    const u64 limit = 2 * frameCount_;
+    for (u64 n = 0; n < limit; ++n) {
+        const u64 idx =
+            hand_.fetch_add(1, std::memory_order_relaxed) % frameCount_;
+        Frame &f = frames_[idx];
+        if (f.refBit.load(std::memory_order_relaxed) != 0) {
+            f.refBit.store(0, std::memory_order_relaxed);  // second chance
+            continue;
+        }
+        if (tryLockFrame(f, locked_word))
+            return static_cast<u32>(idx);
+    }
+    return kNoFrame;
+}
+
+void
+PageCache::eraseMapping(u64 key, u32 idx)
+{
+    std::lock_guard<SpinLock> g(indexLock_);
+    indexEraseLocked(key, idx);
+}
+
+void
+PageCache::clearFrameLocked(Frame &f)
+{
+    f.key.store(kNoKey, std::memory_order_relaxed);
+    f.validLen.store(0, std::memory_order_relaxed);
+    f.snapCount.store(0, std::memory_order_relaxed);
+    f.refBit.store(0, std::memory_order_relaxed);
+}
+
+void
+PageCache::lazyInvalidate(u64 key, u32 idx)
+{
+    Frame &f = frames_[idx];
+    u64 locked;
+    if (!tryLockFrame(f, &locked))
+        return;
+    if (f.key.load(std::memory_order_relaxed) == key) {
+        eraseMapping(key, idx);
+        clearFrameLocked(f);
+        invalidates_.add(1);
+    }
+    unlockFrameBump(f);
+}
+
+bool
+PageCache::populate(u32 inode, u64 frame_off, const u8 *src, u32 valid_len,
+                    const VersionSnapshot &snap, u64 gen0)
+{
+    if (!enabled() || snap.count == 0 || snap.count > VersionSnapshot::kMax ||
+        valid_len == 0 || valid_len > frameSize_)
+        return false;
+    MGSP_CHECK(frame_off % frameSize_ == 0);
+    const u64 key = makeKey(inode, frame_off);
+    if (gens_[inode].load(std::memory_order_acquire) != gen0)
+        return false;
+
+    // Refresh in place when the extent is already resident (a newer
+    // fill after an invalidating write), otherwise claim a victim.
+    u32 idx = indexFind(key);
+    u64 locked;
+    if (idx != kNoFrame) {
+        if (!tryLockFrame(frames_[idx], &locked))
+            return false;  // contended; the next miss retries
+        if (frames_[idx].key.load(std::memory_order_relaxed) != key) {
+            // Recycled between lookup and lock; fall through to claim.
+            unlockFrameBump(frames_[idx]);
+            idx = kNoFrame;
+        }
+    }
+    if (idx == kNoFrame) {
+        idx = acquireVictim(&locked);
+        if (idx == kNoFrame)
+            return false;  // everything referenced or locked
+        Frame &victim = frames_[idx];
+        const u64 old_key = victim.key.load(std::memory_order_relaxed);
+        if (old_key != kNoKey) {
+            eraseMapping(old_key, idx);
+            evicts_.add(1);
+        }
+    }
+
+    Frame &f = frames_[idx];
+    f.key.store(key, std::memory_order_relaxed);
+    f.validLen.store(valid_len, std::memory_order_relaxed);
+    for (u32 i = 0; i < snap.count; ++i) {
+        f.snapNodes[i].store(reinterpret_cast<uintptr_t>(snap.nodes[i]),
+                             std::memory_order_relaxed);
+        f.snapVers[i].store(snap.versions[i], std::memory_order_relaxed);
+    }
+    f.snapCount.store(snap.count, std::memory_order_relaxed);
+    racyStore(f.data, src, valid_len);
+
+    // Publish under the index lock with a final generation check: a
+    // dropFile() bumps the generation *before* sweeping the index,
+    // so either it sees our mapping and clears it, or we see the bump
+    // here and discard the fill.
+    bool inserted = false;
+    {
+        std::lock_guard<SpinLock> g(indexLock_);
+        if (gens_[inode].load(std::memory_order_relaxed) == gen0) {
+            indexInsertLocked(key, idx);
+            inserted = true;
+        }
+    }
+    if (!inserted)
+        clearFrameLocked(f);
+    else
+        f.refBit.store(1, std::memory_order_relaxed);
+    unlockFrameBump(f);
+    if (inserted)
+        fills_.add(1);
+    return inserted;
+}
+
+void
+PageCache::dropFile(u32 inode)
+{
+    if (!enabled())
+        return;
+    MGSP_CHECK(inode < maxInodes_);
+    gens_[inode].fetch_add(1, std::memory_order_acq_rel);
+    // Collect under the index lock, clear frames outside it (frame
+    // locks are never acquired under the index lock).
+    std::vector<std::pair<u64, u32>> victims;
+    {
+        std::lock_guard<SpinLock> g(indexLock_);
+        for (u64 s = 0; s <= slotMask_; ++s) {
+            const u64 k = slots_[s].key.load(std::memory_order_relaxed);
+            if (k == kEmptySlot || k == kTombSlot || inodeOf(k) != inode)
+                continue;
+            victims.emplace_back(
+                k, slots_[s].frame.load(std::memory_order_relaxed));
+            slots_[s].key.store(kTombSlot, std::memory_order_release);
+            ++tombstones_;
+        }
+        indexMaybeRebuildLocked();
+    }
+    for (auto &[key, idx] : victims) {
+        Frame &f = frames_[idx];
+        u64 locked;
+        // Blocking acquire: frame locks are held only for short
+        // critical sections, and holders never wait on us.
+        while (!tryLockFrame(f, &locked))
+            cpuRelax();
+        if (f.key.load(std::memory_order_relaxed) == key) {
+            clearFrameLocked(f);
+            invalidates_.add(1);
+        }
+        unlockFrameBump(f);
+    }
+}
+
+void
+PageCache::dropAll()
+{
+    if (!enabled())
+        return;
+    for (u32 i = 0; i < maxInodes_; ++i)
+        gens_[i].fetch_add(1, std::memory_order_acq_rel);
+    std::vector<std::pair<u64, u32>> victims;
+    {
+        std::lock_guard<SpinLock> g(indexLock_);
+        for (u64 s = 0; s <= slotMask_; ++s) {
+            const u64 k = slots_[s].key.load(std::memory_order_relaxed);
+            if (k != kEmptySlot && k != kTombSlot)
+                victims.emplace_back(
+                    k, slots_[s].frame.load(std::memory_order_relaxed));
+            slots_[s].key.store(kEmptySlot, std::memory_order_release);
+        }
+        tombstones_ = 0;
+    }
+    for (auto &[key, idx] : victims) {
+        Frame &f = frames_[idx];
+        u64 locked;
+        while (!tryLockFrame(f, &locked))
+            cpuRelax();
+        if (f.key.load(std::memory_order_relaxed) == key) {
+            clearFrameLocked(f);
+            invalidates_.add(1);
+        }
+        unlockFrameBump(f);
+    }
+}
+
+CacheStats
+PageCache::statsSnapshot() const
+{
+    CacheStats s;
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.evictions = evicts_.value();
+    s.invalidations = invalidates_.value();
+    s.frameBytes = frameCount_ * frameSize_;
+    u64 resident = 0;
+    for (u64 i = 0; i < frameCount_; ++i) {
+        if (frames_[i].key.load(std::memory_order_relaxed) != kNoKey)
+            ++resident;
+    }
+    s.residentFrames = resident;
+    return s;
+}
+
+}  // namespace mgsp

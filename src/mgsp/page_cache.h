@@ -1,0 +1,285 @@
+/**
+ * @file
+ * DRAM hot-extent read cache fronting the shadow tree (DESIGN.md
+ * §16).
+ *
+ * A fixed-budget pool of DRAM frames, one leaf-block-sized extent
+ * each, keyed by (inode, fine-extent index). Every frame carries a
+ * ucache-style `PageState` word — an 8-bit lock state and a 56-bit
+ * version packed into one std::atomic<u64> — so readers perform
+ * optimistic, version-validated copies with no locks, and eviction
+ * can never hand a reader freed or recycled bytes: any writer to the
+ * frame (fill, evict, invalidate) holds the state at Locked and bumps
+ * the version on release, which fails the reader's post-copy
+ * revalidation.
+ *
+ * Coherence with the shadow tree needs no write-path hooks at all: a
+ * frame stores the (TreeNode, seqlock version) set the filling read
+ * consulted (ShadowTree::VersionSnapshot), and every hit revalidates
+ * those versions. Writers already bump the versions of every node
+ * they mutate for the optimistic read path, so a write anywhere under
+ * a cached extent turns the next hit into a miss and the frame is
+ * lazily reclaimed. Explicit drops exist only for the cases with no
+ * version signal: file removal, truncate, degraded mode entry and
+ * FileSystem::dropCaches().
+ *
+ * The key->frame index is one open-addressed table of atomic
+ * {key, frame} slot pairs sized to at most 50% live load. Readers
+ * probe it with plain atomic loads and no lock at all — a stale or
+ * mid-mutation view can only produce a spurious miss, never a wrong
+ * hit, because the frame's own key and PageState recheck rejects any
+ * mismatch after the copy. Mutators (fill publish, evict, invalidate,
+ * drops) serialize on a single spin lock; steady-state hit traffic
+ * never touches it.
+ *
+ * Thread safety: all public methods are safe for any mix of callers.
+ * Lock ordering: a frame lock may be taken before the index lock,
+ * never the reverse (index critical sections never acquire frames).
+ */
+#ifndef MGSP_MGSP_PAGE_CACHE_H
+#define MGSP_MGSP_PAGE_CACHE_H
+
+#include <atomic>
+#include <memory>
+
+#include "common/spin_lock.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "mgsp/shadow_tree.h"
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+class PageCache
+{
+  public:
+    /**
+     * @param budget_bytes  total DRAM for frame data; 0 disables.
+     * @param frame_size    bytes per frame (the engine's
+     *                      leafBlockSize, so one frame spans exactly
+     *                      one leaf node's range and the filling
+     *                      read's snapshot is one root-to-leaf path).
+     * @param max_inodes    inode index space for the generation map.
+     */
+    PageCache(u64 budget_bytes, u64 frame_size, u32 max_inodes);
+
+    PageCache(const PageCache &) = delete;
+    PageCache &operator=(const PageCache &) = delete;
+
+    /** false = zero frames fit the budget; every call is a no-op. */
+    bool enabled() const { return frameCount_ > 0; }
+
+    u64 frameSize() const { return frameSize_; }
+    u64 frameCount() const { return frameCount_; }
+
+    /**
+     * Fill-race guard: capture before the tree read that sources a
+     * fill, pass to populate(). A dropFile() in between (remove,
+     * truncate, degraded entry) bumps the generation and the fill is
+     * discarded instead of resurrecting dropped bytes.
+     */
+    u64
+    generation(u32 inode) const
+    {
+        return gens_[inode].load(std::memory_order_acquire);
+    }
+
+    /**
+     * Serves [off, off+len) from a resident frame. The range must lie
+     * within one frame. @return true iff @p dst now holds bytes
+     * byte-identical to what the locked read path would return: the
+     * frame copy revalidated both the frame's PageState word and
+     * every stored shadow-tree version.
+     */
+    bool lookup(u32 inode, u64 off, u8 *dst, u64 len);
+
+    /**
+     * Admission decision for a prospective fill of @p frame_off —
+     * called *before* the caller pays for the fill read. Normal
+     * hints pass a doorkeeper (admitted on the second miss landing on
+     * the key's slot, so one-touch extents don't churn the clock);
+     * @p eager (AccessHint::ReadMostly) skips it.
+     */
+    bool admitCheck(u32 inode, u64 frame_off, bool eager);
+
+    /**
+     * Installs one frame's bytes, sourced from a successful optimistic
+     * tree read of [frame_off, frame_off+valid_len).
+     *
+     * @param snap  the read's consulted version set (count > 0).
+     * @param gen0  generation(inode) captured before that read.
+     * @return true iff the frame was installed.
+     */
+    bool populate(u32 inode, u64 frame_off, const u8 *src, u32 valid_len,
+                  const VersionSnapshot &snap, u64 gen0);
+
+    /**
+     * Drops every frame of @p inode and bumps its generation so
+     * in-flight fills cannot re-insert stale bytes. Called where no
+     * tree version signal exists: remove, truncate, degraded-mode
+     * entry.
+     */
+    void dropFile(u32 inode);
+
+    /** Drops every frame (FileSystem::dropCaches()). */
+    void dropAll();
+
+    /** Counter snapshot plus budget/occupancy. */
+    CacheStats statsSnapshot() const;
+
+  private:
+    // ---- PageState: 8-bit state | 56-bit version in one word ----
+    static constexpr u8 kUnlocked = 0;
+    static constexpr u8 kLocked = 255;
+    static constexpr u64 kVersionMask = (1ull << 56) - 1;
+    static constexpr u64 kNoKey = ~0ull;
+
+    static u8 stateOf(u64 w) { return static_cast<u8>(w >> 56); }
+    static u64
+    withState(u64 w, u8 s)
+    {
+        return (w & kVersionMask) | (static_cast<u64>(s) << 56);
+    }
+    static u64
+    bumpVersion(u64 w, u8 s)
+    {
+        return (((w & kVersionMask) + 1) & kVersionMask) |
+               (static_cast<u64>(s) << 56);
+    }
+
+    struct alignas(64) Frame
+    {
+        std::atomic<u64> ps{0};  ///< PageState word
+        std::atomic<u64> key{kNoKey};
+        std::atomic<u32> validLen{0};
+        std::atomic<u8> refBit{0};
+        /**
+         * The filling read's consulted (node, version) set. Plain
+         * relaxed atomics: the PageState recheck after a reader's
+         * copy proves they were stable, so no per-element ordering
+         * is needed.
+         */
+        std::atomic<u32> snapCount{0};
+        std::atomic<uintptr_t> snapNodes[VersionSnapshot::kMax] = {};
+        std::atomic<u64> snapVers[VersionSnapshot::kMax] = {};
+        u8 *data = nullptr;  ///< frameSize_ bytes in the slab
+    };
+
+    // ---- open-addressed key -> frame index ----
+    //
+    // Slot keys: a live (inode << 32 | extent) key always has
+    // inode < maxInodes_ < 2^32 - 1, so the two reserved values can
+    // never collide with one. Linear probing; erases leave
+    // tombstones, and the table is rebuilt under the index lock when
+    // tombstones pass a quarter of capacity, so an insert always
+    // finds a free slot (live <= cap/2, tombs <= cap/4).
+    struct IndexSlot
+    {
+        std::atomic<u64> key{~0ull};
+        std::atomic<u32> frame{0};
+    };
+    static constexpr u64 kEmptySlot = ~0ull;
+    static constexpr u64 kTombSlot = ~0ull - 1;
+
+    u64
+    makeKey(u32 inode, u64 off) const
+    {
+        return (static_cast<u64>(inode) << 32) | (off >> frameShift_);
+    }
+    u64
+    slotStart(u64 key) const
+    {
+        // Fibonacci scramble: adjacent extents spread across the table.
+        return ((key * 0x9e3779b97f4a7c15ull) >> 32) & slotMask_;
+    }
+    static u32
+    inodeOf(u64 key)
+    {
+        return static_cast<u32>(key >> 32);
+    }
+
+    /** Lock-free probe; kNoFrame on miss. Safe against any mutator. */
+    u32 indexFind(u64 key) const;
+    /** Insert or update (index lock held by caller). */
+    void indexInsertLocked(u64 key, u32 idx);
+    /** Tombstones @p key iff it maps to @p idx (index lock held). */
+    bool indexEraseLocked(u64 key, u32 idx);
+    /** Rehashes live entries when tombstones crowd the table. */
+    void indexMaybeRebuildLocked();
+
+    /** CAS Unlocked -> Locked. */
+    bool tryLockFrame(Frame &f, u64 *locked_word);
+    /** Locked -> Unlocked with a version bump (fails in-flight reads). */
+    void unlockFrameBump(Frame &f);
+
+    /**
+     * Clock / second-chance victim search; at most two sweeps.
+     * @return frame index with its lock held, or kNoFrame.
+     */
+    u32 acquireVictim(u64 *locked_word);
+    static constexpr u32 kNoFrame = ~0u;
+
+    /** Erases @p key from the index iff it still maps to @p idx. */
+    void eraseMapping(u64 key, u32 idx);
+
+    /** Clears a locked frame's identity (key, snapshot, bytes). */
+    void clearFrameLocked(Frame &f);
+
+    /**
+     * Failed-validation cleanup: drop the stale frame so it stops
+     * costing lookups. Best-effort (skipped under contention).
+     */
+    void lazyInvalidate(u64 key, u32 idx);
+
+    /**
+     * Doorkeeper admission for AccessHint::Normal: a key is admitted
+     * on the second miss that lands on its slot, keeping one-touch
+     * extents from churning the clock.
+     */
+    bool doorAdmit(u64 key);
+
+    const u64 frameSize_;
+    const u32 frameShift_;  ///< log2(frameSize_)
+    const u64 frameCount_;
+    std::unique_ptr<Frame[]> frames_;
+    std::unique_ptr<u8[]> slab_;
+    std::unique_ptr<std::atomic<u64>[]> gens_;
+    const u32 maxInodes_;
+    std::unique_ptr<IndexSlot[]> slots_;
+    u64 slotMask_ = 0;       ///< table capacity - 1 (power of two)
+    u64 tombstones_ = 0;     ///< guarded by indexLock_
+    SpinLock indexLock_;     ///< serializes every index mutation
+    std::atomic<u64> hand_{0};  ///< clock position
+
+    static constexpr u32 kDoorSlots = 1024;
+    std::unique_ptr<std::atomic<u64>[]> door_;
+
+    /**
+     * Each event ticks both a process-wide registry counter (stats
+     * JSON / bench observability) and a per-instance atomic so
+     * FileSystem::cacheStats() is accurate with several mounts alive
+     * in one process (the differential tests run two side by side).
+     */
+    struct EventCounter
+    {
+        stats::Counter *global = nullptr;
+        std::atomic<u64> local{0};
+        void
+        add(u64 n)
+        {
+            global->add(n);
+            local.fetch_add(n, std::memory_order_relaxed);
+        }
+        u64 value() const { return local.load(std::memory_order_relaxed); }
+    };
+
+    mutable EventCounter hits_;
+    mutable EventCounter misses_;
+    EventCounter fills_;
+    EventCounter evicts_;
+    EventCounter invalidates_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_PAGE_CACHE_H

@@ -873,7 +873,8 @@ ShadowTree::optimisticReadNode(TreeNode *n, u64 off, u64 len, u8 *out,
 }
 
 bool
-ShadowTree::tryReadOptimistic(u64 off, MutSlice out)
+ShadowTree::tryReadOptimistic(u64 off, MutSlice out,
+                              VersionSnapshot *snap_out)
 {
     MGSP_CHECK(out.size() > 0 && off + out.size() <= capacity_);
     const u64 len = out.size();
@@ -933,6 +934,21 @@ ShadowTree::tryReadOptimistic(u64 off, MutSlice out)
     for (u32 i = 0; i < snaps.count; ++i) {
         if (!snaps.nodes[i]->version.matches(snaps.versions[i]))
             return false;
+    }
+
+    // Export the consulted set for cache frame fills. The snapshots
+    // were taken before the copies above, so a writer racing the fill
+    // leaves the exported versions stale and the frame's first hit
+    // revalidation rejects it.
+    if (snap_out != nullptr) {
+        snap_out->count = 0;
+        if (snaps.count <= VersionSnapshot::kMax) {
+            for (u32 i = 0; i < snaps.count; ++i) {
+                snap_out->nodes[i] = snaps.nodes[i];
+                snap_out->versions[i] = snaps.versions[i];
+            }
+            snap_out->count = snaps.count;
+        }
     }
     return true;
 }

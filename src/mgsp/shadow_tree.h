@@ -153,6 +153,24 @@ struct HeldLock
 };
 
 /**
+ * The (node, seqlock version) set one optimistic read consulted,
+ * exported by tryReadOptimistic() for the DRAM read cache: a frame
+ * filled from such a read stores this set and revalidates every
+ * version on each hit, so any writer mutation after the snapshot
+ * (version bump) turns the hit into a miss. Bounded small — a frame
+ * spans one leaf's range, so the consulted set is one root-to-leaf
+ * path; reads that consult more (version-set overflow) simply are not
+ * cacheable.
+ */
+struct VersionSnapshot
+{
+    static constexpr u32 kMax = 16;
+    const TreeNode *nodes[kMax];
+    u64 versions[kMax];
+    u32 count = 0;
+};
+
+/**
  * Value snapshot of one tree's counters for the ablation/breakdown
  * analysis (see ShadowTree::snapshotStats / MgspFs::statsFor). Plain
  * integers: safe to copy, return and keep after the file is gone.
@@ -331,8 +349,16 @@ class ShadowTree
      *         a version-set overflow interfered; the caller retries
      *         or falls back to the locked performRead(), discarding
      *         @p out's (possibly torn) contents.
+     *
+     * @param snap_out  optional: receives the consulted (node,
+     *         version) set for read-cache frame fills. Snapshots are
+     *         taken *before* the data copies, so a write racing the
+     *         fill leaves the stored set stale and the frame's first
+     *         revalidation rejects it. count == 0 on overflow (the
+     *         read succeeded but is not cacheable).
      */
-    bool tryReadOptimistic(u64 off, MutSlice out);
+    bool tryReadOptimistic(u64 off, MutSlice out,
+                           VersionSnapshot *snap_out = nullptr);
 
     /** Releases locks in acquisition order and clears the vector. */
     static void releaseLocks(std::vector<HeldLock> *locks);

@@ -82,6 +82,9 @@ Database::bootstrap(const std::string &path)
     if (!db_file.isOk())
         return db_file.status();
     dbFile_ = std::move(*db_file);
+    // The pager re-reads hot pages far more often than commits rewrite
+    // them; let a caching filesystem keep them resident eagerly.
+    (void)dbFile_->advise(AccessHint::ReadMostly);
 
     pager_ = std::make_unique<Pager>(dbFile_.get(), options_.cachePages);
 

@@ -8,6 +8,7 @@
 
 #include "common/align.h"
 #include "common/logging.h"
+#include "common/racy_copy.h"
 #include "common/stats.h"
 
 namespace mgsp {
@@ -74,43 +75,6 @@ PmemDevice::read(u64 off, void *dst, u64 len) const
     if (poisonCount_.load(std::memory_order_relaxed) != 0)
         pokePoison(off, len, /*hit=*/true);
 }
-
-#if defined(__SANITIZE_THREAD__)
-#define MGSP_TSAN 1
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-#define MGSP_TSAN 1
-#endif
-#endif
-
-#ifdef MGSP_TSAN
-// Uninstrumented copy for the optimistic read path. The volatile
-// accesses keep the compiler from lowering the loop to a (TSan-
-// intercepted) memcpy call; word copies keep it reasonably fast.
-__attribute__((no_sanitize("thread"), noinline)) static void
-racyCopy(void *dst, const void *src, u64 len)
-{
-    auto *d = static_cast<u8 *>(dst);
-    const auto *s = static_cast<const u8 *>(src);
-    while (len >= 8 && reinterpret_cast<uintptr_t>(s) % 8 == 0) {
-        u64 word = *reinterpret_cast<const volatile u64 *>(s);
-        std::memcpy(d, &word, 8);
-        d += 8;
-        s += 8;
-        len -= 8;
-    }
-    while (len > 0) {
-        *d++ = *reinterpret_cast<const volatile u8 *>(s++);
-        --len;
-    }
-}
-#else
-static void
-racyCopy(void *dst, const void *src, u64 len)
-{
-    std::memcpy(dst, src, len);
-}
-#endif
 
 void
 PmemDevice::racyRead(u64 off, void *dst, u64 len) const

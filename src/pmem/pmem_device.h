@@ -266,6 +266,19 @@ class PmemDevice
      */
     bool hitPoison(u64 off, u64 len) const;
 
+    /**
+     * @return true iff any poison is currently armed anywhere on the
+     * device. One relaxed load; the read cache uses it to bypass
+     * serving/filling while media faults are live (a heal restores
+     * the pristine bytes, so frames filled before the poison armed
+     * stay correct once it clears).
+     */
+    bool
+    anyPoisoned() const
+    {
+        return poisonCount_.load(std::memory_order_relaxed) != 0;
+    }
+
     /** Snapshot of fault counters (also mirrored to fault.* stats). */
     FaultStats faultStats() const;
 

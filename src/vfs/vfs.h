@@ -85,6 +85,32 @@ struct OpenOptions
     }
 };
 
+/**
+ * Access-pattern advice for File::advise(). Hints never change
+ * correctness — engines are free to ignore them entirely (the default
+ * implementation does) — they only steer read-cache admission.
+ */
+enum class AccessHint {
+    Normal,      ///< engine-default admission policy
+    ReadMostly,  ///< populate the read cache eagerly on first miss
+    Sequential,  ///< streaming scan: serve hits, never populate
+    DontCache,   ///< bypass the read cache entirely for this file
+};
+
+/**
+ * Snapshot of a file system's read-cache counters, returned by
+ * FileSystem::cacheStats(). Engines without a cache return zeros.
+ */
+struct CacheStats
+{
+    u64 hits = 0;         ///< reads served from DRAM frames
+    u64 misses = 0;       ///< lookups that fell through to the engine
+    u64 evictions = 0;    ///< frames reclaimed by the budget sweep
+    u64 invalidations = 0;///< frames dropped by writes/truncate/faults
+    u64 frameBytes = 0;   ///< configured DRAM budget in bytes
+    u64 residentFrames = 0;///< frames currently holding valid data
+};
+
 /** Per-file-system consistency guarantee, used in bench labels. */
 enum class ConsistencyLevel {
     MetadataOnly,      ///< Ext4-DAX: data can be torn by a crash
@@ -158,6 +184,20 @@ class File
         return Status::ok();
     }
 
+    /**
+     * Declares this handle's expected access pattern. Purely advisory:
+     * engines without a read cache accept and ignore it (the default),
+     * so baselines and MemFs behave identically with or without
+     * advice. MGSP honors DontCache (full bypass) and ReadMostly
+     * (eager admission on first miss).
+     */
+    virtual Status
+    advise(AccessHint hint)
+    {
+        (void)hint;
+        return Status::ok();
+    }
+
     /** Makes all completed writes durable. */
     virtual Status sync() = 0;
 
@@ -192,6 +232,27 @@ class FileSystem
 
     /** Logical bytes the application asked this FS to write. */
     virtual u64 logicalBytesWritten() const = 0;
+
+    /**
+     * Read-cache counter snapshot; all-zero for engines without a
+     * cache (the default).
+     */
+    virtual CacheStats
+    cacheStats() const
+    {
+        return CacheStats{};
+    }
+
+    /**
+     * Drops every clean read-cache frame (a no-op for engines without
+     * a cache). Never discards dirty state: MGSP's cache is read-only
+     * so this cannot lose data on any engine.
+     */
+    virtual Status
+    dropCaches()
+    {
+        return Status::ok();
+    }
 };
 
 }  // namespace mgsp

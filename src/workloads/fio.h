@@ -40,6 +40,11 @@ struct FioConfig
     bool preallocate = true;
     /** One steady-state pass of blockSize writes before the timer. */
     bool warmup = true;
+    /**
+     * advise() hint applied to the job file, like fio's fadvise_hint
+     * option. Engines without a cache ignore it.
+     */
+    AccessHint accessHint = AccessHint::Normal;
 };
 
 /** Aggregate result of a job. */
@@ -65,11 +70,12 @@ struct FioResult
 };
 
 /**
- * Creates @p path with a fixed capacity on engines that need one
- * (MGSP/Ext4/Libnvmmio/NOVA models) or plainly elsewhere.
+ * Opens (creating if missing) @p path with a fixed capacity on
+ * engines that need one (MGSP/Ext4/Libnvmmio/NOVA models) or plainly
+ * elsewhere.
  */
 StatusOr<std::unique_ptr<File>>
-createFileWithCapacity(FileSystem *fs, const std::string &path,
+openWithCapacity(FileSystem *fs, const std::string &path,
                        u64 capacity);
 
 /**

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * DRAM hot-extent read cache tests (DESIGN.md §16).
+ *
+ * Four concerns:
+ *  - accounting: hits/misses/fills/evictions via
+ *    FileSystem::cacheStats(), admission (doorkeeper vs ReadMostly),
+ *    and the advise() hint semantics including DontCache bypass;
+ *  - coherence: a cached frame must never serve bytes older than what
+ *    a reader has already observed (writes invalidate via the shadow
+ *    tree's seqlock versions; truncate/remove via dropFile);
+ *  - byte-identity: random mixed ops against the ReferenceFile oracle
+ *    with a budget small enough to keep eviction churning;
+ *  - races: reader/writer/evictor threads on overlapping frames, the
+ *    invalidate-during-optimistic-copy window included. The CI TSan
+ *    job replays the *Race* cases under ThreadSanitizer.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::FsFixture;
+using testutil::makeFs;
+using testutil::readAll;
+using testutil::ReferenceFile;
+using testutil::smallConfig;
+
+constexpr u64 kFrame = 4 * KiB;  // smallConfig().leafBlockSize
+
+/** smallConfig with an explicit cache budget (frames, not bytes). */
+MgspConfig
+cacheConfig(u64 frames)
+{
+    MgspConfig cfg = smallConfig();
+    cfg.cacheBytes = frames * cfg.leafBlockSize;
+    return cfg;
+}
+
+std::vector<u8>
+frameReadback(File *file, u64 off)
+{
+    std::vector<u8> out(kFrame);
+    auto n = file->pread(off, MutSlice(out.data(), out.size()));
+    EXPECT_TRUE(n.isOk()) << n.status().toString();
+    EXPECT_EQ(*n, out.size());
+    return out;
+}
+
+TEST(CacheCounters, ReadMostlyFillsOnFirstMissThenHits)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("hot.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(1);
+    std::vector<u8> data = rng.nextBytes(kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+
+    const CacheStats before = fx.fs->cacheStats();
+    EXPECT_EQ(frameReadback(file->get(), 0), data);  // miss + eager fill
+    EXPECT_EQ(frameReadback(file->get(), 0), data);  // hit
+    EXPECT_EQ(frameReadback(file->get(), 0), data);  // hit
+    const CacheStats after = fx.fs->cacheStats();
+
+    EXPECT_GE(after.misses - before.misses, 1u);
+    EXPECT_GE(after.hits - before.hits, 2u);
+    EXPECT_GE(after.residentFrames, 1u);
+    EXPECT_GT(after.frameBytes, 0u);
+}
+
+TEST(CacheCounters, NormalHintPassesDoorkeeperOnSecondMiss)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("door.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    Rng rng(2);
+    std::vector<u8> data = rng.nextBytes(kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+
+    // Normal (no advise): the doorkeeper admits a key on the second
+    // miss landing on its slot, so the first read leaves the pool
+    // empty, the second fills, the third hits.
+    const CacheStats s0 = fx.fs->cacheStats();
+    EXPECT_EQ(frameReadback(file->get(), 0), data);
+    const CacheStats s1 = fx.fs->cacheStats();
+    EXPECT_EQ(s1.residentFrames, s0.residentFrames);
+    EXPECT_EQ(frameReadback(file->get(), 0), data);
+    const CacheStats s2 = fx.fs->cacheStats();
+    EXPECT_GE(s2.residentFrames, s1.residentFrames + 1);
+    EXPECT_EQ(frameReadback(file->get(), 0), data);
+    const CacheStats s3 = fx.fs->cacheStats();
+    EXPECT_GE(s3.hits - s2.hits, 1u);
+}
+
+TEST(CacheCounters, WriteTurnsTheNextReadIntoAMiss)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("inval.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(3);
+    std::vector<u8> v1 = rng.nextBytes(kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(v1.data(), v1.size())).isOk());
+    EXPECT_EQ(frameReadback(file->get(), 0), v1);  // fill
+    EXPECT_EQ(frameReadback(file->get(), 0), v1);  // hit
+
+    // The write bumps the seqlock versions the frame snapshotted; no
+    // cache hook runs, yet the next lookup must reject and re-read.
+    std::vector<u8> v2 = rng.nextBytes(kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(v2.data(), v2.size())).isOk());
+    const CacheStats before = fx.fs->cacheStats();
+    EXPECT_EQ(frameReadback(file->get(), 0), v2);
+    const CacheStats after = fx.fs->cacheStats();
+    EXPECT_GE(after.misses - before.misses, 1u);
+    EXPECT_EQ(frameReadback(file->get(), 0), v2);  // refilled
+}
+
+TEST(CacheCounters, PartialFrameWriteInvalidatesWholeFrame)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("sub.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(4);
+    std::vector<u8> data = rng.nextBytes(kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    EXPECT_EQ(frameReadback(file->get(), 0), data);
+    EXPECT_EQ(frameReadback(file->get(), 0), data);
+
+    // A 16-byte splice inside the frame: fine-granularity shadow
+    // paging may only touch one sub-block, but the leaf's version
+    // still bumps, so the whole frame misses.
+    std::vector<u8> splice = rng.nextBytes(16);
+    ASSERT_TRUE(
+        (*file)->pwrite(100, ConstSlice(splice.data(), splice.size()))
+            .isOk());
+    std::copy(splice.begin(), splice.end(), data.begin() + 100);
+    EXPECT_EQ(frameReadback(file->get(), 0), data);
+    EXPECT_EQ(frameReadback(file->get(), 0), data);
+}
+
+TEST(CacheAdvise, DontCacheBypassesAndDropsExistingFrames)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("dc.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(5);
+    std::vector<u8> data = rng.nextBytes(4 * kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    for (u64 f = 0; f < 4; ++f)
+        frameReadback(file->get(), f * kFrame);
+    EXPECT_GE(fx.fs->cacheStats().residentFrames, 4u);
+
+    // DontCache evicts the file's frames immediately and keeps every
+    // later read off the cache entirely.
+    ASSERT_TRUE((*file)->advise(AccessHint::DontCache).isOk());
+    EXPECT_EQ(fx.fs->cacheStats().residentFrames, 0u);
+    const CacheStats before = fx.fs->cacheStats();
+    for (u64 f = 0; f < 4; ++f) {
+        std::vector<u8> out = frameReadback(file->get(), f * kFrame);
+        EXPECT_EQ(0, std::memcmp(out.data(), data.data() + f * kFrame,
+                                 kFrame));
+    }
+    const CacheStats after = fx.fs->cacheStats();
+    EXPECT_EQ(after.hits, before.hits);
+    EXPECT_EQ(after.misses, before.misses);  // bypass: not even probed
+    EXPECT_EQ(after.residentFrames, 0u);
+}
+
+TEST(CacheAdvise, SequentialServesHitsButNeverPopulates)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("seq.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    Rng rng(6);
+    std::vector<u8> data = rng.nextBytes(2 * kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+
+    ASSERT_TRUE((*file)->advise(AccessHint::Sequential).isOk());
+    for (int i = 0; i < 3; ++i)
+        frameReadback(file->get(), 0);
+    EXPECT_EQ(fx.fs->cacheStats().residentFrames, 0u);
+
+    // A frame cached under an earlier hint still serves Sequential
+    // readers; the hint only stops *new* frames from being installed.
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    frameReadback(file->get(), 0);  // fill
+    ASSERT_TRUE((*file)->advise(AccessHint::Sequential).isOk());
+    const CacheStats before = fx.fs->cacheStats();
+    EXPECT_EQ(frameReadback(file->get(), 0), frameReadback(file->get(), 0));
+    EXPECT_GE(fx.fs->cacheStats().hits - before.hits, 1u);
+    EXPECT_EQ(fx.fs->cacheStats().residentFrames, 1u);
+}
+
+TEST(CacheAdvise, DropCachesEmptiesThePoolAndReadsStillMatch)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("drop.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(7);
+    std::vector<u8> data = rng.nextBytes(8 * kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    for (u64 f = 0; f < 8; ++f)
+        frameReadback(file->get(), f * kFrame);
+    EXPECT_GE(fx.fs->cacheStats().residentFrames, 8u);
+
+    ASSERT_TRUE(fx.fs->dropCaches().isOk());
+    const CacheStats dropped = fx.fs->cacheStats();
+    EXPECT_EQ(dropped.residentFrames, 0u);
+    EXPECT_GE(dropped.invalidations, 8u);
+    for (u64 f = 0; f < 8; ++f) {
+        std::vector<u8> out = frameReadback(file->get(), f * kFrame);
+        EXPECT_EQ(0, std::memcmp(out.data(), data.data() + f * kFrame,
+                                 kFrame));
+    }
+}
+
+TEST(CacheAdvise, TruncateDropsFramesInsteadOfServingStaleBytes)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    auto file = fx.fs->open("tr.dat", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(8);
+    std::vector<u8> data = rng.nextBytes(2 * kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    frameReadback(file->get(), kFrame);  // warm frame 1
+    frameReadback(file->get(), kFrame);
+
+    // Shrink past the cached frame, regrow with a write at the end:
+    // the regrown middle is zeros, which no tree version signal
+    // distinguishes from the pre-truncate bytes.
+    ASSERT_TRUE((*file)->truncate(kFrame).isOk());
+    std::vector<u8> tail = rng.nextBytes(16);
+    ASSERT_TRUE((*file)
+                    ->pwrite(2 * kFrame - 16,
+                             ConstSlice(tail.data(), tail.size()))
+                    .isOk());
+    std::vector<u8> expect(kFrame, 0);
+    std::copy(tail.begin(), tail.end(), expect.end() - 16);
+    EXPECT_EQ(frameReadback(file->get(), kFrame), expect);
+    EXPECT_EQ(frameReadback(file->get(), kFrame), expect);
+}
+
+TEST(CacheAdvise, CacheStaysOffWithoutOptimisticReads)
+{
+    MgspConfig cfg = cacheConfig(64);
+    cfg.enableOptimisticReads = false;
+    FsFixture fx = makeFs(cfg);
+    auto file = fx.fs->open("off.dat", OpenOptions::Create(64 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(9);
+    std::vector<u8> data = rng.nextBytes(kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(data.data(), data.size())).isOk());
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(frameReadback(file->get(), 0), data);
+    const CacheStats stats = fx.fs->cacheStats();
+    EXPECT_EQ(stats.frameBytes, 0u);
+    EXPECT_EQ(stats.residentFrames, 0u);
+    EXPECT_EQ(stats.hits + stats.misses, 0u);
+}
+
+TEST(CacheEviction, TinyBudgetChurnsAndStaysByteIdentical)
+{
+    // 4 frames of budget, 32 frames of working set: the clock hand
+    // must evict on nearly every fill, and every read still matches
+    // the oracle.
+    const u64 seed = testutil::testSeed(20260807);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    FsFixture fx = makeFs(cacheConfig(4));
+    constexpr u64 kFrames = 32;
+    auto file =
+        fx.fs->open("churn.dat", OpenOptions::Create(kFrames * kFrame));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    Rng rng(seed);
+    ReferenceFile ref;
+    std::vector<u8> init = rng.nextBytes(kFrames * kFrame);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(init.data(), init.size())).isOk());
+    ref.pwrite(0, init);
+
+    for (int i = 0; i < 2000; ++i) {
+        const u64 f = rng.nextBelow(kFrames);
+        if (rng.nextBool(0.25)) {
+            std::vector<u8> data = rng.nextBytes(kFrame);
+            ASSERT_TRUE((*file)
+                            ->pwrite(f * kFrame,
+                                     ConstSlice(data.data(), kFrame))
+                            .isOk());
+            ref.pwrite(f * kFrame, data);
+        } else {
+            EXPECT_EQ(frameReadback(file->get(), f * kFrame),
+                      ref.pread(f * kFrame, kFrame))
+                << "frame " << f << " op " << i;
+        }
+    }
+    const CacheStats stats = fx.fs->cacheStats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_LE(stats.residentFrames, 4u);
+    EXPECT_EQ(readAll(file->get()), ref.bytes());
+}
+
+/**
+ * Writes a (stamp) pattern the reader can check for tearing and for
+ * time travel: every u64 in the frame holds the same stamp value.
+ */
+void
+stampFrame(std::vector<u8> *frame, u64 stamp)
+{
+    for (std::size_t i = 0; i + 8 <= frame->size(); i += 8)
+        std::memcpy(frame->data() + i, &stamp, 8);
+}
+
+/** @return the frame's uniform stamp, or ~0ull if torn. */
+u64
+frameStamp(const std::vector<u8> &frame)
+{
+    u64 first = 0;
+    std::memcpy(&first, frame.data(), 8);
+    for (std::size_t i = 8; i + 8 <= frame.size(); i += 8) {
+        u64 v = 0;
+        std::memcpy(&v, frame.data() + i, 8);
+        if (v != first)
+            return ~0ull;
+    }
+    return first;
+}
+
+/**
+ * The invalidate-during-optimistic-copy window: one writer bumps a
+ * single frame's stamp monotonically while readers hammer the same
+ * frame through the cache. A reader must never observe a torn frame,
+ * and never observe time running backwards — a hit on a stale frame
+ * after a newer stamp was visible would do exactly that. Stale
+ * *installs* are allowed (a fill can lose the race); stale *serves*
+ * are not: the frame's snapshotted seqlock versions no longer match,
+ * so the hit revalidation must reject.
+ */
+TEST(CacheRace, ReadersNeverSeeTornOrTimeTravelingFrames)
+{
+    FsFixture fx = makeFs(cacheConfig(8));
+    auto setup = fx.fs->open("race.dat", OpenOptions::Create(64 * KiB));
+    ASSERT_TRUE(setup.isOk());
+    ASSERT_TRUE((*setup)->advise(AccessHint::ReadMostly).isOk());
+    std::vector<u8> frame(kFrame);
+    stampFrame(&frame, 0);
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(frame.data(), frame.size())).isOk());
+
+    std::atomic<bool> stop{false};
+    std::atomic<u64> published{0};
+    std::atomic<int> torn{0};
+    std::atomic<int> backwards{0};
+
+    std::thread writer([&] {
+        auto file = fx.fs->open("race.dat", OpenOptions{});
+        ASSERT_TRUE(file.isOk());
+        std::vector<u8> buf(kFrame);
+        for (u64 stamp = 1; stamp <= 600; ++stamp) {
+            stampFrame(&buf, stamp);
+            ASSERT_TRUE(
+                (*file)
+                    ->pwrite(0, ConstSlice(buf.data(), buf.size()))
+                    .isOk());
+            // Publish only after the write: a reader that has seen
+            // `published` may rely on never reading anything older.
+            published.store(stamp, std::memory_order_release);
+        }
+        stop.store(true);
+    });
+
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            auto file = fx.fs->open("race.dat", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            std::vector<u8> out(kFrame);
+            u64 floor = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                const u64 min_ok =
+                    published.load(std::memory_order_acquire);
+                auto n = (*file)->pread(0, MutSlice(out.data(), kFrame));
+                ASSERT_TRUE(n.isOk());
+                const u64 stamp = frameStamp(out);
+                if (stamp == ~0ull) {
+                    torn.fetch_add(1);
+                } else {
+                    // Two floors: stamps this reader already saw, and
+                    // stamps the writer had published before the read
+                    // began.
+                    if (stamp < floor || stamp < min_ok)
+                        backwards.fetch_add(1);
+                    if (stamp > floor)
+                        floor = stamp;
+                }
+            }
+        });
+    }
+    writer.join();
+    for (auto &r : readers)
+        r.join();
+    EXPECT_EQ(torn.load(), 0) << "cached reader saw a torn frame";
+    EXPECT_EQ(backwards.load(), 0)
+        << "cached reader was served a stale frame";
+    // Final read agrees with the last write.
+    auto file = fx.fs->open("race.dat", OpenOptions{});
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> out(kFrame);
+    ASSERT_TRUE((*file)->pread(0, MutSlice(out.data(), kFrame)).isOk());
+    EXPECT_EQ(frameStamp(out), 600u);
+}
+
+/**
+ * Reader / writer / evictor three-way: a 4-frame pool under a
+ * 16-frame working set keeps the clock hand stealing frames while
+ * writers invalidate them and a fourth actor drops the whole pool.
+ * The TSan job runs this to prove the PageState protocol (and the
+ * deliberately racy frame copies it validates) are the only races.
+ */
+TEST(CacheRace, WritersReadersAndEvictorsOnOverlappingFrames)
+{
+    const u64 seed = testutil::testSeed(20260808);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    FsFixture fx = makeFs(cacheConfig(4));
+    constexpr u64 kFrames = 16;
+    auto setup =
+        fx.fs->open("mix.dat", OpenOptions::Create(kFrames * kFrame));
+    ASSERT_TRUE(setup.isOk());
+    ASSERT_TRUE((*setup)->advise(AccessHint::ReadMostly).isOk());
+    std::vector<u8> init(kFrames * kFrame);
+    for (u64 f = 0; f < kFrames; ++f) {
+        std::vector<u8> frame(kFrame);
+        stampFrame(&frame, 0);
+        std::copy(frame.begin(), frame.end(),
+                  init.begin() + f * kFrame);
+    }
+    ASSERT_TRUE(
+        (*setup)->pwrite(0, ConstSlice(init.data(), init.size())).isOk());
+
+    std::atomic<int> torn{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("mix.dat", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            Rng rng(seed ^ (100 + t));
+            std::vector<u8> buf(kFrame);
+            for (u32 i = 1; i <= 300; ++i) {
+                stampFrame(&buf, (u64(t + 1) << 32) | i);
+                ASSERT_TRUE(
+                    (*file)
+                        ->pwrite(rng.nextBelow(kFrames) * kFrame,
+                                 ConstSlice(buf.data(), kFrame))
+                        .isOk());
+            }
+        });
+    }
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            auto file = fx.fs->open("mix.dat", OpenOptions{});
+            ASSERT_TRUE(file.isOk());
+            Rng rng(seed ^ (200 + t));
+            std::vector<u8> out(kFrame);
+            for (u32 i = 0; i < 600; ++i) {
+                auto n = (*file)->pread(
+                    rng.nextBelow(kFrames) * kFrame,
+                    MutSlice(out.data(), kFrame));
+                ASSERT_TRUE(n.isOk());
+                if (*n == kFrame && frameStamp(out) == ~0ull)
+                    torn.fetch_add(1);
+            }
+        });
+    }
+    threads.emplace_back([&] {
+        for (int i = 0; i < 40; ++i) {
+            ASSERT_TRUE(fx.fs->dropCaches().isOk());
+            std::this_thread::yield();
+        }
+    });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(torn.load(), 0) << "torn frame under eviction churn";
+    const CacheStats stats = fx.fs->cacheStats();
+    EXPECT_LE(stats.residentFrames, 4u);
+}
+
+TEST(CacheRemove, RemoveDropsFramesAndReopenStartsCold)
+{
+    FsFixture fx = makeFs(cacheConfig(64));
+    {
+        auto file =
+            fx.fs->open("gone.dat", OpenOptions::Create(64 * KiB));
+        ASSERT_TRUE(file.isOk());
+        ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+        Rng rng(11);
+        std::vector<u8> data = rng.nextBytes(kFrame);
+        ASSERT_TRUE(
+            (*file)->pwrite(0, ConstSlice(data.data(), kFrame)).isOk());
+        frameReadback(file->get(), 0);
+        EXPECT_GE(fx.fs->cacheStats().residentFrames, 1u);
+    }
+    ASSERT_TRUE(fx.fs->remove("gone.dat").isOk());
+    EXPECT_EQ(fx.fs->cacheStats().residentFrames, 0u);
+
+    // Same name, new inode: the first frame-sized read must come from
+    // the fresh (zero) file, not a resurrected frame.
+    auto file = fx.fs->open("gone.dat", OpenOptions::Create(64 * KiB));
+    ASSERT_TRUE(file.isOk());
+    ASSERT_TRUE((*file)->advise(AccessHint::ReadMostly).isOk());
+    std::vector<u8> zeros(kFrame, 0);
+    ASSERT_TRUE(
+        (*file)->pwrite(0, ConstSlice(zeros.data(), kFrame)).isOk());
+    EXPECT_EQ(frameReadback(file->get(), 0), zeros);
+}
+
+}  // namespace
+}  // namespace mgsp

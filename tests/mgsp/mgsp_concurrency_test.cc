@@ -261,6 +261,9 @@ TEST(ConcurrencyOptimistic, ReadersValidateAgainstRacingWriters)
     // fallback), never a mix of two stamps.
     MgspConfig cfg = smallConfig();
     cfg.enableGreedyLocking = false;
+    // The DRAM read cache serves hits without touching the optimistic
+    // counters this test accounts against; keep it out of the way.
+    cfg.cacheBytes = 0;
     FsFixture fx = makeFs(cfg);
     constexpr u64 kBlocks = 8;
     constexpr u64 kBlockSize = 4 * KiB;

@@ -116,6 +116,14 @@ ablations()
     v.leafSubBits = 2;
     params.push_back({"degree2", v});
 
+    // The DRAM read cache is volatile state only ("full" already runs
+    // with it on via the config default); the tiny-budget variant
+    // keeps eviction churning right up to the crash point, proving no
+    // recovery path depends on anything the cache held.
+    v = base;
+    v.cacheBytes = 4 * base.leafBlockSize;
+    params.push_back({"cache_tiny_budget", v});
+
     return params;
 }
 

@@ -160,6 +160,23 @@ diffParams()
     sub1.leafSubBits = 1;
     params.push_back({"sub_bits_1", sub1, 256 * KiB, 16 * KiB, 300});
 
+    // The DRAM read cache is already on in every param above
+    // (smallConfig inherits the default cacheBytes); these two pin
+    // the interesting corners. A four-frame budget keeps the clock
+    // hand churning so reads constantly mix hits, fills and
+    // evictions; cache-off is the control proving the oracle match
+    // is not an artifact of cached reads validating against
+    // themselves.
+    auto tiny_cache = base;
+    tiny_cache.cacheBytes = 4 * base.leafBlockSize;
+    params.push_back({"cache_tiny_budget_churn", tiny_cache, 512 * KiB,
+                      16 * KiB, 400});
+
+    auto no_cache = base;
+    no_cache.cacheBytes = 0;
+    params.push_back({"cache_disabled_control", no_cache, 512 * KiB,
+                      16 * KiB, 300});
+
     return params;
 }
 
