@@ -150,11 +150,13 @@ usageError(const char *argv0, const std::string &offender)
         "usage: %s [--stats-json=FILE] [--trace-json=FILE]\n"
         "          [--bench-json=FILE] [--sample-ms=N] [--background]\n"
         "          [--quick] [--sync-interval=N] [--cache-mb=N]\n"
+        "          [--prepared-txns=N]\n"
         "          [--corrupt-pct=P0,P1,...] [--pool-pct=P0,P1,...]\n"
         "Value-taking flags require the value (= or next argument);\n"
         "--sync-interval must be >= 1 (no-sync is part of the sweep);\n"
         "--cache-mb must be >= 1 (the plain mgsp series is the\n"
-        "no-cache measurement).\n",
+        "no-cache measurement); --prepared-txns must be >= 1 (the\n"
+        "plain series is the zero-txn measurement).\n",
         argv0, offender.c_str(), argv0);
     std::exit(2);
 }
@@ -212,9 +214,23 @@ parseBenchArgs(int argc, char **argv)
             args.cacheMb = std::strtoull(argv[++i], nullptr, 10);
             if (args.cacheMb == 0)
                 usageError(argv[0], arg + " " + argv[i]);
+        } else if (arg.rfind("--prepared-txns=", 0) == 0) {
+            // 0 (and any non-numeric value, which strtoull parses as
+            // 0) would run the "prepared txns" recovery series with
+            // zero transactions staged — the plain series under a
+            // misleading name. Reject it.
+            args.preparedTxns = std::strtoull(
+                arg.c_str() + strlen("--prepared-txns="), nullptr, 10);
+            if (args.preparedTxns == 0)
+                usageError(argv[0], arg);
+        } else if (arg == "--prepared-txns" && i + 1 < argc) {
+            args.preparedTxns = std::strtoull(argv[++i], nullptr, 10);
+            if (args.preparedTxns == 0)
+                usageError(argv[0], arg + " " + argv[i]);
         } else if (arg == "--stats-json" || arg == "--trace-json" ||
                    arg == "--bench-json" || arg == "--sample-ms" ||
-                   arg == "--sync-interval" || arg == "--cache-mb") {
+                   arg == "--sync-interval" || arg == "--cache-mb" ||
+                   arg == "--prepared-txns") {
             // A trailing value-taking flag used to be swallowed by the
             // unknown-argument branch with a misleading message; make
             // the missing value explicit.

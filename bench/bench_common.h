@@ -119,6 +119,15 @@ struct BenchArgs
     /// series for the no-cache numbers. 0 here means "not given":
     /// the bench picks its default (fig10: the workload file size).
     u64 cacheMb = 0;
+    /// --prepared-txns=N: benches that honour it (recovery_time)
+    /// additionally run a recovery series with N in-flight prepared
+    /// cross-file transactions in the crash image (DESIGN.md §17), so
+    /// the cost of the txn-region scan and prepare-entry discard is
+    /// measured. 0 (and any malformed value) would be the plain
+    /// series masquerading as the prepared-txn series, so it is
+    /// rejected at parse time (usage/exit 2). 0 here means "not
+    /// given": skip the series.
+    u64 preparedTxns = 0;
 };
 
 /**

@@ -229,6 +229,15 @@ struct MetaLogEntry
      */
     static constexpr u16 kFlagEpochData = 1;
     static constexpr u16 kFlagEpochCommit = 2;
+    /**
+     * Cross-file transaction prepare entry (DESIGN.md §17). The
+     * shared txn id rides in the checksummed `offset` field (the
+     * epoch-id trick); replay needs only the slots and newFileSize.
+     * A prepare entry is applied iff a valid TxnCommitRecord carries
+     * its txn id — otherwise the transaction never committed and the
+     * entry is discarded, exactly like an orphaned epoch data entry.
+     */
+    static constexpr u16 kFlagTxnPrepare = 4;
 
     u64 owner;        ///< 0 = free; claimed with CAS (thread tag)
     u32 length;       ///< I/O length; 0 = outdated entry
@@ -250,10 +259,59 @@ struct MetaLogEntry
 static_assert(sizeof(MetaLogEntry) == 128);
 static_assert(offsetof(MetaLogEntry, slots) == 40);
 
+/**
+ * On-media cross-file transaction commit record (DESIGN.md §17). A
+ * small slot array lives right after the superblock copies; each slot
+ * holds two checksummed copies of the record (superblock idiom).
+ * Publishing copy 0 under its own persist is THE commit point of a
+ * cross-file transaction: recovery applies prepare entries whose txn
+ * id matches a valid record copy and discards the rest. Copy 1 is
+ * redundancy against media rot of the commit line — either valid copy
+ * commits. Retiring a slot zeroes both copies after every prepare
+ * entry has been outdated, so a record never outlives its prepares by
+ * more than the completion fence.
+ */
+struct TxnCommitRecord
+{
+    static constexpr u64 kMagic = 0x4D47535054584E31ull;  // "MGSPTXN1"
+    static constexpr u32 kSlots = 4;        ///< concurrent committers
+    static constexpr u32 kCopies = 2;       ///< dual-copy redundancy
+    static constexpr u64 kCopyStride = 64;  ///< one cache line each
+    static constexpr u64 kSlotStride = kCopies * kCopyStride;
+
+    u64 magic;
+    u64 txnId;         ///< shared id stamped in every prepare entry
+    u32 participants;  ///< live prepare entries the txn wrote
+    u32 checksum;      ///< CRC32C over bytes [0, offsetof(checksum))
+
+    u32
+    computeChecksum() const
+    {
+        return crc32c(this, offsetof(TxnCommitRecord, checksum));
+    }
+
+    bool
+    validCopy() const
+    {
+        return magic == kMagic && txnId != 0 &&
+               checksum == computeChecksum();
+    }
+
+    /** Total bytes of the txn-commit region. */
+    static constexpr u64
+    regionBytes()
+    {
+        return static_cast<u64>(kSlots) * kSlotStride;
+    }
+};
+static_assert(sizeof(TxnCommitRecord) == 24);
+static_assert(sizeof(TxnCommitRecord) <= TxnCommitRecord::kCopyStride);
+
 /** Computed arena layout; derived deterministically from a config. */
 struct ArenaLayout
 {
     u64 superblockOff = 0;
+    u64 txnRegionOff = 0;
     u64 inodeTableOff = 0;
     u64 metaLogOff = 0;
     u64 nodeTableOff = 0;
@@ -272,7 +330,12 @@ struct ArenaLayout
         // inode table.
         u64 cursor = alignUp(Superblock::kSlots * Superblock::kSlotStride,
                              kCacheLineSize);
-        l.inodeTableOff = cursor;
+        // The txn-commit region sits superblock-adjacent so the
+        // commit flip shares the arena head's blast radius with the
+        // superblock copies (both are dual-copy checksummed).
+        l.txnRegionOff = cursor;
+        cursor += TxnCommitRecord::regionBytes();
+        l.inodeTableOff = alignUp(cursor, kCacheLineSize);
         cursor += static_cast<u64>(config.maxInodes) * sizeof(InodeRecord);
         l.metaLogOff = alignUp(cursor, 128);
         cursor = l.metaLogOff +
@@ -297,6 +360,12 @@ struct ArenaLayout
         return l;
     }
 
+    u64
+    txnSlotOff(u32 slot, u32 copy) const
+    {
+        return txnRegionOff + slot * TxnCommitRecord::kSlotStride +
+               copy * TxnCommitRecord::kCopyStride;
+    }
     u64 inodeOff(u32 idx) const { return inodeTableOff + idx * 128ull; }
     u64 metaEntryOff(u32 idx) const { return metaLogOff + idx * 128ull; }
     u64 nodeRecOff(u32 idx) const { return nodeTableOff + idx * 32ull; }

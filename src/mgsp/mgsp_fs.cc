@@ -68,6 +68,18 @@ class MgspFile : public File
     Status sync() override { return fs_->syncFile(inode_); }
 
     /**
+     * Ranged durability point (the mgsp_msync surface): a degenerate
+     * single-file transaction over [offset, offset+len). See
+     * MgspFs::doRangeSync for why this is one fence (or an epoch
+     * commit) rather than a full sync barrier.
+     */
+    Status
+    rangeSync(u64 offset, u64 len) override
+    {
+        return fs_->doRangeSync(inode_, offset, len);
+    }
+
+    /**
      * Per-file read-cache steering (vfs AccessHint semantics). The
      * hint is shared by every handle on the file, like
      * posix_fadvise. DontCache additionally drops the file's
@@ -102,6 +114,75 @@ class MgspFile : public File
   private:
     MgspFs *fs_;
     MgspFs::OpenInode *inode_;
+};
+
+/**
+ * Cross-file transaction handle (vfs FileTxn, DESIGN.md §17).
+ * Staging is pure DRAM — pwrite() copies the bytes, so nothing
+ * touches NVM until commit() runs the two-phase protocol in
+ * MgspFs::txnCommit. Participant File handles must stay open for the
+ * handle's lifetime (staging holds their OpenInode pointers, exactly
+ * like writeBatch holding a File*).
+ */
+class MgspTxn : public FileTxn
+{
+  public:
+    explicit MgspTxn(MgspFs *fs) : fs_(fs) {}
+
+    ~MgspTxn() override
+    {
+        // Destruction before commit() discards the staged writes —
+        // an implicit abort, counted as one.
+        if (!spent_ && !writes_.empty())
+            fs_->txnCounters_.aborts->add(1);
+    }
+
+    Status
+    pwrite(File *file, u64 offset, ConstSlice src) override
+    {
+        if (spent_)
+            return Status::invalidArgument("transaction already spent");
+        auto *mf = dynamic_cast<MgspFile *>(file);
+        if (mf == nullptr || mf->owner() != fs_)
+            return Status::invalidArgument(
+                "txn participant is not a file of this file system");
+        if (src.empty())
+            return Status::invalidArgument("empty txn write");
+        MgspFs::TxnWrite w;
+        w.inode = mf->inode();
+        w.offset = offset;
+        w.data.assign(src.data(), src.data() + src.size());
+        writes_.push_back(std::move(w));
+        return Status::ok();
+    }
+
+    Status
+    commit() override
+    {
+        if (spent_)
+            return Status::invalidArgument("transaction already spent");
+        spent_ = true;
+        if (writes_.empty())
+            return Status::ok();
+        return fs_->txnCommit(writes_);
+    }
+
+    Status
+    abort() override
+    {
+        if (spent_)
+            return Status::invalidArgument("transaction already spent");
+        spent_ = true;
+        if (!writes_.empty())
+            fs_->txnCounters_.aborts->add(1);
+        writes_.clear();
+        return Status::ok();
+    }
+
+  private:
+    MgspFs *fs_;
+    std::vector<MgspFs::TxnWrite> writes_;
+    bool spent_ = false;
 };
 
 MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
@@ -190,6 +271,16 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
         epochBudget_ = config.epochMaxSlots != 0
                            ? std::min<u64>(config.epochMaxSlots, derived)
                            : derived;
+    }
+    {
+        // Unconditional: recovery bumps recovered/discarded on every
+        // mount, whatever the config.
+        auto &reg = stats::StatsRegistry::instance();
+        txnCounters_.prepares = &reg.counter("txn.prepares");
+        txnCounters_.commits = &reg.counter("txn.commits");
+        txnCounters_.aborts = &reg.counter("txn.aborts");
+        txnCounters_.recovered = &reg.counter("txn.recovered");
+        txnCounters_.discarded = &reg.counter("txn.discarded");
     }
     {
         auto &reg = stats::StatsRegistry::instance();
@@ -434,7 +525,17 @@ MgspFs::runRecovery()
     // of an earlier epoch touch the same records.
     std::map<u64, EpochGroup> epochs;
 
+    // Cross-file txn prepares (DESIGN.md §17), grouped by the shared
+    // txn id riding in the checksummed offset field. Partitioned out
+    // FIRST: a prepare replays only if its txn's commit record
+    // landed, never unconditionally.
+    std::map<u64, std::vector<const MetadataLog::LiveEntry *>> txns;
+
     for (const MetadataLog::LiveEntry &op : live) {
+        if (op.entry.flags & MetaLogEntry::kFlagTxnPrepare) {
+            txns[op.entry.offset].push_back(&op);
+            continue;
+        }
         const u16 eflags =
             op.entry.flags & (MetaLogEntry::kFlagEpochData |
                               MetaLogEntry::kFlagEpochCommit);
@@ -512,6 +613,81 @@ MgspFs::runRecovery()
             replayEntry(e->entry);
         ++recovery_.epochsReplayed;
     }
+
+    // Cross-file transactions: scan the dual-copy commit-record
+    // region, then complete every committed txn (record present and
+    // the full prepare set live) and discard the rest.
+    std::map<u64, u32> committed;  ///< txn id -> recorded participants
+    for (u32 slot = 0; slot < TxnCommitRecord::kSlots; ++slot) {
+        for (u32 copy = 0; copy < TxnCommitRecord::kCopies; ++copy) {
+            const u64 off = layout_.txnSlotOff(slot, copy);
+            if (salvage &&
+                device_->poisoned(off, sizeof(TxnCommitRecord))) {
+                ++recovery_.poisonedRangesSkipped;
+                continue;  // the other copy may still commit the txn
+            }
+            TxnCommitRecord rec;
+            device_->read(off, &rec, sizeof(rec));
+            if (rec.validCopy()) {
+                committed[rec.txnId] = rec.participants;
+                break;
+            }
+        }
+    }
+    for (auto &[txn_id, prepares] : txns) {
+        auto it = committed.find(txn_id);
+        if (it == committed.end()) {
+            // Prepares whose commit record never landed (or whose
+            // record was already retired, with the applies durable):
+            // the txn contributes nothing. A normal crash outcome,
+            // silent even in strict mode.
+            ++recovery_.txnsDiscarded;
+            txnCounters_.discarded->add(1);
+            continue;
+        }
+        // The record commits only after its full prepare set is
+        // fenced durable, and it retires before any prepare is
+        // outdated — so bounds rot or a count mismatch is genuine
+        // corruption, never a crash shape. All-or-nothing: a partial
+        // replay would tear the txn's cross-file atomicity.
+        bool bounds_ok = true;
+        for (const auto *e : prepares)
+            bounds_ok = bounds_ok && entryInBounds(e->entry);
+        if (!bounds_ok ||
+            it->second != static_cast<u32>(prepares.size())) {
+            if (!salvage)
+                return Status::corruption(
+                    "txn commit record does not match its prepare "
+                    "entries");
+            ++recovery_.txnsQuarantined;
+            recovery_.corruptRecordsQuarantined +=
+                static_cast<u32>(prepares.size());
+            committed.erase(it);
+            continue;
+        }
+        for (const auto *e : prepares)
+            replayEntry(e->entry);
+        ++recovery_.txnsRecovered;
+        txnCounters_.recovered->add(1);
+        committed.erase(it);
+    }
+    for (auto &[txn_id, participants] : committed) {
+        (void)txn_id;
+        // A record with zero live prepares: record-present means no
+        // prepare was retired yet, so the whole set rotted away.
+        if (participants == 0)
+            continue;  // zero-participant records cannot exist; skip
+        if (!salvage)
+            return Status::corruption(
+                "txn commit record with no live prepare entries");
+        ++recovery_.txnsQuarantined;
+    }
+    // The region is scratch between commits; scrub it so stale
+    // records can never resurrect a future mount's txn id.
+    device_->fill(layout_.txnRegionOff, 0,
+                  TxnCommitRecord::regionBytes());
+    device_->flush(layout_.txnRegionOff, TxnCommitRecord::regionBytes());
+
     device_->fence();
     metaLog_->resetAll();
 
@@ -1322,6 +1498,11 @@ MgspFs::statsReport() const
     const u64 pol_to_wt = reg.counter("policy.to_write_through").value();
     const u64 pol_to_sh = reg.counter("policy.to_shadow").value();
     const u64 pol_wb = reg.counter("policy.write_back_bytes").value();
+    const u64 txn_prep = reg.counter("txn.prepares").value();
+    const u64 txn_commit = reg.counter("txn.commits").value();
+    const u64 txn_abort = reg.counter("txn.aborts").value();
+    const u64 txn_recov = reg.counter("txn.recovered").value();
+    const u64 txn_disc = reg.counter("txn.discarded").value();
     const FaultStats fault = device_->faultStats();
 
     MgspStatsReport report;
@@ -1452,13 +1633,23 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(pol_wb));
     text += buf;
     std::snprintf(buf, sizeof(buf),
+                  "txn: prepares=%llu commits=%llu aborts=%llu "
+                  "recovered=%llu discarded=%llu\n",
+                  static_cast<unsigned long long>(txn_prep),
+                  static_cast<unsigned long long>(txn_commit),
+                  static_cast<unsigned long long>(txn_abort),
+                  static_cast<unsigned long long>(txn_recov),
+                  static_cast<unsigned long long>(txn_disc));
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
                   "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
                   "mst-miss=%llu\n"
                   "recovery: replayed=%u scanned=%u files=%u nanos=%llu "
                   "quarantined=%u salvaged-bytes=%llu poison-skipped=%u "
                   "sb-recovered=%s degraded-cleared=%u "
                   "epochs-replayed=%u epochs-discarded=%u "
-                  "policy-cleared=%u\n",
+                  "policy-cleared=%u txns-recovered=%u "
+                  "txns-discarded=%u txns-quarantined=%u\n",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -1472,7 +1663,9 @@ MgspFs::statsReport() const
                   recovery_.poisonedRangesSkipped,
                   recovery_.superblockRecovered ? "yes" : "no",
                   recovery_.degradedFilesCleared, recovery_.epochsReplayed,
-                  recovery_.epochsDiscarded, recovery_.policyFlagsCleared);
+                  recovery_.epochsDiscarded, recovery_.policyFlagsCleared,
+                  recovery_.txnsRecovered, recovery_.txnsDiscarded,
+                  recovery_.txnsQuarantined);
     text += buf;
 
     // ---- JSON ---------------------------------------------------
@@ -1618,6 +1811,16 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(pol_wb));
     json += buf;
     std::snprintf(buf, sizeof(buf),
+                  "},\"txn\":{\"prepares\":%llu,\"commits\":%llu,"
+                  "\"aborts\":%llu,\"recovered\":%llu,"
+                  "\"discarded\":%llu",
+                  static_cast<unsigned long long>(txn_prep),
+                  static_cast<unsigned long long>(txn_commit),
+                  static_cast<unsigned long long>(txn_abort),
+                  static_cast<unsigned long long>(txn_recov),
+                  static_cast<unsigned long long>(txn_disc));
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
                   "},\"tree\":{\"coarse_log_writes\":%llu,"
                   "\"leaf_log_writes\":%llu,\"fine_sub_writes\":%llu,"
                   "\"min_tree_hits\":%llu,\"min_tree_misses\":%llu},"
@@ -1628,7 +1831,9 @@ MgspFs::statsReport() const
                   "\"superblock_recovered\":%s,"
                   "\"degraded_files_cleared\":%u,"
                   "\"epochs_replayed\":%u,\"epochs_discarded\":%u,"
-                  "\"policy_flags_cleared\":%u}}",
+                  "\"policy_flags_cleared\":%u,"
+                  "\"txns_recovered\":%u,\"txns_discarded\":%u,"
+                  "\"txns_quarantined\":%u}}",
                   static_cast<unsigned long long>(coarse),
                   static_cast<unsigned long long>(leafw),
                   static_cast<unsigned long long>(fine),
@@ -1642,7 +1847,9 @@ MgspFs::statsReport() const
                   recovery_.poisonedRangesSkipped,
                   recovery_.superblockRecovered ? "true" : "false",
                   recovery_.degradedFilesCleared, recovery_.epochsReplayed,
-                  recovery_.epochsDiscarded, recovery_.policyFlagsCleared);
+                  recovery_.epochsDiscarded, recovery_.policyFlagsCleared,
+                  recovery_.txnsRecovered, recovery_.txnsDiscarded,
+                  recovery_.txnsQuarantined);
     json += buf;
     return report;
 }
@@ -2316,6 +2523,363 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         trace.endStage();
         MGSP_RETURN_IF_ERROR(wb);
     }
+    return Status::ok();
+}
+
+// --- cross-file transactions (DESIGN.md §17) -------------------------
+
+StatusOr<std::unique_ptr<FileTxn>>
+MgspFs::beginTxn()
+{
+    // The no-shadow ablation writes in place: there is nothing to
+    // stage, so multi-file all-or-nothing is unachievable.
+    if (!config_.enableShadowLog)
+        return Status::unsupported(
+            "cross-file transactions need the shadow log");
+    // Epoch mode has no per-op commit entries for prepares to ride;
+    // same exclusion as writeBatch.
+    if (epochOn_)
+        return Status::invalidArgument(
+            "cross-file transactions bypass the epoch group commit");
+    return {std::make_unique<MgspTxn>(this)};
+}
+
+StatusOr<u32>
+MgspFs::txnClaimSlot()
+{
+    auto tryClaim = [&]() -> int {
+        std::lock_guard<std::mutex> guard(txnSlotMutex_);
+        for (u32 s = 0; s < TxnCommitRecord::kSlots; ++s) {
+            if ((txnSlotBusy_ & (1u << s)) == 0) {
+                txnSlotBusy_ |= 1u << s;
+                return static_cast<int>(s);
+            }
+        }
+        return -1;
+    };
+    int slot = tryClaim();
+    if (slot >= 0)
+        return static_cast<u32>(slot);
+    // All kSlots records carry in-flight commits: transient
+    // exhaustion, same bounded-backoff policy as the log claim.
+    BoundedBackoff backoff(config_.resourceRetryAttempts,
+                           config_.resourceRetryDeadlineNanos,
+                           config_.backoffInitialNanos,
+                           config_.backoffMaxNanos);
+    resourceCounters_.allocFail->add(1);
+    while (backoff.nextAttempt()) {
+        resourceCounters_.allocRetry->add(1);
+        slot = tryClaim();
+        if (slot >= 0)
+            break;
+        resourceCounters_.allocFail->add(1);
+    }
+    resourceCounters_.backoffNanos->add(backoff.pausedNanos());
+    if (backoff.deadlineExceeded())
+        watchdogTrip("txn-commit slot claim", backoff.elapsedNanos());
+    if (slot < 0)
+        return Status::resourceBusy("all txn-commit slots busy");
+    return static_cast<u32>(slot);
+}
+
+void
+MgspFs::txnReleaseSlot(u32 slot)
+{
+    std::lock_guard<std::mutex> guard(txnSlotMutex_);
+    txnSlotBusy_ &= ~(1u << slot);
+}
+
+void
+MgspFs::txnPublishRecord(u32 slot, u64 txn_id, u32 participants)
+{
+    TxnCommitRecord rec{};
+    rec.magic = TxnCommitRecord::kMagic;
+    rec.txnId = txn_id;
+    rec.participants = participants;
+    rec.checksum = rec.computeChecksum();
+    // Copy 0's persist IS the commit point: before it the txn is
+    // invisible (prepares discard at recovery), after it the txn is
+    // committed. Copy 1 lands behind its own persist purely for
+    // media redundancy — recovery accepts either valid copy.
+    device_->write(layout_.txnSlotOff(slot, 0), &rec, sizeof(rec));
+    device_->persist(layout_.txnSlotOff(slot, 0), sizeof(rec));
+    device_->write(layout_.txnSlotOff(slot, 1), &rec, sizeof(rec));
+    device_->persist(layout_.txnSlotOff(slot, 1), sizeof(rec));
+}
+
+void
+MgspFs::txnRetireRecord(u32 slot)
+{
+    // Retired BEFORE the prepares are outdated (see txnCommit): a
+    // valid record must always imply its full prepare set is live.
+    device_->fill(layout_.txnSlotOff(slot, 0), 0,
+                  TxnCommitRecord::kSlotStride);
+    device_->flush(layout_.txnSlotOff(slot, 0),
+                   TxnCommitRecord::kSlotStride);
+    device_->fence();
+}
+
+Status
+MgspFs::txnCommit(const std::vector<TxnWrite> &writes)
+{
+    MGSP_CHECK(!epochOn_ && config_.enableShadowLog);
+
+    // ---- validation & per-participant grouping ------------------
+    // One prepare entry covers a GROUP of writes whose combined
+    // bitmap-slot demand fits one metadata-log entry; a file whose
+    // writes need more contributes several groups, all stamped with
+    // the same txn id (the commit record counts prepare entries, not
+    // files, so recovery is indifferent to the split).
+    struct Group
+    {
+        std::vector<const TxnWrite *> writes;  ///< sorted by offset
+        u64 frontOff = 0;
+        u64 end = 0;
+        u32 entry = 0;  ///< claimed metadata-log index
+        StagedMetadata staged;
+    };
+    struct Participant
+    {
+        OpenInode *inode = nullptr;
+        std::vector<const TxnWrite *> writes;  ///< sorted by offset
+        std::vector<Group> groups;
+        u64 batchEnd = 0;
+        u64 newSize = 0;
+        u64 oldSize = 0;
+        bool lockedFile = false;
+        std::vector<HeldLock> locks;
+    };
+    // Keyed by inodeIdx: iteration order IS the deadlock-free lock
+    // acquisition order across concurrent committers.
+    std::map<u32, Participant> parts;
+    for (const TxnWrite &w : writes) {
+        MGSP_CHECK(!w.data.empty());
+        Participant &p = parts[w.inode->inodeIdx];
+        p.inode = w.inode;
+        p.writes.push_back(&w);
+    }
+    u32 total_groups = 0;
+    for (auto &[idx, p] : parts) {
+        (void)idx;
+        std::sort(p.writes.begin(), p.writes.end(),
+                  [](const TxnWrite *a, const TxnWrite *b) {
+                      return a->offset < b->offset;
+                  });
+        u64 prev_end = 0;
+        u32 group_slots = 0;
+        Group cur;
+        for (const TxnWrite *w : p.writes) {
+            if (w->offset < prev_end)
+                return Status::invalidArgument("txn writes overlap");
+            if (w->offset + w->data.size() > p.inode->capacity)
+                return Status::outOfSpace("txn write beyond capacity");
+            prev_end = w->offset + w->data.size();
+            p.batchEnd = std::max(p.batchEnd, prev_end);
+            const u32 need = p.inode->tree->planSlotCount(
+                w->offset, w->data.size());
+            if (need > MetaLogEntry::kMaxSlots)
+                return Status::invalidArgument(
+                    "one txn write needs more bitmap slots than a "
+                    "metadata-log entry holds; split it");
+            if (!cur.writes.empty() &&
+                group_slots + need > MetaLogEntry::kMaxSlots) {
+                p.groups.push_back(std::move(cur));
+                cur = Group{};
+                group_slots = 0;
+            }
+            if (cur.writes.empty())
+                cur.frontOff = w->offset;
+            cur.writes.push_back(w);
+            cur.end = w->offset + w->data.size();
+            group_slots += need;
+        }
+        p.groups.push_back(std::move(cur));
+        total_groups += static_cast<u32>(p.groups.size());
+        // Materialise any hole below the participant's first write
+        // (content-neutral zeros, so committing them separately
+        // before the txn cannot tear its atomicity).
+        const u64 size_now =
+            p.inode->fileSize.load(std::memory_order_acquire);
+        if (p.writes.front()->offset > size_now) {
+            std::vector<u8> zeros(p.writes.front()->offset - size_now,
+                                  0);
+            MGSP_RETURN_IF_ERROR(
+                doWrite(p.inode, size_now,
+                        ConstSlice(zeros.data(), zeros.size())));
+        }
+    }
+
+    const u64 txn_id =
+        nextTxnId_.fetch_add(1, std::memory_order_relaxed);
+    stats::OpTrace trace(stats::OpType::Batch, txn_id, writes.size(),
+                         statsOn_);
+
+    // ---- resource claims (nothing durable yet) ------------------
+    trace.stage(stats::Stage::Claim);
+    StatusOr<u32> slot_or = txnClaimSlot();
+    if (!slot_or.isOk()) {
+        txnCounters_.aborts->add(1);
+        trace.setFailed();
+        return slot_or.status();
+    }
+    const u32 slot = *slot_or;
+    std::vector<u32> claimed;
+    auto rollbackClaims = [&] {
+        for (u32 e : claimed)
+            metaLog_->release(e);
+        txnReleaseSlot(slot);
+        txnCounters_.aborts->add(1);
+        trace.setFailed();
+    };
+    for (auto &[idx, p] : parts) {
+        (void)idx;
+        for (Group &g : p.groups) {
+            // Bounded claim retry; a MetaClaim fault plan failing or
+            // stalling here rolls the whole txn back with nothing
+            // durable — no half-prepared txn can survive recovery.
+            StatusOr<u32> entry_or = claimEntryWithRetry();
+            if (!entry_or.isOk()) {
+                rollbackClaims();
+                return entry_or.status();
+            }
+            g.entry = *entry_or;
+            claimed.push_back(g.entry);
+        }
+    }
+
+    // ---- stage every write into its file's shadow log -----------
+    trace.stage(stats::Stage::Lock);
+    const bool file_lock_mode =
+        config_.lockMode == LockMode::FileLock;
+    auto unlock_all = [&] {
+        for (auto &[i, p] : parts) {
+            (void)i;
+            if (p.lockedFile)
+                p.inode->fileLock.unlock();
+            ShadowTree::releaseLocks(&p.locks);
+        }
+    };
+    trace.stage(stats::Stage::DataWrite);
+    for (auto &[idx, p] : parts) {
+        (void)idx;
+        if (file_lock_mode) {
+            p.inode->fileLock.lock();
+            p.lockedFile = true;
+        }
+        p.oldSize = p.inode->fileSize.load(std::memory_order_acquire);
+        p.newSize = std::max(p.oldSize, p.batchEnd);
+        for (Group &g : p.groups) {
+            g.staged.inode = p.inode->inodeIdx;
+            g.staged.length = static_cast<u32>(g.end - g.frontOff);
+            g.staged.offset = g.frontOff;
+            g.staged.newFileSize = p.newSize;
+            for (const TxnWrite *w : g.writes) {
+                Status s = p.inode->tree->performWrite(
+                    w->offset,
+                    ConstSlice(w->data.data(), w->data.size()),
+                    &g.staged, &p.locks, file_lock_mode);
+                if (!s.isOk()) {
+                    // Staged shadow cells are unreferenced without a
+                    // commit entry; leaked records are the same
+                    // orphan shape a crash leaves, which recovery
+                    // ignores.
+                    unlock_all();
+                    rollbackClaims();
+                    return s;
+                }
+            }
+        }
+    }
+
+    // ---- phase 1: prepare ---------------------------------------
+    trace.stage(stats::Stage::CommitFence);
+    device_->fence();  // every participant's shadow data durable
+    for (auto &[idx, p] : parts) {
+        (void)idx;
+        for (Group &g : p.groups) {
+            // The shared txn id rides in the checksummed offset field
+            // (the epoch-id idiom); replay never consults the offset.
+            g.staged.offset = txn_id;
+            g.staged.flags = MetaLogEntry::kFlagTxnPrepare;
+            metaLog_->commit(g.entry, g.staged, /*fenced=*/false);
+        }
+    }
+    device_->fence();  // every prepare entry durable
+    txnCounters_.prepares->add(total_groups);
+
+    // ---- phase 2: the commit flip -------------------------------
+    txnPublishRecord(slot, txn_id, total_groups);
+
+    // ---- apply & complete ---------------------------------------
+    trace.stage(stats::Stage::BitmapApply);
+    for (auto &[idx, p] : parts) {
+        (void)idx;
+        for (Group &g : p.groups)
+            p.inode->tree->applyStaged(g.staged);
+        if (p.newSize != p.oldSize)
+            persistFileSize(p.inode, p.newSize);
+    }
+    device_->fence();  // all applies durable before the record dies
+
+    // Retire the commit record FIRST, then outdate the prepares: a
+    // crash in between leaves live prepares with no record, which
+    // recovery discards — harmless, the applies above are already
+    // durable and identical to the replay. The other order would
+    // leave a valid record with a partial prepare set, a legitimate
+    // crash shape indistinguishable from media rot.
+    txnRetireRecord(slot);
+    for (u32 e : claimed)
+        metaLog_->markOutdated(e);
+    device_->fence();
+    for (u32 e : claimed)
+        metaLog_->release(e);
+    txnReleaseSlot(slot);
+    unlock_all();
+    trace.endStage();
+
+    // ---- post-commit bookkeeping (mirrors writeBatch) -----------
+    for (auto &[idx, p] : parts) {
+        (void)idx;
+        const u64 claim_end =
+            alignUp(p.batchEnd, config_.fineGrainSize());
+        u64 frontier =
+            p.inode->claimFrontier.load(std::memory_order_relaxed);
+        while (frontier < claim_end &&
+               !p.inode->claimFrontier.compare_exchange_weak(
+                   frontier, claim_end, std::memory_order_acq_rel))
+            ;
+        for (const TxnWrite *w : p.writes) {
+            logicalBytes_.fetch_add(w->data.size(),
+                                    std::memory_order_relaxed);
+            noteDirty(p.inode, w->offset, w->data.size(), trace.opId());
+        }
+    }
+    txnCounters_.commits->add(1);
+    return Status::ok();
+}
+
+Status
+MgspFs::doRangeSync(OpenInode *inode, u64 offset, u64 len)
+{
+    // msync rejects ranges outside the mapping; ours is the file's
+    // capacity region (EINVAL through mgsp_msync).
+    if (offset + len < offset || offset + len > inode->capacity)
+        return Status::invalidArgument(
+            "range sync beyond file capacity");
+    if (len == 0)
+        return Status::ok();
+    // Epoch mode: acknowledged writes may still be volatile pending
+    // overlays; the ranged barrier must commit the epoch. (The epoch
+    // is global, so this makes slightly more than the range durable
+    // — strictly stronger, never weaker.)
+    if (epochOn_)
+        return epochCommit();
+    // Every other mode acknowledges writes only after their own
+    // commit fence, so the range is already durable and atomic: one
+    // fence orders this call against any in-flight store the caller
+    // raced with. A degenerate single-file transaction — no prepare,
+    // no record — per DESIGN.md §17.
+    device_->fence();
     return Status::ok();
 }
 

@@ -86,6 +86,17 @@ struct RecoveryReport
     /// Inodes whose persistent write-through policy flag was cleared
     /// (policy counters restart cold after a crash; DESIGN.md §15).
     u32 policyFlagsCleared = 0;
+    // ---- cross-file transactions (DESIGN.md §17) ----------------
+    /// Prepared transactions whose commit record was found valid and
+    /// whose full prepare set was redone.
+    u32 txnsRecovered = 0;
+    /// Prepared transactions with no valid commit record — the txn
+    /// never committed; a normal crash outcome, discarded silently.
+    u32 txnsDiscarded = 0;
+    /// Committed transactions whose live prepare set did not match
+    /// the record's participant count (rotten/torn prepare entries):
+    /// corruption in strict mode, set aside whole in salvage.
+    u32 txnsQuarantined = 0;
 };
 
 /** One write of an atomic batch (see MgspFs::writeBatch). */
@@ -214,6 +225,21 @@ class MgspFs : public FileSystem
     Status writeBatch(File *file, const std::vector<BatchWrite> &batch);
 
     /**
+     * Cross-file failure-atomic transaction (DESIGN.md §17): a
+     * two-phase commit stamping prepare entries in every
+     * participant's metadata log under one shared txn id, then one
+     * fence-ordered commit-record flip in the dual-copy txn region.
+     * Recovery completes committed transactions and discards
+     * uncommitted ones, all-or-nothing across every participant.
+     *
+     * Requires the shadow log (Unsupported otherwise — the no-shadow
+     * ablation writes in place and cannot stage) and is mutually
+     * exclusive with epoch group sync (InvalidArgument — cross-file
+     * atomicity bypasses the epoch accumulator, like writeBatch).
+     */
+    StatusOr<std::unique_ptr<FileTxn>> beginTxn() override;
+
+    /**
      * Arms scripted allocation faults (ResourceFaultPlan) against
      * this instance's pool / node-table / metadata-log / inode
      * allocators; an empty plan disarms. Call while no operation is
@@ -226,6 +252,7 @@ class MgspFs : public FileSystem
 
   private:
     friend class MgspFile;
+    friend class MgspTxn;
 
     /** DRAM state of one file (shared by all its handles). */
     struct OpenInode
@@ -468,6 +495,47 @@ class MgspFs : public FileSystem
      */
     Status policyWriteBack(OpenInode *inode, u64 off, u64 len);
 
+    // --- cross-file transactions (DESIGN.md §17) ------------------
+    /** One staged write of a cross-file txn (bytes copied at stage
+     * time so the caller's buffer may die before commit()). */
+    struct TxnWrite
+    {
+        OpenInode *inode = nullptr;
+        u64 offset = 0;
+        std::vector<u8> data;
+    };
+    /**
+     * The two-phase commit: claims a txn-commit slot, stages every
+     * write into its file's shadow log, publishes prepare entries
+     * carrying the shared txn id (one per <=kMaxSlots group of a
+     * participant's writes, so a file's share of the txn may span
+     * several entries), flips the dual-copy commit record (THE
+     * commit point), applies, then retires the record BEFORE
+     * outdating the prepares — so a valid record always implies the
+     * full prepare set is still live, and any mismatch at recovery
+     * is genuine media rot rather than a crash shape.
+     */
+    Status txnCommit(const std::vector<TxnWrite> &writes);
+    /** Claims one of the kSlots commit-record slots (bounded
+     * backoff; ResourceBusy when every slot stays busy). */
+    StatusOr<u32> txnClaimSlot();
+    void txnReleaseSlot(u32 slot);
+    /**
+     * Persists the commit record: copy 0 persisted first (its
+     * persist IS the commit point), then copy 1 for media
+     * redundancy — either valid copy commits the txn at recovery.
+     */
+    void txnPublishRecord(u32 slot, u64 txn_id, u32 participants);
+    /** Zeroes both record copies, flush + fence. */
+    void txnRetireRecord(u32 slot);
+    /**
+     * mgsp_msync / File::rangeSync body: epoch mode commits the
+     * pending epoch (the overlays covering the range must become
+     * durable); every other mode issues one fence, since completed
+     * MGSP ops are already individually atomic and durable.
+     */
+    Status doRangeSync(OpenInode *inode, u64 offset, u64 len);
+
     std::shared_ptr<PmemDevice> device_;
     MgspConfig config_;
     ArenaLayout layout_;
@@ -627,6 +695,28 @@ class MgspFs : public FileSystem
         stats::Counter *writeBackBytes = nullptr;
     };
     PolicyCounters policyCounters_;
+
+    // ---- cross-file transaction state (DESIGN.md §17) -----------
+    /// Next shared txn id; nonzero and unique per mount (the log is
+    /// reset each mount, so per-mount uniqueness suffices — exactly
+    /// like epochId_).
+    std::atomic<u64> nextTxnId_{1};
+    /// Guards txnSlotBusy_ (DRAM-only slot claim table).
+    std::mutex txnSlotMutex_;
+    /// Bit per claimed TxnCommitRecord slot.
+    u32 txnSlotBusy_ = 0;
+
+    /// Cross-file transaction counters, cached unconditionally
+    /// (recovery bumps recovered/discarded on every mount).
+    struct TxnCounters
+    {
+        stats::Counter *prepares = nullptr;  ///< prepare entries written
+        stats::Counter *commits = nullptr;   ///< committed transactions
+        stats::Counter *aborts = nullptr;    ///< aborted / rolled back
+        stats::Counter *recovered = nullptr; ///< completed at recovery
+        stats::Counter *discarded = nullptr; ///< discarded at recovery
+    };
+    TxnCounters txnCounters_;
 
     /// Armed by setResourceFaultPlan(); raw pointers distributed to
     /// pool_/nodeTable_/metaLog_ (they never outlive us).

@@ -46,6 +46,22 @@ openDbFile(FileSystem *fs, const std::string &path, u64 capacity)
     return fs->open(path, OpenOptions::Create(capacity, false));
 }
 
+/**
+ * JournalMode::Txn commit stamp, living at offset 0 of the -wal
+ * companion. Purely diagnostic (the txn layer is the atomicity
+ * carrier); it exists to make every commit genuinely cross-file,
+ * which is the mode's point.
+ */
+struct TxnStamp
+{
+    static constexpr u64 kMagic = 0x4D444254584E3031ull;  // "MDBTXN01"
+    u64 magic;
+    u64 seq;    ///< commit sequence number
+    u64 pages;  ///< dirty pages landed by this commit
+    u64 checksum;
+};
+static_assert(sizeof(TxnStamp) == 32);
+
 }  // namespace
 
 Database::Database(FileSystem *fs, DbOptions options)
@@ -96,6 +112,15 @@ Database::bootstrap(const std::string &path)
         walFile_ = std::move(*wal_file);
         wal_ = std::make_unique<Wal>(walFile_.get(),
                                      options_.walAutoCheckpointFrames);
+    } else if (options_.journal == JournalMode::Txn) {
+        // The -wal companion shrinks to a 32-byte commit stamp; the
+        // txn layer below carries the atomicity, so there is nothing
+        // to recover from it on reopen.
+        StatusOr<std::unique_ptr<File>> wal_file =
+            openDbFile(fs_, path + "-wal", options_.fileCapacity);
+        if (!wal_file.isOk())
+            return wal_file.status();
+        walFile_ = std::move(*wal_file);
     }
 
     if (!existed || dbFile_->size() == 0) {
@@ -261,12 +286,82 @@ Database::commitLocked()
         return Status::ok();
     }
 
-    // Journal OFF: write dirty pages home and fsync. Consecutive
-    // pages are grouped into one pwritev each, so an engine with
-    // vectored atomic commit (MGSP) persists every run all-or-nothing
-    // instead of page by page.
     std::vector<PageNo> ordered(dirty.begin(), dirty.end());
     std::sort(ordered.begin(), ordered.end());
+
+    if (options_.journal == JournalMode::Txn) {
+        Status ts = commitViaTxn(ordered);
+        if (ts.code() != StatusCode::Unsupported) {
+            MGSP_RETURN_IF_ERROR(ts);
+            pager_->commitClear();
+            inTxn_ = false;
+            ++stats_.commits;
+            return Status::ok();
+        }
+        // Engine without beginTxn: degrade to the OFF write path
+        // (per-run atomicity only) rather than failing the commit.
+        ++stats_.txnFallbacks;
+    }
+
+    MGSP_RETURN_IF_ERROR(commitDirect(ordered));
+    pager_->commitClear();
+    inTxn_ = false;
+    ++stats_.commits;
+    return Status::ok();
+}
+
+Status
+Database::commitViaTxn(const std::vector<PageNo> &ordered)
+{
+    TxnStamp stamp;
+    stamp.magic = TxnStamp::kMagic;
+    stamp.seq = stats_.commits + 1;
+    stamp.pages = ordered.size();
+    stamp.checksum = hashBytes(&stamp, offsetof(TxnStamp, checksum));
+
+    // EAGAIN (ResourceBusy below the vfs) means the engine's
+    // bounded internal retry exhausted a transient resource — the
+    // whole txn rolled back clean, so re-staging it is safe.
+    Status s = Status::ok();
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        if (attempt != 0)
+            ++stats_.txnCommitRetries;
+        StatusOr<std::unique_ptr<FileTxn>> txn = fs_->beginTxn();
+        if (!txn.isOk()) {
+            // No cross-file support (or a mode that excludes it,
+            // e.g. epoch group sync): tell the caller to fall back.
+            return Status::unsupported(txn.status().message());
+        }
+        for (PageNo page_no : ordered) {
+            StatusOr<Page *> page = pager_->getPage(page_no);
+            if (!page.isOk())
+                return page.status();
+            MGSP_RETURN_IF_ERROR((*txn)->pwrite(
+                dbFile_.get(), u64(page_no) * kPageSize,
+                ConstSlice((*page)->data.data(), kPageSize)));
+        }
+        MGSP_RETURN_IF_ERROR((*txn)->pwrite(
+            walFile_.get(), 0,
+            ConstSlice(reinterpret_cast<const u8 *>(&stamp),
+                       sizeof(stamp))));
+        s = (*txn)->commit();
+        if (statusToErrno(s) != EAGAIN)
+            break;
+    }
+    if (s.isOk()) {
+        stats_.pagesWrittenDirect += ordered.size();
+        ++stats_.txnCommits;
+    }
+    return s;
+}
+
+Status
+Database::commitDirect(const std::vector<PageNo> &ordered)
+{
+    // Write dirty pages home and fsync. Consecutive pages are
+    // grouped into one pwritev each, so an engine with vectored
+    // atomic commit (MGSP) persists every run all-or-nothing
+    // instead of page by page.
     for (std::size_t i = 0; i < ordered.size();) {
         std::size_t j = i;
         std::vector<ConstSlice> spans;
@@ -283,11 +378,7 @@ Database::commitLocked()
         stats_.pagesWrittenDirect += spans.size();
         i = j;
     }
-    MGSP_RETURN_IF_ERROR(dbFile_->sync());
-    pager_->commitClear();
-    inTxn_ = false;
-    ++stats_.commits;
-    return Status::ok();
+    return dbFile_->sync();
 }
 
 Status
@@ -325,7 +416,7 @@ Database::withWriteTxn(const std::function<Status()> &body)
     MGSP_RETURN_IF_ERROR(begin());
     Status s = body();
     if (!s.isOk()) {
-        if (options_.journal == JournalMode::Wal) {
+        if (options_.journal != JournalMode::Off) {
             Status rb = rollback();
             if (!rb.isOk())
                 MGSP_WARN("auto-rollback failed: %s",

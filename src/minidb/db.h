@@ -17,6 +17,15 @@
  *    contract); the paper's point is that an MGSP-backed file system
  *    makes this mode safe because every page write is already
  *    failure-atomic below the database.
+ *  - JournalMode::Txn — cross-file transaction (DESIGN.md §17):
+ *    commit stages the dirty pages at their home offsets in the
+ *    database file plus a commit stamp in the -wal companion, and
+ *    FileSystem::beginTxn() lands both files all-or-nothing. No
+ *    frames, no checkpoint, no double write — the WAL-then-main
+ *    two-step collapses into one failure-atomic commit. Rollback
+ *    works (pages never reach the file before commit). On engines
+ *    without beginTxn (ENOTSUP) the commit falls back to the OFF
+ *    write path.
  */
 #ifndef MGSP_MINIDB_DB_H
 #define MGSP_MINIDB_DB_H
@@ -33,8 +42,9 @@
 
 namespace mgsp::minidb {
 
-/** SQLite-style journal modes minidb reproduces. */
-enum class JournalMode { Wal, Off };
+/** SQLite-style journal modes minidb reproduces (Txn is the
+ * cross-file extension; see file comment). */
+enum class JournalMode { Wal, Off, Txn };
 
 /** Database configuration. */
 struct DbOptions
@@ -55,6 +65,9 @@ struct DbStats
     u64 walCheckpoints = 0;
     u64 walFramesWritten = 0;
     u64 pagesWrittenDirect = 0;
+    u64 txnCommits = 0;        ///< commits through the cross-file txn
+    u64 txnCommitRetries = 0;  ///< EAGAIN retries of a txn commit
+    u64 txnFallbacks = 0;      ///< commits that fell back to direct writes
 };
 
 /** See file comment. */
@@ -106,6 +119,13 @@ class Database
     StatusOr<BTree *> tableTree(const std::string &name);
     Status syncTableRoots();
     Status commitLocked();
+    /** JournalMode::Txn commit body: one cross-file txn staging the
+     * dirty pages home plus the commit stamp in the -wal companion,
+     * with a bounded EAGAIN retry. Unsupported when the engine has
+     * no beginTxn — the caller falls back to direct writes. */
+    Status commitViaTxn(const std::vector<PageNo> &ordered);
+    /** Dirty pages straight home (OFF mode, and the Txn fallback). */
+    Status commitDirect(const std::vector<PageNo> &ordered);
 
     /** Runs @p body inside the open txn or an auto-commit wrapper. */
     Status withWriteTxn(const std::function<Status()> &body);

@@ -201,11 +201,69 @@ class File
     /** Makes all completed writes durable. */
     virtual Status sync() = 0;
 
+    /**
+     * Ranged durability point: makes completed writes overlapping
+     * [offset, offset+len) durable and failure-atomic as of the call.
+     * A range past the end of the mapping (here: the file) is
+     * InvalidArgument, like msync on unmapped pages. The default
+     * delegates to sync() — strictly stronger — so every engine
+     * supports the call; MGSP overrides it with a cheaper ranged
+     * barrier over the capacity region (a single-file degenerate
+     * transaction; see mgsp_msync() below and DESIGN.md §17). A zero
+     * @p len is a no-op.
+     */
+    virtual Status
+    rangeSync(u64 offset, u64 len)
+    {
+        if (offset + len < offset || offset + len > size())
+            return Status::invalidArgument(
+                "range sync beyond end of file");
+        if (len == 0)
+            return Status::ok();
+        return sync();
+    }
+
     /** Current file length in bytes. */
     virtual u64 size() const = 0;
 
     /** Sets the file length (zero-fills on extension). */
     virtual Status truncate(u64 new_size) = 0;
+};
+
+/**
+ * A cross-file failure-atomic transaction, obtained from
+ * FileSystem::beginTxn(). Writes staged through the handle become
+ * visible and durable all-or-nothing across every participating file
+ * when commit() returns Ok: a crash at any point leaves either all of
+ * the transaction's writes applied or none of them (DESIGN.md §17).
+ *
+ * Usage: stage writes with pwrite() (each participant file must
+ * belong to the file system that issued the handle), then call
+ * commit() exactly once. abort() (or destruction before commit)
+ * discards the staged writes without touching the files. A handle is
+ * spent after commit() or abort(); further calls return
+ * InvalidArgument. Handles are not thread-safe — one committer per
+ * handle; concurrent transactions use separate handles.
+ *
+ * commit() can fail with ResourceBusy (EAGAIN at the vfs boundary)
+ * when a transient internal resource — a metadata-log entry or the
+ * txn-commit slot table — stays exhausted past the engine's bounded
+ * retry. The staged writes are rolled back and the files are
+ * untouched; the caller may retry the whole transaction.
+ */
+class FileTxn
+{
+  public:
+    virtual ~FileTxn() = default;
+
+    /** Stages @p src at @p offset of @p file as part of this txn. */
+    virtual Status pwrite(File *file, u64 offset, ConstSlice src) = 0;
+
+    /** Two-phase commit of every staged write; spends the handle. */
+    virtual Status commit() = 0;
+
+    /** Discards every staged write; spends the handle. */
+    virtual Status abort() = 0;
 };
 
 /** A mountable file system / storage engine. */
@@ -253,7 +311,35 @@ class FileSystem
     {
         return Status::ok();
     }
+
+    /**
+     * Begins a cross-file failure-atomic transaction (see FileTxn).
+     * Engines without multi-file atomicity return Unsupported (the
+     * default), which statusToErrno() maps to ENOTSUP so callers can
+     * fall back to their own journaling.
+     */
+    virtual StatusOr<std::unique_ptr<FileTxn>>
+    beginTxn()
+    {
+        return Status::unsupported(
+            "engine has no cross-file transactions");
+    }
 };
+
+/**
+ * msync(2)-shaped entry point: makes completed writes overlapping
+ * [offset, offset+len) of @p file durable and failure-atomic as of
+ * the call. Thin sugar over File::rangeSync() so mmap-shaped callers
+ * get the familiar (addr, len) signature; on MGSP this is a ranged
+ * barrier (a degenerate single-file transaction), elsewhere a full
+ * sync(). Returns 0 or -errno, POSIX style.
+ */
+inline int
+mgsp_msync(File *file, u64 offset, u64 len)
+{
+    const Status s = file->rangeSync(offset, len);
+    return s.isOk() ? 0 : -statusToErrno(s);
+}
 
 }  // namespace mgsp
 

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Crash-during-recovery hardening for the existing single-file paths
+ * (DESIGN.md §17.6): recovery itself must be failure-atomic. For an
+ * epoch-replay image and for a salvage superblock repair, we re-crash
+ * the recovering mount at every one of its own persist boundaries and
+ * require each nested image to recover to the same contents the
+ * uninterrupted recovery produced. The cross-file transaction variant
+ * of this harness lives in mgsp_txn_crash_test.cc.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::readAll;
+using testutil::smallConfig;
+
+constexpr char kPathA[] = "nestedA.dat";
+constexpr char kPathB[] = "nestedB.dat";
+
+/** Mounts @p image on a flat device and reads @p paths concatenated. */
+std::vector<u8>
+recoverAndReadAll(const CrashImage &image, const MgspConfig &cfg,
+                  const std::vector<std::string> &paths)
+{
+    auto device =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Flat);
+    auto fs = MgspFs::mount(device, cfg);
+    EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+    if (!fs.isOk())
+        return {};
+    std::vector<u8> out;
+    for (const std::string &path : paths) {
+        auto file = (*fs)->open(path, OpenOptions{});
+        EXPECT_TRUE(file.isOk()) << path << ": "
+                                 << file.status().toString();
+        if (!file.isOk())
+            return {};
+        const std::vector<u8> bytes = readAll(file->get());
+        out.insert(out.end(), bytes.begin(), bytes.end());
+    }
+    return out;
+}
+
+/**
+ * The nested harness: mounts @p image on a tracked device, captures a
+ * power-cut image (only fenced lines survive) at EVERY persist
+ * boundary the recovery run itself emits, then requires each nested
+ * image to recover to @p expect. Returns the number of recovery
+ * boundaries enumerated, or -1 on failure.
+ */
+int
+recoveryRecrashedEverywhereYields(const CrashImage &image,
+                                  const MgspConfig &cfg,
+                                  const std::vector<std::string> &paths,
+                                  const std::vector<u8> &expect)
+{
+    auto dev =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Tracked);
+    std::vector<CrashImage> nested;
+    dev->setPersistHook([&nested, raw = dev.get()](u64 seq,
+                                                   PersistPoint) {
+        Rng rng(seq * 2654435761u + 17);
+        nested.push_back(raw->captureCrashImage(rng, 0.0));
+    });
+    auto fs = MgspFs::mount(dev, cfg);
+    dev->setPersistHook({});  // stop before unmount write-back
+    EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+    if (!fs.isOk())
+        return -1;
+    fs->reset();
+    for (u64 i = 0; i < nested.size(); ++i) {
+        const std::vector<u8> got =
+            recoverAndReadAll(nested[i], cfg, paths);
+        if (got != expect) {
+            ADD_FAILURE()
+                << "re-crash at recovery boundary " << i << " of "
+                << nested.size()
+                << ": contents diverge from the uninterrupted recovery";
+            return -1;
+        }
+    }
+    return static_cast<int>(nested.size());
+}
+
+// ---- epoch replay (DESIGN.md §15) -----------------------------------
+
+MgspConfig
+epochConfig()
+{
+    MgspConfig cfg = smallConfig();
+    cfg.arenaSize = 12 * MiB;
+    cfg.defaultFileCapacity = 256 * KiB;
+    cfg.enableEpochSync = true;
+    return cfg;
+}
+
+/**
+ * Crash images taken inside an epoch group commit recover to either
+ * the previous or the new epoch — and every such recovery survives
+ * being re-crashed at each of its own persist boundaries.
+ */
+TEST(NestedRecovery, EpochReplayIsReCrashableEverywhere)
+{
+    const MgspConfig cfg = epochConfig();
+    auto device = std::make_shared<PmemDevice>(
+        cfg.arenaSize, PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+
+    auto file_a = (*fs)->open(kPathA, OpenOptions::Create(256 * KiB));
+    auto file_b = (*fs)->open(kPathB, OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file_a.isOk() && file_b.isOk());
+
+    // Epoch 1: a known prefill in both files, committed.
+    std::vector<u8> pre_a(24 * KiB), pre_b(24 * KiB);
+    for (u64 i = 0; i < pre_a.size(); ++i) {
+        pre_a[i] = static_cast<u8>(i * 19 + 3);
+        pre_b[i] = static_cast<u8>(i * 41 + 11);
+    }
+    ASSERT_TRUE((*file_a)
+                    ->pwrite(0, ConstSlice(pre_a.data(), pre_a.size()))
+                    .isOk());
+    ASSERT_TRUE((*file_b)
+                    ->pwrite(0, ConstSlice(pre_b.data(), pre_b.size()))
+                    .isOk());
+    ASSERT_TRUE((*file_a)->sync().isOk());  // epoch barrier: both files
+
+    // Epoch 2: overwrite the middle of each file, then enumerate the
+    // commit itself.
+    std::vector<u8> new_a = pre_a, new_b = pre_b;
+    for (u64 i = 8 * KiB; i < 16 * KiB; ++i) {
+        new_a[i] = static_cast<u8>(i * 7 + 1);
+        new_b[i] = static_cast<u8>(i * 13 + 5);
+    }
+    ASSERT_TRUE((*file_a)
+                    ->pwrite(8 * KiB,
+                             ConstSlice(new_a.data() + 8 * KiB, 8 * KiB))
+                    .isOk());
+    ASSERT_TRUE((*file_b)
+                    ->pwrite(8 * KiB,
+                             ConstSlice(new_b.data() + 8 * KiB, 8 * KiB))
+                    .isOk());
+
+    std::vector<CrashImage> images;
+    PmemDevice *raw = device.get();
+    device->setPersistHook([&images, raw](u64 seq, PersistPoint) {
+        Rng rng(seq);
+        images.push_back(raw->captureCrashImage(rng, 1.0));
+    });
+    ASSERT_TRUE((*file_a)->sync().isOk());  // the enumerated commit
+    device->setPersistHook({});
+    ASSERT_GT(images.size(), 0u);
+
+    std::vector<u8> old_state(pre_a);
+    old_state.insert(old_state.end(), pre_b.begin(), pre_b.end());
+    std::vector<u8> new_state(new_a);
+    new_state.insert(new_state.end(), new_b.begin(), new_b.end());
+
+    // Every third mid-commit image: learn what the uninterrupted
+    // recovery yields (must be one epoch or the other, never a blend),
+    // then demand the same answer from every nested re-crash.
+    int nested_boundaries = 0;
+    for (u64 i = 0; i < images.size(); i += 3) {
+        SCOPED_TRACE("epoch-commit boundary " + std::to_string(i));
+        const std::vector<u8> got =
+            recoverAndReadAll(images[i], cfg, {kPathA, kPathB});
+        ASSERT_TRUE(got == old_state || got == new_state)
+            << "epoch replay blended two epochs at boundary " << i;
+        const int n = recoveryRecrashedEverywhereYields(
+            images[i], cfg, {kPathA, kPathB}, got);
+        ASSERT_GE(n, 0);
+        nested_boundaries += n;
+    }
+    EXPECT_GT(nested_boundaries, 0)
+        << "recovery emitted no persist boundaries to re-crash at";
+
+    file_a->reset();
+    file_b->reset();
+    fs->reset();
+}
+
+// ---- salvage superblock repair (DESIGN.md §12) ----------------------
+
+/**
+ * A salvage mount that is repairing a rotten primary superblock can
+ * itself crash at any persist boundary; the half-repaired arena must
+ * still salvage to the same file contents.
+ */
+TEST(NestedRecovery, SalvageSuperblockRepairIsReCrashableEverywhere)
+{
+    const MgspConfig cfg = smallConfig();
+    MgspConfig salvage = cfg;
+    salvage.recoveryMode = RecoveryMode::Salvage;
+
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    std::vector<u8> content(100 * 1024);
+    for (u64 i = 0; i < content.size(); ++i)
+        content[i] = static_cast<u8>(i * 131 + 7);
+    ASSERT_TRUE(
+        (*file)
+            ->pwrite(0, ConstSlice(content.data(), content.size()))
+            .isOk());
+    file->reset();
+    fx.fs.reset();
+
+    // Clobber the primary superblock's magic, then hand the arena to
+    // the nested harness as a crash image.
+    const u64 bogus = ~Superblock::kMagic;
+    fx.device->write(0, &bogus, sizeof(bogus));
+    std::vector<u8> bytes(cfg.arenaSize);
+    fx.device->read(0, bytes.data(), bytes.size());
+    CrashImage image;
+    image.media = std::move(bytes);
+
+    const std::vector<u8> expect =
+        recoverAndReadAll(image, salvage, {"f"});
+    ASSERT_EQ(expect, content);
+    const int n = recoveryRecrashedEverywhereYields(image, salvage,
+                                                    {"f"}, expect);
+    ASSERT_GT(n, 0) << "salvage repair emitted no persist boundaries";
+
+    // The repair is idempotent all the way through: the final nested
+    // image (everything the salvage mount fenced) now mounts strict.
+    auto dev =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Tracked);
+    auto fs = MgspFs::mount(dev, salvage);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    (*fs).reset();
+    Rng rng(1234);
+    const CrashImage repaired = dev->captureCrashImage(rng, 0.0);
+    auto flat = std::make_shared<PmemDevice>(repaired,
+                                             PmemDevice::Mode::Flat);
+    auto strict = MgspFs::mount(flat, cfg);
+    ASSERT_TRUE(strict.isOk())
+        << "repaired arena no longer mounts strict: "
+        << strict.status().toString();
+    auto reopened = (*strict)->open("f", OpenOptions{});
+    ASSERT_TRUE(reopened.isOk());
+    EXPECT_EQ(readAll(reopened->get()), content);
+}
+
+}  // namespace
+}  // namespace mgsp

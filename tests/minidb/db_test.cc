@@ -163,7 +163,10 @@ TEST_P(DbModes, ScanIsOrdered)
 INSTANTIATE_TEST_SUITE_P(
     Journal, DbModes,
     ::testing::Values(ModeParam{"wal", JournalMode::Wal},
-                      ModeParam{"off", JournalMode::Off}),
+                      ModeParam{"off", JournalMode::Off},
+                      // MemFs has no beginTxn, so this exercises the
+                      // documented ENOTSUP fallback of Txn mode.
+                      ModeParam{"txn", JournalMode::Txn}),
     [](const auto &param_info) { return param_info.param.name; });
 
 TEST(DbWal, RollbackDiscardsChanges)
@@ -240,6 +243,49 @@ TEST(DbWal, UncommittedWalFramesIgnoredOnReopen)
     auto db = Database::open(&fs, "test.db", opts);
     ASSERT_TRUE(db.isOk()) << db.status().toString();
     EXPECT_EQ(*(*db)->get("t", 1), val("good"));
+}
+
+TEST(DbTxn, CrossFileCommitOnMgspBackend)
+{
+    // Over an engine with beginTxn, Txn mode commits WAL + main file
+    // as one cross-file transaction (DESIGN.md §17).
+    MgspConfig cfg = testutil::smallConfig();
+    cfg.arenaSize = 64 * MiB;
+    cfg.defaultFileCapacity = 8 * MiB;
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
+    auto fs = MgspFs::format(device, cfg);
+    ASSERT_TRUE(fs.isOk());
+    DbOptions opts;
+    opts.journal = JournalMode::Txn;
+    opts.fileCapacity = 8 * MiB;
+    {
+        auto db = Database::open(fs->get(), "app.db", opts);
+        ASSERT_TRUE(db.isOk()) << db.status().toString();
+        ASSERT_TRUE((*db)->createTable("t").isOk());
+        ASSERT_TRUE((*db)->begin().isOk());
+        for (i64 k = 0; k < 300; ++k)
+            ASSERT_TRUE(
+                (*db)->insert("t", k, ConstSlice("txn-row")).isOk());
+        ASSERT_TRUE((*db)->commit().isOk());
+        EXPECT_GT((*db)->stats().txnCommits, 0u);
+    }
+    auto db = Database::open(fs->get(), "app.db", opts);
+    ASSERT_TRUE(db.isOk()) << db.status().toString();
+    EXPECT_EQ(*(*db)->rowCount("t"), 300u);
+    EXPECT_EQ(*(*db)->get("t", 299), val("txn-row"));
+}
+
+TEST(DbTxn, FallsBackWhenEngineLacksBeginTxn)
+{
+    MemFs fs;
+    DbOptions opts;
+    opts.journal = JournalMode::Txn;
+    auto db = Database::open(&fs, "test.db", opts);
+    ASSERT_TRUE(db.isOk());
+    ASSERT_TRUE((*db)->createTable("t").isOk());
+    ASSERT_TRUE((*db)->insert("t", 1, ConstSlice("v")).isOk());
+    EXPECT_EQ(*(*db)->get("t", 1), val("v"));
+    EXPECT_EQ((*db)->stats().txnCommits, 0u);  // direct-write fallback
 }
 
 TEST(DbMgsp, RunsOnMgspBackend)
