@@ -150,13 +150,15 @@ usageError(const char *argv0, const std::string &offender)
         "usage: %s [--stats-json=FILE] [--trace-json=FILE]\n"
         "          [--bench-json=FILE] [--sample-ms=N] [--background]\n"
         "          [--quick] [--sync-interval=N] [--cache-mb=N]\n"
-        "          [--prepared-txns=N]\n"
+        "          [--prepared-txns=N] [--fenced-inodes=N]\n"
         "          [--corrupt-pct=P0,P1,...] [--pool-pct=P0,P1,...]\n"
         "Value-taking flags require the value (= or next argument);\n"
         "--sync-interval must be >= 1 (no-sync is part of the sweep);\n"
         "--cache-mb must be >= 1 (the plain mgsp series is the\n"
         "no-cache measurement); --prepared-txns must be >= 1 (the\n"
-        "plain series is the zero-txn measurement).\n",
+        "plain series is the zero-txn measurement); --fenced-inodes\n"
+        "must be >= 1 (the plain series is the zero-fence\n"
+        "measurement).\n",
         argv0, offender.c_str(), argv0);
     std::exit(2);
 }
@@ -227,10 +229,23 @@ parseBenchArgs(int argc, char **argv)
             args.preparedTxns = std::strtoull(argv[++i], nullptr, 10);
             if (args.preparedTxns == 0)
                 usageError(argv[0], arg + " " + argv[i]);
+        } else if (arg.rfind("--fenced-inodes=", 0) == 0) {
+            // 0 (and any non-numeric value, which strtoull parses as
+            // 0) would run the "fenced inodes" recovery series with
+            // nothing fenced — the plain series under a misleading
+            // name. Reject it.
+            args.fencedInodes = std::strtoull(
+                arg.c_str() + strlen("--fenced-inodes="), nullptr, 10);
+            if (args.fencedInodes == 0)
+                usageError(argv[0], arg);
+        } else if (arg == "--fenced-inodes" && i + 1 < argc) {
+            args.fencedInodes = std::strtoull(argv[++i], nullptr, 10);
+            if (args.fencedInodes == 0)
+                usageError(argv[0], arg + " " + argv[i]);
         } else if (arg == "--stats-json" || arg == "--trace-json" ||
                    arg == "--bench-json" || arg == "--sample-ms" ||
                    arg == "--sync-interval" || arg == "--cache-mb" ||
-                   arg == "--prepared-txns") {
+                   arg == "--prepared-txns" || arg == "--fenced-inodes") {
             // A trailing value-taking flag used to be swallowed by the
             // unknown-argument branch with a misleading message; make
             // the missing value explicit.

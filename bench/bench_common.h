@@ -128,6 +128,15 @@ struct BenchArgs
     /// rejected at parse time (usage/exit 2). 0 here means "not
     /// given": skip the series.
     u64 preparedTxns = 0;
+    /// --fenced-inodes=N: benches that honour it (recovery_time)
+    /// additionally run a recovery series with N fenced inodes in the
+    /// crash image (DESIGN.md §18), so the cost of the mount-time
+    /// re-verification (CRC scan + unfence or quarantine) is
+    /// measured. 0 (and any malformed value) would be the plain
+    /// series masquerading as the fenced series, so it is rejected at
+    /// parse time (usage/exit 2). 0 here means "not given": skip the
+    /// series.
+    u64 fencedInodes = 0;
 };
 
 /**

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Standalone health-fencing torture driver (DESIGN.md §18,
+ * EXPERIMENTS.md "torture" recipe) — the CI smoke job's entry point.
+ *
+ * Same harness as tests/mgsp/mgsp_torture_test.cc, wall-clock-bound
+ * instead of round-bound: writer threads idempotently rewrite
+ * per-file patterns in the first half of each file, reader threads
+ * verify every successful read against the pattern, a repair thread
+ * drains the repair queue, and the main thread keeps planting
+ * transient media poison in the (never shadow-logged) second half and
+ * tripping it, fencing one file at a time. Oracles as in the test:
+ * no corrupt byte is ever observed, EROFS only from non-live files,
+ * the engine never escalates to ReadOnly, and after the final drain
+ * every file is Live and byte-identical to its pattern.
+ *
+ * Exit codes: 0 = all oracles held; 1 = an oracle failed (the
+ * reproduction seed is printed and the stats/trace JSON flags still
+ * fire, so CI can upload them); 2 = usage error.
+ *
+ *   torture [--seconds=N] [--files=M] [--seed=S]
+ *           [standard bench flags: --stats-json/--trace-json/...]
+ */
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "mgsp/mgsp_fs.h"
+#include "pmem/fault_injection.h"
+
+using namespace mgsp;
+
+namespace {
+
+constexpr u64 kFileBytes = 256 * KiB;
+constexpr u64 kCapacity = 512 * KiB;
+constexpr u64 kIoBytes = 512;
+
+u8
+pat(u32 file_idx, u64 off)
+{
+    return static_cast<u8>(off * 131 + file_idx * 29 + 7);
+}
+
+struct TortureOpts
+{
+    u64 seconds = 30;
+    u32 files = 4;
+    u64 seed = 1;
+};
+
+[[noreturn]] void
+usageError(const char *argv0, const std::string &offender)
+{
+    std::fprintf(stderr,
+                 "%s: bad argument: %s\n"
+                 "usage: %s [--seconds=N] [--files=M] [--seed=S]\n"
+                 "          [standard bench flags]\n"
+                 "--seconds, --files and --seed must be >= 1.\n",
+                 argv0, offender.c_str(), argv0);
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Torture-specific flags first; everything unrecognized is
+    // forwarded to parseBenchArgs, which enforces the same
+    // usage/exit-2 contract for the shared flags.
+    TortureOpts opts;
+    std::vector<char *> fwd = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--seconds=", 0) == 0) {
+            opts.seconds = std::strtoull(
+                arg.c_str() + strlen("--seconds="), nullptr, 10);
+            if (opts.seconds == 0)
+                usageError(argv[0], arg);
+        } else if (arg.rfind("--files=", 0) == 0) {
+            opts.files = static_cast<u32>(std::strtoull(
+                arg.c_str() + strlen("--files="), nullptr, 10));
+            if (opts.files == 0)
+                usageError(argv[0], arg);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.seed = std::strtoull(arg.c_str() + strlen("--seed="),
+                                      nullptr, 10);
+            if (opts.seed == 0)
+                usageError(argv[0], arg);
+        } else if (arg == "--seconds" || arg == "--files" ||
+                   arg == "--seed") {
+            usageError(argv[0], arg + " (missing value)");
+        } else {
+            fwd.push_back(argv[i]);
+        }
+    }
+    const bench::BenchArgs args =
+        bench::parseBenchArgs(static_cast<int>(fwd.size()), fwd.data());
+
+    bench::printHeader("torture",
+                       "randomized fence/repair torture (DESIGN.md "
+                       "§18) — seed " +
+                           std::to_string(opts.seed));
+    std::printf("reproduce with: %s --seconds=%llu --files=%u "
+                "--seed=%llu\n",
+                argv[0], static_cast<unsigned long long>(opts.seconds),
+                opts.files, static_cast<unsigned long long>(opts.seed));
+    std::fflush(stdout);
+
+    MgspConfig cfg;
+    cfg.arenaSize = 64 * MiB + opts.files * 2 * kCapacity;
+    cfg.maxInodes = opts.files + 4;
+    cfg.enableHealthFencing = true;
+    cfg.recoveryMode = RecoveryMode::Salvage;
+    cfg.inodeFaultBudget = 1;
+    cfg.mediaErrorRetries = 0;
+    cfg.repairMaxAttempts = 8;
+    cfg.cacheBytes = 0;  // the trip read must reach media (see test)
+    auto device = std::make_shared<PmemDevice>(cfg.arenaSize);
+    auto made = MgspFs::format(device, cfg);
+    if (!made.isOk()) {
+        std::fprintf(stderr, "format failed: %s\n",
+                     made.status().toString().c_str());
+        return 1;
+    }
+    std::unique_ptr<MgspFs> fs = std::move(*made);
+
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    std::vector<std::unique_ptr<File>> files;
+    std::vector<u64> extent_off(opts.files);
+    for (u32 f = 0; f < opts.files; ++f) {
+        auto file = fs->open("t" + std::to_string(f),
+                             OpenOptions::Create(kCapacity));
+        if (!file.isOk()) {
+            std::fprintf(stderr, "create failed: %s\n",
+                         file.status().toString().c_str());
+            return 1;
+        }
+        std::vector<u8> content(kFileBytes);
+        for (u64 i = 0; i < kFileBytes; ++i)
+            content[i] = pat(f, i);
+        if (!(*file)
+                 ->pwrite(0, ConstSlice(content.data(), content.size()))
+                 .isOk()) {
+            std::fprintf(stderr, "prefill failed\n");
+            return 1;
+        }
+        extent_off[f] = layout.fileAreaOff + f * kCapacity;
+        files.push_back(std::move(*file));
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+    std::mutex err_mu;
+    std::string first_error;
+    auto fail = [&](const std::string &msg) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (first_error.empty())
+            first_error = msg;
+    };
+    std::atomic<u64> fences_planted{0};
+    std::atomic<u64> writes_done{0};
+    std::atomic<u64> writes_refused{0};
+    std::atomic<u64> reads_verified{0};
+    // Arm/IO gate, with the reader-preference starvation workaround —
+    // see the comment in tests/mgsp/mgsp_torture_test.cc.
+    std::shared_mutex gate;
+    std::atomic<bool> arm_wanted{false};
+    auto io_gate = [&]() -> std::shared_lock<std::shared_mutex> {
+        while (arm_wanted.load(std::memory_order_acquire) &&
+               !stop.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        return std::shared_lock<std::shared_mutex>(gate);
+    };
+
+    std::vector<std::thread> threads;
+    for (u32 f = 0; f < opts.files; ++f) {
+        threads.emplace_back([&, f] {
+            Rng rng(opts.seed * 31 + f);
+            std::vector<u8> buf(kIoBytes);
+            while (!stop.load(std::memory_order_acquire)) {
+                const u64 off = rng.nextBelow(kFileBytes / 2 - kIoBytes);
+                for (u64 i = 0; i < kIoBytes; ++i)
+                    buf[i] = pat(f, off + i);
+                auto io = io_gate();
+                const FileHealthState pre = files[f]->health();
+                const Status s = files[f]->pwrite(
+                    off, ConstSlice(buf.data(), buf.size()));
+                if (s.isOk()) {
+                    writes_done.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                if (s.code() != StatusCode::ReadOnlyFs) {
+                    fail("writer " + std::to_string(f) + ": " +
+                         s.toString());
+                    return;
+                }
+                writes_refused.fetch_add(1, std::memory_order_relaxed);
+                if (fs->health() == HealthState::ReadOnly) {
+                    fail("engine escalated to ReadOnly under transient "
+                         "faults");
+                    return;
+                }
+                if (pre == FileHealthState::Live) {
+                    fail("EROFS from a live file");
+                    return;
+                }
+            }
+        });
+    }
+    for (u32 r = 0; r < opts.files; ++r) {
+        threads.emplace_back([&, r] {
+            Rng rng(opts.seed * 127 + 1000 + r);
+            std::vector<u8> buf(kIoBytes);
+            while (!stop.load(std::memory_order_acquire)) {
+                const u32 f = static_cast<u32>(rng.nextBelow(opts.files));
+                const u64 off = rng.nextBelow(kFileBytes - kIoBytes);
+                auto io = io_gate();
+                auto n = files[f]->pread(off,
+                                         MutSlice(buf.data(), buf.size()));
+                if (!n.isOk()) {
+                    fail("reader: file " + std::to_string(f) + " off " +
+                         std::to_string(off) + ": " +
+                         n.status().toString());
+                    return;
+                }
+                for (u64 i = 0; i < *n; ++i) {
+                    if (buf[i] != pat(f, off + i)) {
+                        fail("corrupt byte: file " + std::to_string(f) +
+                             " off " + std::to_string(off + i));
+                        return;
+                    }
+                }
+                reads_verified.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    threads.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            {
+                auto io = io_gate();
+                const Status s = fs->repairNow();
+                if (!s.isOk()) {
+                    fail("repairNow: " + s.toString());
+                    return;
+                }
+            }
+            std::this_thread::yield();
+        }
+    });
+
+    // Fault scheduler (main thread) until the deadline.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(opts.seconds);
+    Rng sched_rng(opts.seed * 7 + 5);
+    while (std::chrono::steady_clock::now() < deadline &&
+           failures.load(std::memory_order_relaxed) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        const u32 f = static_cast<u32>(sched_rng.nextBelow(opts.files));
+        const u64 off =
+            kFileBytes / 2 +
+            (sched_rng.nextBelow(kFileBytes / 2 - 256) & ~u64{255});
+        arm_wanted.store(true, std::memory_order_release);
+        std::unique_lock<std::shared_mutex> arm(gate);
+        arm_wanted.store(false, std::memory_order_release);
+        if (files[f]->health() != FileHealthState::Live)
+            continue;
+        FaultPlan plan;
+        FaultSpec poison;
+        poison.kind = FaultKind::Poison;
+        poison.off = extent_off[f] + off;
+        poison.len = 256;
+        poison.healAfterReads = 1;
+        plan.faults.push_back(poison);
+        device->setFaultPlan(plan);
+        u8 buf[256];
+        auto n = files[f]->pread(off, MutSlice(buf, sizeof(buf)));
+        if (n.isOk() || n.status().code() != StatusCode::MediaError) {
+            fail("scheduler: poisoned pread returned " +
+                 n.status().toString());
+            break;
+        }
+        if (device->anyPoisoned()) {
+            fail("scheduler: transient poison did not heal");
+            break;
+        }
+        fences_planted.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    stop.store(true, std::memory_order_release);
+    for (std::thread &t : threads)
+        t.join();
+
+    // Final drain + convergence oracle.
+    if (failures.load() == 0) {
+        bool all_live = false;
+        for (int spin = 0; spin < 1000 && !all_live; ++spin) {
+            all_live = true;
+            for (u32 f = 0; f < opts.files; ++f)
+                all_live &= files[f]->health() == FileHealthState::Live;
+            if (all_live)
+                break;
+            (void)fs->repairNow();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (!all_live)
+            fail("a file never healed after the final drain");
+        for (u32 f = 0; f < opts.files && failures.load() == 0; ++f) {
+            std::vector<u8> got(kFileBytes);
+            u64 total = 0;
+            while (total < kFileBytes) {
+                auto n = files[f]->pread(
+                    total, MutSlice(got.data() + total,
+                                    kFileBytes - total));
+                if (!n.isOk() || *n == 0) {
+                    fail("final read of file " + std::to_string(f) +
+                         " failed");
+                    break;
+                }
+                total += *n;
+            }
+            for (u64 i = 0; i < total; ++i) {
+                if (got[i] != pat(f, i)) {
+                    fail("converged file " + std::to_string(f) +
+                         " diverges from its reference at offset " +
+                         std::to_string(i));
+                    break;
+                }
+            }
+        }
+    }
+
+    std::printf("fences=%llu  writes=%llu  refused=%llu  reads=%llu\n",
+                static_cast<unsigned long long>(fences_planted.load()),
+                static_cast<unsigned long long>(writes_done.load()),
+                static_cast<unsigned long long>(writes_refused.load()),
+                static_cast<unsigned long long>(reads_verified.load()));
+    bench::recordSeries("torture.fences_planted",
+                        static_cast<double>(fences_planted.load()),
+                        "count");
+    bench::recordSeries("torture.reads_verified",
+                        static_cast<double>(reads_verified.load()),
+                        "count");
+    bench::dumpStatsJson(args, "torture", std::to_string(opts.seed));
+    bench::finishBench(args, "torture");
+
+    for (auto &file : files)
+        file.reset();
+
+    if (failures.load() != 0) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        std::fprintf(stderr,
+                     "TORTURE ORACLE FAILED (seed %llu): %s\n"
+                     "reproduce with: %s --seconds=%llu --files=%u "
+                     "--seed=%llu\n",
+                     static_cast<unsigned long long>(opts.seed),
+                     first_error.c_str(), argv[0],
+                     static_cast<unsigned long long>(opts.seconds),
+                     opts.files,
+                     static_cast<unsigned long long>(opts.seed));
+        return 1;
+    }
+    std::printf("all oracles held for %llu s\n",
+                static_cast<unsigned long long>(opts.seconds));
+    return 0;
+}

@@ -30,6 +30,7 @@ enum class StatusCode {
     Unsupported,
     Internal,
     ResourceBusy,
+    ReadOnlyFs,
 };
 
 /** @return a stable human-readable name for @p code. */
@@ -49,6 +50,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Unsupported: return "Unsupported";
       case StatusCode::Internal: return "Internal";
       case StatusCode::ResourceBusy: return "ResourceBusy";
+      case StatusCode::ReadOnlyFs: return "ReadOnlyFs";
     }
     return "Unknown";
 }
@@ -143,6 +145,21 @@ class Status
     internal(std::string msg)
     {
         return Status(StatusCode::Internal, std::move(msg));
+    }
+    /**
+     * The engine (or the targeted inode) is in a read-only health
+     * state: a fenced/condemned file, or a file system that escalated
+     * to ReadOnly/FailStop (see mgsp/health.h). Unlike MediaError —
+     * the per-access fault itself — ReadOnlyFs is the *containment*
+     * verdict: mutations are rejected until repair (or an
+     * administrative reformat) clears the state, while reads may
+     * still be served. POSIX EROFS semantics; see statusToErrno() in
+     * vfs/vfs.h.
+     */
+    static Status
+    readOnlyFs(std::string msg)
+    {
+        return Status(StatusCode::ReadOnlyFs, std::move(msg));
     }
 
     bool isOk() const { return code_ == StatusCode::Ok; }

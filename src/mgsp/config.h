@@ -287,6 +287,35 @@ struct MgspConfig
     /** Adaptive mode: minimum decayed ops before a switch is made. */
     u32 policyMinOps = 64;
 
+    // ---- health fencing & online repair (DESIGN.md §18) ---------
+    /**
+     * Engine-level fault containment: aggregate per-inode fault
+     * signals (media-retry exhaustion, scrub verdicts) in the
+     * HealthRegistry and fence an inode whose budget is exhausted —
+     * writes get ReadOnlyFs (EROFS), reads are CRC-verified or
+     * rejected — while the cleaner pool repairs it online
+     * (Fenced → Repairing → Live, or Condemned after
+     * repairMaxAttempts). Also arms the engine-wide escalation: a
+     * dual-superblock loss under Salvage mounts ReadOnly instead of
+     * failing, and the ReadOnly verdict is persisted for the next
+     * mount. Off by default: faults keep today's per-operation
+     * semantics (bounded retry, then MediaError to the caller).
+     */
+    bool enableHealthFencing = false;
+
+    /**
+     * Fault observations (exhausted media retries, scrub CRC
+     * mismatches) an inode absorbs before it is fenced. The budget
+     * resets when a repair completes.
+     */
+    u32 inodeFaultBudget = 3;
+
+    /**
+     * Online repair attempts per fenced inode before it is condemned
+     * (permanently read-only, persisted across mounts).
+     */
+    u32 repairMaxAttempts = 3;
+
     LatencyModel latency{};
 
     /** Finest shadow-log granularity in bytes. */
@@ -311,7 +340,9 @@ struct MgspConfig
                backoffInitialNanos <= backoffMaxNanos &&
                (!enableEpochSync ||
                 (enableShadowLog && metaLogEntries >= 5)) &&
-               policyReadRatio >= 0.0 && policyReadRatio <= 1.0;
+               policyReadRatio >= 0.0 && policyReadRatio <= 1.0 &&
+               (!enableHealthFencing ||
+                (inodeFaultBudget >= 1 && repairMaxAttempts >= 1));
     }
 };
 

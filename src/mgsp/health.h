@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Engine-health aggregation for online fault containment
+ * (DESIGN.md §18).
+ *
+ * The HealthRegistry is the *accounting* half of the health
+ * subsystem: it folds the engine's existing fault signals —
+ * media-retry exhaustion on the read path, scrub CRC verdicts,
+ * watchdog trips, mount-time salvage scars, superblock copy loss —
+ * into two pieces of state:
+ *
+ *  - a per-inode fault score, compared against
+ *    MgspConfig::inodeFaultBudget to decide when a file must be
+ *    fenced, and
+ *  - the engine-wide HealthState machine, monotonic until healed
+ *    (Healthy → Degraded → ReadOnly → FailStop; only a completed
+ *    repair de-escalates Degraded → Healthy).
+ *
+ * The registry itself performs no I/O and takes no engine locks: the
+ * *enforcement* half — persisting fence bits, dropping caches,
+ * rejecting writes, scheduling repair — stays in MgspFs, which
+ * queries the registry's verdicts. This split keeps every signal
+ * site (deep in the read path, inside the cleaner, mid-recovery)
+ * free to report without lock-ordering concerns.
+ *
+ * Thread safety: fault scores and the engine state are lock-free
+ * atomics; only the change-callback registration takes a mutex, and
+ * the callback itself is invoked with no registry lock held, so it
+ * may call back into the engine.
+ */
+#ifndef MGSP_MGSP_HEALTH_H
+#define MGSP_MGSP_HEALTH_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/types.h"
+#include "vfs/vfs.h"
+
+namespace mgsp {
+
+class HealthRegistry
+{
+  public:
+    /**
+     * @param max_inodes    size of the per-inode score table.
+     * @param fault_budget  faults an inode absorbs before recordFault
+     *                      reports it over budget (>= 1).
+     */
+    HealthRegistry(u32 max_inodes, u32 fault_budget)
+        : maxInodes_(max_inodes), faultBudget_(fault_budget),
+          scores_(std::make_unique<std::atomic<u32>[]>(max_inodes))
+    {
+    }
+
+    HealthRegistry(const HealthRegistry &) = delete;
+    HealthRegistry &operator=(const HealthRegistry &) = delete;
+
+    HealthState
+    engineState() const
+    {
+        return engine_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Monotonic escalation: moves the engine to @p target unless it
+     * is already there or worse. @return true iff the state changed
+     * (the caller then handles persistence; the change callback has
+     * already fired).
+     */
+    bool
+    raiseEngine(HealthState target)
+    {
+        HealthState cur = engine_.load(std::memory_order_acquire);
+        while (cur < target) {
+            if (engine_.compare_exchange_weak(cur, target,
+                                              std::memory_order_acq_rel)) {
+                notify(target);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * The only de-escalation the machine allows: Degraded → Healthy,
+     * taken when the last fenced inode heals. ReadOnly/FailStop are
+     * terminal for the mount. @return true iff the state changed.
+     */
+    bool
+    healEngine()
+    {
+        HealthState cur = HealthState::Degraded;
+        if (engine_.compare_exchange_strong(cur, HealthState::Healthy,
+                                            std::memory_order_acq_rel)) {
+            notify(HealthState::Healthy);
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Folds @p weight fault observations into inode @p idx's score.
+     * @return true iff this call pushed the score across the fault
+     * budget — exactly once per crossing, so the caller fences on a
+     * true return without double-fence races between concurrent
+     * reporters.
+     */
+    bool
+    recordFault(u32 idx, u32 weight = 1)
+    {
+        if (idx >= maxInodes_ || weight == 0)
+            return false;
+        const u32 prev =
+            scores_[idx].fetch_add(weight, std::memory_order_acq_rel);
+        return prev < faultBudget_ && prev + weight >= faultBudget_;
+    }
+
+    /** Current fault score of inode @p idx (0 when out of range). */
+    u32
+    faultScore(u32 idx) const
+    {
+        return idx < maxInodes_
+                   ? scores_[idx].load(std::memory_order_acquire)
+                   : 0;
+    }
+
+    /** Resets inode @p idx's budget after a completed repair. */
+    void
+    resetFaults(u32 idx)
+    {
+        if (idx < maxInodes_)
+            scores_[idx].store(0, std::memory_order_release);
+    }
+
+    /**
+     * Registers the engine-state change callback (one per registry;
+     * later registrations replace earlier ones). Invoked on every
+     * raiseEngine/healEngine transition with no registry lock held.
+     */
+    void
+    setCallback(std::function<void(HealthState)> cb)
+    {
+        std::lock_guard<std::mutex> lk(cbMutex_);
+        callback_ = std::move(cb);
+    }
+
+  private:
+    void
+    notify(HealthState state)
+    {
+        std::function<void(HealthState)> cb;
+        {
+            std::lock_guard<std::mutex> lk(cbMutex_);
+            cb = callback_;
+        }
+        if (cb)
+            cb(state);
+    }
+
+    const u32 maxInodes_;
+    const u32 faultBudget_;
+    std::unique_ptr<std::atomic<u32>[]> scores_;
+    std::atomic<HealthState> engine_{HealthState::Healthy};
+    std::mutex cbMutex_;
+    std::function<void(HealthState)> callback_;
+};
+
+}  // namespace mgsp
+
+#endif  // MGSP_MGSP_HEALTH_H

@@ -36,6 +36,8 @@ struct Superblock
     static constexpr u64 kMagic = 0x4D47535032303233ull;  // "MGSP2023"
     static constexpr u32 kSlots = 2;
     static constexpr u64 kSlotStride = 256;
+    /** healthFlags bit: the engine escalated to ReadOnly. */
+    static constexpr u32 kHealthReadOnly = 1;
 
     u64 magic;
     u64 arenaSize;
@@ -45,7 +47,15 @@ struct Superblock
     u32 metaLogEntries;
     u32 maxInodes;
     u32 maxNodeRecords;
-    u32 reserved0;
+    /**
+     * Engine-health flags (DESIGN.md §18), CRC-covered so a torn
+     * health transition is detectable like any other superblock
+     * field. kHealthReadOnly records an engine-wide escalation to
+     * ReadOnly; it is deliberately never cleared by mount — the
+     * state marks media the engine no longer trusts, and only an
+     * administrative reformat lifts it.
+     */
+    u32 healthFlags;
     u64 inodeTableOff;
     u64 metaLogOff;
     u64 nodeTableOff;
@@ -101,6 +111,22 @@ struct InodeRecord
      * access counters that drove the choice restart cold.
      */
     static constexpr u64 kPolicyWriteThrough = 4;
+    /**
+     * The file is fenced (DESIGN.md §18): its fault budget was
+     * exhausted and an online repair is pending or in flight. Unlike
+     * kDegraded/kPolicyWriteThrough, recovery does NOT blanket-clear
+     * the bit — it re-verifies the base extent's readable bytes first
+     * (the measurable per-inode mount cost of a crash mid-repair) and
+     * clears it only then, so a crash during repair can never launder
+     * a broken file back to Live.
+     */
+    static constexpr u64 kFenced = 8;
+    /**
+     * The file is condemned: repairMaxAttempts online repairs failed.
+     * Permanently read-only; survives every mount (only removal or a
+     * reformat clears it).
+     */
+    static constexpr u64 kCondemned = 16;
     static constexpr u32 kMaxNameLen = 79;
 
     u64 flags;       ///< bit 0: in use; bit 1: degraded write-through

@@ -102,6 +102,13 @@ class MgspFile : public File
         return inode_->fileSize.load(std::memory_order_acquire);
     }
 
+    /** This file's fence state (vfs health surface; lock-free). */
+    FileHealthState
+    health() const override
+    {
+        return MgspFs::inodeHealth(inode_);
+    }
+
     Status
     truncate(u64 new_size) override
     {
@@ -195,7 +202,9 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
       greedyOn_(config.enableGreedyLocking &&
                 !(config.enableCleaner && config.enableShadowLog) &&
                 !config.enableEpochSync),
-      epochOn_(config.enableEpochSync && config.enableShadowLog)
+      epochOn_(config.enableEpochSync && config.enableShadowLog),
+      healthOn_(config.enableHealthFencing && config.enableShadowLog),
+      healthReg_(config.maxInodes, std::max<u32>(config.inodeFaultBudget, 1))
 {
     if (optimisticOn_) {
         auto &reg = stats::StatsRegistry::instance();
@@ -292,6 +301,28 @@ MgspFs::MgspFs(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
         resourceCounters_.degradedBytes = &reg.counter("degraded.bytes");
         resourceCounters_.watchdogTrips = &reg.counter("watchdog.trips");
     }
+    {
+        // Unconditional, like the txn counters: mount bumps the
+        // found-fenced/condemned tallies whatever the config says.
+        auto &reg = stats::StatsRegistry::instance();
+        healthCounters_.faultsRecorded =
+            &reg.counter("health.faults_recorded");
+        healthCounters_.inodeFences = &reg.counter("health.inode_fences");
+        healthCounters_.inodeUnfences =
+            &reg.counter("health.inode_unfences");
+        healthCounters_.repairsOk = &reg.counter("health.repairs_ok");
+        healthCounters_.repairsFailed =
+            &reg.counter("health.repairs_failed");
+        healthCounters_.condemned = &reg.counter("health.condemned");
+        healthCounters_.engineDegraded =
+            &reg.counter("health.engine_degraded");
+        healthCounters_.engineReadOnly =
+            &reg.counter("health.engine_readonly");
+        healthCounters_.verifiedReads =
+            &reg.counter("health.verified_reads");
+        healthCounters_.rejectedReads =
+            &reg.counter("health.rejected_reads");
+    }
 }
 
 MgspFs::~MgspFs()
@@ -378,6 +409,10 @@ MgspFs::initLayout(bool fresh)
 void
 MgspFs::persistSuperblock()
 {
+    // A dual-copy-loss mount runs on reconstructed geometry that only
+    // exists in DRAM; never write either rotten slot again.
+    if (!sbWritable_)
+        return;
     ++sb_.epoch;
     sb_.checksum = sb_.computeChecksum();
     // Secondary first: if the crash lands mid-primary-rewrite, the
@@ -416,6 +451,7 @@ MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
 
     Superblock sb;
     bool recovered = false;
+    bool sb_lost = false;  ///< both copies rotten; geometry from config
     if (config.recoveryMode == RecoveryMode::Strict) {
         // Fail-fast: the primary copy must stand on its own.
         if (copies[0].magic != Superblock::kMagic)
@@ -435,10 +471,40 @@ MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
             if (best < 0 || copies[i].epoch > copies[best].epoch)
                 best = static_cast<int>(i);
         }
-        if (best < 0)
-            return Status::corruption("no valid superblock copy");
-        sb = copies[best];
-        recovered = best != 0 || !copies[0].validCopy();
+        if (best < 0) {
+            // Both copies rotten. Without health fencing that is the
+            // end of the road; with it the engine contains the fault
+            // instead: rebuild the (geometry-checked) superblock from
+            // the config, serve reads, and refuse every mutation —
+            // the arena's data is still intact, only the 128-byte
+            // header died, and aborting would strand all of it.
+            if (!config.enableHealthFencing)
+                return Status::corruption("no valid superblock copy");
+            const ArenaLayout lay = ArenaLayout::compute(config);
+            sb = Superblock{};
+            sb.magic = Superblock::kMagic;
+            sb.arenaSize = device->size();
+            sb.leafBlockSize = config.leafBlockSize;
+            sb.degree = config.degree;
+            sb.leafSubBits = config.leafSubBits;
+            sb.metaLogEntries = config.metaLogEntries;
+            sb.maxInodes = config.maxInodes;
+            sb.maxNodeRecords = config.maxNodeRecords;
+            sb.inodeTableOff = lay.inodeTableOff;
+            sb.metaLogOff = lay.metaLogOff;
+            sb.nodeTableOff = lay.nodeTableOff;
+            sb.poolOff = lay.poolOff;
+            sb.poolBytes = lay.poolBytes;
+            sb.fileAreaOff = lay.fileAreaOff;
+            sb.fileAreaBytes = lay.fileAreaBytes;
+            // Recovery's max-extent scan corrects the bump from the
+            // live inode records (volatile only: nothing persists).
+            sb.fileAreaBump = lay.fileAreaOff;
+            sb_lost = true;
+        } else {
+            sb = copies[best];
+            recovered = best != 0 || !copies[0].validCopy();
+        }
     }
 
     // A valid superblock describing an arena larger than the device
@@ -459,10 +525,41 @@ MgspFs::mount(std::shared_ptr<PmemDevice> device, const MgspConfig &config)
     std::unique_ptr<MgspFs> fs(new MgspFs(std::move(device), config));
     MGSP_RETURN_IF_ERROR(fs->initLayout(/*fresh=*/false));
     fs->sb_ = sb;
-    fs->recovery_.superblockRecovered = recovered;
+    fs->recovery_.superblockRecovered = recovered || sb_lost;
+    if (sb_lost) {
+        // Neither slot holds trustworthy bytes any more, so the engine
+        // never writes either again: the reconstructed geometry lives
+        // only in DRAM, and every superblock persist below and in
+        // recovery is skipped.
+        fs->sbWritable_ = false;
+        fs->escalateEngine(HealthState::ReadOnly,
+                           "both superblock copies lost; geometry "
+                           "reconstructed from config");
+    } else if ((sb.healthFlags & Superblock::kHealthReadOnly) != 0) {
+        fs->escalateEngine(HealthState::ReadOnly,
+                           "persistent read-only flag set by a prior "
+                           "mount");
+    }
     if (recovered)
         fs->persistSuperblock();  // repair the losing copy in place
     MGSP_RETURN_IF_ERROR(fs->runRecovery());
+    // Mount-time aggregate signals (DESIGN.md §18): a repaired
+    // superblock copy or salvage scars degrade the engine so
+    // operators see the scare in health() even though every caller-
+    // visible contract still holds.
+    if (fs->healthOn_) {
+        if (recovered)
+            fs->escalateEngine(HealthState::Degraded,
+                               "one superblock copy was lost and "
+                               "repaired at mount");
+        if (fs->recovery_.corruptRecordsQuarantined != 0 ||
+            fs->recovery_.poisonedRangesSkipped != 0)
+            fs->escalateEngine(HealthState::Degraded,
+                               "salvage quarantined state at mount");
+        if (fs->recovery_.condemnedInodesFound != 0)
+            fs->escalateEngine(HealthState::ReadOnly,
+                               "mounted with condemned files");
+    }
     fs->initEpochLog();
     fs->startCleaner();
     return fs;
@@ -744,9 +841,39 @@ MgspFs::runRecovery()
     for (u32 i = 0; i < config_.maxInodes; ++i) {
         if (!(inodes[i].flags & InodeRecord::kInUse) || !inodeOk[i])
             continue;
-        const u64 clear =
+        u64 clear =
             inodes[i].flags &
             (InodeRecord::kDegraded | InodeRecord::kPolicyWriteThrough);
+        if (inodes[i].flags & InodeRecord::kCondemned) {
+            // Condemned is a terminal verdict: it survives every
+            // mount until the file is deleted and recreated.
+            ++recovery_.condemnedInodesFound;
+        } else if (inodes[i].flags & InodeRecord::kFenced) {
+            // A crash interrupted online repair. Replay above already
+            // made the shadow structures consistent; what the fence
+            // still guards against is media rot in the base extent.
+            // Re-verify it here: if every byte reads back, the fence
+            // clears and the file mounts Live; otherwise it stays
+            // fenced and materializeInode re-queues online repair.
+            ++recovery_.fencedInodesFound;
+            const u64 vlen =
+                std::min(inodes[i].fileSize, inodes[i].capacity);
+            bool intact = true;
+            constexpr u64 kChunk = 256 * 1024;
+            for (u64 off = 0; off < vlen; off += kChunk) {
+                const u64 nn = std::min(kChunk, vlen - off);
+                if (device_->poisoned(inodes[i].extentOff + off, nn)) {
+                    intact = false;
+                    ++recovery_.poisonedRangesSkipped;
+                    continue;
+                }
+                (void)crc32c(device_->rawRead(inodes[i].extentOff + off),
+                             nn);
+                device_->latency().chargeRead(nn);
+            }
+            if (intact)
+                clear |= InodeRecord::kFenced;
+        }
         if (clear == 0)
             continue;
         inodes[i].flags &= ~clear;
@@ -863,6 +990,12 @@ MgspFs::materializeInode(u32 idx)
         alignUp(rec.fileSize, config_.fineGrainSize()),
         std::memory_order_relaxed);
     inode->path = rec.name;
+    if (rec.flags & InodeRecord::kCondemned)
+        inode->health.store(static_cast<u8>(FileHealthState::Condemned),
+                            std::memory_order_relaxed);
+    else if (rec.flags & InodeRecord::kFenced)
+        inode->health.store(static_cast<u8>(FileHealthState::Fenced),
+                            std::memory_order_relaxed);
     inode->tree = std::make_unique<ShadowTree>(
         device_.get(), pool_.get(), nodeTable_.get(), &config_, idx,
         rec.extentOff, rec.capacity, static_cast<u32>(rec.rootRecIdx));
@@ -876,6 +1009,11 @@ MgspFs::materializeInode(u32 idx)
     }
     OpenInode *raw = inode.get();
     openInodes_[inode->path] = std::move(inode);
+    // A fence that survived recovery's base-extent re-verification
+    // still has unrecovered media errors behind it; hand the inode
+    // straight to the online repair worker.
+    if (healthOn_ && inodeHealth(raw) == FileHealthState::Fenced)
+        enqueueRepair(raw);
     return raw;
 }
 
@@ -952,6 +1090,7 @@ MgspFs::open(const std::string &path, const OpenOptions &options)
 StatusOr<std::unique_ptr<File>>
 MgspFs::createInodeLocked(const std::string &path, u64 capacity)
 {
+    MGSP_RETURN_IF_ERROR(writeGate(nullptr));
     if (path.empty() || path.size() > InodeRecord::kMaxNameLen)
         return Status::invalidArgument("bad file name");
     if (openInodes_.count(path) != 0 || findInode(path) != kNoRecord)
@@ -1328,10 +1467,16 @@ MgspFs::scrubAllFiles()
         total.unitsVerified += s.unitsVerified;
         total.crcMismatches += s.crcMismatches;
         total.poisonSkipped += s.poisonSkipped;
-        if (s.crcMismatches != 0)
+        if (s.crcMismatches != 0) {
             MGSP_WARN("scrub: %llu checksum mismatch(es) in %s",
                       static_cast<unsigned long long>(s.crcMismatches),
                       inode->path.c_str());
+            // Publish the verdict: each mismatching unit counts
+            // against the inode's fault budget (safe here — the scrub
+            // loop holds only cleanerPins, no engine locks).
+            noteInodeFault(inode, static_cast<u32>(s.crcMismatches),
+                           "scrub checksum verdict");
+        }
         inode->cleanerPins.fetch_sub(1, std::memory_order_acq_rel);
     }
     faultCounters_.scrubPasses->add(1);
@@ -1374,11 +1519,15 @@ MgspFs::cleanerMain()
         Status s = drainOpenFiles();
         if (!s.isOk())
             MGSP_WARN("cleaner drain failed: %s", s.toString().c_str());
+        processRepairQueue();
         if (config_.scrubIntervalMillis > 0 &&
             Clock::now() - last_scrub >=
                 std::chrono::milliseconds(config_.scrubIntervalMillis)) {
             scrubAllFiles();
             last_scrub = Clock::now();
+            // A scrub verdict may have fenced something just now;
+            // repair it in the same wakeup instead of the next one.
+            processRepairQueue();
         }
         lk.lock();
     }
@@ -1396,16 +1545,24 @@ MgspFs::startCleaner()
 void
 MgspFs::stopCleaner()
 {
-    if (cleanerWorkers_.empty())
-        return;
-    {
-        std::lock_guard<std::mutex> guard(cleanerMutex_);
-        cleanerStop_ = true;
+    if (!cleanerWorkers_.empty()) {
+        {
+            std::lock_guard<std::mutex> guard(cleanerMutex_);
+            cleanerStop_ = true;
+        }
+        cleanerCv_.notify_all();
+        for (std::thread &t : cleanerWorkers_)
+            t.join();
+        cleanerWorkers_.clear();
     }
-    cleanerCv_.notify_all();
-    for (std::thread &t : cleanerWorkers_)
-        t.join();
-    cleanerWorkers_.clear();
+    // Drop whatever repair work never ran (processRepairQueue bails
+    // on cleanerStop_). The queued inodes hold cleaner pins; release
+    // them so unmount's write-back is not blocked forever. Runs even
+    // without worker threads: repairNow() can also enqueue.
+    std::lock_guard<std::mutex> guard(cleanerMutex_);
+    for (OpenInode *inode : repairQueue_)
+        inode->cleanerPins.fetch_sub(1, std::memory_order_acq_rel);
+    repairQueue_.clear();
 }
 
 StatusOr<TreeStats>
@@ -1416,6 +1573,23 @@ MgspFs::statsFor(const std::string &path) const
     if (it == openInodes_.end())
         return Status::notFound("not open: " + path);
     return it->second->tree->snapshotStats();
+}
+
+/** Lowercase engine-state name for statsReport text/JSON. */
+static const char *
+healthStateName(HealthState s)
+{
+    switch (s) {
+    case HealthState::Healthy:
+        return "healthy";
+    case HealthState::Degraded:
+        return "degraded";
+    case HealthState::ReadOnly:
+        return "read-only";
+    case HealthState::FailStop:
+        return "fail-stop";
+    }
+    return "unknown";
 }
 
 MgspStatsReport
@@ -1503,6 +1677,15 @@ MgspFs::statsReport() const
     const u64 txn_abort = reg.counter("txn.aborts").value();
     const u64 txn_recov = reg.counter("txn.recovered").value();
     const u64 txn_disc = reg.counter("txn.discarded").value();
+    const u64 h_faults = reg.counter("health.faults_recorded").value();
+    const u64 h_fences = reg.counter("health.inode_fences").value();
+    const u64 h_unfences = reg.counter("health.inode_unfences").value();
+    const u64 h_rep_ok = reg.counter("health.repairs_ok").value();
+    const u64 h_rep_bad = reg.counter("health.repairs_failed").value();
+    const u64 h_cond = reg.counter("health.condemned").value();
+    const u64 h_vreads = reg.counter("health.verified_reads").value();
+    const u64 h_rreads = reg.counter("health.rejected_reads").value();
+    const char *h_engine = healthStateName(healthReg_.engineState());
     const FaultStats fault = device_->faultStats();
 
     MgspStatsReport report;
@@ -1640,6 +1823,23 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(txn_abort),
                   static_cast<unsigned long long>(txn_recov),
                   static_cast<unsigned long long>(txn_disc));
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "health: engine=%s faults=%llu fences=%llu "
+                  "unfences=%llu repairs-ok=%llu repairs-failed=%llu "
+                  "condemned=%llu verified-reads=%llu "
+                  "rejected-reads=%llu recovery-fenced=%u "
+                  "recovery-condemned=%u\n",
+                  h_engine, static_cast<unsigned long long>(h_faults),
+                  static_cast<unsigned long long>(h_fences),
+                  static_cast<unsigned long long>(h_unfences),
+                  static_cast<unsigned long long>(h_rep_ok),
+                  static_cast<unsigned long long>(h_rep_bad),
+                  static_cast<unsigned long long>(h_cond),
+                  static_cast<unsigned long long>(h_vreads),
+                  static_cast<unsigned long long>(h_rreads),
+                  recovery_.fencedInodesFound,
+                  recovery_.condemnedInodesFound);
     text += buf;
     std::snprintf(buf, sizeof(buf),
                   "tree: coarse=%llu leaf=%llu fine=%llu mst-hit=%llu "
@@ -1820,6 +2020,26 @@ MgspFs::statsReport() const
                   static_cast<unsigned long long>(txn_recov),
                   static_cast<unsigned long long>(txn_disc));
     json += buf;
+    // The trailing "}" of this object comes from the next block's
+    // leading "}," — same chaining as every object above.
+    std::snprintf(buf, sizeof(buf),
+                  "},\"health\":{\"engine\":\"%s\","
+                  "\"faults_recorded\":%llu,\"inode_fences\":%llu,"
+                  "\"inode_unfences\":%llu,\"repairs_ok\":%llu,"
+                  "\"repairs_failed\":%llu,\"condemned\":%llu,"
+                  "\"verified_reads\":%llu,\"rejected_reads\":%llu,"
+                  "\"recovery_fenced\":%u,\"recovery_condemned\":%u",
+                  h_engine, static_cast<unsigned long long>(h_faults),
+                  static_cast<unsigned long long>(h_fences),
+                  static_cast<unsigned long long>(h_unfences),
+                  static_cast<unsigned long long>(h_rep_ok),
+                  static_cast<unsigned long long>(h_rep_bad),
+                  static_cast<unsigned long long>(h_cond),
+                  static_cast<unsigned long long>(h_vreads),
+                  static_cast<unsigned long long>(h_rreads),
+                  recovery_.fencedInodesFound,
+                  recovery_.condemnedInodesFound);
+    json += buf;
     std::snprintf(buf, sizeof(buf),
                   "},\"tree\":{\"coarse_log_writes\":%llu,"
                   "\"leaf_log_writes\":%llu,\"fine_sub_writes\":%llu,"
@@ -1887,6 +2107,7 @@ MgspFs::persistFileSize(OpenInode *inode, u64 new_size, bool allow_shrink)
 Status
 MgspFs::doWrite(OpenInode *inode, u64 offset, ConstSlice src)
 {
+    MGSP_RETURN_IF_ERROR(writeGate(inode));
     if (src.empty())
         return Status::ok();
     if (offset + src.size() > inode->capacity)
@@ -2029,7 +2250,14 @@ MgspFs::doAtomicChunk(OpenInode *inode, u64 offset, ConstSlice src)
     if (file_lock_mode) {
         inode->fileLock.lock();
     } else if (greedy) {
-        greedy_node = inode->tree->coveringNode(offset, src.size());
+        // Always the whole-file covering node, never the op's own
+        // covering node: greedy ops skip ancestor intention locks, so
+        // two greedy ops locking nested covers (a reader's parent R
+        // over a writer's leaf W) would not conflict and could race
+        // role-switch stores into the shared base extent. One
+        // canonical node makes every greedy/non-greedy pair on this
+        // file meet in the MGL table.
+        greedy_node = inode->tree->coveringNode(0, inode->capacity);
         greedy_node->lock.acquire(MglMode::W);
         // Optimistic readers take no locks even against a sole-handle
         // greedy writer, so the covering node must still advertise the
@@ -2213,7 +2441,13 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
     // per-stage read records see only misses.
     const u8 hint_raw = inode->accessHint.load(std::memory_order_relaxed);
     const auto hint = static_cast<AccessHint>(hint_raw);
+    // A fenced/repairing file is itself a live fault plane: every
+    // read must go through the tree paths (and the CRC proof below),
+    // never a DRAM frame that may predate the fault.
+    const bool fenced_read =
+        inodeHealth(inode) != FileHealthState::Live;
     const bool cache_ok = cacheOn_ && hint != AccessHint::DontCache &&
+                          !fenced_read &&
                           !inode->degraded.load(std::memory_order_relaxed) &&
                           !device_->anyPoisoned();
     const u64 frame_size = cache_ok ? cache_->frameSize() : 0;
@@ -2257,7 +2491,9 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
     // consulted. Any concurrent writer or cleaner invalidates the
     // attempt; after a few failures fall back to the locked path so
     // readers cannot starve under sustained write pressure.
-    if (optimisticOn_) {
+    // Fenced reads skip it: they take the locked path so the
+    // intactness proof below sees a stable tree.
+    if (optimisticOn_ && !fenced_read) {
         trace.stage(stats::Stage::OptimisticRead);
         VersionSnapshot snap;
         for (int attempt = 0; attempt < 3; ++attempt) {
@@ -2297,7 +2533,9 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
         if (file_lock_mode) {
             inode->fileLock.lockShared();
         } else if (greedy) {
-            greedy_node = inode->tree->coveringNode(offset, n);
+            // Whole-file cover, as in doAtomicChunk: nested per-op
+            // covers would let a greedy R slide past a greedy W.
+            greedy_node = inode->tree->coveringNode(0, inode->capacity);
             greedy_node->lock.acquire(MglMode::R);
         }
 
@@ -2321,7 +2559,26 @@ MgspFs::doRead(OpenInode *inode, u64 offset, MutSlice dst)
 
     if (!s.isOk()) {
         trace.setFailed();
+        // Media-retry exhaustion is the read path's health signal:
+        // the retries above already rode out every transient episode,
+        // so what is left is persistent media rot. No locks are held
+        // here, so fencing may run inline.
+        if (s.code() == StatusCode::MediaError)
+            noteInodeFault(inode, 1, "media-retry exhaustion");
         return s;
+    }
+    // A fenced file serves only provably-intact bytes: after the
+    // locked read, re-verify every shadow unit the range touches and
+    // reject the read if any fails its CRC (or sits on poison). The
+    // scan takes its own tree locks — none are held here.
+    if (healthOn_ && fenced_read) {
+        const ScrubStats verdict = inode->tree->verifyRange(offset, n);
+        if (verdict.crcMismatches != 0 || verdict.poisonSkipped != 0) {
+            healthCounters_.rejectedReads->add(1);
+            return Status::corruption(
+                "fenced read touches corrupt shadow-log units");
+        }
+        healthCounters_.verifiedReads->add(1);
     }
     // Locked-fallback fill. An admitted whole-frame miss re-checks
     // admission inside; the doorkeeper slot already holds its key, so
@@ -2385,6 +2642,7 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
         return Status::invalidArgument(
             "atomic batches bypass the epoch group commit");
     OpenInode *inode = handle->inode();
+    MGSP_RETURN_IF_ERROR(writeGate(inode));
 
     // Sort by offset: establishes the deadlock-free MGL lock order
     // and makes the overlap check trivial.
@@ -2444,9 +2702,9 @@ MgspFs::writeBatch(File *file, const std::vector<BatchWrite> &batch)
     if (file_lock_mode) {
         inode->fileLock.lock();
     } else if (greedy) {
-        const u64 span_start = sorted.front().offset;
-        greedy_node =
-            inode->tree->coveringNode(span_start, batch_end - span_start);
+        // Whole-file cover, as in doAtomicChunk: nested per-op
+        // covers would let concurrent greedy ops miss each other.
+        greedy_node = inode->tree->coveringNode(0, inode->capacity);
         greedy_node->lock.acquire(MglMode::W);
         // As in doAtomicChunk: lock-free readers need the version
         // signal even when the greedy single-handle path skips MGL.
@@ -2658,6 +2916,12 @@ MgspFs::txnCommit(const std::vector<TxnWrite> &writes)
         p.inode = w.inode;
         p.writes.push_back(&w);
     }
+    // All-or-nothing applies to admission too: one fenced participant
+    // rejects the whole transaction before anything is claimed.
+    for (auto &[idx, p] : parts) {
+        (void)idx;
+        MGSP_RETURN_IF_ERROR(writeGate(p.inode));
+    }
     u32 total_groups = 0;
     for (auto &[idx, p] : parts) {
         (void)idx;
@@ -2861,6 +3125,9 @@ MgspFs::txnCommit(const std::vector<TxnWrite> &writes)
 Status
 MgspFs::doRangeSync(OpenInode *inode, u64 offset, u64 len)
 {
+    // Engine-only gate: a fenced file may still sync what it already
+    // acknowledged, but a read-only engine performs no commits.
+    MGSP_RETURN_IF_ERROR(writeGate(nullptr));
     // msync rejects ranges outside the mapping; ours is the file's
     // capacity region (EINVAL through mgsp_msync).
     if (offset + len < offset || offset + len > inode->capacity)
@@ -3559,6 +3826,12 @@ MgspFs::watchdogTrip(const char *what, u64 elapsed_nanos)
               static_cast<unsigned long long>(elapsed_nanos / 1000000),
               static_cast<unsigned long long>(
                   config_.resourceRetryDeadlineNanos / 1000000));
+    // A blown resource deadline is a liveness fault, not a media
+    // fault: it degrades the engine (operators see it in health())
+    // but fences no file — the op itself already failed over to the
+    // degraded write path or returned to the caller.
+    if (healthOn_)
+        escalateEngine(HealthState::Degraded, "watchdog trip");
 }
 
 void
@@ -3701,6 +3974,307 @@ MgspFs::degradedWriteLocked(OpenInode *inode, u64 offset, ConstSlice src,
     return Status::ok();
 }
 
+// --- health fencing & online repair (DESIGN.md §18) ------------------
+
+Status
+MgspFs::writeGate(const OpenInode *inode) const
+{
+    // Unconditional (not healthOn_-gated): the engine defaults
+    // Healthy and inodes default Live, so the healthy path costs two
+    // uncontended atomic loads — and persistent fence/condemn state
+    // found by a mount is honoured even when fencing is off for this
+    // instance.
+    const HealthState engine = healthReg_.engineState();
+    if (engine == HealthState::FailStop)
+        return Status::ioError("engine is in fail-stop");
+    if (engine == HealthState::ReadOnly)
+        return Status::readOnlyFs("engine is read-only");
+    if (inode == nullptr)
+        return Status::ok();
+    switch (inodeHealth(inode)) {
+    case FileHealthState::Live:
+        return Status::ok();
+    case FileHealthState::Condemned:
+        return Status::readOnlyFs("file is condemned after repeated "
+                                  "failed repairs");
+    default:
+        return Status::readOnlyFs("file is fenced for repair");
+    }
+}
+
+void
+MgspFs::noteInodeFault(OpenInode *inode, u32 weight, const char *what)
+{
+    if (!healthOn_ || weight == 0)
+        return;
+    healthCounters_.faultsRecorded->add(weight);
+    if (inodeHealth(inode) != FileHealthState::Live)
+        return;  // already fenced; the repair worker owns it now
+    // recordFault reports the budget crossing exactly once, so
+    // concurrent reporters cannot double-fence.
+    if (healthReg_.recordFault(inode->inodeIdx, weight))
+        fenceInode(inode, what);
+}
+
+void
+MgspFs::fenceInode(OpenInode *inode, const char *why)
+{
+    {
+        std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
+        if (inodeHealth(inode) != FileHealthState::Live)
+            return;  // racing reporter fenced first
+        // Same persistence protocol as the degraded flag: the bit is
+        // durable before the volatile flip publishes it, so a crash
+        // can never observe a fenced-in-DRAM file that mounts Live.
+        const u64 flags_off = layout_.inodeOff(inode->inodeIdx) +
+                              offsetof(InodeRecord, flags);
+        device_->store64(flags_off, device_->load64(flags_off) |
+                                        InodeRecord::kFenced);
+        device_->flush(flags_off, 8);
+        device_->fence();
+        inode->health.store(static_cast<u8>(FileHealthState::Fenced),
+                            std::memory_order_release);
+        // Cached frames may predate the fault; every fenced read must
+        // go through the tree paths and the CRC proof.
+        if (cache_ != nullptr)
+            cache_->dropFile(inode->inodeIdx);
+        healthCounters_.inodeFences->add(1);
+        MGSP_WARN("%s: fault budget exhausted (%s); fencing for "
+                  "online repair",
+                  inode->path.c_str(), why);
+    }
+    // Outside cleanMutex: escalation may take tableMutex_, and the
+    // enqueue takes cleanerMutex_.
+    escalateEngine(HealthState::Degraded, why);
+    enqueueRepair(inode);
+}
+
+void
+MgspFs::enqueueRepair(OpenInode *inode)
+{
+    // The pin keeps remove() off the inode while it sits in the
+    // queue; dropped by processRepairQueue (or stopCleaner's drain).
+    inode->cleanerPins.fetch_add(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> guard(cleanerMutex_);
+        repairQueue_.push_back(inode);
+        cleanerKick_ = true;
+    }
+    cleanerCv_.notify_one();
+}
+
+void
+MgspFs::processRepairQueue()
+{
+    for (;;) {
+        OpenInode *inode = nullptr;
+        {
+            std::lock_guard<std::mutex> guard(cleanerMutex_);
+            if (cleanerStop_ || repairQueue_.empty())
+                return;  // leftovers drain in stopCleaner
+            inode = repairQueue_.front();
+            repairQueue_.erase(repairQueue_.begin());
+        }
+        Status s = repairInode(inode);
+        if (!s.isOk())
+            MGSP_WARN("online repair of %s failed: %s",
+                      inode->path.c_str(), s.toString().c_str());
+        inode->cleanerPins.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+Status
+MgspFs::repairInode(OpenInode *inode)
+{
+    if (inodeHealth(inode) == FileHealthState::Live ||
+        inodeHealth(inode) == FileHealthState::Condemned)
+        return Status::ok();  // raced with another repair / verdict
+    // A read-only engine performs no commits; the file stays fenced
+    // (reads still flow through the verified path) until the operator
+    // remounts writable.
+    if (healthReg_.engineState() >= HealthState::ReadOnly)
+        return Status::readOnlyFs("repair deferred: engine read-only");
+    // Pending epoch overlays must be committed before the repair
+    // write-back walks the tree (same ordering as releaseHandle and
+    // the truncate shrink path: barrier BEFORE cleanMutex).
+    if (epochOn_)
+        MGSP_RETURN_IF_ERROR(epochBarrier());
+
+    bool healed = false;
+    bool retry = false;
+    bool condemned_now = false;
+    Status verdict = Status::ok();
+    {
+        std::lock_guard<std::mutex> clean_guard(inode->cleanMutex);
+        if (inodeHealth(inode) != FileHealthState::Fenced)
+            return Status::ok();
+        inode->health.store(static_cast<u8>(FileHealthState::Repairing),
+                            std::memory_order_release);
+        {
+            // The full write-back supersedes the queue, as on close.
+            std::lock_guard<std::mutex> dirty_guard(inode->dirtyMutex);
+            inode->dirtyRanges.clear();
+        }
+
+        // One repair attempt: write every log back to the base extent
+        // under policyWriteBack's covering-W discipline — copyHome
+        // applies the salvage rules itself (a rotten or poisoned unit
+        // is skipped and the base keeps the last committed bytes; the
+        // skip probe advances transient-poison heal progress) — then
+        // prove the base extent intact. Readers stay live throughout:
+        // writes are EROFS-refused while fenced, so the write-back
+        // races only the (covering-W-excluded or seqlock-retrying)
+        // read paths, and writeBackRange recycles no TreeNodes.
+        // Never writeBackAll here: it frees the volatile subtree,
+        // which is only legal on the close path's exclusive access —
+        // a racing locked reader would traverse freed nodes.
+        Status s = policyWriteBack(inode, 0, inode->capacity);
+        if (s.isOk()) {
+            device_->fence();
+            const u64 vlen =
+                std::min(inode->fileSize.load(std::memory_order_acquire),
+                         inode->capacity);
+            // hitPoison, not poisoned(): the failed probe is itself a
+            // retraining read, so repeated attempts ride out transient
+            // episodes while permanent rot still fails every attempt
+            // and drives condemnation.
+            if (vlen != 0 && device_->hitPoison(inode->extentOff, vlen))
+                s = Status::mediaError(
+                    "base extent still carries unrecovered media "
+                    "errors");
+        }
+
+        const u64 flags_off = layout_.inodeOff(inode->inodeIdx) +
+                              offsetof(InodeRecord, flags);
+        if (s.isOk()) {
+            // Durably unfence before the volatile flip, mirroring the
+            // fence protocol: a crash right here re-verifies the (now
+            // clean) extent at mount and comes up Live either way.
+            device_->store64(flags_off, device_->load64(flags_off) &
+                                            ~InodeRecord::kFenced);
+            device_->flush(flags_off, 8);
+            device_->fence();
+            healthReg_.resetFaults(inode->inodeIdx);
+            inode->repairAttempts = 0;
+            inode->health.store(static_cast<u8>(FileHealthState::Live),
+                                std::memory_order_release);
+            healthCounters_.inodeUnfences->add(1);
+            healthCounters_.repairsOk->add(1);
+            MGSP_INFO("%s: online repair converged; unfenced",
+                      inode->path.c_str());
+            healed = true;
+        } else {
+            ++inode->repairAttempts;
+            healthCounters_.repairsFailed->add(1);
+            if (inode->repairAttempts >= config_.repairMaxAttempts) {
+                device_->store64(flags_off,
+                                 (device_->load64(flags_off) &
+                                  ~InodeRecord::kFenced) |
+                                     InodeRecord::kCondemned);
+                device_->flush(flags_off, 8);
+                device_->fence();
+                inode->health.store(
+                    static_cast<u8>(FileHealthState::Condemned),
+                    std::memory_order_release);
+                healthCounters_.condemned->add(1);
+                MGSP_WARN("%s: condemned after %u failed repairs: %s",
+                          inode->path.c_str(), inode->repairAttempts,
+                          s.toString().c_str());
+                condemned_now = true;
+                verdict = s;
+            } else {
+                inode->health.store(
+                    static_cast<u8>(FileHealthState::Fenced),
+                    std::memory_order_release);
+                retry = true;
+            }
+        }
+    }
+    if (condemned_now) {
+        // Escalated OUTSIDE cleanMutex: the ReadOnly persist takes
+        // tableMutex_, which is ordered before cleanMutex everywhere.
+        // A condemned file means online repair could not win against
+        // the media; the whole engine stops trusting it with writes,
+        // and the persistent flag tells the next mount it is entering
+        // a crime scene.
+        escalateEngine(HealthState::ReadOnly,
+                       "a file was condemned after repeated failed "
+                       "online repairs");
+        return verdict;
+    }
+    // cleanMutex released: re-queueing takes cleanerMutex_ and the
+    // heal scan takes tableMutex_ (ordered before cleanMutex).
+    if (retry) {
+        enqueueRepair(inode);
+        return Status::ok();
+    }
+    // Last fence healed? Scan AFTER releasing cleanMutex — the
+    // engine-wide order is tableMutex_ before cleanMutex, never the
+    // reverse.
+    bool all_live = true;
+    {
+        std::lock_guard<std::mutex> guard(tableMutex_);
+        for (const auto &[path, open] : openInodes_) {
+            const FileHealthState h = inodeHealth(open.get());
+            if (h != FileHealthState::Live &&
+                h != FileHealthState::Condemned) {
+                all_live = false;
+                break;
+            }
+        }
+    }
+    if (healed && all_live && healthReg_.healEngine())
+        MGSP_INFO("all fenced files healed; engine back to healthy");
+    return Status::ok();
+}
+
+Status
+MgspFs::repairNow()
+{
+    processRepairQueue();
+    return Status::ok();
+}
+
+void
+MgspFs::escalateEngine(HealthState target, const char *why)
+{
+    if (!healthReg_.raiseEngine(target))
+        return;  // already there or worse
+    if (target == HealthState::Degraded) {
+        healthCounters_.engineDegraded->add(1);
+        MGSP_WARN("engine health degraded: %s", why);
+        return;
+    }
+    healthCounters_.engineReadOnly->add(1);
+    MGSP_WARN("engine is now %s: %s",
+              target == HealthState::FailStop ? "fail-stop"
+                                              : "read-only",
+              why);
+    // Persist the verdict so the next mount starts read-only instead
+    // of re-discovering the rot. Never auto-cleared. Skipped when the
+    // superblock itself is what rotted (sbWritable_ false) — the next
+    // mount re-detects the dual-copy loss directly.
+    if (target >= HealthState::ReadOnly && sbWritable_) {
+        std::lock_guard<std::mutex> guard(tableMutex_);
+        if (!(sb_.healthFlags & Superblock::kHealthReadOnly)) {
+            sb_.healthFlags |= Superblock::kHealthReadOnly;
+            persistSuperblock();
+        }
+    }
+}
+
+HealthState
+MgspFs::health() const
+{
+    return healthReg_.engineState();
+}
+
+void
+MgspFs::onHealthChange(std::function<void(HealthState)> cb)
+{
+    healthReg_.setCallback(std::move(cb));
+}
+
 void
 MgspFs::setResourceFaultPlan(const ResourceFaultPlan &plan)
 {
@@ -3727,6 +4301,7 @@ MgspFs::resourceFaultStats() const
 Status
 MgspFs::doTruncate(OpenInode *inode, u64 new_size)
 {
+    MGSP_RETURN_IF_ERROR(writeGate(inode));
     if (new_size > inode->capacity)
         return Status::outOfSpace("truncate beyond capacity");
     // Epoch mode: commit + retire before the shrink path recycles

@@ -32,6 +32,7 @@
 
 #include "common/stats.h"
 #include "mgsp/config.h"
+#include "mgsp/health.h"
 #include "mgsp/layout.h"
 #include "mgsp/metadata_log.h"
 #include "mgsp/node_table.h"
@@ -97,6 +98,15 @@ struct RecoveryReport
     /// the record's participant count (rotten/torn prepare entries):
     /// corruption in strict mode, set aside whole in salvage.
     u32 txnsQuarantined = 0;
+    // ---- health fencing (DESIGN.md §18) -------------------------
+    /// Inodes found persistently fenced (a crash interrupted an
+    /// online repair). Each had its base extent re-verified before
+    /// the fence was cleared — the dominant mount cost of a
+    /// mid-repair crash image (see recovery_time --fenced-inodes).
+    u32 fencedInodesFound = 0;
+    /// Inodes found persistently condemned; they stay condemned
+    /// (read-only) for this mount too.
+    u32 condemnedInodesFound = 0;
 };
 
 /** One write of an atomic batch (see MgspFs::writeBatch). */
@@ -250,6 +260,27 @@ class MgspFs : public FileSystem
     /** Injector tallies for the armed plan (zeros when disarmed). */
     ResourceFaultStats resourceFaultStats() const;
 
+    // ---- health fencing & online repair (DESIGN.md §18) ---------
+    /**
+     * Engine-wide health (vfs surface). Healthy unless
+     * enableHealthFencing aggregated faults into an escalation (or
+     * the mount found the persistent ReadOnly flag set).
+     */
+    HealthState health() const override;
+
+    /** Engine-state change callback (vfs surface; see vfs.h). */
+    void onHealthChange(std::function<void(HealthState)> cb) override;
+
+    /**
+     * Synchronously drains the repair queue: every currently-fenced
+     * inode gets one full repair attempt on the calling thread.
+     * The deterministic complement of the background worker — tests,
+     * inline-cleaner configurations and administrative "heal now"
+     * callers use it; the cleaner thread runs the same per-inode
+     * repair between drain cycles. Ok even when nothing is queued.
+     */
+    Status repairNow();
+
   private:
     friend class MgspFile;
     friend class MgspTxn;
@@ -307,6 +338,17 @@ class MgspFs : public FileSystem
         /// (stored as static_cast<u8>(AccessHint); advice is
         /// per-file, matching posix_fadvise semantics).
         std::atomic<u8> accessHint{0};
+
+        // ---- health fencing (DESIGN.md §18) ---------------------
+        /// This file's fence state (static_cast<u8>(FileHealthState)).
+        /// Live → Fenced under cleanMutex (mirrored by the persistent
+        /// kFenced bit); Fenced → Repairing → Live|Condemned by the
+        /// repair worker. Read lock-free by the write gate and the
+        /// read path.
+        std::atomic<u8> health{0};
+        /// Online repairs attempted since the last successful one;
+        /// condemns the file at repairMaxAttempts. cleanMutex-guarded.
+        u32 repairAttempts = 0;
 
         // ---- epoch group sync (DESIGN.md §15) -------------------
         /// One accumulated bitmap flip of the current epoch, merged
@@ -418,6 +460,66 @@ class MgspFs : public FileSystem
     void maybeExitDegraded(OpenInode *inode);
     /** Counts a watchdog trip (op ring + stats + warning log). */
     void watchdogTrip(const char *what, u64 elapsed_nanos);
+
+    // --- health fencing & online repair (DESIGN.md §18) -----------
+    /** This inode's fence state (lock-free read of OpenInode::health). */
+    static FileHealthState
+    inodeHealth(const OpenInode *inode)
+    {
+        return static_cast<FileHealthState>(
+            inode->health.load(std::memory_order_acquire));
+    }
+
+    /**
+     * The mutation gate every write-shaped entry point passes first:
+     * ReadOnlyFs for an engine in ReadOnly or a fenced/repairing/
+     * condemned inode (nullptr = engine-only check), IoError for
+     * FailStop. Ok (and free: two relaxed-ish atomic loads) on the
+     * healthy path.
+     */
+    Status writeGate(const OpenInode *inode) const;
+
+    /**
+     * Folds one fault observation (media-retry exhaustion, scrub CRC
+     * verdict) into @p inode's budget; fences the inode when this
+     * observation exhausts it. Called with NO engine locks held.
+     */
+    void noteInodeFault(OpenInode *inode, u32 weight, const char *what);
+
+    /**
+     * Live → Fenced: persists InodeRecord::kFenced (degraded-flag
+     * protocol: store64 + flush + fence, then the volatile flip),
+     * drops the file's cache frames, and queues the repair. Takes
+     * cleanMutex; idempotent under races (first caller wins).
+     */
+    void fenceInode(OpenInode *inode, const char *why);
+
+    /** Queues @p inode for the repair worker (pins it) and kicks the
+     * cleaner. With no worker threads the queue drains on the next
+     * repairNow() call. */
+    void enqueueRepair(OpenInode *inode);
+
+    /**
+     * One online repair attempt: under covering exclusivity
+     * (cleanMutex + file lock + root W), re-verify the shadow-log
+     * CRCs, write everything back to the base extent (salvage rules
+     * apply: rotten units keep the base bytes), re-verify, then
+     * durably clear kFenced and return the file to Live. A failed
+     * attempt re-queues; repairMaxAttempts failures condemn the file
+     * (persistent kCondemned).
+     */
+    Status repairInode(OpenInode *inode);
+
+    /** Drains repairQueue_ (worker thread between drain cycles, or
+     * repairNow()). Drops the queue's pins. */
+    void processRepairQueue();
+
+    /**
+     * Engine-wide escalation: raises the registry state, and from
+     * ReadOnly up persists Superblock::kHealthReadOnly (when the
+     * superblock is still writable) so the next mount starts there.
+     */
+    void escalateEngine(HealthState target, const char *why);
 
     // --- background write-back & cleaning ------------------------
     /**
@@ -624,6 +726,23 @@ class MgspFs : public FileSystem
     bool cleanerStop_ = false;
     bool cleanerKick_ = false;
 
+    // ---- health fencing & online repair (DESIGN.md §18) ---------
+    /// Health fencing active? (config.enableHealthFencing &&
+    /// enableShadowLog — repair rebuilds through the shadow
+    /// machinery, so the no-shadow ablation keeps today's semantics.)
+    bool healthOn_ = false;
+    /// False when the mount reconstructed the superblock from config
+    /// after losing both copies: the engine then never writes either
+    /// slot again (there is nothing trustworthy to update in place).
+    bool sbWritable_ = true;
+    /// Signal aggregation + engine state machine (always constructed;
+    /// behavioural consequences gate on healthOn_).
+    HealthRegistry healthReg_;
+    /// Fenced inodes awaiting repair; guarded by cleanerMutex_. Each
+    /// entry holds a cleanerPins reference (dropped by the processor)
+    /// so remove() cannot free the inode under the queue.
+    std::vector<OpenInode *> repairQueue_;
+
     /// Registry counters (process lifetime), cached at construction.
     struct CleanCounters
     {
@@ -717,6 +836,24 @@ class MgspFs : public FileSystem
         stats::Counter *discarded = nullptr; ///< discarded at recovery
     };
     TxnCounters txnCounters_;
+
+    /// Health-lifecycle counters (DESIGN.md §18), cached
+    /// unconditionally (mount bumps the found-fenced counts even
+    /// when fencing is off for the new instance).
+    struct HealthCounters
+    {
+        stats::Counter *faultsRecorded = nullptr;
+        stats::Counter *inodeFences = nullptr;
+        stats::Counter *inodeUnfences = nullptr;
+        stats::Counter *repairsOk = nullptr;
+        stats::Counter *repairsFailed = nullptr;
+        stats::Counter *condemned = nullptr;
+        stats::Counter *engineDegraded = nullptr;
+        stats::Counter *engineReadOnly = nullptr;
+        stats::Counter *verifiedReads = nullptr;  ///< fenced, CRC-clean
+        stats::Counter *rejectedReads = nullptr;  ///< fenced, CRC-bad
+    };
+    HealthCounters healthCounters_;
 
     /// Armed by setResourceFaultPlan(); raw pointers distributed to
     /// pool_/nodeTable_/metaLog_ (they never outlive us).

@@ -20,8 +20,11 @@
  * they mutate for the optimistic read path, so a write anywhere under
  * a cached extent turns the next hit into a miss and the frame is
  * lazily reclaimed. Explicit drops exist only for the cases with no
- * version signal: file removal, truncate, degraded mode entry and
- * FileSystem::dropCaches().
+ * version signal: file removal, truncate, degraded mode entry,
+ * health fencing (DESIGN.md §18 — a fenced file's reads bypass the
+ * cache entirely and its frames are dropped at fence time, so a
+ * frame filled before the fault can never mask the CRC-verified
+ * read path) and FileSystem::dropCaches().
  *
  * The key->frame index is one open-addressed table of atomic
  * {key, frame} slot pairs sized to at most 50% live load. Readers

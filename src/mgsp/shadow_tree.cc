@@ -1295,6 +1295,85 @@ ShadowTree::scrub()
     return out;
 }
 
+ScrubStats
+ShadowTree::verifyRange(u64 off, u64 len)
+{
+    ScrubStats out;
+    if (!config_->enableDataChecksums || len == 0)
+        return out;
+    const u64 end = off + len;
+    // Same quiescence contract as scrub(): R on the root excludes
+    // every writer and the cleaner for the pass.
+    root_->lock.acquire(MglMode::R);
+    const u32 sub_bits = config_->enableFineGrained ? config_->leafSubBits
+                                                    : 1;
+    const u64 unit = geo_.leafSize / sub_bits;
+    struct Walk
+    {
+        ShadowTree *tree;
+        ScrubStats *out;
+        u64 unit;
+        u32 subBits;
+        u64 rangeOff;
+        u64 rangeEnd;
+        void
+        visit(TreeNode *n)
+        {
+            if (n->startOff >= rangeEnd ||
+                n->startOff + n->coverage <= rangeOff)
+                return;
+            const u32 rec = n->recIdx.load(std::memory_order_acquire);
+            const u64 log = n->logOff.load(std::memory_order_acquire);
+            if (rec != kNoRecord && log != 0) {
+                const u64 present = tree->table_->crcPresent(rec);
+                const u64 word = tree->table_->loadBitmap(rec);
+                if (tree->isLeaf(n)) {
+                    for (u32 u = 0; u < subBits; ++u) {
+                        if (!((present >> u) & 1) || !((word >> u) & 1))
+                            continue;
+                        // Skip units wholly outside the range; a unit
+                        // straddling the boundary is verified whole
+                        // (a CRC cannot cover a partial unit).
+                        const u64 file_off = n->startOff + u * unit;
+                        if (file_off >= rangeEnd ||
+                            file_off + unit <= rangeOff)
+                            continue;
+                        const u64 loff = log + u * unit;
+                        if (tree->device_->poisoned(loff, unit)) {
+                            out->poisonSkipped++;
+                            continue;
+                        }
+                        out->unitsVerified++;
+                        if (tree->table_->loadUnitCrc(rec, u) !=
+                            crc32c(tree->device_->rawRead(loff), unit))
+                            out->crcMismatches++;
+                    }
+                } else if ((present & 1) && (word & kBitValid)) {
+                    if (tree->device_->poisoned(log, n->coverage)) {
+                        out->poisonSkipped++;
+                    } else {
+                        out->unitsVerified++;
+                        if (tree->table_->loadUnitCrc(rec, 0) !=
+                            crc32c(tree->device_->rawRead(log),
+                                   n->coverage))
+                            out->crcMismatches++;
+                    }
+                }
+            }
+            if (n->children) {
+                for (u32 i = 0; i < tree->geo_.degree; ++i) {
+                    TreeNode *child = tree->childAt(n, i);
+                    if (child)
+                        visit(child);
+                }
+            }
+        }
+    } walk{this, &out, unit, sub_bits, off, end};
+    walk.visit(root_.get());
+    root_->lock.release(MglMode::R);
+    return out;
+}
+
 void
 ShadowTree::attachRecord(u32 rec_idx, const NodeRecord &rec)
 {

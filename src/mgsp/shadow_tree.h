@@ -405,6 +405,17 @@ class ShadowTree
     ScrubStats scrub();
 
     /**
+     * Ranged scrub (DESIGN.md §18): the same consultable-unit CRC
+     * verification as scrub(), restricted to nodes whose coverage
+     * intersects [off, off+len). Reads from a fenced file run this
+     * after the data copy — crcMismatches == 0 is the "provably
+     * intact" verdict that lets the bytes reach the caller; anything
+     * else rejects the read. Same serialisation as scrub(): R on the
+     * root for the duration, so call it with no tree locks held.
+     */
+    ScrubStats verifyRange(u64 off, u64 len);
+
+    /**
      * Mount path: re-attaches a persistent record to the volatile
      * tree (creating ancestors as needed).
      */

@@ -14,6 +14,7 @@
 #define MGSP_VFS_VFS_H
 
 #include <cerrno>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,9 +28,12 @@ namespace mgsp {
 /**
  * POSIX errno equivalent of @p s, for callers (minidb, the benches)
  * that want classic file-system failure semantics out of the vfs
- * layer. The load-bearing distinction is transient vs. permanent
- * exhaustion: ResourceBusy -> EAGAIN (retry later, the cleaner is
- * draining), OutOfSpace -> ENOSPC (the file/pool really is full).
+ * layer. The load-bearing distinctions: transient vs. permanent
+ * exhaustion — ResourceBusy -> EAGAIN (retry later, the cleaner is
+ * draining), OutOfSpace -> ENOSPC (the file/pool really is full) —
+ * and fault vs. containment — MediaError -> EIO (this access hit
+ * rotten media), ReadOnlyFs -> EROFS (the engine or file is fenced
+ * read-only until it heals; see FileSystem::health()).
  */
 inline int
 statusToErrno(const Status &s)
@@ -51,6 +55,8 @@ statusToErrno(const Status &s)
         return EBUSY;
     case StatusCode::Unsupported:
         return ENOTSUP;
+    case StatusCode::ReadOnlyFs:
+        return EROFS;
     case StatusCode::Corruption:
     case StatusCode::IoError:
     case StatusCode::MediaError:
@@ -109,6 +115,37 @@ struct CacheStats
     u64 invalidations = 0;///< frames dropped by writes/truncate/faults
     u64 frameBytes = 0;   ///< configured DRAM budget in bytes
     u64 residentFrames = 0;///< frames currently holding valid data
+};
+
+/**
+ * Engine-wide health, reported by FileSystem::health(). The state
+ * machine is monotonic until healed: faults only escalate
+ * (Healthy → Degraded → ReadOnly → FailStop), and only a completed
+ * online repair de-escalates (Degraded → Healthy). ReadOnly and
+ * FailStop are terminal for the mount — ReadOnly still serves reads
+ * (writes get EROFS), FailStop rejects everything (EIO) — and are
+ * recorded persistently so the next mount starts there too.
+ */
+enum class HealthState {
+    Healthy,
+    Degraded,  ///< at least one inode fenced, or salvage scars found
+    ReadOnly,  ///< engine-wide mutation fence (e.g. superblock loss)
+    FailStop,  ///< unrecoverable; all operations rejected
+};
+
+/**
+ * Per-file fence state, reported by File::health(). A fenced file
+ * rejects writes (EROFS) and serves reads only after CRC
+ * verification; the background repair worker drives
+ * Fenced → Repairing → Live when the rebuild succeeds, or → Condemned
+ * (permanently read-only, persisted across mounts) when the repair
+ * budget is exhausted.
+ */
+enum class FileHealthState {
+    Live,
+    Fenced,     ///< fault budget exhausted; awaiting repair
+    Repairing,  ///< online salvage rebuild in progress
+    Condemned,  ///< repair failed terminally; read-only forever
 };
 
 /** Per-file-system consistency guarantee, used in bench labels. */
@@ -223,6 +260,17 @@ class File
         return sync();
     }
 
+    /**
+     * This file's fence state. Engines without fault containment are
+     * always Live (the default); MGSP reports the per-inode health
+     * lifecycle (DESIGN.md §18).
+     */
+    virtual FileHealthState
+    health() const
+    {
+        return FileHealthState::Live;
+    }
+
     /** Current file length in bytes. */
     virtual u64 size() const = 0;
 
@@ -323,6 +371,30 @@ class FileSystem
     {
         return Status::unsupported(
             "engine has no cross-file transactions");
+    }
+
+    /**
+     * Engine-wide health. Engines without fault containment are
+     * always Healthy (the default); MGSP reports the monotonic
+     * health state machine (DESIGN.md §18).
+     */
+    virtual HealthState
+    health() const
+    {
+        return HealthState::Healthy;
+    }
+
+    /**
+     * Registers a callback invoked on every engine-wide health
+     * transition (with no engine locks held, so the callback may call
+     * back into the fs). One callback per fs; a later registration
+     * replaces the earlier one. The default discards it — engines
+     * that never change state never notify.
+     */
+    virtual void
+    onHealthChange(std::function<void(HealthState)> cb)
+    {
+        (void)cb;
     }
 };
 

@@ -1,0 +1,758 @@
+/**
+ * @file
+ * Health fencing & online repair tests (DESIGN.md §18): the
+ * table-driven statusToErrno audit, the fence → repair → unfence
+ * lifecycle against planted media faults (every write-shaped entry
+ * point must return EROFS while fenced), CRC-verified vs rejected
+ * fenced reads, condemnation with the persistent read-only flag, the
+ * dual-superblock-rot engine escalation, the health-change callback,
+ * the crash-during-repair harness (re-using the nested re-crash
+ * idiom from mgsp_nested_recovery_test.cc), and the
+ * fence/repair/reader race the TSan job replays.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "mgsp/mgsp_fs.h"
+#include "pmem/fault_injection.h"
+#include "tests/mgsp/test_util.h"
+
+namespace mgsp {
+namespace {
+
+using testutil::readAll;
+using testutil::smallConfig;
+
+std::vector<u8>
+pattern(u64 n, u8 tag)
+{
+    std::vector<u8> out(n);
+    for (u64 i = 0; i < n; ++i)
+        out[i] = static_cast<u8>(i * 37 + tag);
+    return out;
+}
+
+/** Fencing on, salvage semantics, one fault fences (budget 1), and no
+ * read retry — so a single transient poison hit both surfaces
+ * MediaError and (as the faulting read) heals the range, leaving a
+ * fenced file whose repair converges. */
+MgspConfig
+healthConfig()
+{
+    MgspConfig cfg = smallConfig();
+    cfg.enableHealthFencing = true;
+    cfg.recoveryMode = RecoveryMode::Salvage;
+    cfg.mediaErrorRetries = 0;
+    cfg.inodeFaultBudget = 1;
+    return cfg;
+}
+
+/** Arms a one-read transient poison at @p off and trips it with a
+ * pread, fencing @p file (budget 1, no retry). The poison heals on
+ * the faulting read, so the media is pristine again afterwards. */
+void
+fenceViaTransientPoison(PmemDevice *device, File *file, u64 dev_off,
+                        u64 file_off)
+{
+    FaultPlan plan;
+    FaultSpec poison;
+    poison.kind = FaultKind::Poison;
+    poison.off = dev_off;
+    poison.len = 256;
+    poison.healAfterReads = 1;
+    plan.faults.push_back(poison);
+    device->setFaultPlan(plan);
+
+    u8 buf[256];
+    auto n = file->pread(file_off, MutSlice(buf, sizeof(buf)));
+    ASSERT_FALSE(n.isOk()) << "poisoned read must fault";
+    EXPECT_EQ(n.status().code(), StatusCode::MediaError);
+    EXPECT_EQ(statusToErrno(n.status()), EIO);
+    ASSERT_EQ(file->health(), FileHealthState::Fenced);
+    ASSERT_FALSE(device->anyPoisoned()) << "transient poison must heal";
+}
+
+/** The persistent InodeRecord flags of the file named @p name. */
+u64
+inodeFlagsOnMedia(PmemDevice *device, const MgspConfig &cfg,
+                  const char *name)
+{
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    for (u32 i = 0; i < cfg.maxInodes; ++i) {
+        InodeRecord rec;
+        device->read(layout.inodeOff(i), &rec, sizeof(rec));
+        if ((rec.flags & InodeRecord::kInUse) != 0 &&
+            std::strcmp(rec.name, name) == 0)
+            return rec.flags;
+    }
+    ADD_FAILURE() << "no in-use inode record named " << name;
+    return 0;
+}
+
+// ---- satellite 1: the errno contract --------------------------------
+
+TEST(MgspHealth, StatusToErrnoTable)
+{
+    struct Row
+    {
+        Status status;
+        int want;
+    };
+    // Every StatusCode, through its factory, against the POSIX errno
+    // the vfs layer promises. The load-bearing rows: ReadOnlyFs is
+    // EROFS (containment — heals or stays fenced), while MediaError /
+    // Corruption / IoError / Internal all collapse to EIO (the access
+    // itself failed).
+    const Row rows[] = {
+        {Status::ok(), 0},
+        {Status::invalidArgument("x"), EINVAL},
+        {Status::notFound("x"), ENOENT},
+        {Status::alreadyExists("x"), EEXIST},
+        {Status::outOfSpace("x"), ENOSPC},
+        {Status::corruption("x"), EIO},
+        {Status::busy("x"), EBUSY},
+        {Status::ioError("x"), EIO},
+        {Status::mediaError("x"), EIO},
+        {Status::unsupported("x"), ENOTSUP},
+        {Status::internal("x"), EIO},
+        {Status::resourceBusy("x"), EAGAIN},
+        {Status::readOnlyFs("x"), EROFS},
+    };
+    for (const Row &row : rows)
+        EXPECT_EQ(statusToErrno(row.status), row.want)
+            << row.status.toString();
+
+    // The table above is exhaustive: one row per StatusCode. If a new
+    // code is added, this count forces the author back here to map it.
+    EXPECT_EQ(std::size(rows), 13u)
+        << "StatusCode grew: add the new code's errno row";
+}
+
+// ---- the fence -> repair -> unfence lifecycle ------------------------
+
+TEST(MgspHealth, FenceLifecycleGatesWritesAndRepairsOnline)
+{
+    const MgspConfig cfg = healthConfig();
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> content = pattern(64 * KiB, 1);
+    ASSERT_TRUE((*file)
+                    ->pwrite(0, ConstSlice(content.data(), content.size()))
+                    .isOk());
+
+    auto &reg = stats::StatsRegistry::instance();
+    const u64 fences0 = reg.counter("health.inode_fences").value();
+    const u64 unfences0 = reg.counter("health.inode_unfences").value();
+    const u64 repairs0 = reg.counter("health.repairs_ok").value();
+    const u64 verified0 = reg.counter("health.verified_reads").value();
+
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    fenceViaTransientPoison(fx.device.get(), file->get(),
+                            layout.fileAreaOff + 4096, 4096);
+
+    // Fence state is visible on every surface: the handle, the
+    // engine, the persistent inode record and the counters.
+    EXPECT_EQ((*file)->health(), FileHealthState::Fenced);
+    EXPECT_EQ(fx.fs->health(), HealthState::Degraded);
+    EXPECT_NE(inodeFlagsOnMedia(fx.device.get(), cfg, "f") &
+                  InodeRecord::kFenced,
+              0u);
+    EXPECT_EQ(reg.counter("health.inode_fences").value(), fences0 + 1);
+
+    // Every write-shaped entry point answers EROFS while fenced.
+    const std::vector<u8> one = pattern(512, 2);
+    const Status w =
+        (*file)->pwrite(0, ConstSlice(one.data(), one.size()));
+    EXPECT_EQ(w.code(), StatusCode::ReadOnlyFs);
+    EXPECT_EQ(statusToErrno(w), EROFS);
+
+    const Status t = (*file)->truncate(1024);
+    EXPECT_EQ(statusToErrno(t), EROFS);
+
+    const Status b = fx.fs->writeBatch(
+        file->get(), {BatchWrite{0, ConstSlice(one.data(), one.size())}});
+    EXPECT_EQ(statusToErrno(b), EROFS);
+
+    auto txn = fx.fs->beginTxn();
+    ASSERT_TRUE(txn.isOk());
+    EXPECT_TRUE(
+        (*txn)->pwrite(file->get(), 0, ConstSlice(one.data(), one.size()))
+            .isOk());
+    EXPECT_EQ(statusToErrno((*txn)->commit()), EROFS);
+
+    // rangeSync gates only on the engine (Degraded still syncs):
+    // acknowledged data of a fenced file may still be made durable.
+    EXPECT_TRUE((*file)->rangeSync(0, 4096).isOk());
+
+    // Reads of provably intact ranges are still served, CRC-verified.
+    std::vector<u8> got(512);
+    auto n = (*file)->pread(8192, MutSlice(got.data(), got.size()));
+    ASSERT_TRUE(n.isOk()) << n.status().toString();
+    EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                           content.begin() + 8192));
+    EXPECT_GT(reg.counter("health.verified_reads").value(), verified0);
+
+    // The health line/object shows up in both statsReport renderings.
+    const MgspStatsReport report = fx.fs->statsReport();
+    EXPECT_NE(report.text.find("health: engine=degraded"),
+              std::string::npos);
+    EXPECT_NE(report.json.find("\"health\":{\"engine\":\"degraded\""),
+              std::string::npos);
+
+    // Online repair: converges, unfences, heals the engine.
+    ASSERT_TRUE(fx.fs->repairNow().isOk());
+    EXPECT_EQ((*file)->health(), FileHealthState::Live);
+    EXPECT_EQ(fx.fs->health(), HealthState::Healthy);
+    EXPECT_EQ(inodeFlagsOnMedia(fx.device.get(), cfg, "f") &
+                  InodeRecord::kFenced,
+              0u);
+    EXPECT_EQ(reg.counter("health.inode_unfences").value(), unfences0 + 1);
+    EXPECT_EQ(reg.counter("health.repairs_ok").value(), repairs0 + 1);
+
+    // Byte-identical to the pre-fault contents (the poison healed and
+    // every mutation during the fence was rejected).
+    EXPECT_EQ(readAll(file->get()), content);
+    EXPECT_TRUE(
+        (*file)->pwrite(0, ConstSlice(one.data(), one.size())).isOk())
+        << "a healed file accepts writes again";
+
+    // The fault budget reset with the repair: one more fault fences
+    // again (rather than the stale score tripping instantly at zero
+    // margin or never tripping at all).
+    fenceViaTransientPoison(fx.device.get(), file->get(),
+                            layout.fileAreaOff + 16384, 16384);
+    EXPECT_EQ(reg.counter("health.inode_fences").value(), fences0 + 2);
+    ASSERT_TRUE(fx.fs->repairNow().isOk());
+    EXPECT_EQ((*file)->health(), FileHealthState::Live);
+    file->reset();
+}
+
+// ---- fenced reads: CRC-verified or rejected, never silent ------------
+
+TEST(MgspHealth, FencedReadsAreVerifiedOrRejected)
+{
+    const MgspConfig cfg = healthConfig();
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> old_data = pattern(4 * KiB, 7);
+    ASSERT_TRUE(
+        (*file)
+            ->pwrite(0, ConstSlice(old_data.data(), old_data.size()))
+            .isOk());
+    // Overwrite one fine-grained unit: shadow-logged with its own CRC.
+    const u64 unit = cfg.fineGrainSize();
+    const std::vector<u8> new_data = pattern(unit, 8);
+    ASSERT_TRUE(
+        (*file)
+            ->pwrite(0, ConstSlice(new_data.data(), new_data.size()))
+            .isOk());
+
+    // Rot one byte of the logged unit, then let the scrub verdict
+    // fence the file through the HealthRegistry (budget 1).
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    u64 log_off = 0;
+    for (u32 i = 0; i < cfg.maxNodeRecords && log_off == 0; ++i) {
+        NodeRecord rec;
+        fx.device->read(layout.nodeRecOff(i), &rec, sizeof(rec));
+        if (NodeRecord::inUse(rec.info) && rec.logOff != 0)
+            log_off = rec.logOff;
+    }
+    ASSERT_NE(log_off, 0u);
+    u8 byte;
+    fx.device->read(log_off + 10, &byte, 1);
+    byte ^= 0x04;
+    fx.device->write(log_off + 10, &byte, 1);
+
+    const ScrubStats dirty = fx.fs->scrubAllFiles();
+    EXPECT_GE(dirty.crcMismatches, 1u);
+    ASSERT_EQ((*file)->health(), FileHealthState::Fenced)
+        << "the scrub verdict must fence through the registry";
+
+    auto &reg = stats::StatsRegistry::instance();
+    const u64 rejected0 = reg.counter("health.rejected_reads").value();
+    const u64 verified0 = reg.counter("health.verified_reads").value();
+
+    // A fenced read touching the rotten unit is rejected — EIO, never
+    // the flipped bytes.
+    std::vector<u8> got(unit);
+    auto bad = (*file)->pread(0, MutSlice(got.data(), got.size()));
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), StatusCode::Corruption);
+    EXPECT_EQ(statusToErrno(bad.status()), EIO);
+    EXPECT_EQ(reg.counter("health.rejected_reads").value(), rejected0 + 1);
+
+    // A fenced read of a provably-intact range is verified and served.
+    std::vector<u8> clean(unit);
+    auto ok = (*file)->pread(2 * unit, MutSlice(clean.data(), unit));
+    ASSERT_TRUE(ok.isOk()) << ok.status().toString();
+    EXPECT_TRUE(std::equal(clean.begin(), clean.end(),
+                           old_data.begin() + 2 * unit));
+    EXPECT_EQ(reg.counter("health.verified_reads").value(), verified0 + 1);
+
+    // Repair applies the salvage rules: the rotten unit keeps the
+    // base bytes (previous committed value — never garbage), the file
+    // returns to Live and the engine heals.
+    ASSERT_TRUE(fx.fs->repairNow().isOk());
+    EXPECT_EQ((*file)->health(), FileHealthState::Live);
+    EXPECT_EQ(fx.fs->health(), HealthState::Healthy);
+    EXPECT_EQ(readAll(file->get()), old_data)
+        << "the quarantined unit must fall back to the base bytes";
+    file->reset();
+}
+
+// ---- condemnation: persistent, engine-wide, remount-sticky -----------
+
+TEST(MgspHealth, CondemnedFileEscalatesEngineAndPersistsAcrossRemount)
+{
+    MgspConfig cfg = healthConfig();
+    cfg.repairMaxAttempts = 2;
+    auto fx = testutil::makeFs(cfg);
+    auto file_a = fx.fs->open("a", OpenOptions::Create(256 * KiB));
+    auto file_b = fx.fs->open("b", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file_a.isOk() && file_b.isOk());
+    const std::vector<u8> content_a = pattern(64 * KiB, 3);
+    const std::vector<u8> content_b = pattern(16 * KiB, 4);
+    ASSERT_TRUE(
+        (*file_a)
+            ->pwrite(0, ConstSlice(content_a.data(), content_a.size()))
+            .isOk());
+    ASSERT_TRUE(
+        (*file_b)
+            ->pwrite(0, ConstSlice(content_b.data(), content_b.size()))
+            .isOk());
+
+    // Permanent poison inside a's readable bytes: every repair attempt
+    // re-verifies the base extent and keeps failing.
+    FaultPlan plan;
+    FaultSpec poison;
+    poison.kind = FaultKind::Poison;
+    poison.off = ArenaLayout::compute(cfg).fileAreaOff + 1024;
+    poison.len = 256;
+    plan.faults.push_back(poison);
+    fx.device->setFaultPlan(plan);
+
+    u8 buf[256];
+    auto n = (*file_a)->pread(1024, MutSlice(buf, sizeof(buf)));
+    ASSERT_FALSE(n.isOk());
+    ASSERT_EQ((*file_a)->health(), FileHealthState::Fenced);
+
+    // Containment while merely fenced: the *other* file stays fully
+    // available (the engine is only Degraded).
+    EXPECT_EQ(fx.fs->health(), HealthState::Degraded);
+    EXPECT_TRUE(
+        (*file_b)
+            ->pwrite(0, ConstSlice(content_b.data(), 512))
+            .isOk());
+
+    // Draining the repair queue burns both attempts (the failed first
+    // attempt re-queues) and condemns the file, escalating the engine
+    // to ReadOnly with the persistent flag set.
+    auto &reg = stats::StatsRegistry::instance();
+    const u64 condemned0 = reg.counter("health.condemned").value();
+    ASSERT_TRUE(fx.fs->repairNow().isOk());
+    EXPECT_EQ((*file_a)->health(), FileHealthState::Condemned);
+    EXPECT_EQ(fx.fs->health(), HealthState::ReadOnly);
+    EXPECT_EQ(reg.counter("health.condemned").value(), condemned0 + 1);
+    EXPECT_NE(inodeFlagsOnMedia(fx.device.get(), cfg, "a") &
+                  InodeRecord::kCondemned,
+              0u);
+
+    Superblock sb;
+    fx.device->read(Superblock::slotOff(0), &sb, sizeof(sb));
+    EXPECT_NE(sb.healthFlags & Superblock::kHealthReadOnly, 0u)
+        << "the ReadOnly verdict must be persisted for the next mount";
+
+    // Engine-wide EROFS for writers; reads still served everywhere
+    // the media is intact.
+    const Status wb =
+        (*file_b)->pwrite(0, ConstSlice(content_b.data(), 512));
+    EXPECT_EQ(statusToErrno(wb), EROFS);
+    EXPECT_EQ(readAll(file_b->get()), content_b);
+    std::vector<u8> tail(4096);
+    auto clean = (*file_a)->pread(32 * KiB, MutSlice(tail.data(), 4096));
+    ASSERT_TRUE(clean.isOk()) << clean.status().toString();
+    EXPECT_TRUE(std::equal(tail.begin(), tail.end(),
+                           content_a.begin() + 32 * KiB));
+
+    file_a->reset();
+    file_b->reset();
+    fx.fs.reset();
+
+    // The next mount enters the crime scene knowingly: ReadOnly from
+    // the superblock flag, the condemned inode counted and still
+    // condemned, writers fenced, reads served.
+    auto fs2 = MgspFs::mount(fx.device, cfg);
+    ASSERT_TRUE(fs2.isOk()) << fs2.status().toString();
+    EXPECT_EQ((*fs2)->health(), HealthState::ReadOnly);
+    EXPECT_EQ((*fs2)->recoveryReport().condemnedInodesFound, 1u);
+    auto again_a = (*fs2)->open("a", OpenOptions{});
+    auto again_b = (*fs2)->open("b", OpenOptions{});
+    ASSERT_TRUE(again_a.isOk() && again_b.isOk());
+    EXPECT_EQ((*again_a)->health(), FileHealthState::Condemned);
+    const Status w2 =
+        (*again_b)->pwrite(0, ConstSlice(content_b.data(), 512));
+    EXPECT_EQ(statusToErrno(w2), EROFS);
+    EXPECT_EQ(readAll(again_b->get()), content_b);
+    again_a->reset();
+    again_b->reset();
+}
+
+// ---- dual superblock rot: ReadOnly instead of a failed mount ---------
+
+TEST(MgspHealth, DualSuperblockRotMountsReadOnlyAndServesReads)
+{
+    const MgspConfig cfg = smallConfig();  // plain strict format
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> content = pattern(100 * 1024, 9);
+    ASSERT_TRUE(
+        (*file)
+            ->pwrite(0, ConstSlice(content.data(), content.size()))
+            .isOk());
+    file->reset();
+    fx.fs.reset();
+
+    // Rot BOTH superblock copies.
+    const u64 bogus = ~Superblock::kMagic;
+    fx.device->write(Superblock::slotOff(0), &bogus, sizeof(bogus));
+    fx.device->write(Superblock::slotOff(1), &bogus, sizeof(bogus));
+
+    // Without health fencing this arena is unmountable, in either
+    // recovery mode — the pre-§18 contract.
+    EXPECT_FALSE(MgspFs::mount(fx.device, cfg).isOk());
+    MgspConfig salvage = cfg;
+    salvage.recoveryMode = RecoveryMode::Salvage;
+    EXPECT_FALSE(MgspFs::mount(fx.device, salvage).isOk());
+
+    // With fencing armed, salvage reconstructs the geometry from the
+    // config and mounts ReadOnly: reads served, mutations EROFS.
+    MgspConfig fenced = salvage;
+    fenced.enableHealthFencing = true;
+    auto fs = MgspFs::mount(fx.device, fenced);
+    ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+    EXPECT_EQ((*fs)->health(), HealthState::ReadOnly);
+    EXPECT_TRUE((*fs)->recoveryReport().superblockRecovered);
+
+    auto reopened = (*fs)->open("f", OpenOptions{});
+    ASSERT_TRUE(reopened.isOk());
+    EXPECT_EQ(readAll(reopened->get()), content);
+    const Status w =
+        (*reopened)->pwrite(0, ConstSlice(content.data(), 512));
+    EXPECT_EQ(statusToErrno(w), EROFS);
+    auto created = (*fs)->open("g", OpenOptions::Create(64 * KiB));
+    ASSERT_FALSE(created.isOk());
+    EXPECT_EQ(statusToErrno(created.status()), EROFS);
+    const MgspStatsReport report = (*fs)->statsReport();
+    EXPECT_NE(report.json.find("\"health\":{\"engine\":\"read-only\""),
+              std::string::npos);
+    reopened->reset();
+    fs->reset();
+
+    // There is no trustworthy superblock to persist the verdict into,
+    // so the engine never writes either slot again — the next mount
+    // re-detects the rot directly and lands ReadOnly the same way.
+    u64 still_bogus = 0;
+    fx.device->read(Superblock::slotOff(0), &still_bogus,
+                    sizeof(still_bogus));
+    EXPECT_EQ(still_bogus, bogus)
+        << "a dual-rot mount must never rewrite the superblock slots";
+    auto fs2 = MgspFs::mount(fx.device, fenced);
+    ASSERT_TRUE(fs2.isOk()) << fs2.status().toString();
+    EXPECT_EQ((*fs2)->health(), HealthState::ReadOnly);
+    auto again = (*fs2)->open("f", OpenOptions{});
+    ASSERT_TRUE(again.isOk());
+    EXPECT_EQ(readAll(again->get()), content);
+    again->reset();
+}
+
+// ---- vfs surface: the engine-state change callback -------------------
+
+TEST(MgspHealth, HealthChangeCallbackFiresOnEveryTransition)
+{
+    const MgspConfig cfg = healthConfig();
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    const std::vector<u8> content = pattern(32 * KiB, 5);
+    ASSERT_TRUE((*file)
+                    ->pwrite(0, ConstSlice(content.data(), content.size()))
+                    .isOk());
+
+    std::mutex mu;
+    std::vector<HealthState> seen;
+    fx.fs->onHealthChange([&](HealthState s) {
+        std::lock_guard<std::mutex> lk(mu);
+        seen.push_back(s);
+    });
+
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    fenceViaTransientPoison(fx.device.get(), file->get(),
+                            layout.fileAreaOff + 2048, 2048);
+    ASSERT_TRUE(fx.fs->repairNow().isOk());
+    EXPECT_EQ(fx.fs->health(), HealthState::Healthy);
+
+    std::lock_guard<std::mutex> lk(mu);
+    const std::vector<HealthState> want = {HealthState::Degraded,
+                                           HealthState::Healthy};
+    EXPECT_EQ(seen, want);
+    file->reset();
+}
+
+// ---- crash during repair (the PR 9 nested harness, §18 flavour) ------
+
+/** Mounts @p image flat and returns "f"'s bytes (empty on failure). */
+std::vector<u8>
+mountAndReadF(const CrashImage &image, const MgspConfig &cfg)
+{
+    auto device =
+        std::make_shared<PmemDevice>(image, PmemDevice::Mode::Flat);
+    auto fs = MgspFs::mount(device, cfg);
+    EXPECT_TRUE(fs.isOk()) << fs.status().toString();
+    if (!fs.isOk())
+        return {};
+    auto file = (*fs)->open("f", OpenOptions{});
+    EXPECT_TRUE(file.isOk()) << file.status().toString();
+    if (!file.isOk())
+        return {};
+    std::vector<u8> out = readAll(file->get());
+    file->reset();
+    return out;
+}
+
+TEST(MgspHealth, CrashDuringRepairRecoversCleanly)
+{
+    const MgspConfig cfg = healthConfig();
+    auto fx = testutil::makeFs(cfg, PmemDevice::Mode::Tracked);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+    // Base bytes in place, then a shadow-logged overwrite, so the
+    // repair's write-back has real work whose persists we can crash.
+    std::vector<u8> content = pattern(64 * KiB, 3);
+    ASSERT_TRUE((*file)
+                    ->pwrite(0, ConstSlice(content.data(), content.size()))
+                    .isOk());
+    const std::vector<u8> overlay = pattern(8 * KiB, 6);
+    ASSERT_TRUE(
+        (*file)
+            ->pwrite(16 * KiB, ConstSlice(overlay.data(), overlay.size()))
+            .isOk());
+    std::copy(overlay.begin(), overlay.end(), content.begin() + 16 * KiB);
+
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+    fenceViaTransientPoison(fx.device.get(), file->get(),
+                            layout.fileAreaOff + 40960, 40960);
+
+    // Enumerate every persist boundary the repair emits.
+    std::vector<CrashImage> images;
+    PmemDevice *raw = fx.device.get();
+    fx.device->setPersistHook([&images, raw](u64 seq, PersistPoint) {
+        Rng rng(seq * 2654435761u + 7);
+        images.push_back(raw->captureCrashImage(rng, 1.0));
+    });
+    ASSERT_TRUE(fx.fs->repairNow().isOk());
+    fx.device->setPersistHook({});
+    ASSERT_GT(images.size(), 0u)
+        << "repair emitted no persist boundaries to crash at";
+    EXPECT_EQ((*file)->health(), FileHealthState::Live);
+    file->reset();
+    fx.fs.reset();
+
+    // Every mid-repair crash image mounts cleanly, re-verifies (and
+    // clears) any surviving fence, and serves the committed bytes.
+    u32 fence_survivals = 0;
+    for (u64 i = 0; i < images.size(); ++i) {
+        SCOPED_TRACE("repair persist boundary " + std::to_string(i));
+        auto device = std::make_shared<PmemDevice>(
+            images[i], PmemDevice::Mode::Flat);
+        auto fs = MgspFs::mount(device, cfg);
+        ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+        fence_survivals += (*fs)->recoveryReport().fencedInodesFound;
+        EXPECT_NE((*fs)->health(), HealthState::ReadOnly);
+        auto reopened = (*fs)->open("f", OpenOptions{});
+        ASSERT_TRUE(reopened.isOk());
+        EXPECT_EQ((*reopened)->health(), FileHealthState::Live)
+            << "mount-time re-verification must unfence an intact file";
+        EXPECT_EQ(readAll(reopened->get()), content);
+        reopened->reset();
+    }
+    EXPECT_GT(fence_survivals, 0u)
+        << "no image carried the persistent fence bit — the "
+           "re-verification path was never exercised";
+
+    // Nested: recovery of a mid-repair image is itself re-crashable
+    // at every one of its own persist boundaries (every 3rd image to
+    // bound the quadratic blow-up, like mgsp_nested_recovery_test).
+    for (u64 i = 0; i < images.size(); i += 3) {
+        SCOPED_TRACE("nested re-crash of boundary " + std::to_string(i));
+        auto dev = std::make_shared<PmemDevice>(images[i],
+                                                PmemDevice::Mode::Tracked);
+        std::vector<CrashImage> nested;
+        PmemDevice *inner = dev.get();
+        dev->setPersistHook([&nested, inner](u64 seq, PersistPoint) {
+            Rng rng(seq * 40503u + 11);
+            nested.push_back(inner->captureCrashImage(rng, 0.0));
+        });
+        auto fs = MgspFs::mount(dev, cfg);
+        dev->setPersistHook({});
+        ASSERT_TRUE(fs.isOk()) << fs.status().toString();
+        fs->reset();
+        for (u64 j = 0; j < nested.size(); ++j) {
+            SCOPED_TRACE("nested boundary " + std::to_string(j));
+            EXPECT_EQ(mountAndReadF(nested[j], cfg), content);
+        }
+    }
+}
+
+// ---- the fence/repair/reader race (TSan target) ----------------------
+
+TEST(MgspHealthConcurrency, FenceRepairReaderWriterRace)
+{
+    MgspConfig cfg = healthConfig();
+    cfg.repairMaxAttempts = 8;  // transient faults must never condemn
+    // No DRAM cache: a racing reader could otherwise leave the next
+    // round's trip offset resident, and a cache hit never reaches the
+    // poisoned media.
+    cfg.cacheBytes = 0;
+    auto fx = testutil::makeFs(cfg);
+    auto file = fx.fs->open("f", OpenOptions::Create(256 * KiB));
+    ASSERT_TRUE(file.isOk());
+
+    // Idempotent-write oracle: byte i is ALWAYS pat(i) — the prefill
+    // writes it and every concurrent writer rewrites the same value —
+    // so any successful read can be validated lock-free, at any point
+    // of the fence/repair lifecycle.
+    constexpr u64 kBytes = 64 * KiB;
+    auto pat = [](u64 i) { return static_cast<u8>(i * 131 + 17); };
+    std::vector<u8> content(kBytes);
+    for (u64 i = 0; i < kBytes; ++i)
+        content[i] = pat(i);
+    ASSERT_TRUE((*file)
+                    ->pwrite(0, ConstSlice(content.data(), content.size()))
+                    .isOk());
+
+    const u64 seed = testutil::testSeed(4242);
+    SCOPED_TRACE(testutil::seedTrace(seed));
+    const ArenaLayout layout = ArenaLayout::compute(cfg);
+
+    std::atomic<int> failures{0};
+    std::mutex errMu;
+    std::string firstError;
+    auto fail = [&](const std::string &msg) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(errMu);
+        if (firstError.empty())
+            firstError = msg;
+    };
+
+    File *f = file->get();
+    for (int round = 0; round < 3; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        // Quiescent fence: the poison heals on the faulting read, so
+        // the concurrent phase below runs on pristine media and every
+        // transition (Fenced -> Repairing -> Live) races the I/O
+        // threads rather than the fault injector. Trip offsets live
+        // in the second half of the file, which the writers below
+        // never touch: a round's post-heal writes would otherwise
+        // leave the next round's trip range log-resident, and a
+        // log-served read never reaches the poisoned base media.
+        fenceViaTransientPoison(
+            fx.device.get(), f,
+            layout.fileAreaOff + kBytes / 2 + 4096 +
+                static_cast<u64>(round) * 8192,
+            kBytes / 2 + 4096 + static_cast<u64>(round) * 8192);
+        if (f->health() != FileHealthState::Fenced)
+            break;  // fenceViaTransientPoison already failed the test
+
+        std::atomic<bool> live{false};
+        std::vector<std::thread> threads;
+        for (int r = 0; r < 2; ++r) {
+            threads.emplace_back([&, r] {
+                Rng rng(seed + static_cast<u64>(round) * 17 + r);
+                std::vector<u8> buf(512);
+                for (int it = 0; it < 400; ++it) {
+                    const u64 off = rng.nextBelow(kBytes - buf.size());
+                    auto n = f->pread(off, MutSlice(buf.data(), buf.size()));
+                    if (!n.isOk()) {
+                        fail("reader: " + n.status().toString());
+                        return;
+                    }
+                    for (u64 i = 0; i < *n; ++i) {
+                        if (buf[i] != pat(off + i)) {
+                            fail("reader observed a corrupt byte at " +
+                                 std::to_string(off + i));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        threads.emplace_back([&] {
+            Rng rng(seed + static_cast<u64>(round) * 17 + 99);
+            std::vector<u8> buf(512);
+            for (int it = 0; it < 250; ++it) {
+                // First half only — the second half stays base-served
+                // so the per-round trip reads hit media (see above).
+                const u64 off = rng.nextBelow(kBytes / 2 - buf.size());
+                for (u64 i = 0; i < buf.size(); ++i)
+                    buf[i] = pat(off + i);
+                // Sampled BEFORE the write: the file can only heal
+                // during the concurrent phase (the fence happened
+                // quiescently before the threads started), so an
+                // EROFS on a file that was already Live here is a
+                // genuine gate bug — while a post-write check would
+                // race the repair thread's unfence.
+                const FileHealthState pre = f->health();
+                const Status s =
+                    f->pwrite(off, ConstSlice(buf.data(), buf.size()));
+                if (s.isOk())
+                    continue;
+                if (s.code() != StatusCode::ReadOnlyFs) {
+                    fail("writer: " + s.toString());
+                    return;
+                }
+                if (pre == FileHealthState::Live) {
+                    fail("EROFS from a live file");
+                    return;
+                }
+            }
+        });
+        threads.emplace_back([&] {
+            while (!live.load(std::memory_order_acquire)) {
+                const Status s = fx.fs->repairNow();
+                if (!s.isOk()) {
+                    fail("repair: " + s.toString());
+                    return;
+                }
+                if (f->health() == FileHealthState::Live)
+                    live.store(true, std::memory_order_release);
+                else
+                    std::this_thread::yield();
+            }
+        });
+        for (std::thread &t : threads)
+            t.join();
+        ASSERT_EQ(failures.load(), 0) << firstError;
+        ASSERT_TRUE(live.load()) << "repair never converged";
+        ASSERT_EQ(f->health(), FileHealthState::Live);
+    }
+
+    EXPECT_EQ(fx.fs->health(), HealthState::Healthy);
+    EXPECT_EQ(readAll(f), content)
+        << "healed file must be byte-identical to the reference";
+    file->reset();
+}
+
+}  // namespace
+}  // namespace mgsp
